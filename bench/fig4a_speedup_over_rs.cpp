@@ -1,0 +1,8 @@
+// Regenerates the median speedup over Random Search heatmaps (paper Fig. 4a).
+// Run with --full for paper-scale experiment counts; see --help.
+
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  return repro::harness::run_figure_main(argc, argv, repro::harness::Figure::kFig4a);
+}

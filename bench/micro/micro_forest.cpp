@@ -1,0 +1,62 @@
+// Microbenchmarks: Random Forest training and candidate-pool prediction —
+// the dominant cost of RF experiments (the paper ranks thousands of
+// candidates per experiment).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/forest/random_forest.hpp"
+
+namespace {
+
+using repro::tuner::ForestOptions;
+using repro::tuner::RandomForestRegressor;
+
+struct TrainingSet {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+};
+
+TrainingSet make_training_set(std::size_t n) {
+  TrainingSet set;
+  repro::Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> point(6);
+    for (auto& v : point) v = rng.uniform();
+    set.x.push_back(std::move(point));
+    set.y.push_back(rng.uniform(1.0, 100.0));
+  }
+  return set;
+}
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto set = make_training_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    RandomForestRegressor forest;
+    repro::Rng rng(1);
+    forest.fit(set.x, set.y, rng);
+    benchmark::DoNotOptimize(forest);
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(15)->Arg(90)->Arg(390);
+
+void BM_ForestPredictPool(benchmark::State& state) {
+  const auto set = make_training_set(190);
+  RandomForestRegressor forest;
+  repro::Rng rng(2);
+  forest.fit(set.x, set.y, rng);
+  const auto pool = make_training_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& candidate : pool.x) sum += forest.predict(candidate);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForestPredictPool)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Microbenchmarks: Gaussian process fit/predict cost as a function of the
+// training-set size — the dominant cost of BO GP experiments.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/gp/gp_regressor.hpp"
+
+namespace {
+
+using repro::tuner::GpHyperparams;
+using repro::tuner::GpRegressor;
+
+struct TrainingSet {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+};
+
+TrainingSet make_training_set(std::size_t n) {
+  TrainingSet set;
+  repro::Rng rng(42);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> point(6);
+    for (auto& v : point) v = rng.uniform();
+    double target = 0.0;
+    for (double v : point) target += (v - 0.4) * (v - 0.4);
+    set.x.push_back(std::move(point));
+    set.y.push_back(target + 0.01 * rng.normal());
+  }
+  return set;
+}
+
+void BM_GpFit(benchmark::State& state) {
+  const auto set = make_training_set(static_cast<std::size_t>(state.range(0)));
+  GpRegressor gp(GpHyperparams{0.3, 1.0, 1e-2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.fit(set.x, set.y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_GpPredict(benchmark::State& state) {
+  const auto set = make_training_set(static_cast<std::size_t>(state.range(0)));
+  GpRegressor gp(GpHyperparams{0.3, 1.0, 1e-2});
+  (void)gp.fit(set.x, set.y);
+  const std::vector<double> query = {0.1, 0.9, 0.5, 0.3, 0.7, 0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.predict(query));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GpPredict)->Arg(25)->Arg(100)->Arg(200)->Complexity();
+
+void BM_GpHyperparamSearch(benchmark::State& state) {
+  const auto set = make_training_set(static_cast<std::size_t>(state.range(0)));
+  GpRegressor gp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.optimize_hyperparams(set.x, set.y));
+  }
+}
+BENCHMARK(BM_GpHyperparamSearch)->Arg(50)->Arg(120);
+
+}  // namespace
+
+BENCHMARK_MAIN();

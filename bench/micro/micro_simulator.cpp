@@ -1,0 +1,63 @@
+// Microbenchmarks: the GPU performance-model substrate — analytical
+// evaluation per kernel, the memoized cache path the experiments actually
+// hit, and the exact-vs-fast coalescing analysis.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "imagecl/benchmark_suite.hpp"
+#include "simgpu/coalescing.hpp"
+#include "simgpu/perf_model.hpp"
+
+namespace {
+
+using namespace repro;
+
+void BM_PerfModelEvaluate(benchmark::State& state, const char* name) {
+  const auto benchmark_def = imagecl::benchmark_by_name(name);
+  const simgpu::GpuArch arch = simgpu::titan_v();
+  Rng rng(3);
+  for (auto _ : state) {
+    const std::size_t index = rng.next_below(simgpu::CachedPerfModel::table_size());
+    const simgpu::KernelConfig config = simgpu::CachedPerfModel::unpack(index);
+    benchmark::DoNotOptimize(benchmark_def->model().evaluate(arch, config));
+  }
+}
+BENCHMARK_CAPTURE(BM_PerfModelEvaluate, add, "add");
+BENCHMARK_CAPTURE(BM_PerfModelEvaluate, harris, "harris");
+BENCHMARK_CAPTURE(BM_PerfModelEvaluate, mandelbrot, "mandelbrot");
+
+void BM_CachedModelHit(benchmark::State& state) {
+  const auto benchmark_def = imagecl::benchmark_by_name("harris");
+  const simgpu::GpuArch arch = simgpu::titan_v();
+  const simgpu::CachedPerfModel cache(benchmark_def->model(), arch);
+  const simgpu::KernelConfig config{2, 2, 1, 8, 4, 1};
+  (void)cache.time_us(config);  // warm the slot
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.time_us(config));
+  }
+}
+BENCHMARK(BM_CachedModelHit);
+
+void BM_CoalescingExactVsFast(benchmark::State& state, bool fast) {
+  const simgpu::GpuArch arch = simgpu::titan_v();
+  simgpu::WarpAccessSpec spec;
+  spec.element_bytes = 4;
+  spec.pitch_x = 8192;
+  spec.pitch_y = 8192;
+  spec.offsets.clear();
+  for (int dy = -3; dy <= 3; ++dy) {
+    for (int dx = -3; dx <= 3; ++dx) spec.offsets.push_back({dx, dy, 0});
+  }
+  const simgpu::KernelConfig config{8, 8, 1, 8, 4, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fast ? simgpu::analyze_warp_accesses_fast(config, arch, spec)
+                                  : simgpu::analyze_warp_accesses(config, arch, spec));
+  }
+}
+BENCHMARK_CAPTURE(BM_CoalescingExactVsFast, exact, false);
+BENCHMARK_CAPTURE(BM_CoalescingExactVsFast, fast, true);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Microbenchmarks: the statistics toolkit (the harness runs one MWU + CLES
+// per heatmap cell).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/effect_size.hpp"
+#include "stats/mann_whitney.hpp"
+
+namespace {
+
+using namespace repro;
+
+std::vector<double> sample(std::size_t n, double shift, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(shift, 1.0);
+  return xs;
+}
+
+void BM_MwuExact(benchmark::State& state) {
+  const auto a = sample(20, 0.0, 1);
+  const auto b = sample(20, 0.5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::mann_whitney_u(a, b));
+  }
+}
+BENCHMARK(BM_MwuExact);
+
+void BM_MwuApprox(benchmark::State& state) {
+  const auto a = sample(static_cast<std::size_t>(state.range(0)), 0.0, 3);
+  const auto b = sample(static_cast<std::size_t>(state.range(0)), 0.3, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::mann_whitney_u(a, b));
+  }
+}
+BENCHMARK(BM_MwuApprox)->Arg(50)->Arg(800);
+
+void BM_Cles(benchmark::State& state) {
+  const auto a = sample(static_cast<std::size_t>(state.range(0)), 0.0, 5);
+  const auto b = sample(static_cast<std::size_t>(state.range(0)), 0.3, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::cles_less(a, b));
+  }
+}
+BENCHMARK(BM_Cles)->Arg(50)->Arg(800);
+
+void BM_RanksWithTies(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : xs) x = static_cast<double>(rng.uniform_int(0, 99));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ranks_with_ties(xs));
+  }
+}
+BENCHMARK(BM_RanksWithTies)->Arg(100)->Arg(1600);
+
+void BM_MedianQuantile(benchmark::State& state) {
+  const auto xs = sample(800, 0.0, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::median(xs));
+    benchmark::DoNotOptimize(stats::quantile(xs, 0.95));
+  }
+}
+BENCHMARK(BM_MedianQuantile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include "common/fmt.hpp"
+#include <stdexcept>
+
+namespace repro {
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  options_[name] = Option{help, default_value, /*is_flag=*/false, /*seen=*/false};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{help, "", /*is_flag=*/true, /*seen=*/false};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), usage().c_str());
+      return false;
+    }
+    Option& opt = it->second;
+    opt.seen = true;
+    if (opt.is_flag) {
+      if (has_inline) {
+        std::fprintf(stderr, "flag --%s does not take a value\n", name.c_str());
+        return false;
+      }
+      opt.value = "1";
+    } else if (has_inline) {
+      opt.value = std::move(inline_value);
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+      opt.value = argv[++i];
+    }
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) throw std::out_of_range("unregistered option: " + name);
+  return it->second.value;
+}
+
+std::optional<std::string> CliParser::get_optional(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || (!it->second.seen && it->second.value.empty())) return std::nullopt;
+  return it->second.value;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  auto it = options_.find(name);
+  return it != options_.end() && it->second.seen;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+std::string CliParser::usage() const {
+  std::string out = fmt("{} — {}\n\noptions:\n", program_, description_);
+  for (const auto& [name, opt] : options_) {
+    out += fmt("  --{:<18} {}{}\n", name, opt.help,
+               (!opt.is_flag && !opt.value.empty())
+                   ? fmt(" (default: {})", opt.value)
+                   : std::string{});
+  }
+  out += "  --help               show this message\n";
+  return out;
+}
+
+}  // namespace repro

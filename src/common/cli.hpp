@@ -1,0 +1,51 @@
+#pragma once
+// Tiny command-line flag parser shared by bench binaries and examples.
+// Supports `--name value`, `--name=value`, boolean `--flag`, and collects
+// positionals. Unknown flags are an error so typos fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register a value-taking option. `help` shows in usage.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+  /// Register a boolean flag (present => true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on error or --help.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> get_optional(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept { return positionals_; }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace repro

@@ -1,0 +1,142 @@
+#include "common/fmt.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace repro {
+
+std::string pad(std::string_view text, std::size_t width, Align align) {
+  if (text.size() >= width) return std::string(text);
+  const std::size_t fill = width - text.size();
+  switch (align) {
+    case Align::kLeft:
+      return std::string(text) + std::string(fill, ' ');
+    case Align::kRight:
+      return std::string(fill, ' ') + std::string(text);
+    case Align::kCenter: {
+      const std::size_t left = fill / 2;
+      return std::string(left, ' ') + std::string(text) + std::string(fill - left, ' ');
+    }
+  }
+  return std::string(text);
+}
+
+std::string fmt_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+namespace detail {
+namespace {
+
+struct Spec {
+  Align align = Align::kLeft;
+  bool align_set = false;
+  std::size_t width = 0;
+  int precision = -1;
+  char type = '\0';
+};
+
+Spec parse_spec(std::string_view spec) {
+  Spec out;
+  std::size_t i = 0;
+  if (i < spec.size() && (spec[i] == '<' || spec[i] == '>' || spec[i] == '^')) {
+    out.align = spec[i] == '<' ? Align::kLeft : spec[i] == '>' ? Align::kRight : Align::kCenter;
+    out.align_set = true;
+    ++i;
+  }
+  while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+    out.width = out.width * 10 + static_cast<std::size_t>(spec[i] - '0');
+    ++i;
+  }
+  if (i < spec.size() && spec[i] == '.') {
+    ++i;
+    out.precision = 0;
+    while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+      out.precision = out.precision * 10 + (spec[i] - '0');
+      ++i;
+    }
+  }
+  if (i < spec.size()) {
+    out.type = spec[i];
+    ++i;
+  }
+  if (i != spec.size()) throw std::invalid_argument("repro::fmt: bad format spec");
+  return out;
+}
+
+std::string render(const FmtValue& value, const Spec& spec) {
+  std::string body;
+  bool numeric = true;
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    body = *s;
+    numeric = false;
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    body = *b ? "true" : "false";
+    numeric = false;
+  } else if (const auto* c = std::get_if<char>(&value)) {
+    body = std::string(1, *c);
+    numeric = false;
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    if (spec.precision >= 0 || spec.type == 'f') {
+      body = fmt_double(*d, spec.precision >= 0 ? spec.precision : 6);
+    } else if (std::isnan(*d)) {
+      body = "nan";
+    } else {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%g", *d);
+      body = buffer;
+    }
+  } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    body = std::to_string(*i);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+    body = std::to_string(*u);
+  }
+  const Align align =
+      spec.align_set ? spec.align : (numeric ? Align::kRight : Align::kLeft);
+  return spec.width > 0 ? pad(body, spec.width, align) : body;
+}
+
+}  // namespace
+
+std::string vformat(std::string_view format, const std::vector<FmtValue>& args) {
+  std::string out;
+  out.reserve(format.size() + args.size() * 8);
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < format.size(); ++i) {
+    const char c = format[i];
+    if (c == '{') {
+      if (i + 1 < format.size() && format[i + 1] == '{') {
+        out += '{';
+        ++i;
+        continue;
+      }
+      const std::size_t close = format.find('}', i);
+      if (close == std::string_view::npos) {
+        throw std::invalid_argument("repro::fmt: unbalanced '{'");
+      }
+      std::string_view field = format.substr(i + 1, close - i - 1);
+      Spec spec;
+      if (!field.empty()) {
+        if (field[0] != ':') throw std::invalid_argument("repro::fmt: expected ':' in field");
+        spec = parse_spec(field.substr(1));
+      }
+      if (next_arg >= args.size()) {
+        throw std::invalid_argument("repro::fmt: not enough arguments");
+      }
+      out += render(args[next_arg++], spec);
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < format.size() && format[i + 1] == '}') ++i;
+      out += '}';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+}  // namespace repro

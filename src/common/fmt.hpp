@@ -1,0 +1,74 @@
+#pragma once
+// Minimal std::format substitute (the toolchain is GCC 12, which lacks
+// <format>). Supports positional "{}" substitution with an optional spec:
+//
+//   {}           default rendering
+//   {:.3f}       fixed floating point with precision
+//   {:8}         right-pad... no: minimum width, right-aligned for numbers,
+//                left-aligned for strings (matching common expectations)
+//   {:<8} {:>8} {:^8}   explicit alignment with width
+//   {:>8.2f}     combined
+//   {{ and }}    literal braces
+//
+// Width and precision must be literals (no nested "{}"), which keeps the
+// parser trivial; call sites needing dynamic width use pad()/fmt_double().
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace repro {
+
+namespace detail {
+
+using FmtValue = std::variant<std::string, double, std::int64_t, std::uint64_t, bool, char>;
+
+template <typename T>
+FmtValue to_fmt_value(T&& value) {
+  using U = std::decay_t<T>;
+  if constexpr (std::is_same_v<U, bool>) {
+    return FmtValue{std::in_place_type<bool>, value};
+  } else if constexpr (std::is_same_v<U, char>) {
+    return FmtValue{std::in_place_type<char>, value};
+  } else if constexpr (std::is_floating_point_v<U>) {
+    return FmtValue{std::in_place_type<double>, static_cast<double>(value)};
+  } else if constexpr (std::is_integral_v<U> && std::is_signed_v<U>) {
+    return FmtValue{std::in_place_type<std::int64_t>, static_cast<std::int64_t>(value)};
+  } else if constexpr (std::is_integral_v<U>) {
+    return FmtValue{std::in_place_type<std::uint64_t>, static_cast<std::uint64_t>(value)};
+  } else if constexpr (std::is_convertible_v<U, std::string_view>) {
+    return FmtValue{std::in_place_type<std::string>,
+                    std::string(std::string_view(value))};
+  } else {
+    static_assert(std::is_convertible_v<U, std::string_view>,
+                  "repro::fmt: unsupported argument type");
+    return FmtValue{std::in_place_type<std::string>, std::string{}};
+  }
+}
+
+std::string vformat(std::string_view format, const std::vector<FmtValue>& args);
+
+}  // namespace detail
+
+/// Format `format` with positional `{}` placeholders.
+template <typename... Args>
+[[nodiscard]] std::string fmt(std::string_view format, Args&&... args) {
+  std::vector<detail::FmtValue> values;
+  values.reserve(sizeof...(Args));
+  (values.push_back(detail::to_fmt_value(std::forward<Args>(args))), ...);
+  return detail::vformat(format, values);
+}
+
+enum class Align { kLeft, kRight, kCenter };
+
+/// Pad `text` to at least `width` columns.
+[[nodiscard]] std::string pad(std::string_view text, std::size_t width,
+                              Align align = Align::kLeft);
+
+/// Fixed-point rendering with `precision` decimals.
+[[nodiscard]] std::string fmt_double(double value, int precision);
+
+}  // namespace repro

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal leveled logger. Harness code logs progress to stderr so bench
+// binaries can keep stdout clean for the tables/series they print.
+
+#include <string>
+#include <string_view>
+
+#include "common/fmt.hpp"
+
+namespace repro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Thread-safe write of one formatted line to stderr.
+void log_message(LogLevel level, std::string_view message);
+
+template <typename... Args>
+void log_debug(std::string_view format, Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, fmt(format, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(std::string_view format, Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, fmt(format, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(std::string_view format, Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, fmt(format, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(std::string_view format, Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, fmt(format, std::forward<Args>(args)...));
+}
+
+}  // namespace repro

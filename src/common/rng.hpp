@@ -1,0 +1,135 @@
+#pragma once
+// Deterministic, platform-independent random number generation.
+//
+// The standard <random> engines are portable but the *distributions* are
+// implementation-defined, which would make experiment results differ between
+// standard libraries. Every stochastic component in this repository therefore
+// draws through this header: a xoshiro256++ engine seeded via splitmix64,
+// plus hand-rolled distributions (Lemire bounded integers, polar-method
+// normals) that produce identical streams on every platform.
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+/// splitmix64 step; used for seeding and for hashing seed material.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine an existing seed with additional material (FNV-like mixing through
+/// splitmix64). Used to derive independent per-experiment streams from a
+/// master seed and structured coordinates (algorithm, benchmark, run index).
+[[nodiscard]] constexpr std::uint64_t seed_combine(std::uint64_t seed, std::uint64_t value) noexcept {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL + (value << 6) + (value >> 2));
+  return splitmix64(s);
+}
+
+/// Hash a string into seed material (FNV-1a folded through splitmix64).
+[[nodiscard]] constexpr std::uint64_t seed_from_string(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(h);
+}
+
+/// xoshiro256++ by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed with splitmix64 expansion so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return std::numeric_limits<std::uint64_t>::max(); }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child generator (for parallel sub-tasks).
+  [[nodiscard]] Rng split() noexcept { return Rng{(*this)() ^ 0xa3ec647659359acdULL}; }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift with rejection.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Marsaglia polar method (portable, no std::normal_distribution).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal multiplicative factor: exp(normal(mu, sigma)).
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Index drawn from the (unnormalized, nonnegative) weight vector.
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+  /// Fisher-Yates shuffle (portable; std::shuffle order is unspecified across libs).
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// k distinct indices from [0, n), uniformly at random (partial Fisher-Yates).
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace repro

@@ -1,0 +1,217 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include "common/fmt.hpp"
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace repro {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table requires at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument(fmt("Table row has {} cells, expected {}",
+                                cells.size(), columns_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render_cell(const Cell& cell) const {
+  if (const auto* text = std::get_if<std::string>(&cell)) return *text;
+  if (const auto* integer = std::get_if<long long>(&cell)) return std::to_string(*integer);
+  const double value = std::get<double>(cell);
+  if (std::isnan(value)) return "nan";
+  return fmt_double(value, precision_);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& out) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out << ',';
+    out << csv_escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(render_cell(row[c]));
+    }
+    out << '\n';
+  }
+}
+
+bool Table::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    log_warn("failed to open {} for writing", path);
+    return false;
+  }
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c ? " | " : "| ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(columns_);
+  out << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& cells : rendered) emit_row(cells);
+  return out.str();
+}
+
+std::string render_heatmap(const std::string& title,
+                           const std::vector<std::string>& row_labels,
+                           const std::vector<std::string>& col_labels,
+                           const std::vector<std::vector<double>>& values, int precision) {
+  static constexpr char kShades[] = {' ', '.', ':', '*', '#', '@'};
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& row : values) {
+    for (double v : row) {
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) { lo = 0.0; hi = 1.0; }
+  const double range = (hi > lo) ? (hi - lo) : 1.0;
+
+  std::size_t label_width = 0;
+  for (const auto& label : row_labels) label_width = std::max(label_width, label.size());
+
+  std::vector<std::size_t> col_width(col_labels.size());
+  std::vector<std::vector<std::string>> cells(values.size());
+  for (std::size_t c = 0; c < col_labels.size(); ++c) col_width[c] = col_labels[c].size();
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    cells[r].resize(values[r].size());
+    for (std::size_t c = 0; c < values[r].size(); ++c) {
+      const double v = values[r][c];
+      std::string body = std::isnan(v) ? std::string("--")
+                                       : fmt_double(v, precision);
+      const int shade_index = std::isnan(v)
+          ? 0
+          : static_cast<int>(std::min(5.0, std::floor((v - lo) / range * 5.999)));
+      cells[r][c] = body + ' ' + kShades[shade_index];
+      if (c < col_width.size()) col_width[c] = std::max(col_width[c], cells[r][c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << title << '\n';
+  out << std::string(label_width + 2, ' ');
+  for (std::size_t c = 0; c < col_labels.size(); ++c) {
+    out << pad(col_labels[c], col_width[c], Align::kRight) << "  ";
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    const std::string& label = r < row_labels.size() ? row_labels[r] : std::string{};
+    out << pad(label, label_width, Align::kLeft) << "  ";
+    for (std::size_t c = 0; c < cells[r].size(); ++c) {
+      out << pad(cells[r][c], col_width[c], Align::kRight) << "  ";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_line_chart(const std::string& title,
+                              const std::vector<std::string>& x_labels,
+                              const std::vector<std::string>& series_names,
+                              const std::vector<std::vector<double>>& series,
+                              std::size_t height) {
+  static constexpr char kGlyphs[] = {'o', 'x', '+', '*', '^', '%', '$', '~'};
+  const std::size_t points = x_labels.size();
+  const std::size_t col_step = 8;
+  const std::size_t width = points * col_step + 2;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double v : s) {
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) { lo = 0.0; hi = 1.0; }
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    for (std::size_t p = 0; p < std::min(points, series[s].size()); ++p) {
+      const double v = series[s][p];
+      if (std::isnan(v)) continue;
+      const double t = (v - lo) / (hi - lo);
+      const std::size_t row = height - 1 -
+          static_cast<std::size_t>(std::lround(t * static_cast<double>(height - 1)));
+      const std::size_t col = p * col_step + col_step / 2;
+      if (row < height && col < width) canvas[row][col] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  out << title << '\n';
+  for (std::size_t r = 0; r < height; ++r) {
+    const double axis_value = hi - (hi - lo) * static_cast<double>(r) / static_cast<double>(height - 1);
+    out << pad(fmt_double(axis_value, 2), 8, Align::kRight) << " |" << canvas[r] << '\n';
+  }
+  out << std::string(9, ' ') << '+' << std::string(width, '-') << '\n';
+  out << std::string(10, ' ');
+  for (const auto& label : x_labels) out << pad(label, 8, Align::kCenter);
+  out << '\n' << "  legend: ";
+  for (std::size_t s = 0; s < series_names.size(); ++s) {
+    out << kGlyphs[s % sizeof(kGlyphs)] << '=' << series_names[s]
+        << (s + 1 < series_names.size() ? "  " : "");
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace repro

@@ -1,0 +1,66 @@
+#pragma once
+// Column-oriented result table with CSV output and fixed-width ASCII
+// rendering. The bench binaries use this for every figure/table so the
+// printed rows and the CSV artifacts always agree.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace repro {
+
+/// One table cell: text, integer, or floating point (rendered with precision).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  [[nodiscard]] std::size_t num_columns() const noexcept { return columns_.size(); }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept { return columns_; }
+  [[nodiscard]] const std::vector<Cell>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Append a row; must have exactly num_columns() cells.
+  void add_row(std::vector<Cell> cells);
+
+  /// Decimal places used when rendering double cells (default 4).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  /// RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  void write_csv(std::ostream& out) const;
+  /// Write CSV to a file path; returns false (and logs) on IO failure.
+  bool write_csv_file(const std::string& path) const;
+
+  /// Fixed-width, pipe-separated ASCII rendering with a header rule.
+  [[nodiscard]] std::string to_ascii() const;
+
+ private:
+  [[nodiscard]] std::string render_cell(const Cell& cell) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+/// Render a matrix of values in [lo, hi] as an ASCII heatmap with row and
+/// column labels; each cell shows the numeric value plus a shade glyph
+/// (' ', '.', ':', '*', '#', '@' from cold to hot). Used to mimic the
+/// paper's heatmap figures in terminal output.
+[[nodiscard]] std::string render_heatmap(const std::string& title,
+                                         const std::vector<std::string>& row_labels,
+                                         const std::vector<std::string>& col_labels,
+                                         const std::vector<std::vector<double>>& values,
+                                         int precision = 1);
+
+/// Render series as an ASCII line chart (one glyph per series) on a
+/// width x height character canvas; x positions are indices into `x_labels`.
+[[nodiscard]] std::string render_line_chart(const std::string& title,
+                                            const std::vector<std::string>& x_labels,
+                                            const std::vector<std::string>& series_names,
+                                            const std::vector<std::vector<double>>& series,
+                                            std::size_t height = 20);
+
+}  // namespace repro

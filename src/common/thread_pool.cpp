@@ -1,0 +1,89 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace repro {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t chunks) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (chunks == 0) chunks = std::min(n, pool.size() * 4);
+  chunks = std::max<std::size_t>(1, std::min(chunks, n));
+  if (chunks == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t cursor = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t lo = cursor;
+    const std::size_t hi = cursor + len;
+    cursor = hi;
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  // Propagate the first failure after all chunks have completed.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t chunks) {
+  parallel_for(ThreadPool::global(), begin, end, body, chunks);
+}
+
+}  // namespace repro

@@ -1,0 +1,115 @@
+#include "harness/aggregate.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/effect_size.hpp"
+#include "stats/mann_whitney.hpp"
+
+namespace repro::harness {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+std::vector<double> valid_outcomes(const CellOutcomes& cell) {
+  std::vector<double> out;
+  out.reserve(cell.final_times_us.size());
+  for (double value : cell.final_times_us) {
+    if (!std::isnan(value)) out.push_back(value);
+  }
+  return out;
+}
+
+CellMatrix percent_of_optimum(const PanelResults& panel) {
+  CellMatrix matrix(panel.cells.size());
+  for (std::size_t a = 0; a < panel.cells.size(); ++a) {
+    matrix[a].assign(panel.cells[a].size(), kNaN);
+    for (std::size_t s = 0; s < panel.cells[a].size(); ++s) {
+      const std::vector<double> outcomes = valid_outcomes(panel.cells[a][s]);
+      if (outcomes.empty()) continue;
+      const double median_time = stats::median(outcomes);
+      matrix[a][s] = panel.optimum_us / median_time * 100.0;
+    }
+  }
+  return matrix;
+}
+
+CellMatrix speedup_over_rs(const PanelResults& panel, std::size_t rs_index) {
+  CellMatrix matrix(panel.cells.size());
+  for (std::size_t a = 0; a < panel.cells.size(); ++a) {
+    matrix[a].assign(panel.cells[a].size(), kNaN);
+    for (std::size_t s = 0; s < panel.cells[a].size(); ++s) {
+      const std::vector<double> rs = valid_outcomes(panel.cells[rs_index][s]);
+      const std::vector<double> algo = valid_outcomes(panel.cells[a][s]);
+      if (rs.empty() || algo.empty()) continue;
+      matrix[a][s] = stats::median(rs) / stats::median(algo);
+    }
+  }
+  return matrix;
+}
+
+CellMatrix cles_over_rs(const PanelResults& panel, std::size_t rs_index) {
+  CellMatrix matrix(panel.cells.size());
+  for (std::size_t a = 0; a < panel.cells.size(); ++a) {
+    matrix[a].assign(panel.cells[a].size(), kNaN);
+    for (std::size_t s = 0; s < panel.cells[a].size(); ++s) {
+      const std::vector<double> rs = valid_outcomes(panel.cells[rs_index][s]);
+      const std::vector<double> algo = valid_outcomes(panel.cells[a][s]);
+      if (rs.empty() || algo.empty()) continue;
+      // Probability that the algorithm's runtime is *lower* than RS's.
+      matrix[a][s] = stats::cles_less(algo, rs);
+    }
+  }
+  return matrix;
+}
+
+CellMatrix mwu_p_vs_rs(const PanelResults& panel, std::size_t rs_index) {
+  CellMatrix matrix(panel.cells.size());
+  for (std::size_t a = 0; a < panel.cells.size(); ++a) {
+    matrix[a].assign(panel.cells[a].size(), kNaN);
+    for (std::size_t s = 0; s < panel.cells[a].size(); ++s) {
+      const std::vector<double> rs = valid_outcomes(panel.cells[rs_index][s]);
+      const std::vector<double> algo = valid_outcomes(panel.cells[a][s]);
+      if (rs.empty() || algo.empty()) continue;
+      matrix[a][s] =
+          stats::mann_whitney_u(algo, rs, stats::Alternative::kTwoSided).p_value;
+    }
+  }
+  return matrix;
+}
+
+std::vector<AggregateSeries> aggregate_percent_of_optimum(const StudyResults& results) {
+  const std::size_t num_algorithms = results.config.algorithms.size();
+  const std::size_t num_sizes = results.config.sample_sizes.size();
+
+  // Collect the per-panel Fig. 2 values.
+  std::vector<std::vector<std::vector<double>>> samples(
+      num_algorithms, std::vector<std::vector<double>>(num_sizes));
+  for (const PanelResults& panel : results.panels) {
+    const CellMatrix matrix = percent_of_optimum(panel);
+    for (std::size_t a = 0; a < num_algorithms; ++a) {
+      for (std::size_t s = 0; s < num_sizes; ++s) {
+        if (!std::isnan(matrix[a][s])) samples[a][s].push_back(matrix[a][s]);
+      }
+    }
+  }
+
+  std::vector<AggregateSeries> series(num_algorithms);
+  for (std::size_t a = 0; a < num_algorithms; ++a) {
+    series[a].mean.assign(num_sizes, kNaN);
+    series[a].ci_lo.assign(num_sizes, kNaN);
+    series[a].ci_hi.assign(num_sizes, kNaN);
+    for (std::size_t s = 0; s < num_sizes; ++s) {
+      if (samples[a][s].empty()) continue;
+      series[a].mean[s] = stats::mean(samples[a][s]);
+      const stats::Interval ci = stats::mean_confidence_interval(samples[a][s], 0.95);
+      series[a].ci_lo[s] = ci.lo;
+      series[a].ci_hi[s] = ci.hi;
+    }
+  }
+  return series;
+}
+
+}  // namespace repro::harness

@@ -1,0 +1,49 @@
+#pragma once
+// Aggregation of study outcomes into the paper's reported quantities:
+//   Fig. 2  — median percentage-of-optimum per cell
+//   Fig. 3  — mean of the Fig. 2 medians across panels, with 95% CI
+//   Fig. 4a — median speedup over Random Search per cell
+//   Fig. 4b — CLES over Random Search per cell (+ MWU significance)
+
+#include <string>
+#include <vector>
+
+#include "harness/study.hpp"
+#include "stats/descriptive.hpp"
+
+namespace repro::harness {
+
+/// Matrix of one scalar per (algorithm, sample size) for one panel;
+/// NaN marks cells with no valid outcomes.
+using CellMatrix = std::vector<std::vector<double>>;
+
+/// Drop NaN outcomes (experiments with no valid configuration).
+[[nodiscard]] std::vector<double> valid_outcomes(const CellOutcomes& cell);
+
+/// Fig. 2 cell: median over experiments of optimum/outcome * 100 (<= 100).
+[[nodiscard]] CellMatrix percent_of_optimum(const PanelResults& panel);
+
+/// Fig. 4a cell: median(RS outcomes) / median(algorithm outcomes).
+/// `rs_index` selects the Random Search row used as the baseline.
+[[nodiscard]] CellMatrix speedup_over_rs(const PanelResults& panel, std::size_t rs_index);
+
+/// Fig. 4b cell: CLES that the algorithm's outcome beats (is lower than)
+/// Random Search's on a random pair of experiments.
+[[nodiscard]] CellMatrix cles_over_rs(const PanelResults& panel, std::size_t rs_index);
+
+/// Two-sided Mann-Whitney U p-value of algorithm vs RS per cell (NaN where
+/// either side is empty).
+[[nodiscard]] CellMatrix mwu_p_vs_rs(const PanelResults& panel, std::size_t rs_index);
+
+struct AggregateSeries {
+  std::vector<double> mean;   ///< per sample size, across panels
+  std::vector<double> ci_lo;
+  std::vector<double> ci_hi;
+};
+
+/// Fig. 3: for each algorithm, the mean (with 95% CI) over all panels of
+/// that panel's Fig. 2 value at each sample size.
+[[nodiscard]] std::vector<AggregateSeries> aggregate_percent_of_optimum(
+    const StudyResults& results);
+
+}  // namespace repro::harness

@@ -1,0 +1,125 @@
+#include "harness/context.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+
+namespace repro::harness {
+
+simgpu::KernelConfig to_kernel_config(const tuner::Configuration& config) {
+  if (config.size() != 6) {
+    throw std::invalid_argument("to_kernel_config: expected 6 parameters");
+  }
+  simgpu::KernelConfig kernel;
+  kernel.coarsen_x = static_cast<std::uint32_t>(config[tuner::kThreadsX]);
+  kernel.coarsen_y = static_cast<std::uint32_t>(config[tuner::kThreadsY]);
+  kernel.coarsen_z = static_cast<std::uint32_t>(config[tuner::kThreadsZ]);
+  kernel.wg_x = static_cast<std::uint32_t>(config[tuner::kWgX]);
+  kernel.wg_y = static_cast<std::uint32_t>(config[tuner::kWgY]);
+  kernel.wg_z = static_cast<std::uint32_t>(config[tuner::kWgZ]);
+  return kernel;
+}
+
+BenchmarkContext::BenchmarkContext(std::shared_ptr<const imagecl::Benchmark> benchmark,
+                                   const simgpu::GpuArch& arch, std::size_t dataset_size,
+                                   std::uint64_t master_seed)
+    : benchmark_(std::move(benchmark)),
+      arch_(arch),
+      space_(tuner::paper_search_space()) {
+  for (const simgpu::PerfModel& pass : benchmark_->passes()) {
+    pass_caches_.push_back(std::make_unique<simgpu::CachedPerfModel>(pass, arch_));
+  }
+  noise_.sigma = arch_.noise_sigma;
+
+  // Exhaustive noiseless sweep over the executable space for the study
+  // optimum; fills the model cache as a side effect.
+  const std::size_t total = simgpu::CachedPerfModel::table_size();
+  std::atomic<double> best{std::numeric_limits<double>::infinity()};
+  repro::parallel_for(0, total, [&](std::size_t index) {
+    const simgpu::KernelConfig kernel = simgpu::CachedPerfModel::unpack(index);
+    if (!kernel.satisfies_wg_constraint()) return;
+    double time = 0.0;
+    for (const auto& cache : pass_caches_) {
+      const double pass_time = cache->time_us(kernel);
+      if (std::isnan(pass_time)) return;
+      time += pass_time;
+    }
+    double current = best.load(std::memory_order_relaxed);
+    while (time < current &&
+           !best.compare_exchange_weak(current, time, std::memory_order_relaxed)) {
+    }
+  });
+  optimum_us_ = best.load();
+  if (!std::isfinite(optimum_us_)) {
+    throw std::runtime_error("BenchmarkContext: no executable configuration found");
+  }
+  log_info("context {}/{}: optimum {:.2f} us", benchmark_->name(), arch_.name,
+           optimum_us_);
+
+  // Pre-collect the non-SMBO dataset (paper Section VI-B), in parallel with
+  // deterministic per-entry seeds.
+  if (dataset_size > 0) {
+    std::vector<tuner::DatasetEntry> entries(dataset_size);
+    repro::parallel_for(0, dataset_size, [&](std::size_t i) {
+      repro::Rng rng(seed_combine(seed_combine(master_seed, seed_from_string(
+                                                                benchmark_->name() + "/" +
+                                                                arch_.name + "/dataset")),
+                                  i));
+      tuner::DatasetEntry& entry = entries[i];
+      entry.config = space_.sample_executable(rng);
+      entry.value = measure_us(entry.config, rng);
+      entry.valid = !std::isnan(entry.value);
+    });
+    dataset_ = tuner::Dataset(std::move(entries));
+  }
+}
+
+double BenchmarkContext::true_time_us(const tuner::Configuration& config) const {
+  if (!space_.in_range(config)) return std::numeric_limits<double>::quiet_NaN();
+  const simgpu::KernelConfig kernel = to_kernel_config(config);
+  double total = 0.0;
+  for (const auto& cache : pass_caches_) {
+    const double pass_time = cache->time_us(kernel);
+    if (std::isnan(pass_time)) return pass_time;
+    total += pass_time;
+  }
+  return total;
+}
+
+double BenchmarkContext::measure_us(const tuner::Configuration& config,
+                                    repro::Rng& rng) const {
+  const double true_time = true_time_us(config);
+  if (std::isnan(true_time)) return true_time;
+  return noise_.sample(true_time, rng);
+}
+
+tuner::Objective BenchmarkContext::make_objective(repro::Rng& rng) const {
+  return [this, &rng](const tuner::Configuration& config) {
+    tuner::Evaluation eval;
+    eval.value = measure_us(config, rng);
+    eval.valid = !std::isnan(eval.value);
+    return eval;
+  };
+}
+
+double BenchmarkContext::measure_repeated_us(const tuner::Configuration& config,
+                                             repro::Rng& rng, std::size_t repeats) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const double value = measure_us(config, rng);
+    if (std::isnan(value)) return value;
+    sum += value;
+  }
+  return sum / static_cast<double>(repeats);
+}
+
+const std::string& BenchmarkContext::benchmark_name() const noexcept {
+  return benchmark_->name();
+}
+
+}  // namespace repro::harness

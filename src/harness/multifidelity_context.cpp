@@ -1,0 +1,76 @@
+#include "harness/multifidelity_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace repro::harness {
+namespace {
+
+/// Scale a side length by sqrt(f), rounded up to a multiple of 8 elements
+/// so row pitches stay 32-byte sector aligned.
+std::uint64_t scaled_side(std::uint64_t side, double fidelity) {
+  const double scaled = static_cast<double>(side) * std::sqrt(fidelity);
+  const auto rounded = static_cast<std::uint64_t>(std::ceil(scaled / 8.0)) * 8;
+  return std::max<std::uint64_t>(8, rounded);
+}
+
+}  // namespace
+
+MultiFidelityContext::MultiFidelityContext(const std::string& benchmark_name,
+                                           const simgpu::GpuArch& arch,
+                                           std::vector<double> levels,
+                                           std::uint64_t master_seed)
+    : full_context_(imagecl::benchmark_by_name(benchmark_name), arch, 0, master_seed),
+      arch_(arch) {
+  noise_.sigma = arch.noise_sigma;
+  const auto& full_spec =
+      imagecl::benchmark_by_name(benchmark_name)->model().spec().extent;
+  for (double level : levels) {
+    if (level <= 0.0 || level >= 1.0) continue;
+    Level entry;
+    entry.benchmark = imagecl::make_benchmark(benchmark_name,
+                                              scaled_side(full_spec.x, level),
+                                              scaled_side(full_spec.y, level));
+    entry.cache =
+        std::make_unique<simgpu::CachedPerfModel>(entry.benchmark->model(), arch_);
+    levels_.emplace(level, std::move(entry));
+  }
+}
+
+double MultiFidelityContext::snap(double fidelity) const {
+  double best = 1.0;
+  double best_distance = std::abs(fidelity - 1.0);
+  for (const auto& [level, entry] : levels_) {
+    const double distance = std::abs(fidelity - level);
+    if (distance < best_distance) {
+      best = level;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+double MultiFidelityContext::true_time_us(const tuner::Configuration& config,
+                                          double fidelity) const {
+  const double level = snap(fidelity);
+  if (level >= 1.0) return full_context_.true_time_us(config);
+  if (!full_context_.space().in_range(config)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return levels_.at(level).cache->time_us(to_kernel_config(config));
+}
+
+tuner::MultiFidelityObjective MultiFidelityContext::make_objective(
+    repro::Rng& rng) const {
+  return [this, &rng](const tuner::Configuration& config, double fidelity) {
+    tuner::Evaluation eval;
+    const double truth = true_time_us(config, fidelity);
+    if (std::isnan(truth)) return eval;
+    eval.value = noise_.sample(truth, rng);
+    eval.valid = true;
+    return eval;
+  };
+}
+
+}  // namespace repro::harness

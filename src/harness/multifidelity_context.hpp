@@ -1,0 +1,50 @@
+#pragma once
+// Multi-fidelity objective for HyperBand/BOHB experiments: fidelity f in
+// (0, 1] selects a proxy problem whose grid holds ~f times the elements
+// (side lengths scaled by sqrt(f), rounded to sector-aligned multiples of
+// 8). Lower fidelities are cheaper but only rank-correlate with the full
+// problem — tile footprints, wave counts and cache residency all shift —
+// which is precisely the trade-off multi-fidelity methods navigate.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "harness/context.hpp"
+#include "tuner/multifidelity/fidelity.hpp"
+
+namespace repro::harness {
+
+class MultiFidelityContext {
+ public:
+  /// `levels` are the fidelities HyperBand will visit (requests snap to the
+  /// nearest level); 1.0 is added automatically if missing.
+  MultiFidelityContext(const std::string& benchmark_name, const simgpu::GpuArch& arch,
+                       std::vector<double> levels, std::uint64_t master_seed);
+
+  /// Full-fidelity context (optimum, measurement, search space).
+  [[nodiscard]] const BenchmarkContext& full() const noexcept { return full_context_; }
+
+  /// Nearest registered fidelity level to `fidelity`.
+  [[nodiscard]] double snap(double fidelity) const;
+
+  /// Noiseless model time at a fidelity level; NaN if invalid.
+  [[nodiscard]] double true_time_us(const tuner::Configuration& config,
+                                    double fidelity) const;
+
+  /// Objective closure bound to an experiment RNG.
+  [[nodiscard]] tuner::MultiFidelityObjective make_objective(repro::Rng& rng) const;
+
+ private:
+  struct Level {
+    std::shared_ptr<const imagecl::Benchmark> benchmark;
+    std::unique_ptr<simgpu::CachedPerfModel> cache;
+  };
+
+  BenchmarkContext full_context_;
+  simgpu::GpuArch arch_;
+  simgpu::NoiseModel noise_;
+  std::map<double, Level> levels_;  ///< partial fidelities only
+};
+
+}  // namespace repro::harness

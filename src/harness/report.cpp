@@ -1,0 +1,141 @@
+#include "harness/report.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fmt.hpp"
+#include "tuner/registry.hpp"
+
+namespace repro::harness {
+namespace {
+
+std::vector<std::string> algorithm_labels(const StudyResults& results) {
+  std::vector<std::string> labels;
+  labels.reserve(results.config.algorithms.size());
+  for (const std::string& id : results.config.algorithms) {
+    labels.push_back(tuner::display_name(id));
+  }
+  return labels;
+}
+
+std::vector<std::string> size_labels(const StudyResults& results) {
+  std::vector<std::string> labels;
+  labels.reserve(results.config.sample_sizes.size());
+  for (std::size_t size : results.config.sample_sizes) {
+    labels.push_back(std::to_string(size));
+  }
+  return labels;
+}
+
+/// Shared shape of Figs. 2/4a/4b: per-panel heatmaps + long-format table.
+FigureOutput render_per_panel(const StudyResults& results, const std::string& figure,
+                              const std::string& metric, int precision,
+                              const std::function<CellMatrix(const PanelResults&)>& cells) {
+  const std::vector<std::string> algos = algorithm_labels(results);
+  const std::vector<std::string> sizes = size_labels(results);
+
+  FigureOutput out{std::string{},
+                   repro::Table({"figure", "benchmark", "architecture", "algorithm",
+                                 "sample_size", metric})};
+  out.text += fmt("=== {} — {} ===\n", figure, metric);
+  for (const PanelResults& panel : results.panels) {
+    const CellMatrix matrix = cells(panel);
+    out.text += render_heatmap(
+        fmt("[{} / {}]  (optimum {:.2f} us)", panel.benchmark, panel.architecture,
+            panel.optimum_us),
+        algos, sizes, matrix, precision);
+    out.text += '\n';
+    for (std::size_t a = 0; a < matrix.size(); ++a) {
+      for (std::size_t s = 0; s < matrix[a].size(); ++s) {
+        out.table.add_row({figure, panel.benchmark, panel.architecture, algos[a],
+                           static_cast<long long>(results.config.sample_sizes[s]),
+                           matrix[a][s]});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t rs_index_of(const StudyResults& results) {
+  for (std::size_t i = 0; i < results.config.algorithms.size(); ++i) {
+    if (results.config.algorithms[i] == "rs") return i;
+  }
+  throw std::runtime_error("Fig. 4 requires Random Search in the algorithm set");
+}
+
+FigureOutput make_fig2(const StudyResults& results) {
+  return render_per_panel(results, "fig2", "percent_of_optimum", 1,
+                          [](const PanelResults& panel) {
+                            return percent_of_optimum(panel);
+                          });
+}
+
+FigureOutput make_fig3(const StudyResults& results) {
+  const std::vector<AggregateSeries> series = aggregate_percent_of_optimum(results);
+  const std::vector<std::string> algos = algorithm_labels(results);
+  const std::vector<std::string> sizes = size_labels(results);
+
+  FigureOutput out{std::string{},
+                   repro::Table({"figure", "algorithm", "sample_size", "mean_percent",
+                                 "ci_lo", "ci_hi"})};
+  std::vector<std::vector<double>> means;
+  means.reserve(series.size());
+  for (const AggregateSeries& s : series) means.push_back(s.mean);
+  out.text += "=== fig3 — mean percentage of optimum across all benchmarks"
+              " and architectures (95% CI) ===\n";
+  out.text += render_line_chart("", sizes, algos, means);
+  out.text += '\n';
+
+  repro::Table detail({"algorithm", "sample_size", "mean", "ci_lo", "ci_hi"});
+  for (std::size_t a = 0; a < series.size(); ++a) {
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      out.table.add_row({std::string("fig3"), algos[a],
+                         static_cast<long long>(results.config.sample_sizes[s]),
+                         series[a].mean[s], series[a].ci_lo[s], series[a].ci_hi[s]});
+      detail.add_row({algos[a], static_cast<long long>(results.config.sample_sizes[s]),
+                      series[a].mean[s], series[a].ci_lo[s], series[a].ci_hi[s]});
+    }
+  }
+  detail.set_precision(2);
+  out.text += detail.to_ascii();
+  return out;
+}
+
+FigureOutput make_fig4a(const StudyResults& results) {
+  const std::size_t rs = rs_index_of(results);
+  return render_per_panel(results, "fig4a", "median_speedup_over_rs", 3,
+                          [rs](const PanelResults& panel) {
+                            return speedup_over_rs(panel, rs);
+                          });
+}
+
+FigureOutput make_fig4b(const StudyResults& results) {
+  const std::size_t rs = rs_index_of(results);
+  FigureOutput out = render_per_panel(results, "fig4b", "cles_over_rs", 2,
+                                      [rs](const PanelResults& panel) {
+                                        return cles_over_rs(panel, rs);
+                                      });
+  // Companion significance report (paper threshold alpha = 0.01).
+  out.text += "--- Mann-Whitney U vs RS: cells with p < 0.01 ---\n";
+  const std::vector<std::string> algos = algorithm_labels(results);
+  for (const PanelResults& panel : results.panels) {
+    const CellMatrix p = mwu_p_vs_rs(panel, rs);
+    std::string line = fmt("[{} / {}] ", panel.benchmark, panel.architecture);
+    bool any = false;
+    for (std::size_t a = 0; a < p.size(); ++a) {
+      for (std::size_t s = 0; s < p[a].size(); ++s) {
+        if (!std::isnan(p[a][s]) && p[a][s] < 0.01) {
+          line += fmt("{}@{} ", algos[a], results.config.sample_sizes[s]);
+          any = true;
+        }
+      }
+    }
+    if (!any) line += "(none)";
+    out.text += line + '\n';
+  }
+  return out;
+}
+
+}  // namespace repro::harness

@@ -1,0 +1,35 @@
+#pragma once
+// Renderers that turn aggregated study results into the paper's figures:
+// ASCII heatmaps / line charts on stdout plus CSV tables mirroring every
+// printed number.
+
+#include <string>
+
+#include "common/table.hpp"
+#include "harness/aggregate.hpp"
+#include "harness/study.hpp"
+
+namespace repro::harness {
+
+struct FigureOutput {
+  std::string text;      ///< human-readable rendering
+  repro::Table table;    ///< same data, one row per printed cell
+};
+
+/// Fig. 2: percentage of optimum performance, one heatmap per panel.
+[[nodiscard]] FigureOutput make_fig2(const StudyResults& results);
+
+/// Fig. 3: aggregate mean-of-medians line plot with 95% CI.
+[[nodiscard]] FigureOutput make_fig3(const StudyResults& results);
+
+/// Fig. 4a: median speedup over Random Search, one heatmap per panel.
+[[nodiscard]] FigureOutput make_fig4a(const StudyResults& results);
+
+/// Fig. 4b: CLES over Random Search with MWU significance markers.
+[[nodiscard]] FigureOutput make_fig4b(const StudyResults& results);
+
+/// Index of the Random Search row in the study's algorithm list; throws
+/// std::runtime_error when RS was excluded (Fig. 4 requires it).
+[[nodiscard]] std::size_t rs_index_of(const StudyResults& results);
+
+}  // namespace repro::harness

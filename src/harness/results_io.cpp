@@ -1,0 +1,130 @@
+#include "harness/results_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace repro::harness {
+namespace {
+
+std::size_t index_of_or_append(std::vector<std::string>& names, const std::string& name) {
+  const auto it = std::find(names.begin(), names.end(), name);
+  if (it != names.end()) return static_cast<std::size_t>(it - names.begin());
+  names.push_back(name);
+  return names.size() - 1;
+}
+
+std::size_t index_of_or_append(std::vector<std::size_t>& values, std::size_t value) {
+  const auto it = std::find(values.begin(), values.end(), value);
+  if (it != values.end()) return static_cast<std::size_t>(it - values.begin());
+  values.push_back(value);
+  return values.size() - 1;
+}
+
+}  // namespace
+
+bool save_results_csv(const StudyResults& results, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << "kind,benchmark,architecture,algorithm,sample_size,experiment,value\n";
+  for (const PanelResults& panel : results.panels) {
+    out << "optimum," << panel.benchmark << ',' << panel.architecture
+        << ",,,," << panel.optimum_us << '\n';
+    for (std::size_t a = 0; a < panel.cells.size(); ++a) {
+      const std::string& algorithm = results.config.algorithms[a];
+      for (std::size_t s = 0; s < panel.cells[a].size(); ++s) {
+        const std::size_t size = results.config.sample_sizes[s];
+        const auto& outcomes = panel.cells[a][s].final_times_us;
+        for (std::size_t e = 0; e < outcomes.size(); ++e) {
+          out << "outcome," << panel.benchmark << ',' << panel.architecture << ','
+              << algorithm << ',' << size << ',' << e << ',' << outcomes[e] << '\n';
+        }
+      }
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+StudyResults load_results_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_results_csv: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("kind,", 0) != 0) {
+    throw std::runtime_error("load_results_csv: bad header in " + path);
+  }
+
+  StudyResults results;
+  auto panel_of = [&](const std::string& benchmark,
+                      const std::string& architecture) -> PanelResults& {
+    for (PanelResults& panel : results.panels) {
+      if (panel.benchmark == benchmark && panel.architecture == architecture) {
+        return panel;
+      }
+    }
+    (void)index_of_or_append(results.config.benchmarks, benchmark);
+    (void)index_of_or_append(results.config.architectures, architecture);
+    results.panels.push_back({});
+    results.panels.back().benchmark = benchmark;
+    results.panels.back().architecture = architecture;
+    return results.panels.back();
+  };
+
+  // Config lists start empty and grow in file order.
+  results.config.benchmarks.clear();
+  results.config.architectures.clear();
+  results.config.algorithms.clear();
+  results.config.sample_sizes.clear();
+
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::stringstream fields(line);
+    std::string kind, benchmark, architecture, algorithm, size_text, exp_text,
+        value_text;
+    if (!std::getline(fields, kind, ',') || !std::getline(fields, benchmark, ',') ||
+        !std::getline(fields, architecture, ',') ||
+        !std::getline(fields, algorithm, ',') ||
+        !std::getline(fields, size_text, ',') ||
+        !std::getline(fields, exp_text, ',') || !std::getline(fields, value_text)) {
+      throw std::runtime_error("load_results_csv: short row at line " +
+                               std::to_string(line_number));
+    }
+    PanelResults& panel = panel_of(benchmark, architecture);
+    if (kind == "optimum") {
+      panel.optimum_us = std::stod(value_text);
+      continue;
+    }
+    if (kind != "outcome") {
+      throw std::runtime_error("load_results_csv: unknown kind at line " +
+                               std::to_string(line_number));
+    }
+    const std::size_t a = index_of_or_append(results.config.algorithms, algorithm);
+    const std::size_t s = index_of_or_append(results.config.sample_sizes,
+                                             std::stoull(size_text));
+    if (panel.cells.size() < results.config.algorithms.size()) {
+      panel.cells.resize(results.config.algorithms.size());
+    }
+    for (auto& row : panel.cells) {
+      if (row.size() < results.config.sample_sizes.size()) {
+        row.resize(results.config.sample_sizes.size());
+      }
+    }
+    panel.cells[a][s].final_times_us.push_back(
+        value_text == "nan" ? std::numeric_limits<double>::quiet_NaN()
+                            : std::stod(value_text));
+  }
+
+  // Cells may have been created lazily per panel; normalize shapes.
+  for (PanelResults& panel : results.panels) {
+    panel.cells.resize(results.config.algorithms.size());
+    for (auto& row : panel.cells) row.resize(results.config.sample_sizes.size());
+  }
+  return results;
+}
+
+}  // namespace repro::harness

@@ -1,0 +1,22 @@
+#pragma once
+// Raw study-outcome persistence: one study run is expensive (it is the
+// whole experimental campaign), while every figure is a cheap aggregation.
+// Saving the raw per-experiment outcomes lets all four figures — and any
+// future analysis — be regenerated without re-running a single search.
+// Long-format CSV: one row per experiment plus one optimum row per panel.
+
+#include <string>
+
+#include "harness/study.hpp"
+
+namespace repro::harness {
+
+/// Write raw outcomes to CSV. Returns false on IO failure.
+bool save_results_csv(const StudyResults& results, const std::string& path);
+
+/// Reload outcomes saved by save_results_csv. Throws std::runtime_error on
+/// malformed input. The reloaded StudyResults carries the config encoded in
+/// the file (benchmarks/architectures/algorithms/sizes in file order).
+[[nodiscard]] StudyResults load_results_csv(const std::string& path);
+
+}  // namespace repro::harness

@@ -1,0 +1,210 @@
+#include "harness/study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "tuner/forest/random_forest.hpp"
+#include "tuner/registry.hpp"
+
+namespace repro::harness {
+
+std::size_t StudyConfig::experiments_for(std::size_t sample_size) const {
+  const double full = static_cast<double>(dataset_target) /
+                      static_cast<double>(sample_size);  // paper: E(S) = 20000/S
+  const auto scaled = static_cast<std::size_t>(std::llround(full / scale_divisor));
+  return std::max(min_experiments, scaled);
+}
+
+std::size_t StudyConfig::dataset_size_needed() const {
+  std::size_t needed = 0;
+  for (std::size_t size : sample_sizes) {
+    needed = std::max(needed, experiments_for(size) * size);
+  }
+  return needed;
+}
+
+const PanelResults& StudyResults::panel(const std::string& benchmark,
+                                        const std::string& architecture) const {
+  for (const PanelResults& p : panels) {
+    if (p.benchmark == benchmark && p.architecture == architecture) return p;
+  }
+  throw std::out_of_range("no panel for " + benchmark + "/" + architecture);
+}
+
+namespace {
+
+/// Paper RS: minimum of the experiment's dataset subdivision; the winning
+/// configuration is then re-measured.
+tuner::Configuration rs_pick(const BenchmarkContext& context, std::size_t sample_size,
+                             std::size_t experiment_index) {
+  const auto slice = context.dataset().subdivision(sample_size, experiment_index);
+  const tuner::DatasetEntry* best = nullptr;
+  for (const tuner::DatasetEntry& entry : slice) {
+    if (!entry.valid) continue;
+    if (best == nullptr || entry.value < best->value) best = &entry;
+  }
+  if (best == nullptr) return {};
+  return best->config;
+}
+
+/// Paper RF (Section VI-B): train on the subdivision's first S-10 samples,
+/// rank an executable candidate pool, measure the top 10 predictions, and
+/// output the best *of those predictions*.
+tuner::Configuration rf_pick(const BenchmarkContext& context, std::size_t sample_size,
+                             std::size_t experiment_index, repro::Rng& rng) {
+  constexpr std::size_t kPredictions = 10;
+  constexpr std::size_t kCandidatePool = 2048;
+  const auto slice = context.dataset().subdivision(sample_size, experiment_index);
+  const std::size_t train_count =
+      slice.size() > kPredictions ? slice.size() - kPredictions : slice.size();
+
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < train_count; ++i) {
+    if (!slice[i].valid) continue;
+    X.push_back(context.space().normalize(slice[i].config));
+    y.push_back(slice[i].value);
+    seen.insert(context.space().encode(slice[i].config));
+  }
+  if (X.size() < 2) return rs_pick(context, sample_size, experiment_index);
+
+  tuner::RandomForestRegressor forest;
+  forest.fit(X, y, rng);
+
+  struct Scored {
+    double prediction;
+    tuner::Configuration config;
+  };
+  std::vector<Scored> pool;
+  pool.reserve(kCandidatePool);
+  for (std::size_t i = 0; i < kCandidatePool; ++i) {
+    tuner::Configuration candidate = context.space().sample_executable(rng);
+    if (seen.contains(context.space().encode(candidate))) continue;
+    pool.push_back({forest.predict(context.space().normalize(candidate)),
+                    std::move(candidate)});
+  }
+  if (pool.empty()) return rs_pick(context, sample_size, experiment_index);
+  const std::size_t keep = std::min<std::size_t>(kPredictions, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + keep, pool.end(),
+                    [](const Scored& a, const Scored& b) {
+                      return a.prediction < b.prediction;
+                    });
+
+  // Measure each top prediction once; the best measurement is the output.
+  const tuner::Configuration* best_config = nullptr;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < keep; ++i) {
+    const double value = context.measure_us(pool[i].config, rng);
+    if (!std::isnan(value) && value < best_value) {
+      best_value = value;
+      best_config = &pool[i].config;
+    }
+  }
+  if (best_config == nullptr) return rs_pick(context, sample_size, experiment_index);
+  return *best_config;
+}
+
+/// SMBO path: budgeted sequential search through the Evaluator.
+tuner::Configuration smbo_pick(const BenchmarkContext& context,
+                               const std::string& algorithm_id, std::size_t sample_size,
+                               repro::Rng& rng) {
+  const tuner::Objective objective = context.make_objective(rng);
+  tuner::Evaluator evaluator(context.space(), objective, sample_size);
+  const auto algorithm = tuner::make_algorithm(algorithm_id);
+  const tuner::TuneResult result = algorithm->minimize(context.space(), evaluator, rng);
+  if (!result.found_valid) return {};
+  return result.best_config;
+}
+
+}  // namespace
+
+double run_single_experiment_indexed(const BenchmarkContext& context,
+                                     const std::string& algorithm_id,
+                                     std::size_t sample_size, std::size_t experiment_index,
+                                     std::size_t final_evaluations, std::uint64_t seed) {
+  repro::Rng rng(seed);
+  tuner::Configuration final_config;
+  if (algorithm_id == "rs") {
+    final_config = rs_pick(context, sample_size, experiment_index);
+  } else if (algorithm_id == "rf") {
+    final_config = rf_pick(context, sample_size, experiment_index, rng);
+  } else {
+    final_config = smbo_pick(context, algorithm_id, sample_size, rng);
+  }
+  if (final_config.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return context.measure_repeated_us(final_config, rng, final_evaluations);
+}
+
+double run_single_experiment(const BenchmarkContext& context,
+                             const std::string& algorithm_id, std::size_t sample_size,
+                             std::size_t final_evaluations, std::uint64_t seed) {
+  return run_single_experiment_indexed(context, algorithm_id, sample_size, 0,
+                                       final_evaluations, seed);
+}
+
+StudyResults run_study(const StudyConfig& config_in) {
+  StudyConfig config = config_in;
+  if (config.algorithms.empty()) config.algorithms = tuner::paper_algorithms();
+
+  StudyResults results;
+  results.config = config;
+
+  const std::size_t dataset_size = config.dataset_size_needed();
+  for (const std::string& benchmark_name : config.benchmarks) {
+    for (const std::string& arch_name : config.architectures) {
+      const simgpu::GpuArch& arch = simgpu::arch_by_name(arch_name);
+      const BenchmarkContext context(imagecl::benchmark_by_name(benchmark_name), arch,
+                                     dataset_size, config.master_seed);
+
+      PanelResults panel;
+      panel.benchmark = benchmark_name;
+      panel.architecture = arch_name;
+      panel.optimum_us = context.optimum_us();
+      panel.cells.assign(config.algorithms.size(), {});
+      for (auto& row : panel.cells) row.assign(config.sample_sizes.size(), {});
+
+      // Flatten (algorithm, size, experiment) into one parallel task list.
+      struct Task {
+        std::size_t algo;
+        std::size_t size_index;
+        std::size_t experiment;
+      };
+      std::vector<Task> tasks;
+      for (std::size_t a = 0; a < config.algorithms.size(); ++a) {
+        for (std::size_t s = 0; s < config.sample_sizes.size(); ++s) {
+          const std::size_t experiments = config.experiments_for(config.sample_sizes[s]);
+          panel.cells[a][s].final_times_us.assign(
+              experiments, std::numeric_limits<double>::quiet_NaN());
+          for (std::size_t e = 0; e < experiments; ++e) tasks.push_back({a, s, e});
+        }
+      }
+
+      repro::parallel_for(0, tasks.size(), [&](std::size_t t) {
+        const Task& task = tasks[t];
+        const std::string& algorithm = config.algorithms[task.algo];
+        const std::size_t sample_size = config.sample_sizes[task.size_index];
+        const std::uint64_t seed = seed_combine(
+            seed_combine(config.master_seed,
+                         seed_from_string(benchmark_name + "/" + arch_name + "/" +
+                                          algorithm)),
+            sample_size * 100003ull + task.experiment);
+        panel.cells[task.algo][task.size_index].final_times_us[task.experiment] =
+            run_single_experiment_indexed(context, algorithm, sample_size,
+                                          task.experiment, config.final_evaluations,
+                                          seed);
+      });
+
+      log_info("panel {}/{} done ({} tasks)", benchmark_name, arch_name, tasks.size());
+      results.panels.push_back(std::move(panel));
+    }
+  }
+  return results;
+}
+
+}  // namespace repro::harness

@@ -1,0 +1,83 @@
+#pragma once
+// Full study driver implementing the paper's experimental design
+// (Sections V and VI): for every benchmark x architecture x algorithm x
+// sample size, run E(S) independent experiments, re-measure each
+// experiment's final configuration 10 times, and collect the outcome
+// distributions that Figs. 2-4 aggregate.
+//
+// Experiment counts follow the paper's rule E(S) = 20000 / S (i.e. 800,
+// 400, 200, 100, 50 for S = 25..400), divided by `scale_divisor` so the
+// default bench run finishes in minutes on one core; --full restores paper
+// scale.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/context.hpp"
+
+namespace repro::harness {
+
+struct StudyConfig {
+  std::vector<std::string> algorithms;     ///< registry ids; default: paper set
+  std::vector<std::string> benchmarks = {"add", "harris", "mandelbrot"};
+  std::vector<std::string> architectures = {"gtx980", "titanv", "rtxtitan"};
+  std::vector<std::size_t> sample_sizes = {25, 50, 100, 200, 400};
+  std::size_t dataset_target = 20000;      ///< paper's non-SMBO dataset size
+  double scale_divisor = 32.0;             ///< 1.0 = paper scale
+  std::size_t min_experiments = 4;
+  std::size_t final_evaluations = 10;
+  std::uint64_t master_seed = 0x5EEDBA5Eu;
+
+  [[nodiscard]] std::size_t experiments_for(std::size_t sample_size) const;
+  /// Dataset entries needed so every (size, experiment) subdivision fits.
+  [[nodiscard]] std::size_t dataset_size_needed() const;
+};
+
+/// Outcome distribution of one study cell.
+struct CellOutcomes {
+  /// Final 10-fold-mean runtime per experiment (microseconds); NaN entries
+  /// (no valid configuration found) are dropped before aggregation.
+  std::vector<double> final_times_us;
+};
+
+struct PanelResults {
+  std::string benchmark;
+  std::string architecture;
+  double optimum_us = 0.0;
+  /// cells[algorithm_index][size_index]
+  std::vector<std::vector<CellOutcomes>> cells;
+};
+
+struct StudyResults {
+  StudyConfig config;
+  std::vector<PanelResults> panels;  ///< benchmark-major, then architecture
+
+  [[nodiscard]] const PanelResults& panel(const std::string& benchmark,
+                                          const std::string& architecture) const;
+};
+
+/// Run the study. Progress is logged to stderr; all experiment work is
+/// parallelized on the global thread pool and fully deterministic in
+/// `config.master_seed`.
+[[nodiscard]] StudyResults run_study(const StudyConfig& config);
+
+/// Run one experiment (used by run_study and unit tests): returns the final
+/// configuration's 10-fold mean runtime, NaN if the algorithm found no
+/// valid configuration. The indexed variant selects which dataset
+/// subdivision the non-SMBO algorithms (rs, rf) consume.
+[[nodiscard]] double run_single_experiment_indexed(const BenchmarkContext& context,
+                                                   const std::string& algorithm_id,
+                                                   std::size_t sample_size,
+                                                   std::size_t experiment_index,
+                                                   std::size_t final_evaluations,
+                                                   std::uint64_t seed);
+
+[[nodiscard]] double run_single_experiment(const BenchmarkContext& context,
+                                           const std::string& algorithm_id,
+                                           std::size_t sample_size,
+                                           std::size_t final_evaluations,
+                                           std::uint64_t seed);
+
+}  // namespace repro::harness

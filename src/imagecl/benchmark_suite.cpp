@@ -1,0 +1,70 @@
+#include "imagecl/benchmark_suite.hpp"
+
+#include <stdexcept>
+
+#include "imagecl/kernels/add.hpp"
+#include "imagecl/kernels/convolution.hpp"
+#include "imagecl/kernels/harris.hpp"
+#include "imagecl/kernels/mandelbrot.hpp"
+#include "imagecl/kernels/separable_convolution.hpp"
+#include "imagecl/kernels/sobel.hpp"
+#include "imagecl/kernels/transpose.hpp"
+
+namespace repro::imagecl {
+
+std::shared_ptr<const Benchmark> make_benchmark(const std::string& name, std::uint64_t x,
+                                                std::uint64_t y) {
+  if (name == "add") {
+    return std::make_shared<Benchmark>("add", add_cost_spec(x, y));
+  }
+  if (name == "harris") {
+    return std::make_shared<Benchmark>("harris", harris_cost_spec(x, y));
+  }
+  if (name == "mandelbrot") {
+    return std::make_shared<Benchmark>("mandelbrot", mandelbrot_cost_spec(x, y));
+  }
+  if (name == "convolution") {
+    return std::make_shared<Benchmark>("convolution", convolution_cost_spec(x, y));
+  }
+  if (name == "sobel") {
+    return std::make_shared<Benchmark>("sobel", sobel_cost_spec(x, y));
+  }
+  if (name == "transpose") {
+    return std::make_shared<Benchmark>("transpose", transpose_cost_spec(x, y));
+  }
+  if (name == "separable") {
+    return std::make_shared<Benchmark>("separable",
+                                       separable_convolution_cost_specs(x, y));
+  }
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+const std::vector<std::shared_ptr<const Benchmark>>& suite() {
+  static const std::vector<std::shared_ptr<const Benchmark>> benchmarks = {
+      make_benchmark("add", kDefaultX, kDefaultY),
+      make_benchmark("harris", kDefaultX, kDefaultY),
+      make_benchmark("mandelbrot", kDefaultX, kDefaultY),
+  };
+  return benchmarks;
+}
+
+const std::vector<std::shared_ptr<const Benchmark>>& extended_suite() {
+  static const std::vector<std::shared_ptr<const Benchmark>> benchmarks = [] {
+    std::vector<std::shared_ptr<const Benchmark>> all = suite();
+    all.push_back(make_benchmark("convolution", kDefaultX, kDefaultY));
+    all.push_back(make_benchmark("sobel", kDefaultX, kDefaultY));
+    all.push_back(make_benchmark("transpose", kDefaultX, kDefaultY));
+    all.push_back(make_benchmark("separable", kDefaultX, kDefaultY));
+    return all;
+  }();
+  return benchmarks;
+}
+
+std::shared_ptr<const Benchmark> benchmark_by_name(const std::string& name) {
+  for (const auto& benchmark : extended_suite()) {
+    if (benchmark->name() == name) return benchmark;
+  }
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+}  // namespace repro::imagecl

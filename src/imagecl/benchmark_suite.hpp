@@ -1,0 +1,64 @@
+#pragma once
+// The ImageCL benchmark suite used in the study: Add, Harris and Mandelbrot
+// with the paper's default problem sizes (X = Y = 8192), bound to the
+// analytical performance model per architecture.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simgpu/arch.hpp"
+#include "simgpu/noise.hpp"
+#include "simgpu/perf_model.hpp"
+
+namespace repro::imagecl {
+
+inline constexpr std::uint64_t kDefaultX = 8192;
+inline constexpr std::uint64_t kDefaultY = 8192;
+
+/// One benchmark of the suite: name + one analytical model per kernel
+/// launch (the functional kernels live in imagecl/kernels/*). Most
+/// benchmarks are single-pass; pipelines like separable convolution launch
+/// several kernels per measurement, all sharing the tuning configuration.
+class Benchmark {
+ public:
+  Benchmark(std::string name, simgpu::KernelCostSpec spec) : name_(std::move(name)) {
+    passes_.emplace_back(std::move(spec));
+  }
+  Benchmark(std::string name, std::vector<simgpu::KernelCostSpec> passes)
+      : name_(std::move(name)) {
+    for (auto& spec : passes) passes_.emplace_back(std::move(spec));
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The primary (first) pass — the whole model for single-pass benchmarks.
+  [[nodiscard]] const simgpu::PerfModel& model() const noexcept { return passes_.front(); }
+  [[nodiscard]] const std::vector<simgpu::PerfModel>& passes() const noexcept {
+    return passes_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<simgpu::PerfModel> passes_;
+};
+
+/// The three paper benchmarks at the default sizes. The returned objects
+/// live for the process lifetime.
+[[nodiscard]] const std::vector<std::shared_ptr<const Benchmark>>& suite();
+
+/// The extended suite: the paper's three plus convolution, sobel, transpose
+/// and the two-pass separable convolution pipeline (the "wider range of
+/// benchmarks" of Section VIII-A).
+[[nodiscard]] const std::vector<std::shared_ptr<const Benchmark>>& extended_suite();
+
+/// Lookup by name over the extended suite ("add", "harris", "mandelbrot",
+/// "convolution", "sobel", "transpose", "separable"); throws
+/// std::out_of_range.
+[[nodiscard]] std::shared_ptr<const Benchmark> benchmark_by_name(const std::string& name);
+
+/// Construct a benchmark at a custom problem size (for tests/ablations).
+[[nodiscard]] std::shared_ptr<const Benchmark> make_benchmark(const std::string& name,
+                                                              std::uint64_t x,
+                                                              std::uint64_t y);
+
+}  // namespace repro::imagecl

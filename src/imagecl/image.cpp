@@ -1,0 +1,58 @@
+#include "imagecl/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+namespace repro::imagecl {
+namespace {
+
+struct Range {
+  float lo = 0.0f;
+  float hi = 1.0f;
+};
+
+Range value_range(const Image<float>& image) {
+  Range range{std::numeric_limits<float>::max(), std::numeric_limits<float>::lowest()};
+  for (float v : image.data()) {
+    range.lo = std::min(range.lo, v);
+    range.hi = std::max(range.hi, v);
+  }
+  if (!(range.hi > range.lo)) range.hi = range.lo + 1.0f;
+  return range;
+}
+
+}  // namespace
+
+bool write_pgm(const Image<float>& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const Range range = value_range(image);
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  for (float v : image.data()) {
+    const float t = (v - range.lo) / (range.hi - range.lo);
+    out.put(static_cast<char>(std::clamp(t, 0.0f, 1.0f) * 255.0f));
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_ppm_colormap(const Image<float>& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const Range range = value_range(image);
+  out << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+  for (float v : image.data()) {
+    const float t = std::clamp((v - range.lo) / (range.hi - range.lo), 0.0f, 1.0f);
+    // Smooth blue -> cyan -> orange ramp.
+    const float r = std::clamp(3.0f * t - 1.2f, 0.0f, 1.0f);
+    const float g = std::clamp(1.6f * t, 0.0f, 1.0f) * 0.9f;
+    const float b = std::clamp(1.0f - 1.4f * (t - 0.3f) * (t - 0.3f), 0.0f, 1.0f);
+    out.put(static_cast<char>(r * 255.0f));
+    out.put(static_cast<char>(g * 255.0f));
+    out.put(static_cast<char>(b * 255.0f));
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace repro::imagecl

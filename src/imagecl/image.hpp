@@ -1,0 +1,55 @@
+#pragma once
+// Row-major image container plus PGM/PPM output used by the examples.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::imagecl {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, T fill = T{})
+      : width_(width), height_(height), data_(width * height, fill) {}
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] T& at(std::size_t x, std::size_t y) { return data_[y * width_ + x]; }
+  [[nodiscard]] const T& at(std::size_t x, std::size_t y) const {
+    return data_[y * width_ + x];
+  }
+
+  /// Border-clamped read (stencil kernels clamp at image edges).
+  [[nodiscard]] T at_clamped(std::int64_t x, std::int64_t y) const {
+    const std::int64_t cx = x < 0 ? 0 : (x >= static_cast<std::int64_t>(width_)
+                                             ? static_cast<std::int64_t>(width_) - 1
+                                             : x);
+    const std::int64_t cy = y < 0 ? 0 : (y >= static_cast<std::int64_t>(height_)
+                                             ? static_cast<std::int64_t>(height_) - 1
+                                             : y);
+    return data_[static_cast<std::size_t>(cy) * width_ + static_cast<std::size_t>(cx)];
+  }
+
+  [[nodiscard]] std::vector<T>& data() noexcept { return data_; }
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<T> data_;
+};
+
+/// Write a grayscale image as binary PGM, linearly normalizing values to
+/// 0..255. Returns false on IO failure.
+bool write_pgm(const Image<float>& image, const std::string& path);
+
+/// Write a false-color (iteration-count style) image as binary PPM using a
+/// smooth blue-orange colormap. Returns false on IO failure.
+bool write_ppm_colormap(const Image<float>& image, const std::string& path);
+
+}  // namespace repro::imagecl

@@ -1,0 +1,50 @@
+#include "imagecl/kernels/add.hpp"
+
+#include <stdexcept>
+
+namespace repro::imagecl {
+
+std::vector<float> add_reference(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("add_reference: size mismatch");
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+void run_add(const simgpu::Device& device, const simgpu::KernelConfig& config,
+             std::uint64_t width, std::uint64_t height,
+             simgpu::TracedBuffer<float>& a, simgpu::TracedBuffer<float>& b,
+             simgpu::TracedBuffer<float>& out, simgpu::TraceRecorder* trace) {
+  if (a.size() != width * height || a.size() != b.size() || a.size() != out.size()) {
+    throw std::invalid_argument("run_add: buffer size mismatch");
+  }
+  const simgpu::GridExtent extent{width, height, 1};
+  device.run(extent, config, [&](const simgpu::ThreadCtx& ctx) {
+    simgpu::for_each_coarsened_element(
+        ctx, config, extent, [&](std::uint64_t x, std::uint64_t y, std::uint64_t) {
+          const std::size_t index = y * width + x;
+          out.write(ctx, index, a.read(ctx, index) + b.read(ctx, index));
+        });
+  }, trace);
+}
+
+simgpu::KernelCostSpec add_cost_spec(std::uint64_t width, std::uint64_t height) {
+  simgpu::KernelCostSpec spec;
+  spec.name = "add";
+  spec.extent = {width, height, 1};
+  spec.flops_per_element = 1.0;
+  spec.element_bytes = 4;
+  simgpu::WarpAccessSpec stream;
+  stream.element_bytes = 4;
+  stream.pitch_x = width;
+  stream.pitch_y = height;
+  stream.offsets = {{0, 0, 0}};
+  spec.loads = {stream, stream};  // two input images
+  spec.stores = {stream};
+  spec.regs_base = 14;
+  spec.regs_per_extra_element = 1.5;
+  spec.ilp = 4.0;  // independent elements, fully pipelined
+  return spec;
+}
+
+}  // namespace repro::imagecl

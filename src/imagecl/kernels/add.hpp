@@ -1,0 +1,32 @@
+#pragma once
+// The ImageCL "Add" benchmark: element-wise addition of two images (the
+// paper runs every benchmark at X = Y = 8192, Section V-D). Pure streaming:
+// memory-bound, no reuse, no divergence — the tuning landscape is carved by
+// coalescing, occupancy and device fill alone, which makes it the
+// "simple" end of the suite.
+
+#include <cstdint>
+#include <vector>
+
+#include "simgpu/device.hpp"
+#include "simgpu/perf_model.hpp"
+
+namespace repro::imagecl {
+
+/// Scalar reference: out[i] = a[i] + b[i].
+[[nodiscard]] std::vector<float> add_reference(const std::vector<float>& a,
+                                               const std::vector<float>& b);
+
+/// Run the Add kernel on the simulated device over a width-by-height grid;
+/// buffers hold width*height elements row-major.
+void run_add(const simgpu::Device& device, const simgpu::KernelConfig& config,
+             std::uint64_t width, std::uint64_t height,
+             simgpu::TracedBuffer<float>& a, simgpu::TracedBuffer<float>& b,
+             simgpu::TracedBuffer<float>& out,
+             simgpu::TraceRecorder* trace = nullptr);
+
+/// Analytical cost description for a width-by-height image.
+[[nodiscard]] simgpu::KernelCostSpec add_cost_spec(std::uint64_t width,
+                                                   std::uint64_t height);
+
+}  // namespace repro::imagecl

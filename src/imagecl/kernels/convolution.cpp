@@ -1,0 +1,110 @@
+#include "imagecl/kernels/convolution.hpp"
+
+#include <stdexcept>
+
+namespace repro::imagecl {
+
+const std::array<float, 25>& gaussian5x5() {
+  // Outer product of binomial (1, 4, 6, 4, 1) / 16.
+  static const std::array<float, 25> weights = [] {
+    const float row[5] = {1.0f, 4.0f, 6.0f, 4.0f, 1.0f};
+    std::array<float, 25> out{};
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) out[y * 5 + x] = row[y] * row[x] / 256.0f;
+    }
+    return out;
+  }();
+  return weights;
+}
+
+namespace {
+
+template <typename ReadFn>
+float convolve_at(std::int64_t x, std::int64_t y, ReadFn&& read) {
+  const auto& weights = gaussian5x5();
+  float sum = 0.0f;
+  const auto radius = static_cast<std::int64_t>(kConvolutionRadius);
+  for (std::int64_t v = -radius; v <= radius; ++v) {
+    for (std::int64_t u = -radius; u <= radius; ++u) {
+      sum += weights[(v + radius) * 5 + (u + radius)] * read(x + u, y + v);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Image<float> convolution_reference(const Image<float>& input) {
+  Image<float> out(input.width(), input.height());
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      out.at(x, y) = convolve_at(
+          static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+          [&](std::int64_t px, std::int64_t py) { return input.at_clamped(px, py); });
+    }
+  }
+  return out;
+}
+
+void run_convolution(const simgpu::Device& device, const simgpu::KernelConfig& config,
+                     const Image<float>& input, simgpu::TracedBuffer<float>& in_buffer,
+                     simgpu::TracedBuffer<float>& out_buffer,
+                     simgpu::TraceRecorder* trace) {
+  const std::uint64_t width = input.width();
+  const std::uint64_t height = input.height();
+  if (in_buffer.size() != width * height || out_buffer.size() != width * height) {
+    throw std::invalid_argument("run_convolution: buffer size mismatch");
+  }
+  const simgpu::GridExtent extent{width, height, 1};
+  const auto w = static_cast<std::int64_t>(width);
+  const auto h = static_cast<std::int64_t>(height);
+  device.run(extent, config, [&](const simgpu::ThreadCtx& ctx) {
+    simgpu::for_each_coarsened_element(
+        ctx, config, extent, [&](std::uint64_t x, std::uint64_t y, std::uint64_t) {
+          const float value = convolve_at(
+              static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+              [&](std::int64_t px, std::int64_t py) {
+                const std::int64_t cx = px < 0 ? 0 : (px >= w ? w - 1 : px);
+                const std::int64_t cy = py < 0 ? 0 : (py >= h ? h - 1 : py);
+                return in_buffer.read(ctx, static_cast<std::size_t>(cy * w + cx));
+              });
+          out_buffer.write(ctx, y * width + x, value);
+        });
+  }, trace);
+}
+
+simgpu::KernelCostSpec convolution_cost_spec(std::uint64_t width, std::uint64_t height) {
+  simgpu::KernelCostSpec spec;
+  spec.name = "convolution";
+  spec.extent = {width, height, 1};
+  spec.flops_per_element = 25.0 * 2.0;  // multiply-add per tap
+  spec.element_bytes = 4;
+
+  simgpu::WarpAccessSpec stencil;
+  stencil.element_bytes = 4;
+  stencil.pitch_x = width;
+  stencil.pitch_y = height;
+  stencil.offsets.clear();
+  const auto radius = static_cast<std::int32_t>(kConvolutionRadius);
+  for (std::int32_t dy = -radius; dy <= radius; ++dy) {
+    for (std::int32_t dx = -radius; dx <= radius; ++dx) {
+      stencil.offsets.push_back({dx, dy, 0});
+    }
+  }
+  spec.loads = {stencil};
+
+  simgpu::WarpAccessSpec store;
+  store.element_bytes = 4;
+  store.pitch_x = width;
+  store.pitch_y = height;
+  spec.stores = {store};
+
+  spec.shared_tiling_available = true;
+  spec.stencil_radius = kConvolutionRadius;
+  spec.regs_base = 26;
+  spec.regs_per_extra_element = 2.5;
+  spec.ilp = 2.5;
+  return spec;
+}
+
+}  // namespace repro::imagecl

@@ -1,0 +1,35 @@
+#pragma once
+// Extended-suite benchmark: 5x5 Gaussian convolution (the blur kernel the
+// ImageCL/AUMA papers evaluate). A classic stencil: lighter arithmetic than
+// Harris but the same shared-memory tiling trade-off at radius 2.
+// Part of the "wider range of benchmarks" the paper lists as current work
+// (Section VIII-A, citing the BAT suite).
+
+#include <array>
+#include <cstdint>
+
+#include "imagecl/image.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/perf_model.hpp"
+
+namespace repro::imagecl {
+
+inline constexpr std::uint32_t kConvolutionRadius = 2;  ///< 5x5 kernel
+
+/// The 5x5 Gaussian weights (integer binomial approximation, normalized).
+[[nodiscard]] const std::array<float, 25>& gaussian5x5();
+
+/// Scalar reference convolution (border-clamped).
+[[nodiscard]] Image<float> convolution_reference(const Image<float>& input);
+
+/// Run the convolution kernel on the simulated device.
+void run_convolution(const simgpu::Device& device, const simgpu::KernelConfig& config,
+                     const Image<float>& input, simgpu::TracedBuffer<float>& in_buffer,
+                     simgpu::TracedBuffer<float>& out_buffer,
+                     simgpu::TraceRecorder* trace = nullptr);
+
+/// Analytical cost description for a width-by-height image.
+[[nodiscard]] simgpu::KernelCostSpec convolution_cost_spec(std::uint64_t width,
+                                                           std::uint64_t height);
+
+}  // namespace repro::imagecl

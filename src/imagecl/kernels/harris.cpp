@@ -1,0 +1,119 @@
+#include "imagecl/kernels/harris.hpp"
+
+#include <stdexcept>
+
+namespace repro::imagecl {
+namespace {
+
+/// Harris response at (x, y) reading pixels through `read(x, y)` (which must
+/// clamp at borders). Shared by the scalar reference and the device kernel
+/// so functional equivalence is by construction of the *access path*, not
+/// the arithmetic.
+template <typename ReadFn>
+float harris_response_at(std::int64_t x, std::int64_t y, ReadFn&& read) {
+  float sum_ixx = 0.0f;
+  float sum_iyy = 0.0f;
+  float sum_ixy = 0.0f;
+  const auto radius = static_cast<std::int64_t>(kHarrisWindowRadius);
+  for (std::int64_t v = -radius; v <= radius; ++v) {
+    for (std::int64_t u = -radius; u <= radius; ++u) {
+      const std::int64_t px = x + u;
+      const std::int64_t py = y + v;
+      // Sobel gradients, recomputed per window position (single-pass style).
+      const float tl = read(px - 1, py - 1), tc = read(px, py - 1), tr = read(px + 1, py - 1);
+      const float ml = read(px - 1, py), mr = read(px + 1, py);
+      const float bl = read(px - 1, py + 1), bc = read(px, py + 1), br = read(px + 1, py + 1);
+      const float ix = (tr + 2.0f * mr + br) - (tl + 2.0f * ml + bl);
+      const float iy = (bl + 2.0f * bc + br) - (tl + 2.0f * tc + tr);
+      sum_ixx += ix * ix;
+      sum_iyy += iy * iy;
+      sum_ixy += ix * iy;
+    }
+  }
+  const float det = sum_ixx * sum_iyy - sum_ixy * sum_ixy;
+  const float trace = sum_ixx + sum_iyy;
+  return det - static_cast<float>(kHarrisK) * trace * trace;
+}
+
+}  // namespace
+
+Image<float> harris_reference(const Image<float>& input) {
+  Image<float> out(input.width(), input.height());
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      out.at(x, y) = harris_response_at(
+          static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+          [&](std::int64_t px, std::int64_t py) { return input.at_clamped(px, py); });
+    }
+  }
+  return out;
+}
+
+void run_harris(const simgpu::Device& device, const simgpu::KernelConfig& config,
+                const Image<float>& input, simgpu::TracedBuffer<float>& in_buffer,
+                simgpu::TracedBuffer<float>& out_buffer, simgpu::TraceRecorder* trace) {
+  const std::uint64_t width = input.width();
+  const std::uint64_t height = input.height();
+  if (in_buffer.size() != width * height || out_buffer.size() != width * height) {
+    throw std::invalid_argument("run_harris: buffer size mismatch");
+  }
+  const simgpu::GridExtent extent{width, height, 1};
+  const auto w = static_cast<std::int64_t>(width);
+  const auto h = static_cast<std::int64_t>(height);
+  device.run(extent, config, [&](const simgpu::ThreadCtx& ctx) {
+    simgpu::for_each_coarsened_element(
+        ctx, config, extent, [&](std::uint64_t x, std::uint64_t y, std::uint64_t) {
+          const float response = harris_response_at(
+              static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+              [&](std::int64_t px, std::int64_t py) {
+                const std::int64_t cx = px < 0 ? 0 : (px >= w ? w - 1 : px);
+                const std::int64_t cy = py < 0 ? 0 : (py >= h ? h - 1 : py);
+                return in_buffer.read(ctx, static_cast<std::size_t>(cy * w + cx));
+              });
+          out_buffer.write(ctx, y * width + x, response);
+        });
+  }, trace);
+}
+
+simgpu::KernelCostSpec harris_cost_spec(std::uint64_t width, std::uint64_t height) {
+  simgpu::KernelCostSpec spec;
+  spec.name = "harris";
+  spec.extent = {width, height, 1};
+  // Per window position: 2 Sobel filters (~11 flops each) + 3 products +
+  // 3 accumulations => ~28 flops, over 25 positions, plus the response.
+  spec.flops_per_element = 25.0 * 28.0 + 10.0;
+  spec.element_bytes = 4;
+
+  // Direct path: the unique 7x7 halo footprint per output element (register
+  // / L1 reuse collapses the ~225 raw reads onto the unique pixels).
+  simgpu::WarpAccessSpec stencil;
+  stencil.element_bytes = 4;
+  stencil.pitch_x = width;
+  stencil.pitch_y = height;
+  const auto radius = static_cast<std::int32_t>(kHarrisHaloRadius);
+  stencil.offsets.clear();
+  for (std::int32_t dy = -radius; dy <= radius; ++dy) {
+    for (std::int32_t dx = -radius; dx <= radius; ++dx) {
+      stencil.offsets.push_back({dx, dy, 0});
+    }
+  }
+  spec.loads = {stencil};
+
+  simgpu::WarpAccessSpec store;
+  store.element_bytes = 4;
+  store.pitch_x = width;
+  store.pitch_y = height;
+  store.offsets = {{0, 0, 0}};
+  spec.stores = {store};
+
+  spec.shared_tiling_available = true;
+  spec.stencil_radius = kHarrisHaloRadius;
+  spec.tiled_buffers = 1;
+
+  spec.regs_base = 40;
+  spec.regs_per_extra_element = 3.0;
+  spec.ilp = 2.0;
+  return spec;
+}
+
+}  // namespace repro::imagecl

@@ -1,0 +1,38 @@
+#pragma once
+// The ImageCL "Harris" benchmark: Harris corner detection on an X-by-Y image
+// (paper Section V-D; 8192x8192 by default).
+//
+// Per output pixel the kernel computes the structure tensor over a 5x5
+// window of Sobel gradients (gradients recomputed in-window, single-pass
+// ImageCL style) and the Harris response R = det(M) - k*trace(M)^2 with
+// k = 0.04. The stencil halo is radius 3 (window radius 2 + Sobel radius 1);
+// the cost model exposes both a direct-read path and a shared-memory tile
+// path whose capacity knee is a central landscape feature.
+
+#include <cstdint>
+
+#include "imagecl/image.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/perf_model.hpp"
+
+namespace repro::imagecl {
+
+inline constexpr double kHarrisK = 0.04;
+inline constexpr std::uint32_t kHarrisWindowRadius = 2;  ///< 5x5 window
+inline constexpr std::uint32_t kHarrisSobelRadius = 1;
+inline constexpr std::uint32_t kHarrisHaloRadius = kHarrisWindowRadius + kHarrisSobelRadius;
+
+/// Scalar reference Harris response (border-clamped).
+[[nodiscard]] Image<float> harris_reference(const Image<float>& input);
+
+/// Run the Harris kernel on the simulated device.
+void run_harris(const simgpu::Device& device, const simgpu::KernelConfig& config,
+                const Image<float>& input, simgpu::TracedBuffer<float>& in_buffer,
+                simgpu::TracedBuffer<float>& out_buffer,
+                simgpu::TraceRecorder* trace = nullptr);
+
+/// Analytical cost description for a width-by-height image.
+[[nodiscard]] simgpu::KernelCostSpec harris_cost_spec(std::uint64_t width,
+                                                      std::uint64_t height);
+
+}  // namespace repro::imagecl

@@ -1,0 +1,144 @@
+#include "imagecl/kernels/separable_convolution.hpp"
+
+#include <stdexcept>
+
+namespace repro::imagecl {
+
+const std::array<float, 5>& binomial5() {
+  static const std::array<float, 5> weights = {1.0f / 16.0f, 4.0f / 16.0f,
+                                               6.0f / 16.0f, 4.0f / 16.0f,
+                                               1.0f / 16.0f};
+  return weights;
+}
+
+namespace {
+
+template <typename ReadFn>
+float convolve_row(std::int64_t x, std::int64_t y, ReadFn&& read) {
+  float sum = 0.0f;
+  for (std::int64_t u = -2; u <= 2; ++u) {
+    sum += binomial5()[u + 2] * read(x + u, y);
+  }
+  return sum;
+}
+
+template <typename ReadFn>
+float convolve_column(std::int64_t x, std::int64_t y, ReadFn&& read) {
+  float sum = 0.0f;
+  for (std::int64_t v = -2; v <= 2; ++v) {
+    sum += binomial5()[v + 2] * read(x, y + v);
+  }
+  return sum;
+}
+
+}  // namespace
+
+Image<float> separable_convolution_reference(const Image<float>& input) {
+  Image<float> horizontal(input.width(), input.height());
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      horizontal.at(x, y) = convolve_row(
+          static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+          [&](std::int64_t px, std::int64_t py) { return input.at_clamped(px, py); });
+    }
+  }
+  Image<float> out(input.width(), input.height());
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      out.at(x, y) = convolve_column(
+          static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+          [&](std::int64_t px, std::int64_t py) {
+            return horizontal.at_clamped(px, py);
+          });
+    }
+  }
+  return out;
+}
+
+void run_separable_convolution(const simgpu::Device& device,
+                               const simgpu::KernelConfig& config,
+                               const Image<float>& input,
+                               simgpu::TracedBuffer<float>& in_buffer,
+                               simgpu::TracedBuffer<float>& scratch,
+                               simgpu::TracedBuffer<float>& out_buffer,
+                               simgpu::TraceRecorder* trace) {
+  const std::uint64_t width = input.width();
+  const std::uint64_t height = input.height();
+  if (in_buffer.size() != width * height || scratch.size() != width * height ||
+      out_buffer.size() != width * height) {
+    throw std::invalid_argument("run_separable_convolution: buffer size mismatch");
+  }
+  const simgpu::GridExtent extent{width, height, 1};
+  const auto w = static_cast<std::int64_t>(width);
+  const auto h = static_cast<std::int64_t>(height);
+  const auto clamp_x = [w](std::int64_t x) { return x < 0 ? 0 : (x >= w ? w - 1 : x); };
+  const auto clamp_y = [h](std::int64_t y) { return y < 0 ? 0 : (y >= h ? h - 1 : y); };
+
+  // Pass 1: rows, input -> scratch.
+  device.run(extent, config, [&](const simgpu::ThreadCtx& ctx) {
+    simgpu::for_each_coarsened_element(
+        ctx, config, extent, [&](std::uint64_t x, std::uint64_t y, std::uint64_t) {
+          const float value = convolve_row(
+              static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+              [&](std::int64_t px, std::int64_t py) {
+                return in_buffer.read(
+                    ctx, static_cast<std::size_t>(py * w + clamp_x(px)));
+              });
+          scratch.write(ctx, y * width + x, value);
+        });
+  }, trace);
+
+  // Pass 2: columns, scratch -> out.
+  device.run(extent, config, [&](const simgpu::ThreadCtx& ctx) {
+    simgpu::for_each_coarsened_element(
+        ctx, config, extent, [&](std::uint64_t x, std::uint64_t y, std::uint64_t) {
+          const float value = convolve_column(
+              static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+              [&](std::int64_t px, std::int64_t py) {
+                return scratch.read(
+                    ctx, static_cast<std::size_t>(clamp_y(py) * w + px));
+              });
+          out_buffer.write(ctx, y * width + x, value);
+        });
+  }, trace);
+}
+
+std::vector<simgpu::KernelCostSpec> separable_convolution_cost_specs(
+    std::uint64_t width, std::uint64_t height) {
+  const auto radius = static_cast<std::int32_t>(kSeparableRadius);
+
+  simgpu::KernelCostSpec rows;
+  rows.name = "separable_rows";
+  rows.extent = {width, height, 1};
+  rows.flops_per_element = 5.0 * 2.0;
+  rows.element_bytes = 4;
+  simgpu::WarpAccessSpec row_loads;
+  row_loads.element_bytes = 4;
+  row_loads.pitch_x = width;
+  row_loads.pitch_y = height;
+  row_loads.offsets.clear();
+  for (std::int32_t dx = -radius; dx <= radius; ++dx) row_loads.offsets.push_back({dx, 0, 0});
+  rows.loads = {row_loads};
+  simgpu::WarpAccessSpec store;
+  store.element_bytes = 4;
+  store.pitch_x = width;
+  store.pitch_y = height;
+  rows.stores = {store};
+  rows.shared_tiling_available = false;  // 1-D halo: L1/L2 suffice
+  rows.regs_base = 18;
+  rows.regs_per_extra_element = 2.0;
+  rows.ilp = 3.0;
+
+  simgpu::KernelCostSpec columns = rows;
+  columns.name = "separable_columns";
+  simgpu::WarpAccessSpec column_loads = row_loads;
+  column_loads.offsets.clear();
+  for (std::int32_t dy = -radius; dy <= radius; ++dy) {
+    column_loads.offsets.push_back({0, dy, 0});
+  }
+  columns.loads = {column_loads};
+
+  return {rows, columns};
+}
+
+}  // namespace repro::imagecl

@@ -1,0 +1,44 @@
+#pragma once
+// Extended-suite benchmark: separable 5x5 Gaussian convolution — the
+// two-pass pipeline from the original ImageCL/AUMA evaluation (Falch &
+// Elster 2017 tuned separable convolution among their OpenCL benchmarks).
+//
+// Pass 1 convolves rows with the 1-D binomial kernel into an intermediate
+// buffer; pass 2 convolves the intermediate's columns. Both launches share
+// the one tuning configuration, so the tuner must trade off a row-friendly
+// against a column-friendly shape — a qualitatively different landscape
+// from any single-pass kernel. The end-to-end result equals the dense 5x5
+// convolution up to border handling (verified in tests for the interior).
+
+#include <array>
+#include <cstdint>
+
+#include "imagecl/image.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/perf_model.hpp"
+
+namespace repro::imagecl {
+
+inline constexpr std::uint32_t kSeparableRadius = 2;  ///< 1-D kernel 1 4 6 4 1
+
+/// The normalized 1-D binomial kernel (1, 4, 6, 4, 1) / 16.
+[[nodiscard]] const std::array<float, 5>& binomial5();
+
+/// Scalar reference: horizontal then vertical pass (border-clamped).
+[[nodiscard]] Image<float> separable_convolution_reference(const Image<float>& input);
+
+/// Run both passes on the simulated device with one configuration.
+/// `scratch` holds the intermediate image (same size as input/output).
+void run_separable_convolution(const simgpu::Device& device,
+                               const simgpu::KernelConfig& config,
+                               const Image<float>& input,
+                               simgpu::TracedBuffer<float>& in_buffer,
+                               simgpu::TracedBuffer<float>& scratch,
+                               simgpu::TracedBuffer<float>& out_buffer,
+                               simgpu::TraceRecorder* trace = nullptr);
+
+/// Analytical cost descriptions: one spec per pass (row pass, column pass).
+[[nodiscard]] std::vector<simgpu::KernelCostSpec> separable_convolution_cost_specs(
+    std::uint64_t width, std::uint64_t height);
+
+}  // namespace repro::imagecl

@@ -1,0 +1,90 @@
+#include "imagecl/kernels/sobel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::imagecl {
+namespace {
+
+template <typename ReadFn>
+float sobel_at(std::int64_t x, std::int64_t y, ReadFn&& read) {
+  const float tl = read(x - 1, y - 1), tc = read(x, y - 1), tr = read(x + 1, y - 1);
+  const float ml = read(x - 1, y), mr = read(x + 1, y);
+  const float bl = read(x - 1, y + 1), bc = read(x, y + 1), br = read(x + 1, y + 1);
+  const float gx = (tr + 2.0f * mr + br) - (tl + 2.0f * ml + bl);
+  const float gy = (bl + 2.0f * bc + br) - (tl + 2.0f * tc + tr);
+  return std::sqrt(gx * gx + gy * gy);
+}
+
+}  // namespace
+
+Image<float> sobel_reference(const Image<float>& input) {
+  Image<float> out(input.width(), input.height());
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      out.at(x, y) = sobel_at(
+          static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+          [&](std::int64_t px, std::int64_t py) { return input.at_clamped(px, py); });
+    }
+  }
+  return out;
+}
+
+void run_sobel(const simgpu::Device& device, const simgpu::KernelConfig& config,
+               const Image<float>& input, simgpu::TracedBuffer<float>& in_buffer,
+               simgpu::TracedBuffer<float>& out_buffer, simgpu::TraceRecorder* trace) {
+  const std::uint64_t width = input.width();
+  const std::uint64_t height = input.height();
+  if (in_buffer.size() != width * height || out_buffer.size() != width * height) {
+    throw std::invalid_argument("run_sobel: buffer size mismatch");
+  }
+  const simgpu::GridExtent extent{width, height, 1};
+  const auto w = static_cast<std::int64_t>(width);
+  const auto h = static_cast<std::int64_t>(height);
+  device.run(extent, config, [&](const simgpu::ThreadCtx& ctx) {
+    simgpu::for_each_coarsened_element(
+        ctx, config, extent, [&](std::uint64_t x, std::uint64_t y, std::uint64_t) {
+          const float value = sobel_at(
+              static_cast<std::int64_t>(x), static_cast<std::int64_t>(y),
+              [&](std::int64_t px, std::int64_t py) {
+                const std::int64_t cx = px < 0 ? 0 : (px >= w ? w - 1 : px);
+                const std::int64_t cy = py < 0 ? 0 : (py >= h ? h - 1 : py);
+                return in_buffer.read(ctx, static_cast<std::size_t>(cy * w + cx));
+              });
+          out_buffer.write(ctx, y * width + x, value);
+        });
+  }, trace);
+}
+
+simgpu::KernelCostSpec sobel_cost_spec(std::uint64_t width, std::uint64_t height) {
+  simgpu::KernelCostSpec spec;
+  spec.name = "sobel";
+  spec.extent = {width, height, 1};
+  spec.flops_per_element = 22.0 + 8.0;  // two filters + magnitude (sqrt ~ 8)
+  spec.element_bytes = 4;
+
+  simgpu::WarpAccessSpec stencil;
+  stencil.element_bytes = 4;
+  stencil.pitch_x = width;
+  stencil.pitch_y = height;
+  stencil.offsets.clear();
+  for (std::int32_t dy = -1; dy <= 1; ++dy) {
+    for (std::int32_t dx = -1; dx <= 1; ++dx) stencil.offsets.push_back({dx, dy, 0});
+  }
+  spec.loads = {stencil};
+
+  simgpu::WarpAccessSpec store;
+  store.element_bytes = 4;
+  store.pitch_x = width;
+  store.pitch_y = height;
+  spec.stores = {store};
+
+  spec.shared_tiling_available = true;
+  spec.stencil_radius = 1;
+  spec.regs_base = 22;
+  spec.regs_per_extra_element = 2.0;
+  spec.ilp = 3.0;
+  return spec;
+}
+
+}  // namespace repro::imagecl

@@ -1,0 +1,27 @@
+#pragma once
+// Extended-suite benchmark: Sobel edge magnitude. The lightest stencil in
+// the suite (radius 1) — memory-bound with modest reuse, so its landscape
+// sits between Add (pure streaming) and Harris (heavy stencil).
+
+#include <cstdint>
+
+#include "imagecl/image.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/perf_model.hpp"
+
+namespace repro::imagecl {
+
+/// Scalar reference Sobel gradient magnitude (border-clamped).
+[[nodiscard]] Image<float> sobel_reference(const Image<float>& input);
+
+/// Run the Sobel kernel on the simulated device.
+void run_sobel(const simgpu::Device& device, const simgpu::KernelConfig& config,
+               const Image<float>& input, simgpu::TracedBuffer<float>& in_buffer,
+               simgpu::TracedBuffer<float>& out_buffer,
+               simgpu::TraceRecorder* trace = nullptr);
+
+/// Analytical cost description for a width-by-height image.
+[[nodiscard]] simgpu::KernelCostSpec sobel_cost_spec(std::uint64_t width,
+                                                     std::uint64_t height);
+
+}  // namespace repro::imagecl

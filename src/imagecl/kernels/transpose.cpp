@@ -1,0 +1,63 @@
+#include "imagecl/kernels/transpose.hpp"
+
+#include <stdexcept>
+
+namespace repro::imagecl {
+
+Image<float> transpose_reference(const Image<float>& input) {
+  Image<float> out(input.height(), input.width());
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      out.at(y, x) = input.at(x, y);
+    }
+  }
+  return out;
+}
+
+void run_transpose(const simgpu::Device& device, const simgpu::KernelConfig& config,
+                   const Image<float>& input, simgpu::TracedBuffer<float>& in_buffer,
+                   simgpu::TracedBuffer<float>& out_buffer, simgpu::TraceRecorder* trace) {
+  const std::uint64_t width = input.width();
+  const std::uint64_t height = input.height();
+  if (in_buffer.size() != width * height || out_buffer.size() != width * height) {
+    throw std::invalid_argument("run_transpose: buffer size mismatch");
+  }
+  const simgpu::GridExtent extent{width, height, 1};
+  device.run(extent, config, [&](const simgpu::ThreadCtx& ctx) {
+    simgpu::for_each_coarsened_element(
+        ctx, config, extent, [&](std::uint64_t x, std::uint64_t y, std::uint64_t) {
+          const float value = in_buffer.read(ctx, y * width + x);
+          out_buffer.write(ctx, x * height + y, value);
+        });
+  }, trace);
+}
+
+simgpu::KernelCostSpec transpose_cost_spec(std::uint64_t width, std::uint64_t height) {
+  simgpu::KernelCostSpec spec;
+  spec.name = "transpose";
+  spec.extent = {width, height, 1};
+  spec.flops_per_element = 1.0;  // pure data movement
+  spec.element_bytes = 4;
+
+  simgpu::WarpAccessSpec load;
+  load.element_bytes = 4;
+  load.pitch_x = width;
+  load.pitch_y = height;
+  spec.loads = {load};
+
+  // The store writes out[x * height + y]: column-major relative to the
+  // thread grid — the scattered half of the transpose.
+  simgpu::WarpAccessSpec store;
+  store.element_bytes = 4;
+  store.pitch_x = height;  // column stride of the output
+  store.pitch_y = width;
+  store.column_major = true;
+  spec.stores = {store};
+
+  spec.regs_base = 14;
+  spec.regs_per_extra_element = 1.5;
+  spec.ilp = 4.0;
+  return spec;
+}
+
+}  // namespace repro::imagecl

@@ -1,0 +1,29 @@
+#pragma once
+// Extended-suite benchmark: image transpose. Coalescing-pathological by
+// construction — reads are row-contiguous but writes scatter column-major,
+// so the tuning landscape is dominated by the work-group *shape* (tall
+// work-groups amortize the scattered dimension), not by arithmetic.
+
+#include <cstdint>
+
+#include "imagecl/image.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/perf_model.hpp"
+
+namespace repro::imagecl {
+
+/// Scalar reference transpose: out(y, x) = in(x, y).
+[[nodiscard]] Image<float> transpose_reference(const Image<float>& input);
+
+/// Run the transpose kernel on the simulated device. `out_buffer` holds the
+/// height-by-width result.
+void run_transpose(const simgpu::Device& device, const simgpu::KernelConfig& config,
+                   const Image<float>& input, simgpu::TracedBuffer<float>& in_buffer,
+                   simgpu::TracedBuffer<float>& out_buffer,
+                   simgpu::TraceRecorder* trace = nullptr);
+
+/// Analytical cost description for a width-by-height input image.
+[[nodiscard]] simgpu::KernelCostSpec transpose_cost_spec(std::uint64_t width,
+                                                         std::uint64_t height);
+
+}  // namespace repro::imagecl

@@ -1,0 +1,88 @@
+#include "simgpu/arch.hpp"
+
+#include <stdexcept>
+
+namespace repro::simgpu {
+
+GpuArch gtx980() {
+  GpuArch arch;
+  arch.name = "gtx980";
+  arch.sm_count = 16;
+  arch.max_threads_per_sm = 2048;
+  arch.max_wgs_per_sm = 32;
+  arch.max_wg_threads = 1024;
+  arch.regs_per_sm = 65536;
+  arch.shared_per_sm = 98304;        // 96 KiB
+  arch.shared_per_wg_max = 49152;    // 48 KiB
+  arch.fp32_gflops = 4612.0;
+  arch.dram_bw_gbps = 224.0;
+  arch.l2_bw_multiplier = 2.6;
+  arch.core_clock_ghz = 1.216;
+  arch.l2_bytes = 2ull * 1024 * 1024;
+  arch.launch_overhead_us = 8.0;     // older driver stack, PCIe 3
+  arch.occupancy_for_peak_compute = 0.60;
+  arch.mem_latency_cycles = 368.0;
+  arch.mem_parallelism = 4.0;
+  arch.noise_sigma = 0.020;
+  return arch;
+}
+
+GpuArch titan_v() {
+  GpuArch arch;
+  arch.name = "titanv";
+  arch.sm_count = 80;
+  arch.max_threads_per_sm = 2048;
+  arch.max_wgs_per_sm = 32;
+  arch.max_wg_threads = 1024;
+  arch.regs_per_sm = 65536;
+  arch.shared_per_sm = 98304;
+  arch.shared_per_wg_max = 49152;
+  arch.fp32_gflops = 13800.0;
+  arch.dram_bw_gbps = 652.8;         // HBM2
+  arch.l2_bw_multiplier = 3.2;
+  arch.core_clock_ghz = 1.455;
+  arch.l2_bytes = 4608ull * 1024;    // 4.5 MiB
+  arch.launch_overhead_us = 6.0;
+  arch.occupancy_for_peak_compute = 0.50;
+  arch.mem_latency_cycles = 425.0;
+  arch.mem_parallelism = 5.0;
+  arch.noise_sigma = 0.012;
+  return arch;
+}
+
+GpuArch rtx_titan() {
+  GpuArch arch;
+  arch.name = "rtxtitan";
+  arch.sm_count = 72;
+  arch.max_threads_per_sm = 1024;    // Turing halves resident threads per SM
+  arch.max_wgs_per_sm = 16;
+  arch.max_wg_threads = 1024;
+  arch.regs_per_sm = 65536;
+  arch.shared_per_sm = 65536;
+  arch.shared_per_wg_max = 65536;
+  arch.fp32_gflops = 16312.0;
+  arch.dram_bw_gbps = 672.0;         // GDDR6
+  arch.l2_bw_multiplier = 3.0;
+  arch.core_clock_ghz = 1.770;
+  arch.l2_bytes = 6ull * 1024 * 1024;
+  arch.launch_overhead_us = 5.0;
+  arch.occupancy_for_peak_compute = 0.45;
+  arch.mem_latency_cycles = 440.0;
+  arch.mem_parallelism = 5.0;
+  arch.noise_sigma = 0.012;
+  return arch;
+}
+
+const std::vector<GpuArch>& testbed() {
+  static const std::vector<GpuArch> archs = {gtx980(), titan_v(), rtx_titan()};
+  return archs;
+}
+
+const GpuArch& arch_by_name(const std::string& name) {
+  for (const auto& arch : testbed()) {
+    if (arch.name == name) return arch;
+  }
+  throw std::out_of_range("unknown architecture: " + name);
+}
+
+}  // namespace repro::simgpu

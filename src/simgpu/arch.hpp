@@ -1,0 +1,77 @@
+#pragma once
+// GPU architecture descriptors for the simulated testbed.
+//
+// The paper evaluates on three NVIDIA GPUs spanning three architecture
+// generations: GTX 980 (Maxwell, 2014), Titan V (Volta, 2017) and RTX Titan
+// (Turing, 2019). We model each with published microarchitectural
+// parameters; the differences that matter for the tuning landscape are SM
+// count, threads-per-SM limits (Turing halves Maxwell/Volta's 2048),
+// register file and shared-memory capacity, L2 size, and the
+// bandwidth/compute balance.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::simgpu {
+
+struct GpuArch {
+  std::string name;
+
+  // Execution resources.
+  std::uint32_t sm_count = 0;
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_threads_per_sm = 2048;
+  std::uint32_t max_wgs_per_sm = 32;          ///< resident work-group limit
+  std::uint32_t max_wg_threads = 1024;        ///< per-launch work-group limit
+  std::uint32_t regs_per_sm = 65536;          ///< 32-bit registers per SM
+  std::uint32_t max_regs_per_thread = 255;
+  std::uint32_t shared_per_sm = 98304;        ///< bytes
+  std::uint32_t shared_per_wg_max = 49152;    ///< bytes
+
+  // Throughput (peak).
+  double fp32_gflops = 0.0;                   ///< peak single-precision GFLOP/s
+  double dram_bw_gbps = 0.0;                  ///< peak DRAM bandwidth, GB/s
+  double l2_bw_multiplier = 3.0;              ///< L2 bandwidth relative to DRAM
+  double l1_bw_multiplier = 9.0;              ///< L1/LSU service rate vs DRAM
+  double core_clock_ghz = 1.0;
+
+  // Latency-hiding behaviour. Compute: occupancy (active warps / max warps)
+  // needed to reach peak FLOP issue; below it, achieved throughput scales
+  // ~linearly with occupancy * ILP. Memory: achieved bandwidth follows
+  // Little's law from the number of outstanding sectors the resident warps
+  // can keep in flight against `mem_latency_cycles` of DRAM latency.
+  double occupancy_for_peak_compute = 0.55;
+  double mem_latency_cycles = 400.0;
+  double mem_parallelism = 4.0;  ///< outstanding sectors per warp
+
+  // Memory system.
+  std::uint64_t l2_bytes = 0;
+  std::uint32_t sector_bytes = 32;            ///< DRAM transaction granularity
+
+  // Fixed cost of a kernel launch (driver + dispatch), microseconds.
+  double launch_overhead_us = 6.0;
+
+  // Measurement noise (multiplicative lognormal sigma) observed on this
+  // host; models clocks/OS jitter the paper compensates for with repeats.
+  double noise_sigma = 0.015;
+
+  [[nodiscard]] std::uint32_t max_warps_per_sm() const noexcept {
+    return max_threads_per_sm / warp_size;
+  }
+};
+
+/// NVIDIA GTX 980 (Maxwell GM204, 2014).
+[[nodiscard]] GpuArch gtx980();
+/// NVIDIA Titan V (Volta GV100, 2017).
+[[nodiscard]] GpuArch titan_v();
+/// NVIDIA Titan RTX (Turing TU102, 2019) — "RTX Titan" in the paper.
+[[nodiscard]] GpuArch rtx_titan();
+
+/// The paper's three-GPU testbed, oldest first.
+[[nodiscard]] const std::vector<GpuArch>& testbed();
+
+/// Lookup by name ("gtx980", "titanv", "rtxtitan"); throws std::out_of_range.
+[[nodiscard]] const GpuArch& arch_by_name(const std::string& name);
+
+}  // namespace repro::simgpu

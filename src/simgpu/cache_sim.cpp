@@ -1,0 +1,65 @@
+#include "simgpu/cache_sim.hpp"
+
+#include <stdexcept>
+
+namespace repro::simgpu {
+namespace {
+
+constexpr bool is_power_of_two(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+CacheSim::CacheSim(std::uint64_t capacity_bytes, std::uint32_t line_bytes, std::uint32_t ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  if (line_bytes == 0 || ways == 0 || !is_power_of_two(line_bytes)) {
+    throw std::invalid_argument("CacheSim: line size must be a power of two, ways > 0");
+  }
+  const std::uint64_t lines = capacity_bytes / line_bytes;
+  if (lines == 0 || lines % ways != 0) {
+    throw std::invalid_argument("CacheSim: capacity not divisible into sets");
+  }
+  const std::uint64_t sets = lines / ways;
+  if (!is_power_of_two(sets)) {
+    throw std::invalid_argument("CacheSim: set count must be a power of two");
+  }
+  num_sets_ = static_cast<std::uint32_t>(sets);
+  lines_.resize(num_sets_ * std::size_t{ways_});
+}
+
+bool CacheSim::access(std::uint64_t address) {
+  ++clock_;
+  const std::uint64_t line_addr = address / line_bytes_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr & (num_sets_ - 1));
+  const std::uint64_t tag = line_addr >> __builtin_ctz(num_sets_);
+  Line* base = &lines_[std::size_t{set} * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.last_use = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: evict the first invalid line, otherwise the least recently used.
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.last_use < victim->last_use) victim = &line;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  ++misses_;
+  return false;
+}
+
+void CacheSim::reset() {
+  for (auto& line : lines_) line = Line{};
+  clock_ = hits_ = misses_ = 0;
+}
+
+}  // namespace repro::simgpu

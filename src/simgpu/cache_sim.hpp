@@ -1,0 +1,48 @@
+#pragma once
+// Set-associative LRU cache simulator. Used by the trace-based engine to
+// cross-check the analytical L2-reuse model and directly unit-tested.
+
+#include <cstdint>
+#include <vector>
+
+namespace repro::simgpu {
+
+class CacheSim {
+ public:
+  /// `capacity_bytes` total, `line_bytes` per line, `ways` associativity.
+  /// capacity must be divisible by line_bytes * ways and the set count must
+  /// be a power of two; throws std::invalid_argument otherwise.
+  CacheSim(std::uint64_t capacity_bytes, std::uint32_t line_bytes, std::uint32_t ways);
+
+  /// Access one byte address; returns true on hit. Misses fill the line.
+  bool access(std::uint64_t address);
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return hits_ + misses_; }
+  [[nodiscard]] double hit_rate() const noexcept {
+    return accesses() == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(accesses());
+  }
+  [[nodiscard]] std::uint32_t num_sets() const noexcept { return num_sets_; }
+  [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
+  [[nodiscard]] std::uint32_t line_bytes() const noexcept { return line_bytes_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  std::uint32_t line_bytes_;
+  std::uint32_t ways_;
+  std::uint32_t num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace repro::simgpu

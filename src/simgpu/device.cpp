@@ -1,0 +1,46 @@
+#include "simgpu/device.hpp"
+
+namespace repro::simgpu {
+
+void Device::run(const GridExtent& extent, const KernelConfig& config_in,
+                 const KernelFn& kernel, TraceRecorder* trace) const {
+  if (!config_in.in_range()) {
+    throw std::invalid_argument("Device::run: configuration out of range");
+  }
+  if (!config_in.satisfies_wg_constraint()) {
+    throw std::invalid_argument("Device::run: work-group constraint violated");
+  }
+  const KernelConfig config = clamp_to_extent(config_in, extent);
+  const LaunchGeometry geometry = derive_geometry(extent, config, arch_);
+  const std::uint64_t total_wgs = geometry.total_wgs();
+
+  auto run_wg = [&](std::uint64_t wg) {
+    const std::uint64_t wgx = wg % geometry.wgs_x;
+    const std::uint64_t wgy = (wg / geometry.wgs_x) % geometry.wgs_y;
+    const std::uint64_t wgz = wg / (geometry.wgs_x * geometry.wgs_y);
+    for (std::uint32_t lane = 0; lane < geometry.wg_threads; ++lane) {
+      const auto [lx, ly, lz] = lane_coords(lane, config);
+      ThreadCtx ctx;
+      ctx.gx = wgx * config.wg_x + lx;
+      ctx.gy = wgy * config.wg_y + ly;
+      ctx.gz = wgz * config.wg_z + lz;
+      if (ctx.gx >= geometry.threads_x || ctx.gy >= geometry.threads_y ||
+          ctx.gz >= geometry.threads_z) {
+        continue;  // padding thread outside the grid
+      }
+      ctx.lane = lane;
+      ctx.wg_linear = wg;
+      ctx.warp = wg * geometry.warps_per_wg + lane / arch_.warp_size;
+      ctx.trace = trace;
+      kernel(ctx);
+    }
+  };
+
+  if (trace != nullptr) {
+    for (std::uint64_t wg = 0; wg < total_wgs; ++wg) run_wg(wg);
+  } else {
+    repro::parallel_for(0, total_wgs, [&](std::size_t wg) { run_wg(wg); });
+  }
+}
+
+}  // namespace repro::simgpu

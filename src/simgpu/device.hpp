@@ -1,0 +1,107 @@
+#pragma once
+// Trace-based NDRange execution engine ("the simulated device").
+//
+// Functionally executes a kernel over a launch grid, work-group by
+// work-group, on CPU threads. Kernels are C++ callables receiving a
+// ThreadCtx (global thread coordinates plus lane/warp identity); data lives
+// in TracedBuffer<T> objects whose reads/writes are optionally recorded into
+// a TraceRecorder so the coalescing and cache behaviour of a real execution
+// can be compared with the analytical model's predictions.
+//
+// Work-groups never need cross-lane synchronization in our kernels (the
+// cost model handles shared-memory tiling analytically), so lanes execute
+// sequentially within a work-group; untraced runs parallelize across
+// work-groups.
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "simgpu/arch.hpp"
+#include "simgpu/launch.hpp"
+#include "simgpu/trace.hpp"
+
+namespace repro::simgpu {
+
+struct ThreadCtx {
+  std::uint64_t gx = 0;  ///< global thread coordinates
+  std::uint64_t gy = 0;
+  std::uint64_t gz = 0;
+  std::uint32_t lane = 0;       ///< linear index within the work-group
+  std::uint64_t wg_linear = 0;  ///< linear work-group index
+  std::uint64_t warp = 0;       ///< global warp id
+  TraceRecorder* trace = nullptr;
+};
+
+/// Iterate a thread's blocked coarsened elements, clamped to the extent:
+/// thread t covers [t*coarsen, min((t+1)*coarsen, extent)) per dimension.
+/// `body(x, y, z)` runs once per element.
+template <typename Body>
+void for_each_coarsened_element(const ThreadCtx& ctx, const KernelConfig& config,
+                                const GridExtent& extent, Body&& body) {
+  const std::uint64_t x0 = ctx.gx * config.coarsen_x;
+  const std::uint64_t y0 = ctx.gy * config.coarsen_y;
+  const std::uint64_t z0 = ctx.gz * config.coarsen_z;
+  for (std::uint64_t k = 0; k < config.coarsen_z && z0 + k < extent.z; ++k) {
+    for (std::uint64_t j = 0; j < config.coarsen_y && y0 + j < extent.y; ++j) {
+      for (std::uint64_t i = 0; i < config.coarsen_x && x0 + i < extent.x; ++i) {
+        body(x0 + i, y0 + j, z0 + k);
+      }
+    }
+  }
+}
+
+/// Buffer with optional access tracing. Owns its storage.
+template <typename T>
+class TracedBuffer {
+ public:
+  TracedBuffer(std::uint32_t buffer_id, std::size_t size, T fill = T{})
+      : id_(buffer_id), data_(size, fill) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::vector<T>& data() noexcept { return data_; }
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+
+  T read(const ThreadCtx& ctx, std::size_t index) const {
+    if (ctx.trace) {
+      ctx.trace->record(ctx.warp, ctx.lane, id_, index * sizeof(T), sizeof(T));
+    }
+    return data_[index];
+  }
+
+  void write(const ThreadCtx& ctx, std::size_t index, T value) {
+    if (ctx.trace) {
+      ctx.trace->record(ctx.warp, ctx.lane, id_, index * sizeof(T), sizeof(T));
+    }
+    data_[index] = value;
+  }
+
+ private:
+  std::uint32_t id_;
+  std::vector<T> data_;
+};
+
+using KernelFn = std::function<void(const ThreadCtx&)>;
+
+class Device {
+ public:
+  explicit Device(GpuArch arch) : arch_(std::move(arch)) {}
+
+  [[nodiscard]] const GpuArch& arch() const noexcept { return arch_; }
+
+  /// Execute `kernel` once per in-grid thread of the launch defined by
+  /// (extent, config). With `trace` non-null the run is serialized and every
+  /// buffer access is recorded; otherwise work-groups run in parallel on the
+  /// global thread pool. Throws std::invalid_argument for configurations
+  /// that violate parameter ranges or the work-group constraint — mirroring
+  /// a failed kernel launch.
+  void run(const GridExtent& extent, const KernelConfig& config, const KernelFn& kernel,
+           TraceRecorder* trace = nullptr) const;
+
+ private:
+  GpuArch arch_;
+};
+
+}  // namespace repro::simgpu

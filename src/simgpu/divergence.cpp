@@ -1,0 +1,61 @@
+#include "simgpu/divergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::simgpu {
+
+double warp_divergence_factor(const KernelConfig& config, const GpuArch& arch,
+                              const GridExtent& extent, const IntensityField& field,
+                              unsigned placements_per_axis) {
+  if (!field) return 1.0;
+  const std::uint32_t lanes_in_warp =
+      std::min<std::uint32_t>(config.wg_threads(), arch.warp_size);
+  if (lanes_in_warp <= 1) return 1.0;
+
+  const double ext_x = static_cast<double>(extent.x);
+  const double ext_y = static_cast<double>(std::max<std::uint64_t>(extent.y, 1));
+
+  double sum_max = 0.0;
+  double sum_mean = 0.0;
+  for (unsigned py = 0; py < placements_per_axis; ++py) {
+    for (unsigned px = 0; px < placements_per_axis; ++px) {
+      // Warp anchor in element space, spread across the image interior.
+      const double anchor_x =
+          (static_cast<double>(px) + 0.5) / placements_per_axis * ext_x * 0.9;
+      const double anchor_y =
+          (static_cast<double>(py) + 0.5) / placements_per_axis * ext_y * 0.9;
+      double warp_max = 0.0;
+      double warp_sum = 0.0;
+      for (std::uint32_t lane = 0; lane < lanes_in_warp; ++lane) {
+        const auto [lx, ly, lz] = lane_coords(lane, config);
+        (void)lz;  // the intensity field is two-dimensional
+        // Lane's coarsened block: average the field over a 2x2 sample of it,
+        // modelling the intra-thread serialization of the block's elements.
+        double lane_work = 0.0;
+        for (int sy = 0; sy < 2; ++sy) {
+          for (int sx = 0; sx < 2; ++sx) {
+            const double ex = anchor_x +
+                              (static_cast<double>(lx) + (sx + 0.5) / 2.0) *
+                                  config.coarsen_x;
+            const double ey = anchor_y +
+                              (static_cast<double>(ly) + (sy + 0.5) / 2.0) *
+                                  config.coarsen_y;
+            const double nx = std::clamp(ex / ext_x, 0.0, 0.999999);
+            const double ny = std::clamp(ey / ext_y, 0.0, 0.999999);
+            lane_work += std::max(0.0, field(nx, ny));
+          }
+        }
+        lane_work *= 0.25;
+        warp_max = std::max(warp_max, lane_work);
+        warp_sum += lane_work;
+      }
+      sum_max += warp_max;
+      sum_mean += warp_sum / lanes_in_warp;
+    }
+  }
+  if (sum_mean <= 0.0) return 1.0;
+  return std::max(1.0, sum_max / sum_mean);
+}
+
+}  // namespace repro::simgpu

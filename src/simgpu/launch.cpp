@@ -1,0 +1,70 @@
+#include "simgpu/launch.hpp"
+
+#include <algorithm>
+
+#include "common/fmt.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+bool KernelConfig::in_range() const noexcept {
+  auto in = [](std::uint32_t v, std::uint32_t lo, std::uint32_t hi) {
+    return v >= lo && v <= hi;
+  };
+  return in(coarsen_x, 1, 16) && in(coarsen_y, 1, 16) && in(coarsen_z, 1, 16) &&
+         in(wg_x, 1, 8) && in(wg_y, 1, 8) && in(wg_z, 1, 8);
+}
+
+std::string KernelConfig::to_string() const {
+  return repro::fmt("c=({},{},{}) wg=({},{},{})", coarsen_x, coarsen_y, coarsen_z,
+                     wg_x, wg_y, wg_z);
+}
+
+KernelConfig clamp_to_extent(const KernelConfig& config, const GridExtent& extent) noexcept {
+  KernelConfig eff = config;
+  eff.coarsen_x = static_cast<std::uint32_t>(std::min<std::uint64_t>(config.coarsen_x, extent.x));
+  eff.coarsen_y = static_cast<std::uint32_t>(std::min<std::uint64_t>(config.coarsen_y, extent.y));
+  eff.coarsen_z = static_cast<std::uint32_t>(std::min<std::uint64_t>(config.coarsen_z, extent.z));
+  eff.wg_x = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(eff.wg_x, ceil_div(extent.x, eff.coarsen_x)));
+  eff.wg_y = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(eff.wg_y, ceil_div(extent.y, eff.coarsen_y)));
+  eff.wg_z = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(eff.wg_z, ceil_div(extent.z, eff.coarsen_z)));
+  return eff;
+}
+
+LaunchGeometry derive_geometry(const GridExtent& extent, const KernelConfig& config_in,
+                               const GpuArch& arch) {
+  const KernelConfig config = clamp_to_extent(config_in, extent);
+  LaunchGeometry geometry;
+  geometry.threads_x = ceil_div(extent.x, config.coarsen_x);
+  geometry.threads_y = ceil_div(extent.y, config.coarsen_y);
+  geometry.threads_z = ceil_div(extent.z, config.coarsen_z);
+  geometry.wgs_x = ceil_div(geometry.threads_x, config.wg_x);
+  geometry.wgs_y = ceil_div(geometry.threads_y, config.wg_y);
+  geometry.wgs_z = ceil_div(geometry.threads_z, config.wg_z);
+  geometry.wg_threads = config.wg_threads();
+  geometry.warps_per_wg =
+      static_cast<std::uint32_t>(ceil_div(geometry.wg_threads, arch.warp_size));
+  geometry.lane_efficiency =
+      static_cast<double>(geometry.wg_threads) /
+      (static_cast<double>(geometry.warps_per_wg) * arch.warp_size);
+  return geometry;
+}
+
+std::array<std::uint32_t, 3> lane_coords(std::uint32_t lane,
+                                         const KernelConfig& config) noexcept {
+  const std::uint32_t lx = lane % config.wg_x;
+  const std::uint32_t ly = (lane / config.wg_x) % config.wg_y;
+  const std::uint32_t lz = lane / (config.wg_x * config.wg_y);
+  return {lx, ly, lz};
+}
+
+}  // namespace repro::simgpu

@@ -1,0 +1,93 @@
+#pragma once
+// Kernel launch configuration and derived geometry.
+//
+// The paper's 6-parameter search space (Section V-C): thread coarsening
+// factors threads_{x,y,z} in [1..16] (how many data elements each thread
+// processes per dimension) and work-group sizes wg_{x,y,z} in [1..8].
+// Executable configurations additionally satisfy wg_x*wg_y*wg_z <= 256
+// ("prior knowledge" constraint used for the non-SMBO sample generator).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "simgpu/arch.hpp"
+
+namespace repro::simgpu {
+
+struct KernelConfig {
+  // Thread coarsening factors (elements per thread per dimension), [1..16].
+  std::uint32_t coarsen_x = 1;
+  std::uint32_t coarsen_y = 1;
+  std::uint32_t coarsen_z = 1;
+  // Work-group dimensions, [1..8].
+  std::uint32_t wg_x = 1;
+  std::uint32_t wg_y = 1;
+  std::uint32_t wg_z = 1;
+
+  [[nodiscard]] std::uint32_t wg_threads() const noexcept { return wg_x * wg_y * wg_z; }
+  [[nodiscard]] std::uint64_t coarsening() const noexcept {
+    return std::uint64_t{coarsen_x} * coarsen_y * coarsen_z;
+  }
+
+  /// Paper constraint: work-group size product must not exceed 256.
+  [[nodiscard]] bool satisfies_wg_constraint() const noexcept { return wg_threads() <= 256; }
+
+  /// All six parameters within their declared ranges.
+  [[nodiscard]] bool in_range() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const KernelConfig&, const KernelConfig&) = default;
+};
+
+/// Problem extents in elements (the data grid the kernel covers).
+struct GridExtent {
+  std::uint64_t x = 1;
+  std::uint64_t y = 1;
+  std::uint64_t z = 1;
+  [[nodiscard]] std::uint64_t elements() const noexcept { return x * y * z; }
+};
+
+/// Geometry derived from extents + config: global thread counts, work-group
+/// counts, warps, and partial-warp lane efficiency.
+struct LaunchGeometry {
+  std::uint64_t threads_x = 0;     ///< ceil(extent.x / coarsen_x)
+  std::uint64_t threads_y = 0;
+  std::uint64_t threads_z = 0;
+  std::uint64_t wgs_x = 0;         ///< ceil(threads_x / wg_x)
+  std::uint64_t wgs_y = 0;
+  std::uint64_t wgs_z = 0;
+  std::uint32_t wg_threads = 0;
+  std::uint32_t warps_per_wg = 0;  ///< ceil(wg_threads / warp_size)
+  double lane_efficiency = 1.0;    ///< wg_threads / (warps_per_wg * warp_size)
+
+  [[nodiscard]] std::uint64_t total_threads() const noexcept {
+    return threads_x * threads_y * threads_z;
+  }
+  [[nodiscard]] std::uint64_t total_wgs() const noexcept { return wgs_x * wgs_y * wgs_z; }
+  [[nodiscard]] std::uint64_t total_warps() const noexcept {
+    return total_wgs() * warps_per_wg;
+  }
+};
+
+/// Clamp a configuration to the launch grid: coarsening factors cannot
+/// exceed the extent, and work-group dimensions cannot exceed the resulting
+/// global thread counts (the runtime clamps local size to global size, as
+/// an OpenCL launch would otherwise be illegal). For 2-D kernels this makes
+/// coarsen_z and wg_z *dead parameters* — present in the search space but
+/// without effect — exactly as in the paper's 6-parameter space applied to
+/// image kernels.
+[[nodiscard]] KernelConfig clamp_to_extent(const KernelConfig& config,
+                                           const GridExtent& extent) noexcept;
+
+[[nodiscard]] LaunchGeometry derive_geometry(const GridExtent& extent,
+                                             const KernelConfig& config,
+                                             const GpuArch& arch);
+
+/// Lane -> (lx, ly, lz) within a work-group (x-fastest linearization, the
+/// OpenCL convention). `lane` is the linear index within the work-group.
+[[nodiscard]] std::array<std::uint32_t, 3> lane_coords(std::uint32_t lane,
+                                                       const KernelConfig& config) noexcept;
+
+}  // namespace repro::simgpu

@@ -1,0 +1,30 @@
+#pragma once
+// Measurement noise model.
+//
+// The paper measures each configuration once during search ("to better
+// represent real use cases and test the models for how well they handle
+// noise", Section VI-A) and re-measures the final configuration 10 times.
+// Real GPU timings vary with clock/boost state, OS scheduling and caching;
+// we model this as a multiplicative lognormal jitter plus occasional
+// positive outliers (preemption / clock-drop events).
+
+#include "common/rng.hpp"
+
+namespace repro::simgpu {
+
+struct NoiseModel {
+  double sigma = 0.015;          ///< lognormal sigma of the base jitter
+  double outlier_probability = 0.02;
+  double outlier_max_fraction = 0.10;  ///< outliers add U(0, this) of the runtime
+
+  /// One noisy measurement of a kernel with true runtime `true_us`.
+  [[nodiscard]] double sample(double true_us, repro::Rng& rng) const {
+    double measured = true_us * rng.lognormal(0.0, sigma);
+    if (rng.bernoulli(outlier_probability)) {
+      measured *= 1.0 + rng.uniform(0.0, outlier_max_fraction);
+    }
+    return measured;
+  }
+};
+
+}  // namespace repro::simgpu

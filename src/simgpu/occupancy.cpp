@@ -1,0 +1,65 @@
+#include "simgpu/occupancy.hpp"
+
+#include <algorithm>
+
+namespace repro::simgpu {
+
+OccupancyResult compute_occupancy(const GpuArch& arch, const LaunchGeometry& geometry,
+                                  std::uint32_t regs_per_thread,
+                                  std::uint64_t shared_bytes_per_wg) {
+  OccupancyResult result;
+  if (geometry.wg_threads == 0) {
+    result.launchable = false;
+    result.limiter = "threads";
+    return result;
+  }
+  if (geometry.wg_threads > arch.max_wg_threads ||
+      shared_bytes_per_wg > arch.shared_per_wg_max) {
+    result.launchable = false;
+    result.limiter = geometry.wg_threads > arch.max_wg_threads ? "threads" : "shared";
+    return result;
+  }
+
+  // Threads are allocated at warp granularity.
+  const std::uint32_t padded_threads = geometry.warps_per_wg * arch.warp_size;
+
+  const std::uint32_t by_threads = arch.max_threads_per_sm / padded_threads;
+  const std::uint32_t by_slots = arch.max_wgs_per_sm;
+  // Registers allocate per padded thread, rounded to a 256-register bank.
+  const std::uint32_t regs_per_wg =
+      ((std::max(regs_per_thread, 1u) * padded_threads + 255u) / 256u) * 256u;
+  const std::uint32_t by_regs = arch.regs_per_sm / std::max(regs_per_wg, 1u);
+  const std::uint32_t by_shared =
+      shared_bytes_per_wg == 0
+          ? arch.max_wgs_per_sm
+          : static_cast<std::uint32_t>(arch.shared_per_sm / shared_bytes_per_wg);
+
+  result.active_wgs_per_sm = std::min({by_threads, by_slots, by_regs, by_shared});
+  if (result.active_wgs_per_sm == 0) {
+    // A single work-group over-subscribes a per-SM resource: not launchable.
+    result.launchable = false;
+    result.limiter = by_regs == 0 ? "registers" : "shared";
+    return result;
+  }
+  if (result.active_wgs_per_sm == by_threads && by_threads <= by_slots &&
+      by_threads <= by_regs && by_threads <= by_shared) {
+    result.limiter = "threads";
+  } else if (result.active_wgs_per_sm == by_slots) {
+    result.limiter = "wg_slots";
+  } else if (result.active_wgs_per_sm == by_regs) {
+    result.limiter = "registers";
+  } else {
+    result.limiter = "shared";
+  }
+
+  result.active_warps_per_sm = result.active_wgs_per_sm * geometry.warps_per_wg;
+  const std::uint32_t max_warps = arch.max_warps_per_sm();
+  if (result.active_warps_per_sm > max_warps) {
+    result.active_warps_per_sm = max_warps;
+  }
+  result.occupancy =
+      static_cast<double>(result.active_warps_per_sm) / static_cast<double>(max_warps);
+  return result;
+}
+
+}  // namespace repro::simgpu

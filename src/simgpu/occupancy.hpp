@@ -1,0 +1,31 @@
+#pragma once
+// SM occupancy calculator, following the CUDA occupancy rules: the number of
+// simultaneously resident work-groups per SM is bounded by the thread limit,
+// the work-group slot limit, the register file, and shared memory. Thread
+// and register allocation happen at warp granularity.
+
+#include <cstdint>
+
+#include "simgpu/arch.hpp"
+#include "simgpu/launch.hpp"
+
+namespace repro::simgpu {
+
+struct OccupancyResult {
+  std::uint32_t active_wgs_per_sm = 0;
+  std::uint32_t active_warps_per_sm = 0;
+  double occupancy = 0.0;          ///< active warps / max warps per SM
+  /// Which resource bound the residency ("threads", "wg_slots", "registers",
+  /// "shared", or "none" when the launch itself fits entirely).
+  const char* limiter = "none";
+  bool launchable = true;          ///< false if a single wg exceeds a hard limit
+};
+
+/// Compute occupancy for a work-group shape using `regs_per_thread` 32-bit
+/// registers per thread and `shared_bytes_per_wg` bytes of shared memory.
+[[nodiscard]] OccupancyResult compute_occupancy(const GpuArch& arch,
+                                                const LaunchGeometry& geometry,
+                                                std::uint32_t regs_per_thread,
+                                                std::uint64_t shared_bytes_per_wg);
+
+}  // namespace repro::simgpu

@@ -1,0 +1,277 @@
+#include "simgpu/perf_model.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include "common/rng.hpp"
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace repro::simgpu {
+namespace {
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+PerfModel::PerfModel(KernelCostSpec spec) : spec_(std::move(spec)) {}
+
+KernelConfig PerfModel::effective_config(const KernelConfig& config) const noexcept {
+  return clamp_to_extent(config, spec_.extent);
+}
+
+PerfBreakdown PerfModel::evaluate(const GpuArch& arch, const KernelConfig& config) const {
+  PerfBreakdown out;
+  if (!config.in_range()) {
+    out.invalid_reason = "parameter out of range";
+    return out;
+  }
+  if (!config.satisfies_wg_constraint()) {
+    // The kernels require wg_x*wg_y*wg_z <= 256 (paper Section V-C); larger
+    // work-groups fail to build/launch, which is what SMBO methods observe.
+    out.invalid_reason = "work-group constraint violated";
+    return out;
+  }
+
+  const KernelConfig eff = effective_config(config);
+  const LaunchGeometry geometry = derive_geometry(spec_.extent, eff, arch);
+  out.total_wgs = geometry.total_wgs();
+  out.lane_efficiency = geometry.lane_efficiency;
+
+  // --- Register and shared-memory usage --------------------------------
+  const std::uint64_t unrolled =
+      std::min<std::uint64_t>(eff.coarsening(), spec_.unroll_cap);
+  const double regs_raw =
+      spec_.regs_base + spec_.regs_per_extra_element * static_cast<double>(unrolled - 1);
+  out.regs_per_thread = static_cast<std::uint32_t>(
+      std::min<double>(regs_raw, arch.max_regs_per_thread));
+
+  std::uint64_t shared_bytes = 0;
+  bool tiled = false;
+  if (spec_.shared_tiling_available) {
+    const std::uint64_t tile_w =
+        std::uint64_t{eff.wg_x} * eff.coarsen_x + 2ull * spec_.stencil_radius;
+    const std::uint64_t tile_h =
+        std::uint64_t{eff.wg_y} * eff.coarsen_y + 2ull * spec_.stencil_radius;
+    const std::uint64_t tile_bytes =
+        tile_w * tile_h * spec_.element_bytes * spec_.tiled_buffers;
+    if (tile_bytes <= arch.shared_per_wg_max) {
+      tiled = true;
+      shared_bytes = tile_bytes;
+    }
+  }
+  out.used_shared_tiling = tiled;
+  out.shared_bytes_per_wg = shared_bytes;
+
+  // --- Occupancy --------------------------------------------------------
+  const OccupancyResult occ =
+      compute_occupancy(arch, geometry, out.regs_per_thread, shared_bytes);
+  if (!occ.launchable) {
+    out.invalid_reason = "not launchable (per-SM resources)";
+    return out;
+  }
+  out.occupancy = occ.occupancy;
+  out.occupancy_limiter = occ.limiter;
+
+  // --- Divergence -------------------------------------------------------
+  out.divergence = warp_divergence_factor(eff, arch, spec_.extent, spec_.intensity);
+
+  // --- Work totals ------------------------------------------------------
+  const double elements = static_cast<double>(spec_.extent.elements());
+  const std::uint64_t total_warps = geometry.total_warps();
+
+  // Fraction of resident lanes doing useful work: partial warps inside the
+  // work-group plus edge work-groups that overhang the grid.
+  const double grid_eff =
+      static_cast<double>(geometry.total_threads()) /
+      (static_cast<double>(geometry.total_wgs()) * geometry.wg_threads);
+  const double util_lanes = grid_eff * geometry.lane_efficiency;
+
+  // --- Memory traffic ---------------------------------------------------
+  double load_dram_bytes = 0.0;
+  double transaction_bytes = 0.0;
+  double l2_hit_accum = 0.0;
+  double l2_hit_weight = 0.0;
+
+  // L2 residency: does one full wave's unique footprint fit in L2?
+  const std::uint64_t wave_wgs =
+      std::uint64_t{std::max<std::uint32_t>(occ.active_wgs_per_sm, 1)} * arch.sm_count;
+
+  if (tiled) {
+    const std::uint64_t tile_w =
+        std::uint64_t{eff.wg_x} * eff.coarsen_x + 2ull * spec_.stencil_radius;
+    const std::uint64_t tile_h =
+        std::uint64_t{eff.wg_y} * eff.coarsen_y + 2ull * spec_.stencil_radius;
+    const double tile_bytes_d = static_cast<double>(
+        tile_w * tile_h * spec_.element_bytes * spec_.tiled_buffers);
+    const double interior_bytes = static_cast<double>(
+        std::uint64_t{eff.wg_x} * eff.coarsen_x * eff.wg_y * eff.coarsen_y *
+        spec_.element_bytes * spec_.tiled_buffers);
+    const double redundancy = std::max(0.0, 1.0 - interior_bytes / tile_bytes_d);
+    const double wave_bytes = interior_bytes * static_cast<double>(wave_wgs);
+    const double residency =
+        std::min(1.0, static_cast<double>(arch.l2_bytes) / std::max(wave_bytes, 1.0));
+    const double l2_hit = redundancy * residency;
+    l2_hit_accum += l2_hit;
+    l2_hit_weight += 1.0;
+    const double total_tile_bytes =
+        tile_bytes_d * static_cast<double>(geometry.total_wgs());
+    load_dram_bytes += total_tile_bytes * (1.0 - l2_hit);
+    // Tile loads are fully coalesced rows: transactions ~ bytes moved.
+    transaction_bytes += total_tile_bytes;
+  } else {
+    for (const WarpAccessSpec& pattern : spec_.loads) {
+      const CoalescingStats stats = analyze_warp_accesses_fast(eff, arch, pattern);
+      const double warp_dram_bytes =
+          static_cast<double>(stats.dram_sectors) * arch.sector_bytes;
+      const double interior_bytes =
+          static_cast<double>(std::min<std::uint32_t>(geometry.wg_threads,
+                                                      arch.warp_size)) *
+          static_cast<double>(eff.coarsening()) * spec_.element_bytes;
+      const double redundancy =
+          std::max(0.0, 1.0 - interior_bytes / std::max(warp_dram_bytes, 1.0));
+      const double wave_bytes = interior_bytes *
+                                static_cast<double>(wave_wgs) * geometry.warps_per_wg;
+      const double residency =
+          std::min(1.0, static_cast<double>(arch.l2_bytes) / std::max(wave_bytes, 1.0));
+      const double l2_hit = redundancy * residency;
+      l2_hit_accum += l2_hit;
+      l2_hit_weight += 1.0;
+      load_dram_bytes += warp_dram_bytes * static_cast<double>(total_warps) * (1.0 - l2_hit);
+      transaction_bytes += static_cast<double>(stats.transactions) * arch.sector_bytes *
+                           static_cast<double>(total_warps);
+    }
+  }
+
+  double store_dram_bytes = 0.0;
+  for (const WarpAccessSpec& pattern : spec_.stores) {
+    const CoalescingStats stats = analyze_warp_accesses_fast(eff, arch, pattern);
+    store_dram_bytes += static_cast<double>(stats.dram_sectors) * arch.sector_bytes *
+                        static_cast<double>(total_warps);
+    transaction_bytes += static_cast<double>(stats.transactions) * arch.sector_bytes *
+                         static_cast<double>(total_warps);
+  }
+  out.l2_hit_rate = l2_hit_weight > 0.0 ? l2_hit_accum / l2_hit_weight : 0.0;
+
+  // --- Roofline ---------------------------------------------------------
+  // Compute issue: scales with occupancy * ILP up to the peak threshold.
+  const double compute_eff = std::min(
+      1.0, occ.occupancy * spec_.ilp / (2.0 * arch.occupancy_for_peak_compute));
+  const double achieved_gflops =
+      std::max(1e-3, arch.fp32_gflops * compute_eff * std::max(util_lanes, 0.05));
+  const double total_flops = elements * spec_.flops_per_element * out.divergence;
+  out.compute_us = total_flops / (achieved_gflops * 1e3);
+
+  // DRAM bandwidth via Little's law on outstanding sectors.
+  const double aw = static_cast<double>(occ.active_warps_per_sm);
+  const double bw_little = arch.sm_count * aw * arch.mem_parallelism *
+                           arch.sector_bytes * arch.core_clock_ghz /
+                           arch.mem_latency_cycles;  // GB/s
+  const double achieved_dram = std::max(1.0, std::min(arch.dram_bw_gbps, bw_little));
+  out.dram_us = (load_dram_bytes + store_dram_bytes) / (achieved_dram * 1e3);
+
+  // Transaction/LSU service: re-touched lines hit L1, so the issue-side
+  // cost of strided (coarsened) access patterns is paid at L1 throughput,
+  // far above DRAM bandwidth; it only binds for heavily scattered warps.
+  const double l1_bw = arch.dram_bw_gbps * arch.l1_bw_multiplier;
+  const double bw_little_l1 = bw_little * 6.0;
+  const double achieved_l1 = std::max(1.0, std::min(l1_bw, bw_little_l1));
+  out.transaction_us = transaction_bytes / (achieved_l1 * 1e3);
+
+  double kernel_us = std::max({out.compute_us, out.dram_us, out.transaction_us});
+
+  // Shared-memory staging adds a barrier + store/load pass per tile.
+  if (tiled) kernel_us *= 1.06;
+
+  // --- Wave quantization / device fill ----------------------------------
+  const std::uint64_t slots = wave_wgs;
+  const std::uint64_t waves = ceil_div(geometry.total_wgs(), std::max<std::uint64_t>(slots, 1));
+  out.utilization = static_cast<double>(geometry.total_wgs()) /
+                    (static_cast<double>(waves) * static_cast<double>(slots));
+  kernel_us /= std::max(out.utilization, 1e-3);
+
+  // Codegen lottery: stable per-(kernel, arch, config) perturbation.
+  if (spec_.codegen_lottery_sigma > 0.0) {
+    std::uint64_t h = repro::seed_from_string(spec_.name) ^
+                      (repro::seed_from_string(arch.name) * 0x9e3779b97f4a7c15ULL);
+    h = repro::seed_combine(h, (std::uint64_t{eff.coarsen_x} << 40) ^
+                                   (std::uint64_t{eff.coarsen_y} << 32) ^
+                                   (std::uint64_t{eff.coarsen_z} << 24) ^
+                                   (std::uint64_t{eff.wg_x} << 16) ^
+                                   (std::uint64_t{eff.wg_y} << 8) ^ eff.wg_z);
+    // Hash bits -> approximately standard normal (Box-Muller).
+    const double u1 =
+        (static_cast<double>(h >> 40) + 0.5) / static_cast<double>(1ull << 24);
+    const double u2 =
+        (static_cast<double>(h & 0xffffff) + 0.5) / static_cast<double>(1ull << 24);
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    kernel_us *= std::exp(spec_.codegen_lottery_sigma * z);
+  }
+
+  // Pipeline drain floor: even a trivial kernel costs a couple of
+  // microseconds of scheduling and memory latency.
+  const double floor_us = 1.5 + arch.mem_latency_cycles / (arch.core_clock_ghz * 1e3);
+
+  out.time_us = arch.launch_overhead_us + std::max(kernel_us, floor_us);
+  out.valid = true;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+struct CachedPerfModel::Impl {
+  std::vector<std::atomic<float>> table;
+  explicit Impl(std::size_t n) : table(n) {
+    for (auto& slot : table) slot.store(kUnset, std::memory_order_relaxed);
+  }
+  static constexpr float kUnset = -2.0f;
+  static constexpr float kInvalid = -1.0f;
+};
+
+CachedPerfModel::CachedPerfModel(const PerfModel& model, const GpuArch& arch)
+    : model_(model), arch_(arch), impl_(new Impl(table_size())) {}
+
+CachedPerfModel::~CachedPerfModel() { delete impl_; }
+
+std::size_t CachedPerfModel::pack(const KernelConfig& config) noexcept {
+  return (config.coarsen_x - 1) + 16ull * (config.coarsen_y - 1) +
+         256ull * (config.coarsen_z - 1) +
+         4096ull * ((config.wg_x - 1) + 8ull * (config.wg_y - 1) + 64ull * (config.wg_z - 1));
+}
+
+KernelConfig CachedPerfModel::unpack(std::size_t index) noexcept {
+  KernelConfig config;
+  config.coarsen_x = static_cast<std::uint32_t>(index % 16) + 1;
+  config.coarsen_y = static_cast<std::uint32_t>((index / 16) % 16) + 1;
+  config.coarsen_z = static_cast<std::uint32_t>((index / 256) % 16) + 1;
+  config.wg_x = static_cast<std::uint32_t>((index / 4096) % 8) + 1;
+  config.wg_y = static_cast<std::uint32_t>((index / 32768) % 8) + 1;
+  config.wg_z = static_cast<std::uint32_t>((index / 262144) % 8) + 1;
+  return config;
+}
+
+double CachedPerfModel::time_us(const KernelConfig& config) const {
+  // Validity is a property of the *requested* configuration: a work-group
+  // declared as 8x8x8 fails to build regardless of how the launch would
+  // clamp it. Only valid requests proceed to the clamped equivalence class.
+  if (!config.in_range() || !config.satisfies_wg_constraint()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // Configurations sharing an effective (clamped) form share one slot, so
+  // the expensive evaluation runs once per equivalence class.
+  const KernelConfig eff = model_.effective_config(config);
+  const std::size_t index = pack(eff);
+  float cached = impl_->table[index].load(std::memory_order_relaxed);
+  if (cached == Impl::kUnset) {
+    const PerfBreakdown breakdown = model_.evaluate(arch_, eff);
+    cached = breakdown.valid ? static_cast<float>(breakdown.time_us) : Impl::kInvalid;
+    impl_->table[index].store(cached, std::memory_order_relaxed);
+  }
+  if (cached == Impl::kInvalid) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(cached);
+}
+
+}  // namespace repro::simgpu

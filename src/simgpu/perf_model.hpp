@@ -1,0 +1,148 @@
+#pragma once
+// Analytical GPU kernel performance model.
+//
+// Combines the sub-models into a runtime estimate for (kernel, architecture,
+// launch configuration):
+//
+//   geometry   -> threads / work-groups / warps / partial-warp waste
+//   occupancy  -> resident warps per SM from threads/slots/registers/shared
+//   coalescing -> DRAM sectors + LSU transactions per warp (coalescing.hpp)
+//   L2 reuse   -> inter-work-group halo reuse gated by L2 residency
+//   divergence -> warp max/mean work ratio from the kernel intensity field
+//   roofline   -> time = max(compute, DRAM, transaction) with Little's-law
+//                 bandwidth, occupancy-scaled issue rate, wave quantization
+//                 and launch overhead
+//
+// The model is noiseless and deterministic; NoiseModel adds measurement
+// jitter on top. It is intentionally mechanistic rather than calibrated:
+// the paper's study needs a *landscape* with the right structure (occupancy
+// cliffs, coalescing steps, shared-memory capacity knees, invalid regions,
+// heavy tails), not absolute microsecond fidelity.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simgpu/arch.hpp"
+#include "simgpu/coalescing.hpp"
+#include "simgpu/divergence.hpp"
+#include "simgpu/launch.hpp"
+#include "simgpu/occupancy.hpp"
+
+namespace repro::simgpu {
+
+/// Static cost description of one kernel, provided by the kernel author
+/// (see src/imagecl/kernels/*). All per-element quantities refer to one
+/// output element.
+struct KernelCostSpec {
+  std::string name;
+  GridExtent extent;
+
+  double flops_per_element = 1.0;
+  std::uint32_t element_bytes = 4;
+
+  /// Global-memory access patterns when no shared-memory tiling is used.
+  std::vector<WarpAccessSpec> loads;
+  std::vector<WarpAccessSpec> stores;
+
+  /// Stencil kernels may stage a tile in shared memory: loads collapse to
+  /// the unique tile footprint when the tile fits in shared memory.
+  bool shared_tiling_available = false;
+  std::uint32_t stencil_radius = 0;
+  std::uint32_t tiled_buffers = 1;  ///< input buffers staged per tile
+
+  /// Register model: base registers plus growth with the (effective)
+  /// coarsening unroll, capped at `unroll_cap` unrolled elements.
+  std::uint32_t regs_base = 16;
+  double regs_per_extra_element = 2.0;
+  std::uint32_t unroll_cap = 32;
+
+  double ilp = 2.0;  ///< instruction-level parallelism within a thread
+
+  /// Optional relative work-per-element field (divergence); empty => uniform.
+  IntensityField intensity;
+
+  /// "Codegen lottery": deterministic per-configuration multiplicative
+  /// perturbation, exp(sigma * z(config)) with z a hash-derived standard
+  /// normal. Models the idiosyncratic register-allocation / instruction-
+  /// scheduling effects real compilers attach to individual configurations —
+  /// the high-frequency landscape component surrogate models cannot learn.
+  /// Unlike measurement noise it is stable across repeated measurements.
+  double codegen_lottery_sigma = 0.05;
+};
+
+struct PerfBreakdown {
+  bool valid = false;
+  const char* invalid_reason = "";
+
+  double time_us = 0.0;         ///< total, including launch overhead
+  double compute_us = 0.0;      ///< roofline components (pre-quantization)
+  double dram_us = 0.0;
+  double transaction_us = 0.0;
+
+  double occupancy = 0.0;
+  const char* occupancy_limiter = "none";
+  double divergence = 1.0;
+  double utilization = 1.0;     ///< wave-quantization / device-fill factor
+  double lane_efficiency = 1.0;
+  double l2_hit_rate = 0.0;
+  bool used_shared_tiling = false;
+  std::uint32_t regs_per_thread = 0;
+  std::uint64_t shared_bytes_per_wg = 0;
+  std::uint64_t total_wgs = 0;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(KernelCostSpec spec);
+
+  [[nodiscard]] const KernelCostSpec& spec() const noexcept { return spec_; }
+
+  /// clamp_to_extent for this kernel's grid: coarsening factors cannot
+  /// exceed the extent and work-group dims cannot exceed the thread grid.
+  /// Work, memory traffic and register usage all follow the effective
+  /// configuration; the extents are known when the kernel is specialized,
+  /// so the generated code is too.
+  [[nodiscard]] KernelConfig effective_config(const KernelConfig& config) const noexcept;
+
+  /// Noiseless runtime estimate with full component breakdown.
+  [[nodiscard]] PerfBreakdown evaluate(const GpuArch& arch, const KernelConfig& config) const;
+
+ private:
+  KernelCostSpec spec_;
+};
+
+/// Thread-safe memoizing wrapper over PerfModel::evaluate for one
+/// architecture: a flat table over the whole 16^3 * 8^3 configuration space
+/// storing the noiseless runtime (microseconds; negative = invalid).
+/// Lazily filled; concurrent duplicate fills are benign (same value).
+class CachedPerfModel {
+ public:
+  CachedPerfModel(const PerfModel& model, const GpuArch& arch);
+  ~CachedPerfModel();
+  CachedPerfModel(const CachedPerfModel&) = delete;
+  CachedPerfModel& operator=(const CachedPerfModel&) = delete;
+
+  /// Noiseless runtime in microseconds; NaN when the configuration is
+  /// invalid (out of range, violates the work-group constraint, or not
+  /// launchable on this architecture).
+  [[nodiscard]] double time_us(const KernelConfig& config) const;
+
+  [[nodiscard]] const GpuArch& arch() const noexcept { return arch_; }
+  [[nodiscard]] const PerfModel& model() const noexcept { return model_; }
+
+  /// Pack a (range-checked) configuration into its table index.
+  [[nodiscard]] static std::size_t pack(const KernelConfig& config) noexcept;
+  [[nodiscard]] static KernelConfig unpack(std::size_t index) noexcept;
+  [[nodiscard]] static constexpr std::size_t table_size() noexcept {
+    return 16ull * 16 * 16 * 8 * 8 * 8;
+  }
+
+ private:
+  const PerfModel& model_;
+  GpuArch arch_;
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace repro::simgpu

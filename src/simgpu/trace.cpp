@@ -1,0 +1,65 @@
+#include "simgpu/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace repro::simgpu {
+
+void TraceRecorder::record(std::uint64_t warp, std::uint32_t lane, std::uint32_t buffer,
+                           std::uint64_t byte_address, std::uint32_t bytes) {
+  const std::uint32_t seq = lane_counters_[LaneKey{warp, lane, buffer}]++;
+  groups_[{warp, buffer}].push_back(Access{byte_address, bytes, seq});
+  ++total_accesses_;
+}
+
+CoalescingStats TraceRecorder::warp_stats(std::uint64_t warp, std::uint32_t buffer,
+                                          std::uint32_t sector_bytes) const {
+  CoalescingStats stats;
+  const auto it = groups_.find({warp, buffer});
+  if (it == groups_.end()) return stats;
+
+  std::unordered_set<std::uint64_t> loop_sectors;
+  std::map<std::uint32_t, std::unordered_set<std::uint64_t>> per_step;
+  for (const Access& access : it->second) {
+    stats.useful_bytes += access.bytes;
+    const std::uint64_t first = access.byte / sector_bytes;
+    const std::uint64_t last = (access.byte + access.bytes - 1) / sector_bytes;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      loop_sectors.insert(s);
+      per_step[access.seq].insert(s);
+    }
+  }
+  stats.dram_sectors = loop_sectors.size();
+  stats.steps = per_step.size();
+  for (const auto& [seq, sectors] : per_step) stats.transactions += sectors.size();
+  return stats;
+}
+
+CoalescingStats TraceRecorder::total_stats(std::uint32_t buffer,
+                                           std::uint32_t sector_bytes) const {
+  CoalescingStats total;
+  for (const auto& [key, accesses] : groups_) {
+    if (key.second != buffer) continue;
+    const CoalescingStats stats = warp_stats(key.first, buffer, sector_bytes);
+    total.useful_bytes += stats.useful_bytes;
+    total.transactions += stats.transactions;
+    total.dram_sectors += stats.dram_sectors;
+    total.steps += stats.steps;
+  }
+  return total;
+}
+
+double TraceRecorder::replay_through_cache(std::uint32_t buffer, CacheSim& cache) const {
+  for (const auto& [key, accesses] : groups_) {
+    if (key.second != buffer) continue;
+    // Within a warp, replay in sequence order (stable by seq).
+    std::vector<Access> ordered = accesses;
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Access& a, const Access& b) { return a.seq < b.seq; });
+    for (const Access& access : ordered) cache.access(access.byte);
+  }
+  return cache.hit_rate();
+}
+
+}  // namespace repro::simgpu

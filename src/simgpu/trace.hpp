@@ -1,0 +1,61 @@
+#pragma once
+// Memory-access trace recording for the Device execution engine.
+//
+// Accesses are grouped the way GPU hardware coalesces them: by (warp,
+// buffer, access sequence number), where the k-th access a lane performs on
+// a buffer is grouped with the other lanes' k-th accesses (our kernels are
+// straight-line data-parallel loops, so this matches instruction grouping).
+// The analyzer then produces the same CoalescingStats that the analytical
+// model predicts, which the tests compare directly.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "simgpu/cache_sim.hpp"
+#include "simgpu/coalescing.hpp"
+
+namespace repro::simgpu {
+
+class TraceRecorder {
+ public:
+  /// Record one access of `bytes` at `byte_address` on `buffer` performed by
+  /// `lane` of `warp`. Not thread-safe; traced runs execute serially.
+  void record(std::uint64_t warp, std::uint32_t lane, std::uint32_t buffer,
+              std::uint64_t byte_address, std::uint32_t bytes);
+
+  /// Coalescing statistics for one (warp, buffer) pair.
+  [[nodiscard]] CoalescingStats warp_stats(std::uint64_t warp, std::uint32_t buffer,
+                                           std::uint32_t sector_bytes) const;
+
+  /// Aggregate statistics for a buffer across all warps.
+  [[nodiscard]] CoalescingStats total_stats(std::uint32_t buffer,
+                                            std::uint32_t sector_bytes) const;
+
+  /// Replay every access of `buffer` (warp-major, then sequence order)
+  /// through a cache simulator at sector granularity; returns hit rate.
+  double replay_through_cache(std::uint32_t buffer, CacheSim& cache) const;
+
+  [[nodiscard]] std::uint64_t total_accesses() const noexcept { return total_accesses_; }
+
+ private:
+  struct Access {
+    std::uint64_t byte = 0;
+    std::uint32_t bytes = 0;
+    std::uint32_t seq = 0;
+  };
+  struct LaneKey {
+    std::uint64_t warp;
+    std::uint32_t lane;
+    std::uint32_t buffer;
+    auto operator<=>(const LaneKey&) const = default;
+  };
+
+  // (warp, buffer) -> flat access list annotated with per-lane sequence ids.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::vector<Access>> groups_;
+  std::map<LaneKey, std::uint32_t> lane_counters_;
+  std::uint64_t total_accesses_ = 0;
+};
+
+}  // namespace repro::simgpu

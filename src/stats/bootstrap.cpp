@@ -1,0 +1,45 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace repro::stats {
+
+Interval bootstrap_confidence_interval(std::span<const double> xs, const Statistic& statistic,
+                                       repro::Rng& rng, std::size_t resamples,
+                                       double confidence) {
+  if (xs.empty()) throw std::invalid_argument("bootstrap: empty sample");
+  std::vector<double> resample(xs.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& value : resample) {
+      value = xs[static_cast<std::size_t>(rng.next_below(xs.size()))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = 1.0 - confidence;
+  return {quantile(stats, alpha / 2.0), quantile(stats, 1.0 - alpha / 2.0)};
+}
+
+double bootstrap_mean_difference_p(std::span<const double> a, std::span<const double> b,
+                                   repro::Rng& rng, std::size_t resamples) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("bootstrap: empty sample");
+  const double observed = std::abs(mean(a) - mean(b));
+  // Pool under H0 and resample both groups from the pooled data.
+  std::vector<double> pooled(a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  std::vector<double> ra(a.size()), rb(b.size());
+  std::size_t extreme = 0;
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& v : ra) v = pooled[static_cast<std::size_t>(rng.next_below(pooled.size()))];
+    for (auto& v : rb) v = pooled[static_cast<std::size_t>(rng.next_below(pooled.size()))];
+    if (std::abs(mean(ra) - mean(rb)) >= observed) ++extreme;
+  }
+  // Add-one smoothing keeps the p-value away from an impossible exact zero.
+  return (static_cast<double>(extreme) + 1.0) / (static_cast<double>(resamples) + 1.0);
+}
+
+}  // namespace repro::stats

@@ -1,0 +1,32 @@
+#pragma once
+// Percentile bootstrap confidence intervals. The paper rejected bootstrap
+// for its main significance machinery on cost grounds (Section V-A); we
+// provide it anyway for cross-checking the MWU conclusions in tests and in
+// the ablation benches.
+
+#include <functional>
+#include <span>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace repro::stats {
+
+/// Statistic evaluated on a resample.
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap CI of `statistic` over `xs` with `resamples` draws.
+[[nodiscard]] Interval bootstrap_confidence_interval(std::span<const double> xs,
+                                                     const Statistic& statistic,
+                                                     repro::Rng& rng,
+                                                     std::size_t resamples = 2000,
+                                                     double confidence = 0.95);
+
+/// Bootstrap two-sample test: p-value for H0 "mean(a) == mean(b)" via the
+/// difference-of-means permutation-style bootstrap.
+[[nodiscard]] double bootstrap_mean_difference_p(std::span<const double> a,
+                                                 std::span<const double> b,
+                                                 repro::Rng& rng,
+                                                 std::size_t resamples = 2000);
+
+}  // namespace repro::stats

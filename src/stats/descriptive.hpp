@@ -1,0 +1,46 @@
+#pragma once
+// Descriptive statistics used throughout the harness: mean/median/variance,
+// quantiles, and confidence intervals. All functions take read-only spans
+// and never mutate caller data (sorting happens on internal copies).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace repro::stats {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+/// Unbiased (n-1) sample variance; 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double median(std::span<const double> xs);
+[[nodiscard]] double min(std::span<const double> xs);
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// Linear-interpolation quantile (type 7, the numpy/R default), q in [0,1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Two-sided confidence interval for the mean using the normal approximation
+/// with a small-sample Student-t correction (lookup up to 30 dof, then z).
+[[nodiscard]] Interval mean_confidence_interval(std::span<const double> xs,
+                                                double confidence = 0.95);
+
+/// Distribution-free CI for the median from binomial order statistics.
+[[nodiscard]] Interval median_confidence_interval(std::span<const double> xs,
+                                                  double confidence = 0.95);
+
+/// Standard normal CDF (used by MWU approximation and CI construction).
+[[nodiscard]] double normal_cdf(double z);
+/// Inverse standard normal CDF (Acklam's rational approximation, |err|<1e-9).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Ranks (1-based) with ties replaced by their average rank, as required by
+/// the Mann-Whitney U statistic. Returns ranks aligned with the input order.
+[[nodiscard]] std::vector<double> ranks_with_ties(std::span<const double> xs);
+
+}  // namespace repro::stats

@@ -1,0 +1,39 @@
+#include "stats/effect_size.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace repro::stats {
+
+double cles_greater(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("cles: samples must be non-empty");
+  }
+  // Rank-based identity: A = (R1/n1 - (n1+1)/2) / n2, where R1 is the rank
+  // sum of sample a in the pooled ranking with average ranks for ties.
+  std::vector<double> all(a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  const std::vector<double> ranks = ranks_with_ties(all);
+  double rank_sum_a = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) rank_sum_a += ranks[i];
+  const auto n1 = static_cast<double>(a.size());
+  const auto n2 = static_cast<double>(b.size());
+  return (rank_sum_a / n1 - (n1 + 1.0) / 2.0) / n2;
+}
+
+double cles_less(std::span<const double> a, std::span<const double> b) {
+  return cles_greater(b, a);
+}
+
+const char* vargha_delaney_magnitude(double a_measure) {
+  const double scaled = std::abs(a_measure - 0.5) + 0.5;
+  if (scaled < 0.56) return "negligible";
+  if (scaled < 0.64) return "small";
+  if (scaled < 0.71) return "medium";
+  return "large";
+}
+
+}  // namespace repro::stats

@@ -1,0 +1,25 @@
+#pragma once
+// Common Language Effect Size (McGraw & Wong 1992) with the Vargha-Delaney
+// tie handling the paper cites (Eq. 1):
+//   A(X_A, X_B) = P(X_A > X_B) + 0.5 * P(X_A = X_B)
+// Interpreted as the probability that a random draw from A exceeds a random
+// draw from B. The paper's Fig. 4b plots this for "algorithm outperforms
+// Random Search", where outperform means *lower runtime*.
+
+#include <span>
+
+namespace repro::stats {
+
+/// Exact CLES / Vargha-Delaney A computed from all |A|*|B| pairs via ranks
+/// (O((n+m) log(n+m))). Throws std::invalid_argument on empty input.
+[[nodiscard]] double cles_greater(std::span<const double> a, std::span<const double> b);
+
+/// CLES that a draw from `a` is *smaller* than a draw from `b` — the
+/// "lower runtime wins" direction used for autotuning outcomes.
+[[nodiscard]] double cles_less(std::span<const double> a, std::span<const double> b);
+
+/// Vargha-Delaney magnitude labels ("negligible", "small", "medium",
+/// "large") from the customary 0.56/0.64/0.71 thresholds on |A - 0.5| + 0.5.
+[[nodiscard]] const char* vargha_delaney_magnitude(double a_measure);
+
+}  // namespace repro::stats

@@ -1,0 +1,141 @@
+#include "stats/mann_whitney.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace repro::stats {
+namespace {
+
+bool has_ties(std::span<const double> a, std::span<const double> b) {
+  std::vector<double> all(a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  return std::adjacent_find(all.begin(), all.end()) != all.end();
+}
+
+/// Exact null distribution of U for tie-free samples: the number of
+/// arrangements with statistic u equals the number of integer partitions of
+/// u into at most n1 parts, each at most n2 (a Gaussian binomial
+/// coefficient). dp[a][u] counts partitions of u into at most `a` parts
+/// each bounded by the current outer value of b, built with the recurrence
+///   p(u; a, b) = p(u; a, b-1) + p(u-b; a-1, b)
+/// (largest part is either < b, or exactly b and removable).
+/// Returns P(U <= u_obs).
+double exact_cdf(std::size_t n1, std::size_t n2, double u_obs) {
+  const std::size_t max_u = n1 * n2;
+  std::vector<std::vector<double>> dp(n1 + 1, std::vector<double>(max_u + 1, 0.0));
+  for (std::size_t a = 0; a <= n1; ++a) dp[a][0] = 1.0;  // b = 0 base case
+  for (std::size_t b = 1; b <= n2; ++b) {
+    // In-place update: dp[a-1] has already been raised to level b when row
+    // a is processed, dp[a][u] still holds level b-1 — exactly the terms
+    // the recurrence needs.
+    for (std::size_t a = 1; a <= n1; ++a) {
+      for (std::size_t u = b; u <= max_u; ++u) {
+        dp[a][u] += dp[a - 1][u - b];
+      }
+    }
+  }
+  double total = 0.0;
+  for (double c : dp[n1]) total += c;
+  double cumulative = 0.0;
+  const auto limit = static_cast<std::size_t>(std::floor(u_obs + 1e-9));
+  for (std::size_t u = 0; u <= std::min(limit, max_u); ++u) cumulative += dp[n1][u];
+  return cumulative / total;
+}
+
+}  // namespace
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a, std::span<const double> b,
+                                 Alternative alternative) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("mann_whitney_u: samples must be non-empty");
+  }
+  const auto n1 = static_cast<double>(a.size());
+  const auto n2 = static_cast<double>(b.size());
+
+  std::vector<double> all(a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  const std::vector<double> ranks = ranks_with_ties(all);
+
+  double rank_sum_a = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) rank_sum_a += ranks[i];
+
+  MannWhitneyResult result;
+  result.u_a = rank_sum_a - n1 * (n1 + 1.0) / 2.0;
+  result.u_b = n1 * n2 - result.u_a;
+
+  const bool tied = has_ties(a, b);
+  const bool small = a.size() * b.size() <= 400 && a.size() <= 25 && b.size() <= 25;
+  if (!tied && small) {
+    result.exact = true;
+    // Exact p-values. P(U <= u) from the DP; symmetric null distribution.
+    auto cdf = [&](double u) { return exact_cdf(a.size(), b.size(), u); };
+    switch (alternative) {
+      case Alternative::kLess:
+        result.p_value = cdf(result.u_a);
+        break;
+      case Alternative::kGreater:
+        result.p_value = cdf(result.u_b);
+        break;
+      case Alternative::kTwoSided: {
+        const double tail = cdf(std::min(result.u_a, result.u_b));
+        result.p_value = std::min(1.0, 2.0 * tail);
+        break;
+      }
+    }
+    return result;
+  }
+
+  // Normal approximation with tie correction.
+  const double mean_u = n1 * n2 / 2.0;
+  const double n = n1 + n2;
+  double tie_term = 0.0;
+  {
+    std::vector<double> sorted(all);
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_term += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  const double var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u <= 0.0) {  // all observations identical
+    result.p_value = 1.0;
+    return result;
+  }
+  const double sd = std::sqrt(var_u);
+  auto tail_p = [&](double u) {
+    // Upper tail with continuity correction: P(U >= u).
+    const double z = (u - mean_u - 0.5) / sd;
+    return 1.0 - normal_cdf(z);
+  };
+  switch (alternative) {
+    case Alternative::kGreater:
+      result.p_value = tail_p(result.u_a);
+      break;
+    case Alternative::kLess:
+      result.p_value = tail_p(result.u_b);
+      break;
+    case Alternative::kTwoSided:
+      result.p_value = std::min(1.0, 2.0 * tail_p(std::max(result.u_a, result.u_b)));
+      break;
+  }
+  result.p_value = std::clamp(result.p_value, 0.0, 1.0);
+  return result;
+}
+
+bool significantly_different(std::span<const double> a, std::span<const double> b,
+                             double alpha) {
+  return mann_whitney_u(a, b, Alternative::kTwoSided).p_value < alpha;
+}
+
+}  // namespace repro::stats

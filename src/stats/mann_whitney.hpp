@@ -1,0 +1,40 @@
+#pragma once
+// Mann-Whitney U test (a.k.a. Wilcoxon rank-sum), the significance test the
+// paper uses with threshold alpha = 0.01 (Section II-C, V-A).
+//
+// Two implementations are provided and selected automatically:
+//  - exact: dynamic-programming enumeration of the null U distribution,
+//    valid when there are no ties and n1*n2 is small;
+//  - approximate: normal approximation with tie correction and continuity
+//    correction, matching scipy.stats.mannwhitneyu(method="asymptotic").
+
+#include <cstddef>
+#include <span>
+
+namespace repro::stats {
+
+enum class Alternative {
+  kTwoSided,
+  kLess,     // H1: distribution of A is stochastically less than B
+  kGreater,  // H1: distribution of A is stochastically greater than B
+};
+
+struct MannWhitneyResult {
+  double u_a = 0.0;     ///< U statistic attributed to sample A.
+  double u_b = 0.0;     ///< U statistic attributed to sample B (u_a + u_b = n1*n2).
+  double p_value = 1.0;
+  bool exact = false;   ///< true if the exact null distribution was used.
+};
+
+/// Run the MWU test between samples a and b.
+/// Throws std::invalid_argument when either sample is empty.
+[[nodiscard]] MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                               std::span<const double> b,
+                                               Alternative alternative = Alternative::kTwoSided);
+
+/// Convenience: true when the two-sided MWU p-value is below alpha.
+[[nodiscard]] bool significantly_different(std::span<const double> a,
+                                           std::span<const double> b,
+                                           double alpha = 0.01);
+
+}  // namespace repro::stats

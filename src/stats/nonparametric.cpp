@@ -1,0 +1,153 @@
+#include "stats/nonparametric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace repro::stats {
+namespace {
+
+/// Lower regularized incomplete gamma P(a, x) by series expansion
+/// (Numerical Recipes "gser"), valid for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double delta = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    delta *= x / ap;
+    sum += delta;
+    if (std::abs(delta) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Upper regularized incomplete gamma Q(a, x) by continued fraction
+/// (Numerical Recipes "gcf"), valid for x >= a + 1.
+double gamma_q_fraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double factor = d * c;
+    h *= factor;
+    if (std::abs(factor - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_q(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::invalid_argument("regularized_gamma_q: requires a > 0, x >= 0");
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_fraction(a, x);
+}
+
+double chi_squared_sf(double x, unsigned dof) {
+  if (dof < 1) throw std::invalid_argument("chi_squared_sf: dof must be >= 1");
+  if (x < 0.0) throw std::invalid_argument("chi_squared_sf: x must be >= 0");
+  return regularized_gamma_q(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+KruskalWallisResult kruskal_wallis(std::span<const std::vector<double>> groups) {
+  if (groups.size() < 2) {
+    throw std::invalid_argument("kruskal_wallis: need at least 2 groups");
+  }
+  std::vector<double> pooled;
+  for (const auto& group : groups) {
+    if (group.empty()) throw std::invalid_argument("kruskal_wallis: empty group");
+    pooled.insert(pooled.end(), group.begin(), group.end());
+  }
+  const std::vector<double> ranks = ranks_with_ties(pooled);
+  const auto n = static_cast<double>(pooled.size());
+
+  double h = 0.0;
+  std::size_t cursor = 0;
+  for (const auto& group : groups) {
+    double rank_sum = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i) rank_sum += ranks[cursor + i];
+    cursor += group.size();
+    h += rank_sum * rank_sum / static_cast<double>(group.size());
+  }
+  h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+
+  // Tie correction.
+  std::vector<double> sorted(pooled);
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  const double correction = 1.0 - tie_term / (n * n * n - n);
+  if (correction > 0.0) h /= correction;
+
+  KruskalWallisResult result;
+  result.h = h;
+  result.dof = static_cast<unsigned>(groups.size() - 1);
+  result.p_value = chi_squared_sf(std::max(h, 0.0), result.dof);
+  return result;
+}
+
+FriedmanResult friedman(std::span<const std::vector<double>> blocks) {
+  if (blocks.size() < 2) throw std::invalid_argument("friedman: need >= 2 blocks");
+  const std::size_t k = blocks.front().size();
+  if (k < 2) throw std::invalid_argument("friedman: need >= 2 treatments");
+  for (const auto& block : blocks) {
+    if (block.size() != k) throw std::invalid_argument("friedman: ragged blocks");
+  }
+  const auto b = static_cast<double>(blocks.size());
+  const auto kd = static_cast<double>(k);
+
+  std::vector<double> rank_sums(k, 0.0);
+  double tie_correction_sum = 0.0;  // sum over blocks of (t^3 - t) terms
+  for (const auto& block : blocks) {
+    const std::vector<double> ranks = ranks_with_ties(block);
+    for (std::size_t j = 0; j < k; ++j) rank_sums[j] += ranks[j];
+    std::vector<double> sorted(block);
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_correction_sum += t * t * t - t;
+      i = j + 1;
+    }
+  }
+
+  double sum_sq = 0.0;
+  for (double rank_sum : rank_sums) sum_sq += rank_sum * rank_sum;
+  double chi2 = 12.0 / (b * kd * (kd + 1.0)) * sum_sq - 3.0 * b * (kd + 1.0);
+  const double correction = 1.0 - tie_correction_sum / (b * (kd * kd * kd - kd));
+  if (correction > 0.0) chi2 /= correction;
+
+  FriedmanResult result;
+  result.chi2 = chi2;
+  result.dof = static_cast<unsigned>(k - 1);
+  result.p_value = chi_squared_sf(std::max(chi2, 0.0), result.dof);
+  result.mean_ranks.resize(k);
+  for (std::size_t j = 0; j < k; ++j) result.mean_ranks[j] = rank_sums[j] / b;
+  return result;
+}
+
+}  // namespace repro::stats

@@ -1,0 +1,43 @@
+#pragma once
+// Multi-group nonparametric tests complementing the pairwise Mann-Whitney U
+// the paper uses: Kruskal-Wallis (k independent samples — "is any algorithm
+// different?") and Friedman (k treatments over b blocks — "do algorithms
+// rank consistently across benchmark/architecture panels?"). Both reduce to
+// a chi-squared tail probability, provided here via the regularized upper
+// incomplete gamma function.
+
+#include <span>
+#include <vector>
+
+namespace repro::stats {
+
+/// Survival function of the chi-squared distribution with `dof` degrees of
+/// freedom: P(X >= x). Throws std::invalid_argument for dof < 1 or x < 0.
+[[nodiscard]] double chi_squared_sf(double x, unsigned dof);
+
+/// Regularized upper incomplete gamma Q(a, x) = Gamma(a, x) / Gamma(a).
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
+struct KruskalWallisResult {
+  double h = 0.0;        ///< tie-corrected H statistic
+  double p_value = 1.0;  ///< chi-squared approximation, k-1 dof
+  unsigned dof = 0;
+};
+
+/// Kruskal-Wallis H test over k >= 2 groups (each non-empty).
+[[nodiscard]] KruskalWallisResult kruskal_wallis(
+    std::span<const std::vector<double>> groups);
+
+struct FriedmanResult {
+  double chi2 = 0.0;     ///< tie-corrected Friedman statistic
+  double p_value = 1.0;  ///< chi-squared approximation, k-1 dof
+  unsigned dof = 0;
+  std::vector<double> mean_ranks;  ///< per treatment (1 = best/lowest)
+};
+
+/// Friedman test on a blocks x treatments matrix (each row one block, all
+/// rows the same length >= 2; at least 2 blocks).
+[[nodiscard]] FriedmanResult friedman(
+    std::span<const std::vector<double>> blocks);
+
+}  // namespace repro::stats

@@ -1,0 +1,102 @@
+#include "stats/paired.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace repro::stats {
+
+WilcoxonResult wilcoxon_signed_rank(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("wilcoxon_signed_rank: size mismatch");
+  }
+  if (a.empty()) throw std::invalid_argument("wilcoxon_signed_rank: empty input");
+
+  std::vector<double> magnitudes;
+  std::vector<int> signs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double difference = a[i] - b[i];
+    if (difference == 0.0) continue;  // Wilcoxon drops exact zeros
+    magnitudes.push_back(std::abs(difference));
+    signs.push_back(difference > 0.0 ? 1 : -1);
+  }
+
+  WilcoxonResult result;
+  result.n_effective = magnitudes.size();
+  if (magnitudes.empty()) return result;  // all pairs tied: p = 1
+
+  const std::vector<double> ranks = ranks_with_ties(magnitudes);
+  double positive = 0.0;
+  double negative = 0.0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    (signs[i] > 0 ? positive : negative) += ranks[i];
+  }
+  result.w = std::min(positive, negative);
+
+  const auto n = static_cast<double>(result.n_effective);
+  if (result.n_effective < 6) return result;  // too few pairs for significance
+
+  // Normal approximation with tie correction and continuity correction.
+  const double mean_w = n * (n + 1.0) / 4.0;
+  double tie_term = 0.0;
+  {
+    std::vector<double> sorted(magnitudes);
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_term += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  const double var_w = n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_term / 48.0;
+  if (var_w <= 0.0) return result;
+  const double z = (result.w - mean_w + 0.5) / std::sqrt(var_w);
+  result.p_value = std::clamp(2.0 * normal_cdf(z), 0.0, 1.0);
+  return result;
+}
+
+double spearman_rho(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("spearman_rho: size mismatch");
+  if (a.size() < 2) throw std::invalid_argument("spearman_rho: need n >= 2");
+  const std::vector<double> rank_a = ranks_with_ties(a);
+  const std::vector<double> rank_b = ranks_with_ties(b);
+  const double mean_rank = (static_cast<double>(a.size()) + 1.0) / 2.0;
+  double covariance = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = rank_a[i] - mean_rank;
+    const double db = rank_b[i] - mean_rank;
+    covariance += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;  // a constant input has no ranking
+  return covariance / std::sqrt(var_a * var_b);
+}
+
+std::vector<double> holm_bonferroni(std::span<const double> p_values) {
+  const std::size_t m = p_values.size();
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return p_values[x] < p_values[y]; });
+  std::vector<double> adjusted(m, 1.0);
+  double running_max = 0.0;
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    const std::size_t index = order[rank];
+    const double scaled =
+        p_values[index] * static_cast<double>(m - rank);  // (m - rank) tests remain
+    running_max = std::max(running_max, scaled);
+    adjusted[index] = std::min(1.0, running_max);
+  }
+  return adjusted;
+}
+
+}  // namespace repro::stats

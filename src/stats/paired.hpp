@@ -1,0 +1,40 @@
+#pragma once
+// Paired and rank-correlation statistics complementing the study toolkit:
+//
+//  - Wilcoxon signed-rank test: the paired counterpart of the rank-sum
+//    test (Table I's Akiba et al. row reports a "Paired MWU", which is
+//    this test). Right tool when the same benchmark/architecture panels
+//    are measured under two algorithms.
+//  - Spearman rank correlation: monotone-association measure; used here to
+//    quantify how faithfully a low-fidelity proxy ranks configurations.
+//  - Holm-Bonferroni step-down correction: family-wise error control for
+//    the many per-cell hypothesis tests heatmap studies run at once.
+
+#include <span>
+#include <vector>
+
+namespace repro::stats {
+
+struct WilcoxonResult {
+  double w = 0.0;        ///< min of positive/negative signed-rank sums
+  double p_value = 1.0;  ///< normal approximation (tie/zero corrected)
+  std::size_t n_effective = 0;  ///< pairs with non-zero difference
+};
+
+/// Two-sided Wilcoxon signed-rank test on paired samples (equal length,
+/// length >= 1). Zero differences are dropped (Wilcoxon's convention);
+/// throws std::invalid_argument on size mismatch or empty input. With
+/// fewer than 6 effective pairs significance is unattainable and p = 1.
+[[nodiscard]] WilcoxonResult wilcoxon_signed_rank(std::span<const double> a,
+                                                  std::span<const double> b);
+
+/// Spearman's rho: Pearson correlation of tie-averaged ranks, in [-1, 1].
+/// Throws std::invalid_argument on size mismatch or n < 2.
+[[nodiscard]] double spearman_rho(std::span<const double> a, std::span<const double> b);
+
+/// Holm-Bonferroni step-down adjustment: returns adjusted p-values aligned
+/// with the input (each clamped to [p_raw, 1]); reject H0_i at level alpha
+/// iff adjusted[i] <= alpha, controlling the family-wise error rate.
+[[nodiscard]] std::vector<double> holm_bonferroni(std::span<const double> p_values);
+
+}  // namespace repro::stats

@@ -1,0 +1,103 @@
+#include "tuner/dataset.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace repro::tuner {
+
+Dataset Dataset::collect(const ParamSpace& space, const Objective& objective,
+                         std::size_t count, repro::Rng& rng) {
+  Dataset dataset;
+  dataset.entries_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DatasetEntry entry;
+    entry.config = space.sample_executable(rng);
+    const Evaluation eval = objective(entry.config);
+    entry.value = eval.value;
+    entry.valid = eval.valid;
+    dataset.entries_.push_back(std::move(entry));
+  }
+  return dataset;
+}
+
+std::span<const DatasetEntry> Dataset::subdivision(std::size_t sample_size,
+                                                   std::size_t experiment) const {
+  const std::size_t begin = sample_size * experiment;
+  if (begin + sample_size > entries_.size()) {
+    throw std::out_of_range("Dataset::subdivision past end of dataset");
+  }
+  return {entries_.data() + begin, sample_size};
+}
+
+double Dataset::best_of(std::span<const DatasetEntry> slice) noexcept {
+  double best = std::numeric_limits<double>::quiet_NaN();
+  bool found = false;
+  for (const DatasetEntry& entry : slice) {
+    if (!entry.valid) continue;
+    if (!found || entry.value < best) {
+      best = entry.value;
+      found = true;
+    }
+  }
+  return best;
+}
+
+bool Dataset::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  const std::size_t params = entries_.empty() ? 0 : entries_.front().config.size();
+  for (std::size_t p = 0; p < params; ++p) out << 'p' << p << ',';
+  out << "value,valid\n";
+  out.precision(17);
+  for (const DatasetEntry& entry : entries_) {
+    for (int v : entry.config) out << v << ',';
+    out << entry.value << ',' << (entry.valid ? 1 : 0) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+Dataset Dataset::load_csv(const std::string& path, const ParamSpace& space) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Dataset::load_csv: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("Dataset::load_csv: empty file " + path);
+  }
+  std::vector<DatasetEntry> entries;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::stringstream fields(line);
+    std::string field;
+    DatasetEntry entry;
+    entry.config.reserve(space.num_params());
+    for (std::size_t p = 0; p < space.num_params(); ++p) {
+      if (!std::getline(fields, field, ',')) {
+        throw std::runtime_error("Dataset::load_csv: short row at line " +
+                                 std::to_string(line_number));
+      }
+      entry.config.push_back(std::stoi(field));
+    }
+    if (!std::getline(fields, field, ',')) {
+      throw std::runtime_error("Dataset::load_csv: missing value at line " +
+                               std::to_string(line_number));
+    }
+    entry.value = std::stod(field);
+    if (!std::getline(fields, field, ',')) {
+      throw std::runtime_error("Dataset::load_csv: missing validity at line " +
+                               std::to_string(line_number));
+    }
+    entry.valid = field == "1" || field == "true";
+    if (!space.in_range(entry.config)) {
+      throw std::runtime_error("Dataset::load_csv: out-of-range config at line " +
+                               std::to_string(line_number));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return Dataset(std::move(entries));
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,59 @@
+#pragma once
+// Pre-collected sample dataset, mirroring the paper's streamlined non-SMBO
+// pipeline (Section VI-B): "we streamline the experimental sample
+// collection process by creating a dataset of 20 000 samples in one go for
+// each architecture and benchmark. We can then subdivide the samples for
+// each sample size and experiment."
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/objective.hpp"
+#include "tuner/search_space.hpp"
+
+namespace repro::tuner {
+
+struct DatasetEntry {
+  Configuration config;
+  double value = 0.0;
+  bool valid = false;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  /// Adopt pre-measured entries (e.g. collected in parallel by the harness).
+  explicit Dataset(std::vector<DatasetEntry> entries) : entries_(std::move(entries)) {}
+
+  /// Collect `count` executable configurations, each measured once.
+  static Dataset collect(const ParamSpace& space, const Objective& objective,
+                         std::size_t count, repro::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const DatasetEntry& entry(std::size_t i) const { return entries_.at(i); }
+  [[nodiscard]] std::span<const DatasetEntry> all() const noexcept { return entries_; }
+
+  /// Contiguous slice for experiment `experiment` of size `sample_size`
+  /// (the paper's subdivision). Throws std::out_of_range if it would run
+  /// past the end of the dataset.
+  [[nodiscard]] std::span<const DatasetEntry> subdivision(std::size_t sample_size,
+                                                          std::size_t experiment) const;
+
+  /// Minimum valid value within a slice; NaN if none valid.
+  [[nodiscard]] static double best_of(std::span<const DatasetEntry> slice) noexcept;
+
+  /// CSV persistence (Kernel Tuner "cache file" style): one row per entry,
+  /// parameter columns then value and validity. save() returns false on IO
+  /// failure; load() throws std::runtime_error on malformed input.
+  bool save_csv(const std::string& path) const;
+  static Dataset load_csv(const std::string& path, const ParamSpace& space);
+
+ private:
+  std::vector<DatasetEntry> entries_;
+};
+
+}  // namespace repro::tuner

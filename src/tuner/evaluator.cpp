@@ -1,0 +1,28 @@
+#include "tuner/evaluator.hpp"
+
+namespace repro::tuner {
+
+Evaluator::Evaluator(const ParamSpace& space, Objective objective, std::size_t budget)
+    : space_(space), objective_(std::move(objective)), budget_(budget) {}
+
+Evaluation Evaluator::evaluate(const Configuration& config) {
+  if (!space_.in_range(config)) {
+    throw std::invalid_argument("Evaluator: configuration out of range");
+  }
+  const std::uint64_t key = space_.encode(config);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    return it->second;
+  }
+  if (used_ >= budget_) throw BudgetExhausted{};
+  ++used_;
+  const Evaluation result = objective_(config);
+  cache_.emplace(key, result);
+  if (result.valid && (!has_best_ || result.value < best_value_)) {
+    has_best_ = true;
+    best_value_ = result.value;
+    best_config_ = config;
+  }
+  return result;
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,58 @@
+#pragma once
+// Budget-enforcing, caching evaluation broker between search algorithms and
+// the objective.
+//
+// Paper protocol (Section VI-A): every configuration is measured once
+// during search. Repeated proposals of the same configuration therefore
+// return the cached measurement without consuming budget (the behaviour of
+// Kernel Tuner's cache file, which the paper's GA baseline relies on).
+// The budget counts *measurements*; when it is exhausted further calls
+// throw BudgetExhausted, which algorithms use as their stop signal.
+
+#include <cstddef>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "tuner/objective.hpp"
+#include "tuner/search_space.hpp"
+
+namespace repro::tuner {
+
+struct BudgetExhausted : std::runtime_error {
+  BudgetExhausted() : std::runtime_error("evaluation budget exhausted") {}
+};
+
+class Evaluator {
+ public:
+  Evaluator(const ParamSpace& space, Objective objective, std::size_t budget);
+
+  /// Measure (or return the cached measurement of) a configuration.
+  /// Throws BudgetExhausted when a fresh measurement would exceed budget;
+  /// throws std::invalid_argument for configurations outside the parameter
+  /// ranges (algorithms must clamp first).
+  Evaluation evaluate(const Configuration& config);
+
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return budget_ - used_; }
+  [[nodiscard]] bool exhausted() const noexcept { return used_ >= budget_; }
+
+  /// Best *valid* measurement observed so far.
+  [[nodiscard]] bool has_best() const noexcept { return has_best_; }
+  [[nodiscard]] const Configuration& best_config() const noexcept { return best_config_; }
+  [[nodiscard]] double best_value() const noexcept { return best_value_; }
+
+  [[nodiscard]] const ParamSpace& space() const noexcept { return space_; }
+
+ private:
+  const ParamSpace& space_;
+  Objective objective_;
+  std::size_t budget_;
+  std::size_t used_ = 0;
+  std::unordered_map<std::uint64_t, Evaluation> cache_;
+  Configuration best_config_;
+  double best_value_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace repro::tuner

@@ -1,0 +1,181 @@
+#include "tuner/extras/auc_bandit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace repro::tuner {
+namespace {
+
+/// A steppable proposal source. Techniques share the incumbent/elite state
+/// owned by the ensemble and only differ in how they generate candidates.
+struct EnsembleState {
+  struct Elite {
+    Configuration config;
+    double value;
+  };
+  std::vector<Elite> elites;  ///< best configurations seen, ascending value
+
+  void record(const Configuration& config, double value, std::size_t capacity) {
+    const auto position = std::lower_bound(
+        elites.begin(), elites.end(), value,
+        [](const Elite& e, double v) { return e.value < v; });
+    elites.insert(position, {config, value});
+    if (elites.size() > capacity) elites.resize(capacity);
+  }
+  [[nodiscard]] bool empty() const noexcept { return elites.empty(); }
+};
+
+Configuration repair(const ParamSpace& space, Configuration config, repro::Rng& rng) {
+  config = space.clamp(std::move(config));
+  for (unsigned attempt = 0; attempt < 64 && !space.is_executable(config); ++attempt) {
+    const std::size_t g = static_cast<std::size_t>(rng.next_below(config.size()));
+    config[g] = static_cast<int>(rng.uniform_int(space.param(g).lo, space.param(g).hi));
+  }
+  if (!space.is_executable(config)) config = space.sample_executable(rng);
+  return config;
+}
+
+class Technique {
+ public:
+  virtual ~Technique() = default;
+  virtual Configuration propose(const ParamSpace& space, const EnsembleState& state,
+                                repro::Rng& rng) = 0;
+};
+
+/// Pure random sampling (the ensemble's exploration floor).
+class RandomTechnique final : public Technique {
+ public:
+  Configuration propose(const ParamSpace& space, const EnsembleState&,
+                        repro::Rng& rng) override {
+    return space.sample_executable(rng);
+  }
+};
+
+/// Mutate the incumbent (or a random elite) by +-radius on a few parameters.
+class MutateTechnique final : public Technique {
+ public:
+  explicit MutateTechnique(int radius) : radius_(radius) {}
+
+  Configuration propose(const ParamSpace& space, const EnsembleState& state,
+                        repro::Rng& rng) override {
+    if (state.empty()) return space.sample_executable(rng);
+    const std::size_t pick = rng.next_below(std::min<std::size_t>(3, state.elites.size()));
+    Configuration config = state.elites[pick].config;
+    const std::size_t moves = 1 + rng.next_below(2);
+    for (std::size_t m = 0; m < moves; ++m) {
+      const std::size_t g = static_cast<std::size_t>(rng.next_below(config.size()));
+      int delta = 0;
+      while (delta == 0) delta = static_cast<int>(rng.uniform_int(-radius_, radius_));
+      config[g] += delta;
+    }
+    return repair(space, std::move(config), rng);
+  }
+
+ private:
+  int radius_;
+};
+
+/// Uniform crossover of two random elites.
+class CrossoverTechnique final : public Technique {
+ public:
+  Configuration propose(const ParamSpace& space, const EnsembleState& state,
+                        repro::Rng& rng) override {
+    if (state.elites.size() < 2) return space.sample_executable(rng);
+    const std::size_t a = rng.next_below(state.elites.size());
+    std::size_t b = rng.next_below(state.elites.size());
+    if (b == a) b = (b + 1) % state.elites.size();
+    Configuration child = state.elites[a].config;
+    for (std::size_t g = 0; g < child.size(); ++g) {
+      if (rng.bernoulli(0.5)) child[g] = state.elites[b].config[g];
+    }
+    return repair(space, std::move(child), rng);
+  }
+};
+
+}  // namespace
+
+TuneResult AucBandit::minimize(const ParamSpace& space, Evaluator& evaluator,
+                               repro::Rng& rng) {
+  std::vector<std::unique_ptr<Technique>> techniques;
+  techniques.push_back(std::make_unique<RandomTechnique>());
+  techniques.push_back(std::make_unique<MutateTechnique>(1));
+  techniques.push_back(std::make_unique<MutateTechnique>(3));
+  techniques.push_back(std::make_unique<CrossoverTechnique>());
+
+  // Per-technique sliding window of outcomes (1 = proposal improved the
+  // incumbent). The AUC score weights recent successes more (OpenTuner's
+  // area-under-curve credit assignment).
+  std::vector<std::deque<int>> history(techniques.size());
+  std::vector<std::size_t> uses(techniques.size(), 0);
+  std::size_t total_uses = 0;
+
+  const auto auc_score = [&](std::size_t t) {
+    const auto& window = history[t];
+    if (window.empty()) return 0.0;
+    double score = 0.0;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      const double weight = static_cast<double>(i + 1);  // recency weighting
+      score += weight * window[i];
+      norm += weight;
+    }
+    return score / norm;
+  };
+
+  EnsembleState state;
+  double incumbent = std::numeric_limits<double>::infinity();
+
+  try {
+    // Seed with a couple of random samples so the elites exist.
+    for (int i = 0; i < 2 && !evaluator.exhausted(); ++i) {
+      const Configuration config = space.sample_executable(rng);
+      const Evaluation eval = evaluator.evaluate(config);
+      if (eval.valid) {
+        state.record(config, eval.value, options_.elite_pool);
+        incumbent = std::min(incumbent, eval.value);
+      }
+    }
+
+    const std::size_t max_steps = 64 * evaluator.budget() + 64;
+    for (std::size_t step = 0; step < max_steps; ++step) {
+      // UCB over AUC scores.
+      std::size_t chosen = 0;
+      double best_score = -std::numeric_limits<double>::infinity();
+      for (std::size_t t = 0; t < techniques.size(); ++t) {
+        double score;
+        if (uses[t] == 0) {
+          score = std::numeric_limits<double>::infinity();  // try everything once
+        } else {
+          score = auc_score(t) +
+                  options_.exploration *
+                      std::sqrt(std::log(static_cast<double>(total_uses + 1)) /
+                                static_cast<double>(uses[t]));
+        }
+        if (score > best_score) {
+          best_score = score;
+          chosen = t;
+        }
+      }
+
+      const Configuration config = techniques[chosen]->propose(space, state, rng);
+      const Evaluation eval = evaluator.evaluate(config);
+      ++uses[chosen];
+      ++total_uses;
+      const bool improved = eval.valid && eval.value < incumbent;
+      history[chosen].push_back(improved ? 1 : 0);
+      if (history[chosen].size() > options_.window) history[chosen].pop_front();
+      if (eval.valid) {
+        state.record(config, eval.value, options_.elite_pool);
+        incumbent = std::min(incumbent, eval.value);
+      }
+    }
+  } catch (const BudgetExhausted&) {
+    // normal termination
+  }
+  return result_from(evaluator);
+}
+
+}  // namespace repro::tuner

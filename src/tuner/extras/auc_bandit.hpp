@@ -1,0 +1,35 @@
+#pragma once
+// OpenTuner-style ensemble search (Ansel et al., PACT 2014 — the
+// "multi-armed bandit" row of the paper's Table I). A pool of cheap,
+// steppable techniques (random sampling, mutation hill-climbing at two
+// radii, elite crossover) proposes one configuration per step; an AUC
+// bandit allocates steps to whichever technique has recently produced
+// improvements, with a UCB-style exploration bonus.
+//
+// Constraint-aware, like the other non-SMBO methods: proposals are
+// repaired into the executable sub-space.
+
+#include "tuner/tuner.hpp"
+
+namespace repro::tuner {
+
+struct AucBanditOptions {
+  std::size_t window = 50;          ///< history window for the AUC score
+  double exploration = 1.4;         ///< UCB exploration coefficient (OpenTuner C)
+  std::size_t elite_pool = 8;       ///< configurations the crossover draws from
+};
+
+class AucBandit final : public SearchAlgorithm {
+ public:
+  explicit AucBandit(AucBanditOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "AUC Bandit"; }
+
+  TuneResult minimize(const ParamSpace& space, Evaluator& evaluator,
+                      repro::Rng& rng) override;
+
+ private:
+  AucBanditOptions options_;
+};
+
+}  // namespace repro::tuner

@@ -1,0 +1,101 @@
+#include "tuner/extras/pso.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace repro::tuner {
+
+TuneResult ParticleSwarm::minimize(const ParamSpace& space, Evaluator& evaluator,
+                                   repro::Rng& rng) {
+  const std::size_t dims = space.num_params();
+  struct Particle {
+    std::vector<double> position;  // normalized [0,1]^d
+    std::vector<double> velocity;
+    std::vector<double> best_position;
+    double best_value = std::numeric_limits<double>::infinity();
+  };
+
+  auto to_config = [&](const std::vector<double>& position) {
+    Configuration config(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const ParamRange& param = space.param(d);
+      const double span = static_cast<double>(param.hi - param.lo);
+      config[d] = param.lo +
+                  static_cast<int>(std::lround(std::clamp(position[d], 0.0, 1.0) * span));
+    }
+    // Repair to executable by shrinking the largest constrained parameter.
+    for (unsigned attempt = 0; attempt < 64 && !space.is_executable(config); ++attempt) {
+      const std::size_t g = static_cast<std::size_t>(rng.next_below(dims));
+      if (config[g] > space.param(g).lo) --config[g];
+    }
+    if (!space.is_executable(config)) config = space.sample_executable(rng);
+    return config;
+  };
+
+  const std::size_t swarm_size =
+      std::max<std::size_t>(2, std::min(options_.swarm, evaluator.budget()));
+  std::vector<Particle> swarm(swarm_size);
+  std::vector<double> global_best_position;
+  double global_best_value = std::numeric_limits<double>::infinity();
+
+  try {
+    for (Particle& particle : swarm) {
+      particle.position.resize(dims);
+      particle.velocity.resize(dims);
+      const Configuration seed = space.sample_executable(rng);
+      particle.position = space.normalize(seed);
+      for (std::size_t d = 0; d < dims; ++d) {
+        particle.velocity[d] = rng.uniform(-0.2, 0.2);
+      }
+      const Evaluation eval = evaluator.evaluate(to_config(particle.position));
+      const double value =
+          eval.valid ? eval.value : std::numeric_limits<double>::infinity();
+      particle.best_position = particle.position;
+      particle.best_value = value;
+      if (value < global_best_value) {
+        global_best_value = value;
+        global_best_position = particle.position;
+      }
+    }
+
+    const std::size_t max_rounds = 64 * evaluator.budget() + 64;
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+      for (Particle& particle : swarm) {
+        for (std::size_t d = 0; d < dims; ++d) {
+          const double toward_self =
+              particle.best_position.empty()
+                  ? 0.0
+                  : particle.best_position[d] - particle.position[d];
+          const double toward_global =
+              global_best_position.empty()
+                  ? 0.0
+                  : global_best_position[d] - particle.position[d];
+          particle.velocity[d] = options_.inertia * particle.velocity[d] +
+                                 options_.cognitive * rng.uniform() * toward_self +
+                                 options_.social * rng.uniform() * toward_global;
+          particle.velocity[d] = std::clamp(particle.velocity[d], -0.5, 0.5);
+          particle.position[d] =
+              std::clamp(particle.position[d] + particle.velocity[d], 0.0, 1.0);
+        }
+        const Evaluation eval = evaluator.evaluate(to_config(particle.position));
+        const double value =
+            eval.valid ? eval.value : std::numeric_limits<double>::infinity();
+        if (value < particle.best_value) {
+          particle.best_value = value;
+          particle.best_position = particle.position;
+        }
+        if (value < global_best_value) {
+          global_best_value = value;
+          global_best_position = particle.position;
+        }
+      }
+    }
+  } catch (const BudgetExhausted&) {
+    // normal termination
+  }
+  return result_from(evaluator);
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,31 @@
+#pragma once
+// Particle Swarm Optimization — the second CLTune baseline (Nugteren &
+// Codreanu [11]). Particles move in the continuous relaxation of the
+// integer space and are rounded + repaired to executable configurations
+// before evaluation.
+
+#include "tuner/tuner.hpp"
+
+namespace repro::tuner {
+
+struct PsoOptions {
+  std::size_t swarm = 16;
+  double inertia = 0.72;
+  double cognitive = 1.49;  ///< pull toward the particle's own best
+  double social = 1.49;     ///< pull toward the swarm best
+};
+
+class ParticleSwarm final : public SearchAlgorithm {
+ public:
+  explicit ParticleSwarm(PsoOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "PSO"; }
+
+  TuneResult minimize(const ParamSpace& space, Evaluator& evaluator,
+                      repro::Rng& rng) override;
+
+ private:
+  PsoOptions options_;
+};
+
+}  // namespace repro::tuner

@@ -1,0 +1,64 @@
+#include "tuner/extras/simulated_annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace repro::tuner {
+
+TuneResult SimulatedAnnealing::minimize(const ParamSpace& space, Evaluator& evaluator,
+                                        repro::Rng& rng) {
+  try {
+    Configuration current = space.sample_executable(rng);
+    Evaluation current_eval = evaluator.evaluate(current);
+    double scale = current_eval.valid ? std::abs(current_eval.value) : 1.0;
+
+    const auto budget = static_cast<double>(std::max<std::size_t>(evaluator.budget(), 2));
+    const double cooling =
+        std::pow(options_.final_temperature / options_.initial_temperature, 1.0 / budget);
+    double temperature = options_.initial_temperature;
+
+    const std::size_t max_moves = 64 * evaluator.budget() + 64;
+    for (std::size_t move = 0; move < max_moves; ++move) {
+      // Neighbor: perturb one parameter by up to max_step, repaired to the
+      // executable sub-space.
+      Configuration neighbor = current;
+      for (unsigned attempt = 0; attempt < 64; ++attempt) {
+        neighbor = current;
+        const std::size_t g = static_cast<std::size_t>(rng.next_below(neighbor.size()));
+        int delta = 0;
+        while (delta == 0) {
+          delta = static_cast<int>(rng.uniform_int(-options_.max_step, options_.max_step));
+        }
+        neighbor[g] += delta;
+        neighbor = space.clamp(std::move(neighbor));
+        if (space.is_executable(neighbor)) break;
+      }
+      if (!space.is_executable(neighbor)) neighbor = space.sample_executable(rng);
+
+      const Evaluation neighbor_eval = evaluator.evaluate(neighbor);
+      const double current_value = current_eval.valid
+                                       ? current_eval.value
+                                       : std::numeric_limits<double>::infinity();
+      const double neighbor_value = neighbor_eval.valid
+                                        ? neighbor_eval.value
+                                        : std::numeric_limits<double>::infinity();
+      bool accept = neighbor_value <= current_value;
+      if (!accept && std::isfinite(neighbor_value)) {
+        const double delta = (neighbor_value - current_value) / std::max(scale, 1e-12);
+        accept = rng.bernoulli(std::exp(-delta / std::max(temperature, 1e-12)));
+      }
+      if (accept) {
+        current = neighbor;
+        current_eval = neighbor_eval;
+        if (neighbor_eval.valid) scale = std::abs(neighbor_eval.value);
+      }
+      temperature *= cooling;
+    }
+  } catch (const BudgetExhausted&) {
+    // normal termination
+  }
+  return result_from(evaluator);
+}
+
+}  // namespace repro::tuner

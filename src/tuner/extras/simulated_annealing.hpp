@@ -1,0 +1,31 @@
+#pragma once
+// Simulated Annealing — one of the two CLTune baselines (Nugteren &
+// Codreanu [11]) the paper's related-work section compares against RS.
+// Neighborhood moves perturb one parameter by a small step; the temperature
+// follows a geometric schedule sized to the budget. Constraint-aware
+// (CLTune searches only permissible configurations).
+
+#include "tuner/tuner.hpp"
+
+namespace repro::tuner {
+
+struct SaOptions {
+  double initial_temperature = 1.0;  ///< relative to the observed value scale
+  double final_temperature = 1e-3;
+  int max_step = 2;                  ///< per-move parameter perturbation
+};
+
+class SimulatedAnnealing final : public SearchAlgorithm {
+ public:
+  explicit SimulatedAnnealing(SaOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "SA"; }
+
+  TuneResult minimize(const ParamSpace& space, Evaluator& evaluator,
+                      repro::Rng& rng) override;
+
+ private:
+  SaOptions options_;
+};
+
+}  // namespace repro::tuner

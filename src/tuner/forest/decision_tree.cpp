@@ -1,0 +1,151 @@
+#include "tuner/forest/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace repro::tuner {
+namespace {
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::infinity();  ///< weighted SSE
+};
+
+/// Best variance-reduction split of indices[begin, end) on one feature.
+/// Returns infinity score when no valid split exists.
+SplitCandidate best_split_on_feature(std::span<const std::vector<double>> X,
+                                     std::span<const double> y,
+                                     std::span<std::size_t> indices, int feature,
+                                     std::size_t min_samples_leaf) {
+  SplitCandidate best;
+  const std::size_t n = indices.size();
+  // Sort this segment's indices by the feature value.
+  std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+    return X[a][feature] < X[b][feature];
+  });
+  // Prefix sums enable O(1) SSE at every split point:
+  // SSE = sum(y^2) - (sum y)^2 / n for each side.
+  double left_sum = 0.0, left_sq = 0.0;
+  double total_sum = 0.0, total_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total_sum += y[indices[i]];
+    total_sq += y[indices[i]] * y[indices[i]];
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double value = y[indices[i]];
+    left_sum += value;
+    left_sq += value * value;
+    // Can only split between distinct feature values.
+    if (X[indices[i]][feature] == X[indices[i + 1]][feature]) continue;
+    const std::size_t left_n = i + 1;
+    const std::size_t right_n = n - left_n;
+    if (left_n < min_samples_leaf || right_n < min_samples_leaf) continue;
+    const double right_sum = total_sum - left_sum;
+    const double right_sq = total_sq - left_sq;
+    const double sse = (left_sq - left_sum * left_sum / static_cast<double>(left_n)) +
+                       (right_sq - right_sum * right_sum / static_cast<double>(right_n));
+    if (sse < best.score) {
+      best.score = sse;
+      best.feature = feature;
+      best.threshold = 0.5 * (X[indices[i]][feature] + X[indices[i + 1]][feature]);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void DecisionTree::fit(std::span<const std::vector<double>> X, std::span<const double> y,
+                       const TreeOptions& options, repro::Rng& rng) {
+  if (X.size() != y.size() || X.empty()) {
+    throw std::invalid_argument("DecisionTree::fit: bad training set");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> indices(X.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  build(X, y, indices, 0, X.size(), 0, options, rng);
+}
+
+std::int32_t DecisionTree::build(std::span<const std::vector<double>> X,
+                                 std::span<const double> y,
+                                 std::vector<std::size_t>& indices, std::size_t begin,
+                                 std::size_t end, std::size_t level,
+                                 const TreeOptions& options, repro::Rng& rng) {
+  depth_ = std::max(depth_, level);
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    sum += y[indices[i]];
+    sum_sq += y[indices[i]] * y[indices[i]];
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double node_sse = sum_sq - sum * mean;
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.value = mean;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  // Pure (zero-variance) nodes are leaves; splitting them cannot help.
+  if (n < options.min_samples_split || level >= options.max_depth ||
+      node_sse <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Candidate features (random subset when max_features is set).
+  const std::size_t num_features = X[indices[begin]].size();
+  std::vector<int> features(num_features);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t feature_count = num_features;
+  if (options.max_features > 0 && options.max_features < num_features) {
+    rng.shuffle(std::span<int>(features));
+    feature_count = options.max_features;
+  }
+
+  SplitCandidate best;
+  std::span<std::size_t> segment(indices.data() + begin, n);
+  for (std::size_t f = 0; f < feature_count; ++f) {
+    const SplitCandidate candidate = best_split_on_feature(
+        X, y, segment, features[f], options.min_samples_leaf);
+    if (candidate.score < best.score) best = candidate;
+  }
+  if (best.feature < 0) return make_leaf();
+
+  // Partition the segment on the chosen split.
+  const auto middle_it = std::partition(
+      indices.begin() + begin, indices.begin() + end,
+      [&](std::size_t i) { return X[i][best.feature] <= best.threshold; });
+  const std::size_t middle = static_cast<std::size_t>(middle_it - indices.begin());
+  if (middle == begin || middle == end) return make_leaf();
+
+  const std::int32_t node_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  nodes_[node_index].value = mean;
+  const std::int32_t left = build(X, y, indices, begin, middle, level + 1, options, rng);
+  const std::int32_t right = build(X, y, indices, middle, end, level + 1, options, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::predict(std::span<const double> x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::predict before fit");
+  std::int32_t node = 0;
+  for (;;) {
+    const Node& current = nodes_[node];
+    if (current.feature < 0) return current.value;
+    node = x[current.feature] <= current.threshold ? current.left : current.right;
+  }
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,55 @@
+#pragma once
+// CART regression tree with variance-reduction splits and random feature
+// subsetting — the building block of the Random Forest regressor
+// (Breiman 2001), which the paper uses via sklearn's
+// RandomForestRegressor. Features are the (integer) tuning parameters.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace repro::tuner {
+
+struct TreeOptions {
+  std::size_t max_depth = 24;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per split; 0 = all (sklearn RandomForestRegressor
+  /// default is all features for regression).
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on row-major samples: X[i] is the i-th feature vector, y[i] its
+  /// target. `rng` drives feature subsetting (unused when max_features=0).
+  void fit(std::span<const std::vector<double>> X, std::span<const double> y,
+           const TreeOptions& options, repro::Rng& rng);
+
+  [[nodiscard]] double predict(std::span<const double> x) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] bool fitted() const noexcept { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    int feature = -1;
+    double threshold = 0.0;   ///< go left if x[feature] <= threshold
+    double value = 0.0;       ///< leaf prediction (mean of targets)
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(std::span<const std::vector<double>> X, std::span<const double> y,
+                     std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+                     std::size_t level, const TreeOptions& options, repro::Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace repro::tuner

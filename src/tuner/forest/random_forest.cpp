@@ -1,0 +1,55 @@
+#include "tuner/forest/random_forest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::tuner {
+
+void RandomForestRegressor::fit(std::span<const std::vector<double>> X,
+                                std::span<const double> y, repro::Rng& rng) {
+  if (X.size() != y.size() || X.empty()) {
+    throw std::invalid_argument("RandomForestRegressor::fit: bad training set");
+  }
+  trees_.assign(options_.n_estimators, DecisionTree{});
+  std::vector<std::vector<double>> boot_X;
+  std::vector<double> boot_y;
+  for (DecisionTree& tree : trees_) {
+    if (options_.bootstrap) {
+      boot_X.clear();
+      boot_y.clear();
+      boot_X.reserve(X.size());
+      boot_y.reserve(y.size());
+      for (std::size_t i = 0; i < X.size(); ++i) {
+        const auto pick = static_cast<std::size_t>(rng.next_below(X.size()));
+        boot_X.push_back(X[pick]);
+        boot_y.push_back(y[pick]);
+      }
+      tree.fit(boot_X, boot_y, options_.tree, rng);
+    } else {
+      tree.fit(X, y, options_.tree, rng);
+    }
+  }
+}
+
+double RandomForestRegressor::predict(std::span<const double> x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForestRegressor::predict before fit");
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+double RandomForestRegressor::predict_stddev(std::span<const double> x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForestRegressor::predict before fit");
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    const double p = tree.predict(x);
+    sum += p;
+    sq += p * p;
+  }
+  const double n = static_cast<double>(trees_.size());
+  const double mean = sum / n;
+  return std::sqrt(std::max(0.0, sq / n - mean * mean));
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,42 @@
+#pragma once
+// Random Forest regressor (Breiman 2001): bootstrap-bagged CART trees with
+// optional random feature subsetting, prediction by ensemble mean —
+// mirroring sklearn.ensemble.RandomForestRegressor, which the paper uses
+// (Section VI-B).
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/forest/decision_tree.hpp"
+
+namespace repro::tuner {
+
+struct ForestOptions {
+  std::size_t n_estimators = 100;  ///< sklearn default
+  TreeOptions tree;
+  bool bootstrap = true;
+};
+
+class RandomForestRegressor {
+ public:
+  explicit RandomForestRegressor(ForestOptions options = {}) : options_(options) {}
+
+  void fit(std::span<const std::vector<double>> X, std::span<const double> y,
+           repro::Rng& rng);
+
+  [[nodiscard]] double predict(std::span<const double> x) const;
+
+  /// Out-of-bag-style ensemble spread (stddev of per-tree predictions),
+  /// a cheap uncertainty proxy used by tests and ablations.
+  [[nodiscard]] double predict_stddev(std::span<const double> x) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace repro::tuner

@@ -1,0 +1,79 @@
+#include "tuner/forest/rf_tuner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace repro::tuner {
+
+TuneResult RandomForestTuner::minimize(const ParamSpace& space, Evaluator& evaluator,
+                                       repro::Rng& rng) {
+  const std::size_t budget = evaluator.budget();
+  const std::size_t predictions = std::min(options_.top_predictions, budget);
+  const std::size_t train_budget = budget - predictions;
+
+  // Stage 1: collect the training set (each sample measured once).
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  std::unordered_set<std::uint64_t> seen;
+  X.reserve(train_budget);
+  y.reserve(train_budget);
+  try {
+    std::size_t draws = 0;
+    const std::size_t max_draws = 64 * budget + 64;
+    while (evaluator.used() < train_budget && draws++ < max_draws) {
+      const Configuration config = space.sample_executable(rng);
+      const std::uint64_t key = space.encode(config);
+      if (!seen.insert(key).second) continue;  // cached duplicate, skip
+      const Evaluation eval = evaluator.evaluate(config);
+      if (!eval.valid) continue;  // executable pre-filtering makes this rare
+      X.push_back(space.normalize(config));
+      y.push_back(eval.value);
+    }
+  } catch (const BudgetExhausted&) {
+    return result_from(evaluator);
+  }
+
+  if (X.size() < 2) {
+    // Degenerate training set: spend the remaining budget randomly.
+    try {
+      while (!evaluator.exhausted()) {
+        (void)evaluator.evaluate(space.sample_executable(rng));
+      }
+    } catch (const BudgetExhausted&) {
+    }
+    return result_from(evaluator);
+  }
+
+  // Stage 2: fit and rank an executable candidate pool.
+  RandomForestRegressor forest(options_.forest);
+  forest.fit(X, y, rng);
+
+  struct Scored {
+    double prediction;
+    Configuration config;
+  };
+  std::vector<Scored> pool;
+  pool.reserve(options_.candidate_pool);
+  for (std::size_t i = 0; i < options_.candidate_pool; ++i) {
+    Configuration candidate = space.sample_executable(rng);
+    if (seen.contains(space.encode(candidate))) continue;  // already measured
+    const std::vector<double> features = space.normalize(candidate);
+    pool.push_back({forest.predict(features), std::move(candidate)});
+  }
+  const std::size_t keep = std::min(predictions, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + keep, pool.end(),
+                    [](const Scored& a, const Scored& b) {
+                      return a.prediction < b.prediction;
+                    });
+
+  // Measure the top predictions; best observation wins.
+  try {
+    for (std::size_t i = 0; i < keep; ++i) {
+      (void)evaluator.evaluate(pool[i].config);
+    }
+  } catch (const BudgetExhausted&) {
+  }
+  return result_from(evaluator);
+}
+
+}  // namespace repro::tuner

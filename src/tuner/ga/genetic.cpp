@@ -1,0 +1,111 @@
+#include "tuner/ga/genetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace repro::tuner {
+namespace {
+
+struct Individual {
+  Configuration genes;
+  double fitness = std::numeric_limits<double>::infinity();  // lower is better
+  bool valid = false;
+};
+
+/// Rank-weighted parent index: probability proportional to
+/// (n - rank), with the population sorted best-first.
+std::size_t select_parent(std::size_t population, repro::Rng& rng) {
+  std::vector<double> weights(population);
+  for (std::size_t i = 0; i < population; ++i) {
+    weights[i] = static_cast<double>(population - i);
+  }
+  return rng.weighted_index(weights);
+}
+
+}  // namespace
+
+TuneResult GeneticAlgorithm::minimize(const ParamSpace& space, Evaluator& evaluator,
+                                      repro::Rng& rng) {
+  const std::size_t population_size =
+      std::max<std::size_t>(2, std::min(options_.population, evaluator.budget()));
+
+  std::vector<Individual> population;
+  population.reserve(population_size);
+
+  auto evaluate_individual = [&](Individual& individual) {
+    const Evaluation eval = evaluator.evaluate(individual.genes);
+    individual.valid = eval.valid;
+    individual.fitness =
+        eval.valid ? eval.value : std::numeric_limits<double>::infinity();
+  };
+
+  auto repair = [&](Configuration genes) {
+    // Re-mutate genes until the executability constraint holds (bounded).
+    for (unsigned attempt = 0; attempt < 64 && !space.is_executable(genes); ++attempt) {
+      const std::size_t g = static_cast<std::size_t>(rng.next_below(genes.size()));
+      genes[g] = static_cast<int>(
+          rng.uniform_int(space.param(g).lo, space.param(g).hi));
+    }
+    if (!space.is_executable(genes)) genes = space.sample_executable(rng);
+    return genes;
+  };
+
+  try {
+    // Initial population: executable configurations.
+    for (std::size_t i = 0; i < population_size; ++i) {
+      Individual individual;
+      individual.genes = space.sample_executable(rng);
+      evaluate_individual(individual);
+      population.push_back(std::move(individual));
+    }
+
+    // Generations until the budget runs out. The cap guards against a
+    // fully-converged population whose offspring are all cached duplicates
+    // (which consume no budget); leftover budget is spent randomly below.
+    for (std::size_t generation = 0; generation < 2048; ++generation) {
+      std::sort(population.begin(), population.end(),
+                [](const Individual& a, const Individual& b) {
+                  return a.fitness < b.fitness;
+                });
+
+      std::vector<Individual> next;
+      next.reserve(population_size);
+      for (std::size_t e = 0; e < std::min(options_.elites, population.size()); ++e) {
+        next.push_back(population[e]);
+      }
+      while (next.size() < population_size) {
+        const Individual& mother = population[select_parent(population.size(), rng)];
+        const Individual& father = population[select_parent(population.size(), rng)];
+        Configuration child = mother.genes;
+        if (rng.bernoulli(options_.crossover_probability)) {
+          for (std::size_t g = 0; g < child.size(); ++g) {
+            if (rng.bernoulli(0.5)) child[g] = father.genes[g];
+          }
+        }
+        for (std::size_t g = 0; g < child.size(); ++g) {
+          if (rng.bernoulli(options_.mutation_chance)) {
+            child[g] = static_cast<int>(
+                rng.uniform_int(space.param(g).lo, space.param(g).hi));
+          }
+        }
+        Individual offspring;
+        offspring.genes = repair(std::move(child));
+        // Duplicates of already-measured configurations are served from the
+        // evaluator cache and cost no budget, as in Kernel Tuner.
+        evaluate_individual(offspring);
+        next.push_back(std::move(offspring));
+      }
+      population = std::move(next);
+    }
+    while (!evaluator.exhausted()) {
+      (void)evaluator.evaluate(space.sample_executable(rng));
+    }
+  } catch (const BudgetExhausted&) {
+    // normal termination
+  }
+  return result_from(evaluator);
+}
+
+}  // namespace repro::tuner

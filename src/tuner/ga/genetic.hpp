@@ -1,0 +1,35 @@
+#pragma once
+// Genetic Algorithm, modelled on the Kernel Tuner implementation of
+// van Werkhoven [12] that the paper reuses ("we based our Genetic Algorithm
+// implementation on the implementation that van Werkhoven used", Section
+// VI-B): population 20, rank-weighted parent selection, uniform crossover,
+// per-gene mutation, duplicate-caching evaluation, generations sized to the
+// sample budget. The initial population is drawn from the executable
+// sub-space and invalid offspring are repaired by re-mutating genes
+// (Kernel Tuner's "restrictions" mechanism).
+
+#include "tuner/tuner.hpp"
+
+namespace repro::tuner {
+
+struct GaOptions {
+  std::size_t population = 20;        ///< Kernel Tuner default
+  double mutation_chance = 0.1;       ///< per-gene resample probability
+  double crossover_probability = 0.7; ///< else parents are cloned
+  std::size_t elites = 2;             ///< carried over unchanged
+};
+
+class GeneticAlgorithm final : public SearchAlgorithm {
+ public:
+  explicit GeneticAlgorithm(GaOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "GA"; }
+
+  TuneResult minimize(const ParamSpace& space, Evaluator& evaluator,
+                      repro::Rng& rng) override;
+
+ private:
+  GaOptions options_;
+};
+
+}  // namespace repro::tuner

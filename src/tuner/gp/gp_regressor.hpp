@@ -1,0 +1,67 @@
+#pragma once
+// Gaussian process regression with a Matérn-5/2 kernel plus white noise —
+// the surrogate behind scikit-optimize's gp_minimize, which the paper uses
+// for BO GP (Section VI-B). Targets are standardized internally; inputs are
+// expected in [0,1]^d (ParamSpace::normalize).
+
+#include <span>
+#include <vector>
+
+#include "tuner/gp/linalg.hpp"
+
+namespace repro::tuner {
+
+struct GpHyperparams {
+  double lengthscale = 0.3;   ///< isotropic, in normalized input space
+  double signal_variance = 1.0;
+  double noise_variance = 1e-2;
+};
+
+/// Matérn-5/2 covariance between two points at distance r (scaled by ell).
+[[nodiscard]] double matern52(double r, double lengthscale, double signal_variance);
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< posterior variance (>= 0), in standardized units
+};
+
+class GpRegressor {
+ public:
+  explicit GpRegressor(GpHyperparams hyper = {}) : hyper_(hyper) {}
+
+  /// Fit on normalized inputs and raw targets. Targets are standardized
+  /// internally (mean 0, stddev 1). Returns false when the covariance
+  /// matrix is not positive definite even after jitter escalation.
+  bool fit(std::span<const std::vector<double>> X, std::span<const double> y);
+
+  /// Posterior at a normalized input; mean is de-standardized, variance is
+  /// reported in (de-standardized) target units squared.
+  [[nodiscard]] GpPrediction predict(std::span<const double> x) const;
+
+  /// Log marginal likelihood of the current fit (standardized units).
+  [[nodiscard]] double log_marginal_likelihood() const noexcept { return lml_; }
+
+  /// Maximize the LML over (lengthscale, noise) with a coarse-to-fine
+  /// coordinate grid search, then refit. Requires at least 2 points.
+  bool optimize_hyperparams(std::span<const std::vector<double>> X,
+                            std::span<const double> y);
+
+  [[nodiscard]] const GpHyperparams& hyperparams() const noexcept { return hyper_; }
+  void set_hyperparams(const GpHyperparams& hyper) noexcept { hyper_ = hyper; }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t num_points() const noexcept { return X_.size(); }
+
+ private:
+  [[nodiscard]] double kernel(std::span<const double> a, std::span<const double> b) const;
+
+  GpHyperparams hyper_;
+  std::vector<std::vector<double>> X_;
+  std::vector<double> alpha_;   ///< (K + sigma^2 I)^{-1} y_standardized
+  Matrix chol_;                 ///< lower Cholesky factor
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  double lml_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace repro::tuner

@@ -1,0 +1,57 @@
+#include "tuner/gp/linalg.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace repro::tuner {
+
+bool cholesky_inplace(Matrix& a) {
+  const std::size_t n = a.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a.at(j, k) * a.at(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double root = std::sqrt(diag);
+    a.at(j, j) = root;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double value = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) value -= a.at(i, k) * a.at(j, k);
+      a.at(i, j) = value / root;
+    }
+  }
+  return true;
+}
+
+void solve_lower(const Matrix& l, std::span<const double> b, std::span<double> x) {
+  const std::size_t n = l.size();
+  assert(b.size() == n && x.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = b[i];
+    for (std::size_t k = 0; k < i; ++k) value -= l.at(i, k) * x[k];
+    x[i] = value / l.at(i, i);
+  }
+}
+
+void solve_lower_transpose(const Matrix& l, std::span<const double> b, std::span<double> x) {
+  const std::size_t n = l.size();
+  assert(b.size() == n && x.size() == n);
+  for (std::size_t i = n; i-- > 0;) {
+    double value = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) value -= l.at(k, i) * x[k];
+    x[i] = value / l.at(i, i);
+  }
+}
+
+void solve_cholesky(const Matrix& l, std::span<const double> b, std::span<double> x) {
+  std::vector<double> tmp(l.size());
+  solve_lower(l, b, tmp);
+  solve_lower_transpose(l, tmp, x);
+}
+
+double log_diag_sum(const Matrix& l) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < l.size(); ++i) sum += std::log(l.at(i, i));
+  return sum;
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,48 @@
+#pragma once
+// Small dense linear algebra for Gaussian process regression: row-major
+// square matrices, Cholesky factorization and triangular solves. Sizes are
+// bounded by the GP training-set cap (a few hundred), so simple cache-
+// friendly loops are sufficient.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace repro::tuner {
+
+/// Row-major square matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  explicit Matrix(std::size_t n, double fill = 0.0) : n_(n), data_(n * n, fill) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept { return data_[r * n_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * n_ + c];
+  }
+  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place lower Cholesky factorization A = L L^T (upper triangle is left
+/// untouched). Returns false if A is not (numerically) positive definite.
+[[nodiscard]] bool cholesky_inplace(Matrix& a);
+
+/// Solve L x = b with L lower-triangular (forward substitution).
+void solve_lower(const Matrix& l, std::span<const double> b, std::span<double> x);
+
+/// Solve L^T x = b with L lower-triangular (backward substitution).
+void solve_lower_transpose(const Matrix& l, std::span<const double> b, std::span<double> x);
+
+/// Solve (L L^T) x = b given the Cholesky factor L.
+void solve_cholesky(const Matrix& l, std::span<const double> b, std::span<double> x);
+
+/// Sum of log of diagonal entries (log det(L) for a Cholesky factor).
+[[nodiscard]] double log_diag_sum(const Matrix& l);
+
+}  // namespace repro::tuner

@@ -1,0 +1,27 @@
+#include "tuner/multifidelity/fidelity.hpp"
+
+#include <algorithm>
+
+#include "tuner/evaluator.hpp"  // BudgetExhausted
+
+namespace repro::tuner {
+
+Evaluation FidelityEvaluator::evaluate(const Configuration& config, double fidelity) {
+  if (!space_.in_range(config)) {
+    throw std::invalid_argument("FidelityEvaluator: configuration out of range");
+  }
+  fidelity = std::clamp(fidelity, 1e-6, 1.0);
+  if (used_ + fidelity > budget_ + 1e-9) throw BudgetExhausted{};
+  used_ += fidelity;
+  ++evaluations_;
+  const Evaluation result = objective_(config, fidelity);
+  if (fidelity >= 1.0 - 1e-9 && result.valid &&
+      (!has_best_ || result.value < best_value_)) {
+    has_best_ = true;
+    best_value_ = result.value;
+    best_config_ = config;
+  }
+  return result;
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,91 @@
+#pragma once
+// Multi-fidelity evaluation: the substrate for HyperBand and BOHB, the
+// methods the paper names as future work (Section VIII-A, citing Falkner
+// et al.'s BOHB). A fidelity in (0, 1] selects a cheaper proxy of the
+// objective (for GPU autotuning: a scaled-down problem size); evaluating at
+// fidelity f costs f full-evaluation units of budget.
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+
+#include "tuner/objective.hpp"
+#include "tuner/search_space.hpp"
+
+namespace repro::tuner {
+
+/// One measurement of `config` at `fidelity` in (0, 1].
+using MultiFidelityObjective =
+    std::function<Evaluation(const Configuration&, double fidelity)>;
+
+/// Budget broker in full-evaluation units: an evaluation at fidelity f
+/// consumes f units. Exhaustion throws BudgetExhausted (tuner.hpp).
+class FidelityEvaluator {
+ public:
+  FidelityEvaluator(const ParamSpace& space, MultiFidelityObjective objective,
+                    double budget_units)
+      : space_(space), objective_(std::move(objective)), budget_(budget_units) {
+    if (budget_units <= 0.0) {
+      throw std::invalid_argument("FidelityEvaluator: non-positive budget");
+    }
+  }
+
+  /// Measure `config` at `fidelity` (clamped to (0, 1]).
+  Evaluation evaluate(const Configuration& config, double fidelity);
+
+  [[nodiscard]] double budget() const noexcept { return budget_; }
+  [[nodiscard]] double used() const noexcept { return used_; }
+  [[nodiscard]] double remaining() const noexcept { return budget_ - used_; }
+  [[nodiscard]] bool exhausted() const noexcept { return used_ >= budget_ - 1e-9; }
+  [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
+
+  /// Best *full-fidelity* valid observation so far.
+  [[nodiscard]] bool has_best() const noexcept { return has_best_; }
+  [[nodiscard]] const Configuration& best_config() const noexcept { return best_config_; }
+  [[nodiscard]] double best_value() const noexcept { return best_value_; }
+
+  [[nodiscard]] const ParamSpace& space() const noexcept { return space_; }
+
+ private:
+  const ParamSpace& space_;
+  MultiFidelityObjective objective_;
+  double budget_;
+  double used_ = 0.0;
+  std::size_t evaluations_ = 0;
+  Configuration best_config_;
+  double best_value_ = 0.0;
+  bool has_best_ = false;
+};
+
+struct FidelityTuneResult {
+  Configuration best_config;
+  double best_value = 0.0;   ///< best full-fidelity observation
+  bool found_valid = false;
+  double units_used = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Interface for budgeted multi-fidelity searchers.
+class MultiFidelitySearch {
+ public:
+  virtual ~MultiFidelitySearch() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual FidelityTuneResult minimize(const ParamSpace& space,
+                                      FidelityEvaluator& evaluator,
+                                      repro::Rng& rng) = 0;
+
+ protected:
+  static FidelityTuneResult result_from(const FidelityEvaluator& evaluator) {
+    FidelityTuneResult result;
+    result.found_valid = evaluator.has_best();
+    if (result.found_valid) {
+      result.best_config = evaluator.best_config();
+      result.best_value = evaluator.best_value();
+    }
+    result.units_used = evaluator.used();
+    result.evaluations = evaluator.evaluations();
+    return result;
+  }
+};
+
+}  // namespace repro::tuner

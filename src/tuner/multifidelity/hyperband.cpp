@@ -1,0 +1,185 @@
+#include "tuner/multifidelity/hyperband.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "tuner/evaluator.hpp"  // BudgetExhausted
+
+namespace repro::tuner {
+namespace {
+
+struct Observation {
+  Configuration config;
+  double fidelity = 0.0;
+  double value = 0.0;
+  bool valid = false;
+};
+
+/// Configuration proposal source: uniform for HyperBand, TPE-guided for
+/// BOHB. Both draw from the executable sub-space.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  virtual Configuration propose(const ParamSpace& space, repro::Rng& rng) = 0;
+  virtual void record(const Observation&) {}
+};
+
+class UniformSampler final : public Sampler {
+ public:
+  Configuration propose(const ParamSpace& space, repro::Rng& rng) override {
+    return space.sample_executable(rng);
+  }
+};
+
+/// BOHB's model-based sampler: per-fidelity histories; proposals come from
+/// a TPE-style l/g Parzen ratio fitted on the *highest* fidelity with
+/// enough valid points (Falkner et al., Algorithm 2, categorical case).
+class TpeSampler final : public Sampler {
+ public:
+  explicit TpeSampler(const BohbOptions& options) : options_(options) {}
+
+  Configuration propose(const ParamSpace& space, repro::Rng& rng) override {
+    if (rng.uniform() < options_.random_fraction) return space.sample_executable(rng);
+    const std::vector<Observation>* history = nullptr;
+    double best_fidelity = 0.0;
+    for (const auto& [fidelity, observations] : by_fidelity_) {
+      if (observations.size() >= options_.min_model_points && fidelity > best_fidelity) {
+        best_fidelity = fidelity;
+        history = &observations;
+      }
+    }
+    if (history == nullptr) return space.sample_executable(rng);
+
+    // Split the fidelity's history at the gamma quantile.
+    std::vector<std::size_t> order(history->size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return (*history)[a].value < (*history)[b].value;
+    });
+    const std::size_t n_good = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::ceil(options_.gamma *
+                                              static_cast<double>(order.size()))));
+
+    std::vector<ParzenCategorical> good, bad;
+    for (const ParamRange& param : space.params()) {
+      good.emplace_back(param.lo, param.hi, options_.prior_weight);
+      bad.emplace_back(param.lo, param.hi, options_.prior_weight);
+    }
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      auto& target = rank < n_good ? good : bad;
+      for (std::size_t d = 0; d < space.num_params(); ++d) {
+        target[d].add((*history)[order[rank]].config[d]);
+      }
+    }
+
+    double best_ratio = -std::numeric_limits<double>::infinity();
+    Configuration best;
+    for (std::size_t c = 0; c < options_.ei_candidates; ++c) {
+      Configuration candidate(space.num_params());
+      for (std::size_t d = 0; d < space.num_params(); ++d) {
+        candidate[d] = good[d].sample(rng);
+      }
+      if (!space.is_executable(candidate)) continue;
+      double log_ratio = 0.0;
+      for (std::size_t d = 0; d < space.num_params(); ++d) {
+        log_ratio += std::log(good[d].probability(candidate[d])) -
+                     std::log(bad[d].probability(candidate[d]));
+      }
+      if (log_ratio > best_ratio) {
+        best_ratio = log_ratio;
+        best = std::move(candidate);
+      }
+    }
+    if (best.empty()) return space.sample_executable(rng);
+    return best;
+  }
+
+  void record(const Observation& observation) override {
+    if (!observation.valid) return;
+    by_fidelity_[observation.fidelity].push_back(observation);
+  }
+
+ private:
+  BohbOptions options_;
+  std::map<double, std::vector<Observation>> by_fidelity_;
+};
+
+/// Run HyperBand brackets with the given proposal source until the budget
+/// is exhausted.
+FidelityTuneResult run_hyperband(const HyperbandOptions& options, Sampler& sampler,
+                                 const ParamSpace& space, FidelityEvaluator& evaluator,
+                                 repro::Rng& rng) {
+  const double eta = options.eta;
+  const double r_max = 1.0 / options.min_fidelity;  // resource ratio
+  const int s_max = static_cast<int>(std::floor(std::log(r_max) / std::log(eta)));
+
+  struct Candidate {
+    Configuration config;
+    double value = std::numeric_limits<double>::infinity();
+  };
+
+  try {
+    for (std::size_t round = 0; round < options.max_brackets; ++round) {
+      for (int s = s_max; s >= 0; --s) {
+        // Bracket s: n configurations starting at fidelity eta^-s.
+        const auto n = static_cast<std::size_t>(
+            std::ceil(static_cast<double>(s_max + 1) / (s + 1) * std::pow(eta, s)));
+        double fidelity = std::pow(eta, -s);
+
+        std::vector<Candidate> rung;
+        rung.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          rung.push_back({sampler.propose(space, rng), 0.0});
+        }
+        for (int stage = s;; --stage) {
+          for (Candidate& candidate : rung) {
+            const Evaluation eval = evaluator.evaluate(candidate.config, fidelity);
+            candidate.value =
+                eval.valid ? eval.value : std::numeric_limits<double>::infinity();
+            sampler.record({candidate.config, fidelity, eval.value, eval.valid});
+          }
+          if (stage == 0) break;
+          // Promote the best 1/eta to eta-times the fidelity.
+          const std::size_t keep = std::max<std::size_t>(
+              1, static_cast<std::size_t>(static_cast<double>(rung.size()) / eta));
+          std::partial_sort(rung.begin(), rung.begin() + keep, rung.end(),
+                            [](const Candidate& a, const Candidate& b) {
+                              return a.value < b.value;
+                            });
+          rung.resize(keep);
+          fidelity = std::min(1.0, fidelity * eta);
+        }
+      }
+    }
+  } catch (const BudgetExhausted&) {
+    // normal termination
+  }
+  FidelityTuneResult result;
+  result.found_valid = evaluator.has_best();
+  if (result.found_valid) {
+    result.best_config = evaluator.best_config();
+    result.best_value = evaluator.best_value();
+  }
+  result.units_used = evaluator.used();
+  result.evaluations = evaluator.evaluations();
+  return result;
+}
+
+}  // namespace
+
+FidelityTuneResult HyperBand::minimize(const ParamSpace& space,
+                                       FidelityEvaluator& evaluator, repro::Rng& rng) {
+  UniformSampler sampler;
+  return run_hyperband(options_, sampler, space, evaluator, rng);
+}
+
+FidelityTuneResult Bohb::minimize(const ParamSpace& space, FidelityEvaluator& evaluator,
+                                  repro::Rng& rng) {
+  TpeSampler sampler(options_);
+  return run_hyperband(options_.hyperband, sampler, space, evaluator, rng);
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,60 @@
+#pragma once
+// HyperBand (Li et al.) and BOHB (Falkner, Klein & Hutter 2018) — the
+// multi-fidelity methods the paper proposes comparing against as future
+// work (Section VIII-A).
+//
+// HyperBand runs successive-halving brackets: many configurations at a
+// cheap fidelity, promoting the best eta-fraction to eta-times the
+// fidelity until survivors reach full fidelity. BOHB replaces HyperBand's
+// uniform configuration sampling with a TPE model fitted on the highest
+// fidelity that has enough observations.
+//
+// For GPU autotuning the fidelity axis is the problem size (a kernel tuned
+// on a quarter-size image is a cheap, imperfect proxy — rank correlation
+// across sizes is what these methods exploit). Both samplers here are
+// constraint-aware: unlike the paper's off-the-shelf SMBO libraries, a
+// purpose-built tuner has no reason to discard the known constraint.
+
+#include "tuner/multifidelity/fidelity.hpp"
+#include "tuner/tpe/bo_tpe.hpp"
+
+namespace repro::tuner {
+
+struct HyperbandOptions {
+  double eta = 3.0;        ///< halving rate
+  double min_fidelity = 1.0 / 27.0;
+  std::size_t max_brackets = 64;  ///< loop brackets until budget runs out
+};
+
+class HyperBand final : public MultiFidelitySearch {
+ public:
+  explicit HyperBand(HyperbandOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override { return "HB"; }
+  FidelityTuneResult minimize(const ParamSpace& space, FidelityEvaluator& evaluator,
+                              repro::Rng& rng) override;
+
+ private:
+  HyperbandOptions options_;
+};
+
+struct BohbOptions {
+  HyperbandOptions hyperband;
+  double gamma = 0.25;            ///< TPE good/bad split
+  std::size_t min_model_points = 8;  ///< per fidelity before the model engages
+  std::size_t ei_candidates = 24;
+  double prior_weight = 1.0;
+  double random_fraction = 0.2;   ///< fraction of proposals kept random
+};
+
+class Bohb final : public MultiFidelitySearch {
+ public:
+  explicit Bohb(BohbOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override { return "BOHB"; }
+  FidelityTuneResult minimize(const ParamSpace& space, FidelityEvaluator& evaluator,
+                              repro::Rng& rng) override;
+
+ private:
+  BohbOptions options_;
+};
+
+}  // namespace repro::tuner

@@ -1,0 +1,22 @@
+#pragma once
+// Objective function abstraction: one *measurement* of a configuration.
+// Minimization throughout (runtimes). Invalid configurations (failed
+// builds/launches) report valid=false — SMBO methods searching the
+// unconstrained space observe these as failures, exactly as in the paper.
+
+#include <functional>
+#include <limits>
+
+#include "tuner/search_space.hpp"
+
+namespace repro::tuner {
+
+struct Evaluation {
+  double value = std::numeric_limits<double>::quiet_NaN();
+  bool valid = false;
+};
+
+/// One (noisy) measurement. Implementations capture their own RNG stream.
+using Objective = std::function<Evaluation(const Configuration&)>;
+
+}  // namespace repro::tuner

@@ -1,0 +1,21 @@
+#include "tuner/random_search.hpp"
+
+namespace repro::tuner {
+
+TuneResult RandomSearch::minimize(const ParamSpace& space, Evaluator& evaluator,
+                                  repro::Rng& rng) {
+  // Duplicate draws hit the evaluator cache and cost no budget; the
+  // iteration guard bounds the loop for pathological tiny spaces.
+  const std::size_t max_draws = 64 * evaluator.budget() + 64;
+  std::size_t draws = 0;
+  try {
+    while (!evaluator.exhausted() && draws++ < max_draws) {
+      (void)evaluator.evaluate(space.sample_executable(rng));
+    }
+  } catch (const BudgetExhausted&) {
+    // normal termination
+  }
+  return result_from(evaluator);
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,19 @@
+#pragma once
+// Random Search (RS), the paper's baseline: draw budget-many executable
+// configurations uniformly at random and keep the best (Section VI-B —
+// "simply select the minimum runtime from the collection of S samples").
+// RS is a non-SMBO method and is therefore constraint-aware.
+
+#include "tuner/tuner.hpp"
+
+namespace repro::tuner {
+
+class RandomSearch final : public SearchAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "RS"; }
+
+  TuneResult minimize(const ParamSpace& space, Evaluator& evaluator,
+                      repro::Rng& rng) override;
+};
+
+}  // namespace repro::tuner

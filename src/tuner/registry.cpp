@@ -1,0 +1,73 @@
+#include "tuner/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "tuner/extras/auc_bandit.hpp"
+#include "tuner/extras/pso.hpp"
+#include "tuner/extras/simulated_annealing.hpp"
+#include "tuner/forest/rf_tuner.hpp"
+#include "tuner/ga/genetic.hpp"
+#include "tuner/gp/bo_gp.hpp"
+#include "tuner/random_search.hpp"
+#include "tuner/tpe/bo_tpe.hpp"
+
+namespace repro::tuner {
+namespace {
+
+std::string canonical(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c == ' ' || c == '_' || c == '-') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<SearchAlgorithm> make_algorithm(const std::string& name) {
+  const std::string id = canonical(name);
+  if (id == "rs" || id == "random" || id == "randomsearch") {
+    return std::make_unique<RandomSearch>();
+  }
+  if (id == "rf" || id == "randomforest") {
+    return std::make_unique<RandomForestTuner>();
+  }
+  if (id == "ga" || id == "genetic") {
+    return std::make_unique<GeneticAlgorithm>();
+  }
+  if (id == "bogp" || id == "gp") {
+    return std::make_unique<BoGp>();
+  }
+  if (id == "botpe" || id == "tpe") {
+    return std::make_unique<BoTpe>();
+  }
+  if (id == "sa" || id == "simulatedannealing") {
+    return std::make_unique<SimulatedAnnealing>();
+  }
+  if (id == "pso" || id == "particleswarm") {
+    return std::make_unique<ParticleSwarm>();
+  }
+  if (id == "bandit" || id == "aucbandit" || id == "opentuner") {
+    return std::make_unique<AucBandit>();
+  }
+  throw std::out_of_range("unknown algorithm: " + name);
+}
+
+const std::vector<std::string>& paper_algorithms() {
+  static const std::vector<std::string> ids = {"rs", "rf", "ga", "bogp", "botpe"};
+  return ids;
+}
+
+const std::vector<std::string>& all_algorithms() {
+  static const std::vector<std::string> ids = {"rs", "rf", "ga", "bogp", "botpe", "sa", "pso", "bandit"};
+  return ids;
+}
+
+std::string display_name(const std::string& id) {
+  return make_algorithm(id)->name();
+}
+
+}  // namespace repro::tuner

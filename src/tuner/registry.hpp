@@ -1,0 +1,30 @@
+#pragma once
+// Factory registry mapping algorithm names to fresh SearchAlgorithm
+// instances. The canonical study set (paper Table I, Tørring row) is
+// {RS, RF, GA, BO GP, BO TPE}; "SA"/"PSO" (CLTune baselines) and "bandit"
+// (OpenTuner-style AUC-bandit ensemble) are available for the ablation and
+// comparison benches.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tuner/tuner.hpp"
+
+namespace repro::tuner {
+
+/// Construct an algorithm by name ("rs", "rf", "ga", "bogp", "botpe",
+/// "sa", "pso", "bandit"; case-insensitive, spaces/underscores ignored).
+/// Throws std::out_of_range for unknown names.
+[[nodiscard]] std::unique_ptr<SearchAlgorithm> make_algorithm(const std::string& name);
+
+/// Canonical identifiers of the paper's five algorithms, in figure order.
+[[nodiscard]] const std::vector<std::string>& paper_algorithms();
+
+/// All registered identifiers (paper set + extras).
+[[nodiscard]] const std::vector<std::string>& all_algorithms();
+
+/// Display name ("BO GP") for an identifier ("bogp").
+[[nodiscard]] std::string display_name(const std::string& id);
+
+}  // namespace repro::tuner

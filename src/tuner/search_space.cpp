@@ -1,0 +1,100 @@
+#include "tuner/search_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::tuner {
+
+ParamSpace::ParamSpace(std::vector<ParamRange> params, Constraint constraint)
+    : params_(std::move(params)), constraint_(std::move(constraint)) {
+  for (const ParamRange& param : params_) {
+    if (param.hi < param.lo) {
+      throw std::invalid_argument("ParamSpace: empty range for " + param.name);
+    }
+  }
+}
+
+std::uint64_t ParamSpace::size() const noexcept {
+  std::uint64_t total = 1;
+  for (const ParamRange& param : params_) total *= param.cardinality();
+  return total;
+}
+
+bool ParamSpace::in_range(const Configuration& config) const noexcept {
+  if (config.size() != params_.size()) return false;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (config[i] < params_[i].lo || config[i] > params_[i].hi) return false;
+  }
+  return true;
+}
+
+bool ParamSpace::is_executable(const Configuration& config) const noexcept {
+  if (!in_range(config)) return false;
+  return constraint_ == nullptr || constraint_(config);
+}
+
+std::uint64_t ParamSpace::encode(const Configuration& config) const {
+  if (!in_range(config)) throw std::invalid_argument("encode: configuration out of range");
+  std::uint64_t index = 0;
+  for (std::size_t i = params_.size(); i-- > 0;) {
+    index = index * params_[i].cardinality() +
+            static_cast<std::uint64_t>(config[i] - params_[i].lo);
+  }
+  return index;
+}
+
+Configuration ParamSpace::decode(std::uint64_t index) const {
+  if (index >= size()) throw std::out_of_range("decode: index out of range");
+  Configuration config(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const std::uint64_t card = params_[i].cardinality();
+    config[i] = params_[i].lo + static_cast<int>(index % card);
+    index /= card;
+  }
+  return config;
+}
+
+Configuration ParamSpace::sample(repro::Rng& rng) const {
+  Configuration config(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    config[i] = static_cast<int>(rng.uniform_int(params_[i].lo, params_[i].hi));
+  }
+  return config;
+}
+
+Configuration ParamSpace::sample_executable(repro::Rng& rng, unsigned max_tries) const {
+  for (unsigned attempt = 0; attempt < max_tries; ++attempt) {
+    Configuration config = sample(rng);
+    if (constraint_ == nullptr || constraint_(config)) return config;
+  }
+  throw std::runtime_error("sample_executable: constraint rejection limit reached");
+}
+
+std::vector<double> ParamSpace::normalize(const Configuration& config) const {
+  std::vector<double> out(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const double span = static_cast<double>(params_[i].hi - params_[i].lo);
+    out[i] = span == 0.0 ? 0.5
+                         : (static_cast<double>(config[i]) - params_[i].lo) / span;
+  }
+  return out;
+}
+
+Configuration ParamSpace::clamp(Configuration config) const noexcept {
+  for (std::size_t i = 0; i < std::min(config.size(), params_.size()); ++i) {
+    config[i] = std::clamp(config[i], params_[i].lo, params_[i].hi);
+  }
+  return config;
+}
+
+ParamSpace paper_search_space() {
+  std::vector<ParamRange> params = {
+      {"threads_x", 1, 16}, {"threads_y", 1, 16}, {"threads_z", 1, 16},
+      {"wg_x", 1, 8},       {"wg_y", 1, 8},       {"wg_z", 1, 8},
+  };
+  return ParamSpace(std::move(params), [](const Configuration& config) {
+    return config[kWgX] * config[kWgY] * config[kWgZ] <= 256;
+  });
+}
+
+}  // namespace repro::tuner

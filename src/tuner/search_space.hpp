@@ -1,0 +1,89 @@
+#pragma once
+// Generic integer search space for autotuning.
+//
+// A ParamSpace is an ordered list of named integer parameters with inclusive
+// ranges, an optional executability constraint, and a dense index codec
+// (mixed-radix) over the full Cartesian product. The paper's space
+// (Section V-C) is built by paper_search_space(): threads_{x,y,z} in [1..16]
+// and wg_{x,y,z} in [1..8], |S| = 2,097,152, with the executability
+// constraint wg_x*wg_y*wg_z <= 256.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace repro::tuner {
+
+/// One point in the space: parameter values in declaration order.
+using Configuration = std::vector<int>;
+
+struct ParamRange {
+  std::string name;
+  int lo = 0;
+  int hi = 0;  ///< inclusive
+
+  [[nodiscard]] std::uint64_t cardinality() const noexcept {
+    return static_cast<std::uint64_t>(hi - lo + 1);
+  }
+};
+
+class ParamSpace {
+ public:
+  using Constraint = std::function<bool(const Configuration&)>;
+
+  ParamSpace() = default;
+  explicit ParamSpace(std::vector<ParamRange> params, Constraint constraint = nullptr);
+
+  [[nodiscard]] std::size_t num_params() const noexcept { return params_.size(); }
+  [[nodiscard]] const std::vector<ParamRange>& params() const noexcept { return params_; }
+  [[nodiscard]] const ParamRange& param(std::size_t i) const { return params_.at(i); }
+
+  /// Total number of points in the unconstrained Cartesian product.
+  [[nodiscard]] std::uint64_t size() const noexcept;
+
+  /// True if every value is in range.
+  [[nodiscard]] bool in_range(const Configuration& config) const noexcept;
+  /// True if in range and the constraint (if any) holds.
+  [[nodiscard]] bool is_executable(const Configuration& config) const noexcept;
+  [[nodiscard]] bool has_constraint() const noexcept { return constraint_ != nullptr; }
+
+  /// Mixed-radix codec over the full product (constraint ignored).
+  [[nodiscard]] std::uint64_t encode(const Configuration& config) const;
+  [[nodiscard]] Configuration decode(std::uint64_t index) const;
+
+  /// Uniform sample from the full product.
+  [[nodiscard]] Configuration sample(repro::Rng& rng) const;
+  /// Uniform sample satisfying the constraint (rejection; throws
+  /// std::runtime_error after `max_tries` rejections).
+  [[nodiscard]] Configuration sample_executable(repro::Rng& rng,
+                                                unsigned max_tries = 100000) const;
+
+  /// Normalize a configuration to [0,1]^d (for GP distance computations).
+  [[nodiscard]] std::vector<double> normalize(const Configuration& config) const;
+
+  /// Clamp each value into its range.
+  [[nodiscard]] Configuration clamp(Configuration config) const noexcept;
+
+ private:
+  std::vector<ParamRange> params_;
+  Constraint constraint_;
+};
+
+/// The paper's 6-parameter search space with the work-group constraint.
+[[nodiscard]] ParamSpace paper_search_space();
+
+/// Paper-space parameter order, used when mapping to simgpu::KernelConfig.
+enum PaperParam : std::size_t {
+  kThreadsX = 0,
+  kThreadsY = 1,
+  kThreadsZ = 2,
+  kWgX = 3,
+  kWgY = 4,
+  kWgZ = 5,
+};
+
+}  // namespace repro::tuner

@@ -1,0 +1,48 @@
+#pragma once
+// Search-algorithm interface. Algorithms pull measurements through an
+// Evaluator until its budget is exhausted and report the best valid
+// configuration they observed.
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/search_space.hpp"
+
+namespace repro::tuner {
+
+struct TuneResult {
+  Configuration best_config;
+  double best_value = 0.0;
+  bool found_valid = false;
+  std::size_t evaluations_used = 0;
+};
+
+class SearchAlgorithm {
+ public:
+  virtual ~SearchAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Minimize the evaluator's objective within its budget. Implementations
+  /// must treat BudgetExhausted as the normal stop signal and return the
+  /// evaluator's best observation.
+  virtual TuneResult minimize(const ParamSpace& space, Evaluator& evaluator,
+                              repro::Rng& rng) = 0;
+
+ protected:
+  /// Standard epilogue: package the evaluator's best observation.
+  static TuneResult result_from(const Evaluator& evaluator) {
+    TuneResult result;
+    result.found_valid = evaluator.has_best();
+    if (result.found_valid) {
+      result.best_config = evaluator.best_config();
+      result.best_value = evaluator.best_value();
+    }
+    result.evaluations_used = evaluator.used();
+    return result;
+  }
+};
+
+}  // namespace repro::tuner

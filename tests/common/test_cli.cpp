@@ -1,0 +1,109 @@
+// CLI parser tests: all accepted syntaxes, defaults, and error handling.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/cli.hpp"
+
+namespace repro {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_option("name", "a name", "default");
+  cli.add_option("count", "a count", "3");
+  cli.add_option("rate", "a rate", "1.5");
+  cli.add_flag("fast", "go fast");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_EQ(cli.get_int("count"), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.5);
+  EXPECT_FALSE(cli.get_flag("fast"));
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--name", "alpha"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get("name"), "alpha");
+}
+
+TEST(Cli, EqualsValue) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--count=42"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("count"), 42);
+}
+
+TEST(Cli, FlagPresence) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--fast"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_flag("fast"));
+}
+
+TEST(Cli, FlagRejectsValue) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--fast=1"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, UnknownFlagFails) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, MissingValueFails) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--name"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, PositionalsCollected) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "one", "--fast", "two"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  ASSERT_EQ(cli.positionals().size(), 2u);
+  EXPECT_EQ(cli.positionals()[0], "one");
+  EXPECT_EQ(cli.positionals()[1], "two");
+}
+
+TEST(Cli, GetOptionalEmptyWhenNoDefaultNorValue) {
+  CliParser cli("p", "d");
+  cli.add_option("out", "output dir");
+  const char* argv[] = {"p"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_FALSE(cli.get_optional("out").has_value());
+}
+
+TEST(Cli, UnregisteredGetThrows) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW((void)cli.get("never"), std::out_of_range);
+}
+
+TEST(Cli, UsageListsOptions) {
+  auto cli = make_parser();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--fast"), std::string::npos);
+  EXPECT_NE(usage.find("default: 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,80 @@
+// Formatting shim tests: placeholder substitution, specs, escapes, errors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/fmt.hpp"
+
+namespace repro {
+namespace {
+
+TEST(Fmt, PlainPassThrough) { EXPECT_EQ(fmt("hello"), "hello"); }
+
+TEST(Fmt, BasicSubstitution) {
+  EXPECT_EQ(fmt("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(fmt("name={}", std::string("x")), "name=x");
+  EXPECT_EQ(fmt("flag={}", true), "flag=true");
+  EXPECT_EQ(fmt("c={}", 'z'), "c=z");
+}
+
+TEST(Fmt, UnsignedAndSigned) {
+  EXPECT_EQ(fmt("{}", -5), "-5");
+  EXPECT_EQ(fmt("{}", 18446744073709551615ull), "18446744073709551615");
+}
+
+TEST(Fmt, FloatPrecision) {
+  EXPECT_EQ(fmt("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(fmt("{:.0f}", 2.7), "3");
+  EXPECT_EQ(fmt("{:.3f}", -1.0), "-1.000");
+}
+
+TEST(Fmt, FloatDefaultUsesShortestReasonable) {
+  EXPECT_EQ(fmt("{}", 2.5), "2.5");
+}
+
+TEST(Fmt, NanRendering) { EXPECT_EQ(fmt("{}", std::nan("")), "nan"); }
+
+TEST(Fmt, WidthAndAlignment) {
+  EXPECT_EQ(fmt("{:5}", 42), "   42");          // numbers right-align
+  EXPECT_EQ(fmt("{:5}", std::string("ab")), "ab   ");  // strings left-align
+  EXPECT_EQ(fmt("{:<5}", 42), "42   ");
+  EXPECT_EQ(fmt("{:>5}", std::string("ab")), "   ab");
+  EXPECT_EQ(fmt("{:^6}", std::string("ab")), "  ab  ");
+}
+
+TEST(Fmt, CombinedWidthPrecision) { EXPECT_EQ(fmt("{:>8.2f}", 3.14159), "    3.14"); }
+
+TEST(Fmt, LiteralBraces) {
+  EXPECT_EQ(fmt("{{}}"), "{}");
+  EXPECT_EQ(fmt("a{{b}}c {}", 1), "a{b}c 1");
+}
+
+TEST(Fmt, ErrorOnTooFewArguments) {
+  EXPECT_THROW((void)fmt("{} {}", 1), std::invalid_argument);
+}
+
+TEST(Fmt, ErrorOnUnbalancedBrace) {
+  EXPECT_THROW((void)fmt("{oops", 1), std::invalid_argument);
+}
+
+TEST(Fmt, ErrorOnBadSpec) {
+  EXPECT_THROW((void)fmt("{:q5}", 1), std::invalid_argument);
+}
+
+TEST(Pad, Behaviour) {
+  EXPECT_EQ(pad("ab", 5, Align::kLeft), "ab   ");
+  EXPECT_EQ(pad("ab", 5, Align::kRight), "   ab");
+  EXPECT_EQ(pad("ab", 6, Align::kCenter), "  ab  ");
+  EXPECT_EQ(pad("abcdef", 3, Align::kLeft), "abcdef");  // never truncates
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(1.0 / 3.0, 4), "0.3333");
+  EXPECT_EQ(fmt_double(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,44 @@
+// Logger: level gating (output goes to stderr; we only verify the gate and
+// that formatting does not throw).
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace repro {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Log, EmittersDoNotThrow) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);  // gate everything below error
+  EXPECT_NO_THROW(log_debug("value {}", 1));
+  EXPECT_NO_THROW(log_info("value {}", 2.5));
+  EXPECT_NO_THROW(log_warn("value {}", "text"));
+  EXPECT_NO_THROW(log_error("value {}", true));
+}
+
+TEST(Log, MessagePathHandlesEmbeddedBraces) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  EXPECT_NO_THROW(log_error("literal {{}} and {}", 7));
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,212 @@
+// Tests for the deterministic RNG: reproducibility, range correctness,
+// distributional sanity, and the sampling helpers every stochastic
+// component of the study relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace repro {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[i]);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == child());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowStaysInBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroIsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  EXPECT_EQ(rng.uniform_int(4, 2), 4);  // hi < lo clamps to lo
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntChiSquareUniformity) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 50000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) counts[rng.next_below(kBuckets)]++;
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // 9 dof, alpha=0.001 critical value ~27.9.
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  constexpr int kDraws = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.03);
+}
+
+TEST(Rng, LognormalIsPositiveWithUnitMedian) {
+  Rng rng(23);
+  std::vector<double> draws(10001);
+  for (auto& d : draws) {
+    d = rng.lognormal(0.0, 0.25);
+    ASSERT_GT(d, 0.0);
+  }
+  std::nth_element(draws.begin(), draws.begin() + 5000, draws.end());
+  EXPECT_NEAR(draws[5000], 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) counts[rng.weighted_index(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(37);
+  const std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.weighted_index(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(41);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  rng.shuffle(std::span<int>(items));
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(43);
+  const auto picks = rng.sample_indices(50, 10);
+  EXPECT_EQ(picks.size(), 10u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (std::size_t p : picks) EXPECT_LT(p, 50u);
+}
+
+TEST(Rng, SampleIndicesClampsOversizedRequest) {
+  Rng rng(47);
+  EXPECT_EQ(rng.sample_indices(5, 50).size(), 5u);
+}
+
+TEST(SeedHelpers, CombineIsDeterministicAndSensitive) {
+  EXPECT_EQ(seed_combine(1, 2), seed_combine(1, 2));
+  EXPECT_NE(seed_combine(1, 2), seed_combine(1, 3));
+  EXPECT_NE(seed_combine(1, 2), seed_combine(2, 2));
+}
+
+TEST(SeedHelpers, StringSeedsDifferByContent) {
+  EXPECT_EQ(seed_from_string("abc"), seed_from_string("abc"));
+  EXPECT_NE(seed_from_string("abc"), seed_from_string("abd"));
+  EXPECT_NE(seed_from_string(""), seed_from_string("a"));
+}
+
+/// Property sweep: bounded generation is unbiased for several bounds.
+class RngBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundProperty, MeanMatchesHalfBound) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(seed_combine(99, bound));
+  double sum = 0.0;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(rng.next_below(bound));
+  const double expected = (static_cast<double>(bound) - 1.0) / 2.0;
+  EXPECT_NEAR(sum / kDraws, expected, std::max(1.0, expected * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundProperty,
+                         ::testing::Values(2, 3, 10, 17, 256, 1000, 65536));
+
+}  // namespace
+}  // namespace repro

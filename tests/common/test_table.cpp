@@ -1,0 +1,115 @@
+// Table/CSV/heatmap renderer tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace repro {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({Cell{1LL}}), std::invalid_argument);
+  table.add_row({Cell{1LL}, Cell{2LL}});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(Table, CsvBasic) {
+  Table table({"name", "value"});
+  table.add_row({std::string("x"), 1.5});
+  table.add_row({std::string("y"), 2LL});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "name,value\nx,1.5000\ny,2\n");
+}
+
+TEST(Table, CsvEscaping) {
+  Table table({"field"});
+  table.add_row({std::string("a,b")});
+  table.add_row({std::string("quote\"inside")});
+  table.add_row({std::string("line\nbreak")});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "field\n\"a,b\"\n\"quote\"\"inside\"\n\"line\nbreak\"\n");
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table table({"v"});
+  table.set_precision(1);
+  table.add_row({3.14159});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "v\n3.1\n");
+}
+
+TEST(Table, NanRenders) {
+  Table table({"v"});
+  table.add_row({std::nan("")});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "v\nnan\n");
+}
+
+TEST(Table, AsciiContainsHeaderRuleAndCells) {
+  Table table({"alg", "pct"});
+  table.add_row({std::string("RS"), 85.2});
+  const std::string ascii = table.to_ascii();
+  EXPECT_NE(ascii.find("alg"), std::string::npos);
+  EXPECT_NE(ascii.find("RS"), std::string::npos);
+  EXPECT_NE(ascii.find("85.2"), std::string::npos);
+  EXPECT_NE(ascii.find("|---"), std::string::npos);
+}
+
+TEST(Table, WriteCsvFileFailsOnBadPath) {
+  Table table({"v"});
+  EXPECT_FALSE(table.write_csv_file("/nonexistent_dir_xyz/file.csv"));
+}
+
+TEST(Heatmap, RendersLabelsAndValues) {
+  const std::string out = render_heatmap("title", {"r1", "r2"}, {"c1", "c2"},
+                                         {{1.0, 2.0}, {3.0, 4.0}}, 1);
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("r1"), std::string::npos);
+  EXPECT_NE(out.find("c2"), std::string::npos);
+  EXPECT_NE(out.find("4.0"), std::string::npos);
+  // Hottest cell gets the densest shade.
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(Heatmap, HandlesNaNCells) {
+  const std::string out =
+      render_heatmap("t", {"r"}, {"c1", "c2"}, {{std::nan(""), 1.0}}, 1);
+  EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(Heatmap, ConstantMatrixDoesNotDivideByZero) {
+  const std::string out = render_heatmap("t", {"r"}, {"c"}, {{5.0}}, 1);
+  EXPECT_NE(out.find("5.0"), std::string::npos);
+}
+
+TEST(LineChart, RendersSeriesGlyphsAndLegend) {
+  const std::string out = render_line_chart(
+      "chart", {"25", "50", "100"}, {"RS", "GA"},
+      {{1.0, 2.0, 3.0}, {3.0, 2.0, 1.0}}, 10);
+  EXPECT_NE(out.find("chart"), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("o=RS"), std::string::npos);
+  EXPECT_NE(out.find("x=GA"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LineChart, EmptySeriesSafe) {
+  const std::string out = render_line_chart("c", {"1"}, {"s"}, {{}}, 5);
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,101 @@
+// Thread pool and parallel_for behaviour: completeness, exception
+// propagation, chunking edge cases, and future-based task submission.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace repro {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SingleElement) {
+  ThreadPool pool(2);
+  int value = 0;
+  parallel_for(pool, 3, 4, [&](std::size_t i) { value = static_cast<int>(i); });
+  EXPECT_EQ(value, 3);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 10, 110, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  long expected = 0;
+  for (long i = 10; i < 110; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [&](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("fail at 37");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExplicitChunkCounts) {
+  ThreadPool pool(4);
+  for (std::size_t chunks : {1u, 2u, 7u, 100u, 1000u}) {
+    std::atomic<int> counter{0};
+    parallel_for(pool, 0, 100, [&](std::size_t) { counter.fetch_add(1); }, chunks);
+    EXPECT_EQ(counter.load(), 100) << "chunks=" << chunks;
+  }
+}
+
+TEST(ParallelFor, GlobalPoolOverload) {
+  std::atomic<int> counter{0};
+  parallel_for(0, 50, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,94 @@
+// Aggregation of study outcomes into the paper's reported quantities,
+// verified on hand-built synthetic panels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/aggregate.hpp"
+
+namespace repro::harness {
+namespace {
+
+/// Panel with 2 algorithms x 2 sizes and known outcome distributions.
+PanelResults synthetic_panel() {
+  PanelResults panel;
+  panel.benchmark = "synthetic";
+  panel.architecture = "fake";
+  panel.optimum_us = 100.0;
+  panel.cells.resize(2);
+  for (auto& row : panel.cells) row.resize(2);
+  // Algorithm 0 ("rs"): median 200 at size 0, median 125 at size 1.
+  panel.cells[0][0].final_times_us = {150.0, 200.0, 250.0};
+  panel.cells[0][1].final_times_us = {120.0, 125.0, 130.0};
+  // Algorithm 1: median 100 at size 0, median 250 at size 1.
+  panel.cells[1][0].final_times_us = {90.0, 100.0, 110.0};
+  panel.cells[1][1].final_times_us = {240.0, 250.0, 260.0};
+  return panel;
+}
+
+TEST(Aggregate, ValidOutcomesDropsNaN) {
+  CellOutcomes cell;
+  cell.final_times_us = {1.0, std::nan(""), 2.0};
+  EXPECT_EQ(valid_outcomes(cell).size(), 2u);
+}
+
+TEST(Aggregate, PercentOfOptimum) {
+  const CellMatrix matrix = percent_of_optimum(synthetic_panel());
+  EXPECT_NEAR(matrix[0][0], 50.0, 1e-9);   // 100/200
+  EXPECT_NEAR(matrix[0][1], 80.0, 1e-9);   // 100/125
+  EXPECT_NEAR(matrix[1][0], 100.0, 1e-9);  // optimum reached
+  EXPECT_NEAR(matrix[1][1], 40.0, 1e-9);
+}
+
+TEST(Aggregate, PercentOfOptimumEmptyCellIsNaN) {
+  PanelResults panel = synthetic_panel();
+  panel.cells[0][0].final_times_us = {std::nan(""), std::nan("")};
+  const CellMatrix matrix = percent_of_optimum(panel);
+  EXPECT_TRUE(std::isnan(matrix[0][0]));
+  EXPECT_FALSE(std::isnan(matrix[0][1]));
+}
+
+TEST(Aggregate, SpeedupOverRs) {
+  const CellMatrix matrix = speedup_over_rs(synthetic_panel(), 0);
+  EXPECT_NEAR(matrix[0][0], 1.0, 1e-9);   // RS vs itself
+  EXPECT_NEAR(matrix[1][0], 2.0, 1e-9);   // 200/100
+  EXPECT_NEAR(matrix[1][1], 0.5, 1e-9);   // 125/250: slower than RS
+}
+
+TEST(Aggregate, ClesOverRs) {
+  const CellMatrix matrix = cles_over_rs(synthetic_panel(), 0);
+  EXPECT_NEAR(matrix[0][0], 0.5, 1e-9);   // RS vs itself
+  // Algorithm 1 fully dominates RS at size 0 (all outcomes lower).
+  EXPECT_NEAR(matrix[1][0], 1.0, 1e-9);
+  // ... and fully loses at size 1.
+  EXPECT_NEAR(matrix[1][1], 0.0, 1e-9);
+}
+
+TEST(Aggregate, MwuPValuesAreValidAndOrdered) {
+  const CellMatrix p = mwu_p_vs_rs(synthetic_panel(), 0);
+  EXPECT_NEAR(p[0][0], 1.0, 1e-9);  // identical samples
+  EXPECT_GT(p[1][0], 0.0);
+  EXPECT_LE(p[1][0], 1.0);
+  // Fully separated samples should be the panel's most significant.
+  EXPECT_LE(p[1][0], p[0][0]);
+}
+
+TEST(Aggregate, Fig3SeriesAveragesAcrossPanels) {
+  StudyResults results;
+  results.config.algorithms = {"rs", "x"};
+  results.config.sample_sizes = {10, 20};
+  PanelResults a = synthetic_panel();
+  PanelResults b = synthetic_panel();
+  b.optimum_us = 50.0;  // half the percent values
+  results.panels = {a, b};
+  const auto series = aggregate_percent_of_optimum(results);
+  ASSERT_EQ(series.size(), 2u);
+  // Panel a gives 50, panel b gives 25 -> mean 37.5 for algorithm 0, size 0.
+  EXPECT_NEAR(series[0].mean[0], 37.5, 1e-9);
+  EXPECT_LE(series[0].ci_lo[0], series[0].mean[0]);
+  EXPECT_GE(series[0].ci_hi[0], series[0].mean[0]);
+}
+
+}  // namespace
+}  // namespace repro::harness

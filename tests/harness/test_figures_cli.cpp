@@ -1,0 +1,64 @@
+// CLI glue of the figure bench binaries: flag parsing into StudyConfig.
+
+#include <gtest/gtest.h>
+
+#include "harness/figures.hpp"
+
+namespace repro::harness {
+namespace {
+
+TEST(FiguresCli, DefaultsMatchThePaperSetAtReducedScale) {
+  StudyConfig config;
+  std::string out_dir;
+  const char* argv[] = {"fig2"};
+  ASSERT_TRUE(parse_study_cli(1, argv, "fig2", "test", config, out_dir));
+  EXPECT_DOUBLE_EQ(config.scale_divisor, 32.0);
+  EXPECT_EQ(config.benchmarks,
+            (std::vector<std::string>{"add", "harris", "mandelbrot"}));
+  EXPECT_EQ(config.architectures,
+            (std::vector<std::string>{"gtx980", "titanv", "rtxtitan"}));
+  EXPECT_EQ(config.algorithms,
+            (std::vector<std::string>{"rs", "rf", "ga", "bogp", "botpe"}));
+  EXPECT_EQ(config.sample_sizes, (std::vector<std::size_t>{25, 50, 100, 200, 400}));
+  EXPECT_TRUE(out_dir.empty());
+}
+
+TEST(FiguresCli, FullFlagRestoresPaperScale) {
+  StudyConfig config;
+  std::string out_dir;
+  const char* argv[] = {"fig2", "--full"};
+  ASSERT_TRUE(parse_study_cli(2, argv, "fig2", "test", config, out_dir));
+  EXPECT_DOUBLE_EQ(config.scale_divisor, 1.0);
+}
+
+TEST(FiguresCli, FiltersAndSeedParse) {
+  StudyConfig config;
+  std::string out_dir;
+  const char* argv[] = {"fig2",  "--bench", "harris",     "--arch", "titanv,gtx980",
+                        "--algo", "rs,ga",  "--sizes",    "25,100", "--seed",
+                        "7",      "--out",  "/tmp/somewhere"};
+  ASSERT_TRUE(parse_study_cli(13, argv, "fig2", "test", config, out_dir));
+  EXPECT_EQ(config.benchmarks, (std::vector<std::string>{"harris"}));
+  EXPECT_EQ(config.architectures, (std::vector<std::string>{"titanv", "gtx980"}));
+  EXPECT_EQ(config.algorithms, (std::vector<std::string>{"rs", "ga"}));
+  EXPECT_EQ(config.sample_sizes, (std::vector<std::size_t>{25, 100}));
+  EXPECT_EQ(config.master_seed, 7u);
+  EXPECT_EQ(out_dir, "/tmp/somewhere");
+}
+
+TEST(FiguresCli, HelpReturnsFalse) {
+  StudyConfig config;
+  std::string out_dir;
+  const char* argv[] = {"fig2", "--help"};
+  EXPECT_FALSE(parse_study_cli(2, argv, "fig2", "test", config, out_dir));
+}
+
+TEST(FiguresCli, UnknownFlagReturnsFalse) {
+  StudyConfig config;
+  std::string out_dir;
+  const char* argv[] = {"fig2", "--bogus"};
+  EXPECT_FALSE(parse_study_cli(2, argv, "fig2", "test", config, out_dir));
+}
+
+}  // namespace
+}  // namespace repro::harness

@@ -1,0 +1,88 @@
+// MultiFidelityContext: level snapping, proxy correlation, objective wiring.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/multifidelity_context.hpp"
+#include "stats/paired.hpp"
+
+namespace repro::harness {
+namespace {
+
+const MultiFidelityContext& context() {
+  static const MultiFidelityContext ctx("add", simgpu::titan_v(),
+                                        {1.0 / 9.0, 1.0 / 3.0}, 42);
+  return ctx;
+}
+
+TEST(MultiFidelity, SnapsToNearestLevel) {
+  EXPECT_NEAR(context().snap(0.1), 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(context().snap(0.4), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(context().snap(0.9), 1.0, 1e-12);
+  EXPECT_NEAR(context().snap(1.0), 1.0, 1e-12);
+}
+
+TEST(MultiFidelity, LowerFidelityIsCheaper) {
+  const tuner::Configuration config = {1, 1, 1, 8, 4, 1};
+  const double full = context().true_time_us(config, 1.0);
+  const double third = context().true_time_us(config, 1.0 / 3.0);
+  const double ninth = context().true_time_us(config, 1.0 / 9.0);
+  ASSERT_FALSE(std::isnan(full));
+  EXPECT_LT(third, full);
+  EXPECT_LT(ninth, third);
+}
+
+TEST(MultiFidelity, ProxyRankCorrelatesWithFullProblem) {
+  // A good config and a bad config should keep their ordering at all
+  // fidelity levels (the property HyperBand exploits).
+  const tuner::Configuration good = {1, 1, 1, 8, 4, 1};
+  const tuner::Configuration bad = {16, 16, 1, 1, 1, 1};
+  for (double fidelity : {1.0 / 9.0, 1.0 / 3.0, 1.0}) {
+    EXPECT_LT(context().true_time_us(good, fidelity),
+              context().true_time_us(bad, fidelity))
+        << "fidelity " << fidelity;
+  }
+}
+
+TEST(MultiFidelity, InvalidConfigsAreNaNAtEveryLevel) {
+  const tuner::Configuration invalid = {1, 1, 1, 8, 8, 8};
+  for (double fidelity : {1.0 / 9.0, 1.0}) {
+    EXPECT_TRUE(std::isnan(context().true_time_us(invalid, fidelity)));
+  }
+}
+
+TEST(MultiFidelity, ObjectiveAddsNoiseAndReportsValidity) {
+  repro::Rng rng(3);
+  const tuner::MultiFidelityObjective objective = context().make_objective(rng);
+  const tuner::Evaluation good = objective({1, 1, 1, 8, 4, 1}, 1.0 / 3.0);
+  ASSERT_TRUE(good.valid);
+  const double truth = context().true_time_us({1, 1, 1, 8, 4, 1}, 1.0 / 3.0);
+  EXPECT_NEAR(good.value, truth, truth * 0.3);
+  EXPECT_FALSE(objective({1, 1, 1, 8, 8, 8}, 1.0).valid);
+}
+
+TEST(MultiFidelity, ProxySpearmanCorrelationIsStrong) {
+  // The HyperBand premise, quantified: over random executable configs the
+  // 1/9-size proxy must rank-correlate strongly with the full problem.
+  repro::Rng rng(9);
+  std::vector<double> full_times, proxy_times;
+  for (int i = 0; i < 300; ++i) {
+    const tuner::Configuration config = context().full().space().sample_executable(rng);
+    const double full_time = context().true_time_us(config, 1.0);
+    const double proxy_time = context().true_time_us(config, 1.0 / 9.0);
+    if (std::isnan(full_time) || std::isnan(proxy_time)) continue;
+    full_times.push_back(full_time);
+    proxy_times.push_back(proxy_time);
+  }
+  ASSERT_GT(full_times.size(), 250u);
+  EXPECT_GT(stats::spearman_rho(full_times, proxy_times), 0.7);
+}
+
+TEST(MultiFidelity, FullContextIsTheRealBenchmark) {
+  EXPECT_EQ(context().full().benchmark_name(), "add");
+  EXPECT_GT(context().full().optimum_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace repro::harness

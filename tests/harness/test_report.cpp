@@ -1,0 +1,68 @@
+// Figure renderers: output structure and CSV table shape (content values
+// are covered by the aggregate tests; here we check the wiring).
+
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+
+namespace repro::harness {
+namespace {
+
+StudyResults synthetic_results() {
+  StudyResults results;
+  results.config.algorithms = {"rs", "ga"};
+  results.config.sample_sizes = {25, 50};
+  PanelResults panel;
+  panel.benchmark = "add";
+  panel.architecture = "titanv";
+  panel.optimum_us = 100.0;
+  panel.cells.resize(2);
+  for (auto& row : panel.cells) row.resize(2);
+  panel.cells[0][0].final_times_us = {200.0, 210.0, 190.0};
+  panel.cells[0][1].final_times_us = {150.0, 160.0, 140.0};
+  panel.cells[1][0].final_times_us = {180.0, 170.0, 190.0};
+  panel.cells[1][1].final_times_us = {110.0, 105.0, 115.0};
+  results.panels.push_back(panel);
+  return results;
+}
+
+TEST(Report, RsIndexFoundOrThrows) {
+  StudyResults results = synthetic_results();
+  EXPECT_EQ(rs_index_of(results), 0u);
+  results.config.algorithms = {"ga", "bogp"};
+  EXPECT_THROW((void)rs_index_of(results), std::runtime_error);
+}
+
+TEST(Report, Fig2ContainsPanelsAlgorithmsAndCsvRows) {
+  const FigureOutput output = make_fig2(synthetic_results());
+  EXPECT_NE(output.text.find("fig2"), std::string::npos);
+  EXPECT_NE(output.text.find("add / titanv"), std::string::npos);
+  EXPECT_NE(output.text.find("RS"), std::string::npos);
+  EXPECT_NE(output.text.find("GA"), std::string::npos);
+  // 1 panel x 2 algorithms x 2 sizes = 4 rows.
+  EXPECT_EQ(output.table.num_rows(), 4u);
+  EXPECT_EQ(output.table.columns().back(), "percent_of_optimum");
+}
+
+TEST(Report, Fig3HasSeriesChartAndCi) {
+  const FigureOutput output = make_fig3(synthetic_results());
+  EXPECT_NE(output.text.find("fig3"), std::string::npos);
+  EXPECT_NE(output.text.find("legend"), std::string::npos);
+  EXPECT_EQ(output.table.num_rows(), 4u);  // 2 algorithms x 2 sizes
+  EXPECT_EQ(output.table.columns().back(), "ci_hi");
+}
+
+TEST(Report, Fig4aSpeedups) {
+  const FigureOutput output = make_fig4a(synthetic_results());
+  EXPECT_NE(output.text.find("median_speedup_over_rs"), std::string::npos);
+  EXPECT_EQ(output.table.num_rows(), 4u);
+}
+
+TEST(Report, Fig4bClesWithSignificanceReport) {
+  const FigureOutput output = make_fig4b(synthetic_results());
+  EXPECT_NE(output.text.find("cles_over_rs"), std::string::npos);
+  EXPECT_NE(output.text.find("Mann-Whitney"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro::harness

@@ -1,0 +1,92 @@
+// Raw study-outcome persistence: full round trip and validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "harness/results_io.hpp"
+
+namespace repro::harness {
+namespace {
+
+StudyResults sample_results() {
+  StudyResults results;
+  results.config.benchmarks = {"add", "harris"};
+  results.config.architectures = {"titanv"};
+  results.config.algorithms = {"rs", "ga"};
+  results.config.sample_sizes = {25, 50};
+  for (const char* benchmark : {"add", "harris"}) {
+    PanelResults panel;
+    panel.benchmark = benchmark;
+    panel.architecture = "titanv";
+    panel.optimum_us = benchmark == std::string("add") ? 100.0 : 250.5;
+    panel.cells.resize(2);
+    for (auto& row : panel.cells) row.resize(2);
+    panel.cells[0][0].final_times_us = {120.0, 130.0};
+    panel.cells[0][1].final_times_us = {110.0};
+    panel.cells[1][0].final_times_us = {105.0, std::nan("")};
+    panel.cells[1][1].final_times_us = {101.0, 102.0, 103.0};
+    results.panels.push_back(std::move(panel));
+  }
+  return results;
+}
+
+TEST(ResultsIo, RoundTripPreservesEverything) {
+  const StudyResults original = sample_results();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_raw.csv").string();
+  ASSERT_TRUE(save_results_csv(original, path));
+
+  const StudyResults loaded = load_results_csv(path);
+  EXPECT_EQ(loaded.config.algorithms, original.config.algorithms);
+  EXPECT_EQ(loaded.config.sample_sizes, original.config.sample_sizes);
+  ASSERT_EQ(loaded.panels.size(), original.panels.size());
+  for (std::size_t p = 0; p < original.panels.size(); ++p) {
+    const PanelResults& a = original.panels[p];
+    const PanelResults& b = loaded.panel(a.benchmark, a.architecture);
+    EXPECT_DOUBLE_EQ(a.optimum_us, b.optimum_us);
+    for (std::size_t algo = 0; algo < a.cells.size(); ++algo) {
+      for (std::size_t s = 0; s < a.cells[algo].size(); ++s) {
+        const auto& original_outcomes = a.cells[algo][s].final_times_us;
+        const auto& loaded_outcomes = b.cells[algo][s].final_times_us;
+        ASSERT_EQ(original_outcomes.size(), loaded_outcomes.size());
+        for (std::size_t e = 0; e < original_outcomes.size(); ++e) {
+          if (std::isnan(original_outcomes[e])) {
+            EXPECT_TRUE(std::isnan(loaded_outcomes[e]));
+          } else {
+            EXPECT_DOUBLE_EQ(original_outcomes[e], loaded_outcomes[e]);
+          }
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultsIo, LoadValidatesFormat) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_raw_bad.csv").string();
+  {
+    std::ofstream out(path);
+    out << "not,the,right,header\n";
+  }
+  EXPECT_THROW((void)load_results_csv(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "kind,benchmark,architecture,algorithm,sample_size,experiment,value\n"
+        << "weird,add,titanv,rs,25,0,1.0\n";
+  }
+  EXPECT_THROW((void)load_results_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_results_csv("/no_such_dir/x.csv"), std::runtime_error);
+}
+
+TEST(ResultsIo, SaveFailsOnBadPath) {
+  EXPECT_FALSE(save_results_csv(sample_results(), "/no_such_dir_xyz/raw.csv"));
+}
+
+}  // namespace
+}  // namespace repro::harness

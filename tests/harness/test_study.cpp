@@ -1,0 +1,121 @@
+// Study driver: experiment-count arithmetic (the paper's E(S) = 20000/S
+// rule), single-experiment behaviour per algorithm family, and a tiny but
+// complete end-to-end study.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/study.hpp"
+
+namespace repro::harness {
+namespace {
+
+TEST(StudyConfig, PaperExperimentCounts) {
+  StudyConfig config;
+  config.scale_divisor = 1.0;
+  config.min_experiments = 1;
+  EXPECT_EQ(config.experiments_for(25), 800u);
+  EXPECT_EQ(config.experiments_for(50), 400u);
+  EXPECT_EQ(config.experiments_for(100), 200u);
+  EXPECT_EQ(config.experiments_for(200), 100u);
+  EXPECT_EQ(config.experiments_for(400), 50u);
+}
+
+TEST(StudyConfig, ScaledCountsRespectFloor) {
+  StudyConfig config;
+  config.scale_divisor = 32.0;
+  config.min_experiments = 4;
+  EXPECT_EQ(config.experiments_for(25), 25u);
+  EXPECT_EQ(config.experiments_for(400), 4u);  // floor kicks in
+}
+
+TEST(StudyConfig, DatasetSizeCoversEverySubdivision) {
+  StudyConfig config;
+  config.scale_divisor = 1.0;
+  config.min_experiments = 1;
+  EXPECT_EQ(config.dataset_size_needed(), 20000u);  // the paper's dataset
+  config.scale_divisor = 32.0;
+  config.min_experiments = 4;
+  const std::size_t needed = config.dataset_size_needed();
+  for (std::size_t size : config.sample_sizes) {
+    EXPECT_LE(config.experiments_for(size) * size, needed);
+  }
+}
+
+class SingleExperiment : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const BenchmarkContext& context() {
+    static const BenchmarkContext ctx(imagecl::make_benchmark("add", 512, 512),
+                                      simgpu::titan_v(), 300, 42);
+    return ctx;
+  }
+};
+
+TEST_P(SingleExperiment, ProducesFiniteOutcomeAboveOptimum) {
+  const double outcome =
+      run_single_experiment_indexed(context(), GetParam(), 25, 1, 10, 1234);
+  ASSERT_FALSE(std::isnan(outcome));
+  EXPECT_GT(outcome, context().optimum_us() * 0.9);  // noise can dip slightly
+  EXPECT_LT(outcome, context().optimum_us() * 100.0);
+}
+
+TEST_P(SingleExperiment, DeterministicInSeed) {
+  const double a = run_single_experiment_indexed(context(), GetParam(), 25, 0, 10, 99);
+  const double b = run_single_experiment_indexed(context(), GetParam(), 25, 0, 10, 99);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SingleExperiment,
+                         ::testing::Values("rs", "rf", "ga", "bogp", "botpe"));
+
+TEST(Study, TinyEndToEndRunHasFullShape) {
+  StudyConfig config;
+  config.benchmarks = {"add"};
+  config.architectures = {"titanv"};
+  config.algorithms = {"rs", "ga"};
+  config.sample_sizes = {10, 20};
+  config.scale_divisor = 1000.0;
+  config.min_experiments = 3;
+  config.master_seed = 7;
+  // NOTE: contexts always use the full-size benchmarks; this test therefore
+  // exercises the real models but with few, cheap experiments.
+  const StudyResults results = run_study(config);
+  ASSERT_EQ(results.panels.size(), 1u);
+  const PanelResults& panel = results.panels[0];
+  EXPECT_EQ(panel.benchmark, "add");
+  EXPECT_GT(panel.optimum_us, 0.0);
+  ASSERT_EQ(panel.cells.size(), 2u);       // algorithms
+  ASSERT_EQ(panel.cells[0].size(), 2u);    // sizes
+  for (const auto& row : panel.cells) {
+    for (const auto& cell : row) {
+      EXPECT_EQ(cell.final_times_us.size(), 3u);
+      for (double t : cell.final_times_us) {
+        EXPECT_FALSE(std::isnan(t));
+        EXPECT_GT(t, panel.optimum_us * 0.5);
+      }
+    }
+  }
+  EXPECT_NO_THROW((void)results.panel("add", "titanv"));
+  EXPECT_THROW((void)results.panel("harris", "titanv"), std::out_of_range);
+}
+
+TEST(Study, DeterministicAcrossRuns) {
+  StudyConfig config;
+  config.benchmarks = {"add"};
+  config.architectures = {"gtx980"};
+  config.algorithms = {"rs"};
+  config.sample_sizes = {15};
+  config.scale_divisor = 1000.0;
+  config.min_experiments = 4;
+  config.master_seed = 99;
+  const StudyResults a = run_study(config);
+  const StudyResults b = run_study(config);
+  for (std::size_t e = 0; e < 4; ++e) {
+    EXPECT_DOUBLE_EQ(a.panels[0].cells[0][0].final_times_us[e],
+                     b.panels[0].cells[0][0].final_times_us[e]);
+  }
+}
+
+}  // namespace
+}  // namespace repro::harness

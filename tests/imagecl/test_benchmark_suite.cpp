@@ -1,0 +1,53 @@
+// Benchmark suite registry: the paper's three benchmarks with default sizes.
+
+#include <gtest/gtest.h>
+
+#include "imagecl/benchmark_suite.hpp"
+
+namespace repro::imagecl {
+namespace {
+
+TEST(BenchmarkSuite, HasPapersThreeBenchmarks) {
+  const auto& benchmarks = suite();
+  ASSERT_EQ(benchmarks.size(), 3u);
+  EXPECT_EQ(benchmarks[0]->name(), "add");
+  EXPECT_EQ(benchmarks[1]->name(), "harris");
+  EXPECT_EQ(benchmarks[2]->name(), "mandelbrot");
+}
+
+TEST(BenchmarkSuite, DefaultSizeIsPapersEightK) {
+  for (const auto& benchmark : suite()) {
+    EXPECT_EQ(benchmark->model().spec().extent.x, kDefaultX) << benchmark->name();
+  }
+}
+
+TEST(BenchmarkSuite, LookupByName) {
+  EXPECT_EQ(benchmark_by_name("harris")->name(), "harris");
+  EXPECT_THROW((void)benchmark_by_name("gemm"), std::out_of_range);
+}
+
+TEST(BenchmarkSuite, SuiteInstancesAreStable) {
+  // Repeated calls return the same objects (contexts may hold references).
+  EXPECT_EQ(suite()[0].get(), suite()[0].get());
+  EXPECT_EQ(benchmark_by_name("add").get(), suite()[0].get());
+}
+
+TEST(BenchmarkSuite, CustomSizesPropagate) {
+  const auto small = make_benchmark("mandelbrot", 256, 128);
+  EXPECT_EQ(small->model().spec().extent.x, 256u);
+  EXPECT_EQ(small->model().spec().extent.y, 128u);
+}
+
+TEST(BenchmarkSuite, ModelsEvaluateOnAllArchitectures) {
+  for (const auto& benchmark : suite()) {
+    for (const auto& arch : simgpu::testbed()) {
+      const auto result =
+          benchmark->model().evaluate(arch, {1, 1, 1, 8, 4, 1});
+      EXPECT_TRUE(result.valid) << benchmark->name() << "/" << arch.name;
+      EXPECT_GT(result.time_us, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::imagecl

@@ -1,0 +1,217 @@
+// Extended-suite kernels (convolution, sobel, transpose): functional
+// equivalence against scalar references across launch configurations and
+// cost-spec facts (including the column-major transpose store).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "imagecl/benchmark_suite.hpp"
+#include "imagecl/kernels/convolution.hpp"
+#include "imagecl/kernels/separable_convolution.hpp"
+#include "imagecl/kernels/sobel.hpp"
+#include "imagecl/kernels/transpose.hpp"
+
+namespace repro::imagecl {
+namespace {
+
+Image<float> random_image(std::size_t width, std::size_t height, std::uint64_t seed) {
+  repro::Rng rng(seed);
+  Image<float> image(width, height);
+  for (auto& v : image.data()) v = static_cast<float>(rng.uniform(0.0, 255.0));
+  return image;
+}
+
+class ExtendedKernelEquivalence
+    : public ::testing::TestWithParam<simgpu::KernelConfig> {};
+
+TEST_P(ExtendedKernelEquivalence, ConvolutionMatchesReference) {
+  const simgpu::Device device(simgpu::titan_v());
+  const Image<float> input = random_image(53, 29, 11);
+  simgpu::TracedBuffer<float> in_buffer(0, input.size());
+  simgpu::TracedBuffer<float> out_buffer(1, input.size());
+  in_buffer.data() = input.data();
+  run_convolution(device, GetParam(), input, in_buffer, out_buffer);
+  const Image<float> expected = convolution_reference(input);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_FLOAT_EQ(out_buffer.data()[i], expected.data()[i]) << "i=" << i;
+  }
+}
+
+TEST_P(ExtendedKernelEquivalence, SobelMatchesReference) {
+  const simgpu::Device device(simgpu::titan_v());
+  const Image<float> input = random_image(47, 31, 12);
+  simgpu::TracedBuffer<float> in_buffer(0, input.size());
+  simgpu::TracedBuffer<float> out_buffer(1, input.size());
+  in_buffer.data() = input.data();
+  run_sobel(device, GetParam(), input, in_buffer, out_buffer);
+  const Image<float> expected = sobel_reference(input);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_FLOAT_EQ(out_buffer.data()[i], expected.data()[i]) << "i=" << i;
+  }
+}
+
+TEST_P(ExtendedKernelEquivalence, TransposeMatchesReference) {
+  const simgpu::Device device(simgpu::titan_v());
+  const Image<float> input = random_image(37, 61, 13);
+  simgpu::TracedBuffer<float> in_buffer(0, input.size());
+  simgpu::TracedBuffer<float> out_buffer(1, input.size());
+  in_buffer.data() = input.data();
+  run_transpose(device, GetParam(), input, in_buffer, out_buffer);
+  const Image<float> expected = transpose_reference(input);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_FLOAT_EQ(out_buffer.data()[i], expected.data()[i]) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ExtendedKernelEquivalence,
+                         ::testing::Values(simgpu::KernelConfig{1, 1, 1, 1, 1, 1},
+                                           simgpu::KernelConfig{1, 1, 1, 8, 4, 1},
+                                           simgpu::KernelConfig{4, 3, 1, 2, 8, 1},
+                                           simgpu::KernelConfig{16, 16, 4, 8, 8, 4}));
+
+TEST_P(ExtendedKernelEquivalence, SeparableConvolutionMatchesReference) {
+  const simgpu::Device device(simgpu::titan_v());
+  const Image<float> input = random_image(43, 27, 15);
+  simgpu::TracedBuffer<float> in_buffer(0, input.size());
+  simgpu::TracedBuffer<float> scratch(1, input.size());
+  simgpu::TracedBuffer<float> out_buffer(2, input.size());
+  in_buffer.data() = input.data();
+  run_separable_convolution(device, GetParam(), input, in_buffer, scratch, out_buffer);
+  const Image<float> expected = separable_convolution_reference(input);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_FLOAT_EQ(out_buffer.data()[i], expected.data()[i]) << "i=" << i;
+  }
+}
+
+TEST(SeparableConvolution, MatchesDenseConvolutionInTheInterior) {
+  const Image<float> input = random_image(32, 32, 16);
+  const Image<float> separable = separable_convolution_reference(input);
+  const Image<float> dense = convolution_reference(input);
+  for (std::size_t y = 2; y < 30; ++y) {
+    for (std::size_t x = 2; x < 30; ++x) {
+      EXPECT_NEAR(separable.at(x, y), dense.at(x, y), 1e-3f) << x << "," << y;
+    }
+  }
+}
+
+TEST(SeparableConvolution, BinomialKernelNormalized) {
+  float sum = 0.0f;
+  for (float w : binomial5()) sum += w;
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(SeparableConvolution, CostSpecsDescribeTwoAsymmetricPasses) {
+  const auto specs = separable_convolution_cost_specs(1024, 1024);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].loads[0].offsets.size(), 5u);
+  EXPECT_EQ(specs[1].loads[0].offsets.size(), 5u);
+  // Row pass strides in x, column pass in y.
+  EXPECT_NE(specs[0].loads[0].offsets[0].dx, 0);
+  EXPECT_EQ(specs[0].loads[0].offsets[0].dy, 0);
+  EXPECT_EQ(specs[1].loads[0].offsets[0].dx, 0);
+  EXPECT_NE(specs[1].loads[0].offsets[0].dy, 0);
+}
+
+TEST(SeparableConvolution, PipelineTimeIsSumOfPasses) {
+  const auto benchmark = benchmark_by_name("separable");
+  const simgpu::GpuArch arch = simgpu::titan_v();
+  const simgpu::KernelConfig config{2, 2, 1, 8, 4, 1};
+  double sum = 0.0;
+  for (const auto& pass : benchmark->passes()) {
+    const auto result = pass.evaluate(arch, config);
+    ASSERT_TRUE(result.valid);
+    sum += result.time_us;
+  }
+  EXPECT_GT(sum, benchmark->passes()[0].evaluate(arch, config).time_us);
+}
+
+TEST(Convolution, GaussianWeightsSumToOne) {
+  float sum = 0.0f;
+  for (float w : gaussian5x5()) sum += w;
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(Convolution, ConstantImageIsFixedPoint) {
+  const Image<float> flat(16, 16, 7.0f);
+  const Image<float> blurred = convolution_reference(flat);
+  for (float v : blurred.data()) EXPECT_NEAR(v, 7.0f, 1e-4f);
+}
+
+TEST(Sobel, FlatImageHasZeroMagnitude) {
+  const Image<float> flat(16, 16, 3.0f);
+  const Image<float> edges = sobel_reference(flat);
+  for (float v : edges.data()) EXPECT_NEAR(v, 0.0f, 1e-5f);
+}
+
+TEST(Sobel, VerticalEdgeDetected) {
+  Image<float> image(32, 32, 0.0f);
+  for (std::size_t y = 0; y < 32; ++y) {
+    for (std::size_t x = 16; x < 32; ++x) image.at(x, y) = 100.0f;
+  }
+  const Image<float> edges = sobel_reference(image);
+  EXPECT_GT(edges.at(16, 16), 100.0f);  // on the edge
+  EXPECT_NEAR(edges.at(4, 16), 0.0f, 1e-4f);  // far from it
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  const Image<float> input = random_image(24, 40, 14);
+  const Image<float> twice = transpose_reference(transpose_reference(input));
+  ASSERT_EQ(twice.width(), input.width());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_FLOAT_EQ(twice.data()[i], input.data()[i]);
+  }
+}
+
+TEST(ExtendedSuite, RegistersSevenBenchmarks) {
+  EXPECT_EQ(extended_suite().size(), 7u);
+  EXPECT_EQ(suite().size(), 3u);  // the paper's set is unchanged
+  EXPECT_EQ(benchmark_by_name("transpose")->name(), "transpose");
+  EXPECT_EQ(benchmark_by_name("convolution")->name(), "convolution");
+  EXPECT_EQ(benchmark_by_name("sobel")->name(), "sobel");
+  EXPECT_EQ(benchmark_by_name("separable")->name(), "separable");
+  EXPECT_EQ(benchmark_by_name("separable")->passes().size(), 2u);
+}
+
+TEST(ExtendedSuite, TransposeStoreIsColumnMajorAndPunished) {
+  const auto spec = transpose_cost_spec(4096, 4096);
+  ASSERT_EQ(spec.stores.size(), 1u);
+  EXPECT_TRUE(spec.stores[0].column_major);
+  // Scattered stores make the transpose slower than the equal-traffic
+  // streaming Add at the same configuration.
+  const simgpu::PerfModel transpose_model(spec);
+  const auto t = transpose_model.evaluate(simgpu::titan_v(), {1, 1, 1, 8, 4, 1});
+  ASSERT_TRUE(t.valid);
+  EXPECT_GT(t.transaction_us, t.compute_us);
+}
+
+TEST(ExtendedSuite, StencilCostsOrderedByRadius) {
+  // sobel (r=1) < convolution (r=2) < harris (r=3) in per-element flops.
+  const auto sobel = sobel_cost_spec(1024, 1024);
+  const auto conv = convolution_cost_spec(1024, 1024);
+  EXPECT_LT(sobel.flops_per_element, conv.flops_per_element);
+  EXPECT_EQ(sobel.loads[0].offsets.size(), 9u);
+  EXPECT_EQ(conv.loads[0].offsets.size(), 25u);
+}
+
+TEST(ExtendedSuite, ColumnMajorCoalescingIsMeasuredAsScattered) {
+  const simgpu::GpuArch arch = simgpu::titan_v();
+  simgpu::WarpAccessSpec scattered;
+  scattered.element_bytes = 4;
+  scattered.pitch_x = 4096;
+  scattered.pitch_y = 4096;
+  scattered.column_major = true;
+  // Flat 8-lane warp: 8 distinct columns, one lonely element per sector.
+  const auto flat = simgpu::analyze_warp_accesses_fast({1, 1, 1, 8, 1, 1}, arch,
+                                                       scattered);
+  EXPECT_NEAR(flat.dram_efficiency(arch.sector_bytes), 4.0 / 32.0, 1e-9);
+  // 8x4 work-group: the 4 lanes sharing a column pack 16 of each sector's
+  // 32 bytes — exactly half efficient.
+  const auto tall = simgpu::analyze_warp_accesses_fast({1, 1, 1, 8, 4, 1}, arch,
+                                                       scattered);
+  EXPECT_NEAR(tall.dram_efficiency(arch.sector_bytes), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace repro::imagecl

@@ -1,0 +1,88 @@
+// Image container and PGM/PPM writers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "imagecl/image.hpp"
+
+namespace repro::imagecl {
+namespace {
+
+TEST(Image, DimensionsAndFill) {
+  Image<float> image(4, 3, 2.5f);
+  EXPECT_EQ(image.width(), 4u);
+  EXPECT_EQ(image.height(), 3u);
+  EXPECT_EQ(image.size(), 12u);
+  EXPECT_FLOAT_EQ(image.at(3, 2), 2.5f);
+}
+
+TEST(Image, RowMajorAddressing) {
+  Image<int> image(3, 2);
+  image.at(2, 1) = 42;
+  EXPECT_EQ(image.data()[1 * 3 + 2], 42);
+}
+
+TEST(Image, ClampedReads) {
+  Image<float> image(2, 2);
+  image.at(0, 0) = 1.0f;
+  image.at(1, 0) = 2.0f;
+  image.at(0, 1) = 3.0f;
+  image.at(1, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(image.at_clamped(-5, -5), 1.0f);
+  EXPECT_FLOAT_EQ(image.at_clamped(10, 0), 2.0f);
+  EXPECT_FLOAT_EQ(image.at_clamped(0, 10), 3.0f);
+  EXPECT_FLOAT_EQ(image.at_clamped(99, 99), 4.0f);
+  EXPECT_FLOAT_EQ(image.at_clamped(1, 1), 4.0f);
+}
+
+TEST(Image, WritePgmProducesValidHeaderAndSize) {
+  Image<float> image(8, 4);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    image.data()[i] = static_cast<float>(i);
+  }
+  const std::string path = std::filesystem::temp_directory_path() / "repro_test.pgm";
+  ASSERT_TRUE(write_pgm(image, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::size_t w = 0, h = 0;
+  int maxval = 0;
+  in >> w >> h >> maxval;
+  EXPECT_EQ(w, 8u);
+  EXPECT_EQ(h, 4u);
+  EXPECT_EQ(maxval, 255);
+  EXPECT_EQ(std::filesystem::file_size(path) >= 32u + 10u, true);
+  std::remove(path.c_str());
+}
+
+TEST(Image, WritePpmProducesRgbPayload) {
+  Image<float> image(5, 5, 1.0f);
+  image.at(2, 2) = 9.0f;
+  const std::string path = std::filesystem::temp_directory_path() / "repro_test.ppm";
+  ASSERT_TRUE(write_ppm_colormap(image, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  std::remove(path.c_str());
+}
+
+TEST(Image, WriteFailsOnBadPath) {
+  Image<float> image(2, 2);
+  EXPECT_FALSE(write_pgm(image, "/no_such_dir_xyz/a.pgm"));
+  EXPECT_FALSE(write_ppm_colormap(image, "/no_such_dir_xyz/a.ppm"));
+}
+
+TEST(Image, ConstantImageNormalizesSafely) {
+  Image<float> image(3, 3, 7.0f);
+  const std::string path = std::filesystem::temp_directory_path() / "repro_const.pgm";
+  EXPECT_TRUE(write_pgm(image, path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace repro::imagecl

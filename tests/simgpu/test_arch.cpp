@@ -1,0 +1,57 @@
+// Architecture descriptor sanity: the testbed matches the paper's GPUs and
+// the parameters that differentiate the landscapes are present.
+
+#include <gtest/gtest.h>
+
+#include "simgpu/arch.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+TEST(Arch, TestbedHasPapersThreeGpus) {
+  const auto& gpus = testbed();
+  ASSERT_EQ(gpus.size(), 3u);
+  EXPECT_EQ(gpus[0].name, "gtx980");
+  EXPECT_EQ(gpus[1].name, "titanv");
+  EXPECT_EQ(gpus[2].name, "rtxtitan");
+}
+
+TEST(Arch, LookupByName) {
+  EXPECT_EQ(arch_by_name("titanv").sm_count, 80u);
+  EXPECT_THROW((void)arch_by_name("gtx1080"), std::out_of_range);
+}
+
+TEST(Arch, TuringHalvesResidentThreads) {
+  // The defining architectural difference of the newest GPU in the study.
+  EXPECT_EQ(gtx980().max_threads_per_sm, 2048u);
+  EXPECT_EQ(titan_v().max_threads_per_sm, 2048u);
+  EXPECT_EQ(rtx_titan().max_threads_per_sm, 1024u);
+}
+
+TEST(Arch, GenerationalThroughputOrdering) {
+  EXPECT_LT(gtx980().fp32_gflops, titan_v().fp32_gflops);
+  EXPECT_LT(titan_v().fp32_gflops, rtx_titan().fp32_gflops);
+  EXPECT_LT(gtx980().dram_bw_gbps, titan_v().dram_bw_gbps);
+  EXPECT_LT(gtx980().l2_bytes, titan_v().l2_bytes);
+  EXPECT_LT(titan_v().l2_bytes, rtx_titan().l2_bytes);
+}
+
+TEST(Arch, MaxWarpsDerived) {
+  EXPECT_EQ(titan_v().max_warps_per_sm(), 64u);
+  EXPECT_EQ(rtx_titan().max_warps_per_sm(), 32u);
+}
+
+TEST(Arch, PositiveModelParameters) {
+  for (const GpuArch& arch : testbed()) {
+    EXPECT_GT(arch.sm_count, 0u) << arch.name;
+    EXPECT_GT(arch.fp32_gflops, 0.0) << arch.name;
+    EXPECT_GT(arch.dram_bw_gbps, 0.0) << arch.name;
+    EXPECT_GT(arch.mem_latency_cycles, 0.0) << arch.name;
+    EXPECT_GT(arch.launch_overhead_us, 0.0) << arch.name;
+    EXPECT_GT(arch.noise_sigma, 0.0) << arch.name;
+    EXPECT_EQ(arch.warp_size, 32u) << arch.name;
+  }
+}
+
+}  // namespace
+}  // namespace repro::simgpu

@@ -1,0 +1,100 @@
+// Set-associative LRU cache simulator tests.
+
+#include <gtest/gtest.h>
+
+#include "simgpu/cache_sim.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+TEST(CacheSim, ValidatesGeometry) {
+  EXPECT_THROW(CacheSim(1024, 0, 4), std::invalid_argument);
+  EXPECT_THROW(CacheSim(1024, 33, 4), std::invalid_argument);  // not pow2
+  EXPECT_THROW(CacheSim(1024, 32, 0), std::invalid_argument);
+  EXPECT_THROW(CacheSim(96, 32, 2), std::invalid_argument);  // 3 lines / 2 ways
+  EXPECT_THROW(CacheSim(32 * 2 * 3, 32, 2), std::invalid_argument);  // 3 sets
+}
+
+TEST(CacheSim, GeometryDerivation) {
+  CacheSim cache(4096, 32, 4);
+  EXPECT_EQ(cache.num_sets(), 32u);
+  EXPECT_EQ(cache.ways(), 4u);
+  EXPECT_EQ(cache.line_bytes(), 32u);
+}
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim cache(1024, 32, 2);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(31));   // same line
+  EXPECT_FALSE(cache.access(32));  // next line
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheSim, HitRate) {
+  CacheSim cache(1024, 32, 2);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.75);
+}
+
+TEST(CacheSim, LruEvictionOrder) {
+  // Direct-mapped-per-set behaviour with 2 ways: the least recently used of
+  // two conflicting lines is evicted by a third.
+  CacheSim cache(64, 32, 2);  // 1 set, 2 ways
+  (void)cache.access(0);      // miss, set {0}
+  (void)cache.access(32);     // miss, set {0,32}
+  (void)cache.access(0);      // hit, 32 becomes LRU
+  (void)cache.access(64);     // miss, evicts 32
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(32));  // was evicted
+}
+
+TEST(CacheSim, ConflictMissesInDirectMapped) {
+  CacheSim cache(128, 32, 1);  // 4 sets, direct-mapped
+  // Addresses 0 and 128 map to the same set and thrash.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(128));
+  }
+  // Full associativity of same capacity would keep both.
+  CacheSim assoc(128, 32, 4);  // 1 set, 4 ways
+  (void)assoc.access(0);
+  (void)assoc.access(128);
+  EXPECT_TRUE(assoc.access(0));
+  EXPECT_TRUE(assoc.access(128));
+}
+
+TEST(CacheSim, StreamingHasNoReuse) {
+  CacheSim cache(4096, 32, 4);
+  for (std::uint64_t address = 0; address < 1 << 16; address += 32) {
+    EXPECT_FALSE(cache.access(address));
+  }
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(CacheSim, WorkingSetSmallerThanCacheFullyHits) {
+  CacheSim cache(8192, 32, 4);
+  // Touch 4 KiB twice; second pass must be all hits.
+  for (std::uint64_t address = 0; address < 4096; address += 32) (void)cache.access(address);
+  const std::uint64_t misses_after_first = cache.misses();
+  for (std::uint64_t address = 0; address < 4096; address += 32) {
+    EXPECT_TRUE(cache.access(address));
+  }
+  EXPECT_EQ(cache.misses(), misses_after_first);
+}
+
+TEST(CacheSim, ResetClearsEverything) {
+  CacheSim cache(1024, 32, 2);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  cache.reset();
+  EXPECT_EQ(cache.accesses(), 0u);
+  EXPECT_FALSE(cache.access(0));  // cold again
+}
+
+}  // namespace
+}  // namespace repro::simgpu

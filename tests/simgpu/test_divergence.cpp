@@ -1,0 +1,70 @@
+// Warp divergence model: uniform fields cost nothing, sharp fields cost
+// max-over-lanes, and thread coarsening smooths lane work.
+
+#include <gtest/gtest.h>
+
+#include "simgpu/arch.hpp"
+#include "simgpu/divergence.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+const GridExtent kExtent{4096, 4096, 1};
+
+TEST(Divergence, EmptyFieldIsNeutral) {
+  EXPECT_DOUBLE_EQ(
+      warp_divergence_factor({1, 1, 1, 8, 4, 1}, titan_v(), kExtent, nullptr), 1.0);
+}
+
+TEST(Divergence, UniformFieldIsNeutral) {
+  const auto factor = warp_divergence_factor({1, 1, 1, 8, 4, 1}, titan_v(), kExtent,
+                                             [](double, double) { return 3.0; });
+  EXPECT_DOUBLE_EQ(factor, 1.0);
+}
+
+TEST(Divergence, SingleLaneWarpIsNeutral) {
+  const auto factor = warp_divergence_factor({1, 1, 1, 1, 1, 1}, titan_v(), kExtent,
+                                             [](double x, double) { return x; });
+  EXPECT_DOUBLE_EQ(factor, 1.0);
+}
+
+TEST(Divergence, SharpFieldPenalizesWideWarps) {
+  // Checkerboard at lane scale: every other column costs 10x.
+  const IntensityField field = [](double x, double) {
+    return (static_cast<int>(x * 4096.0) % 2 == 0) ? 10.0 : 1.0;
+  };
+  const double factor =
+      warp_divergence_factor({1, 1, 1, 8, 4, 1}, titan_v(), kExtent, field);
+  EXPECT_GT(factor, 1.2);
+}
+
+TEST(Divergence, ZeroFieldIsNeutral) {
+  const auto factor = warp_divergence_factor({1, 1, 1, 8, 4, 1}, titan_v(), kExtent,
+                                             [](double, double) { return 0.0; });
+  EXPECT_DOUBLE_EQ(factor, 1.0);
+}
+
+TEST(Divergence, AlwaysAtLeastOne) {
+  const IntensityField field = [](double x, double y) { return x * y + 0.1; };
+  for (const KernelConfig& config :
+       {KernelConfig{1, 1, 1, 8, 4, 1}, KernelConfig{4, 4, 1, 2, 8, 1},
+        KernelConfig{16, 16, 1, 8, 8, 1}}) {
+    EXPECT_GE(warp_divergence_factor(config, titan_v(), kExtent, field), 1.0);
+  }
+}
+
+TEST(Divergence, CoarseningSmoothsSharpFields) {
+  // Averaging a fine checkerboard inside each lane's block reduces the
+  // max/mean ratio: coarse threads see the mean, fine threads the extremes.
+  const IntensityField field = [](double x, double) {
+    return (static_cast<int>(x * 4096.0) % 2 == 0) ? 10.0 : 1.0;
+  };
+  const double fine =
+      warp_divergence_factor({1, 1, 1, 8, 4, 1}, titan_v(), kExtent, field);
+  const double coarse =
+      warp_divergence_factor({8, 1, 1, 8, 4, 1}, titan_v(), kExtent, field);
+  EXPECT_LT(coarse, fine);
+}
+
+}  // namespace
+}  // namespace repro::simgpu

@@ -1,0 +1,138 @@
+// Launch configuration and geometry derivation, including the paper's
+// work-group constraint and the extent-clamping rules.
+
+#include <gtest/gtest.h>
+
+#include "simgpu/arch.hpp"
+#include "simgpu/launch.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+TEST(KernelConfig, RangeValidation) {
+  EXPECT_TRUE((KernelConfig{1, 1, 1, 1, 1, 1}).in_range());
+  EXPECT_TRUE((KernelConfig{16, 16, 16, 8, 8, 8}).in_range());
+  EXPECT_FALSE((KernelConfig{0, 1, 1, 1, 1, 1}).in_range());
+  EXPECT_FALSE((KernelConfig{17, 1, 1, 1, 1, 1}).in_range());
+  EXPECT_FALSE((KernelConfig{1, 1, 1, 9, 1, 1}).in_range());
+}
+
+TEST(KernelConfig, WorkGroupConstraint) {
+  EXPECT_TRUE((KernelConfig{1, 1, 1, 8, 8, 4}).satisfies_wg_constraint());   // 256
+  EXPECT_FALSE((KernelConfig{1, 1, 1, 8, 8, 5}).satisfies_wg_constraint());  // 320
+  EXPECT_FALSE((KernelConfig{1, 1, 1, 8, 8, 8}).satisfies_wg_constraint());  // 512
+}
+
+TEST(KernelConfig, Accessors) {
+  const KernelConfig config{2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(config.wg_threads(), 210u);
+  EXPECT_EQ(config.coarsening(), 24u);
+  EXPECT_NE(config.to_string().find("c=(2,3,4)"), std::string::npos);
+}
+
+TEST(Geometry, BasicDerivation) {
+  const GpuArch arch = titan_v();
+  const GridExtent extent{1024, 512, 1};
+  const KernelConfig config{2, 1, 1, 8, 4, 1};
+  const LaunchGeometry geometry = derive_geometry(extent, config, arch);
+  EXPECT_EQ(geometry.threads_x, 512u);
+  EXPECT_EQ(geometry.threads_y, 512u);
+  EXPECT_EQ(geometry.threads_z, 1u);
+  EXPECT_EQ(geometry.wgs_x, 64u);
+  EXPECT_EQ(geometry.wgs_y, 128u);
+  EXPECT_EQ(geometry.wg_threads, 32u);
+  EXPECT_EQ(geometry.warps_per_wg, 1u);
+  EXPECT_DOUBLE_EQ(geometry.lane_efficiency, 1.0);
+}
+
+TEST(Geometry, CeilDivisionAndPartialWarps) {
+  const GpuArch arch = titan_v();
+  const GridExtent extent{100, 1, 1};
+  const KernelConfig config{3, 1, 1, 7, 1, 1};
+  const LaunchGeometry geometry = derive_geometry(extent, config, arch);
+  EXPECT_EQ(geometry.threads_x, 34u);  // ceil(100/3)
+  EXPECT_EQ(geometry.wgs_x, 5u);       // ceil(34/7)
+  EXPECT_EQ(geometry.warps_per_wg, 1u);
+  EXPECT_DOUBLE_EQ(geometry.lane_efficiency, 7.0 / 32.0);
+}
+
+TEST(Geometry, MultiWarpWorkGroup) {
+  const GpuArch arch = titan_v();
+  const GridExtent extent{4096, 4096, 4};
+  const KernelConfig config{1, 1, 1, 8, 8, 2};  // 128 threads
+  const LaunchGeometry geometry = derive_geometry(extent, config, arch);
+  EXPECT_EQ(geometry.warps_per_wg, 4u);
+  EXPECT_DOUBLE_EQ(geometry.lane_efficiency, 1.0);
+}
+
+TEST(Geometry, WgZClampsOn2DGrid) {
+  // Same request on a 2-D grid: wg_z collapses to 1 -> 64 threads, 2 warps.
+  const GpuArch arch = titan_v();
+  const LaunchGeometry geometry =
+      derive_geometry({4096, 4096, 1}, {1, 1, 1, 8, 8, 2}, arch);
+  EXPECT_EQ(geometry.wg_threads, 64u);
+  EXPECT_EQ(geometry.warps_per_wg, 2u);
+}
+
+TEST(ClampToExtent, CoarseningClampsToExtent) {
+  const KernelConfig config{16, 16, 16, 2, 2, 2};
+  const KernelConfig eff = clamp_to_extent(config, {8192, 4, 1});
+  EXPECT_EQ(eff.coarsen_x, 16u);
+  EXPECT_EQ(eff.coarsen_y, 4u);
+  EXPECT_EQ(eff.coarsen_z, 1u);
+}
+
+TEST(ClampToExtent, WgClampsToThreadGrid) {
+  // 2-D kernel: wg_z must collapse to 1 (dead parameter).
+  const KernelConfig config{1, 1, 1, 8, 8, 4};
+  const KernelConfig eff = clamp_to_extent(config, {8192, 8192, 1});
+  EXPECT_EQ(eff.wg_z, 1u);
+  EXPECT_EQ(eff.wg_x, 8u);
+  // 1-D kernel: wg_y and wg_z both collapse.
+  const KernelConfig eff1d = clamp_to_extent(config, {8192, 1, 1});
+  EXPECT_EQ(eff1d.wg_y, 1u);
+  EXPECT_EQ(eff1d.wg_z, 1u);
+}
+
+TEST(ClampToExtent, InteractsWithCoarsening) {
+  // extent.y = 8, coarsen_y = 8 -> 1 thread in y -> wg_y clamps to 1.
+  const KernelConfig config{1, 8, 1, 4, 4, 1};
+  const KernelConfig eff = clamp_to_extent(config, {64, 8, 1});
+  EXPECT_EQ(eff.wg_y, 1u);
+}
+
+TEST(LaneCoords, XFastestLinearization) {
+  const KernelConfig config{1, 1, 1, 4, 2, 2};
+  EXPECT_EQ(lane_coords(0, config), (std::array<std::uint32_t, 3>{0, 0, 0}));
+  EXPECT_EQ(lane_coords(3, config), (std::array<std::uint32_t, 3>{3, 0, 0}));
+  EXPECT_EQ(lane_coords(4, config), (std::array<std::uint32_t, 3>{0, 1, 0}));
+  EXPECT_EQ(lane_coords(8, config), (std::array<std::uint32_t, 3>{0, 0, 1}));
+  EXPECT_EQ(lane_coords(15, config), (std::array<std::uint32_t, 3>{3, 1, 1}));
+}
+
+/// Property: total threads always cover the extent (no element unassigned).
+class GeometryCoverage : public ::testing::TestWithParam<KernelConfig> {};
+
+TEST_P(GeometryCoverage, ThreadsCoverExtent) {
+  const GpuArch arch = gtx980();
+  const GridExtent extent{777, 333, 1};
+  const KernelConfig config = GetParam();
+  const LaunchGeometry geometry = derive_geometry(extent, config, arch);
+  const KernelConfig eff = clamp_to_extent(config, extent);
+  EXPECT_GE(geometry.threads_x * eff.coarsen_x, extent.x);
+  EXPECT_GE(geometry.threads_y * eff.coarsen_y, extent.y);
+  EXPECT_GE(geometry.wgs_x * eff.wg_x, geometry.threads_x);
+  EXPECT_GE(geometry.wgs_y * eff.wg_y, geometry.threads_y);
+  EXPECT_GT(geometry.lane_efficiency, 0.0);
+  EXPECT_LE(geometry.lane_efficiency, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, GeometryCoverage,
+                         ::testing::Values(KernelConfig{1, 1, 1, 1, 1, 1},
+                                           KernelConfig{16, 16, 16, 8, 8, 4},
+                                           KernelConfig{3, 5, 7, 2, 3, 1},
+                                           KernelConfig{16, 1, 1, 1, 8, 1},
+                                           KernelConfig{2, 9, 1, 5, 5, 2}));
+
+}  // namespace
+}  // namespace repro::simgpu

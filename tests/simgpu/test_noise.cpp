@@ -1,0 +1,74 @@
+// Measurement-noise model: multiplicative, unbiased-in-median, outliers
+// only inflate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simgpu/noise.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+TEST(NoiseModel, MedianMatchesTruth) {
+  NoiseModel noise;
+  noise.sigma = 0.02;
+  noise.outlier_probability = 0.0;
+  repro::Rng rng(1);
+  std::vector<double> samples(4001);
+  for (auto& s : samples) s = noise.sample(1000.0, rng);
+  std::nth_element(samples.begin(), samples.begin() + 2000, samples.end());
+  EXPECT_NEAR(samples[2000], 1000.0, 10.0);
+}
+
+TEST(NoiseModel, SamplesArePositiveAndScaleWithTruth) {
+  NoiseModel noise;
+  repro::Rng rng(2);
+  for (double truth : {1.0, 100.0, 1e6}) {
+    for (int i = 0; i < 200; ++i) {
+      const double s = noise.sample(truth, rng);
+      EXPECT_GT(s, truth * 0.8);
+      EXPECT_LT(s, truth * 1.4);
+    }
+  }
+}
+
+TEST(NoiseModel, OutliersOnlyInflate) {
+  NoiseModel noise;
+  noise.sigma = 1e-9;  // isolate the outlier term
+  noise.outlier_probability = 1.0;
+  noise.outlier_max_fraction = 0.10;
+  repro::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double s = noise.sample(100.0, rng);
+    EXPECT_GE(s, 100.0 - 1e-3);
+    EXPECT_LE(s, 110.0 + 1e-3);
+  }
+}
+
+TEST(NoiseModel, ZeroSigmaNoOutliersIsExact) {
+  NoiseModel noise;
+  noise.sigma = 0.0;
+  noise.outlier_probability = 0.0;
+  repro::Rng rng(4);
+  EXPECT_DOUBLE_EQ(noise.sample(123.0, rng), 123.0);
+}
+
+TEST(NoiseModel, HigherSigmaSpreadsMore) {
+  NoiseModel tight, loose;
+  tight.sigma = 0.01;
+  loose.sigma = 0.10;
+  tight.outlier_probability = loose.outlier_probability = 0.0;
+  repro::Rng rng_a(5), rng_b(5);
+  double tight_spread = 0.0, loose_spread = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    tight_spread += std::abs(tight.sample(100.0, rng_a) - 100.0);
+    loose_spread += std::abs(loose.sample(100.0, rng_b) - 100.0);
+  }
+  EXPECT_GT(loose_spread, 3.0 * tight_spread);
+}
+
+}  // namespace
+}  // namespace repro::simgpu

@@ -1,0 +1,129 @@
+// Occupancy calculator: each limiting resource, warp-granular allocation,
+// and the architecture differences that shape the landscapes.
+
+#include <gtest/gtest.h>
+
+#include "simgpu/arch.hpp"
+#include "simgpu/launch.hpp"
+#include "simgpu/occupancy.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+LaunchGeometry geometry_for(const GpuArch& arch, std::uint32_t wg_threads) {
+  KernelConfig config{1, 1, 1, 1, 1, 1};
+  // Shape an (artificial) work group with the requested thread count by
+  // setting wg_x only when possible; otherwise fall back to a flat spec.
+  LaunchGeometry geometry;
+  geometry.threads_x = 1 << 20;
+  geometry.threads_y = 1;
+  geometry.threads_z = 1;
+  geometry.wgs_x = geometry.threads_x / std::max<std::uint32_t>(wg_threads, 1);
+  geometry.wgs_y = 1;
+  geometry.wgs_z = 1;
+  geometry.wg_threads = wg_threads;
+  geometry.warps_per_wg = (wg_threads + arch.warp_size - 1) / arch.warp_size;
+  geometry.lane_efficiency =
+      static_cast<double>(wg_threads) / (geometry.warps_per_wg * arch.warp_size);
+  (void)config;
+  return geometry;
+}
+
+TEST(Occupancy, FullOccupancyWithModestResources) {
+  const GpuArch arch = titan_v();
+  const auto occ = compute_occupancy(arch, geometry_for(arch, 256), 32, 0);
+  EXPECT_TRUE(occ.launchable);
+  EXPECT_EQ(occ.active_wgs_per_sm, 8u);   // 2048 / 256
+  EXPECT_EQ(occ.active_warps_per_sm, 64u);
+  EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+  EXPECT_STREQ(occ.limiter, "threads");
+}
+
+TEST(Occupancy, WgSlotLimited) {
+  const GpuArch arch = titan_v();  // 32 slots
+  const auto occ = compute_occupancy(arch, geometry_for(arch, 32), 16, 0);
+  EXPECT_EQ(occ.active_wgs_per_sm, 32u);
+  EXPECT_STREQ(occ.limiter, "wg_slots");
+  EXPECT_DOUBLE_EQ(occ.occupancy, 0.5);  // 32 of 64 warps
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const GpuArch arch = titan_v();
+  // 128 regs x 256 threads = 32768 regs per wg -> 2 wgs on a 64k file.
+  const auto occ = compute_occupancy(arch, geometry_for(arch, 256), 128, 0);
+  EXPECT_EQ(occ.active_wgs_per_sm, 2u);
+  EXPECT_STREQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const GpuArch arch = titan_v();  // 96 KiB per SM
+  const auto occ = compute_occupancy(arch, geometry_for(arch, 64), 16, 40960);
+  EXPECT_EQ(occ.active_wgs_per_sm, 2u);  // 96k / 40k
+  EXPECT_STREQ(occ.limiter, "shared");
+}
+
+TEST(Occupancy, PartialWarpsAllocateWholeWarps) {
+  const GpuArch arch = titan_v();
+  // 48 threads pad to 2 warps (64 threads): 2048/64 = 32 wgs, slot-limited.
+  const auto occ = compute_occupancy(arch, geometry_for(arch, 48), 16, 0);
+  EXPECT_EQ(occ.active_warps_per_sm, 64u);
+  EXPECT_EQ(occ.active_wgs_per_sm, 32u);
+}
+
+TEST(Occupancy, NotLaunchableWhenWgExceedsLimits) {
+  const GpuArch arch = titan_v();
+  auto geometry = geometry_for(arch, 2048);  // > max_wg_threads (1024)
+  const auto occ = compute_occupancy(arch, geometry, 16, 0);
+  EXPECT_FALSE(occ.launchable);
+}
+
+TEST(Occupancy, NotLaunchableWhenSharedExceedsWgMax) {
+  const GpuArch arch = titan_v();
+  const auto occ = compute_occupancy(arch, geometry_for(arch, 64), 16, 1 << 20);
+  EXPECT_FALSE(occ.launchable);
+  EXPECT_STREQ(occ.limiter, "shared");
+}
+
+TEST(Occupancy, NotLaunchableWhenRegistersOversubscribe) {
+  GpuArch arch = titan_v();
+  arch.regs_per_sm = 4096;
+  const auto occ = compute_occupancy(arch, geometry_for(arch, 1024), 255, 0);
+  EXPECT_FALSE(occ.launchable);
+  EXPECT_STREQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, TuringReachesFullWithHalfTheThreads) {
+  // Same kernel shape: full occupancy on Turing at 1024 threads/SM but only
+  // half on Volta — an architecture-dependent landscape feature.
+  const auto volta = compute_occupancy(titan_v(), geometry_for(titan_v(), 128), 32, 0);
+  const auto turing =
+      compute_occupancy(rtx_titan(), geometry_for(rtx_titan(), 128), 32, 0);
+  EXPECT_EQ(volta.active_wgs_per_sm, 16u);
+  EXPECT_EQ(turing.active_wgs_per_sm, 8u);  // 1024 / 128
+  EXPECT_DOUBLE_EQ(turing.occupancy, 1.0);
+  EXPECT_DOUBLE_EQ(volta.occupancy, 1.0);
+}
+
+/// Property: occupancy never exceeds 1 and never increases when registers grow.
+class OccupancyRegisterMonotone : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(OccupancyRegisterMonotone, MonotoneInRegisters) {
+  const GpuArch arch = gtx980();
+  const std::uint32_t wg_threads = GetParam();
+  double previous = 2.0;
+  for (std::uint32_t regs = 16; regs <= 256; regs += 16) {
+    const auto occ = compute_occupancy(
+        arch, geometry_for(arch, wg_threads),
+        std::min(regs, arch.max_regs_per_thread), 0);
+    if (!occ.launchable) break;
+    EXPECT_LE(occ.occupancy, 1.0);
+    EXPECT_LE(occ.occupancy, previous + 1e-12);
+    previous = occ.occupancy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WgSizes, OccupancyRegisterMonotone,
+                         ::testing::Values(32, 64, 100, 256, 512, 1024));
+
+}  // namespace
+}  // namespace repro::simgpu

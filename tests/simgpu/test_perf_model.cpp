@@ -1,0 +1,187 @@
+// Analytical performance model: validity rules, determinism, landscape
+// structure (the features the study depends on), and the memoizing cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "simgpu/arch.hpp"
+#include "simgpu/perf_model.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+KernelCostSpec streaming_kernel(std::uint64_t width = 4096, std::uint64_t height = 4096) {
+  KernelCostSpec spec;
+  spec.name = "stream_test";
+  spec.extent = {width, height, 1};
+  spec.flops_per_element = 2.0;
+  WarpAccessSpec pattern;
+  pattern.element_bytes = 4;
+  pattern.pitch_x = width;
+  pattern.pitch_y = height;
+  spec.loads = {pattern};
+  spec.stores = {pattern};
+  spec.codegen_lottery_sigma = 0.0;  // deterministic structure for tests
+  return spec;
+}
+
+TEST(PerfModel, RejectsOutOfRange) {
+  const PerfModel model(streaming_kernel());
+  const auto result = model.evaluate(titan_v(), {0, 1, 1, 1, 1, 1});
+  EXPECT_FALSE(result.valid);
+  EXPECT_STREQ(result.invalid_reason, "parameter out of range");
+}
+
+TEST(PerfModel, RejectsWgConstraintViolation) {
+  const PerfModel model(streaming_kernel());
+  const auto result = model.evaluate(titan_v(), {1, 1, 1, 8, 8, 8});
+  EXPECT_FALSE(result.valid);
+  EXPECT_STREQ(result.invalid_reason, "work-group constraint violated");
+}
+
+TEST(PerfModel, ValidConfigHasPositiveTime) {
+  const PerfModel model(streaming_kernel());
+  const auto result = model.evaluate(titan_v(), {1, 1, 1, 8, 4, 1});
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(result.time_us, titan_v().launch_overhead_us);
+  EXPECT_GT(result.occupancy, 0.0);
+  EXPECT_LE(result.occupancy, 1.0);
+}
+
+TEST(PerfModel, Deterministic) {
+  const PerfModel model(streaming_kernel());
+  const auto a = model.evaluate(titan_v(), {3, 2, 1, 4, 8, 1});
+  const auto b = model.evaluate(titan_v(), {3, 2, 1, 4, 8, 1});
+  EXPECT_DOUBLE_EQ(a.time_us, b.time_us);
+}
+
+TEST(PerfModel, DeadZParametersDoNotMatterFor2D) {
+  // After extent clamping, coarsen_z and wg_z are dead for 2-D kernels.
+  const PerfModel model(streaming_kernel());
+  const auto base = model.evaluate(titan_v(), {2, 2, 1, 8, 4, 1});
+  const auto z_heavy = model.evaluate(titan_v(), {2, 2, 16, 8, 4, 8});
+  ASSERT_TRUE(base.valid);
+  ASSERT_TRUE(z_heavy.valid);
+  EXPECT_DOUBLE_EQ(base.time_us, z_heavy.time_us);
+}
+
+TEST(PerfModel, TinyWorkGroupsArePunished) {
+  const PerfModel model(streaming_kernel());
+  const auto good = model.evaluate(titan_v(), {1, 1, 1, 8, 4, 1});
+  const auto lonely = model.evaluate(titan_v(), {1, 1, 1, 1, 1, 1});
+  ASSERT_TRUE(good.valid);
+  ASSERT_TRUE(lonely.valid);
+  EXPECT_GT(lonely.time_us, 3.0 * good.time_us);
+  EXPECT_LT(lonely.lane_efficiency, 0.05);
+}
+
+TEST(PerfModel, ExtremeCoarseningIsWorseThanModerate) {
+  const PerfModel model(streaming_kernel());
+  const auto moderate = model.evaluate(titan_v(), {2, 1, 1, 8, 4, 1});
+  const auto extreme = model.evaluate(titan_v(), {16, 16, 1, 8, 4, 1});
+  ASSERT_TRUE(moderate.valid);
+  ASSERT_TRUE(extreme.valid);
+  EXPECT_GT(extreme.time_us, moderate.time_us);
+}
+
+TEST(PerfModel, MemoryBoundKernelScalesWithBandwidth) {
+  // Pure streaming: Titan V (653 GB/s) must beat GTX 980 (224 GB/s).
+  KernelCostSpec spec = streaming_kernel(8192, 8192);
+  spec.flops_per_element = 0.5;
+  const PerfModel model(spec);
+  const auto old_gpu = model.evaluate(gtx980(), {1, 1, 1, 8, 4, 1});
+  const auto new_gpu = model.evaluate(titan_v(), {1, 1, 1, 8, 4, 1});
+  ASSERT_TRUE(old_gpu.valid && new_gpu.valid);
+  EXPECT_GT(old_gpu.time_us / new_gpu.time_us, 1.8);
+}
+
+TEST(PerfModel, SharedTilingKneeAppears) {
+  KernelCostSpec spec = streaming_kernel();
+  spec.shared_tiling_available = true;
+  spec.stencil_radius = 3;
+  const PerfModel model(spec);
+  // Small tile fits; a huge wg*coarsening tile must not.
+  const auto small = model.evaluate(titan_v(), {1, 1, 1, 8, 8, 1});
+  const auto huge = model.evaluate(titan_v(), {16, 16, 1, 8, 8, 1});
+  ASSERT_TRUE(small.valid && huge.valid);
+  EXPECT_TRUE(small.used_shared_tiling);
+  EXPECT_FALSE(huge.used_shared_tiling);
+}
+
+TEST(PerfModel, CodegenLotteryIsStableAndBounded) {
+  KernelCostSpec spec = streaming_kernel();
+  spec.codegen_lottery_sigma = 0.05;
+  const PerfModel model(spec);
+  const PerfModel model_clean(streaming_kernel());
+  const KernelConfig config{2, 3, 1, 4, 4, 1};
+  const auto noisy_a = model.evaluate(titan_v(), config);
+  const auto noisy_b = model.evaluate(titan_v(), config);
+  const auto clean = model_clean.evaluate(titan_v(), config);
+  EXPECT_DOUBLE_EQ(noisy_a.time_us, noisy_b.time_us);  // stable, not noise
+  EXPECT_NEAR(noisy_a.time_us / clean.time_us, 1.0, 0.30);
+}
+
+TEST(CachedPerfModel, PackUnpackRoundTrip) {
+  for (std::size_t index : {std::size_t{0}, std::size_t{1}, std::size_t{4095},
+                            std::size_t{123456}, CachedPerfModel::table_size() - 1}) {
+    const KernelConfig config = CachedPerfModel::unpack(index);
+    EXPECT_TRUE(config.in_range());
+    EXPECT_EQ(CachedPerfModel::pack(config), index);
+  }
+}
+
+TEST(CachedPerfModel, MatchesDirectEvaluation) {
+  const PerfModel model(streaming_kernel());
+  const CachedPerfModel cache(model, titan_v());
+  for (const KernelConfig& config :
+       {KernelConfig{1, 1, 1, 8, 4, 1}, KernelConfig{5, 2, 3, 2, 2, 2},
+        KernelConfig{16, 16, 16, 1, 1, 1}}) {
+    const auto direct = model.evaluate(titan_v(), model.effective_config(config));
+    const double cached = cache.time_us(config);
+    ASSERT_TRUE(direct.valid);
+    EXPECT_NEAR(cached, direct.time_us, direct.time_us * 1e-6);
+  }
+}
+
+TEST(CachedPerfModel, InvalidConfigsAreNaN) {
+  const PerfModel model(streaming_kernel());
+  const CachedPerfModel cache(model, titan_v());
+  EXPECT_TRUE(std::isnan(cache.time_us({1, 1, 1, 8, 8, 8})));
+  EXPECT_TRUE(std::isnan(cache.time_us({0, 1, 1, 1, 1, 1})));
+}
+
+TEST(CachedPerfModel, EquivalentConfigsShareSlot) {
+  const PerfModel model(streaming_kernel());
+  const CachedPerfModel cache(model, titan_v());
+  // 2-D kernel: any coarsen_z / wg_z collapses to the same effective class.
+  EXPECT_DOUBLE_EQ(cache.time_us({2, 2, 1, 4, 4, 1}),
+                   cache.time_us({2, 2, 9, 4, 4, 7}));
+}
+
+/// Property sweep: every in-range, constraint-satisfying configuration is
+/// either valid with a finite positive runtime, or cleanly invalid.
+class PerfModelTotality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PerfModelTotality, EvaluateIsTotal) {
+  const PerfModel model(streaming_kernel(512, 512));
+  repro::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t index = rng.next_below(CachedPerfModel::table_size());
+    const KernelConfig config = CachedPerfModel::unpack(index);
+    const auto result = model.evaluate(titan_v(), config);
+    if (config.satisfies_wg_constraint()) {
+      ASSERT_TRUE(result.valid) << config.to_string();
+      EXPECT_TRUE(std::isfinite(result.time_us));
+      EXPECT_GT(result.time_us, 0.0);
+    } else {
+      EXPECT_FALSE(result.valid);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PerfModelTotality, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace repro::simgpu

@@ -1,0 +1,72 @@
+// Bootstrap confidence intervals and the two-sample mean-difference test.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/bootstrap.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(Bootstrap, RejectsEmptySample) {
+  repro::Rng rng(1);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)bootstrap_confidence_interval(
+                   empty, [](std::span<const double> xs) { return mean(xs); }, rng),
+               std::invalid_argument);
+}
+
+TEST(Bootstrap, MeanCiCoversTrueMean) {
+  repro::Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  const Interval ci = bootstrap_confidence_interval(
+      xs, [](std::span<const double> s) { return mean(s); }, rng, 1000);
+  EXPECT_LT(ci.lo, 10.3);
+  EXPECT_GT(ci.hi, 9.7);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(Bootstrap, MedianCiWorks) {
+  repro::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 150; ++i) xs.push_back(rng.lognormal(0.0, 0.5));
+  const Interval ci = bootstrap_confidence_interval(
+      xs, [](std::span<const double> s) { return median(s); }, rng, 1000);
+  EXPECT_GT(ci.lo, 0.5);
+  EXPECT_LT(ci.hi, 2.0);
+}
+
+TEST(Bootstrap, TwoSampleDetectsDifference) {
+  repro::Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 80; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(1.5, 1.0));
+  }
+  EXPECT_LT(bootstrap_mean_difference_p(a, b, rng, 500), 0.02);
+}
+
+TEST(Bootstrap, TwoSampleSameDistributionLargeP) {
+  repro::Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 80; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.0, 1.0));
+  }
+  EXPECT_GT(bootstrap_mean_difference_p(a, b, rng, 500), 0.05);
+}
+
+TEST(Bootstrap, PValueNeverExactlyZero) {
+  repro::Rng rng(6);
+  const std::vector<double> a = {0.0, 0.1, 0.2};
+  const std::vector<double> b = {100.0, 100.1, 100.2};
+  const double p = bootstrap_mean_difference_p(a, b, rng, 200);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.05);
+}
+
+}  // namespace
+}  // namespace repro::stats

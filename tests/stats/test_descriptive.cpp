@@ -1,0 +1,165 @@
+// Descriptive statistics: known values, edge cases, and properties of the
+// normal CDF/quantile pair and tie-aware ranking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceKnown) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyInputs) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(mean(empty)));
+  EXPECT_TRUE(std::isnan(median(empty)));
+  EXPECT_TRUE(std::isnan(min(empty)));
+  EXPECT_TRUE(std::isnan(max(empty)));
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+}
+
+TEST(Descriptive, SingleValue) {
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(mean(one), 3.0);
+  EXPECT_DOUBLE_EQ(median(one), 3.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_NEAR(quantile(xs, 0.25), 1.75, 1e-12);  // numpy default
+}
+
+TEST(Quantile, RejectsOutOfRange) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Quantile, DoesNotMutateInput) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  (void)quantile(xs, 0.5);
+  EXPECT_DOUBLE_EQ(xs[0], 3.0);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501, 1e-6);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.01), -2.326347874, 1e-6);
+}
+
+TEST(NormalQuantile, ExtremesAndErrors) {
+  EXPECT_TRUE(std::isinf(normal_quantile(0.0)));
+  EXPECT_TRUE(std::isinf(normal_quantile(1.0)));
+  EXPECT_THROW((void)normal_quantile(-0.5), std::invalid_argument);
+}
+
+/// Property: quantile(cdf(z)) ~ z over a range of z.
+class NormalRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalRoundTrip, InverseConsistency) {
+  const double z = GetParam();
+  EXPECT_NEAR(normal_quantile(normal_cdf(z)), z, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ZValues, NormalRoundTrip,
+                         ::testing::Values(-3.0, -1.5, -0.5, 0.0, 0.7, 1.96, 2.8));
+
+TEST(Ranks, NoTiesAreOneToN) {
+  const std::vector<double> xs = {30.0, 10.0, 20.0};
+  const auto ranks = ranks_with_ties(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(Ranks, TiesGetAverageRank) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.0};
+  const auto ranks = ranks_with_ties(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Ranks, AllEqual) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  for (double r : ranks_with_ties(xs)) EXPECT_DOUBLE_EQ(r, 2.0);
+}
+
+TEST(Ranks, SumIsInvariant) {
+  // Property: rank sum is always n(n+1)/2 regardless of ties.
+  repro::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs(50);
+    for (auto& x : xs) x = static_cast<double>(rng.uniform_int(0, 9));
+    const auto ranks = ranks_with_ties(xs);
+    double sum = 0.0;
+    for (double r : ranks) sum += r;
+    EXPECT_NEAR(sum, 50.0 * 51.0 / 2.0, 1e-9);
+  }
+}
+
+TEST(MeanCi, ContainsMeanAndShrinks) {
+  repro::Rng rng(7);
+  std::vector<double> small_sample, big_sample;
+  for (int i = 0; i < 10; ++i) small_sample.push_back(rng.normal(10.0, 2.0));
+  for (int i = 0; i < 1000; ++i) big_sample.push_back(rng.normal(10.0, 2.0));
+  const Interval small_ci = mean_confidence_interval(small_sample);
+  const Interval big_ci = mean_confidence_interval(big_sample);
+  EXPECT_LT(small_ci.lo, mean(small_sample));
+  EXPECT_GT(small_ci.hi, mean(small_sample));
+  EXPECT_LT(big_ci.hi - big_ci.lo, small_ci.hi - small_ci.lo);
+}
+
+TEST(MeanCi, SinglePointDegenerate) {
+  const std::vector<double> one = {4.0};
+  const Interval ci = mean_confidence_interval(one);
+  EXPECT_DOUBLE_EQ(ci.lo, 4.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 4.0);
+}
+
+TEST(MedianCi, BracketsMedian) {
+  repro::Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(5.0, 1.0));
+  const Interval ci = median_confidence_interval(xs);
+  const double m = median(xs);
+  EXPECT_LE(ci.lo, m);
+  EXPECT_GE(ci.hi, m);
+  EXPECT_LT(ci.hi - ci.lo, 1.0);
+}
+
+}  // namespace
+}  // namespace repro::stats

@@ -1,0 +1,91 @@
+// CLES / Vargha-Delaney A tests: the paper's Eq. 1 including tie handling.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/effect_size.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(Cles, RejectsEmpty) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW((void)cles_greater(a, empty), std::invalid_argument);
+}
+
+TEST(Cles, FullySeparated) {
+  const std::vector<double> low = {1.0, 2.0};
+  const std::vector<double> high = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(cles_greater(high, low), 1.0);
+  EXPECT_DOUBLE_EQ(cles_greater(low, high), 0.0);
+}
+
+TEST(Cles, IdenticalSamplesGiveHalf) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(cles_greater(xs, xs), 0.5);
+}
+
+TEST(Cles, TiesCountHalf) {
+  // Pairs: (1,1): tie -> 0.5; by Eq. 1, A = 0.5.
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_DOUBLE_EQ(cles_greater(a, b), 0.5);
+}
+
+TEST(Cles, HandComputedMixedCase) {
+  // a={1,3}, b={2}: pairs (1>2)? 0, (3>2)? 1 -> A = 0.5.
+  EXPECT_DOUBLE_EQ(cles_greater(std::vector<double>{1.0, 3.0},
+                                std::vector<double>{2.0}),
+                   0.5);
+  // a={2,3}, b={1,2}: pairs 2>1=1, 2=2 -> .5, 3>1=1, 3>2=1 => 3.5/4.
+  EXPECT_DOUBLE_EQ(cles_greater(std::vector<double>{2.0, 3.0},
+                                std::vector<double>{1.0, 2.0}),
+                   0.875);
+}
+
+TEST(Cles, ComplementProperty) {
+  // Property: A(a,b) + A(b,a) = 1 for any samples.
+  repro::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(17), b(23);
+    for (auto& x : a) x = static_cast<double>(rng.uniform_int(0, 5));
+    for (auto& x : b) x = static_cast<double>(rng.uniform_int(0, 5));
+    EXPECT_NEAR(cles_greater(a, b) + cles_greater(b, a), 1.0, 1e-12);
+  }
+}
+
+TEST(Cles, MatchesBruteForcePairCount) {
+  // Property: the rank-based formula equals the direct O(n*m) definition.
+  repro::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a(30), b(40);
+    for (auto& x : a) x = static_cast<double>(rng.uniform_int(0, 8));
+    for (auto& x : b) x = static_cast<double>(rng.uniform_int(0, 8));
+    double brute = 0.0;
+    for (double va : a) {
+      for (double vb : b) brute += (va > vb) ? 1.0 : (va == vb ? 0.5 : 0.0);
+    }
+    brute /= static_cast<double>(a.size() * b.size());
+    EXPECT_NEAR(cles_greater(a, b), brute, 1e-12);
+  }
+}
+
+TEST(Cles, LessIsMirror) {
+  const std::vector<double> fast = {1.0, 1.2};
+  const std::vector<double> slow = {2.0, 2.2};
+  EXPECT_DOUBLE_EQ(cles_less(fast, slow), 1.0);  // fast beats slow always
+}
+
+TEST(VarghaDelaney, MagnitudeLabels) {
+  EXPECT_STREQ(vargha_delaney_magnitude(0.5), "negligible");
+  EXPECT_STREQ(vargha_delaney_magnitude(0.58), "small");
+  EXPECT_STREQ(vargha_delaney_magnitude(0.42), "small");  // symmetric
+  EXPECT_STREQ(vargha_delaney_magnitude(0.67), "medium");
+  EXPECT_STREQ(vargha_delaney_magnitude(0.95), "large");
+}
+
+}  // namespace
+}  // namespace repro::stats

@@ -1,0 +1,159 @@
+// Mann-Whitney U tests: exact small-sample values verified against
+// scipy.stats.mannwhitneyu, plus distributional properties of the
+// approximate path the study actually exercises.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/mann_whitney.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(MannWhitney, RejectsEmptySamples) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mann_whitney_u(a, empty), std::invalid_argument);
+  EXPECT_THROW((void)mann_whitney_u(empty, a), std::invalid_argument);
+}
+
+TEST(MannWhitney, UStatisticsSumToProduct) {
+  const std::vector<double> a = {1.0, 5.0, 9.0};
+  const std::vector<double> b = {2.0, 3.0, 7.0, 8.0};
+  const auto result = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(result.u_a + result.u_b, 12.0);
+}
+
+TEST(MannWhitney, ExactSeparatedSamples) {
+  // scipy: mannwhitneyu([1,2,3],[4,5,6], method="exact") -> U=0, p=0.1
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0, 6.0};
+  const auto result = mann_whitney_u(a, b);
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.u_a, 0.0);
+  EXPECT_NEAR(result.p_value, 0.1, 1e-12);
+}
+
+TEST(MannWhitney, ExactOneSided) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0, 6.0};
+  // H1: a stochastically less than b -> strongest evidence, p = 1/20.
+  const auto less = mann_whitney_u(a, b, Alternative::kLess);
+  EXPECT_NEAR(less.p_value, 0.05, 1e-12);
+  const auto greater = mann_whitney_u(a, b, Alternative::kGreater);
+  EXPECT_NEAR(greater.p_value, 1.0, 1e-12);
+}
+
+TEST(MannWhitney, ExactInterleaved) {
+  // scipy: mannwhitneyu([1,3,5],[2,4,6], method="exact") -> U=3, p=0.7
+  const std::vector<double> a = {1.0, 3.0, 5.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0};
+  const auto result = mann_whitney_u(a, b);
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.u_a, 3.0);
+  EXPECT_NEAR(result.p_value, 0.7, 1e-12);
+}
+
+TEST(MannWhitney, SymmetricUnderSwap) {
+  const std::vector<double> a = {1.0, 4.0, 6.0, 9.0};
+  const std::vector<double> b = {2.0, 3.0, 8.0};
+  const auto ab = mann_whitney_u(a, b);
+  const auto ba = mann_whitney_u(b, a);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_DOUBLE_EQ(ab.u_a, ba.u_b);
+}
+
+TEST(MannWhitney, TiesForceApproximatePath) {
+  const std::vector<double> a = {1.0, 2.0, 2.0};
+  const std::vector<double> b = {2.0, 3.0, 4.0};
+  const auto result = mann_whitney_u(a, b);
+  EXPECT_FALSE(result.exact);
+  EXPECT_GT(result.p_value, 0.0);
+  EXPECT_LE(result.p_value, 1.0);
+}
+
+TEST(MannWhitney, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {5.0, 5.0, 5.0, 5.0};
+  const auto result = mann_whitney_u(a, a);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+TEST(MannWhitney, LargeShiftedSamplesSignificant) {
+  repro::Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(1.0, 1.0));
+  }
+  EXPECT_LT(mann_whitney_u(a, b).p_value, 0.001);
+  EXPECT_TRUE(significantly_different(a, b, 0.01));
+}
+
+TEST(MannWhitney, LargeIdenticalDistributionsRarelySignificant) {
+  repro::Rng rng(5);
+  int significant = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 60; ++i) {
+      a.push_back(rng.normal(0.0, 1.0));
+      b.push_back(rng.normal(0.0, 1.0));
+    }
+    significant += significantly_different(a, b, 0.01);
+  }
+  // At alpha=0.01, expect ~0.5 false positives in 50 trials.
+  EXPECT_LE(significant, 3);
+}
+
+TEST(MannWhitney, ExactAndApproxAgreeWithoutTies) {
+  // Property: on tie-free data where both paths are defined, the normal
+  // approximation should be close to the exact p-value.
+  repro::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 12; ++i) a.push_back(rng.uniform(0.0, 1.0));
+    for (int i = 0; i < 15; ++i) b.push_back(rng.uniform(0.2, 1.2));
+    const auto exact = mann_whitney_u(a, b);
+    ASSERT_TRUE(exact.exact);
+    // Force the approximate path by appending one tie pair to copies.
+    std::vector<double> a2 = a, b2 = b;
+    a2.push_back(5.0);
+    b2.push_back(5.0);
+    const auto approx = mann_whitney_u(a2, b2);
+    ASSERT_FALSE(approx.exact);
+    EXPECT_NEAR(exact.p_value, approx.p_value, 0.12);
+  }
+}
+
+/// Property sweep: p-values are valid probabilities for all alternatives
+/// across a range of sample-size combinations.
+class MwuShapeProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MwuShapeProperty, PValuesInRange) {
+  const auto [n1, n2] = GetParam();
+  repro::Rng rng(repro::seed_combine(11, n1 * 100 + n2));
+  std::vector<double> a(n1), b(n2);
+  for (auto& x : a) x = rng.normal(0.0, 1.0);
+  for (auto& x : b) x = rng.normal(0.3, 1.5);
+  for (auto alt : {Alternative::kTwoSided, Alternative::kLess, Alternative::kGreater}) {
+    const auto result = mann_whitney_u(a, b, alt);
+    EXPECT_GE(result.p_value, 0.0);
+    EXPECT_LE(result.p_value, 1.0);
+    EXPECT_GE(result.u_a, 0.0);
+    EXPECT_LE(result.u_a, static_cast<double>(n1 * n2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MwuShapeProperty,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 9},
+                      std::pair<std::size_t, std::size_t>{5, 5},
+                      std::pair<std::size_t, std::size_t>{20, 20},
+                      std::pair<std::size_t, std::size_t>{50, 8},
+                      std::pair<std::size_t, std::size_t>{100, 100}));
+
+}  // namespace
+}  // namespace repro::stats

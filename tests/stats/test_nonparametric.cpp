@@ -1,0 +1,116 @@
+// Kruskal-Wallis, Friedman and the chi-squared machinery behind them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/nonparametric.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(ChiSquared, ClosedFormForTwoDof) {
+  // With 2 dof, sf(x) = exp(-x/2) exactly.
+  for (double x : {0.0, 1.0, 3.6, 8.0, 20.0}) {
+    EXPECT_NEAR(chi_squared_sf(x, 2), std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(ChiSquared, KnownCriticalValues) {
+  // Standard table: P(X >= 3.841 | 1 dof) = 0.05, P(X >= 11.345 | 3) = 0.01.
+  EXPECT_NEAR(chi_squared_sf(3.841, 1), 0.05, 1e-3);
+  EXPECT_NEAR(chi_squared_sf(11.345, 3), 0.01, 1e-3);
+  EXPECT_NEAR(chi_squared_sf(0.0, 4), 1.0, 1e-12);
+}
+
+TEST(ChiSquared, RejectsBadArguments) {
+  EXPECT_THROW((void)chi_squared_sf(-1.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)chi_squared_sf(1.0, 0), std::invalid_argument);
+}
+
+TEST(RegularizedGammaQ, BoundsAndMonotonicity) {
+  double previous = 1.0;
+  for (double x = 0.0; x <= 20.0; x += 0.5) {
+    const double q = regularized_gamma_q(2.5, x);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, previous + 1e-12);
+    previous = q;
+  }
+}
+
+TEST(KruskalWallis, HandComputedNoTies) {
+  // Groups {1,2,3},{4,5,6},{7,8,9}: H = 7.2, p = exp(-3.6).
+  const std::vector<std::vector<double>> groups = {
+      {1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const auto result = kruskal_wallis(groups);
+  EXPECT_NEAR(result.h, 7.2, 1e-12);
+  EXPECT_EQ(result.dof, 2u);
+  EXPECT_NEAR(result.p_value, std::exp(-3.6), 1e-10);
+}
+
+TEST(KruskalWallis, IdenticalGroupsNotSignificant) {
+  const std::vector<std::vector<double>> groups = {
+      {1.0, 2.0, 3.0, 4.0}, {1.0, 2.0, 3.0, 4.0}, {1.0, 2.0, 3.0, 4.0}};
+  const auto result = kruskal_wallis(groups);
+  EXPECT_GT(result.p_value, 0.9);
+}
+
+TEST(KruskalWallis, DetectsShiftedGroup) {
+  repro::Rng rng(1);
+  std::vector<std::vector<double>> groups(3);
+  for (int i = 0; i < 40; ++i) {
+    groups[0].push_back(rng.normal(0.0, 1.0));
+    groups[1].push_back(rng.normal(0.0, 1.0));
+    groups[2].push_back(rng.normal(1.5, 1.0));
+  }
+  EXPECT_LT(kruskal_wallis(groups).p_value, 1e-4);
+}
+
+TEST(KruskalWallis, ValidatesInput) {
+  std::vector<std::vector<double>> one_group = {{1.0, 2.0}};
+  EXPECT_THROW((void)kruskal_wallis(one_group), std::invalid_argument);
+  std::vector<std::vector<double>> with_empty = {{1.0}, {}};
+  EXPECT_THROW((void)kruskal_wallis(with_empty), std::invalid_argument);
+}
+
+TEST(Friedman, HandComputedConsistentRanking) {
+  // 4 blocks, 3 treatments, identical ordering: chi2 = 8, p = exp(-4).
+  const std::vector<std::vector<double>> blocks = {
+      {1.0, 2.0, 3.0}, {10.0, 20.0, 30.0}, {0.1, 0.2, 0.3}, {5.0, 6.0, 7.0}};
+  const auto result = friedman(blocks);
+  EXPECT_NEAR(result.chi2, 8.0, 1e-12);
+  EXPECT_EQ(result.dof, 2u);
+  EXPECT_NEAR(result.p_value, std::exp(-4.0), 1e-10);
+  ASSERT_EQ(result.mean_ranks.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.mean_ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_ranks[2], 3.0);
+}
+
+TEST(Friedman, RandomRankingsNotSignificant) {
+  repro::Rng rng(2);
+  std::vector<std::vector<double>> blocks(20, std::vector<double>(4));
+  for (auto& block : blocks) {
+    for (auto& value : block) value = rng.uniform();
+  }
+  EXPECT_GT(friedman(blocks).p_value, 0.01);
+}
+
+TEST(Friedman, TiesAreHandled) {
+  const std::vector<std::vector<double>> blocks = {
+      {1.0, 1.0, 2.0}, {3.0, 3.0, 4.0}, {1.0, 2.0, 2.0}};
+  const auto result = friedman(blocks);
+  EXPECT_GE(result.p_value, 0.0);
+  EXPECT_LE(result.p_value, 1.0);
+}
+
+TEST(Friedman, ValidatesInput) {
+  std::vector<std::vector<double>> one_block = {{1.0, 2.0}};
+  EXPECT_THROW((void)friedman(one_block), std::invalid_argument);
+  std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {1.0, 2.0, 3.0}};
+  EXPECT_THROW((void)friedman(ragged), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::stats

@@ -1,0 +1,138 @@
+// Wilcoxon signed-rank, Spearman's rho and Holm-Bonferroni correction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/paired.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(Wilcoxon, ValidatesInput) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW((void)wilcoxon_signed_rank(a, b), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)wilcoxon_signed_rank(empty, empty), std::invalid_argument);
+}
+
+TEST(Wilcoxon, IdenticalPairsGiveNoEvidence) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const auto result = wilcoxon_signed_rank(a, a);
+  EXPECT_EQ(result.n_effective, 0u);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(Wilcoxon, WStatisticHandComputed) {
+  // Differences: +1, -2, +3, +4, +5 -> |d| ranks 1..5, negative sum = 2.
+  const std::vector<double> a = {2.0, 1.0, 6.0, 8.0, 10.0};
+  const std::vector<double> b = {1.0, 3.0, 3.0, 4.0, 5.0};
+  const auto result = wilcoxon_signed_rank(a, b);
+  EXPECT_EQ(result.n_effective, 5u);
+  EXPECT_DOUBLE_EQ(result.w, 2.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);  // n < 6: significance unattainable
+}
+
+TEST(Wilcoxon, DetectsConsistentShift) {
+  repro::Rng rng(1);
+  std::vector<double> a(40), b(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    a[i] = rng.normal(0.0, 1.0);
+    b[i] = a[i] + 0.8 + 0.2 * rng.normal();  // paired shift
+  }
+  const auto result = wilcoxon_signed_rank(a, b);
+  EXPECT_LT(result.p_value, 1e-4);
+}
+
+TEST(Wilcoxon, NoShiftIsNotSignificant) {
+  repro::Rng rng(2);
+  std::vector<double> a(40), b(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    a[i] = rng.normal(0.0, 1.0);
+    b[i] = a[i] + 0.5 * rng.normal();  // symmetric differences
+  }
+  EXPECT_GT(wilcoxon_signed_rank(a, b).p_value, 0.01);
+}
+
+TEST(Spearman, PerfectMonotoneRelations) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up = {10.0, 20.0, 25.0, 100.0};  // nonlinear, monotone
+  std::vector<double> down = up;
+  std::reverse(down.begin(), down.end());
+  EXPECT_DOUBLE_EQ(spearman_rho(x, up), 1.0);
+  EXPECT_DOUBLE_EQ(spearman_rho(x, down), -1.0);
+}
+
+TEST(Spearman, UncorrelatedNearZero) {
+  repro::Rng rng(3);
+  std::vector<double> a(500), b(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    a[i] = rng.uniform();
+    b[i] = rng.uniform();
+  }
+  EXPECT_NEAR(spearman_rho(a, b), 0.0, 0.1);
+}
+
+TEST(Spearman, ConstantInputIsZero) {
+  const std::vector<double> constant = {5.0, 5.0, 5.0};
+  const std::vector<double> varying = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(spearman_rho(constant, varying), 0.0);
+}
+
+TEST(Spearman, ValidatesInput) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)spearman_rho(one, one), std::invalid_argument);
+}
+
+TEST(Spearman, LowFidelityProxyRankCorrelates) {
+  // The multi-fidelity premise: a noisy monotone transform of the truth
+  // still rank-correlates strongly.
+  repro::Rng rng(4);
+  std::vector<double> truth(100), proxy(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    truth[i] = rng.uniform(1.0, 100.0);
+    proxy[i] = truth[i] * rng.lognormal(0.0, 0.1);
+  }
+  EXPECT_GT(spearman_rho(truth, proxy), 0.9);
+}
+
+TEST(HolmBonferroni, KnownExample) {
+  // Classic textbook case: p = {0.01, 0.04, 0.03, 0.005} with m = 4.
+  const std::vector<double> p = {0.01, 0.04, 0.03, 0.005};
+  const auto adjusted = holm_bonferroni(p);
+  EXPECT_NEAR(adjusted[3], 0.02, 1e-12);   // 0.005 * 4
+  EXPECT_NEAR(adjusted[0], 0.03, 1e-12);   // 0.01 * 3
+  EXPECT_NEAR(adjusted[2], 0.06, 1e-12);   // 0.03 * 2
+  EXPECT_NEAR(adjusted[1], 0.06, 1e-12);   // max(0.04 * 1, running max)
+}
+
+TEST(HolmBonferroni, MonotoneAndClamped) {
+  const std::vector<double> p = {0.5, 0.9, 0.001};
+  const auto adjusted = holm_bonferroni(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(adjusted[i], p[i]);
+    EXPECT_LE(adjusted[i], 1.0);
+  }
+}
+
+TEST(HolmBonferroni, EmptyAndSingle) {
+  EXPECT_TRUE(holm_bonferroni(std::vector<double>{}).empty());
+  const auto single = holm_bonferroni(std::vector<double>{0.03});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 0.03);
+}
+
+TEST(HolmBonferroni, MorePowerfulThanPlainBonferroni) {
+  // Holm adjusts the k-th smallest by (m - k), never more than m.
+  const std::vector<double> p = {0.01, 0.011, 0.012, 0.013};
+  const auto adjusted = holm_bonferroni(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_LE(adjusted[i], p[i] * static_cast<double>(p.size()) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace repro::stats

@@ -1,0 +1,88 @@
+// AUC-bandit ensemble (OpenTuner baseline): budget behaviour, constraint
+// awareness, and credit-assignment dynamics.
+
+#include <gtest/gtest.h>
+
+#include "tests/tuner/test_objectives.hpp"
+#include "tuner/extras/auc_bandit.hpp"
+
+namespace repro::tuner {
+namespace {
+
+TEST(AucBandit, UsesExactBudget) {
+  const ParamSpace space = paper_search_space();
+  std::size_t calls = 0;
+  Evaluator evaluator(space, testing::bowl_objective(&calls), 70);
+  AucBandit bandit;
+  repro::Rng rng(1);
+  const TuneResult result = bandit.minimize(space, evaluator, rng);
+  EXPECT_EQ(calls, 70u);
+  EXPECT_TRUE(result.found_valid);
+}
+
+TEST(AucBandit, OnlyProposesExecutableConfigs) {
+  const ParamSpace space = paper_search_space();
+  bool all_executable = true;
+  Evaluator evaluator(space, [&](const Configuration& config) {
+    all_executable &= space.is_executable(config);
+    double value = 1.0;
+    for (int v : config) value += (v - 4) * (v - 4);
+    return Evaluation{value, true};
+  }, 80);
+  AucBandit bandit;
+  repro::Rng rng(2);
+  (void)bandit.minimize(space, evaluator, rng);
+  EXPECT_TRUE(all_executable);
+}
+
+TEST(AucBandit, BeatsRandomOnLocalStructure) {
+  const ParamSpace space = paper_search_space();
+  AucBandit bandit;
+  double bandit_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Evaluator evaluator(space, testing::bowl_objective(), 150);
+    repro::Rng rng(seed);
+    bandit_total += bandit.minimize(space, evaluator, rng).best_value;
+    random_total += testing::random_baseline(space, 150, seed + 4242);
+  }
+  EXPECT_LT(bandit_total, random_total);
+}
+
+TEST(AucBandit, ImprovesWithBudget) {
+  const ParamSpace space = paper_search_space();
+  AucBandit bandit;
+  double small_total = 0.0, large_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Evaluator small(space, testing::bowl_objective(), 20);
+    Evaluator large(space, testing::bowl_objective(), 300);
+    repro::Rng rng_a(seed), rng_b(seed + 77);
+    small_total += bandit.minimize(space, small, rng_a).best_value;
+    large_total += bandit.minimize(space, large, rng_b).best_value;
+  }
+  EXPECT_LT(large_total, small_total);
+}
+
+TEST(AucBandit, SurvivesAllInvalidObjective) {
+  const ParamSpace space = paper_search_space();
+  Evaluator evaluator(space, [](const Configuration&) { return Evaluation{}; }, 20);
+  AucBandit bandit;
+  repro::Rng rng(5);
+  const TuneResult result = bandit.minimize(space, evaluator, rng);
+  EXPECT_FALSE(result.found_valid);
+  EXPECT_EQ(result.evaluations_used, 20u);
+}
+
+TEST(AucBandit, DeterministicGivenSeed) {
+  const ParamSpace space = paper_search_space();
+  AucBandit bandit;
+  TuneResult results[2];
+  for (int run = 0; run < 2; ++run) {
+    Evaluator evaluator(space, testing::bowl_objective(), 60);
+    repro::Rng rng(31);
+    results[run] = bandit.minimize(space, evaluator, rng);
+  }
+  EXPECT_EQ(results[0].best_config, results[1].best_config);
+}
+
+}  // namespace
+}  // namespace repro::tuner

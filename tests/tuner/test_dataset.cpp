@@ -1,0 +1,113 @@
+// Pre-collected dataset: collection, subdivision (the paper's protocol),
+// and best-of extraction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "tuner/dataset.hpp"
+
+namespace repro::tuner {
+namespace {
+
+ParamSpace small_space() {
+  return ParamSpace({{"a", 0, 99}},
+                    [](const Configuration& c) { return c[0] % 2 == 0; });
+}
+
+TEST(Dataset, CollectRespectsConstraintAndCount) {
+  const ParamSpace space = small_space();
+  repro::Rng rng(1);
+  const Dataset dataset = Dataset::collect(
+      space,
+      [](const Configuration& c) { return Evaluation{static_cast<double>(c[0]), true}; },
+      50, rng);
+  EXPECT_EQ(dataset.size(), 50u);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(dataset.entry(i).config[0] % 2, 0);
+    EXPECT_TRUE(dataset.entry(i).valid);
+  }
+}
+
+TEST(Dataset, SubdivisionSlicesAreDisjointAndOrdered) {
+  std::vector<DatasetEntry> entries(20);
+  for (int i = 0; i < 20; ++i) {
+    entries[i] = {{i}, static_cast<double>(i), true};
+  }
+  const Dataset dataset(std::move(entries));
+  const auto first = dataset.subdivision(5, 0);
+  const auto second = dataset.subdivision(5, 1);
+  EXPECT_EQ(first.size(), 5u);
+  EXPECT_DOUBLE_EQ(first[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(second[0].value, 5.0);
+  EXPECT_THROW((void)dataset.subdivision(5, 4), std::out_of_range);
+  EXPECT_THROW((void)dataset.subdivision(21, 0), std::out_of_range);
+}
+
+TEST(Dataset, BestOfSkipsInvalid) {
+  std::vector<DatasetEntry> entries = {
+      {{0}, 0.5, false},  // best value but invalid
+      {{1}, 3.0, true},
+      {{2}, 2.0, true},
+  };
+  const Dataset dataset(std::move(entries));
+  EXPECT_DOUBLE_EQ(Dataset::best_of(dataset.all()), 2.0);
+}
+
+TEST(Dataset, BestOfAllInvalidIsNaN) {
+  std::vector<DatasetEntry> entries = {{{0}, 1.0, false}};
+  const Dataset dataset(std::move(entries));
+  EXPECT_TRUE(std::isnan(Dataset::best_of(dataset.all())));
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  std::vector<DatasetEntry> entries = {
+      {{2, 3, 4, 5, 6, 7}, 123.456, true},
+      {{1, 1, 1, 1, 1, 1}, 0.25, false},
+      {{16, 16, 16, 8, 8, 4}, 1e6, true},
+  };
+  const Dataset original(std::move(entries));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_dataset.csv").string();
+  ASSERT_TRUE(original.save_csv(path));
+
+  const ParamSpace space = paper_search_space();
+  const Dataset loaded = Dataset::load_csv(path, space);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded.entry(i).config, original.entry(i).config);
+    EXPECT_DOUBLE_EQ(loaded.entry(i).value, original.entry(i).value);
+    EXPECT_EQ(loaded.entry(i).valid, original.entry(i).valid);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, CsvLoadValidatesRows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_dataset_bad.csv").string();
+  const ParamSpace space = paper_search_space();
+  {
+    std::ofstream out(path);
+    out << "p0,p1,p2,p3,p4,p5,value,valid\n1,2,3\n";
+  }
+  EXPECT_THROW((void)Dataset::load_csv(path, space), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "p0,p1,p2,p3,p4,p5,value,valid\n99,1,1,1,1,1,1.0,1\n";
+  }
+  EXPECT_THROW((void)Dataset::load_csv(path, space), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)Dataset::load_csv("/no_such_dir/x.csv", space),
+               std::runtime_error);
+}
+
+TEST(Dataset, CsvSaveFailsOnBadPath) {
+  const Dataset dataset;
+  EXPECT_FALSE(dataset.save_csv("/no_such_dir_xyz/d.csv"));
+}
+
+}  // namespace
+}  // namespace repro::tuner

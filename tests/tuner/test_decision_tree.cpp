@@ -1,0 +1,128 @@
+// CART regression tree: fitting behaviour, split quality, and limits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/forest/decision_tree.hpp"
+
+namespace repro::tuner {
+namespace {
+
+std::vector<std::vector<double>> grid_1d(int n) {
+  std::vector<std::vector<double>> xs;
+  for (int i = 0; i < n; ++i) xs.push_back({static_cast<double>(i)});
+  return xs;
+}
+
+TEST(DecisionTree, RejectsEmptyOrMismatched) {
+  DecisionTree tree;
+  repro::Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  EXPECT_THROW(tree.fit(x, y, {}, rng), std::invalid_argument);
+  x.push_back({1.0});
+  EXPECT_THROW(tree.fit(x, y, {}, rng), std::invalid_argument);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  const DecisionTree tree;
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW((void)tree.predict(x), std::logic_error);
+}
+
+TEST(DecisionTree, ConstantTargetGivesSingleLeaf) {
+  DecisionTree tree;
+  repro::Rng rng(2);
+  const auto x = grid_1d(10);
+  const std::vector<double> y(10, 5.0);
+  tree.fit(x, y, {}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{3.0}), 5.0);
+}
+
+TEST(DecisionTree, LearnsStepFunctionExactly) {
+  DecisionTree tree;
+  repro::Rng rng(3);
+  const auto x = grid_1d(20);
+  std::vector<double> y(20);
+  for (int i = 0; i < 20; ++i) y[i] = i < 10 ? -1.0 : 2.0;
+  tree.fit(x, y, {}, rng);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{4.0}), -1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{14.0}), 2.0);
+}
+
+TEST(DecisionTree, InterpolatesTrainingPointsWithUnboundedDepth) {
+  DecisionTree tree;
+  repro::Rng rng(4);
+  const auto x = grid_1d(16);
+  std::vector<double> y(16);
+  for (int i = 0; i < 16; ++i) y[i] = std::sin(static_cast<double>(i));
+  TreeOptions options;
+  options.max_depth = 32;
+  options.min_samples_leaf = 1;
+  tree.fit(x, y, options, rng);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NEAR(tree.predict(x[i]), y[i], 1e-12);
+  }
+}
+
+TEST(DecisionTree, MaxDepthLimitsTreeSize) {
+  DecisionTree deep, shallow;
+  repro::Rng rng(5);
+  const auto x = grid_1d(64);
+  std::vector<double> y(64);
+  for (int i = 0; i < 64; ++i) y[i] = static_cast<double>(i % 7);
+  TreeOptions deep_opt;
+  deep_opt.max_depth = 20;
+  TreeOptions shallow_opt;
+  shallow_opt.max_depth = 2;
+  deep.fit(x, y, deep_opt, rng);
+  shallow.fit(x, y, shallow_opt, rng);
+  EXPECT_LE(shallow.depth(), 2u);
+  EXPECT_LT(shallow.node_count(), deep.node_count());
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  DecisionTree tree;
+  repro::Rng rng(6);
+  const auto x = grid_1d(10);
+  std::vector<double> y = {0, 0, 0, 0, 0, 10, 10, 10, 10, 10};
+  TreeOptions options;
+  options.min_samples_leaf = 5;
+  tree.fit(x, y, options, rng);
+  // Only the midpoint split keeps 5 per side; deeper splits are blocked.
+  EXPECT_EQ(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, SplitsOnTheInformativeFeature) {
+  DecisionTree tree;
+  repro::Rng rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  repro::Rng noise(8);
+  for (int i = 0; i < 100; ++i) {
+    const double informative = noise.uniform(0.0, 1.0);
+    const double distractor = noise.uniform(0.0, 1.0);
+    x.push_back({distractor, informative});
+    y.push_back(informative > 0.5 ? 10.0 : 0.0);
+  }
+  tree.fit(x, y, {}, rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.9, 0.1}), 0.0, 1.0);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.1, 0.9}), 10.0, 1.0);
+}
+
+TEST(DecisionTree, TiedFeatureValuesDoNotSplit) {
+  DecisionTree tree;
+  repro::Rng rng(9);
+  std::vector<std::vector<double>> x(8, {1.0});
+  std::vector<double> y = {0, 1, 2, 3, 4, 5, 6, 7};
+  tree.fit(x, y, {}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1.0}), 3.5);
+}
+
+}  // namespace
+}  // namespace repro::tuner

@@ -1,0 +1,77 @@
+// Evaluator: budget accounting, measurement caching, best tracking.
+
+#include <gtest/gtest.h>
+
+#include "tuner/evaluator.hpp"
+
+namespace repro::tuner {
+namespace {
+
+ParamSpace tiny_space() { return ParamSpace({{"a", 0, 9}, {"b", 0, 9}}); }
+
+TEST(Evaluator, ChargesBudgetPerFreshMeasurement) {
+  const ParamSpace space = tiny_space();
+  int calls = 0;
+  Evaluator evaluator(space, [&](const Configuration&) {
+    ++calls;
+    return Evaluation{1.0, true};
+  }, 3);
+  (void)evaluator.evaluate({0, 0});
+  (void)evaluator.evaluate({1, 0});
+  EXPECT_EQ(evaluator.used(), 2u);
+  EXPECT_EQ(evaluator.remaining(), 1u);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Evaluator, CachedRepeatsAreFree) {
+  const ParamSpace space = tiny_space();
+  int calls = 0;
+  Evaluator evaluator(space, [&](const Configuration& c) {
+    ++calls;
+    return Evaluation{static_cast<double>(c[0]), true};
+  }, 2);
+  const Evaluation first = evaluator.evaluate({4, 0});
+  const Evaluation again = evaluator.evaluate({4, 0});
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(evaluator.used(), 1u);
+  EXPECT_DOUBLE_EQ(first.value, again.value);
+}
+
+TEST(Evaluator, ThrowsWhenExhausted) {
+  const ParamSpace space = tiny_space();
+  Evaluator evaluator(space, [](const Configuration&) {
+    return Evaluation{1.0, true};
+  }, 1);
+  (void)evaluator.evaluate({0, 0});
+  EXPECT_TRUE(evaluator.exhausted());
+  EXPECT_THROW((void)evaluator.evaluate({1, 1}), BudgetExhausted);
+  // Cached lookups still work after exhaustion.
+  EXPECT_NO_THROW((void)evaluator.evaluate({0, 0}));
+}
+
+TEST(Evaluator, RejectsOutOfRangeConfigs) {
+  const ParamSpace space = tiny_space();
+  Evaluator evaluator(space, [](const Configuration&) {
+    return Evaluation{1.0, true};
+  }, 5);
+  EXPECT_THROW((void)evaluator.evaluate({50, 0}), std::invalid_argument);
+}
+
+TEST(Evaluator, TracksBestValidOnly) {
+  const ParamSpace space = tiny_space();
+  Evaluator evaluator(space, [](const Configuration& c) {
+    if (c[0] == 0) return Evaluation{0.001, false};  // invalid, best value
+    return Evaluation{static_cast<double>(c[0]), true};
+  }, 10);
+  (void)evaluator.evaluate({0, 0});
+  EXPECT_FALSE(evaluator.has_best());
+  (void)evaluator.evaluate({5, 0});
+  (void)evaluator.evaluate({3, 0});
+  (void)evaluator.evaluate({7, 0});
+  ASSERT_TRUE(evaluator.has_best());
+  EXPECT_DOUBLE_EQ(evaluator.best_value(), 3.0);
+  EXPECT_EQ(evaluator.best_config(), (Configuration{3, 0}));
+}
+
+}  // namespace
+}  // namespace repro::tuner

@@ -1,0 +1,87 @@
+// CLTune baseline algorithms (SA, PSO): budget behaviour and improvement.
+
+#include <gtest/gtest.h>
+
+#include "tests/tuner/test_objectives.hpp"
+#include "tuner/extras/pso.hpp"
+#include "tuner/extras/simulated_annealing.hpp"
+
+namespace repro::tuner {
+namespace {
+
+TEST(SimulatedAnnealing, UsesBudgetAndFindsValid) {
+  const ParamSpace space = paper_search_space();
+  std::size_t calls = 0;
+  Evaluator evaluator(space, testing::bowl_objective(&calls), 80);
+  SimulatedAnnealing sa;
+  repro::Rng rng(1);
+  const TuneResult result = sa.minimize(space, evaluator, rng);
+  EXPECT_LE(calls, 80u);
+  EXPECT_TRUE(result.found_valid);
+}
+
+TEST(SimulatedAnnealing, OnlyProposesExecutable) {
+  const ParamSpace space = paper_search_space();
+  bool all_executable = true;
+  Evaluator evaluator(space, [&](const Configuration& config) {
+    all_executable &= space.is_executable(config);
+    return Evaluation{1.0, true};
+  }, 50);
+  SimulatedAnnealing sa;
+  repro::Rng rng(2);
+  (void)sa.minimize(space, evaluator, rng);
+  EXPECT_TRUE(all_executable);
+}
+
+TEST(SimulatedAnnealing, BeatsRandomOnLocalStructure) {
+  const ParamSpace space = paper_search_space();
+  SimulatedAnnealing sa;
+  double sa_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Evaluator evaluator(space, testing::bowl_objective(), 150);
+    repro::Rng rng(seed);
+    sa_total += sa.minimize(space, evaluator, rng).best_value;
+    random_total += testing::random_baseline(space, 150, seed + 123);
+  }
+  EXPECT_LT(sa_total, random_total);
+}
+
+TEST(ParticleSwarm, UsesBudgetAndFindsValid) {
+  const ParamSpace space = paper_search_space();
+  std::size_t calls = 0;
+  Evaluator evaluator(space, testing::bowl_objective(&calls), 80);
+  ParticleSwarm pso;
+  repro::Rng rng(3);
+  const TuneResult result = pso.minimize(space, evaluator, rng);
+  EXPECT_LE(calls, 80u);
+  EXPECT_TRUE(result.found_valid);
+}
+
+TEST(ParticleSwarm, OnlyProposesExecutable) {
+  const ParamSpace space = paper_search_space();
+  bool all_executable = true;
+  Evaluator evaluator(space, [&](const Configuration& config) {
+    all_executable &= space.is_executable(config);
+    return Evaluation{1.0, true};
+  }, 60);
+  ParticleSwarm pso;
+  repro::Rng rng(4);
+  (void)pso.minimize(space, evaluator, rng);
+  EXPECT_TRUE(all_executable);
+}
+
+TEST(ParticleSwarm, ConvergesTowardTheBowlMinimum) {
+  const ParamSpace space = paper_search_space();
+  ParticleSwarm pso;
+  double pso_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Evaluator evaluator(space, testing::bowl_objective(), 200);
+    repro::Rng rng(seed);
+    pso_total += pso.minimize(space, evaluator, rng).best_value;
+    random_total += testing::random_baseline(space, 200, seed + 321);
+  }
+  EXPECT_LT(pso_total, random_total);
+}
+
+}  // namespace
+}  // namespace repro::tuner

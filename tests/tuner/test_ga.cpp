@@ -1,0 +1,107 @@
+// Genetic Algorithm: budget accounting, constraint repair, and the
+// improvement-with-budget behaviour the paper reports (weak at 25,
+// strong at 200+).
+
+#include <gtest/gtest.h>
+
+#include "tests/tuner/test_objectives.hpp"
+#include "tuner/ga/genetic.hpp"
+
+namespace repro::tuner {
+namespace {
+
+TEST(Ga, NeverExceedsBudget) {
+  const ParamSpace space = paper_search_space();
+  std::size_t calls = 0;
+  Evaluator evaluator(space, testing::bowl_objective(&calls), 57);
+  GeneticAlgorithm ga;
+  repro::Rng rng(1);
+  const TuneResult result = ga.minimize(space, evaluator, rng);
+  EXPECT_LE(calls, 57u);
+  EXPECT_EQ(result.evaluations_used, calls);
+  EXPECT_TRUE(result.found_valid);
+}
+
+TEST(Ga, UsesWholeBudgetOnLargeSpaces) {
+  const ParamSpace space = paper_search_space();
+  Evaluator evaluator(space, testing::bowl_objective(), 200);
+  GeneticAlgorithm ga;
+  repro::Rng rng(2);
+  const TuneResult result = ga.minimize(space, evaluator, rng);
+  EXPECT_EQ(result.evaluations_used, 200u);
+}
+
+TEST(Ga, OnlyEvaluatesExecutableConfigs) {
+  const ParamSpace space = paper_search_space();
+  bool all_executable = true;
+  Evaluator evaluator(space, [&](const Configuration& config) {
+    all_executable &= space.is_executable(config);
+    double value = 1.0;
+    for (int v : config) value += (v - 4) * (v - 4);
+    return Evaluation{value, true};
+  }, 120);
+  GeneticAlgorithm ga;
+  repro::Rng rng(3);
+  (void)ga.minimize(space, evaluator, rng);
+  EXPECT_TRUE(all_executable);
+}
+
+TEST(Ga, ImprovesWithBudget) {
+  const ParamSpace space = paper_search_space();
+  GeneticAlgorithm ga;
+  double small_total = 0.0, large_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Evaluator small(space, testing::bowl_objective(), 25);
+    Evaluator large(space, testing::bowl_objective(), 400);
+    repro::Rng rng_small(seed), rng_large(seed + 100);
+    small_total += ga.minimize(space, small, rng_small).best_value;
+    large_total += ga.minimize(space, large, rng_large).best_value;
+  }
+  EXPECT_LT(large_total, small_total);
+}
+
+TEST(Ga, LargeBudgetNearlySolvesTheBowl) {
+  const ParamSpace space = paper_search_space();
+  GeneticAlgorithm ga;
+  Evaluator evaluator(space, testing::bowl_objective(), 400);
+  repro::Rng rng(7);
+  const TuneResult result = ga.minimize(space, evaluator, rng);
+  EXPECT_LT(result.best_value, 4.0);  // optimum is 1.0
+}
+
+TEST(Ga, BeatsRandomAtHighBudget) {
+  const ParamSpace space = paper_search_space();
+  GeneticAlgorithm ga;
+  double ga_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Evaluator evaluator(space, testing::bowl_objective(), 300);
+    repro::Rng rng(seed);
+    ga_total += ga.minimize(space, evaluator, rng).best_value;
+    random_total += testing::random_baseline(space, 300, seed + 900);
+  }
+  EXPECT_LT(ga_total, random_total);
+}
+
+TEST(Ga, HandlesNoisyObjective) {
+  const ParamSpace space = paper_search_space();
+  GeneticAlgorithm ga;
+  repro::Rng noise_rng(11);
+  Evaluator evaluator(space, testing::noisy_bowl_objective(noise_rng), 150);
+  repro::Rng rng(12);
+  const TuneResult result = ga.minimize(space, evaluator, rng);
+  EXPECT_TRUE(result.found_valid);
+  EXPECT_LT(result.best_value, 60.0);
+}
+
+TEST(Ga, TinyBudgetStillReturnsSomething) {
+  const ParamSpace space = paper_search_space();
+  GeneticAlgorithm ga;
+  Evaluator evaluator(space, testing::bowl_objective(), 3);
+  repro::Rng rng(13);
+  const TuneResult result = ga.minimize(space, evaluator, rng);
+  EXPECT_TRUE(result.found_valid);
+  EXPECT_EQ(result.evaluations_used, 3u);
+}
+
+}  // namespace
+}  // namespace repro::tuner

@@ -1,0 +1,141 @@
+// Gaussian process regressor: kernel shape, interpolation, uncertainty,
+// hyperparameter selection, and the Expected Improvement acquisition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/gp/bo_gp.hpp"
+#include "tuner/gp/gp_regressor.hpp"
+
+namespace repro::tuner {
+namespace {
+
+TEST(Matern52, KernelShape) {
+  EXPECT_DOUBLE_EQ(matern52(0.0, 0.5, 2.0), 2.0);  // k(0) = signal variance
+  // Monotone decreasing in distance.
+  double previous = matern52(0.0, 0.5, 1.0);
+  for (double r = 0.1; r < 3.0; r += 0.1) {
+    const double value = matern52(r, 0.5, 1.0);
+    EXPECT_LT(value, previous);
+    previous = value;
+  }
+  // Longer lengthscale decays more slowly.
+  EXPECT_GT(matern52(1.0, 2.0, 1.0), matern52(1.0, 0.2, 1.0));
+}
+
+std::vector<std::vector<double>> grid_points(int n) {
+  std::vector<std::vector<double>> xs;
+  for (int i = 0; i < n; ++i) xs.push_back({static_cast<double>(i) / (n - 1)});
+  return xs;
+}
+
+TEST(GpRegressor, RejectsBadTrainingSet) {
+  GpRegressor gp;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  EXPECT_THROW((void)gp.fit(x, y), std::invalid_argument);
+  EXPECT_THROW((void)gp.predict(std::vector<double>{0.0}), std::logic_error);
+}
+
+TEST(GpRegressor, InterpolatesWithLowNoise) {
+  GpRegressor gp(GpHyperparams{0.3, 1.0, 1e-8});
+  const auto x = grid_points(7);
+  std::vector<double> y;
+  for (const auto& p : x) y.push_back(std::sin(4.0 * p[0]));
+  ASSERT_TRUE(gp.fit(x, y));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const GpPrediction prediction = gp.predict(x[i]);
+    EXPECT_NEAR(prediction.mean, y[i], 1e-3);
+    EXPECT_LT(prediction.variance, 1e-3);
+  }
+}
+
+TEST(GpRegressor, UncertaintyGrowsAwayFromData) {
+  GpRegressor gp(GpHyperparams{0.1, 1.0, 1e-6});
+  const auto x = grid_points(5);  // in [0, 1]
+  const std::vector<double> y = {0.0, 1.0, 0.5, -0.5, 0.2};
+  ASSERT_TRUE(gp.fit(x, y));
+  const double var_near = gp.predict(std::vector<double>{0.5}).variance;
+  const double var_far = gp.predict(std::vector<double>{3.0}).variance;
+  EXPECT_GT(var_far, var_near);
+}
+
+TEST(GpRegressor, PredictionBetweenPointsIsSmooth) {
+  GpRegressor gp(GpHyperparams{0.5, 1.0, 1e-6});
+  const std::vector<std::vector<double>> x = {{0.0}, {1.0}};
+  const std::vector<double> y = {0.0, 10.0};
+  ASSERT_TRUE(gp.fit(x, y));
+  const double mid = gp.predict(std::vector<double>{0.5}).mean;
+  EXPECT_GT(mid, 2.0);
+  EXPECT_LT(mid, 8.0);
+}
+
+TEST(GpRegressor, MeanRevertsToDataMeanFarAway) {
+  GpRegressor gp(GpHyperparams{0.2, 1.0, 1e-4});
+  const auto x = grid_points(6);
+  const std::vector<double> y = {4.0, 6.0, 5.0, 5.5, 4.5, 5.0};  // mean 5
+  ASSERT_TRUE(gp.fit(x, y));
+  EXPECT_NEAR(gp.predict(std::vector<double>{50.0}).mean, 5.0, 0.2);
+}
+
+TEST(GpRegressor, HyperparameterSearchPrefersExplainingLengthscale) {
+  // A slowly varying function should select a long-ish lengthscale, and the
+  // optimized LML must be at least as good as both extreme fixed choices.
+  repro::Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 25; ++i) {
+    const double p = rng.uniform(0.0, 1.0);
+    x.push_back({p});
+    y.push_back(std::sin(3.0 * p) + 0.02 * rng.normal());
+  }
+  GpRegressor gp;
+  ASSERT_TRUE(gp.optimize_hyperparams(x, y));
+  const double optimized_lml = gp.log_marginal_likelihood();
+
+  GpRegressor short_gp(GpHyperparams{0.1, 1.0, 1e-3});
+  GpRegressor long_gp(GpHyperparams{1.0, 1.0, 1e-1});
+  ASSERT_TRUE(short_gp.fit(x, y));
+  ASSERT_TRUE(long_gp.fit(x, y));
+  EXPECT_GE(optimized_lml + 1e-9, short_gp.log_marginal_likelihood());
+  EXPECT_GE(optimized_lml + 1e-9, long_gp.log_marginal_likelihood());
+}
+
+TEST(GpRegressor, SurvivesDuplicatePoints) {
+  GpRegressor gp(GpHyperparams{0.3, 1.0, 1e-10});
+  const std::vector<std::vector<double>> x = {{0.5}, {0.5}, {0.5}};
+  const std::vector<double> y = {1.0, 1.1, 0.9};
+  EXPECT_TRUE(gp.fit(x, y));  // jitter escalation must rescue this
+  EXPECT_NEAR(gp.predict(std::vector<double>{0.5}).mean, 1.0, 0.2);
+}
+
+TEST(ExpectedImprovement, ZeroVarianceIsDeterministicImprovement) {
+  EXPECT_DOUBLE_EQ(expected_improvement(5.0, 0.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_improvement(3.0, 0.0, 4.0), 1.0);
+}
+
+TEST(ExpectedImprovement, IncreasesWithUncertainty) {
+  const double low = expected_improvement(5.0, 0.01, 4.0);
+  const double high = expected_improvement(5.0, 4.0, 4.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(ExpectedImprovement, DecreasesWithWorseMean) {
+  const double good = expected_improvement(3.9, 1.0, 4.0);
+  const double bad = expected_improvement(6.0, 1.0, 4.0);
+  EXPECT_GT(good, bad);
+}
+
+TEST(ExpectedImprovement, NonNegative) {
+  for (double mean : {-5.0, 0.0, 5.0, 50.0}) {
+    for (double variance : {0.0, 0.1, 10.0}) {
+      EXPECT_GE(expected_improvement(mean, variance, 1.0), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::tuner

@@ -1,0 +1,151 @@
+// Multi-fidelity machinery: FidelityEvaluator accounting, HyperBand's
+// bracket behaviour, and BOHB's model-guided sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuner/evaluator.hpp"
+#include "tuner/multifidelity/hyperband.hpp"
+
+namespace repro::tuner {
+namespace {
+
+/// Synthetic multi-fidelity bowl: the full-fidelity optimum is at all-4s;
+/// lower fidelities see the same bowl plus a fidelity-dependent distortion
+/// and more noise — rank-correlated but imperfect proxies.
+MultiFidelityObjective mf_bowl(repro::Rng& noise_rng) {
+  return [&noise_rng](const Configuration& config, double fidelity) {
+    double value = 1.0;
+    for (int v : config) value += static_cast<double>((v - 4) * (v - 4));
+    // Low fidelity distorts: it slightly prefers larger parameter values.
+    double distortion = 0.0;
+    for (int v : config) distortion += v;
+    value += (1.0 - fidelity) * 0.3 * distortion;
+    const double sigma = 0.02 + 0.1 * (1.0 - fidelity);
+    return Evaluation{value * noise_rng.lognormal(0.0, sigma), true};
+  };
+}
+
+TEST(FidelityEvaluator, ChargesFractionalUnits) {
+  const ParamSpace space = paper_search_space();
+  repro::Rng noise(1);
+  FidelityEvaluator evaluator(space, mf_bowl(noise), 2.0);
+  (void)evaluator.evaluate({4, 4, 4, 4, 4, 4}, 0.5);
+  (void)evaluator.evaluate({4, 4, 4, 4, 4, 4}, 0.25);
+  EXPECT_NEAR(evaluator.used(), 0.75, 1e-12);
+  EXPECT_EQ(evaluator.evaluations(), 2u);
+  EXPECT_NEAR(evaluator.remaining(), 1.25, 1e-12);
+}
+
+TEST(FidelityEvaluator, ThrowsWhenUnitsRunOut) {
+  const ParamSpace space = paper_search_space();
+  repro::Rng noise(2);
+  FidelityEvaluator evaluator(space, mf_bowl(noise), 1.0);
+  (void)evaluator.evaluate({4, 4, 4, 4, 4, 4}, 1.0);
+  EXPECT_TRUE(evaluator.exhausted());
+  EXPECT_THROW((void)evaluator.evaluate({4, 4, 4, 4, 4, 4}, 0.1), BudgetExhausted);
+}
+
+TEST(FidelityEvaluator, OnlyFullFidelitySetsBest) {
+  const ParamSpace space = paper_search_space();
+  repro::Rng noise(3);
+  FidelityEvaluator evaluator(space, mf_bowl(noise), 10.0);
+  (void)evaluator.evaluate({4, 4, 4, 4, 4, 4}, 0.5);
+  EXPECT_FALSE(evaluator.has_best());
+  (void)evaluator.evaluate({5, 4, 4, 4, 4, 4}, 1.0);
+  ASSERT_TRUE(evaluator.has_best());
+  EXPECT_EQ(evaluator.best_config(), (Configuration{5, 4, 4, 4, 4, 4}));
+}
+
+TEST(FidelityEvaluator, RejectsBadInput) {
+  const ParamSpace space = paper_search_space();
+  repro::Rng noise(4);
+  EXPECT_THROW(FidelityEvaluator(space, mf_bowl(noise), 0.0), std::invalid_argument);
+  FidelityEvaluator evaluator(space, mf_bowl(noise), 1.0);
+  EXPECT_THROW((void)evaluator.evaluate({0, 0, 0, 0, 0, 0}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(HyperBand, StaysWithinBudgetAndFindsValid) {
+  const ParamSpace space = paper_search_space();
+  repro::Rng noise(5);
+  FidelityEvaluator evaluator(space, mf_bowl(noise), 60.0);
+  HyperBand hb;
+  repro::Rng rng(6);
+  const FidelityTuneResult result = hb.minimize(space, evaluator, rng);
+  EXPECT_TRUE(result.found_valid);
+  EXPECT_LE(result.units_used, 60.0 + 1e-9);
+  // Multi-fidelity: more evaluations than full-fidelity budget units.
+  EXPECT_GT(result.evaluations, 60u);
+}
+
+TEST(HyperBand, BeatsPureRandomAtEqualCost) {
+  const ParamSpace space = paper_search_space();
+  double hb_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    repro::Rng noise_a(seed), noise_b(seed + 50);
+    FidelityEvaluator hb_eval(space, mf_bowl(noise_a), 40.0);
+    HyperBand hb;
+    repro::Rng rng_a(seed + 100);
+    hb_total += hb.minimize(space, hb_eval, rng_a).best_value;
+
+    // Random search at the same cost: 40 full-fidelity evaluations.
+    repro::Rng rng_b(seed + 200);
+    const MultiFidelityObjective objective = mf_bowl(noise_b);
+    double best = 1e300;
+    Configuration best_config;
+    for (int i = 0; i < 40; ++i) {
+      const Configuration config = space.sample_executable(rng_b);
+      const Evaluation eval = objective(config, 1.0);
+      if (eval.value < best) best = eval.value;
+    }
+    random_total += best;
+  }
+  EXPECT_LT(hb_total, random_total);
+}
+
+TEST(Bohb, StaysWithinBudgetAndFindsValid) {
+  const ParamSpace space = paper_search_space();
+  repro::Rng noise(7);
+  FidelityEvaluator evaluator(space, mf_bowl(noise), 60.0);
+  Bohb bohb;
+  repro::Rng rng(8);
+  const FidelityTuneResult result = bohb.minimize(space, evaluator, rng);
+  EXPECT_TRUE(result.found_valid);
+  EXPECT_LE(result.units_used, 60.0 + 1e-9);
+}
+
+TEST(Bohb, ModelGuidanceHelpsOnAverage) {
+  const ParamSpace space = paper_search_space();
+  double bohb_total = 0.0, hb_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    repro::Rng noise_a(seed + 10), noise_b(seed + 60);
+    FidelityEvaluator bohb_eval(space, mf_bowl(noise_a), 80.0);
+    FidelityEvaluator hb_eval(space, mf_bowl(noise_b), 80.0);
+    Bohb bohb;
+    HyperBand hb;
+    repro::Rng rng_a(seed + 300), rng_b(seed + 400);
+    bohb_total += bohb.minimize(space, bohb_eval, rng_a).best_value;
+    hb_total += hb.minimize(space, hb_eval, rng_b).best_value;
+  }
+  // BOHB should not be worse than HB by more than noise on a learnable bowl.
+  EXPECT_LT(bohb_total, hb_total * 1.25);
+}
+
+TEST(HyperBand, DeterministicGivenSeed) {
+  const ParamSpace space = paper_search_space();
+  FidelityTuneResult results[2];
+  for (int run = 0; run < 2; ++run) {
+    repro::Rng noise(77);
+    FidelityEvaluator evaluator(space, mf_bowl(noise), 30.0);
+    HyperBand hb;
+    repro::Rng rng(78);
+    results[run] = hb.minimize(space, evaluator, rng);
+  }
+  EXPECT_EQ(results[0].best_config, results[1].best_config);
+  EXPECT_DOUBLE_EQ(results[0].units_used, results[1].units_used);
+}
+
+}  // namespace
+}  // namespace repro::tuner

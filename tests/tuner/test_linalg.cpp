@@ -1,0 +1,108 @@
+// Dense linear algebra for the GP: Cholesky, triangular solves, properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/gp/linalg.hpp"
+
+namespace repro::tuner {
+namespace {
+
+Matrix random_spd(std::size_t n, repro::Rng& rng) {
+  // A = B B^T + n*I is symmetric positive definite.
+  Matrix b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b.at(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) sum += b.at(i, k) * b.at(j, k);
+      a.at(i, j) = sum + (i == j ? static_cast<double>(n) : 0.0);
+    }
+  }
+  return a;
+}
+
+TEST(Linalg, CholeskyKnown2x2) {
+  Matrix a(2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 3.0;
+  ASSERT_TRUE(cholesky_inplace(a));
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+  EXPECT_NEAR(a.at(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Linalg, CholeskyFailsOnIndefinite) {
+  Matrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky_inplace(a));
+}
+
+TEST(Linalg, CholeskyReconstructsMatrix) {
+  repro::Rng rng(1);
+  for (std::size_t n : {1u, 3u, 8u, 20u}) {
+    Matrix a = random_spd(n, rng);
+    const Matrix original = a;
+    ASSERT_TRUE(cholesky_inplace(a));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k <= j; ++k) sum += a.at(i, k) * a.at(j, k);
+        EXPECT_NEAR(sum, original.at(i, j), 1e-9) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Linalg, SolvesRecoverKnownVector) {
+  repro::Rng rng(2);
+  const std::size_t n = 12;
+  Matrix a = random_spd(n, rng);
+  const Matrix original = a;
+  ASSERT_TRUE(cholesky_inplace(a));
+  std::vector<double> x_true(n), b(n, 0.0), x(n);
+  for (auto& v : x_true) v = rng.uniform(-2.0, 2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += original.at(i, j) * x_true[j];
+  }
+  solve_cholesky(a, b, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Linalg, TriangularSolvesInverses) {
+  // solve_lower then multiply back by L gives the original vector.
+  repro::Rng rng(3);
+  Matrix a = random_spd(6, rng);
+  ASSERT_TRUE(cholesky_inplace(a));
+  std::vector<double> b = {1, -2, 3, 0.5, -1, 2};
+  std::vector<double> y(6), back(6, 0.0);
+  solve_lower(a, b, y);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t k = 0; k <= i; ++k) back[i] += a.at(i, k) * y[k];
+  }
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(back[i], b[i], 1e-10);
+}
+
+TEST(Linalg, LogDiagSumIsHalfLogDet) {
+  Matrix a(2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 0.0;
+  a.at(1, 0) = 0.0;
+  a.at(1, 1) = 9.0;  // det 36
+  ASSERT_TRUE(cholesky_inplace(a));
+  EXPECT_NEAR(log_diag_sum(a), 0.5 * std::log(36.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace repro::tuner

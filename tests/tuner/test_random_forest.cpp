@@ -1,0 +1,105 @@
+// Random Forest regressor: ensemble behaviour and regression quality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/forest/random_forest.hpp"
+
+namespace repro::tuner {
+namespace {
+
+struct SyntheticData {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+};
+
+SyntheticData make_data(std::size_t n, std::uint64_t seed) {
+  SyntheticData data;
+  repro::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    data.x.push_back({a, b});
+    data.y.push_back(3.0 * a * a + b + 0.05 * rng.normal());
+  }
+  return data;
+}
+
+TEST(RandomForest, RejectsBadInput) {
+  RandomForestRegressor forest;
+  repro::Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  EXPECT_THROW(forest.fit(x, y, rng), std::invalid_argument);
+  EXPECT_THROW((void)forest.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(RandomForest, BuildsRequestedEnsemble) {
+  ForestOptions options;
+  options.n_estimators = 17;
+  RandomForestRegressor forest(options);
+  repro::Rng rng(2);
+  const auto data = make_data(50, 3);
+  forest.fit(data.x, data.y, rng);
+  EXPECT_TRUE(forest.fitted());
+  EXPECT_EQ(forest.size(), 17u);
+}
+
+TEST(RandomForest, BeatsMeanBaselineOnHeldOut) {
+  RandomForestRegressor forest;
+  repro::Rng rng(4);
+  const auto train = make_data(300, 5);
+  const auto test = make_data(100, 6);
+  forest.fit(train.x, train.y, rng);
+  double mean_y = 0.0;
+  for (double v : train.y) mean_y += v;
+  mean_y /= static_cast<double>(train.y.size());
+  double forest_sse = 0.0, baseline_sse = 0.0;
+  for (std::size_t i = 0; i < test.x.size(); ++i) {
+    const double p = forest.predict(test.x[i]);
+    forest_sse += (p - test.y[i]) * (p - test.y[i]);
+    baseline_sse += (mean_y - test.y[i]) * (mean_y - test.y[i]);
+  }
+  EXPECT_LT(forest_sse, 0.3 * baseline_sse);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  const auto data = make_data(80, 7);
+  double predictions[2];
+  for (int run = 0; run < 2; ++run) {
+    RandomForestRegressor forest;
+    repro::Rng rng(99);
+    forest.fit(data.x, data.y, rng);
+    predictions[run] = forest.predict(std::vector<double>{0.3, 0.7});
+  }
+  EXPECT_DOUBLE_EQ(predictions[0], predictions[1]);
+}
+
+TEST(RandomForest, EnsembleSpreadIsSmallerOnTrainingData) {
+  RandomForestRegressor forest;
+  repro::Rng rng(8);
+  const auto data = make_data(200, 9);
+  forest.fit(data.x, data.y, rng);
+  const double spread_on_train = forest.predict_stddev(data.x[0]);
+  // Far outside the training distribution, trees disagree more (or equal).
+  const double spread_outside = forest.predict_stddev(std::vector<double>{5.0, -4.0});
+  EXPECT_GE(spread_outside + 1e-9, 0.0);
+  EXPECT_GE(spread_on_train, 0.0);
+}
+
+TEST(RandomForest, WithoutBootstrapAllTreesAgree) {
+  ForestOptions options;
+  options.bootstrap = false;
+  options.tree.max_features = 0;  // all features -> identical deterministic trees
+  RandomForestRegressor forest(options);
+  repro::Rng rng(10);
+  const auto data = make_data(60, 11);
+  forest.fit(data.x, data.y, rng);
+  EXPECT_NEAR(forest.predict_stddev(data.x[5]), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace repro::tuner

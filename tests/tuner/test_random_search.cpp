@@ -1,0 +1,75 @@
+// Random Search: budget usage, constraint awareness, determinism.
+
+#include <gtest/gtest.h>
+
+#include "tests/tuner/test_objectives.hpp"
+#include "tuner/random_search.hpp"
+
+namespace repro::tuner {
+namespace {
+
+TEST(RandomSearch, UsesExactlyTheBudget) {
+  const ParamSpace space = paper_search_space();
+  std::size_t calls = 0;
+  Evaluator evaluator(space, testing::bowl_objective(&calls), 50);
+  RandomSearch rs;
+  repro::Rng rng(1);
+  const TuneResult result = rs.minimize(space, evaluator, rng);
+  EXPECT_EQ(result.evaluations_used, 50u);
+  EXPECT_EQ(calls, 50u);
+  EXPECT_TRUE(result.found_valid);
+}
+
+TEST(RandomSearch, OnlyProposesExecutableConfigs) {
+  const ParamSpace space = paper_search_space();
+  bool all_executable = true;
+  Evaluator evaluator(space, [&](const Configuration& config) {
+    all_executable &= space.is_executable(config);
+    return Evaluation{1.0, true};
+  }, 100);
+  RandomSearch rs;
+  repro::Rng rng(2);
+  (void)rs.minimize(space, evaluator, rng);
+  EXPECT_TRUE(all_executable);
+}
+
+TEST(RandomSearch, DeterministicGivenSeed) {
+  const ParamSpace space = paper_search_space();
+  RandomSearch rs;
+  TuneResult results[2];
+  for (int run = 0; run < 2; ++run) {
+    Evaluator evaluator(space, testing::bowl_objective(), 40);
+    repro::Rng rng(77);
+    results[run] = rs.minimize(space, evaluator, rng);
+  }
+  EXPECT_EQ(results[0].best_config, results[1].best_config);
+  EXPECT_DOUBLE_EQ(results[0].best_value, results[1].best_value);
+}
+
+TEST(RandomSearch, MoreBudgetNeverHurtsOnAverage) {
+  const ParamSpace space = paper_search_space();
+  RandomSearch rs;
+  double small_sum = 0.0, large_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Evaluator small(space, testing::bowl_objective(), 10);
+    Evaluator large(space, testing::bowl_objective(), 200);
+    repro::Rng rng_a(seed), rng_b(seed + 1000);
+    small_sum += rs.minimize(space, small, rng_a).best_value;
+    large_sum += rs.minimize(space, large, rng_b).best_value;
+  }
+  EXPECT_LT(large_sum, small_sum);
+}
+
+TEST(RandomSearch, ReportsBestObserved) {
+  const ParamSpace space = paper_search_space();
+  Evaluator evaluator(space, testing::bowl_objective(), 400);
+  RandomSearch rs;
+  repro::Rng rng(5);
+  const TuneResult result = rs.minimize(space, evaluator, rng);
+  // With 400 draws on the bowl the best should be quite close to 1.
+  EXPECT_LT(result.best_value, 30.0);
+  EXPECT_DOUBLE_EQ(result.best_value, evaluator.best_value());
+}
+
+}  // namespace
+}  // namespace repro::tuner

@@ -1,0 +1,113 @@
+// ParamSpace: codec round trips, constraint handling, sampling, and the
+// paper's concrete 6-parameter space.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tuner/search_space.hpp"
+
+namespace repro::tuner {
+namespace {
+
+TEST(ParamSpace, RejectsEmptyRange) {
+  EXPECT_THROW(ParamSpace({{"bad", 5, 4}}), std::invalid_argument);
+}
+
+TEST(ParamSpace, SizeIsProductOfCardinalities) {
+  const ParamSpace space({{"a", 0, 9}, {"b", 1, 4}});
+  EXPECT_EQ(space.size(), 40u);
+}
+
+TEST(ParamSpace, PaperSpaceMatchesThePaper) {
+  const ParamSpace space = paper_search_space();
+  EXPECT_EQ(space.num_params(), 6u);
+  EXPECT_EQ(space.size(), 2097152u);  // 16^3 * 8^3, Section V-C
+  EXPECT_TRUE(space.has_constraint());
+  EXPECT_TRUE(space.is_executable({1, 1, 1, 8, 8, 4}));    // product 256
+  EXPECT_FALSE(space.is_executable({1, 1, 1, 8, 8, 5}));   // product 320
+  EXPECT_FALSE(space.is_executable({1, 1, 1, 8, 8, 8}));   // product 512
+}
+
+TEST(ParamSpace, InRangeChecks) {
+  const ParamSpace space = paper_search_space();
+  EXPECT_TRUE(space.in_range({16, 16, 16, 8, 8, 8}));  // in range, not executable
+  EXPECT_FALSE(space.in_range({0, 1, 1, 1, 1, 1}));
+  EXPECT_FALSE(space.in_range({1, 1, 1, 1, 1}));  // wrong arity
+}
+
+TEST(ParamSpace, EncodeDecodeKnownPoints) {
+  const ParamSpace space = paper_search_space();
+  EXPECT_EQ(space.encode({1, 1, 1, 1, 1, 1}), 0u);
+  EXPECT_EQ(space.decode(0), (Configuration{1, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(space.encode({16, 16, 16, 8, 8, 8}), space.size() - 1);
+}
+
+TEST(ParamSpace, EncodeRejectsOutOfRange) {
+  const ParamSpace space = paper_search_space();
+  EXPECT_THROW((void)space.encode({0, 1, 1, 1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)space.decode(space.size()), std::out_of_range);
+}
+
+TEST(ParamSpace, RoundTripProperty) {
+  const ParamSpace space = paper_search_space();
+  repro::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Configuration config = space.sample(rng);
+    EXPECT_EQ(space.decode(space.encode(config)), config);
+  }
+}
+
+TEST(ParamSpace, SampleIsInRange) {
+  const ParamSpace space = paper_search_space();
+  repro::Rng rng(5);
+  for (int i = 0; i < 500; ++i) EXPECT_TRUE(space.in_range(space.sample(rng)));
+}
+
+TEST(ParamSpace, SampleExecutableRespectsConstraint) {
+  const ParamSpace space = paper_search_space();
+  repro::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(space.is_executable(space.sample_executable(rng)));
+  }
+}
+
+TEST(ParamSpace, SampleExecutableThrowsWhenImpossible) {
+  const ParamSpace space({{"a", 0, 1}}, [](const Configuration&) { return false; });
+  repro::Rng rng(9);
+  EXPECT_THROW((void)space.sample_executable(rng, 100), std::runtime_error);
+}
+
+TEST(ParamSpace, UnconstrainedSamplingCoversInvalidRegion) {
+  // SMBO methods sample the full space: some draws must violate the
+  // constraint (the invalid fraction of the paper space is ~7%).
+  const ParamSpace space = paper_search_space();
+  repro::Rng rng(11);
+  int invalid = 0;
+  for (int i = 0; i < 4000; ++i) invalid += !space.is_executable(space.sample(rng));
+  EXPECT_GT(invalid, 100);
+  EXPECT_LT(invalid, 1200);
+}
+
+TEST(ParamSpace, NormalizeMapsToUnitCube) {
+  const ParamSpace space = paper_search_space();
+  const auto lo = space.normalize({1, 1, 1, 1, 1, 1});
+  const auto hi = space.normalize({16, 16, 16, 8, 8, 8});
+  for (double v : lo) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : hi) EXPECT_DOUBLE_EQ(v, 1.0);
+  const auto mid = space.normalize({8, 8, 8, 4, 4, 4});
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(mid[i], 7.0 / 15.0, 1e-12);
+}
+
+TEST(ParamSpace, NormalizeDegenerateDimension) {
+  const ParamSpace space({{"fixed", 3, 3}});
+  EXPECT_DOUBLE_EQ(space.normalize({3})[0], 0.5);
+}
+
+TEST(ParamSpace, ClampPullsIntoRange) {
+  const ParamSpace space = paper_search_space();
+  const Configuration clamped = space.clamp({-5, 99, 3, 0, 9, 4});
+  EXPECT_EQ(clamped, (Configuration{1, 16, 3, 1, 8, 4}));
+}
+
+}  // namespace
+}  // namespace repro::tuner
