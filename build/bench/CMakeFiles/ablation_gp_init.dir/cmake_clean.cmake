@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gp_init.dir/ablation_gp_init.cpp.o"
+  "CMakeFiles/ablation_gp_init.dir/ablation_gp_init.cpp.o.d"
+  "ablation_gp_init"
+  "ablation_gp_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gp_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_convergence.dir/extension_convergence.cpp.o"
+  "CMakeFiles/extension_convergence.dir/extension_convergence.cpp.o.d"
+  "extension_convergence"
+  "extension_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

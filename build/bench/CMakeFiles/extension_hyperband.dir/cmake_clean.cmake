@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_hyperband.dir/extension_hyperband.cpp.o"
+  "CMakeFiles/extension_hyperband.dir/extension_hyperband.cpp.o.d"
+  "extension_hyperband"
+  "extension_hyperband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_hyperband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

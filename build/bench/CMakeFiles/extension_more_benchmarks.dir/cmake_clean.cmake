@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_more_benchmarks.dir/extension_more_benchmarks.cpp.o"
+  "CMakeFiles/extension_more_benchmarks.dir/extension_more_benchmarks.cpp.o.d"
+  "extension_more_benchmarks"
+  "extension_more_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_more_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_significance.dir/extension_significance.cpp.o"
+  "CMakeFiles/extension_significance.dir/extension_significance.cpp.o.d"
+  "extension_significance"
+  "extension_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

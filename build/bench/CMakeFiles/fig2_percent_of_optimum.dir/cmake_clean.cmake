@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_percent_of_optimum.dir/fig2_percent_of_optimum.cpp.o"
+  "CMakeFiles/fig2_percent_of_optimum.dir/fig2_percent_of_optimum.cpp.o.d"
+  "fig2_percent_of_optimum"
+  "fig2_percent_of_optimum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_percent_of_optimum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_percent_of_optimum.
+# This may be replaced when dependencies are built.

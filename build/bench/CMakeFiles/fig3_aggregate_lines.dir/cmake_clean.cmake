@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_aggregate_lines.dir/fig3_aggregate_lines.cpp.o"
+  "CMakeFiles/fig3_aggregate_lines.dir/fig3_aggregate_lines.cpp.o.d"
+  "fig3_aggregate_lines"
+  "fig3_aggregate_lines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_aggregate_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_speedup_over_rs.dir/fig4a_speedup_over_rs.cpp.o"
+  "CMakeFiles/fig4a_speedup_over_rs.dir/fig4a_speedup_over_rs.cpp.o.d"
+  "fig4a_speedup_over_rs"
+  "fig4a_speedup_over_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_speedup_over_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_forest.dir/micro/micro_forest.cpp.o"
+  "CMakeFiles/micro_forest.dir/micro/micro_forest.cpp.o.d"
+  "micro_forest"
+  "micro_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

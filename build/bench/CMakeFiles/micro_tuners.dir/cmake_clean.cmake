@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tuners.dir/micro/micro_tuners.cpp.o"
+  "CMakeFiles/micro_tuners.dir/micro/micro_tuners.cpp.o.d"
+  "micro_tuners"
+  "micro_tuners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tuners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_design_row.dir/table1_design_row.cpp.o"
+  "CMakeFiles/table1_design_row.dir/table1_design_row.cpp.o.d"
+  "table1_design_row"
+  "table1_design_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_design_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harris_corners.dir/harris_corners.cpp.o"
+  "CMakeFiles/harris_corners.dir/harris_corners.cpp.o.d"
+  "harris_corners"
+  "harris_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harris_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

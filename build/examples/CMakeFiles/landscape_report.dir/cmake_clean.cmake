@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landscape_report.dir/landscape_report.cpp.o"
+  "CMakeFiles/landscape_report.dir/landscape_report.cpp.o.d"
+  "landscape_report"
+  "landscape_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landscape_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multifidelity_tuning.dir/multifidelity_tuning.cpp.o"
+  "CMakeFiles/multifidelity_tuning.dir/multifidelity_tuning.cpp.o.d"
+  "multifidelity_tuning"
+  "multifidelity_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multifidelity_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

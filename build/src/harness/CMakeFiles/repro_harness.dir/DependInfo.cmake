@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/aggregate.cpp" "src/harness/CMakeFiles/repro_harness.dir/aggregate.cpp.o" "gcc" "src/harness/CMakeFiles/repro_harness.dir/aggregate.cpp.o.d"
+  "/root/repo/src/harness/context.cpp" "src/harness/CMakeFiles/repro_harness.dir/context.cpp.o" "gcc" "src/harness/CMakeFiles/repro_harness.dir/context.cpp.o.d"
+  "/root/repo/src/harness/figures.cpp" "src/harness/CMakeFiles/repro_harness.dir/figures.cpp.o" "gcc" "src/harness/CMakeFiles/repro_harness.dir/figures.cpp.o.d"
+  "/root/repo/src/harness/multifidelity_context.cpp" "src/harness/CMakeFiles/repro_harness.dir/multifidelity_context.cpp.o" "gcc" "src/harness/CMakeFiles/repro_harness.dir/multifidelity_context.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/repro_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/repro_harness.dir/report.cpp.o.d"
+  "/root/repo/src/harness/results_io.cpp" "src/harness/CMakeFiles/repro_harness.dir/results_io.cpp.o" "gcc" "src/harness/CMakeFiles/repro_harness.dir/results_io.cpp.o.d"
+  "/root/repo/src/harness/study.cpp" "src/harness/CMakeFiles/repro_harness.dir/study.cpp.o" "gcc" "src/harness/CMakeFiles/repro_harness.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/repro_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/imagecl/CMakeFiles/repro_imagecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/repro_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_harness.dir/aggregate.cpp.o"
+  "CMakeFiles/repro_harness.dir/aggregate.cpp.o.d"
+  "CMakeFiles/repro_harness.dir/context.cpp.o"
+  "CMakeFiles/repro_harness.dir/context.cpp.o.d"
+  "CMakeFiles/repro_harness.dir/figures.cpp.o"
+  "CMakeFiles/repro_harness.dir/figures.cpp.o.d"
+  "CMakeFiles/repro_harness.dir/multifidelity_context.cpp.o"
+  "CMakeFiles/repro_harness.dir/multifidelity_context.cpp.o.d"
+  "CMakeFiles/repro_harness.dir/report.cpp.o"
+  "CMakeFiles/repro_harness.dir/report.cpp.o.d"
+  "CMakeFiles/repro_harness.dir/results_io.cpp.o"
+  "CMakeFiles/repro_harness.dir/results_io.cpp.o.d"
+  "CMakeFiles/repro_harness.dir/study.cpp.o"
+  "CMakeFiles/repro_harness.dir/study.cpp.o.d"
+  "librepro_harness.a"
+  "librepro_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

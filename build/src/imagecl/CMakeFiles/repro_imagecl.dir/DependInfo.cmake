@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imagecl/benchmark_suite.cpp" "src/imagecl/CMakeFiles/repro_imagecl.dir/benchmark_suite.cpp.o" "gcc" "src/imagecl/CMakeFiles/repro_imagecl.dir/benchmark_suite.cpp.o.d"
+  "/root/repo/src/imagecl/image.cpp" "src/imagecl/CMakeFiles/repro_imagecl.dir/image.cpp.o" "gcc" "src/imagecl/CMakeFiles/repro_imagecl.dir/image.cpp.o.d"
+  "/root/repo/src/imagecl/kernels/add.cpp" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/add.cpp.o" "gcc" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/add.cpp.o.d"
+  "/root/repo/src/imagecl/kernels/convolution.cpp" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/convolution.cpp.o" "gcc" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/convolution.cpp.o.d"
+  "/root/repo/src/imagecl/kernels/harris.cpp" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/harris.cpp.o" "gcc" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/harris.cpp.o.d"
+  "/root/repo/src/imagecl/kernels/mandelbrot.cpp" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/mandelbrot.cpp.o" "gcc" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/mandelbrot.cpp.o.d"
+  "/root/repo/src/imagecl/kernels/separable_convolution.cpp" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/separable_convolution.cpp.o" "gcc" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/separable_convolution.cpp.o.d"
+  "/root/repo/src/imagecl/kernels/sobel.cpp" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/sobel.cpp.o" "gcc" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/sobel.cpp.o.d"
+  "/root/repo/src/imagecl/kernels/transpose.cpp" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/transpose.cpp.o" "gcc" "src/imagecl/CMakeFiles/repro_imagecl.dir/kernels/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simgpu/CMakeFiles/repro_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

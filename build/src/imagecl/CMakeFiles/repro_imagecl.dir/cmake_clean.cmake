@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_imagecl.dir/benchmark_suite.cpp.o"
+  "CMakeFiles/repro_imagecl.dir/benchmark_suite.cpp.o.d"
+  "CMakeFiles/repro_imagecl.dir/image.cpp.o"
+  "CMakeFiles/repro_imagecl.dir/image.cpp.o.d"
+  "CMakeFiles/repro_imagecl.dir/kernels/add.cpp.o"
+  "CMakeFiles/repro_imagecl.dir/kernels/add.cpp.o.d"
+  "CMakeFiles/repro_imagecl.dir/kernels/convolution.cpp.o"
+  "CMakeFiles/repro_imagecl.dir/kernels/convolution.cpp.o.d"
+  "CMakeFiles/repro_imagecl.dir/kernels/harris.cpp.o"
+  "CMakeFiles/repro_imagecl.dir/kernels/harris.cpp.o.d"
+  "CMakeFiles/repro_imagecl.dir/kernels/mandelbrot.cpp.o"
+  "CMakeFiles/repro_imagecl.dir/kernels/mandelbrot.cpp.o.d"
+  "CMakeFiles/repro_imagecl.dir/kernels/separable_convolution.cpp.o"
+  "CMakeFiles/repro_imagecl.dir/kernels/separable_convolution.cpp.o.d"
+  "CMakeFiles/repro_imagecl.dir/kernels/sobel.cpp.o"
+  "CMakeFiles/repro_imagecl.dir/kernels/sobel.cpp.o.d"
+  "CMakeFiles/repro_imagecl.dir/kernels/transpose.cpp.o"
+  "CMakeFiles/repro_imagecl.dir/kernels/transpose.cpp.o.d"
+  "librepro_imagecl.a"
+  "librepro_imagecl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_imagecl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgpu/arch.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/arch.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/arch.cpp.o.d"
+  "/root/repo/src/simgpu/cache_sim.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/cache_sim.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/simgpu/coalescing.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/coalescing.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/coalescing.cpp.o.d"
+  "/root/repo/src/simgpu/device.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/device.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/device.cpp.o.d"
+  "/root/repo/src/simgpu/divergence.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/divergence.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/divergence.cpp.o.d"
+  "/root/repo/src/simgpu/launch.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/launch.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/launch.cpp.o.d"
+  "/root/repo/src/simgpu/occupancy.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/occupancy.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/occupancy.cpp.o.d"
+  "/root/repo/src/simgpu/perf_model.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/perf_model.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/perf_model.cpp.o.d"
+  "/root/repo/src/simgpu/trace.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/trace.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

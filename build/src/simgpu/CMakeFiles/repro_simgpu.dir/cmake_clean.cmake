@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_simgpu.dir/arch.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/arch.cpp.o.d"
+  "CMakeFiles/repro_simgpu.dir/cache_sim.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/repro_simgpu.dir/coalescing.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/coalescing.cpp.o.d"
+  "CMakeFiles/repro_simgpu.dir/device.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/device.cpp.o.d"
+  "CMakeFiles/repro_simgpu.dir/divergence.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/divergence.cpp.o.d"
+  "CMakeFiles/repro_simgpu.dir/launch.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/launch.cpp.o.d"
+  "CMakeFiles/repro_simgpu.dir/occupancy.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/occupancy.cpp.o.d"
+  "CMakeFiles/repro_simgpu.dir/perf_model.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/perf_model.cpp.o.d"
+  "CMakeFiles/repro_simgpu.dir/trace.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/trace.cpp.o.d"
+  "librepro_simgpu.a"
+  "librepro_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/repro_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/repro_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/repro_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/repro_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/effect_size.cpp" "src/stats/CMakeFiles/repro_stats.dir/effect_size.cpp.o" "gcc" "src/stats/CMakeFiles/repro_stats.dir/effect_size.cpp.o.d"
+  "/root/repo/src/stats/mann_whitney.cpp" "src/stats/CMakeFiles/repro_stats.dir/mann_whitney.cpp.o" "gcc" "src/stats/CMakeFiles/repro_stats.dir/mann_whitney.cpp.o.d"
+  "/root/repo/src/stats/nonparametric.cpp" "src/stats/CMakeFiles/repro_stats.dir/nonparametric.cpp.o" "gcc" "src/stats/CMakeFiles/repro_stats.dir/nonparametric.cpp.o.d"
+  "/root/repo/src/stats/paired.cpp" "src/stats/CMakeFiles/repro_stats.dir/paired.cpp.o" "gcc" "src/stats/CMakeFiles/repro_stats.dir/paired.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/repro_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/repro_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/effect_size.cpp.o"
+  "CMakeFiles/repro_stats.dir/effect_size.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/mann_whitney.cpp.o"
+  "CMakeFiles/repro_stats.dir/mann_whitney.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/nonparametric.cpp.o"
+  "CMakeFiles/repro_stats.dir/nonparametric.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/paired.cpp.o"
+  "CMakeFiles/repro_stats.dir/paired.cpp.o.d"
+  "librepro_stats.a"
+  "librepro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/dataset.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/dataset.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/dataset.cpp.o.d"
+  "/root/repo/src/tuner/evaluator.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/evaluator.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/evaluator.cpp.o.d"
+  "/root/repo/src/tuner/extras/auc_bandit.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/extras/auc_bandit.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/extras/auc_bandit.cpp.o.d"
+  "/root/repo/src/tuner/extras/pso.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/extras/pso.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/extras/pso.cpp.o.d"
+  "/root/repo/src/tuner/extras/simulated_annealing.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/extras/simulated_annealing.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/extras/simulated_annealing.cpp.o.d"
+  "/root/repo/src/tuner/forest/decision_tree.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/forest/decision_tree.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/forest/decision_tree.cpp.o.d"
+  "/root/repo/src/tuner/forest/random_forest.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/forest/random_forest.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/forest/random_forest.cpp.o.d"
+  "/root/repo/src/tuner/forest/rf_tuner.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/forest/rf_tuner.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/forest/rf_tuner.cpp.o.d"
+  "/root/repo/src/tuner/ga/genetic.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/ga/genetic.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/ga/genetic.cpp.o.d"
+  "/root/repo/src/tuner/gp/bo_gp.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/gp/bo_gp.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/gp/bo_gp.cpp.o.d"
+  "/root/repo/src/tuner/gp/gp_regressor.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/gp/gp_regressor.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/gp/gp_regressor.cpp.o.d"
+  "/root/repo/src/tuner/gp/linalg.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/gp/linalg.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/gp/linalg.cpp.o.d"
+  "/root/repo/src/tuner/multifidelity/fidelity.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/multifidelity/fidelity.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/multifidelity/fidelity.cpp.o.d"
+  "/root/repo/src/tuner/multifidelity/hyperband.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/multifidelity/hyperband.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/multifidelity/hyperband.cpp.o.d"
+  "/root/repo/src/tuner/random_search.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/random_search.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/random_search.cpp.o.d"
+  "/root/repo/src/tuner/registry.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/registry.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/registry.cpp.o.d"
+  "/root/repo/src/tuner/search_space.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/search_space.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/search_space.cpp.o.d"
+  "/root/repo/src/tuner/tpe/bo_tpe.cpp" "src/tuner/CMakeFiles/repro_tuner.dir/tpe/bo_tpe.cpp.o" "gcc" "src/tuner/CMakeFiles/repro_tuner.dir/tpe/bo_tpe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness/test_aggregate.cpp" "tests/CMakeFiles/tests_harness.dir/harness/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/tests_harness.dir/harness/test_aggregate.cpp.o.d"
+  "/root/repo/tests/harness/test_context.cpp" "tests/CMakeFiles/tests_harness.dir/harness/test_context.cpp.o" "gcc" "tests/CMakeFiles/tests_harness.dir/harness/test_context.cpp.o.d"
+  "/root/repo/tests/harness/test_figures_cli.cpp" "tests/CMakeFiles/tests_harness.dir/harness/test_figures_cli.cpp.o" "gcc" "tests/CMakeFiles/tests_harness.dir/harness/test_figures_cli.cpp.o.d"
+  "/root/repo/tests/harness/test_multifidelity.cpp" "tests/CMakeFiles/tests_harness.dir/harness/test_multifidelity.cpp.o" "gcc" "tests/CMakeFiles/tests_harness.dir/harness/test_multifidelity.cpp.o.d"
+  "/root/repo/tests/harness/test_report.cpp" "tests/CMakeFiles/tests_harness.dir/harness/test_report.cpp.o" "gcc" "tests/CMakeFiles/tests_harness.dir/harness/test_report.cpp.o.d"
+  "/root/repo/tests/harness/test_results_io.cpp" "tests/CMakeFiles/tests_harness.dir/harness/test_results_io.cpp.o" "gcc" "tests/CMakeFiles/tests_harness.dir/harness/test_results_io.cpp.o.d"
+  "/root/repo/tests/harness/test_study.cpp" "tests/CMakeFiles/tests_harness.dir/harness/test_study.cpp.o" "gcc" "tests/CMakeFiles/tests_harness.dir/harness/test_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/repro_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/repro_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/imagecl/CMakeFiles/repro_imagecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/repro_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_harness.dir/harness/test_aggregate.cpp.o"
+  "CMakeFiles/tests_harness.dir/harness/test_aggregate.cpp.o.d"
+  "CMakeFiles/tests_harness.dir/harness/test_context.cpp.o"
+  "CMakeFiles/tests_harness.dir/harness/test_context.cpp.o.d"
+  "CMakeFiles/tests_harness.dir/harness/test_figures_cli.cpp.o"
+  "CMakeFiles/tests_harness.dir/harness/test_figures_cli.cpp.o.d"
+  "CMakeFiles/tests_harness.dir/harness/test_multifidelity.cpp.o"
+  "CMakeFiles/tests_harness.dir/harness/test_multifidelity.cpp.o.d"
+  "CMakeFiles/tests_harness.dir/harness/test_report.cpp.o"
+  "CMakeFiles/tests_harness.dir/harness/test_report.cpp.o.d"
+  "CMakeFiles/tests_harness.dir/harness/test_results_io.cpp.o"
+  "CMakeFiles/tests_harness.dir/harness/test_results_io.cpp.o.d"
+  "CMakeFiles/tests_harness.dir/harness/test_study.cpp.o"
+  "CMakeFiles/tests_harness.dir/harness/test_study.cpp.o.d"
+  "tests_harness"
+  "tests_harness.pdb"
+  "tests_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/imagecl/test_benchmark_suite.cpp" "tests/CMakeFiles/tests_imagecl.dir/imagecl/test_benchmark_suite.cpp.o" "gcc" "tests/CMakeFiles/tests_imagecl.dir/imagecl/test_benchmark_suite.cpp.o.d"
+  "/root/repo/tests/imagecl/test_extended_kernels.cpp" "tests/CMakeFiles/tests_imagecl.dir/imagecl/test_extended_kernels.cpp.o" "gcc" "tests/CMakeFiles/tests_imagecl.dir/imagecl/test_extended_kernels.cpp.o.d"
+  "/root/repo/tests/imagecl/test_image.cpp" "tests/CMakeFiles/tests_imagecl.dir/imagecl/test_image.cpp.o" "gcc" "tests/CMakeFiles/tests_imagecl.dir/imagecl/test_image.cpp.o.d"
+  "/root/repo/tests/imagecl/test_kernels.cpp" "tests/CMakeFiles/tests_imagecl.dir/imagecl/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/tests_imagecl.dir/imagecl/test_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/repro_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/repro_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/imagecl/CMakeFiles/repro_imagecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/repro_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

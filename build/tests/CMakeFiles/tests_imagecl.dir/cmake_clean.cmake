@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_imagecl.dir/imagecl/test_benchmark_suite.cpp.o"
+  "CMakeFiles/tests_imagecl.dir/imagecl/test_benchmark_suite.cpp.o.d"
+  "CMakeFiles/tests_imagecl.dir/imagecl/test_extended_kernels.cpp.o"
+  "CMakeFiles/tests_imagecl.dir/imagecl/test_extended_kernels.cpp.o.d"
+  "CMakeFiles/tests_imagecl.dir/imagecl/test_image.cpp.o"
+  "CMakeFiles/tests_imagecl.dir/imagecl/test_image.cpp.o.d"
+  "CMakeFiles/tests_imagecl.dir/imagecl/test_kernels.cpp.o"
+  "CMakeFiles/tests_imagecl.dir/imagecl/test_kernels.cpp.o.d"
+  "tests_imagecl"
+  "tests_imagecl.pdb"
+  "tests_imagecl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_imagecl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simgpu/test_arch.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_arch.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_arch.cpp.o.d"
+  "/root/repo/tests/simgpu/test_cache_sim.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_cache_sim.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_cache_sim.cpp.o.d"
+  "/root/repo/tests/simgpu/test_coalescing.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_coalescing.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_coalescing.cpp.o.d"
+  "/root/repo/tests/simgpu/test_device_trace.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_device_trace.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_device_trace.cpp.o.d"
+  "/root/repo/tests/simgpu/test_divergence.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_divergence.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_divergence.cpp.o.d"
+  "/root/repo/tests/simgpu/test_launch.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_launch.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_launch.cpp.o.d"
+  "/root/repo/tests/simgpu/test_noise.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_noise.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_noise.cpp.o.d"
+  "/root/repo/tests/simgpu/test_occupancy.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_occupancy.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_occupancy.cpp.o.d"
+  "/root/repo/tests/simgpu/test_perf_model.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/repro_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/repro_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/imagecl/CMakeFiles/repro_imagecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/repro_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_arch.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_arch.cpp.o.d"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_cache_sim.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_cache_sim.cpp.o.d"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_coalescing.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_coalescing.cpp.o.d"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_device_trace.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_device_trace.cpp.o.d"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_divergence.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_divergence.cpp.o.d"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_launch.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_launch.cpp.o.d"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_noise.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_noise.cpp.o.d"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_occupancy.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_occupancy.cpp.o.d"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_perf_model.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_perf_model.cpp.o.d"
+  "tests_simgpu"
+  "tests_simgpu.pdb"
+  "tests_simgpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_bootstrap.cpp" "tests/CMakeFiles/tests_stats.dir/stats/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/stats/test_descriptive.cpp" "tests/CMakeFiles/tests_stats.dir/stats/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/stats/test_descriptive.cpp.o.d"
+  "/root/repo/tests/stats/test_effect_size.cpp" "tests/CMakeFiles/tests_stats.dir/stats/test_effect_size.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/stats/test_effect_size.cpp.o.d"
+  "/root/repo/tests/stats/test_mann_whitney.cpp" "tests/CMakeFiles/tests_stats.dir/stats/test_mann_whitney.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/stats/test_mann_whitney.cpp.o.d"
+  "/root/repo/tests/stats/test_nonparametric.cpp" "tests/CMakeFiles/tests_stats.dir/stats/test_nonparametric.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/stats/test_nonparametric.cpp.o.d"
+  "/root/repo/tests/stats/test_paired.cpp" "tests/CMakeFiles/tests_stats.dir/stats/test_paired.cpp.o" "gcc" "tests/CMakeFiles/tests_stats.dir/stats/test_paired.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/repro_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/repro_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/imagecl/CMakeFiles/repro_imagecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/repro_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_stats.dir/stats/test_bootstrap.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_effect_size.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_effect_size.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_mann_whitney.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_mann_whitney.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_nonparametric.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_nonparametric.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_paired.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_paired.cpp.o.d"
+  "tests_stats"
+  "tests_stats.pdb"
+  "tests_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tuner/test_auc_bandit.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_auc_bandit.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_auc_bandit.cpp.o.d"
+  "/root/repo/tests/tuner/test_bo_gp.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_bo_gp.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_bo_gp.cpp.o.d"
+  "/root/repo/tests/tuner/test_dataset.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_dataset.cpp.o.d"
+  "/root/repo/tests/tuner/test_decision_tree.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_decision_tree.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_decision_tree.cpp.o.d"
+  "/root/repo/tests/tuner/test_evaluator.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_evaluator.cpp.o.d"
+  "/root/repo/tests/tuner/test_extras.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_extras.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_extras.cpp.o.d"
+  "/root/repo/tests/tuner/test_ga.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_ga.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_ga.cpp.o.d"
+  "/root/repo/tests/tuner/test_gp.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_gp.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_gp.cpp.o.d"
+  "/root/repo/tests/tuner/test_hyperband.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_hyperband.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_hyperband.cpp.o.d"
+  "/root/repo/tests/tuner/test_linalg.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_linalg.cpp.o.d"
+  "/root/repo/tests/tuner/test_random_forest.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_random_forest.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_random_forest.cpp.o.d"
+  "/root/repo/tests/tuner/test_random_search.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_random_search.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_random_search.cpp.o.d"
+  "/root/repo/tests/tuner/test_registry.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_registry.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_registry.cpp.o.d"
+  "/root/repo/tests/tuner/test_rf_tuner.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_rf_tuner.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_rf_tuner.cpp.o.d"
+  "/root/repo/tests/tuner/test_search_space.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_search_space.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_search_space.cpp.o.d"
+  "/root/repo/tests/tuner/test_tpe.cpp" "tests/CMakeFiles/tests_tuner.dir/tuner/test_tpe.cpp.o" "gcc" "tests/CMakeFiles/tests_tuner.dir/tuner/test_tpe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/repro_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/repro_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/imagecl/CMakeFiles/repro_imagecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/repro_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_stats[1]_include.cmake")
+include("/root/repo/build/tests/tests_simgpu[1]_include.cmake")
+include("/root/repo/build/tests/tests_imagecl[1]_include.cmake")
+include("/root/repo/build/tests/tests_tuner[1]_include.cmake")
+include("/root/repo/build/tests/tests_harness[1]_include.cmake")
