@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "harness/context.hpp"
@@ -74,8 +75,10 @@ int main(int argc, char** argv) {
               "depending on the benchmark — can now be checked against MWU p-values\n"
               "(alpha = 0.01) instead of point estimates alone.\n");
   const std::string out_dir = cli.get("out");
-  if (!out_dir.empty()) {
-    (void)table.write_csv_file(out_dir + "/ablation_cltune_baselines.csv");
+  if (!out_dir.empty() &&
+      !table.write_csv_file(out_dir + "/ablation_cltune_baselines.csv")) {
+    log_error("failed to write {}/ablation_cltune_baselines.csv", out_dir);
+    return 1;
   }
   return 0;
 }

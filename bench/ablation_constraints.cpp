@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "harness/context.hpp"
@@ -99,6 +100,10 @@ int main(int argc, char** argv) {
               "method is the price of the paper's missing constraint support;\n"
               "invalid_proposals_mean shows how much budget failures consumed.\n");
   const std::string out_dir = cli.get("out");
-  if (!out_dir.empty()) (void)table.write_csv_file(out_dir + "/ablation_constraints.csv");
+  if (!out_dir.empty() &&
+      !table.write_csv_file(out_dir + "/ablation_constraints.csv")) {
+    log_error("failed to write {}/ablation_constraints.csv", out_dir);
+    return 1;
+  }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/fmt.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -70,6 +71,10 @@ int main(int argc, char** argv) {
                  .c_str(),
              stdout);
   const std::string out_dir = cli.get("out");
-  if (!out_dir.empty()) (void)table.write_csv_file(out_dir + "/ablation_gp_init.csv");
+  if (!out_dir.empty() &&
+      !table.write_csv_file(out_dir + "/ablation_gp_init.csv")) {
+    log_error("failed to write {}/ablation_gp_init.csv", out_dir);
+    return 1;
+  }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/fmt.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -113,6 +114,10 @@ int main(int argc, char** argv) {
                   ? "holds"
                   : "is questionable");
   const std::string out_dir = cli.get("out");
-  if (!out_dir.empty()) (void)table.write_csv_file(out_dir + "/ablation_hyperparams.csv");
+  if (!out_dir.empty() &&
+      !table.write_csv_file(out_dir + "/ablation_hyperparams.csv")) {
+    log_error("failed to write {}/ablation_hyperparams.csv", out_dir);
+    return 1;
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/fmt.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -75,6 +76,10 @@ int main(int argc, char** argv) {
   std::printf("\nNoise hurts RS only through mismeasured winners; model-based methods\n"
               "additionally train on unreliable single-sample data.\n");
   const std::string out_dir = cli.get("out");
-  if (!out_dir.empty()) (void)table.write_csv_file(out_dir + "/ablation_noise.csv");
+  if (!out_dir.empty() &&
+      !table.write_csv_file(out_dir + "/ablation_noise.csv")) {
+    log_error("failed to write {}/ablation_noise.csv", out_dir);
+    return 1;
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "harness/context.hpp"
@@ -118,6 +119,10 @@ int main(int argc, char** argv) {
                  .c_str(),
              stdout);
   const std::string out_dir = cli.get("out");
-  if (!out_dir.empty()) (void)table.write_csv_file(out_dir + "/extension_convergence.csv");
+  if (!out_dir.empty() &&
+      !table.write_csv_file(out_dir + "/extension_convergence.csv")) {
+    log_error("failed to write {}/extension_convergence.csv", out_dir);
+    return 1;
+  }
   return 0;
 }

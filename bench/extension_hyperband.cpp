@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/fmt.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -105,6 +106,10 @@ int main(int argc, char** argv) {
               "(mean_evals_per_run >> budget_units); whether that wins depends on\n"
               "how well the scaled-down problem ranks configurations.\n");
   const std::string out_dir = cli.get("out");
-  if (!out_dir.empty()) (void)table.write_csv_file(out_dir + "/extension_hyperband.csv");
+  if (!out_dir.empty() &&
+      !table.write_csv_file(out_dir + "/extension_hyperband.csv")) {
+    log_error("failed to write {}/extension_hyperband.csv", out_dir);
+    return 1;
+  }
   return 0;
 }

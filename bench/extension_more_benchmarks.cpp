@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "harness/report.hpp"
@@ -79,8 +80,10 @@ int main(int argc, char** argv) {
               friedman.p_value < 0.01 ? "" : " not provably");
 
   const std::string out_dir = cli.get("out");
-  if (!out_dir.empty()) {
-    (void)fig.table.write_csv_file(out_dir + "/extension_more_benchmarks.csv");
+  if (!out_dir.empty() &&
+      !fig.table.write_csv_file(out_dir + "/extension_more_benchmarks.csv")) {
+    log_error("failed to write {}/extension_more_benchmarks.csv", out_dir);
+    return 1;
   }
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/fmt.hpp"
 #include "common/table.hpp"
 #include "harness/aggregate.hpp"
@@ -151,8 +152,10 @@ int main(int argc, char** argv) {
     }
   }
   const std::string out_dir = cli.get("out");
-  if (!out_dir.empty()) {
-    (void)table.write_csv_file(out_dir + "/extension_significance.csv");
+  if (!out_dir.empty() &&
+      !table.write_csv_file(out_dir + "/extension_significance.csv")) {
+    log_error("failed to write {}/extension_significance.csv", out_dir);
+    return 1;
   }
   return 0;
 }

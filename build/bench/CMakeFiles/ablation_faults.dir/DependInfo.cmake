@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_faults.cpp" "bench/CMakeFiles/ablation_faults.dir/ablation_faults.cpp.o" "gcc" "bench/CMakeFiles/ablation_faults.dir/ablation_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/repro_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/repro_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/imagecl/CMakeFiles/repro_imagecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/repro_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -156,11 +156,11 @@ bench/CMakeFiles/extension_hyperband.dir/extension_hyperband.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/common/fmt.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /root/repo/src/common/table.hpp \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/common/log.hpp \
+ /root/repo/src/common/fmt.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/span /root/repo/src/common/table.hpp \
  /root/repo/src/harness/multifidelity_context.hpp \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -246,10 +246,12 @@ bench/CMakeFiles/extension_hyperband.dir/extension_hyperband.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /root/repo/src/tuner/evaluator.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/tuner/multifidelity/fidelity.hpp \
  /root/repo/src/stats/descriptive.hpp \
  /root/repo/src/tuner/multifidelity/hyperband.hpp \
  /root/repo/src/tuner/tpe/bo_tpe.hpp /root/repo/src/tuner/tuner.hpp \
- /root/repo/src/tuner/evaluator.hpp /root/repo/src/tuner/registry.hpp
+ /root/repo/src/tuner/registry.hpp

@@ -156,10 +156,11 @@ bench/CMakeFiles/extension_more_benchmarks.dir/extension_more_benchmarks.cpp.o: 
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/common/log.hpp \
+ /root/repo/src/common/fmt.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/common/table.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/harness/report.hpp /root/repo/src/harness/aggregate.hpp \
  /root/repo/src/harness/study.hpp /root/repo/src/harness/context.hpp \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -245,8 +246,10 @@ bench/CMakeFiles/extension_more_benchmarks.dir/extension_more_benchmarks.cpp.o: 
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /root/repo/src/tuner/evaluator.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/stats/descriptive.hpp \
  /root/repo/src/stats/nonparametric.hpp /root/repo/src/tuner/registry.hpp \
- /root/repo/src/tuner/tuner.hpp /root/repo/src/tuner/evaluator.hpp
+ /root/repo/src/tuner/tuner.hpp

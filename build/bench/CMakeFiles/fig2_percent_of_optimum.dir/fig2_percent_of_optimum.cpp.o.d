@@ -127,8 +127,8 @@ bench/CMakeFiles/fig2_percent_of_optimum.dir/fig2_percent_of_optimum.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/harness/aggregate.hpp \
- /root/repo/src/harness/study.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/harness/study.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
@@ -208,8 +208,8 @@ bench/CMakeFiles/fig2_percent_of_optimum.dir/fig2_percent_of_optimum.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/array /usr/include/c++/12/limits \
- /usr/include/c++/12/span /root/repo/src/imagecl/benchmark_suite.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/span \
+ /root/repo/src/imagecl/benchmark_suite.hpp \
  /root/repo/src/simgpu/arch.hpp /root/repo/src/simgpu/noise.hpp \
  /root/repo/src/simgpu/perf_model.hpp \
  /root/repo/src/simgpu/coalescing.hpp /root/repo/src/simgpu/launch.hpp \
@@ -222,6 +222,8 @@ bench/CMakeFiles/fig2_percent_of_optimum.dir/fig2_percent_of_optimum.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
- /usr/include/c++/12/optional /root/repo/src/stats/descriptive.hpp
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /usr/include/c++/12/optional \
+ /root/repo/src/tuner/evaluator.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/stats/descriptive.hpp

@@ -136,8 +136,9 @@ bench/CMakeFiles/table1_design_row.dir/table1_design_row.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/table.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/harness/study.hpp /root/repo/src/harness/context.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/harness/study.hpp /usr/include/c++/12/limits \
+ /root/repo/src/harness/context.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -207,8 +208,8 @@ bench/CMakeFiles/table1_design_row.dir/table1_design_row.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/array /usr/include/c++/12/limits \
- /usr/include/c++/12/span /root/repo/src/imagecl/benchmark_suite.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/span \
+ /root/repo/src/imagecl/benchmark_suite.hpp \
  /root/repo/src/simgpu/arch.hpp /root/repo/src/simgpu/noise.hpp \
  /root/repo/src/simgpu/perf_model.hpp \
  /root/repo/src/simgpu/coalescing.hpp /root/repo/src/simgpu/launch.hpp \
@@ -221,5 +222,7 @@ bench/CMakeFiles/table1_design_row.dir/table1_design_row.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /root/repo/src/tuner/evaluator.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h

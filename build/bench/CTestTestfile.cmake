@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(ablation_faults_smoke "/root/repo/build/bench/ablation_faults" "--repeats" "3" "--budget" "15" "--retries" "1")
+set_tests_properties(ablation_faults_smoke PROPERTIES  LABELS "sanitize" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")

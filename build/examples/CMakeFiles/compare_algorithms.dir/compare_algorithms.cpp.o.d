@@ -222,9 +222,11 @@ examples/CMakeFiles/compare_algorithms.dir/compare_algorithms.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /root/repo/src/tuner/evaluator.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/stats/descriptive.hpp \
  /root/repo/src/stats/effect_size.hpp \
  /root/repo/src/stats/mann_whitney.hpp /root/repo/src/tuner/registry.hpp \
- /root/repo/src/tuner/tuner.hpp /root/repo/src/tuner/evaluator.hpp
+ /root/repo/src/tuner/tuner.hpp

@@ -243,8 +243,10 @@ examples/CMakeFiles/harris_corners.dir/harris_corners.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /root/repo/src/tuner/evaluator.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/imagecl/image.hpp \
  /root/repo/src/imagecl/kernels/harris.hpp \
  /root/repo/src/simgpu/device.hpp /root/repo/src/common/thread_pool.hpp \
@@ -262,5 +264,4 @@ examples/CMakeFiles/harris_corners.dir/harris_corners.cpp.o: \
  /usr/include/c++/12/future /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/simgpu/trace.hpp /root/repo/src/simgpu/cache_sim.hpp \
- /root/repo/src/tuner/registry.hpp /root/repo/src/tuner/tuner.hpp \
- /root/repo/src/tuner/evaluator.hpp
+ /root/repo/src/tuner/registry.hpp /root/repo/src/tuner/tuner.hpp

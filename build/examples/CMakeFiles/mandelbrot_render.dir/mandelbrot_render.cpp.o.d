@@ -220,8 +220,10 @@ examples/CMakeFiles/mandelbrot_render.dir/mandelbrot_render.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /root/repo/src/tuner/evaluator.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/imagecl/image.hpp \
  /root/repo/src/imagecl/kernels/mandelbrot.hpp \
  /root/repo/src/simgpu/device.hpp /root/repo/src/common/thread_pool.hpp \
@@ -239,5 +241,4 @@ examples/CMakeFiles/mandelbrot_render.dir/mandelbrot_render.cpp.o: \
  /usr/include/c++/12/future /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/simgpu/trace.hpp /root/repo/src/simgpu/cache_sim.hpp \
- /root/repo/src/tuner/registry.hpp /root/repo/src/tuner/tuner.hpp \
- /root/repo/src/tuner/evaluator.hpp
+ /root/repo/src/tuner/registry.hpp /root/repo/src/tuner/tuner.hpp

@@ -221,9 +221,11 @@ examples/CMakeFiles/multifidelity_tuning.dir/multifidelity_tuning.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /root/repo/src/tuner/evaluator.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/tuner/multifidelity/fidelity.hpp \
  /root/repo/src/tuner/multifidelity/hyperband.hpp \
  /root/repo/src/tuner/tpe/bo_tpe.hpp /root/repo/src/tuner/tuner.hpp \
- /root/repo/src/tuner/evaluator.hpp /root/repo/src/tuner/registry.hpp
+ /root/repo/src/tuner/registry.hpp

@@ -215,9 +215,11 @@ src/harness/CMakeFiles/repro_harness.dir/context.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/atomic \
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /usr/include/c++/12/optional \
+ /root/repo/src/tuner/evaluator.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

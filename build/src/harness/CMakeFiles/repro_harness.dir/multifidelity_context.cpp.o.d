@@ -220,10 +220,11 @@ src/harness/CMakeFiles/repro_harness.dir/multifidelity_context.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
- /usr/include/c++/12/optional \
- /root/repo/src/tuner/multifidelity/fidelity.hpp \
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /usr/include/c++/12/optional \
+ /root/repo/src/tuner/evaluator.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/tuner/multifidelity/fidelity.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

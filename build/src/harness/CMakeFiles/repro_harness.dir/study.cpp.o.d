@@ -20,7 +20,8 @@ src/harness/CMakeFiles/repro_harness.dir/study.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
@@ -203,8 +204,7 @@ src/harness/CMakeFiles/repro_harness.dir/study.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits /usr/include/c++/12/span \
- /root/repo/src/imagecl/benchmark_suite.hpp \
+ /usr/include/c++/12/span /root/repo/src/imagecl/benchmark_suite.hpp \
  /root/repo/src/simgpu/arch.hpp /root/repo/src/simgpu/noise.hpp \
  /root/repo/src/simgpu/perf_model.hpp \
  /root/repo/src/simgpu/coalescing.hpp /root/repo/src/simgpu/launch.hpp \
@@ -218,13 +218,16 @@ src/harness/CMakeFiles/repro_harness.dir/study.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simgpu/occupancy.hpp /root/repo/src/tuner/dataset.hpp \
- /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/algorithm \
+ /root/repo/src/simgpu/occupancy.hpp /root/repo/src/simgpu/faults.hpp \
+ /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
+ /root/repo/src/tuner/search_space.hpp /usr/include/c++/12/optional \
+ /root/repo/src/tuner/evaluator.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -244,25 +247,36 @@ src/harness/CMakeFiles/repro_harness.dir/study.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
+ /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/bits/locale_facets_nonio.tcc \
+ /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/iomanip \
+ /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/log.hpp \
  /root/repo/src/common/fmt.hpp /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/common/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/harness/results_io.hpp \
  /root/repo/src/tuner/forest/random_forest.hpp \
  /root/repo/src/tuner/forest/decision_tree.hpp \
- /root/repo/src/tuner/registry.hpp /root/repo/src/tuner/tuner.hpp \
- /root/repo/src/tuner/evaluator.hpp
+ /root/repo/src/tuner/registry.hpp /root/repo/src/tuner/tuner.hpp

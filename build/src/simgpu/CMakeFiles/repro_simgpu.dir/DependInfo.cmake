@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/simgpu/coalescing.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/coalescing.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/coalescing.cpp.o.d"
   "/root/repo/src/simgpu/device.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/device.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/device.cpp.o.d"
   "/root/repo/src/simgpu/divergence.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/divergence.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/divergence.cpp.o.d"
+  "/root/repo/src/simgpu/faults.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/faults.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/faults.cpp.o.d"
   "/root/repo/src/simgpu/launch.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/launch.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/launch.cpp.o.d"
   "/root/repo/src/simgpu/occupancy.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/occupancy.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/occupancy.cpp.o.d"
   "/root/repo/src/simgpu/perf_model.cpp" "src/simgpu/CMakeFiles/repro_simgpu.dir/perf_model.cpp.o" "gcc" "src/simgpu/CMakeFiles/repro_simgpu.dir/perf_model.cpp.o.d"

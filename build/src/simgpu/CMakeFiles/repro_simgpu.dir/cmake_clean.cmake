@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/repro_simgpu.dir/device.cpp.o.d"
   "CMakeFiles/repro_simgpu.dir/divergence.cpp.o"
   "CMakeFiles/repro_simgpu.dir/divergence.cpp.o.d"
+  "CMakeFiles/repro_simgpu.dir/faults.cpp.o"
+  "CMakeFiles/repro_simgpu.dir/faults.cpp.o.d"
   "CMakeFiles/repro_simgpu.dir/launch.cpp.o"
   "CMakeFiles/repro_simgpu.dir/launch.cpp.o.d"
   "CMakeFiles/repro_simgpu.dir/occupancy.cpp.o"

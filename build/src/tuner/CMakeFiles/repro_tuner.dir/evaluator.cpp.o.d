@@ -1,6 +1,6 @@
 src/tuner/CMakeFiles/repro_tuner.dir/evaluator.cpp.o: \
  /root/repo/src/tuner/evaluator.cpp /usr/include/stdc-predef.h \
- /root/repo/src/tuner/evaluator.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/tuner/evaluator.hpp /usr/include/c++/12/cassert \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -11,7 +11,8 @@ src/tuner/CMakeFiles/repro_tuner.dir/evaluator.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs.h \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
- /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/include/c++/12/pstl/pstl_config.h /usr/include/assert.h \
+ /usr/include/c++/12/cstddef \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception.h \
@@ -144,4 +145,9 @@ src/tuner/CMakeFiles/repro_tuner.dir/evaluator.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/limits \
  /root/repo/src/tuner/search_space.hpp /usr/include/c++/12/optional \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/span
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h

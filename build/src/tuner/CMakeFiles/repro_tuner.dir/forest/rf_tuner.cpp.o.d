@@ -203,7 +203,8 @@ src/tuner/CMakeFiles/repro_tuner.dir/forest/rf_tuner.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/tuner/evaluator.hpp /usr/include/c++/12/unordered_map \
+ /root/repo/src/tuner/evaluator.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \

@@ -151,4 +151,5 @@ src/tuner/CMakeFiles/repro_tuner.dir/multifidelity/fidelity.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/tuner/evaluator.hpp
+ /root/repo/src/tuner/evaluator.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h

@@ -329,5 +329,6 @@ tests/CMakeFiles/tests_harness.dir/harness/test_results_io.cpp.o: \
  /root/repo/src/simgpu/perf_model.hpp \
  /root/repo/src/simgpu/coalescing.hpp /root/repo/src/simgpu/launch.hpp \
  /root/repo/src/simgpu/divergence.hpp /root/repo/src/simgpu/occupancy.hpp \
- /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
- /root/repo/src/tuner/search_space.hpp
+ /root/repo/src/simgpu/faults.hpp /root/repo/src/tuner/dataset.hpp \
+ /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
+ /root/repo/src/tuner/evaluator.hpp

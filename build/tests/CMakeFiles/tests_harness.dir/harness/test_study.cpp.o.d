@@ -314,13 +314,21 @@ tests/CMakeFiles/tests_harness.dir/harness/test_study.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/harness/study.hpp /root/repo/src/harness/context.hpp \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/span \
- /root/repo/src/imagecl/benchmark_suite.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
+ /usr/include/c++/12/bits/fs_ops.h /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/harness/results_io.hpp /root/repo/src/harness/study.hpp \
+ /root/repo/src/harness/context.hpp /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/span /root/repo/src/imagecl/benchmark_suite.hpp \
  /root/repo/src/simgpu/arch.hpp /root/repo/src/simgpu/noise.hpp \
  /root/repo/src/simgpu/perf_model.hpp \
  /root/repo/src/simgpu/coalescing.hpp /root/repo/src/simgpu/launch.hpp \
  /root/repo/src/simgpu/divergence.hpp /root/repo/src/simgpu/occupancy.hpp \
- /root/repo/src/tuner/dataset.hpp /root/repo/src/tuner/objective.hpp \
- /root/repo/src/tuner/search_space.hpp
+ /root/repo/src/simgpu/faults.hpp /root/repo/src/tuner/dataset.hpp \
+ /root/repo/src/tuner/objective.hpp /root/repo/src/tuner/search_space.hpp \
+ /root/repo/src/tuner/evaluator.hpp

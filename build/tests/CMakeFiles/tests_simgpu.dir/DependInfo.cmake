@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/simgpu/test_coalescing.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_coalescing.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_coalescing.cpp.o.d"
   "/root/repo/tests/simgpu/test_device_trace.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_device_trace.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_device_trace.cpp.o.d"
   "/root/repo/tests/simgpu/test_divergence.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_divergence.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_divergence.cpp.o.d"
+  "/root/repo/tests/simgpu/test_faults.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_faults.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_faults.cpp.o.d"
   "/root/repo/tests/simgpu/test_launch.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_launch.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_launch.cpp.o.d"
   "/root/repo/tests/simgpu/test_noise.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_noise.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_noise.cpp.o.d"
   "/root/repo/tests/simgpu/test_occupancy.cpp" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_occupancy.cpp.o" "gcc" "tests/CMakeFiles/tests_simgpu.dir/simgpu/test_occupancy.cpp.o.d"

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tests_simgpu.dir/simgpu/test_device_trace.cpp.o.d"
   "CMakeFiles/tests_simgpu.dir/simgpu/test_divergence.cpp.o"
   "CMakeFiles/tests_simgpu.dir/simgpu/test_divergence.cpp.o.d"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_faults.cpp.o"
+  "CMakeFiles/tests_simgpu.dir/simgpu/test_faults.cpp.o.d"
   "CMakeFiles/tests_simgpu.dir/simgpu/test_launch.cpp.o"
   "CMakeFiles/tests_simgpu.dir/simgpu/test_launch.cpp.o.d"
   "CMakeFiles/tests_simgpu.dir/simgpu/test_noise.cpp.o"

@@ -1,7 +1,9 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace repro {
@@ -20,6 +22,15 @@ constexpr const char* level_name(LogLevel level) noexcept {
   return "?";
 }
 
+/// Small sequential per-thread id (first logging thread is 0): long-campaign
+/// hang/retry diagnostics need to attribute interleaved lines to workers,
+/// and pthread ids are unreadably wide.
+int thread_log_id() noexcept {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
@@ -27,9 +38,26 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_o
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, std::string_view message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm parts{};
+  localtime_r(&seconds, &parts);
+  char stamp[24];
+  std::snprintf(stamp, sizeof stamp, "%02d:%02d:%02d.%03d", parts.tm_hour,
+                parts.tm_min, parts.tm_sec, static_cast<int>(millis));
+
   std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
-               static_cast<int>(message.size()), message.data());
+  if (log_level() <= LogLevel::kDebug) {
+    std::fprintf(stderr, "[%s] [%s] [t%d] %.*s\n", stamp, level_name(level),
+                 thread_log_id(), static_cast<int>(message.size()), message.data());
+  } else {
+    std::fprintf(stderr, "[%s] [%s] %.*s\n", stamp, level_name(level),
+                 static_cast<int>(message.size()), message.data());
+  }
 }
 
 }  // namespace repro

@@ -27,9 +27,11 @@ simgpu::KernelConfig to_kernel_config(const tuner::Configuration& config) {
 
 BenchmarkContext::BenchmarkContext(std::shared_ptr<const imagecl::Benchmark> benchmark,
                                    const simgpu::GpuArch& arch, std::size_t dataset_size,
-                                   std::uint64_t master_seed)
+                                   std::uint64_t master_seed,
+                                   const simgpu::FaultModel& faults)
     : benchmark_(std::move(benchmark)),
       arch_(arch),
+      faults_(faults),
       space_(tuner::paper_search_space()) {
   for (const simgpu::PerfModel& pass : benchmark_->passes()) {
     pass_caches_.push_back(std::make_unique<simgpu::CachedPerfModel>(pass, arch_));
@@ -66,14 +68,20 @@ BenchmarkContext::BenchmarkContext(std::shared_ptr<const imagecl::Benchmark> ben
   if (dataset_size > 0) {
     std::vector<tuner::DatasetEntry> entries(dataset_size);
     repro::parallel_for(0, dataset_size, [&](std::size_t i) {
-      repro::Rng rng(seed_combine(seed_combine(master_seed, seed_from_string(
-                                                                benchmark_->name() + "/" +
-                                                                arch_.name + "/dataset")),
-                                  i));
+      const std::uint64_t entry_seed =
+          seed_combine(seed_combine(master_seed, seed_from_string(
+                                                    benchmark_->name() + "/" +
+                                                    arch_.name + "/dataset")),
+                       i);
+      repro::Rng rng(entry_seed);
+      // Entries are collected in parallel, so each gets its own injector:
+      // reset episodes poison within an entry's stream only.
+      simgpu::FaultInjector injector(faults_, seed_combine(entry_seed, 0xFA17u));
       tuner::DatasetEntry& entry = entries[i];
       entry.config = space_.sample_executable(rng);
-      entry.value = measure_us(entry.config, rng);
-      entry.valid = !std::isnan(entry.value);
+      const tuner::Evaluation eval = measure_eval(entry.config, rng, injector);
+      entry.value = eval.value;
+      entry.valid = eval.valid;
     });
     dataset_ = tuner::Dataset(std::move(entries));
   }
@@ -98,12 +106,54 @@ double BenchmarkContext::measure_us(const tuner::Configuration& config,
   return noise_.sample(true_time, rng);
 }
 
+tuner::Evaluation BenchmarkContext::measure_eval(const tuner::Configuration& config,
+                                                 repro::Rng& rng,
+                                                 simgpu::FaultInjector& injector) const {
+  tuner::Evaluation eval;
+  switch (injector.next()) {
+    case simgpu::FaultKind::kNone:
+      break;
+    case simgpu::FaultKind::kTransient:
+      eval.status = tuner::EvalStatus::kTransient;
+      return eval;
+    case simgpu::FaultKind::kTimeout:
+      // A hang is killed at the wall budget; report what it cost, not a
+      // measurement of the kernel.
+      eval.value = injector.model().timeout_wall_us;
+      eval.status = tuner::EvalStatus::kTimeout;
+      return eval;
+    case simgpu::FaultKind::kDeviceReset:
+    case simgpu::FaultKind::kPoisoned:
+      eval.status = tuner::EvalStatus::kCrashed;
+      return eval;
+  }
+  eval.value = measure_us(config, rng);
+  eval.valid = !std::isnan(eval.value);
+  eval.status = eval.valid ? tuner::EvalStatus::kOk : tuner::EvalStatus::kInvalid;
+  return eval;
+}
+
 tuner::Objective BenchmarkContext::make_objective(repro::Rng& rng) const {
+  if (faults_.enabled) {
+    // The closure owns its injector, seeded from the experiment RNG so the
+    // fault stream is deterministic in the experiment seed.
+    auto injector = std::make_shared<simgpu::FaultInjector>(faults_, rng());
+    return [this, &rng, injector](const tuner::Configuration& config) {
+      return measure_eval(config, rng, *injector);
+    };
+  }
   return [this, &rng](const tuner::Configuration& config) {
     tuner::Evaluation eval;
     eval.value = measure_us(config, rng);
     eval.valid = !std::isnan(eval.value);
     return eval;
+  };
+}
+
+tuner::Objective BenchmarkContext::make_objective(repro::Rng& rng,
+                                                  simgpu::FaultInjector& injector) const {
+  return [this, &rng, &injector](const tuner::Configuration& config) {
+    return measure_eval(config, rng, injector);
   };
 }
 
@@ -116,6 +166,28 @@ double BenchmarkContext::measure_repeated_us(const tuner::Configuration& config,
     sum += value;
   }
   return sum / static_cast<double>(repeats);
+}
+
+double BenchmarkContext::measure_repeated_us(const tuner::Configuration& config,
+                                             repro::Rng& rng, std::size_t repeats,
+                                             simgpu::FaultInjector& injector,
+                                             tuner::FailureCounters* counters) const {
+  double sum = 0.0;
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const tuner::Evaluation eval = measure_eval(config, rng, injector);
+    if (counters != nullptr) counters->count(eval.status);
+    if (eval.status == tuner::EvalStatus::kInvalid) {
+      // Deterministically invalid configuration: identical to the plain
+      // overload, the whole final test fails.
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (eval.status != tuner::EvalStatus::kOk) continue;  // faulted repeat: drop
+    sum += eval.value;
+    ++completed;
+  }
+  if (completed == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(completed);
 }
 
 const std::string& BenchmarkContext::benchmark_name() const noexcept {

@@ -57,6 +57,10 @@ bool parse_study_cli(int argc, const char* const* argv, const std::string& progr
   cli.add_option("out", "directory for CSV artifacts", "");
   cli.add_option("save-raw", "write raw per-experiment outcomes to this CSV", "");
   cli.add_option("from-raw", "skip the study; aggregate a saved raw CSV", "");
+  cli.add_option("resume",
+                 "checkpoint file: append per-cell records while running and "
+                 "resume from it if it exists",
+                 "");
   cli.add_flag("verbose", "debug logging");
   if (!cli.parse(argc, argv)) return false;
 
@@ -71,6 +75,7 @@ bool parse_study_cli(int argc, const char* const* argv, const std::string& progr
   }
   config.master_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.min_experiments = static_cast<std::size_t>(cli.get_int("min-experiments"));
+  config.checkpoint_path = cli.get("resume");
   out_dir = cli.get("out");
   g_save_raw = cli.get("save-raw");
   g_from_raw = cli.get("from-raw");
@@ -88,12 +93,22 @@ int run_figure_main(int argc, const char* const* argv, Figure figure) {
     return 0;
   }
 
-  const StudyResults results =
-      g_from_raw.empty() ? run_study(config) : load_results_csv(g_from_raw);
+  StudyResults results;
+  try {
+    results = g_from_raw.empty() ? run_study(config) : load_results_csv(g_from_raw);
+  } catch (const std::exception& error) {
+    // Checkpoint/raw-file mismatches are user-facing errors, not crashes.
+    log_error("{}", error.what());
+    return 1;
+  }
   if (!g_save_raw.empty()) {
-    if (save_results_csv(results, g_save_raw)) {
-      std::printf("wrote raw outcomes to %s\n", g_save_raw.c_str());
+    // A failed save must fail the run: a full-day campaign silently dropping
+    // its raw outcomes is unrecoverable.
+    if (!save_results_csv(results, g_save_raw)) {
+      log_error("failed to write raw outcomes to {}", g_save_raw);
+      return 1;
     }
+    std::printf("wrote raw outcomes to %s\n", g_save_raw.c_str());
   }
   FigureOutput output = [&] {
     switch (figure) {
@@ -106,13 +121,26 @@ int run_figure_main(int argc, const char* const* argv, Figure figure) {
   }();
 
   std::fputs(output.text.c_str(), stdout);
+  // Only a campaign the fault layer touched gets the extra section, so
+  // fault-free runs stay byte-identical to the pre-fault output.
+  bool any_failures = false;
+  for (const PanelResults& panel : results.panels) {
+    for (const auto& row : panel.cells) {
+      for (const CellOutcomes& cell : row) {
+        any_failures |= cell.failures.any() || cell.failed_experiments > 0;
+      }
+    }
+  }
+  if (any_failures) std::fputs(make_failure_report(results).text.c_str(), stdout);
   if (!out_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
     const std::string path = out_dir + "/" + name + ".csv";
-    if (output.table.write_csv_file(path)) {
-      std::printf("wrote %s\n", path.c_str());
+    if (!output.table.write_csv_file(path)) {
+      log_error("failed to write {}", path);
+      return 1;
     }
+    std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }

@@ -138,4 +138,53 @@ FigureOutput make_fig4b(const StudyResults& results) {
   return out;
 }
 
+FigureOutput make_failure_report(const StudyResults& results) {
+  FigureOutput out{std::string{},
+                   repro::Table({"benchmark", "architecture", "algorithm",
+                                 "sample_size", "failed_experiments", "transient",
+                                 "timeout", "crashed", "retries", "retry_successes",
+                                 "backoff_us"})};
+  out.text += "=== failure report — per-cell fault tallies ===\n";
+  const std::vector<std::string> algos = algorithm_labels(results);
+  tuner::FailureCounters total;
+  std::size_t total_failed = 0;
+  repro::Table detail(out.table.columns());
+  detail.set_precision(1);
+  for (const PanelResults& panel : results.panels) {
+    for (std::size_t a = 0; a < panel.cells.size(); ++a) {
+      for (std::size_t s = 0; s < panel.cells[a].size(); ++s) {
+        const CellOutcomes& cell = panel.cells[a][s];
+        total += cell.failures;
+        total_failed += cell.failed_experiments;
+        if (!cell.failures.any() && cell.failed_experiments == 0) continue;
+        const std::vector<Cell> row = {
+            panel.benchmark,
+            panel.architecture,
+            algos[a],
+            static_cast<long long>(results.config.sample_sizes[s]),
+            static_cast<long long>(cell.failed_experiments),
+            static_cast<long long>(cell.failures.transient),
+            static_cast<long long>(cell.failures.timeout),
+            static_cast<long long>(cell.failures.crashed),
+            static_cast<long long>(cell.failures.retries),
+            static_cast<long long>(cell.failures.retry_successes),
+            cell.failures.backoff_us};
+        out.table.add_row(row);
+        detail.add_row(row);
+      }
+    }
+  }
+  if (out.table.num_rows() == 0) {
+    out.text += "(no failures recorded)\n";
+  } else {
+    out.text += detail.to_ascii();
+  }
+  out.text += fmt(
+      "total: {} failed experiments, {} transient / {} timeout / {} crashed "
+      "measurements, {} retries ({} recovered), {:.1f} us simulated backoff\n",
+      total_failed, total.transient, total.timeout, total.crashed, total.retries,
+      total.retry_successes, total.backoff_us);
+  return out;
+}
+
 }  // namespace repro::harness

@@ -32,4 +32,10 @@ struct FigureOutput {
 /// std::runtime_error when RS was excluded (Fig. 4 requires it).
 [[nodiscard]] std::size_t rs_index_of(const StudyResults& results);
 
+/// Fault-tolerance report: per-cell failure tallies (failed experiments,
+/// transient/timeout/crashed measurements, retries, simulated backoff) for
+/// every cell in which the fault layer intervened or experiments were lost,
+/// plus a campaign-wide total line. Reports "no failures" when clean.
+[[nodiscard]] FigureOutput make_failure_report(const StudyResults& results);
+
 }  // namespace repro::harness

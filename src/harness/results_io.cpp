@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
+
+#include "common/log.hpp"
 
 namespace repro::harness {
 namespace {
@@ -24,6 +28,64 @@ std::size_t index_of_or_append(std::vector<std::size_t>& values, std::size_t val
   return values.size() - 1;
 }
 
+/// Nonzero counters of a cell as (name, value) pairs, in stable order.
+/// Empty unless the fault layer intervened, so fault-free results keep the
+/// legacy byte-exact format.
+std::vector<std::pair<std::string, double>> failure_fields(const CellOutcomes& cell) {
+  std::vector<std::pair<std::string, double>> fields;
+  if (!cell.failures.any()) return fields;
+  const tuner::FailureCounters& c = cell.failures;
+  const auto add = [&](const char* name, double value) {
+    if (value != 0.0) fields.emplace_back(name, value);
+  };
+  add("experiments", static_cast<double>(cell.failed_experiments));
+  add("ok", static_cast<double>(c.ok));
+  add("invalid", static_cast<double>(c.invalid));
+  add("transient", static_cast<double>(c.transient));
+  add("timeout", static_cast<double>(c.timeout));
+  add("crashed", static_cast<double>(c.crashed));
+  add("retries", static_cast<double>(c.retries));
+  add("retry_successes", static_cast<double>(c.retry_successes));
+  add("backoff_us", c.backoff_us);
+  return fields;
+}
+
+void apply_failure_field(CellOutcomes& cell, const std::string& name, double value) {
+  tuner::FailureCounters& c = cell.failures;
+  const auto n = [&](double v) { return static_cast<std::size_t>(v); };
+  if (name == "experiments") cell.failed_experiments = n(value);
+  else if (name == "ok") c.ok = n(value);
+  else if (name == "invalid") c.invalid = n(value);
+  else if (name == "transient") c.transient = n(value);
+  else if (name == "timeout") c.timeout = n(value);
+  else if (name == "crashed") c.crashed = n(value);
+  else if (name == "retries") c.retries = n(value);
+  else if (name == "retry_successes") c.retry_successes = n(value);
+  else if (name == "backoff_us") c.backoff_us = value;
+  else throw std::runtime_error("unknown failure counter: " + name);
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char ch : line) {
+    if (ch == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+double parse_outcome(const std::string& text) {
+  return text == "nan" ? std::numeric_limits<double>::quiet_NaN() : std::stod(text);
+}
+
+constexpr const char* kCheckpointHeaderPrefix = "checkpoint,v1,";
+
 }  // namespace
 
 bool save_results_csv(const StudyResults& results, const std::string& path) {
@@ -38,10 +100,18 @@ bool save_results_csv(const StudyResults& results, const std::string& path) {
       const std::string& algorithm = results.config.algorithms[a];
       for (std::size_t s = 0; s < panel.cells[a].size(); ++s) {
         const std::size_t size = results.config.sample_sizes[s];
-        const auto& outcomes = panel.cells[a][s].final_times_us;
-        for (std::size_t e = 0; e < outcomes.size(); ++e) {
+        const CellOutcomes& cell = panel.cells[a][s];
+        for (std::size_t e = 0; e < cell.final_times_us.size(); ++e) {
           out << "outcome," << panel.benchmark << ',' << panel.architecture << ','
-              << algorithm << ',' << size << ',' << e << ',' << outcomes[e] << '\n';
+              << algorithm << ',' << size << ',' << e << ','
+              << cell.final_times_us[e] << '\n';
+        }
+        // Failure tallies ride in the same 7-column format with the counter
+        // name in the experiment column; idle cells emit nothing, keeping
+        // legacy files byte-identical.
+        for (const auto& [name, value] : failure_fields(cell)) {
+          out << "failures," << panel.benchmark << ',' << panel.architecture << ','
+              << algorithm << ',' << size << ',' << name << ',' << value << '\n';
         }
       }
     }
@@ -99,7 +169,7 @@ StudyResults load_results_csv(const std::string& path) {
       panel.optimum_us = std::stod(value_text);
       continue;
     }
-    if (kind != "outcome") {
+    if (kind != "outcome" && kind != "failures") {
       throw std::runtime_error("load_results_csv: unknown kind at line " +
                                std::to_string(line_number));
     }
@@ -114,9 +184,16 @@ StudyResults load_results_csv(const std::string& path) {
         row.resize(results.config.sample_sizes.size());
       }
     }
-    panel.cells[a][s].final_times_us.push_back(
-        value_text == "nan" ? std::numeric_limits<double>::quiet_NaN()
-                            : std::stod(value_text));
+    if (kind == "failures") {
+      try {
+        apply_failure_field(panel.cells[a][s], exp_text, std::stod(value_text));
+      } catch (const std::exception& error) {
+        throw std::runtime_error("load_results_csv: bad failures row at line " +
+                                 std::to_string(line_number) + ": " + error.what());
+      }
+      continue;
+    }
+    panel.cells[a][s].final_times_us.push_back(parse_outcome(value_text));
   }
 
   // Cells may have been created lazily per panel; normalize shapes.
@@ -125,6 +202,132 @@ StudyResults load_results_csv(const std::string& path) {
     for (auto& row : panel.cells) row.resize(results.config.sample_sizes.size());
   }
   return results;
+}
+
+// ---------------------------------------------------------------------------
+// Per-cell study checkpoints
+// ---------------------------------------------------------------------------
+
+std::string StudyCheckpoint::panel_key(const std::string& benchmark,
+                                       const std::string& architecture) {
+  return benchmark + "/" + architecture;
+}
+
+std::string StudyCheckpoint::cell_key(const std::string& benchmark,
+                                      const std::string& architecture,
+                                      const std::string& algorithm,
+                                      std::size_t sample_size) {
+  return benchmark + "/" + architecture + "/" + algorithm + "/" +
+         std::to_string(sample_size);
+}
+
+bool checkpoint_begin(const std::string& path, std::uint64_t master_seed) {
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) return true;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << kCheckpointHeaderPrefix << master_seed << '\n';
+  return static_cast<bool>(out);
+}
+
+bool checkpoint_append_panel(const std::string& path, const std::string& benchmark,
+                             const std::string& architecture, double optimum_us) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out.precision(17);
+  out << "panel," << benchmark << ',' << architecture << ',' << optimum_us << '\n';
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool checkpoint_append_cell(const std::string& path, const std::string& benchmark,
+                            const std::string& architecture,
+                            const std::string& algorithm, std::size_t sample_size,
+                            const CellOutcomes& cell) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out.precision(17);
+  const tuner::FailureCounters& c = cell.failures;
+  out << "cell," << benchmark << ',' << architecture << ',' << algorithm << ','
+      << sample_size << ',' << cell.failed_experiments << ',' << c.ok << ','
+      << c.invalid << ',' << c.transient << ',' << c.timeout << ',' << c.crashed
+      << ',' << c.retries << ',' << c.retry_successes << ',' << c.backoff_us << ','
+      << cell.final_times_us.size();
+  for (double value : cell.final_times_us) out << ',' << value;
+  out << '\n';
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+/// Parse one checkpoint record; throws on malformed content.
+void apply_checkpoint_line(StudyCheckpoint& checkpoint, const std::string& line) {
+  const std::vector<std::string> f = split_fields(line);
+  if (f.empty()) throw std::runtime_error("empty record");
+  if (f[0] == "panel") {
+    if (f.size() != 4) throw std::runtime_error("panel record needs 4 fields");
+    checkpoint.panel_optima[StudyCheckpoint::panel_key(f[1], f[2])] = std::stod(f[3]);
+    return;
+  }
+  if (f[0] != "cell") throw std::runtime_error("unknown record kind: " + f[0]);
+  if (f.size() < 15) throw std::runtime_error("cell record needs >= 15 fields");
+  CellOutcomes cell;
+  cell.failed_experiments = std::stoull(f[5]);
+  cell.failures.ok = std::stoull(f[6]);
+  cell.failures.invalid = std::stoull(f[7]);
+  cell.failures.transient = std::stoull(f[8]);
+  cell.failures.timeout = std::stoull(f[9]);
+  cell.failures.crashed = std::stoull(f[10]);
+  cell.failures.retries = std::stoull(f[11]);
+  cell.failures.retry_successes = std::stoull(f[12]);
+  cell.failures.backoff_us = std::stod(f[13]);
+  const std::size_t count = std::stoull(f[14]);
+  if (f.size() != 15 + count) {
+    throw std::runtime_error("cell record truncated: expected " +
+                             std::to_string(count) + " outcomes");
+  }
+  cell.final_times_us.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cell.final_times_us.push_back(parse_outcome(f[15 + i]));
+  }
+  checkpoint.cells[StudyCheckpoint::cell_key(f[1], f[2], f[3], std::stoull(f[4]))] =
+      std::move(cell);
+}
+
+}  // namespace
+
+StudyCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind(kCheckpointHeaderPrefix, 0) != 0) {
+    throw std::runtime_error("load_checkpoint: bad header in " + path);
+  }
+  StudyCheckpoint checkpoint;
+  checkpoint.master_seed = std::stoull(line.substr(std::string(kCheckpointHeaderPrefix).size()));
+
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(std::move(line));
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    try {
+      apply_checkpoint_line(checkpoint, lines[i]);
+    } catch (const std::exception& error) {
+      if (i + 1 == lines.size()) {
+        // The only corruption an append-only file can suffer from a crash is
+        // a torn final line; drop it and keep everything before.
+        log_warn("checkpoint {}: ignoring torn trailing record ({})", path,
+                 error.what());
+        break;
+      }
+      throw std::runtime_error("load_checkpoint: malformed record at line " +
+                               std::to_string(i + 2) + " of " + path + ": " +
+                               error.what());
+    }
+  }
+  return checkpoint;
 }
 
 }  // namespace repro::harness

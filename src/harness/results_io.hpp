@@ -3,8 +3,21 @@
 // whole experimental campaign), while every figure is a cheap aggregation.
 // Saving the raw per-experiment outcomes lets all four figures — and any
 // future analysis — be regenerated without re-running a single search.
-// Long-format CSV: one row per experiment plus one optimum row per panel.
+// Long-format CSV: one row per experiment plus one optimum row per panel;
+// cells with failure tallies additionally emit one `failures` row per
+// nonzero counter (none when the fault layer is idle, keeping legacy files
+// byte-identical).
+//
+// Checkpoints: a campaign can die at any point (OOM kill, node preemption,
+// ctrl-C). run_study appends one line per completed cell to an append-only
+// checkpoint file; on restart the completed cells are reloaded and skipped,
+// and the final results are identical to an uninterrupted run under the
+// same master_seed (cells are seeded independently). A torn final line —
+// the only possible corruption of an append-only file killed mid-write —
+// is detected and ignored on load.
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "harness/study.hpp"
@@ -18,5 +31,49 @@ bool save_results_csv(const StudyResults& results, const std::string& path);
 /// malformed input. The reloaded StudyResults carries the config encoded in
 /// the file (benchmarks/architectures/algorithms/sizes in file order).
 [[nodiscard]] StudyResults load_results_csv(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Per-cell study checkpoints
+// ---------------------------------------------------------------------------
+
+/// Completed work reloaded from a checkpoint file.
+struct StudyCheckpoint {
+  std::uint64_t master_seed = 0;
+  /// "benchmark/architecture" -> noiseless optimum (us).
+  std::map<std::string, double> panel_optima;
+  /// cell_key(...) -> the cell's full outcome record.
+  std::map<std::string, CellOutcomes> cells;
+
+  [[nodiscard]] static std::string panel_key(const std::string& benchmark,
+                                             const std::string& architecture);
+  [[nodiscard]] static std::string cell_key(const std::string& benchmark,
+                                            const std::string& architecture,
+                                            const std::string& algorithm,
+                                            std::size_t sample_size);
+  [[nodiscard]] bool empty() const noexcept {
+    return panel_optima.empty() && cells.empty();
+  }
+};
+
+/// Create the checkpoint file with its header line unless it already
+/// exists. Returns false on IO failure.
+bool checkpoint_begin(const std::string& path, std::uint64_t master_seed);
+
+/// Append one panel-optimum record. Returns false on IO failure.
+bool checkpoint_append_panel(const std::string& path, const std::string& benchmark,
+                             const std::string& architecture, double optimum_us);
+
+/// Append one completed cell (outcomes in experiment order plus failure
+/// tallies). Returns false on IO failure.
+bool checkpoint_append_cell(const std::string& path, const std::string& benchmark,
+                            const std::string& architecture,
+                            const std::string& algorithm, std::size_t sample_size,
+                            const CellOutcomes& cell);
+
+/// Reload a checkpoint. Throws std::runtime_error when the file cannot be
+/// opened or its header is malformed. A malformed *trailing* record (the
+/// write the crash interrupted) is logged and ignored; everything before it
+/// is returned.
+[[nodiscard]] StudyCheckpoint load_checkpoint(const std::string& path);
 
 }  // namespace repro::harness

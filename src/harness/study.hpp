@@ -11,6 +11,7 @@
 // scale.
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +30,13 @@ struct StudyConfig {
   std::size_t min_experiments = 4;
   std::size_t final_evaluations = 10;
   std::uint64_t master_seed = 0x5EEDBA5Eu;
+  simgpu::FaultModel faults;               ///< measurement faults; off by default
+  tuner::RetryPolicy retry;                ///< transient-failure retries; off by default
+  /// Non-empty: append a per-cell checkpoint to this file as cells complete
+  /// and, when the file already exists, resume from it (completed cells are
+  /// not re-run; results are identical to an uninterrupted run under the
+  /// same master_seed).
+  std::string checkpoint_path;
 
   [[nodiscard]] std::size_t experiments_for(std::size_t sample_size) const;
   /// Dataset entries needed so every (size, experiment) subdivision fits.
@@ -40,6 +48,11 @@ struct CellOutcomes {
   /// Final 10-fold-mean runtime per experiment (microseconds); NaN entries
   /// (no valid configuration found) are dropped before aggregation.
   std::vector<double> final_times_us;
+  /// Experiments that produced a NaN outcome (retries exhausted, no valid
+  /// configuration, or an exception caught by the study driver).
+  std::size_t failed_experiments = 0;
+  /// Evaluation-level tallies summed over the cell's experiments.
+  tuner::FailureCounters failures;
 };
 
 struct PanelResults {
@@ -60,8 +73,34 @@ struct StudyResults {
 
 /// Run the study. Progress is logged to stderr; all experiment work is
 /// parallelized on the global thread pool and fully deterministic in
-/// `config.master_seed`.
+/// `config.master_seed`. Experiments never abort the campaign: anomalies
+/// are recorded as NaN outcomes with per-cell failure tallies, and worker
+/// exceptions are caught at the cell boundary.
 [[nodiscard]] StudyResults run_study(const StudyConfig& config);
+
+/// Per-experiment knobs shared by run_study and the ablation benches.
+struct ExperimentOptions {
+  std::size_t final_evaluations = 10;
+  tuner::RetryPolicy retry;  ///< transient-failure retries (default: none)
+};
+
+/// Full record of one experiment.
+struct ExperimentOutcome {
+  double final_time_us = std::numeric_limits<double>::quiet_NaN();
+  tuner::FailureCounters counters;  ///< evaluation-level tallies
+  bool aborted = false;             ///< the experiment threw (message logged)
+};
+
+/// Run one experiment with fault/retry handling: the context's fault model
+/// drives one injector across search and the final re-measurement, and the
+/// returned counters tally every anomaly. Does not throw on evaluation
+/// anomalies; `aborted` reports unexpected exceptions instead.
+[[nodiscard]] ExperimentOutcome run_experiment_detailed(const BenchmarkContext& context,
+                                                        const std::string& algorithm_id,
+                                                        std::size_t sample_size,
+                                                        std::size_t experiment_index,
+                                                        std::uint64_t seed,
+                                                        const ExperimentOptions& options);
 
 /// Run one experiment (used by run_study and unit tests): returns the final
 /// configuration's 10-fold mean runtime, NaN if the algorithm found no

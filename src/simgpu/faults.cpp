@@ -1,0 +1,45 @@
+#include "simgpu/faults.hpp"
+
+namespace repro::simgpu {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kDeviceReset: return "device_reset";
+    case FaultKind::kPoisoned: return "poisoned";
+  }
+  return "?";
+}
+
+FaultModel FaultModel::with_rate(double rate) noexcept {
+  FaultModel model;
+  if (rate <= 0.0) return model;
+  model.enabled = true;
+  model.transient_probability = 0.7 * rate;
+  model.timeout_probability = 0.2 * rate;
+  model.reset_probability = 0.1 * rate;
+  return model;
+}
+
+FaultKind FaultInjector::next() {
+  if (!model_.enabled) return FaultKind::kNone;
+  if (poisoned_remaining_ > 0) {
+    --poisoned_remaining_;
+    return FaultKind::kPoisoned;
+  }
+  const double u = rng_.uniform();
+  if (u < model_.transient_probability) return FaultKind::kTransient;
+  if (u < model_.transient_probability + model_.timeout_probability) {
+    return FaultKind::kTimeout;
+  }
+  if (u < model_.transient_probability + model_.timeout_probability +
+              model_.reset_probability) {
+    poisoned_remaining_ = model_.reset_poison_count;
+    return FaultKind::kDeviceReset;
+  }
+  return FaultKind::kNone;
+}
+
+}  // namespace repro::simgpu

@@ -1,0 +1,76 @@
+#pragma once
+// Deterministic measurement-fault injection.
+//
+// The paper's SMBO methods search the unconstrained space and can propose
+// *failing* configurations; real tuning sessions additionally contend with
+// transient launch failures, hung kernels, and device resets (the reason
+// Kernel Tuner persists a cache file across interrupted runs). This model
+// turns a single measurement into one of those anomalies so the evaluation
+// pipeline's retry / degradation / checkpoint machinery can be exercised
+// deterministically. Disabled by default: a disabled injector never draws
+// from its RNG, so every existing result stream is bit-identical.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace repro::simgpu {
+
+/// Fate of one measurement attempt.
+enum class FaultKind {
+  kNone,         ///< measurement proceeds normally
+  kTransient,    ///< spurious launch/readback failure; retryable
+  kTimeout,      ///< hung kernel killed at the wall budget
+  kDeviceReset,  ///< device reset; starts a sticky poisoned episode
+  kPoisoned,     ///< measurement lost to an ongoing reset episode
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// Immutable fault regime. Probabilities are per fresh measurement and are
+/// mutually exclusive (sampled from one uniform draw); their sum must be
+/// <= 1. A device reset poisons the next `reset_poison_count` measurements
+/// of the same stream (they report kPoisoned).
+struct FaultModel {
+  bool enabled = false;
+  double transient_probability = 0.0;
+  double timeout_probability = 0.0;
+  double reset_probability = 0.0;
+  std::size_t reset_poison_count = 3;
+  /// Wall budget (us) reported as the elapsed cost of a hung measurement.
+  double timeout_wall_us = 1.0e6;
+
+  /// Convenience regime: total failure rate split 70% transient,
+  /// 20% timeout, 10% device reset. rate <= 0 disables the model.
+  [[nodiscard]] static FaultModel with_rate(double rate) noexcept;
+};
+
+/// Stateful per-measurement-stream sampler: owns the episode state (device
+/// resets are sticky) and a dedicated seeded RNG so fault decisions never
+/// perturb the noise stream. One injector per sequential measurement stream
+/// (one experiment, one dataset entry); not thread-safe.
+class FaultInjector {
+ public:
+  /// Disabled injector: next() always returns kNone and never draws.
+  FaultInjector() = default;
+
+  FaultInjector(const FaultModel& model, std::uint64_t seed)
+      : model_(model), rng_(seed) {}
+
+  /// Decide the fate of the next measurement attempt.
+  [[nodiscard]] FaultKind next();
+
+  [[nodiscard]] const FaultModel& model() const noexcept { return model_; }
+  [[nodiscard]] bool enabled() const noexcept { return model_.enabled; }
+  [[nodiscard]] std::size_t poisoned_remaining() const noexcept {
+    return poisoned_remaining_;
+  }
+
+ private:
+  FaultModel model_{};
+  repro::Rng rng_{0};
+  std::size_t poisoned_remaining_ = 0;
+};
+
+}  // namespace repro::simgpu

@@ -11,9 +11,30 @@
 
 namespace repro::tuner {
 
+/// Typed outcome of one measurement attempt. `kOk` and `kInvalid` are
+/// deterministic properties of the configuration; the remaining states are
+/// evaluation-time anomalies injected by the fault model (transient launch
+/// failure, hung kernel killed at the wall budget, device-reset episode).
+enum class EvalStatus { kOk, kInvalid, kTransient, kTimeout, kCrashed };
+
+[[nodiscard]] constexpr const char* to_string(EvalStatus status) noexcept {
+  switch (status) {
+    case EvalStatus::kOk: return "ok";
+    case EvalStatus::kInvalid: return "invalid";
+    case EvalStatus::kTransient: return "transient";
+    case EvalStatus::kTimeout: return "timeout";
+    case EvalStatus::kCrashed: return "crashed";
+  }
+  return "?";
+}
+
 struct Evaluation {
   double value = std::numeric_limits<double>::quiet_NaN();
   bool valid = false;
+  /// Anomaly classification. The Evaluator normalizes it against `valid`:
+  /// valid measurements are always kOk, invalid ones default to kInvalid,
+  /// so objectives that never set it keep today's semantics.
+  EvalStatus status = EvalStatus::kInvalid;
 };
 
 /// One (noisy) measurement. Implementations capture their own RNG stream.

@@ -40,5 +40,34 @@ TEST(Log, MessagePathHandlesEmbeddedBraces) {
   EXPECT_NO_THROW(log_error("literal {{}} and {}", 7));
 }
 
+TEST(Log, LinesCarryTimestampAndLevelOnStderr) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_info("hello");
+  const std::string line = testing::internal::GetCapturedStderr();
+  // "[HH:MM:SS.mmm] [INFO] hello\n"
+  ASSERT_GE(line.size(), 15u);
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line[3], ':');
+  EXPECT_EQ(line[6], ':');
+  EXPECT_EQ(line[9], '.');
+  EXPECT_EQ(line[13], ']');
+  EXPECT_NE(line.find("[INFO] hello"), std::string::npos);
+  // Thread ids are debug-only noise.
+  EXPECT_EQ(line.find("[t"), std::string::npos);
+}
+
+TEST(Log, ThreadIdAppearsOnlyAtDebugLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  log_debug("probe");
+  const std::string line = testing::internal::GetCapturedStderr();
+  EXPECT_NE(line.find("[DEBUG]"), std::string::npos);
+  EXPECT_NE(line.find("[t"), std::string::npos);
+  EXPECT_NE(line.find("probe"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace repro

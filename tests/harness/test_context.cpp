@@ -104,5 +104,87 @@ TEST(Context, ArchitecturesProduceDifferentOptima) {
   EXPECT_NE(volta.optimum_us(), maxwell.optimum_us());
 }
 
+TEST(Context, DisabledInjectorReproducesMeasureUsExactly) {
+  const BenchmarkContext context(small_add(), simgpu::titan_v(), 0, 42);
+  const tuner::Configuration config = context.dataset().size() > 0
+                                          ? context.dataset().entry(0).config
+                                          : tuner::Configuration{3, 3, 0, 0, 0, 0};
+  simgpu::FaultInjector injector;  // disabled
+  repro::Rng rng_a(5), rng_b(5);
+  for (int i = 0; i < 20; ++i) {
+    const double plain = context.measure_us(config, rng_a);
+    const tuner::Evaluation eval = context.measure_eval(config, rng_b, injector);
+    if (std::isnan(plain)) {
+      EXPECT_FALSE(eval.valid);
+      EXPECT_EQ(eval.status, tuner::EvalStatus::kInvalid);
+    } else {
+      EXPECT_DOUBLE_EQ(plain, eval.value);
+      EXPECT_EQ(eval.status, tuner::EvalStatus::kOk);
+    }
+  }
+  // Identical downstream RNG state: the disabled path made the same draws.
+  EXPECT_EQ(rng_a(), rng_b());
+}
+
+TEST(Context, MeasureEvalClassifiesInjectedFaults) {
+  const BenchmarkContext context(small_add(), simgpu::titan_v(), 0, 42);
+  const tuner::Configuration config{3, 3, 0, 0, 0, 0};
+  repro::Rng rng(6);
+
+  simgpu::FaultModel transient_only;
+  transient_only.enabled = true;
+  transient_only.transient_probability = 1.0;
+  simgpu::FaultInjector transient(transient_only, 1);
+  EXPECT_EQ(context.measure_eval(config, rng, transient).status,
+            tuner::EvalStatus::kTransient);
+
+  simgpu::FaultModel timeout_only;
+  timeout_only.enabled = true;
+  timeout_only.timeout_probability = 1.0;
+  timeout_only.timeout_wall_us = 5.0e5;
+  simgpu::FaultInjector timeout(timeout_only, 1);
+  const tuner::Evaluation hung = context.measure_eval(config, rng, timeout);
+  EXPECT_EQ(hung.status, tuner::EvalStatus::kTimeout);
+  // A hung kernel costs the full wall budget, reported as its elapsed time.
+  EXPECT_DOUBLE_EQ(hung.value, 5.0e5);
+  EXPECT_FALSE(hung.valid);
+
+  simgpu::FaultModel reset_only;
+  reset_only.enabled = true;
+  reset_only.reset_probability = 1.0;
+  reset_only.reset_poison_count = 2;
+  simgpu::FaultInjector reset(reset_only, 1);
+  EXPECT_EQ(context.measure_eval(config, rng, reset).status,
+            tuner::EvalStatus::kCrashed);  // the reset itself
+  EXPECT_EQ(context.measure_eval(config, rng, reset).status,
+            tuner::EvalStatus::kCrashed);  // poisoned follow-up
+}
+
+TEST(Context, FaultAwareRepeatedMeasureDropsFaultedRepeats) {
+  const BenchmarkContext context(small_add(), simgpu::titan_v(), 50, 42);
+  const tuner::Configuration config = context.dataset().entry(0).config;
+  repro::Rng rng_a(9), rng_b(9);
+
+  // Disabled injector: exact match with the plain overload.
+  simgpu::FaultInjector disabled;
+  tuner::FailureCounters counters;
+  const double plain = context.measure_repeated_us(config, rng_a, 10);
+  const double faultless =
+      context.measure_repeated_us(config, rng_b, 10, disabled, &counters);
+  EXPECT_DOUBLE_EQ(plain, faultless);
+  EXPECT_EQ(counters.faults(), 0u);
+
+  // Certain faults: every repeat is lost, the mean is NaN, all tallied.
+  simgpu::FaultModel always;
+  always.enabled = true;
+  always.transient_probability = 1.0;
+  simgpu::FaultInjector lossy(always, 3);
+  tuner::FailureCounters lost;
+  repro::Rng rng_c(9);
+  EXPECT_TRUE(std::isnan(
+      context.measure_repeated_us(config, rng_c, 10, lossy, &lost)));
+  EXPECT_EQ(lost.transient, 10u);
+}
+
 }  // namespace
 }  // namespace repro::harness

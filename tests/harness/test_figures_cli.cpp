@@ -46,6 +46,18 @@ TEST(FiguresCli, FiltersAndSeedParse) {
   EXPECT_EQ(out_dir, "/tmp/somewhere");
 }
 
+TEST(FiguresCli, ResumeFlagSetsCheckpointPath) {
+  StudyConfig config;
+  std::string out_dir;
+  const char* argv[] = {"fig2", "--resume", "/tmp/study.ckpt"};
+  ASSERT_TRUE(parse_study_cli(3, argv, "fig2", "test", config, out_dir));
+  EXPECT_EQ(config.checkpoint_path, "/tmp/study.ckpt");
+  // Default: no checkpointing.
+  const char* bare[] = {"fig2"};
+  ASSERT_TRUE(parse_study_cli(1, bare, "fig2", "test", config, out_dir));
+  EXPECT_TRUE(config.checkpoint_path.empty());
+}
+
 TEST(FiguresCli, HelpReturnsFalse) {
   StudyConfig config;
   std::string out_dir;

@@ -64,5 +64,29 @@ TEST(Report, Fig4bClesWithSignificanceReport) {
   EXPECT_NE(output.text.find("Mann-Whitney"), std::string::npos);
 }
 
+TEST(Report, FailureReportIsEmptyForCleanStudy) {
+  const FigureOutput output = make_failure_report(synthetic_results());
+  EXPECT_NE(output.text.find("no failures recorded"), std::string::npos);
+  EXPECT_EQ(output.table.num_rows(), 0u);
+}
+
+TEST(Report, FailureReportListsOnlyFaultedCells) {
+  StudyResults results = synthetic_results();
+  CellOutcomes& faulted = results.panels[0].cells[1][0];
+  faulted.failed_experiments = 2;
+  faulted.failures.transient = 5;
+  faulted.failures.timeout = 1;
+  faulted.failures.retries = 4;
+  faulted.failures.retry_successes = 3;
+  faulted.failures.backoff_us = 450.0;
+
+  const FigureOutput output = make_failure_report(results);
+  EXPECT_EQ(output.table.num_rows(), 1u);  // only the faulted cell
+  EXPECT_NE(output.text.find("GA"), std::string::npos);
+  EXPECT_NE(output.text.find("total: 2 failed experiments"), std::string::npos);
+  EXPECT_NE(output.text.find("5 transient"), std::string::npos);
+  EXPECT_NE(output.text.find("4 retries (3 recovered)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace repro::harness

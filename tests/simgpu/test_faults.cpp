@@ -1,0 +1,111 @@
+// Fault injection: disabled injectors are inert, rates are respected,
+// device resets poison a sticky episode, and streams are deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "simgpu/faults.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+TEST(FaultModel, WithRateSplitsAndDisablesAtZero) {
+  const FaultModel off = FaultModel::with_rate(0.0);
+  EXPECT_FALSE(off.enabled);
+
+  const FaultModel model = FaultModel::with_rate(0.10);
+  EXPECT_TRUE(model.enabled);
+  EXPECT_DOUBLE_EQ(model.transient_probability, 0.07);
+  EXPECT_DOUBLE_EQ(model.timeout_probability, 0.02);
+  EXPECT_DOUBLE_EQ(model.reset_probability, 0.01);
+  EXPECT_NEAR(model.transient_probability + model.timeout_probability +
+                  model.reset_probability,
+              0.10, 1e-12);
+}
+
+TEST(FaultInjector, DefaultConstructedIsDisabledAndInert) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(injector.next(), FaultKind::kNone);
+  EXPECT_EQ(injector.poisoned_remaining(), 0u);
+}
+
+TEST(FaultInjector, DisabledModelNeverFaultsRegardlessOfProbabilities) {
+  FaultModel model;  // enabled stays false
+  model.transient_probability = 1.0;
+  FaultInjector injector(model, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(injector.next(), FaultKind::kNone);
+}
+
+TEST(FaultInjector, CertainTransientAlwaysFires) {
+  FaultModel model;
+  model.enabled = true;
+  model.transient_probability = 1.0;
+  FaultInjector injector(model, 7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(injector.next(), FaultKind::kTransient);
+}
+
+TEST(FaultInjector, ResetPoisonsFollowingMeasurements) {
+  FaultModel model;
+  model.enabled = true;
+  model.reset_probability = 1.0;
+  model.reset_poison_count = 3;
+  FaultInjector injector(model, 11);
+  EXPECT_EQ(injector.next(), FaultKind::kDeviceReset);
+  EXPECT_EQ(injector.poisoned_remaining(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(injector.next(), FaultKind::kPoisoned);
+  EXPECT_EQ(injector.poisoned_remaining(), 0u);
+  // Episode over; with reset certain, the next fresh draw resets again.
+  EXPECT_EQ(injector.next(), FaultKind::kDeviceReset);
+}
+
+TEST(FaultInjector, EmpiricalRatesTrackTheModel) {
+  const FaultModel model = FaultModel::with_rate(0.20);
+  FaultInjector injector(model, 123);
+  std::map<FaultKind, std::size_t> tally;
+  const std::size_t n = 20000;
+  std::size_t fresh = 0;  // poisoned follow-ups are not independent draws
+  for (std::size_t i = 0; i < n; ++i) {
+    const FaultKind kind = injector.next();
+    ++tally[kind];
+    if (kind != FaultKind::kPoisoned) ++fresh;
+  }
+  const double transient_rate =
+      static_cast<double>(tally[FaultKind::kTransient]) / fresh;
+  const double timeout_rate =
+      static_cast<double>(tally[FaultKind::kTimeout]) / fresh;
+  const double reset_rate =
+      static_cast<double>(tally[FaultKind::kDeviceReset]) / fresh;
+  EXPECT_NEAR(transient_rate, model.transient_probability, 0.01);
+  EXPECT_NEAR(timeout_rate, model.timeout_probability, 0.01);
+  EXPECT_NEAR(reset_rate, model.reset_probability, 0.005);
+  EXPECT_EQ(tally[FaultKind::kPoisoned],
+            tally[FaultKind::kDeviceReset] * model.reset_poison_count);
+}
+
+TEST(FaultInjector, SameSeedSameStream) {
+  const FaultModel model = FaultModel::with_rate(0.30);
+  FaultInjector a(model, 99), b(model, 99), c(model, 100);
+  std::vector<FaultKind> sa, sb, sc;
+  for (int i = 0; i < 500; ++i) {
+    sa.push_back(a.next());
+    sb.push_back(b.next());
+    sc.push_back(c.next());
+  }
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+}
+
+TEST(FaultKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(FaultKind::kNone), "none");
+  EXPECT_STREQ(to_string(FaultKind::kTransient), "transient");
+  EXPECT_STREQ(to_string(FaultKind::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(FaultKind::kDeviceReset), "device_reset");
+  EXPECT_STREQ(to_string(FaultKind::kPoisoned), "poisoned");
+}
+
+}  // namespace
+}  // namespace repro::simgpu
