@@ -1,0 +1,165 @@
+// bench_micro: perf-regression gate driver.
+//
+// Runs the google-benchmark micro suites (micro_gp, micro_tuners,
+// micro_simulator) with --benchmark_format=json, validates each report, and
+// merges them into one BENCH_micro.json whose `suites` array nests the
+// suites' verbatim reports. CI runs it under the `perf` CTest label in
+// --smoke mode (short --benchmark_min_time), asserting only that every
+// suite runs and emits parseable JSON; baseline comparisons against a
+// full-length run are a human/EXPERIMENTS.md concern, not a test assertion
+// (this container's timings are too noisy to gate on).
+//
+// The sibling suite binaries are located next to this executable (same
+// build directory); --bin-dir overrides that for out-of-tree invocations.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Options {
+  bool smoke = false;
+  std::string out = "BENCH_micro.json";
+  std::string bin_dir;  // default: directory of argv[0]
+};
+
+const char* const kSuites[] = {"micro_gp", "micro_tuners", "micro_simulator"};
+
+/// Minimal structural validation: we do not ship a JSON parser, but a
+/// google-benchmark report must be a balanced object that contains a
+/// "benchmarks" array. Brace balancing skips string literals (names may
+/// contain braces in principle) — enough to catch truncated or interleaved
+/// output without parsing the full grammar.
+bool looks_like_benchmark_json(const std::string& text) {
+  if (text.find("\"benchmarks\"") == std::string::npos) return false;
+  long depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool seen_object = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+      seen_object = true;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return seen_object && depth == 0 && !in_string;
+}
+
+/// Run one suite binary, returning its stdout (empty on spawn failure).
+std::string run_suite(const std::string& command) {
+  std::string output;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return output;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, got);
+  }
+  const int status = pclose(pipe);
+  if (status != 0) output.clear();
+  return output;
+}
+
+/// Indent every line of a JSON document for readable nesting.
+std::string indent(const std::string& text, const std::string& prefix) {
+  std::string out;
+  out.reserve(text.size());
+  bool at_line_start = true;
+  for (const char c : text) {
+    if (at_line_start && c != '\n') out += prefix;
+    at_line_start = (c == '\n');
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out = argv[++i];
+    } else if (arg == "--bin-dir" && i + 1 < argc) {
+      options.bin_dir = argv[++i];
+    } else {
+      std::cerr << "usage: bench_micro [--smoke] [--out FILE] [--bin-dir DIR]\n";
+      return 2;
+    }
+  }
+  if (options.bin_dir.empty()) {
+    options.bin_dir = std::filesystem::path(argv[0]).parent_path().string();
+    if (options.bin_dir.empty()) options.bin_dir = ".";
+  }
+
+  std::string merged = "{\n  \"driver\": \"bench_micro\",\n";
+  merged += std::string("  \"smoke\": ") + (options.smoke ? "true" : "false") + ",\n";
+  merged += "  \"suites\": [\n";
+
+  bool first = true;
+  for (const char* suite : kSuites) {
+    const std::filesystem::path binary =
+        std::filesystem::path(options.bin_dir) / suite;
+    std::string command = binary.string() + " --benchmark_format=json";
+    if (options.smoke) command += " --benchmark_min_time=0.01";
+    command += " 2>/dev/null";
+
+    std::cerr << "bench_micro: running " << suite
+              << (options.smoke ? " (smoke)" : "") << "\n";
+    const std::string report = run_suite(command);
+    if (report.empty()) {
+      std::cerr << "bench_micro: " << suite << " failed to run (" << command
+                << ")\n";
+      return 1;
+    }
+    if (!looks_like_benchmark_json(report)) {
+      std::cerr << "bench_micro: " << suite << " produced malformed JSON\n";
+      return 1;
+    }
+    if (!first) merged += ",\n";
+    first = false;
+    merged += "    {\n      \"suite\": \"" + std::string(suite) + "\",\n";
+    merged += "      \"report\":\n";
+    merged += indent(report, "        ");
+    if (merged.back() == '\n') merged.pop_back();
+    merged += "\n    }";
+  }
+  merged += "\n  ]\n}\n";
+
+  if (!looks_like_benchmark_json(merged)) {
+    std::cerr << "bench_micro: merged document failed validation\n";
+    return 1;
+  }
+  std::ofstream out(options.out, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench_micro: cannot open " << options.out << " for writing\n";
+    return 1;
+  }
+  out << merged;
+  out.close();
+  std::cerr << "bench_micro: wrote " << options.out << "\n";
+  return 0;
+}

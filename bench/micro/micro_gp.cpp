@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -35,12 +36,42 @@ TrainingSet make_training_set(std::size_t n) {
 void BM_GpFit(benchmark::State& state) {
   const auto set = make_training_set(static_cast<std::size_t>(state.range(0)));
   GpRegressor gp(GpHyperparams{0.3, 1.0, 1e-2});
+  // Reference path: with the incremental caches on, refitting an unchanged
+  // training set is (deliberately) free, which is not what this measures.
+  gp.set_incremental(false);
   for (auto _ : state) {
     benchmark::DoNotOptimize(gp.fit(set.x, set.y));
   }
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+// The BO-GP hot path: refit after every appended observation, as minimize()
+// does from 10 points up to n. Second argument toggles the incremental
+// (append-row Cholesky + distance cache) machinery; both variants produce
+// bit-identical factors, so the ratio is pure refit cost — the perf gate
+// compares them (BENCH_micro.json).
+void BM_GpSequentialRefit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool incremental = state.range(1) != 0;
+  const auto set = make_training_set(n);
+  const std::span<const std::vector<double>> xs(set.x);
+  const std::span<const double> ys(set.y);
+  for (auto _ : state) {
+    GpRegressor gp(GpHyperparams{0.3, 1.0, 1e-2});
+    gp.set_incremental(incremental);
+    for (std::size_t m = 10; m <= n; ++m) {
+      benchmark::DoNotOptimize(gp.fit(xs.first(m), ys.first(m)));
+    }
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GpSequentialRefit)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GpPredict(benchmark::State& state) {
   const auto set = make_training_set(static_cast<std::size_t>(state.range(0)));

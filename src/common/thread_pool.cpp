@@ -1,8 +1,14 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace repro {
+
+namespace {
+/// Pool whose worker is executing on this thread (nullptr on non-workers).
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -23,7 +29,10 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::on_worker_thread() const noexcept { return t_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -40,23 +49,53 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& task : tasks) queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body, std::size_t chunks) {
+                  const std::function<void(std::size_t)>& body, std::size_t chunks,
+                  std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
+  // Inline when parallelism cannot help: a single worker adds only queue
+  // latency, and a nested call from one of this pool's own workers would
+  // block a worker on chunks that are queued behind other blocked workers.
+  if (pool.size() <= 1 || pool.on_worker_thread()) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
   if (chunks == 0) chunks = std::min(n, pool.size() * 4);
-  chunks = std::max<std::size_t>(1, std::min(chunks, n));
+  grain = std::max<std::size_t>(1, grain);
+  chunks = std::max<std::size_t>(1, std::min({chunks, n, n / grain}));
   if (chunks == 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
+
+  // One shared completion latch instead of one future per chunk: the whole
+  // batch costs a single queue lock and a single broadcast.
+  struct Latch {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr first_error;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining.store(chunks, std::memory_order_relaxed);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
   const std::size_t base = n / chunks;
   const std::size_t extra = n % chunks;
   std::size_t cursor = begin;
@@ -65,25 +104,32 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
     const std::size_t lo = cursor;
     const std::size_t hi = cursor + len;
     cursor = hi;
-    futures.push_back(pool.submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
+    tasks.push_back([lo, hi, &body, latch] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(latch->mutex);
+        if (!latch->first_error) latch->first_error = std::current_exception();
+      }
+      if (latch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(latch->mutex);
+        latch->done.notify_all();
+      }
+    });
   }
-  // Propagate the first failure after all chunks have completed.
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  pool.submit_batch(std::move(tasks));
+
+  std::unique_lock lock(latch->mutex);
+  latch->done.wait(lock, [&] {
+    return latch->remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (latch->first_error) std::rethrow_exception(latch->first_error);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body, std::size_t chunks) {
-  parallel_for(ThreadPool::global(), begin, end, body, chunks);
+                  const std::function<void(std::size_t)>& body, std::size_t chunks,
+                  std::size_t grain) {
+  parallel_for(ThreadPool::global(), begin, end, body, chunks, grain);
 }
 
 }  // namespace repro

@@ -1,9 +1,17 @@
 #pragma once
-// Fixed-size worker pool with a shared task queue, plus a static-chunked
+// Fixed-size worker pool with a shared task queue, plus a chunked
 // parallel_for built on top of it. Experiments in the harness are
 // embarrassingly parallel (independent seeded runs), so a simple FIFO pool
 // is sufficient; tasks must not throw across the pool boundary unless the
 // caller collects the exception through the returned future.
+//
+// parallel_for is safe to nest: when called from inside a worker of the
+// same pool it degrades to an inline sequential loop instead of submitting
+// chunks the (fully occupied) pool could never schedule — the classic
+// nested fork-join deadlock. Single-worker pools also run inline, skipping
+// queue traffic entirely. Chunks are enqueued in one batch under one lock
+// (not one future per chunk), so a parallel_for over tiny bodies pays one
+// dispatch per chunk, not per index, and one wakeup per batch.
 
 #include <condition_variable>
 #include <cstddef>
@@ -27,6 +35,9 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
   /// Enqueue a task; the future reports its result or exception.
   template <typename F>
   [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& fn) {
@@ -40,6 +51,10 @@ class ThreadPool {
     cv_.notify_one();
     return result;
   }
+
+  /// Enqueue a batch of tasks under one lock with one wakeup broadcast.
+  /// Exceptions must be handled inside the tasks themselves.
+  void submit_batch(std::vector<std::function<void()>> tasks);
 
   /// Process-wide shared pool (created lazily, sized to hardware concurrency).
   static ThreadPool& global();
@@ -55,15 +70,19 @@ class ThreadPool {
 };
 
 /// Run body(i) for i in [begin, end) across the pool, blocking until done.
-/// Iterations are split into contiguous chunks, one per worker by default.
+/// Iterations are split into contiguous chunks, one batch-enqueued task
+/// each. `chunks` overrides the chunk count (0 = pool size x 4); `grain`
+/// caps the split so no chunk holds fewer than `grain` iterations — tiny
+/// loops then run in fewer (or zero) dispatches. Runs inline when nested
+/// inside a worker of the same pool or when the pool has a single worker.
 /// The first exception thrown by any chunk is rethrown on the caller.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
-                  std::size_t chunks = 0);
+                  std::size_t chunks = 0, std::size_t grain = 1);
 
 /// Convenience overload on the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
-                  std::size_t chunks = 0);
+                  std::size_t chunks = 0, std::size_t grain = 1);
 
 }  // namespace repro

@@ -87,14 +87,25 @@ tuner::Configuration rf_pick(const BenchmarkContext& context, std::size_t sample
     double prediction;
     tuner::Configuration config;
   };
+  // Sample sequentially (RNG stream), predict in a batch: forest traversal
+  // is pure, so parallel_for fills indexed slots and the partial_sort below
+  // sees the same pool the fused loop produced. rf_pick runs inside
+  // run_study's own parallel_for, where the nested call degrades to an
+  // inline loop instead of deadlocking the pool.
   std::vector<Scored> pool;
   pool.reserve(kCandidatePool);
   for (std::size_t i = 0; i < kCandidatePool; ++i) {
     tuner::Configuration candidate = context.space().sample_executable(rng);
     if (seen.contains(context.space().encode(candidate))) continue;
-    pool.push_back({forest.predict(context.space().normalize(candidate)),
-                    std::move(candidate)});
+    pool.push_back({0.0, std::move(candidate)});
   }
+  repro::parallel_for(
+      0, pool.size(),
+      [&](std::size_t i) {
+        pool[i].prediction =
+            forest.predict(context.space().normalize(pool[i].config));
+      },
+      0, 32);
   if (pool.empty()) return rs_pick(context, sample_size, experiment_index);
   const std::size_t keep = std::min<std::size_t>(kPredictions, pool.size());
   std::partial_sort(pool.begin(), pool.begin() + keep, pool.end(),

@@ -1,0 +1,65 @@
+#include "simgpu/mean_cache.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace repro::simgpu {
+
+struct MeanCache::Shard {
+  mutable std::mutex mutex;
+  std::unordered_map<std::uint64_t, double> map;
+};
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates the shard index from low key bits
+/// (config encodings are dense in the low bits).
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MeanCache::MeanCache(std::size_t shards) {
+  std::size_t n = 1;
+  while (n < shards) n <<= 1;
+  shards_ = std::make_unique<Shard[]>(n);
+  shard_mask_ = n - 1;
+}
+
+MeanCache::~MeanCache() = default;
+
+MeanCache::Shard& MeanCache::shard_for(std::uint64_t key) const noexcept {
+  return shards_[mix(key) & shard_mask_];
+}
+
+bool MeanCache::lookup(std::uint64_t key, double& value) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  value = it->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MeanCache::store(std::uint64_t key, double value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  shard.map.emplace(key, value);
+}
+
+std::size_t MeanCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= shard_mask_; ++i) {
+    std::lock_guard lock(shards_[i].mutex);
+    total += shards_[i].map.size();
+  }
+  return total;
+}
+
+}  // namespace repro::simgpu

@@ -1,0 +1,58 @@
+#pragma once
+// Sharded, mutex-striped memo table for deterministic per-configuration
+// quantities — concretely, the summed-over-passes noiseless model mean a
+// BenchmarkContext computes in true_time_us. One instance is shared by every
+// evaluator (and every run_study worker) on the same context, so a
+// configuration's pass-summation loop runs once per context instead of once
+// per evaluator cache.
+//
+// Striping: keys hash onto independent shards, each an unordered_map behind
+// its own mutex, so concurrent lookups from study workers contend only when
+// they collide on a shard. Values are deterministic functions of the key;
+// a racing duplicate store writes the same bits and is harmless. NaN is a
+// legal value (it memoizes "invalid configuration").
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace repro::simgpu {
+
+class MeanCache {
+ public:
+  /// `shards` is rounded up to a power of two (default 16).
+  explicit MeanCache(std::size_t shards = 16);
+  ~MeanCache();
+  MeanCache(const MeanCache&) = delete;
+  MeanCache& operator=(const MeanCache&) = delete;
+
+  /// True (and `value` set) when `key` is memoized.
+  bool lookup(std::uint64_t key, double& value) const;
+
+  /// Memoize `value` for `key`; later stores of the same key keep the first
+  /// value (all callers compute the same bits, so which one lands is moot).
+  void store(std::uint64_t key, double value);
+
+  /// Total entries across shards (snapshot; shards are locked one by one).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Hit-rate counters for the perf report.
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lookups() const noexcept {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard;
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) const noexcept;
+
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t shard_mask_ = 0;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> lookups_{0};
+};
+
+}  // namespace repro::simgpu

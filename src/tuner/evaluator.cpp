@@ -29,6 +29,15 @@ void FailureCounters::count(EvalStatus status) noexcept {
 Evaluator::Evaluator(const ParamSpace& space, Objective objective, std::size_t budget)
     : space_(space), objective_(std::move(objective)), budget_(budget) {}
 
+void Evaluator::set_cache_capacity(std::size_t capacity) {
+  cache_capacity_ = capacity;
+  if (cache_capacity_ == 0) return;
+  while (cache_.size() > cache_capacity_ && !cache_order_.empty()) {
+    cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+  }
+}
+
 Evaluation Evaluator::measure_once(const Configuration& config) {
   ++used_;
   assert(used_ <= budget_);
@@ -75,7 +84,13 @@ Evaluation Evaluator::evaluate(const Configuration& config) {
   // Only deterministic outcomes are cacheable; a configuration lost to a
   // flaky measurement may be proposed (and charged) again later.
   if (result.status == EvalStatus::kOk || result.status == EvalStatus::kInvalid) {
-    cache_.emplace(key, result);
+    if (cache_capacity_ > 0) {
+      while (cache_.size() >= cache_capacity_ && !cache_order_.empty()) {
+        cache_.erase(cache_order_.front());
+        cache_order_.pop_front();
+      }
+    }
+    if (cache_.emplace(key, result).second) cache_order_.push_back(key);
   }
   if (result.valid && (!has_best_ || result.value < best_value_)) {
     has_best_ = true;

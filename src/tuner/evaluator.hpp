@@ -20,6 +20,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <deque>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -104,6 +105,15 @@ class Evaluator {
 
   [[nodiscard]] const ParamSpace& space() const noexcept { return space_; }
 
+  /// Cap the measurement cache at `capacity` entries (FIFO eviction; 0 =
+  /// unbounded). Only fresh measurements insert — at most one per budget
+  /// unit — so the default far exceeds any study budget and never evicts;
+  /// long-lived evaluators on huge spaces can lower it to bound memory. An
+  /// evicted configuration re-proposed later is charged budget again.
+  void set_cache_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t cache_capacity() const noexcept { return cache_capacity_; }
+  [[nodiscard]] std::size_t cache_size() const noexcept { return cache_.size(); }
+
  private:
   /// One budget-charged call of the objective with status normalization.
   Evaluation measure_once(const Configuration& config);
@@ -115,6 +125,8 @@ class Evaluator {
   RetryPolicy retry_;
   FailureCounters counters_;
   std::unordered_map<std::uint64_t, Evaluation> cache_;
+  std::deque<std::uint64_t> cache_order_;  ///< insertion order for eviction
+  std::size_t cache_capacity_ = 1u << 20;
   Configuration best_config_;
   double best_value_ = 0.0;
   bool has_best_ = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/thread_pool.hpp"
+
 namespace repro::tuner {
 
 TuneResult RandomForestTuner::minimize(const ParamSpace& space, Evaluator& evaluator,
@@ -52,14 +54,22 @@ TuneResult RandomForestTuner::minimize(const ParamSpace& space, Evaluator& evalu
     double prediction;
     Configuration config;
   };
+  // Sampling consumes the RNG stream, so it stays sequential; predictions
+  // are pure forest traversals and run batched through parallel_for. The
+  // pool order (and thus the partial_sort result) matches the fused loop.
   std::vector<Scored> pool;
   pool.reserve(options_.candidate_pool);
   for (std::size_t i = 0; i < options_.candidate_pool; ++i) {
     Configuration candidate = space.sample_executable(rng);
     if (seen.contains(space.encode(candidate))) continue;  // already measured
-    const std::vector<double> features = space.normalize(candidate);
-    pool.push_back({forest.predict(features), std::move(candidate)});
+    pool.push_back({0.0, std::move(candidate)});
   }
+  repro::parallel_for(
+      0, pool.size(),
+      [&](std::size_t i) {
+        pool[i].prediction = forest.predict(space.normalize(pool[i].config));
+      },
+      0, 32);
   const std::size_t keep = std::min(predictions, pool.size());
   std::partial_sort(pool.begin(), pool.begin() + keep, pool.end(),
                     [](const Scored& a, const Scored& b) {

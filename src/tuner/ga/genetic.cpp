@@ -14,14 +14,15 @@ struct Individual {
   bool valid = false;
 };
 
-/// Rank-weighted parent index: probability proportional to
-/// (n - rank), with the population sorted best-first.
-std::size_t select_parent(std::size_t population, repro::Rng& rng) {
+/// Rank weights for parent selection: probability proportional to
+/// (n - rank), with the population sorted best-first. Built once per run
+/// (the population size is fixed) instead of per selection.
+std::vector<double> rank_weights(std::size_t population) {
   std::vector<double> weights(population);
   for (std::size_t i = 0; i < population; ++i) {
     weights[i] = static_cast<double>(population - i);
   }
-  return rng.weighted_index(weights);
+  return weights;
 }
 
 }  // namespace
@@ -52,6 +53,8 @@ TuneResult GeneticAlgorithm::minimize(const ParamSpace& space, Evaluator& evalua
     return genes;
   };
 
+  const std::vector<double> weights = rank_weights(population_size);
+
   try {
     // Initial population: executable configurations.
     for (std::size_t i = 0; i < population_size; ++i) {
@@ -76,8 +79,8 @@ TuneResult GeneticAlgorithm::minimize(const ParamSpace& space, Evaluator& evalua
         next.push_back(population[e]);
       }
       while (next.size() < population_size) {
-        const Individual& mother = population[select_parent(population.size(), rng)];
-        const Individual& father = population[select_parent(population.size(), rng)];
+        const Individual& mother = population[rng.weighted_index(weights)];
+        const Individual& father = population[rng.weighted_index(weights)];
         Configuration child = mother.genes;
         if (rng.bernoulli(options_.crossover_probability)) {
           for (std::size_t g = 0; g < child.size(); ++g) {

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "common/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 
 namespace repro::tuner {
@@ -63,6 +64,7 @@ TuneResult BoGp::minimize(const ParamSpace& space, Evaluator& evaluator,
     for (std::size_t i = 0; i < init; ++i) observe(draw(rng));
 
     GpRegressor gp;
+    gp.set_incremental(options_.incremental_gp);
     std::size_t last_hyperopt = 0;
     for (;;) {
       // Assemble the training set: penalize failures against the worst
@@ -151,20 +153,34 @@ TuneResult BoGp::minimize(const ParamSpace& space, Evaluator& evaluator,
         }
       }
 
+      // Filter sequentially, score in parallel (gp.predict is const and
+      // pure), then reduce in ascending candidate order with a strict `>` —
+      // the same argmax the sequential loop computed, bit for bit.
+      std::vector<std::size_t> eligible;
+      eligible.reserve(candidates.size());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (proposed.contains(space.encode(candidates[i]))) continue;
+        if (options_.constraint_aware && !space.is_executable(candidates[i])) continue;
+        eligible.push_back(i);
+      }
+      // xi shifts the incumbent to discourage pure exploitation (skopt).
+      const double margin = options_.xi * std::abs(incumbent);
+      std::vector<double> scores(eligible.size());
+      repro::parallel_for(
+          0, eligible.size(),
+          [&](std::size_t k) {
+            const std::vector<double> x = space.normalize(candidates[eligible[k]]);
+            const GpPrediction prediction = gp.predict(x);
+            scores[k] = expected_improvement(prediction.mean, prediction.variance,
+                                             incumbent - margin);
+          },
+          0, 16);
       double best_ei = -1.0;
       const Configuration* chosen = nullptr;
-      for (const Configuration& candidate : candidates) {
-        if (proposed.contains(space.encode(candidate))) continue;
-        if (options_.constraint_aware && !space.is_executable(candidate)) continue;
-        const std::vector<double> x = space.normalize(candidate);
-        const GpPrediction prediction = gp.predict(x);
-        // xi shifts the incumbent to discourage pure exploitation (skopt).
-        const double margin = options_.xi * std::abs(incumbent);
-        const double ei = expected_improvement(prediction.mean, prediction.variance,
-                                               incumbent - margin);
-        if (ei > best_ei) {
-          best_ei = ei;
-          chosen = &candidate;
+      for (std::size_t k = 0; k < eligible.size(); ++k) {
+        if (scores[k] > best_ei) {
+          best_ei = scores[k];
+          chosen = &candidates[eligible[k]];
         }
       }
       if (chosen == nullptr) {

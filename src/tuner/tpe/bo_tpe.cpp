@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "common/thread_pool.hpp"
+
 namespace repro::tuner {
 
 ParzenCategorical::ParzenCategorical(int lo, int hi, double prior_weight) : lo_(lo) {
@@ -96,9 +98,13 @@ TuneResult BoTpe::minimize(const ParamSpace& space, Evaluator& evaluator,
         }
       }
 
-      // Sample candidates from l(x), rank by l(x)/g(x).
-      double best_ratio = -std::numeric_limits<double>::infinity();
-      Configuration best_candidate;
+      // Sample candidates from l(x), rank by l(x)/g(x). Sampling stays
+      // sequential (it consumes the RNG stream); scoring is pure per
+      // candidate, so it runs through parallel_for into indexed slots and
+      // the argmax reduces in ascending candidate order with a strict `>` —
+      // the same winner the fused sequential loop picked.
+      std::vector<Configuration> batch;
+      batch.reserve(options_.ei_candidates);
       for (std::size_t c = 0; c < options_.ei_candidates; ++c) {
         Configuration candidate(space.num_params());
         for (std::size_t d = 0; d < space.num_params(); ++d) {
@@ -106,14 +112,26 @@ TuneResult BoTpe::minimize(const ParamSpace& space, Evaluator& evaluator,
         }
         if (proposed.contains(space.encode(candidate))) continue;
         if (options_.constraint_aware && !space.is_executable(candidate)) continue;
-        double log_ratio = 0.0;
-        for (std::size_t d = 0; d < space.num_params(); ++d) {
-          log_ratio += std::log(good_model[d].probability(candidate[d])) -
-                       std::log(bad_model[d].probability(candidate[d]));
-        }
-        if (log_ratio > best_ratio) {
-          best_ratio = log_ratio;
-          best_candidate = std::move(candidate);
+        batch.push_back(std::move(candidate));
+      }
+      std::vector<double> scores(batch.size());
+      repro::parallel_for(
+          0, batch.size(),
+          [&](std::size_t c) {
+            double log_ratio = 0.0;
+            for (std::size_t d = 0; d < space.num_params(); ++d) {
+              log_ratio += std::log(good_model[d].probability(batch[c][d])) -
+                           std::log(bad_model[d].probability(batch[c][d]));
+            }
+            scores[c] = log_ratio;
+          },
+          0, 64);
+      double best_ratio = -std::numeric_limits<double>::infinity();
+      Configuration best_candidate;
+      for (std::size_t c = 0; c < batch.size(); ++c) {
+        if (scores[c] > best_ratio) {
+          best_ratio = scores[c];
+          best_candidate = std::move(batch[c]);
         }
       }
       if (best_candidate.empty()) {

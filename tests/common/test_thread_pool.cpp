@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -95,6 +97,69 @@ TEST(ParallelFor, GlobalPoolOverload) {
   std::atomic<int> counter{0};
   parallel_for(0, 50, [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, MatchesSequentialLoopForEveryChunkAndGrain) {
+  // Slot-indexed writes: the parallel result must equal the sequential loop
+  // element for element, independent of chunking.
+  ThreadPool pool(4);
+  const std::size_t n = 257;
+  std::vector<double> expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = static_cast<double>(i) * 1.5 - 3.0;
+  }
+  for (std::size_t chunks : {0u, 1u, 3u, 16u, 300u}) {
+    for (std::size_t grain : {1u, 8u, 64u, 1000u}) {
+      std::vector<double> got(n, 0.0);
+      parallel_for(
+          pool, 0, n,
+          [&](std::size_t i) { got[i] = static_cast<double>(i) * 1.5 - 3.0; },
+          chunks, grain);
+      EXPECT_EQ(got, expected) << "chunks=" << chunks << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelFor, GrainCapsDispatchForTinyLoops) {
+  // With grain >= n the loop must still cover every index (it runs as a
+  // single chunk or inline).
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 5, [&](std::size_t) { counter.fetch_add(1); }, 0, 100);
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ParallelFor, NestedCallDoesNotDeadlock) {
+  // A body that itself calls parallel_for on the same pool must complete:
+  // the inner call detects it is on a worker thread and runs inline.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 8, [&](std::size_t) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    parallel_for(pool, 0, 8, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelFor, OnWorkerThreadFalseOnCaller) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, SubmitBatchRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::atomic<int> done{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.emplace_back([&] {
+      counter.fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  pool.submit_batch(std::move(tasks));
+  while (done.load() < 64) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), 64);
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+// MeanCache: sharded memo table semantics — hit/miss, first-store-wins,
+// NaN values, and thread safety under concurrent mixed access.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "simgpu/mean_cache.hpp"
+
+namespace repro::simgpu {
+namespace {
+
+TEST(MeanCache, MissThenHit) {
+  MeanCache cache;
+  double value = 0.0;
+  EXPECT_FALSE(cache.lookup(42, value));
+  cache.store(42, 3.25);
+  ASSERT_TRUE(cache.lookup(42, value));
+  EXPECT_EQ(value, 3.25);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.lookups(), 2u);
+}
+
+TEST(MeanCache, FirstStoreWins) {
+  MeanCache cache;
+  cache.store(7, 1.0);
+  cache.store(7, 2.0);  // duplicate stores keep the first value
+  double value = 0.0;
+  ASSERT_TRUE(cache.lookup(7, value));
+  EXPECT_EQ(value, 1.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MeanCache, NanIsALegalValue) {
+  MeanCache cache;
+  const double nan = std::nan("");
+  cache.store(9, nan);
+  double value = 0.0;
+  ASSERT_TRUE(cache.lookup(9, value));
+  EXPECT_TRUE(std::isnan(value));
+}
+
+TEST(MeanCache, KeysSpreadAcrossShardsWithoutCollision) {
+  MeanCache cache(8);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    cache.store(key, static_cast<double>(key) * 0.5);
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    double value = 0.0;
+    ASSERT_TRUE(cache.lookup(key, value)) << key;
+    EXPECT_EQ(value, static_cast<double>(key) * 0.5) << key;
+  }
+}
+
+TEST(MeanCache, ConcurrentMixedAccessIsConsistent) {
+  MeanCache cache(4);
+  constexpr std::uint64_t kKeys = 512;
+  // Every thread stores the same deterministic value per key (the
+  // production invariant), so whichever store lands first is correct.
+  auto worker = [&] {
+    for (std::uint64_t key = 0; key < kKeys; ++key) {
+      double value = 0.0;
+      if (cache.lookup(key, value)) {
+        EXPECT_EQ(value, static_cast<double>(key) + 0.25);
+      } else {
+        cache.store(key, static_cast<double>(key) + 0.25);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), kKeys);
+}
+
+}  // namespace
+}  // namespace repro::simgpu

@@ -118,5 +118,36 @@ TEST(BoGp, ConstraintAwareModeNeverProposesInvalid) {
   EXPECT_TRUE(all_executable);
 }
 
+
+TEST(BoGp, IncrementalGpProducesIdenticalTuneResult) {
+  // The incremental-Cholesky surrogate is a pure wall-clock optimization:
+  // with the same seed, the full tuning trace — every proposal, every
+  // measurement — must be identical with it on or off.
+  const ParamSpace space = paper_search_space();
+  BoGpOptions fast;
+  fast.incremental_gp = true;
+  BoGpOptions slow;
+  slow.incremental_gp = false;
+
+  for (std::uint64_t seed : {3u, 11u}) {
+    std::size_t calls_fast = 0;
+    Evaluator eval_fast(space, testing::bowl_objective(&calls_fast), 45);
+    repro::Rng rng_fast(seed);
+    const TuneResult a = BoGp(fast).minimize(space, eval_fast, rng_fast);
+
+    std::size_t calls_slow = 0;
+    Evaluator eval_slow(space, testing::bowl_objective(&calls_slow), 45);
+    repro::Rng rng_slow(seed);
+    const TuneResult b = BoGp(slow).minimize(space, eval_slow, rng_slow);
+
+    EXPECT_EQ(calls_fast, calls_slow) << "seed " << seed;
+    EXPECT_EQ(a.best_config, b.best_config) << "seed " << seed;
+    EXPECT_EQ(a.best_value, b.best_value) << "seed " << seed;
+    EXPECT_EQ(a.evaluations_used, b.evaluations_used) << "seed " << seed;
+    // The RNG streams advanced identically (same number of draws).
+    EXPECT_EQ(rng_fast(), rng_slow()) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace repro::tuner

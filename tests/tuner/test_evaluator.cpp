@@ -230,5 +230,66 @@ TEST(EvalStatusNames, AllDistinct) {
   EXPECT_STREQ(to_string(EvalStatus::kCrashed), "crashed");
 }
 
+
+TEST(Evaluator, CacheCapacityEvictsFifo) {
+  const ParamSpace space = tiny_space();
+  int calls = 0;
+  Evaluator evaluator(space, [&](const Configuration&) {
+    ++calls;
+    return Evaluation{1.0, true};
+  }, 100);
+  evaluator.set_cache_capacity(3);
+
+  (void)evaluator.evaluate({0, 0});
+  (void)evaluator.evaluate({1, 0});
+  (void)evaluator.evaluate({2, 0});
+  EXPECT_EQ(evaluator.cache_size(), 3u);
+  // Fourth insert evicts {0,0}, the oldest entry.
+  (void)evaluator.evaluate({3, 0});
+  EXPECT_EQ(evaluator.cache_size(), 3u);
+  EXPECT_EQ(calls, 4);
+
+  // Still-resident entries are served from cache...
+  (void)evaluator.evaluate({3, 0});
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(evaluator.used(), 4u);
+  // ...but the evicted one is measured (and charged) again.
+  (void)evaluator.evaluate({0, 0});
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(evaluator.used(), 5u);
+}
+
+TEST(Evaluator, ShrinkingCapacityTrimsOldestEntries) {
+  const ParamSpace space = tiny_space();
+  int calls = 0;
+  Evaluator evaluator(space, [&](const Configuration&) {
+    ++calls;
+    return Evaluation{1.0, true};
+  }, 100);
+  for (int a = 0; a < 5; ++a) (void)evaluator.evaluate({a, 0});
+  EXPECT_EQ(evaluator.cache_size(), 5u);
+  evaluator.set_cache_capacity(2);
+  EXPECT_EQ(evaluator.cache_size(), 2u);
+  // The two newest survive.
+  (void)evaluator.evaluate({3, 0});
+  (void)evaluator.evaluate({4, 0});
+  EXPECT_EQ(calls, 5);
+  // The oldest were dropped.
+  (void)evaluator.evaluate({0, 0});
+  EXPECT_EQ(calls, 6);
+}
+
+TEST(Evaluator, DefaultCapacityNeverEvictsWithinAnyStudyBudget) {
+  const ParamSpace space = tiny_space();
+  Evaluator evaluator(space, [](const Configuration&) {
+    return Evaluation{1.0, true};
+  }, 100);
+  // Fresh measurements are the only inserts, so the cache can never exceed
+  // the budget — far below the default capacity.
+  EXPECT_GE(evaluator.cache_capacity(), 1u << 20);
+  for (int a = 0; a < 10; ++a) (void)evaluator.evaluate({a, 1});
+  EXPECT_EQ(evaluator.cache_size(), 10u);
+}
+
 }  // namespace
 }  // namespace repro::tuner

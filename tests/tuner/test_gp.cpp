@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -133,6 +135,141 @@ TEST(ExpectedImprovement, NonNegative) {
   for (double mean : {-5.0, 0.0, 5.0, 50.0}) {
     for (double variance : {0.0, 0.1, 10.0}) {
       EXPECT_GE(expected_improvement(mean, variance, 1.0), 0.0);
+    }
+  }
+}
+
+
+// --- incremental (append-row) refits vs the reference path ------------------
+
+TEST(GpRegressor, IncrementalFitBitIdenticalToReference) {
+  // Grow a training set one observation at a time, as BO GP does, and
+  // compare the incremental regressor against a from-scratch reference fit
+  // at every step: factor, weights, LML, and predictions must match bit for
+  // bit, including through hyperparameter searches and a non-prefix refit.
+  repro::Rng rng(1234);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  GpRegressor incremental;
+  GpRegressor reference;
+  reference.set_incremental(false);
+
+  const std::vector<double> query = {0.3, 0.8, 0.1, 0.6, 0.4, 0.9};
+  for (std::size_t step = 0; step < 60; ++step) {
+    std::vector<double> point(6);
+    for (auto& v : point) v = rng.uniform();
+    double target = 0.0;
+    for (double v : point) target += (v - 0.5) * (v - 0.5);
+    xs.push_back(std::move(point));
+    ys.push_back(target + 0.05 * rng.normal());
+    if (xs.size() < 2) continue;
+
+    bool ok_inc = false;
+    bool ok_ref = false;
+    if (step % 20 == 0) {
+      ok_inc = incremental.optimize_hyperparams(xs, ys);
+      ok_ref = reference.optimize_hyperparams(xs, ys);
+    } else {
+      ok_inc = incremental.fit(xs, ys);
+      ok_ref = reference.fit(xs, ys);
+    }
+    ASSERT_EQ(ok_inc, ok_ref) << "step " << step;
+    if (!ok_inc) continue;
+
+    // Selected hyperparameters agree exactly.
+    ASSERT_EQ(incremental.hyperparams().lengthscale,
+              reference.hyperparams().lengthscale);
+    ASSERT_EQ(incremental.hyperparams().noise_variance,
+              reference.hyperparams().noise_variance);
+    ASSERT_EQ(incremental.log_marginal_likelihood(),
+              reference.log_marginal_likelihood());
+
+    // chol_ and alpha_ agree bitwise.
+    const auto& ci = incremental.cholesky();
+    const auto& cr = reference.cholesky();
+    ASSERT_EQ(ci.size(), cr.size());
+    for (std::size_t i = 0; i < ci.size(); ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double a = ci.at(i, j);
+        const double b = cr.at(i, j);
+        ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+            << "step " << step << " chol(" << i << "," << j << ")";
+      }
+    }
+    const auto ai = incremental.alpha();
+    const auto ar = reference.alpha();
+    ASSERT_EQ(ai.size(), ar.size());
+    for (std::size_t i = 0; i < ai.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&ai[i], &ar[i], sizeof(double)), 0)
+          << "step " << step << " alpha[" << i << "]";
+    }
+
+    const GpPrediction pi = incremental.predict(query);
+    const GpPrediction pr = reference.predict(query);
+    ASSERT_EQ(std::memcmp(&pi.mean, &pr.mean, sizeof(double)), 0);
+    ASSERT_EQ(std::memcmp(&pi.variance, &pr.variance, sizeof(double)), 0);
+  }
+  // The incremental machinery actually engaged (appends dominate).
+  EXPECT_GT(incremental.incremental_rows(), 100u);
+  EXPECT_EQ(reference.incremental_rows(), 0u);
+}
+
+TEST(GpRegressor, IncrementalHandlesNonPrefixRefit) {
+  // Replacing the training set (e.g. BO GP past its max_train_points cap
+  // keeps best+recent halves, which is not a prefix) must reset the caches
+  // and still match the reference bitwise.
+  repro::Rng rng(99);
+  auto make_set = [&](std::size_t n) {
+    std::pair<std::vector<std::vector<double>>, std::vector<double>> set;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> point(4);
+      for (auto& v : point) v = rng.uniform();
+      set.second.push_back(point[0] + 0.2 * point[2] + 0.01 * rng.normal());
+      set.first.push_back(std::move(point));
+    }
+    return set;
+  };
+
+  GpRegressor incremental;
+  GpRegressor reference;
+  reference.set_incremental(false);
+
+  const auto first = make_set(20);
+  ASSERT_TRUE(incremental.fit(first.first, first.second));
+  // Entirely different set of a smaller size: not a prefix.
+  const auto second = make_set(15);
+  ASSERT_TRUE(incremental.fit(second.first, second.second));
+  ASSERT_TRUE(reference.fit(second.first, second.second));
+
+  ASSERT_EQ(incremental.cholesky().size(), reference.cholesky().size());
+  for (std::size_t i = 0; i < incremental.cholesky().size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double a = incremental.cholesky().at(i, j);
+      const double b = reference.cholesky().at(i, j);
+      ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
+    }
+  }
+}
+
+TEST(GpRegressor, IncrementalSurvivesNonSpdEscalation) {
+  // Duplicate points make K singular at tiny jitter; the escalation ladder
+  // must end at the same jitter (hence the same factor) in both modes.
+  std::vector<std::vector<double>> xs = {{0.5}, {0.5}, {0.5}, {0.9}};
+  std::vector<double> ys = {1.0, 1.0, 1.0, 2.0};
+  GpRegressor incremental(GpHyperparams{0.3, 1.0, 1e-9});
+  GpRegressor reference(GpHyperparams{0.3, 1.0, 1e-9});
+  reference.set_incremental(false);
+  const bool ok_inc = incremental.fit(xs, ys);
+  const bool ok_ref = reference.fit(xs, ys);
+  ASSERT_EQ(ok_inc, ok_ref);
+  if (!ok_inc) return;
+  ASSERT_EQ(incremental.cholesky().size(), reference.cholesky().size());
+  for (std::size_t i = 0; i < incremental.cholesky().size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double a = incremental.cholesky().at(i, j);
+      const double b = reference.cholesky().at(i, j);
+      ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
     }
   }
 }
