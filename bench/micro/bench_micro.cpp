@@ -29,7 +29,8 @@ struct Options {
   std::string bin_dir;  // default: directory of argv[0]
 };
 
-const char* const kSuites[] = {"micro_gp", "micro_tuners", "micro_simulator"};
+const char* const kSuites[] = {"micro_gp", "micro_tuners", "micro_simulator",
+                               "micro_service"};
 
 /// Minimal structural validation: we do not ship a JSON parser, but a
 /// google-benchmark report must be a balanced object that contains a

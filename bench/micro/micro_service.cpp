@@ -1,0 +1,126 @@
+// Microbenchmarks for the tuning service: what does the ask/tell inversion
+// cost per evaluation, and what does a full loopback round trip through
+// `tuned`'s wire protocol add on top? The paper's study loop is in-process;
+// these numbers bound the overhead of running the same loop as a service
+// (ISSUE: Tuning-as-a-Service). Synthetic objective, so the measurement
+// isolates session + protocol machinery from kernel simulation cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "tuner/ask_tell.hpp"
+#include "tuner/registry.hpp"
+
+namespace {
+
+using namespace repro;
+
+tuner::ParamSpace small_space() {
+  return tuner::ParamSpace({{"a", 1, 8}, {"b", 1, 8}, {"c", 0, 5}});
+}
+
+/// Pure pseudo-measurement: hash of the encoded configuration, shaped into
+/// [1, ~1.5). No RNG state, so every session sees identical values.
+tuner::Evaluation synth_eval(const tuner::ParamSpace& space,
+                             const tuner::Configuration& config) {
+  std::uint64_t state = seed_combine(99, space.encode(config) + 1);
+  const std::uint64_t h = splitmix64(state);
+  return tuner::Evaluation{1.0 + static_cast<double>(h >> 11) * 0x1.0p-53, true};
+}
+
+/// One full AskTellSession per iteration: thread spawn, `budget` park/unpark
+/// handoffs through the proxy objective, join. Items = evaluations, so the
+/// per-item rate is the inversion overhead per measurement.
+void BM_SessionThroughput(benchmark::State& state, const char* id) {
+  const tuner::ParamSpace space = small_space();
+  const auto budget = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  std::size_t evaluations = 0;
+  for (auto _ : state) {
+    tuner::AskTellSession session(space, tuner::make_algorithm(id), budget,
+                                  seed_combine(7, seed++));
+    while (auto config = session.ask()) session.tell(synth_eval(space, *config));
+    benchmark::DoNotOptimize(session.result());
+    evaluations += session.tells();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  state.SetLabel(std::string(id) + " @ " + std::to_string(budget) +
+                 " evals/session");
+}
+
+/// Same loop through a live `tuned` over loopback: each evaluation is two
+/// JSON frames each way (ask + tell), so the per-item rate is the full wire
+/// round-trip cost including framing, parsing, and session dispatch.
+void BM_RemoteSessionThroughput(benchmark::State& state) {
+  service::ServerConfig server_config;
+  server_config.connection_threads = 2;
+  server_config.poll_interval = std::chrono::milliseconds(20);
+  service::TuneServer server(server_config);
+  server.start();
+
+  service::ClientConfig client_config;
+  client_config.port = server.port();
+  service::Client client(client_config);
+  client.connect();
+
+  const tuner::ParamSpace space = small_space();
+  service::OpenParams params;
+  params.algorithm = "rs";
+  params.budget = static_cast<std::size_t>(state.range(0));
+  params.custom_space = true;
+  params.params = {{"a", 1, 8}, {"b", 1, 8}, {"c", 0, 5}};
+
+  std::uint64_t seed = 0;
+  std::size_t evaluations = 0;
+  for (auto _ : state) {
+    params.seed = seed_combine(11, seed++);
+    const std::string session = client.open(params);
+    while (auto config = client.ask(session)) {
+      evaluations += 1;
+      (void)client.tell(session, synth_eval(space, *config));
+    }
+    benchmark::DoNotOptimize(client.result(session));
+    client.close_session(session);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  state.SetLabel("rs @ " + std::to_string(state.range(0)) +
+                 " evals/session over loopback");
+
+  client.disconnect();
+  server.stop();
+}
+
+/// Protocol codec alone: encode a tell request and an ok/evaluation pair,
+/// serialize, and parse back. The floor for any transport.
+void BM_FrameCodec(benchmark::State& state) {
+  const tuner::ParamSpace space = small_space();
+  tuner::Configuration config{4, 2, 3};
+  std::size_t frames = 0;
+  for (auto _ : state) {
+    Json request = Json::object();
+    request.set("op", "tell");
+    request.set("session", "s12");
+    service::encode_evaluation_into(request, synth_eval(space, config));
+    const std::string line = request.dump();
+    const Json parsed = Json::parse(line);
+    benchmark::DoNotOptimize(service::decode_evaluation(parsed));
+    ++frames;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.SetLabel("tell frame encode+parse+decode");
+}
+
+BENCHMARK_CAPTURE(BM_SessionThroughput, rs, "rs")->Arg(50)->Arg(200);
+BENCHMARK_CAPTURE(BM_SessionThroughput, ga, "ga")->Arg(50);
+BENCHMARK_CAPTURE(BM_SessionThroughput, bogp, "bogp")->Arg(50);
+BENCHMARK(BM_RemoteSessionThroughput)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrameCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Ask/tell tuning loop: the caller owns the measurement loop and the
+// search algorithm is a passive suggestion engine. The same inversion
+// powers the `tuned` daemon; here it runs in-process, which is useful when
+// measurements must happen on a thread/process the tuner library cannot
+// call into (a GUI thread, an MPI rank, a hardware test rig).
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "harness/context.hpp"
+#include "tuner/ask_tell.hpp"
+#include "tuner/registry.hpp"
+
+int main() {
+  using namespace repro;
+
+  harness::BenchmarkContext context(imagecl::benchmark_by_name("mandelbrot"),
+                                    simgpu::arch_by_name("rtxtitan"),
+                                    /*dataset_size=*/0, /*master_seed=*/2022);
+  std::printf("mandelbrot on RTX Titan (simulated), optimum %.1f us\n",
+              context.optimum_us());
+
+  // The objective RNG is ours; the algorithm RNG lives inside the session.
+  Rng measurement_rng(seed_from_string("ask-tell-example"));
+  const tuner::Objective objective = context.make_objective(measurement_rng);
+
+  tuner::AskTellSession session(context.space(), tuner::make_algorithm("bogp"),
+                                /*budget=*/60, /*seed=*/2022);
+  while (auto config = session.ask()) {
+    session.tell(objective(*config));
+    if (session.tells() % 20 == 0) {
+      std::printf("  %zu measurements delivered\n", session.tells());
+    }
+  }
+
+  const tuner::TuneResult result = session.result();
+  const auto& c = result.best_config;
+  std::printf("%s best: threads=(%d,%d,%d) wg=(%d,%d,%d) -> %.1f us "
+              "(%zu evals, %.1f%% of optimum)\n",
+              session.algorithm_name().c_str(), c[0], c[1], c[2], c[3], c[4], c[5],
+              result.best_value, result.evaluations_used,
+              context.optimum_us() / result.best_value * 100.0);
+  return 0;
+}

@@ -1,0 +1,430 @@
+#include "common/json.hpp"
+
+#include <array>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace repro {
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+  throw JsonError(std::string("json: expected ") + wanted + ", got kind " +
+                  std::to_string(static_cast<int>(got)));
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[u >> 4];
+          out += hex[u & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf; protocol layers map these explicitly
+    return;
+  }
+  std::array<char, 32> buffer{};
+  const auto [ptr, ec] = std::to_chars(buffer.data(), buffer.data() + buffer.size(), v);
+  out.append(buffer.data(), ptr);
+}
+
+void dump_value(const Json& value, std::string& out) {
+  switch (value.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += value.as_bool() ? "true" : "false"; break;
+    case Json::Type::kInt: out += std::to_string(value.as_int64()); break;
+    case Json::Type::kUint: out += std::to_string(value.as_uint64()); break;
+    case Json::Type::kDouble: append_double(out, value.as_double()); break;
+    case Json::Type::kString: append_escaped(out, value.as_string()); break;
+    case Json::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : value.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, item] : value.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, key);
+        out += ':';
+        dump_value(item, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    if (++depth_ > max_depth_) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    Json value;
+    switch (c) {
+      case '{': value = parse_object(); break;
+      case '[': value = parse_array(); break;
+      case '"': value = Json(parse_string()); break;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        value = Json(true);
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        value = Json(false);
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        value = Json(nullptr);
+        break;
+      default: value = parse_number(); break;
+    }
+    --depth_;
+    return value;
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return Json(std::move(object));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return Json(std::move(array));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool has_digits = false;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        has_digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!has_digits) fail("invalid number");
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      if (token[0] == '-') {
+        std::int64_t value = 0;
+        const auto [ptr, ec] = std::from_chars(token.begin(), token.end(), value);
+        // "-0" must stay a double: int64 cannot carry the sign of zero, and
+        // the writer emits negative zero as "-0".
+        if (ec == std::errc() && ptr == token.end()) {
+          return value == 0 ? Json(-0.0) : Json(value);
+        }
+      } else {
+        std::uint64_t value = 0;
+        const auto [ptr, ec] = std::from_chars(token.begin(), token.end(), value);
+        if (ec == std::errc() && ptr == token.end()) return Json(value);
+      }
+      // Out-of-range integer: fall through to double (lossy but accepted).
+    }
+    const std::string owned(token);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size()) fail("invalid number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t max_depth_;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const bool* v = std::get_if<bool>(&value_)) return *v;
+  type_error("bool", type());
+}
+
+double Json::as_double() const {
+  switch (type()) {
+    case Type::kInt: return static_cast<double>(std::get<std::int64_t>(value_));
+    case Type::kUint: return static_cast<double>(std::get<std::uint64_t>(value_));
+    case Type::kDouble: return std::get<double>(value_);
+    default: type_error("number", type());
+  }
+}
+
+std::int64_t Json::as_int64() const {
+  if (const auto* v = std::get_if<std::int64_t>(&value_)) return *v;
+  if (const auto* v = std::get_if<std::uint64_t>(&value_)) {
+    if (*v > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+      throw JsonError("json: integer out of int64 range");
+    }
+    return static_cast<std::int64_t>(*v);
+  }
+  type_error("integer", type());
+}
+
+std::uint64_t Json::as_uint64() const {
+  if (const auto* v = std::get_if<std::uint64_t>(&value_)) return *v;
+  if (const auto* v = std::get_if<std::int64_t>(&value_)) {
+    if (*v < 0) throw JsonError("json: negative integer where unsigned expected");
+    return static_cast<std::uint64_t>(*v);
+  }
+  type_error("integer", type());
+}
+
+const std::string& Json::as_string() const {
+  if (const auto* v = std::get_if<std::string>(&value_)) return *v;
+  type_error("string", type());
+}
+
+const Json::Array& Json::as_array() const {
+  if (const auto* v = std::get_if<Array>(&value_)) return *v;
+  type_error("array", type());
+}
+
+Json::Array& Json::as_array() {
+  if (auto* v = std::get_if<Array>(&value_)) return *v;
+  type_error("array", type());
+}
+
+const Json::Object& Json::as_object() const {
+  if (const auto* v = std::get_if<Object>(&value_)) return *v;
+  type_error("object", type());
+}
+
+Json::Object& Json::as_object() {
+  if (auto* v = std::get_if<Object>(&value_)) return *v;
+  type_error("object", type());
+}
+
+Json& Json::set(std::string key, Json value) {
+  Object& object = as_object();
+  for (auto& [existing, item] : object) {
+    if (existing == key) {
+      item = std::move(value);
+      return *this;
+    }
+  }
+  object.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [existing, item] : as_object()) {
+    if (existing == key) return &item;
+  }
+  return nullptr;
+}
+
+Json& Json::push_back(Json value) {
+  as_array().push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Json Json::parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace repro

@@ -1,0 +1,100 @@
+#pragma once
+// Minimal self-contained JSON value, parser, and writer for the tuning
+// service's wire protocol. No external dependency: the repo's rule is zero
+// runtime deps, and the protocol only needs objects, arrays, strings,
+// integers (64-bit exact — seeds must round-trip), doubles, bools, null.
+//
+// Numbers: integer tokens parse to kInt (int64) or kUint (uint64) so that
+// 64-bit seeds and budgets survive the wire bit-exactly; tokens with a
+// fraction or exponent parse to kDouble and are emitted with shortest
+// round-trip formatting (std::to_chars). Non-finite doubles have no JSON
+// representation and serialize as null — protocol code maps NaN explicitly.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace repro {
+
+struct JsonError : std::runtime_error {
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value pairs (stable output, duplicate-free by
+  /// construction through set()).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() noexcept : value_(nullptr) {}
+  Json(std::nullptr_t) noexcept : value_(nullptr) {}
+  Json(bool b) noexcept : value_(b) {}
+  Json(int v) noexcept : value_(static_cast<std::int64_t>(v)) {}
+  Json(long v) noexcept : value_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) noexcept : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) noexcept : value_(static_cast<std::uint64_t>(v)) {}
+  Json(unsigned long v) noexcept : value_(static_cast<std::uint64_t>(v)) {}
+  Json(unsigned long long v) noexcept : value_(static_cast<std::uint64_t>(v)) {}
+  Json(double v) noexcept : value_(v) {}
+  Json(std::string s) noexcept : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(Array a) noexcept : value_(std::move(a)) {}
+  Json(Object o) noexcept : value_(std::move(o)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Type type() const noexcept {
+    return static_cast<Type>(value_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type() == Type::kInt || type() == Type::kUint || type() == Type::kDouble;
+  }
+  [[nodiscard]] bool is_string() const noexcept { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type() == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const;
+  /// Any numeric kind coerced to double.
+  [[nodiscard]] double as_double() const;
+  /// Integer kinds only (doubles would silently truncate); range-checked.
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object field write (replaces an existing key). Throws unless object.
+  Json& set(std::string key, Json value);
+  /// Object field lookup; nullptr when absent. Throws unless object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Array append. Throws unless array.
+  Json& push_back(Json value);
+
+  /// Compact single-line serialization (the wire format).
+  [[nodiscard]] std::string dump() const;
+
+  /// Parse one complete JSON document; trailing non-whitespace is an error.
+  /// `max_depth` bounds nesting to keep hostile input from overflowing the
+  /// stack.
+  [[nodiscard]] static Json parse(std::string_view text, std::size_t max_depth = 64);
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      value_;
+};
+
+}  // namespace repro

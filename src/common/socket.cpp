@@ -1,0 +1,220 @@
+#include "common/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace repro {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_timeout_option(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Latency over throughput: protocol frames are tiny request/response
+/// pairs, so Nagle coalescing only adds round-trip delay.
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::Io Socket::read_some(void* buffer, std::size_t capacity, std::size_t* got) {
+  *got = 0;
+  if (!valid()) return Io::kClosed;
+  while (true) {
+    const ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    if (n > 0) {
+      *got = static_cast<std::size_t>(n);
+      return Io::kOk;
+    }
+    if (n == 0) return Io::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Io::kTimeout;
+    return Io::kError;
+  }
+}
+
+bool Socket::write_all(const void* buffer, std::size_t length) {
+  if (!valid()) return false;
+  const char* data = static_cast<const char*>(buffer);
+  std::size_t sent = 0;
+  while (sent < length) {
+    const ssize_t n = ::send(fd_, data + sent, length - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::set_read_timeout(std::chrono::milliseconds timeout) {
+  if (valid()) set_timeout_option(fd_, timeout);
+}
+
+void Socket::shutdown_both() noexcept {
+  if (valid()) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (valid()) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_loopback(std::uint16_t port) {
+  return connect_tcp("127.0.0.1", port);
+}
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    throw std::runtime_error("connect_tcp: cannot resolve " + host + ": " +
+                             gai_strerror(rc));
+  }
+  int fd = -1;
+  int saved_errno = 0;
+  for (addrinfo* entry = results; entry != nullptr; entry = entry->ai_next) {
+    fd = ::socket(entry->ai_family, entry->ai_socktype, entry->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    int connected;
+    do {
+      connected = ::connect(fd, entry->ai_addr, entry->ai_addrlen);
+    } while (connected < 0 && errno == EINTR);
+    if (connected == 0) break;
+    saved_errno = errno;
+    (void)::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    errno = saved_errno;
+    throw_errno("connect_tcp: cannot connect to " + host + ":" + service);
+  }
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+ListenSocket ListenSocket::listen_loopback(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("listen_loopback: socket");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+    const int saved = errno;
+    (void)::close(fd);
+    errno = saved;
+    throw_errno("listen_loopback: bind port " + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    (void)::close(fd);
+    errno = saved;
+    throw_errno("listen_loopback: listen");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const int saved = errno;
+    (void)::close(fd);
+    errno = saved;
+    throw_errno("listen_loopback: getsockname");
+  }
+
+  ListenSocket listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+void ListenSocket::set_accept_timeout(std::chrono::milliseconds timeout) {
+  if (valid()) set_timeout_option(fd_, timeout);
+}
+
+Socket::Io ListenSocket::accept(Socket* out) {
+  *out = Socket();
+  if (!valid()) return Socket::Io::kClosed;
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      *out = Socket(fd);
+      return Socket::Io::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket::Io::kTimeout;
+    // EBADF/EINVAL after a concurrent close() is the shutdown path.
+    return Socket::Io::kClosed;
+  }
+}
+
+void ListenSocket::close() noexcept {
+  if (valid()) {
+    // shutdown() first so a thread blocked in accept() wakes immediately
+    // instead of waiting out its timeout.
+    (void)::shutdown(fd_, SHUT_RDWR);
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace repro

@@ -1,0 +1,90 @@
+#pragma once
+// Blocking TCP socket helpers for the tuning service. Deliberately
+// poll/epoll-free: the daemon's concurrency model is
+// one-blocking-connection-per-pool-worker, with short SO_RCVTIMEO read
+// timeouts standing in for readiness notification so accept/read loops can
+// observe shutdown flags. POSIX only (the repo's CI platform); all calls
+// retry EINTR.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace repro {
+
+/// RAII wrapper over a connected stream socket file descriptor.
+class Socket {
+ public:
+  /// Outcome of a read/accept attempt on a blocking socket.
+  enum class Io { kOk, kClosed, kTimeout, kError };
+
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Read up to `capacity` bytes. kTimeout only fires when a read timeout
+  /// is set; kClosed reports orderly peer shutdown.
+  [[nodiscard]] Io read_some(void* buffer, std::size_t capacity, std::size_t* got);
+
+  /// Write the whole buffer (loops over partial writes; SIGPIPE suppressed).
+  [[nodiscard]] bool write_all(const void* buffer, std::size_t length);
+
+  /// SO_RCVTIMEO; zero disables (reads block indefinitely).
+  void set_read_timeout(std::chrono::milliseconds timeout);
+
+  /// Shut down both directions, unblocking any reader on this socket.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+  /// Connect to 127.0.0.1:port. Throws std::runtime_error on failure.
+  [[nodiscard]] static Socket connect_loopback(std::uint16_t port);
+  /// Connect to host:port (numeric or resolvable name). Throws on failure.
+  [[nodiscard]] static Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket bound to the loopback interface.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { close(); }
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+
+  /// Bind and listen on 127.0.0.1:port (0 = kernel-assigned ephemeral
+  /// port, readable via port()). Throws std::runtime_error on failure.
+  [[nodiscard]] static ListenSocket listen_loopback(std::uint16_t port, int backlog = 64);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// SO_RCVTIMEO on the listener: accept() then returns kTimeout
+  /// periodically so the accept loop can poll a stop flag.
+  void set_accept_timeout(std::chrono::milliseconds timeout);
+
+  /// Accept one connection. kClosed reports a closed/invalid listener.
+  [[nodiscard]] Socket::Io accept(Socket* out);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace repro

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -84,6 +85,15 @@ double parse_outcome(const std::string& text) {
   return text == "nan" ? std::numeric_limits<double>::quiet_NaN() : std::stod(text);
 }
 
+/// Strip a trailing CR (files that passed through Windows tooling or a
+/// text-mode transfer) and trailing spaces/tabs from one line.
+void strip_line_ending(std::string& line) {
+  while (!line.empty() &&
+         (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+    line.pop_back();
+  }
+}
+
 constexpr const char* kCheckpointHeaderPrefix = "checkpoint,v1,";
 
 }  // namespace
@@ -123,7 +133,11 @@ StudyResults load_results_csv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_results_csv: cannot open " + path);
   std::string line;
-  if (!std::getline(in, line) || line.rfind("kind,", 0) != 0) {
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_results_csv: bad header in " + path);
+  }
+  strip_line_ending(line);
+  if (line.rfind("kind,", 0) != 0) {
     throw std::runtime_error("load_results_csv: bad header in " + path);
   }
 
@@ -152,6 +166,7 @@ StudyResults load_results_csv(const std::string& path) {
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    strip_line_ending(line);
     if (line.empty()) continue;
     std::stringstream fields(line);
     std::string kind, benchmark, architecture, algorithm, size_text, exp_text,
@@ -221,9 +236,38 @@ std::string StudyCheckpoint::cell_key(const std::string& benchmark,
          std::to_string(sample_size);
 }
 
+namespace {
+
+/// Drop an unterminated trailing line left by a crash mid-append. Without
+/// this, the next append would concatenate onto the torn line and corrupt a
+/// record in the *middle* of the file — which a later resume would then
+/// correctly refuse to load. Returns false on IO failure.
+bool truncate_torn_tail(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  if (content.empty() || content.back() == '\n') return true;
+  const std::size_t last_newline = content.find_last_of('\n');
+  const std::size_t keep = last_newline == std::string::npos ? 0 : last_newline + 1;
+  log_warn("checkpoint {}: truncating torn unterminated tail ({} bytes)", path,
+           content.size() - keep);
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep, ec);
+  return !ec;
+}
+
+}  // namespace
+
 bool checkpoint_begin(const std::string& path, std::uint64_t master_seed) {
   std::error_code ec;
-  if (std::filesystem::exists(path, ec)) return true;
+  if (std::filesystem::exists(path, ec)) {
+    // Repair a torn write before the first append of this run; if the tear
+    // took the header with it, fall through and rewrite the header.
+    if (!truncate_torn_tail(path)) return false;
+    if (std::filesystem::file_size(path, ec) > 0 && !ec) return true;
+  }
   std::ofstream out(path, std::ios::app);
   if (!out) return false;
   out << kCheckpointHeaderPrefix << master_seed << '\n';
@@ -298,32 +342,62 @@ void apply_checkpoint_line(StudyCheckpoint& checkpoint, const std::string& line)
 }  // namespace
 
 StudyCheckpoint load_checkpoint(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line) || line.rfind(kCheckpointHeaderPrefix, 0) != 0) {
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+
+  // Every checkpoint writer terminates its line with '\n', so an
+  // unterminated final line is always a torn write — drop it even when its
+  // prefix happens to parse.
+  const bool terminated = !content.empty() && content.back() == '\n';
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char ch : content) {
+    if (ch == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty() && !terminated) {
+    log_warn("checkpoint {}: ignoring torn unterminated final line ({} bytes)", path,
+             current.size());
+  }
+  for (std::string& line : lines) strip_line_ending(line);
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+
+  StudyCheckpoint checkpoint;
+  if (lines.empty()) {
+    // Nothing but a torn (or absent) header survives: treat as a fresh
+    // checkpoint — checkpoint_begin() repairs the file before appending.
+    if (!content.empty()) {
+      log_warn("checkpoint {}: header is torn; resuming with no completed cells",
+               path);
+    }
+    return checkpoint;
+  }
+  if (lines.front().rfind(kCheckpointHeaderPrefix, 0) != 0) {
     throw std::runtime_error("load_checkpoint: bad header in " + path);
   }
-  StudyCheckpoint checkpoint;
-  checkpoint.master_seed = std::stoull(line.substr(std::string(kCheckpointHeaderPrefix).size()));
+  checkpoint.master_seed =
+      std::stoull(lines.front().substr(std::string(kCheckpointHeaderPrefix).size()));
 
-  std::vector<std::string> lines;
-  while (std::getline(in, line)) {
-    if (!line.empty()) lines.push_back(std::move(line));
-  }
-  for (std::size_t i = 0; i < lines.size(); ++i) {
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
     try {
       apply_checkpoint_line(checkpoint, lines[i]);
     } catch (const std::exception& error) {
       if (i + 1 == lines.size()) {
-        // The only corruption an append-only file can suffer from a crash is
-        // a torn final line; drop it and keep everything before.
+        // A crash can also tear a record that still got its '\n' flushed
+        // separately; a malformed *final* record is dropped either way.
         log_warn("checkpoint {}: ignoring torn trailing record ({})", path,
                  error.what());
         break;
       }
       throw std::runtime_error("load_checkpoint: malformed record at line " +
-                               std::to_string(i + 2) + " of " + path + ": " +
+                               std::to_string(i + 1) + " of " + path + ": " +
                                error.what());
     }
   }

@@ -56,7 +56,10 @@ struct StudyCheckpoint {
 };
 
 /// Create the checkpoint file with its header line unless it already
-/// exists. Returns false on IO failure.
+/// exists. An existing file first has any torn unterminated tail (a crash
+/// mid-append) truncated away so subsequent appends start on a line
+/// boundary; if the tear took the header, the header is rewritten. Returns
+/// false on IO failure.
 bool checkpoint_begin(const std::string& path, std::uint64_t master_seed);
 
 /// Append one panel-optimum record. Returns false on IO failure.
@@ -71,9 +74,12 @@ bool checkpoint_append_cell(const std::string& path, const std::string& benchmar
                             const CellOutcomes& cell);
 
 /// Reload a checkpoint. Throws std::runtime_error when the file cannot be
-/// opened or its header is malformed. A malformed *trailing* record (the
-/// write the crash interrupted) is logged and ignored; everything before it
-/// is returned.
+/// opened or its header is malformed. Torn writes are tolerated: an
+/// unterminated final line is always dropped (every writer terminates with
+/// '\n'), a malformed trailing record is logged and ignored, and a file
+/// whose very header is torn loads as an empty checkpoint (checkpoint_begin
+/// then repairs the file). CRLF line endings and trailing whitespace are
+/// accepted.
 [[nodiscard]] StudyCheckpoint load_checkpoint(const std::string& path);
 
 }  // namespace repro::harness

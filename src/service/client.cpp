@@ -1,0 +1,145 @@
+#include "service/client.hpp"
+
+#include <utility>
+
+namespace repro::service {
+
+void Client::connect() {
+  if (connected_) return;
+  try {
+    socket_ = config_.host == "127.0.0.1"
+                  ? Socket::connect_loopback(config_.port)
+                  : Socket::connect_tcp(config_.host, config_.port);
+  } catch (const std::exception& error) {
+    throw ClientError("connect to " + config_.host + ":" +
+                      std::to_string(config_.port) + " failed: " + error.what());
+  }
+  reader_.emplace(socket_);
+  connected_ = true;
+  Json hello = Json::object();
+  hello.set("op", "hello");
+  hello.set("version", static_cast<std::uint64_t>(kProtocolVersion));
+  hello.set("client", config_.name);
+  (void)call(hello);
+}
+
+void Client::disconnect() {
+  if (!connected_) return;
+  socket_.close();
+  reader_.reset();
+  connected_ = false;
+}
+
+Json Client::call(const Json& request) {
+  if (!connected_) throw ClientError("client is not connected");
+  if (!write_frame(socket_, request)) {
+    disconnect();
+    throw ClientError("connection lost while sending request");
+  }
+  std::string line;
+  while (true) {
+    const FrameStatus status = reader_->next(&line);
+    if (status == FrameStatus::kTimeout) continue;  // no read timeout set; defensive
+    if (status != FrameStatus::kOk) {
+      disconnect();
+      throw ClientError("connection lost while awaiting response");
+    }
+    break;
+  }
+  Json response;
+  try {
+    response = Json::parse(line);
+  } catch (const JsonError& error) {
+    disconnect();
+    throw ClientError(std::string("malformed response frame: ") + error.what());
+  }
+  const bool ok = require_bool(response, "ok");
+  if (!ok) {
+    const std::string code_text = require_string(response, "error");
+    const Json* message = response.find("message");
+    const std::string text =
+        message != nullptr && message->is_string() ? message->as_string() : code_text;
+    const auto code = error_code_from(code_text);
+    throw ProtocolError(code.value_or(ErrorCode::kInternal), text);
+  }
+  return response;
+}
+
+std::string Client::open(const OpenParams& params) {
+  return require_string(call(encode_open(params)), "session");
+}
+
+std::optional<tuner::Configuration> Client::ask(const std::string& session) {
+  Json request = Json::object();
+  request.set("op", "ask");
+  request.set("session", session);
+  const Json response = call(request);
+  if (require_bool(response, "done")) return std::nullopt;
+  return decode_config(require(response, "config"));
+}
+
+std::size_t Client::tell(const std::string& session,
+                         const tuner::Evaluation& evaluation) {
+  Json request = Json::object();
+  request.set("op", "tell");
+  request.set("session", session);
+  encode_evaluation_into(request, evaluation);
+  return static_cast<std::size_t>(require_uint(call(request), "remaining"));
+}
+
+Client::RemoteResult Client::result(const std::string& session) {
+  Json request = Json::object();
+  request.set("op", "result");
+  request.set("session", session);
+  const Json response = call(request);
+  RemoteResult out;
+  decode_tune_result(require(response, "result"), &out.result, &out.counters);
+  return out;
+}
+
+void Client::close_session(const std::string& session) {
+  Json request = Json::object();
+  request.set("op", "close");
+  request.set("session", session);
+  (void)call(request);
+}
+
+Json Client::status() {
+  Json request = Json::object();
+  request.set("op", "status");
+  return call(request);
+}
+
+void Client::ping() {
+  Json request = Json::object();
+  request.set("op", "ping");
+  (void)call(request);
+}
+
+Client::RemoteResult Client::remote_minimize(const OpenParams& params,
+                                             const tuner::Objective& objective) {
+  const std::string session = open(params);
+  try {
+    while (auto config = ask(session)) {
+      Json request = Json::object();
+      request.set("op", "tell");
+      request.set("session", session);
+      encode_evaluation_into(request, objective(*config));
+      (void)call(request);
+    }
+    RemoteResult out = result(session);
+    close_session(session);
+    return out;
+  } catch (...) {
+    // Best effort: do not leak the server-side session on client failure.
+    if (connected_) {
+      try {
+        close_session(session);
+      } catch (...) {
+      }
+    }
+    throw;
+  }
+}
+
+}  // namespace repro::service

@@ -1,0 +1,80 @@
+#pragma once
+// Client side of the tuning service: a thin synchronous RPC wrapper over the
+// JSON-lines protocol plus a remote_minimize() convenience that drives a
+// whole ask/tell loop against a caller-supplied objective.
+//
+// A Client owns one connection and performs the versioned hello handshake in
+// connect(). Calls are strictly request/response, so one Client must not be
+// shared between threads without external serialization; open as many
+// clients (or sessions per client) as you need instead — sessions are
+// addressed by id, not by connection.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/socket.hpp"
+#include "service/protocol.hpp"
+
+namespace repro::service {
+
+/// Thrown on transport failures (connect/read/write) as opposed to typed
+/// server-side ProtocolError responses, which are rethrown as ProtocolError.
+struct ClientError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string name = "tune_client/1";
+};
+
+class Client {
+ public:
+  Client() = default;
+  explicit Client(ClientConfig config) : config_(std::move(config)) {}
+
+  /// Connect and perform the hello handshake. Throws ClientError on
+  /// transport failure, ProtocolError (kVersionMismatch) when the server
+  /// speaks a different protocol version.
+  void connect();
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+  void disconnect();
+
+  /// Raw RPC: send one request frame, return the response object. Throws
+  /// ClientError on transport failure and ProtocolError when the server
+  /// answers {"ok":false,...}.
+  Json call(const Json& request);
+
+  [[nodiscard]] std::string open(const OpenParams& params);
+  /// nullopt once the session's search has terminated (fetch result()).
+  [[nodiscard]] std::optional<tuner::Configuration> ask(const std::string& session);
+  /// Returns the server's remaining-budget estimate.
+  std::size_t tell(const std::string& session, const tuner::Evaluation& evaluation);
+  std::size_t tell(const std::string& session, double value) {
+    return tell(session, tuner::Evaluation{value, true, tuner::EvalStatus::kOk});
+  }
+
+  struct RemoteResult {
+    tuner::TuneResult result;
+    tuner::FailureCounters counters;
+  };
+  [[nodiscard]] RemoteResult result(const std::string& session);
+  void close_session(const std::string& session);
+  [[nodiscard]] Json status();
+  void ping();
+
+  /// Drive a complete remote tuning session: open, ask/tell with
+  /// `objective` until the algorithm terminates, fetch the result, close.
+  [[nodiscard]] RemoteResult remote_minimize(const OpenParams& params,
+                                             const tuner::Objective& objective);
+
+ private:
+  ClientConfig config_;
+  Socket socket_;
+  std::optional<FrameReader> reader_;
+  bool connected_ = false;
+};
+
+}  // namespace repro::service

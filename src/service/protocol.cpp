@@ -1,0 +1,324 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace repro::service {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kMalformedFrame: return "malformed_frame";
+    case ErrorCode::kOversizedFrame: return "oversized_frame";
+    case ErrorCode::kVersionMismatch: return "version_mismatch";
+    case ErrorCode::kHelloRequired: return "hello_required";
+    case ErrorCode::kUnknownOp: return "unknown_op";
+    case ErrorCode::kUnknownSession: return "unknown_session";
+    case ErrorCode::kSessionClosed: return "session_closed";
+    case ErrorCode::kAskPending: return "ask_pending";
+    case ErrorCode::kNoAskOutstanding: return "no_ask_outstanding";
+    case ErrorCode::kSessionLimit: return "session_limit";
+    case ErrorCode::kDraining: return "draining";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::optional<ErrorCode> error_code_from(std::string_view text) noexcept {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kMalformedFrame, ErrorCode::kOversizedFrame,
+        ErrorCode::kVersionMismatch, ErrorCode::kHelloRequired, ErrorCode::kUnknownOp,
+        ErrorCode::kUnknownSession, ErrorCode::kSessionClosed, ErrorCode::kAskPending,
+        ErrorCode::kNoAskOutstanding, ErrorCode::kSessionLimit, ErrorCode::kDraining,
+        ErrorCode::kInternal}) {
+    if (text == to_string(code)) return code;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+FrameStatus FrameReader::next(std::string* line) {
+  line->clear();
+  while (true) {
+    // Scan only bytes not inspected on previous passes.
+    for (; scanned_ < buffer_.size(); ++scanned_) {
+      if (buffer_[scanned_] == '\n') {
+        line->assign(buffer_, 0, scanned_);
+        buffer_.erase(0, scanned_ + 1);
+        scanned_ = 0;
+        return FrameStatus::kOk;
+      }
+    }
+    if (buffer_.size() > max_frame_) return FrameStatus::kOversized;
+
+    char chunk[4096];
+    std::size_t got = 0;
+    switch (socket_.read_some(chunk, sizeof(chunk), &got)) {
+      case Socket::Io::kOk: buffer_.append(chunk, got); break;
+      case Socket::Io::kClosed:
+        // A clean close mid-frame drops the partial frame, mirroring the
+        // torn-final-line rule of the checkpoint format.
+        return FrameStatus::kClosed;
+      case Socket::Io::kTimeout: return FrameStatus::kTimeout;
+      case Socket::Io::kError: return FrameStatus::kError;
+    }
+  }
+}
+
+bool write_frame(Socket& socket, const Json& message) {
+  std::string text = message.dump();
+  text += '\n';
+  return socket.write_all(text.data(), text.size());
+}
+
+// ---------------------------------------------------------------------------
+// Field access helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& message) {
+  throw ProtocolError(ErrorCode::kBadRequest, message);
+}
+
+}  // namespace
+
+const Json& require(const Json& object, std::string_view key) {
+  if (!object.is_object()) bad_request("request is not an object");
+  const Json* field = object.find(key);
+  if (field == nullptr) bad_request("missing field: " + std::string(key));
+  return *field;
+}
+
+std::string require_string(const Json& object, std::string_view key) {
+  const Json& field = require(object, key);
+  if (!field.is_string()) bad_request("field must be a string: " + std::string(key));
+  return field.as_string();
+}
+
+std::uint64_t require_uint(const Json& object, std::string_view key) {
+  const Json& field = require(object, key);
+  try {
+    return field.as_uint64();
+  } catch (const JsonError&) {
+    bad_request("field must be a non-negative integer: " + std::string(key));
+  }
+}
+
+bool require_bool(const Json& object, std::string_view key) {
+  const Json& field = require(object, key);
+  if (!field.is_bool()) bad_request("field must be a bool: " + std::string(key));
+  return field.as_bool();
+}
+
+// ---------------------------------------------------------------------------
+// Message payloads
+// ---------------------------------------------------------------------------
+
+tuner::ParamSpace OpenParams::make_space() const {
+  if (!custom_space) return tuner::paper_search_space();
+  tuner::ParamSpace::Constraint constraint_fn = nullptr;
+  if (constraint == "wg256") {
+    constraint_fn = [](const tuner::Configuration& config) {
+      // Paper executability rule on the trailing three (work-group) axes.
+      if (config.size() < 3) return true;
+      const std::size_t n = config.size();
+      return config[n - 3] * config[n - 2] * config[n - 1] <= 256;
+    };
+  } else if (constraint != "none") {
+    bad_request("unknown constraint: " + constraint);
+  }
+  if (params.empty()) bad_request("custom space needs at least one parameter");
+  return tuner::ParamSpace(params, std::move(constraint_fn));
+}
+
+Json encode_open(const OpenParams& params) {
+  Json request = Json::object();
+  request.set("op", "open");
+  request.set("algorithm", params.algorithm);
+  request.set("budget", static_cast<std::uint64_t>(params.budget));
+  request.set("seed", params.seed);
+  if (params.retry.max_retries > 0) {
+    Json retry = Json::object();
+    retry.set("max_retries", static_cast<std::uint64_t>(params.retry.max_retries));
+    retry.set("backoff_initial_us", params.retry.backoff_initial_us);
+    retry.set("backoff_multiplier", params.retry.backoff_multiplier);
+    retry.set("backoff_max_us", params.retry.backoff_max_us);
+    request.set("retry", std::move(retry));
+  }
+  if (params.custom_space) {
+    Json space = Json::object();
+    Json ranges = Json::array();
+    for (const tuner::ParamRange& range : params.params) {
+      Json entry = Json::object();
+      entry.set("name", range.name);
+      entry.set("lo", static_cast<long long>(range.lo));
+      entry.set("hi", static_cast<long long>(range.hi));
+      ranges.push_back(std::move(entry));
+    }
+    space.set("params", std::move(ranges));
+    space.set("constraint", params.constraint);
+    request.set("space", std::move(space));
+  }
+  return request;
+}
+
+OpenParams decode_open(const Json& request) {
+  OpenParams params;
+  params.algorithm = require_string(request, "algorithm");
+  params.budget = static_cast<std::size_t>(require_uint(request, "budget"));
+  if (params.budget == 0) bad_request("budget must be positive");
+  params.seed = require_uint(request, "seed");
+  if (const Json* retry = request.find("retry"); retry != nullptr) {
+    params.retry.max_retries =
+        static_cast<std::size_t>(require_uint(*retry, "max_retries"));
+    if (const Json* v = retry->find("backoff_initial_us"))
+      params.retry.backoff_initial_us = v->as_double();
+    if (const Json* v = retry->find("backoff_multiplier"))
+      params.retry.backoff_multiplier = v->as_double();
+    if (const Json* v = retry->find("backoff_max_us"))
+      params.retry.backoff_max_us = v->as_double();
+  }
+  if (const Json* space = request.find("space"); space != nullptr) {
+    params.custom_space = true;
+    const Json& ranges = require(*space, "params");
+    if (!ranges.is_array()) bad_request("space.params must be an array");
+    for (const Json& entry : ranges.as_array()) {
+      tuner::ParamRange range;
+      range.name = require_string(entry, "name");
+      try {
+        range.lo = static_cast<int>(require(entry, "lo").as_int64());
+        range.hi = static_cast<int>(require(entry, "hi").as_int64());
+      } catch (const JsonError&) {
+        bad_request("space bounds must be integers");
+      }
+      if (range.hi < range.lo) bad_request("space range is empty: " + range.name);
+      params.params.push_back(std::move(range));
+    }
+    if (const Json* constraint = space->find("constraint"))
+      params.constraint = constraint->as_string();
+  }
+  return params;
+}
+
+Json encode_config(const tuner::Configuration& config) {
+  Json array = Json::array();
+  for (const int value : config) array.push_back(static_cast<long long>(value));
+  return array;
+}
+
+tuner::Configuration decode_config(const Json& array) {
+  if (!array.is_array()) bad_request("config must be an array of integers");
+  tuner::Configuration config;
+  config.reserve(array.as_array().size());
+  for (const Json& value : array.as_array()) {
+    try {
+      config.push_back(static_cast<int>(value.as_int64()));
+    } catch (const JsonError&) {
+      bad_request("config must be an array of integers");
+    }
+  }
+  return config;
+}
+
+void encode_evaluation_into(Json& object, const tuner::Evaluation& eval) {
+  object.set("value", std::isfinite(eval.value) ? Json(eval.value) : Json(nullptr));
+  object.set("valid", eval.valid);
+  object.set("status", tuner::to_string(eval.status));
+}
+
+tuner::Evaluation decode_evaluation(const Json& object) {
+  tuner::Evaluation eval;
+  const Json& value = require(object, "value");
+  eval.value = value.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                               : value.as_double();
+  eval.valid = require_bool(object, "valid");
+  const std::string status_text = require_string(object, "status");
+  const auto status = eval_status_from(status_text);
+  if (!status) bad_request("unknown evaluation status: " + status_text);
+  eval.status = *status;
+  return eval;
+}
+
+Json encode_counters(const tuner::FailureCounters& counters) {
+  Json object = Json::object();
+  object.set("ok", static_cast<std::uint64_t>(counters.ok));
+  object.set("invalid", static_cast<std::uint64_t>(counters.invalid));
+  object.set("transient", static_cast<std::uint64_t>(counters.transient));
+  object.set("timeout", static_cast<std::uint64_t>(counters.timeout));
+  object.set("crashed", static_cast<std::uint64_t>(counters.crashed));
+  object.set("retries", static_cast<std::uint64_t>(counters.retries));
+  object.set("retry_successes", static_cast<std::uint64_t>(counters.retry_successes));
+  object.set("backoff_us", counters.backoff_us);
+  return object;
+}
+
+tuner::FailureCounters decode_counters(const Json& object) {
+  tuner::FailureCounters counters;
+  counters.ok = static_cast<std::size_t>(require_uint(object, "ok"));
+  counters.invalid = static_cast<std::size_t>(require_uint(object, "invalid"));
+  counters.transient = static_cast<std::size_t>(require_uint(object, "transient"));
+  counters.timeout = static_cast<std::size_t>(require_uint(object, "timeout"));
+  counters.crashed = static_cast<std::size_t>(require_uint(object, "crashed"));
+  counters.retries = static_cast<std::size_t>(require_uint(object, "retries"));
+  counters.retry_successes =
+      static_cast<std::size_t>(require_uint(object, "retry_successes"));
+  counters.backoff_us = require(object, "backoff_us").as_double();
+  return counters;
+}
+
+Json encode_tune_result(const tuner::TuneResult& result,
+                        const tuner::FailureCounters& counters) {
+  Json object = Json::object();
+  object.set("found_valid", result.found_valid);
+  object.set("best_config", encode_config(result.best_config));
+  object.set("best_value",
+             std::isfinite(result.best_value) ? Json(result.best_value) : Json(nullptr));
+  object.set("evaluations_used", static_cast<std::uint64_t>(result.evaluations_used));
+  object.set("counters", encode_counters(counters));
+  return object;
+}
+
+void decode_tune_result(const Json& object, tuner::TuneResult* result,
+                        tuner::FailureCounters* counters) {
+  result->found_valid = require_bool(object, "found_valid");
+  result->best_config = decode_config(require(object, "best_config"));
+  const Json& best = require(object, "best_value");
+  result->best_value =
+      best.is_null() ? std::numeric_limits<double>::quiet_NaN() : best.as_double();
+  result->evaluations_used =
+      static_cast<std::size_t>(require_uint(object, "evaluations_used"));
+  if (counters != nullptr) *counters = decode_counters(require(object, "counters"));
+}
+
+std::optional<tuner::EvalStatus> eval_status_from(std::string_view text) noexcept {
+  for (const tuner::EvalStatus status :
+       {tuner::EvalStatus::kOk, tuner::EvalStatus::kInvalid, tuner::EvalStatus::kTransient,
+        tuner::EvalStatus::kTimeout, tuner::EvalStatus::kCrashed}) {
+    if (text == tuner::to_string(status)) return status;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Response helpers
+// ---------------------------------------------------------------------------
+
+Json make_ok() {
+  Json response = Json::object();
+  response.set("ok", true);
+  return response;
+}
+
+Json make_error(ErrorCode code, const std::string& message) {
+  Json response = Json::object();
+  response.set("ok", false);
+  response.set("error", to_string(code));
+  response.set("message", message);
+  return response;
+}
+
+}  // namespace repro::service

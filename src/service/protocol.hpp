@@ -1,0 +1,165 @@
+#pragma once
+// Wire protocol of the tuning service: newline-delimited JSON frames with a
+// hard frame-size cap, a versioned handshake, and typed errors.
+//
+// Framing. One frame = one JSON object serialized on a single line and
+// terminated by '\n'. The reader enforces kMaxFrameBytes while scanning for
+// the delimiter, so a hostile or corrupted peer cannot make the server
+// buffer unbounded input; an oversized frame is a connection-fatal error
+// (the stream can no longer be trusted to resynchronize).
+//
+// Handshake. The first frame on a connection must be
+//   {"op":"hello","version":1,"client":"<name>"}
+// and the server answers {"ok":true,"version":1,"server":...,
+// "max_frame":...}. A version mismatch is answered with a typed error and
+// the connection is closed; every other op before hello is rejected.
+//
+// Requests after the handshake:
+//   {"op":"open","algorithm":"bogp","budget":100,"seed":42, ...}
+//   {"op":"ask","session":"s1"}
+//   {"op":"tell","session":"s1","value":123.5,"valid":true,"status":"ok"}
+//   {"op":"result","session":"s1"}
+//   {"op":"close","session":"s1"}
+//   {"op":"status"}
+// Responses are {"ok":true,...} or
+// {"ok":false,"error":"<code>","message":"<human text>"}.
+// The full grammar and session lifecycle live in docs/SERVICE.md.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/socket.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/objective.hpp"
+#include "tuner/search_space.hpp"
+#include "tuner/tuner.hpp"
+
+namespace repro::service {
+
+inline constexpr int kProtocolVersion = 1;
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+// ---------------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------------
+
+enum class ErrorCode {
+  kBadRequest,       ///< well-formed JSON, invalid contents
+  kMalformedFrame,   ///< frame is not valid JSON
+  kOversizedFrame,   ///< frame exceeded kMaxFrameBytes (connection-fatal)
+  kVersionMismatch,  ///< hello version != kProtocolVersion (connection-fatal)
+  kHelloRequired,    ///< op before the handshake
+  kUnknownOp,
+  kUnknownSession,
+  kSessionClosed,    ///< session cancelled/evicted while the op was blocked
+  kAskPending,       ///< ask while a proposal is already outstanding
+  kNoAskOutstanding, ///< tell with nothing to answer
+  kSessionLimit,     ///< max concurrent sessions reached
+  kDraining,         ///< server is shutting down, no new sessions
+  kInternal,         ///< search thread died with an unexpected exception
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code) noexcept;
+/// Inverse of to_string; nullopt for unknown identifiers.
+[[nodiscard]] std::optional<ErrorCode> error_code_from(std::string_view text) noexcept;
+
+/// Carries a typed protocol error through server dispatch; the handler turns
+/// it into an {"ok":false,...} response frame.
+struct ProtocolError : std::runtime_error {
+  ErrorCode code;
+  ProtocolError(ErrorCode code_in, const std::string& message)
+      : std::runtime_error(message), code(code_in) {}
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+enum class FrameStatus { kOk, kClosed, kTimeout, kOversized, kError };
+
+/// Buffered newline-delimited frame reader over one socket. A kTimeout from
+/// the socket's read timeout surfaces as FrameStatus::kTimeout with the
+/// partial frame retained, so callers can poll a stop flag and resume.
+class FrameReader {
+ public:
+  explicit FrameReader(Socket& socket, std::size_t max_frame = kMaxFrameBytes)
+      : socket_(socket), max_frame_(max_frame) {}
+
+  /// Read the next frame into `line` (without the trailing '\n').
+  [[nodiscard]] FrameStatus next(std::string* line);
+
+ private:
+  Socket& socket_;
+  std::size_t max_frame_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;  ///< prefix of buffer_ already known '\n'-free
+};
+
+/// Serialize `message` and send it as one frame.
+[[nodiscard]] bool write_frame(Socket& socket, const Json& message);
+
+// ---------------------------------------------------------------------------
+// Field access helpers (throw ProtocolError{kBadRequest} on mismatch)
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] const Json& require(const Json& object, std::string_view key);
+[[nodiscard]] std::string require_string(const Json& object, std::string_view key);
+[[nodiscard]] std::uint64_t require_uint(const Json& object, std::string_view key);
+[[nodiscard]] bool require_bool(const Json& object, std::string_view key);
+
+// ---------------------------------------------------------------------------
+// Message payloads
+// ---------------------------------------------------------------------------
+
+/// Parameters of an `open` request. The search space defaults to the
+/// paper's 6-parameter space; a custom space can be sent inline as
+/// {"space":{"params":[{"name":...,"lo":...,"hi":...},...],
+///           "constraint":"none"|"wg256"}}.
+struct OpenParams {
+  std::string algorithm = "rs";
+  std::size_t budget = 100;
+  std::uint64_t seed = 1;
+  tuner::RetryPolicy retry;
+  bool custom_space = false;
+  std::vector<tuner::ParamRange> params;
+  std::string constraint = "none";  ///< "none" or "wg256" (paper constraint)
+
+  /// Materialize the requested space (paper space unless custom).
+  [[nodiscard]] tuner::ParamSpace make_space() const;
+};
+
+[[nodiscard]] Json encode_open(const OpenParams& params);
+[[nodiscard]] OpenParams decode_open(const Json& request);
+
+[[nodiscard]] Json encode_config(const tuner::Configuration& config);
+[[nodiscard]] tuner::Configuration decode_config(const Json& array);
+
+/// Evaluation <-> tell payload fields (value/valid/status). A NaN value
+/// crosses the wire as null.
+void encode_evaluation_into(Json& object, const tuner::Evaluation& eval);
+[[nodiscard]] tuner::Evaluation decode_evaluation(const Json& object);
+
+[[nodiscard]] Json encode_tune_result(const tuner::TuneResult& result,
+                                      const tuner::FailureCounters& counters);
+void decode_tune_result(const Json& object, tuner::TuneResult* result,
+                        tuner::FailureCounters* counters);
+
+[[nodiscard]] Json encode_counters(const tuner::FailureCounters& counters);
+[[nodiscard]] tuner::FailureCounters decode_counters(const Json& object);
+
+[[nodiscard]] std::optional<tuner::EvalStatus> eval_status_from(std::string_view text) noexcept;
+
+// ---------------------------------------------------------------------------
+// Response helpers
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] Json make_ok();
+[[nodiscard]] Json make_error(ErrorCode code, const std::string& message);
+
+}  // namespace repro::service

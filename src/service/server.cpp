@@ -1,0 +1,285 @@
+#include "service/server.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace repro::service {
+
+TuneServer::TuneServer(ServerConfig config)
+    : config_(std::move(config)), manager_(std::make_unique<SessionManager>(config_.limits)) {}
+
+TuneServer::~TuneServer() { stop(); }
+
+void TuneServer::start() {
+  {
+    std::lock_guard lock(mutex_);
+    if (started_) return;
+    started_ = true;
+  }
+  listener_ = ListenSocket::listen_loopback(config_.port);
+  listener_.set_accept_timeout(config_.poll_interval);
+  port_ = listener_.port();
+  pool_ = std::make_unique<ThreadPool>(config_.connection_threads);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  log_info("tuned: listening on 127.0.0.1:{} ({} connection workers, "
+           "max {} sessions)",
+           port_, config_.connection_threads, config_.limits.max_sessions);
+}
+
+bool TuneServer::running() const noexcept {
+  std::lock_guard lock(mutex_);
+  return started_ && !stopping_;
+}
+
+bool TuneServer::draining() const noexcept {
+  std::lock_guard lock(mutex_);
+  return draining_;
+}
+
+bool TuneServer::drain(std::chrono::milliseconds deadline) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_ || stopping_) return true;
+  }
+  listener_.close();  // stop accepting; live connections keep running
+  {
+    // Flag set only after the listener is gone, so an observer of
+    // draining()==true can rely on new connections being refused.
+    std::lock_guard lock(mutex_);
+    draining_ = true;
+  }
+  log_info("tuned: draining ({} live sessions, {} connections)",
+           manager_->live(), active_connections());
+  const auto stop_at = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < stop_at) {
+    if (manager_->live() == 0 && active_connections() == 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return manager_->live() == 0 && active_connections() == 0;
+}
+
+void TuneServer::stop() {
+  std::vector<std::shared_ptr<Socket>> sockets;
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_ || stopping_) {
+      if (!started_) return;
+      // fallthrough for idempotent stop after a previous stop() finished
+    }
+    stopping_ = true;
+    sockets.reserve(connections_.size());
+    for (auto& [id, socket] : connections_) sockets.push_back(socket);
+  }
+  listener_.close();
+  for (const auto& socket : sockets) socket->shutdown_both();
+  // Unblock handlers parked in session ask()/result() before joining them.
+  manager_->cancel_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // joins connection workers
+}
+
+std::size_t TuneServer::active_connections() const {
+  std::lock_guard lock(mutex_);
+  return connections_.size();
+}
+
+std::size_t TuneServer::connections_accepted() const {
+  std::lock_guard lock(mutex_);
+  return connections_accepted_;
+}
+
+void TuneServer::accept_loop() {
+  while (true) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+    }
+    Socket socket;
+    const Socket::Io io = listener_.accept(&socket);
+    if (io == Socket::Io::kTimeout) {
+      // The accept tick doubles as the idle-eviction heartbeat.
+      (void)manager_->evict_idle();
+      continue;
+    }
+    if (io == Socket::Io::kClosed) return;  // stop() or drain() closed us
+    if (io == Socket::Io::kError) continue;
+
+    auto shared = std::make_shared<Socket>(std::move(socket));
+    std::uint64_t id = 0;
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) continue;  // socket closes as `shared` dies
+      id = next_connection_id_++;
+      connections_[id] = shared;
+      ++connections_accepted_;
+    }
+    std::vector<std::function<void()>> task;
+    task.emplace_back([this, id] {
+      try {
+        handle_connection(id);
+      } catch (const std::exception& error) {
+        log_error("tuned: connection {} handler failed: {}", id, error.what());
+      }
+      std::lock_guard lock(mutex_);
+      connections_.erase(id);
+    });
+    pool_->submit_batch(std::move(task));
+  }
+}
+
+void TuneServer::handle_connection(std::uint64_t id) {
+  std::shared_ptr<Socket> socket;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    socket = it->second;
+  }
+  socket->set_read_timeout(config_.poll_interval);
+  FrameReader reader(*socket);
+  bool hello_done = false;
+  std::string line;
+  while (true) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+    }
+    const FrameStatus status = reader.next(&line);
+    if (status == FrameStatus::kTimeout) continue;
+    if (status == FrameStatus::kClosed || status == FrameStatus::kError) return;
+    if (status == FrameStatus::kOversized) {
+      // The stream cannot resynchronize after an oversized frame.
+      (void)write_frame(*socket, make_error(ErrorCode::kOversizedFrame,
+                                            "frame exceeds " +
+                                                std::to_string(kMaxFrameBytes) +
+                                                " bytes"));
+      return;
+    }
+
+    Json request;
+    try {
+      request = Json::parse(line);
+    } catch (const JsonError& error) {
+      if (!write_frame(*socket, make_error(ErrorCode::kMalformedFrame, error.what())))
+        return;
+      continue;
+    }
+    bool fatal = false;
+    const Json response = dispatch(request, &hello_done, &fatal);
+    if (!write_frame(*socket, response)) return;
+    if (fatal) return;
+  }
+}
+
+Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
+  *fatal = false;
+  try {
+    const std::string op = require_string(request, "op");
+    if (op == "hello") {
+      const std::uint64_t version = require_uint(request, "version");
+      if (version != static_cast<std::uint64_t>(kProtocolVersion)) {
+        *fatal = true;
+        return make_error(ErrorCode::kVersionMismatch,
+                          "server speaks protocol version " +
+                              std::to_string(kProtocolVersion) + ", client sent " +
+                              std::to_string(version));
+      }
+      *hello_done = true;
+      Json response = make_ok();
+      response.set("version", static_cast<std::uint64_t>(kProtocolVersion));
+      response.set("server", config_.name);
+      response.set("max_frame", static_cast<std::uint64_t>(kMaxFrameBytes));
+      return response;
+    }
+    if (!*hello_done) {
+      return make_error(ErrorCode::kHelloRequired,
+                        "first frame must be a hello handshake");
+    }
+    if (op == "ping") return make_ok();
+    if (op == "open") {
+      {
+        std::lock_guard lock(mutex_);
+        if (draining_ || stopping_) {
+          return make_error(ErrorCode::kDraining, "server is draining");
+        }
+      }
+      const OpenParams params = decode_open(request);
+      Json response = make_ok();
+      response.set("session", manager_->open(params));
+      return response;
+    }
+    if (op == "ask") {
+      const std::string session = require_string(request, "session");
+      const auto config = manager_->ask(session);
+      Json response = make_ok();
+      response.set("done", !config.has_value());
+      if (config) response.set("config", encode_config(*config));
+      return response;
+    }
+    if (op == "tell") {
+      const std::string session = require_string(request, "session");
+      const tuner::Evaluation evaluation = decode_evaluation(request);
+      const std::size_t remaining = manager_->tell(session, evaluation);
+      Json response = make_ok();
+      response.set("remaining", static_cast<std::uint64_t>(remaining));
+      return response;
+    }
+    if (op == "result") {
+      const std::string session = require_string(request, "session");
+      const SessionManager::ResultPayload payload = manager_->result(session);
+      Json response = make_ok();
+      response.set("result", encode_tune_result(payload.result, payload.counters));
+      return response;
+    }
+    if (op == "close") {
+      manager_->close(require_string(request, "session"));
+      return make_ok();
+    }
+    if (op == "status") {
+      const StatusReport report = manager_->status();
+      Json response = make_ok();
+      response.set("server", config_.name);
+      response.set("version", static_cast<std::uint64_t>(kProtocolVersion));
+      response.set("live_sessions", static_cast<std::uint64_t>(report.live_sessions));
+      response.set("opened", static_cast<std::uint64_t>(report.opened));
+      response.set("closed", static_cast<std::uint64_t>(report.closed));
+      response.set("evicted", static_cast<std::uint64_t>(report.evicted));
+      response.set("finished", static_cast<std::uint64_t>(report.finished));
+      response.set("asks", static_cast<std::uint64_t>(report.asks));
+      response.set("tells", static_cast<std::uint64_t>(report.tells));
+      response.set("tallies", encode_counters(report.tallies));
+      {
+        std::lock_guard lock(mutex_);
+        response.set("draining", draining_ || stopping_);
+        response.set("active_connections",
+                     static_cast<std::uint64_t>(connections_.size()));
+        response.set("connections_accepted",
+                     static_cast<std::uint64_t>(connections_accepted_));
+      }
+      Json sessions = Json::array();
+      for (const SessionInfo& info : manager_->sessions()) {
+        Json entry = Json::object();
+        entry.set("id", info.id);
+        entry.set("algorithm", info.algorithm);
+        entry.set("budget", static_cast<std::uint64_t>(info.budget));
+        entry.set("asks", static_cast<std::uint64_t>(info.asks));
+        entry.set("tells", static_cast<std::uint64_t>(info.tells));
+        entry.set("finished", info.finished);
+        entry.set("idle_ms", static_cast<std::uint64_t>(info.idle.count()));
+        sessions.push_back(std::move(entry));
+      }
+      response.set("sessions", std::move(sessions));
+      return response;
+    }
+    return make_error(ErrorCode::kUnknownOp, "unknown op: " + op);
+  } catch (const ProtocolError& error) {
+    return make_error(error.code, error.what());
+  } catch (const JsonError& error) {
+    return make_error(ErrorCode::kBadRequest, error.what());
+  } catch (const std::exception& error) {
+    return make_error(ErrorCode::kInternal, error.what());
+  }
+}
+
+}  // namespace repro::service

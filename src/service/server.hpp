@@ -1,0 +1,94 @@
+#pragma once
+// `tuned` server core: a portable blocking-socket JSON-lines server with no
+// poll/epoll dependency. One accept thread owns the listener (short
+// SO_RCVTIMEO ticks double as the idle-eviction heartbeat); each accepted
+// connection is handled by a worker of a dedicated repro::ThreadPool, which
+// bounds concurrent connections to the pool size (excess connections queue
+// in the pool until a worker frees up). Sessions are decoupled from
+// connections — one connection may interleave any number of sessions by id,
+// which is how a small pool serves 64+ concurrent sessions.
+//
+// Shutdown. stop() closes the listener, shuts down every live connection
+// socket (unblocking parked readers), and cancels all sessions.
+// drain(deadline) is the graceful path: stop accepting, let existing
+// clients finish until no sessions/connections remain or the deadline
+// expires, then stop().
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/socket.hpp"
+#include "common/thread_pool.hpp"
+#include "service/protocol.hpp"
+#include "service/session_manager.hpp"
+
+namespace repro::service {
+
+struct ServerConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  std::size_t connection_threads = 8;
+  SessionLimits limits;
+  /// Accept/read timeout tick: shutdown latency and eviction granularity.
+  std::chrono::milliseconds poll_interval{200};
+  std::string name = "tuned/1";
+};
+
+class TuneServer {
+ public:
+  explicit TuneServer(ServerConfig config = {});
+  ~TuneServer();
+
+  TuneServer(const TuneServer&) = delete;
+  TuneServer& operator=(const TuneServer&) = delete;
+
+  /// Bind, listen, and spawn the accept thread. Throws std::runtime_error
+  /// when the port cannot be bound.
+  void start();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept;
+  [[nodiscard]] bool draining() const noexcept;
+
+  /// Stop accepting; wait for live sessions and connections to end on
+  /// their own. Returns true when the drain completed before the deadline
+  /// (callers typically follow up with stop() either way).
+  bool drain(std::chrono::milliseconds deadline);
+
+  /// Hard stop: close listener + connections, cancel sessions, join
+  /// everything. Idempotent.
+  void stop();
+
+  [[nodiscard]] SessionManager& sessions() noexcept { return *manager_; }
+  [[nodiscard]] const SessionManager& sessions() const noexcept { return *manager_; }
+  [[nodiscard]] std::size_t active_connections() const;
+  [[nodiscard]] std::size_t connections_accepted() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(std::uint64_t id);
+  /// Dispatch one parsed request; never throws (errors become frames).
+  [[nodiscard]] Json dispatch(const Json& request, bool* hello_done, bool* fatal);
+
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  ListenSocket listener_;
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Socket>> connections_;
+  std::uint64_t next_connection_id_ = 1;
+  std::size_t connections_accepted_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool draining_ = false;
+};
+
+}  // namespace repro::service

@@ -1,0 +1,220 @@
+#include "service/session_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "tuner/registry.hpp"
+
+namespace repro::service {
+
+SessionManager::SessionManager(SessionLimits limits) : limits_(limits) {}
+
+SessionManager::~SessionManager() { cancel_all(); }
+
+std::string SessionManager::open(const OpenParams& params) {
+  {
+    // Cheap early rejection; rechecked after construction since the lock
+    // is released in between.
+    std::lock_guard lock(mutex_);
+    if (sessions_.size() >= limits_.max_sessions) {
+      throw ProtocolError(ErrorCode::kSessionLimit,
+                          "session limit reached (" +
+                              std::to_string(limits_.max_sessions) + ")");
+    }
+  }
+  // Construct outside the lock: registry lookup and space building can
+  // throw, and AskTellSession starts a thread.
+  std::unique_ptr<tuner::SearchAlgorithm> algorithm;
+  try {
+    algorithm = tuner::make_algorithm(params.algorithm);
+  } catch (const std::out_of_range&) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "unknown algorithm: " + params.algorithm);
+  }
+  tuner::ParamSpace space = params.make_space();
+  auto managed = std::make_shared<ManagedSession>(
+      std::move(space), std::move(algorithm), params.budget, params.seed,
+      params.retry);
+  managed->last_activity = std::chrono::steady_clock::now();
+
+  std::string id;
+  {
+    std::lock_guard lock(mutex_);
+    if (sessions_.size() >= limits_.max_sessions) {
+      // managed is destroyed below (cancels its freshly-started thread).
+      id.clear();
+    } else {
+      id = "s" + std::to_string(next_id_++);
+      sessions_.emplace_back(id, managed);
+      ++opened_;
+    }
+  }
+  if (id.empty()) {
+    managed->session.cancel();
+    throw ProtocolError(ErrorCode::kSessionLimit,
+                        "session limit reached (" +
+                            std::to_string(limits_.max_sessions) + ")");
+  }
+  log_debug("session {} opened: {} budget={} seed={}", id, params.algorithm,
+            params.budget, params.seed);
+  return id;
+}
+
+std::shared_ptr<SessionManager::ManagedSession> SessionManager::find_and_touch(
+    const std::string& id) {
+  std::lock_guard lock(mutex_);
+  for (auto& [key, session] : sessions_) {
+    if (key == id) {
+      session->last_activity = std::chrono::steady_clock::now();
+      return session;
+    }
+  }
+  throw ProtocolError(ErrorCode::kUnknownSession, "unknown session: " + id);
+}
+
+std::optional<tuner::Configuration> SessionManager::ask(const std::string& id) {
+  const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
+  try {
+    auto config = managed->session.ask();  // blocks; manager mutex NOT held
+    std::lock_guard lock(mutex_);
+    ++asks_total_;
+    return config;
+  } catch (const tuner::AskPendingError& error) {
+    throw ProtocolError(ErrorCode::kAskPending, error.what());
+  } catch (const tuner::SessionCancelled&) {
+    throw ProtocolError(ErrorCode::kSessionClosed,
+                        "session " + id + " was cancelled while ask was blocked");
+  }
+}
+
+std::size_t SessionManager::tell(const std::string& id,
+                                 const tuner::Evaluation& evaluation) {
+  const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
+  try {
+    managed->session.tell(evaluation);
+  } catch (const tuner::TellMismatchError& error) {
+    throw ProtocolError(ErrorCode::kNoAskOutstanding, error.what());
+  }
+  std::lock_guard lock(mutex_);
+  ++tells_total_;
+  tallies_.count(evaluation.status);
+  const std::size_t told = managed->session.tells();
+  const std::size_t budget = managed->session.budget();
+  return told >= budget ? 0 : budget - told;
+}
+
+SessionManager::ResultPayload SessionManager::result(const std::string& id) {
+  const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
+  ResultPayload payload;
+  try {
+    payload.result = managed->session.result();  // blocks until finished
+  } catch (const tuner::SessionCancelled&) {
+    throw ProtocolError(ErrorCode::kSessionClosed,
+                        "session " + id + " was cancelled before finishing");
+  } catch (const std::exception& error) {
+    throw ProtocolError(ErrorCode::kInternal,
+                        std::string("search thread failed: ") + error.what());
+  }
+  payload.counters = managed->session.counters();
+  return payload;
+}
+
+void SessionManager::close(const std::string& id) {
+  std::shared_ptr<ManagedSession> managed;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                                 [&](const auto& entry) { return entry.first == id; });
+    if (it == sessions_.end()) {
+      throw ProtocolError(ErrorCode::kUnknownSession, "unknown session: " + id);
+    }
+    managed = std::move(it->second);
+    sessions_.erase(it);
+    ++closed_;
+  }
+  // Cancel + destroy outside the lock: the session destructor joins the
+  // search thread, which may need a moment to observe the cancel.
+  managed->session.cancel();
+  log_debug("session {} closed", id);
+}
+
+std::size_t SessionManager::evict_idle() {
+  if (limits_.idle_timeout.count() <= 0) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> victims;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+          now - it->second->last_activity);
+      if (idle > limits_.idle_timeout) {
+        victims.emplace_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    evicted_ += victims.size();
+  }
+  for (auto& [id, managed] : victims) {
+    managed->session.cancel();
+    log_info("session {} evicted after {}ms idle", id,
+             limits_.idle_timeout.count());
+  }
+  return victims.size();
+}
+
+void SessionManager::cancel_all() {
+  std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> victims;
+  {
+    std::lock_guard lock(mutex_);
+    victims.swap(sessions_);
+    closed_ += victims.size();
+  }
+  for (auto& [id, managed] : victims) managed->session.cancel();
+  // Destruction (thread joins) happens as `victims` goes out of scope.
+}
+
+std::size_t SessionManager::live() const {
+  std::lock_guard lock(mutex_);
+  return sessions_.size();
+}
+
+StatusReport SessionManager::status() const {
+  StatusReport report;
+  std::lock_guard lock(mutex_);
+  report.live_sessions = sessions_.size();
+  report.opened = opened_;
+  report.closed = closed_;
+  report.evicted = evicted_;
+  report.asks = asks_total_;
+  report.tells = tells_total_;
+  report.tallies = tallies_;
+  for (const auto& [id, managed] : sessions_) {
+    if (managed->session.finished()) ++report.finished;
+  }
+  return report;
+}
+
+std::vector<SessionInfo> SessionManager::sessions() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<SessionInfo> infos;
+  std::lock_guard lock(mutex_);
+  infos.reserve(sessions_.size());
+  for (const auto& [id, managed] : sessions_) {
+    SessionInfo info;
+    info.id = id;
+    info.algorithm = managed->session.algorithm_name();
+    info.budget = managed->session.budget();
+    info.asks = managed->session.asks();
+    info.tells = managed->session.tells();
+    info.finished = managed->session.finished();
+    info.idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+        now - managed->last_activity);
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+}  // namespace repro::service

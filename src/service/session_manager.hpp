@@ -1,0 +1,131 @@
+#pragma once
+// Concurrent registry of ask/tell tuning sessions for the `tuned` daemon.
+//
+// Each open() materializes the requested search space, constructs the
+// algorithm from the registry, and starts an AskTellSession (one dedicated
+// search thread, parked in the proxy objective except while computing the
+// next proposal). The manager serializes bookkeeping under one mutex but
+// never holds it across a blocking session call — ask() can park for as
+// long as a BO-GP refit takes, and close()/evict_idle() must stay
+// responsive meanwhile.
+//
+// Lifecycle: open -> (ask -> tell)* -> result -> close. Sessions idle
+// longer than the configured timeout are evicted (cancelled + destroyed);
+// an op blocked on an evicted session surfaces ErrorCode::kSessionClosed.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "tuner/ask_tell.hpp"
+
+namespace repro::service {
+
+struct SessionLimits {
+  std::size_t max_sessions = 256;
+  std::chrono::milliseconds idle_timeout{300000};  ///< 5 min; <=0 disables
+};
+
+/// Aggregate counters for the `status` endpoint. Tallies classify every
+/// tell() by its EvalStatus — the service-level view of the PR-1 failure
+/// accounting (per-session Evaluator counters additionally ride on each
+/// `result` response).
+struct StatusReport {
+  std::size_t live_sessions = 0;
+  std::size_t opened = 0;
+  std::size_t closed = 0;
+  std::size_t evicted = 0;
+  std::size_t finished = 0;  ///< live sessions whose search already terminated
+  std::size_t asks = 0;
+  std::size_t tells = 0;
+  tuner::FailureCounters tallies;
+};
+
+/// One live session snapshot (status endpoint detail rows).
+struct SessionInfo {
+  std::string id;
+  std::string algorithm;
+  std::size_t budget = 0;
+  std::size_t asks = 0;
+  std::size_t tells = 0;
+  bool finished = false;
+  std::chrono::milliseconds idle{0};
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionLimits limits = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Throws ProtocolError (kSessionLimit, kBadRequest for an unknown
+  /// algorithm or bad space). Returns the new session id.
+  [[nodiscard]] std::string open(const OpenParams& params);
+
+  /// Blocks until the session proposes a measurement (config) or finishes
+  /// (nullopt). Throws ProtocolError kUnknownSession / kAskPending /
+  /// kSessionClosed.
+  [[nodiscard]] std::optional<tuner::Configuration> ask(const std::string& id);
+
+  /// Returns the session's budget remaining estimate (budget - tells).
+  std::size_t tell(const std::string& id, const tuner::Evaluation& evaluation);
+
+  struct ResultPayload {
+    tuner::TuneResult result;
+    tuner::FailureCounters counters;
+  };
+  /// Blocks until the search terminates. kInternal carries an escaped
+  /// search-thread exception's message.
+  [[nodiscard]] ResultPayload result(const std::string& id);
+
+  /// Cancel (if still running) and destroy. Throws kUnknownSession.
+  void close(const std::string& id);
+
+  /// Evict sessions idle beyond the limit; returns how many were evicted.
+  std::size_t evict_idle();
+
+  /// Cancel and destroy every session (drain/shutdown path).
+  void cancel_all();
+
+  [[nodiscard]] std::size_t live() const;
+  [[nodiscard]] StatusReport status() const;
+  [[nodiscard]] std::vector<SessionInfo> sessions() const;
+  [[nodiscard]] const SessionLimits& limits() const noexcept { return limits_; }
+
+ private:
+  /// Space + session bundle: the space must outlive the AskTellSession that
+  /// references it, hence declaration order.
+  struct ManagedSession {
+    ManagedSession(tuner::ParamSpace space_in,
+                   std::unique_ptr<tuner::SearchAlgorithm> algorithm,
+                   std::size_t budget, std::uint64_t seed, tuner::RetryPolicy retry)
+        : space(std::move(space_in)),
+          session(space, std::move(algorithm), budget, seed, retry) {}
+
+    tuner::ParamSpace space;
+    tuner::AskTellSession session;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  [[nodiscard]] std::shared_ptr<ManagedSession> find_and_touch(const std::string& id);
+
+  const SessionLimits limits_;
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> sessions_;
+  std::uint64_t next_id_ = 1;
+  std::size_t opened_ = 0;
+  std::size_t closed_ = 0;
+  std::size_t evicted_ = 0;
+  std::size_t asks_total_ = 0;
+  std::size_t tells_total_ = 0;
+  tuner::FailureCounters tallies_;
+};
+
+}  // namespace repro::service

@@ -1,0 +1,156 @@
+// `tune_client` — drive a complete remote tuning study against a running
+// `tuned` daemon over loopback. The client owns the objective (the simgpu
+// benchmark model); the daemon owns the search. With --verify the same
+// seeds are replayed through an in-process minimize() and the results are
+// required to be byte-identical — the acceptance check for the ask/tell
+// inversion.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "harness/context.hpp"
+#include "service/client.hpp"
+#include "tuner/registry.hpp"
+
+namespace {
+
+// Exact comparison, NaN-tolerant: two results match only when every field
+// (including the bit pattern of best_value) agrees.
+bool same_result(const repro::tuner::TuneResult& a, const repro::tuner::TuneResult& b) {
+  if (a.best_config != b.best_config) return false;
+  if (a.found_valid != b.found_valid) return false;
+  if (a.evaluations_used != b.evaluations_used) return false;
+  return std::memcmp(&a.best_value, &b.best_value, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  CliParser cli("tune_client",
+                "Remote tuning study over the tuned JSON-lines protocol");
+  cli.add_option("host", "daemon host", "127.0.0.1");
+  cli.add_option("port", "daemon port (required; see `tuned: ready port=`)", "0");
+  cli.add_option("benchmark", "imagecl benchmark name", "mandelbrot");
+  cli.add_option("arch", "simulated architecture name", "rtxtitan");
+  cli.add_option("algorithms", "comma list of algorithm ids ('paper' = all five)",
+                 "paper");
+  cli.add_option("budget", "evaluation budget per algorithm", "100");
+  cli.add_option("seed", "master seed", "2022");
+  cli.add_option("repeats", "final re-measurement repeats", "10");
+  cli.add_flag("verify", "replay the same seeds in-process and require "
+                         "byte-identical results");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
+  if (port == 0) {
+    std::fprintf(stderr, "tune_client: --port is required\n%s", cli.usage().c_str());
+    return 2;
+  }
+  const std::size_t budget = static_cast<std::size_t>(cli.get_int("budget"));
+  const auto master_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::size_t repeats = static_cast<std::size_t>(cli.get_int("repeats"));
+
+  std::vector<std::string> algorithms;
+  const std::string algorithms_arg = cli.get("algorithms");
+  if (algorithms_arg == "paper") {
+    algorithms = tuner::paper_algorithms();
+  } else {
+    std::string token;
+    for (const char c : algorithms_arg + ",") {
+      if (c == ',') {
+        if (!token.empty()) algorithms.push_back(token);
+        token.clear();
+      } else {
+        token.push_back(c);
+      }
+    }
+  }
+
+  harness::BenchmarkContext context(
+      imagecl::benchmark_by_name(cli.get("benchmark")),
+      simgpu::arch_by_name(cli.get("arch")),
+      /*dataset_size=*/0, master_seed);
+  std::printf("tune_client: %s on %s, optimum %.1f us, budget %zu\n",
+              cli.get("benchmark").c_str(), cli.get("arch").c_str(),
+              context.optimum_us(), budget);
+
+  service::ClientConfig client_config;
+  client_config.host = cli.get("host");
+  client_config.port = port;
+  service::Client client(client_config);
+  try {
+    client.connect();
+  } catch (const std::exception& error) {
+    log_error("tune_client: {}", error.what());
+    return 1;
+  }
+
+  bool all_verified = true;
+  for (const std::string& id : algorithms) {
+    // The algorithm RNG lives server-side; the objective RNG lives here.
+    // Distinct streams per role keep the remote and in-process replays on
+    // identical random sequences.
+    const std::uint64_t algo_seed =
+        seed_combine(master_seed, seed_from_string("algorithm:" + id));
+    const std::uint64_t objective_seed =
+        seed_combine(master_seed, seed_from_string("objective:" + id));
+
+    service::OpenParams params;
+    params.algorithm = id;
+    params.budget = budget;
+    params.seed = algo_seed;
+
+    Rng objective_rng(objective_seed);
+    const tuner::Objective objective = context.make_objective(objective_rng);
+    service::Client::RemoteResult remote;
+    try {
+      remote = client.remote_minimize(params, objective);
+    } catch (const std::exception& error) {
+      log_error("tune_client: {} failed: {}", id, error.what());
+      return 1;
+    }
+
+    Rng final_rng(seed_combine(master_seed, seed_from_string("final:" + id)));
+    const double final_us = remote.result.found_valid
+                                ? context.measure_repeated_us(remote.result.best_config,
+                                                              final_rng, repeats)
+                                : std::nan("");
+    std::printf("%-6s best %.1f us  final %.1f us  (%zu evals, %zu faults)\n",
+                id.c_str(), remote.result.best_value, final_us,
+                remote.result.evaluations_used, remote.counters.faults());
+
+    if (cli.get_flag("verify")) {
+      Rng algo_rng(algo_seed);
+      Rng replay_rng(objective_seed);
+      const tuner::Objective replay = context.make_objective(replay_rng);
+      tuner::Evaluator evaluator(context.space(), replay, budget);
+      const tuner::TuneResult direct =
+          tuner::make_algorithm(id)->minimize(context.space(), evaluator, algo_rng);
+      const bool match = same_result(remote.result, direct);
+      all_verified = all_verified && match;
+      std::printf("       verify: %s\n", match ? "byte-identical to in-process minimize()"
+                                               : "MISMATCH vs in-process minimize()");
+    }
+  }
+
+  const Json status = client.status();
+  const Json* tells = status.find("tells");
+  std::printf("daemon: %zu sessions opened, %llu tells served\n",
+              static_cast<std::size_t>(status.find("opened")->as_uint64()),
+              tells != nullptr
+                  ? static_cast<unsigned long long>(tells->as_uint64())
+                  : 0ULL);
+  client.disconnect();
+  if (cli.get_flag("verify") && !all_verified) {
+    log_error("tune_client: verification FAILED");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// `tuned` — the tuning-as-a-service daemon. Binds a loopback JSON-lines
+// endpoint, serves concurrent ask/tell sessions, and drains gracefully on
+// SIGTERM/SIGINT (stop accepting, let live sessions finish up to
+// --drain-timeout-ms, then hard-stop). See docs/SERVICE.md for the protocol.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void handle_signal(int signo) { g_signal.store(signo, std::memory_order_relaxed); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  CliParser cli("tuned", "Tuning-as-a-service daemon (JSON-lines over TCP loopback)");
+  cli.add_option("port", "listen port (0 = ephemeral, printed on startup)", "0");
+  cli.add_option("threads", "connection worker threads", "8");
+  cli.add_option("max-sessions", "maximum concurrent sessions", "256");
+  cli.add_option("idle-timeout-ms", "evict sessions idle longer than this (<=0 disables)",
+                 "300000");
+  cli.add_option("drain-timeout-ms", "graceful drain budget on SIGTERM/SIGINT", "10000");
+  cli.add_option("status-interval-ms", "periodic status log interval (<=0 disables)", "0");
+  if (!cli.parse(argc, argv)) return 2;
+
+  service::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  config.connection_threads = static_cast<std::size_t>(cli.get_int("threads"));
+  config.limits.max_sessions = static_cast<std::size_t>(cli.get_int("max-sessions"));
+  config.limits.idle_timeout = std::chrono::milliseconds(cli.get_int("idle-timeout-ms"));
+  const auto drain_budget = std::chrono::milliseconds(cli.get_int("drain-timeout-ms"));
+  const long long status_interval = cli.get_int("status-interval-ms");
+
+  service::TuneServer server(config);
+  try {
+    server.start();
+  } catch (const std::exception& error) {
+    log_error("tuned: {}", error.what());
+    return 1;
+  }
+  // Machine-readable port line so wrappers can scrape an ephemeral port.
+  std::printf("tuned: ready port=%u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+
+  auto last_status = std::chrono::steady_clock::now();
+  while (g_signal.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (status_interval > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_status >= std::chrono::milliseconds(status_interval)) {
+        last_status = now;
+        const service::StatusReport report = server.sessions().status();
+        log_info("tuned: status live={} opened={} closed={} evicted={} asks={} tells={} "
+                 "connections={}",
+                 report.live_sessions, report.opened, report.closed, report.evicted,
+                 report.asks, report.tells, server.active_connections());
+      }
+    }
+  }
+
+  const int signo = g_signal.load(std::memory_order_relaxed);
+  log_info("tuned: received signal {}, draining (budget {}ms)", signo,
+           drain_budget.count());
+  const bool drained = server.drain(drain_budget);
+  if (!drained) {
+    log_warn("tuned: drain deadline expired with {} live sessions; hard-stopping",
+             server.sessions().live());
+  }
+  server.stop();
+  log_info("tuned: shutdown complete (drained={})", drained);
+  return 0;
+}

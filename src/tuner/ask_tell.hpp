@@ -1,0 +1,127 @@
+#pragma once
+// Ask/tell inversion of SearchAlgorithm::minimize().
+//
+// minimize() owns the control flow: it pulls measurements from an Evaluator
+// until the budget runs out. Remote tuning needs the opposite — the caller
+// owns the loop and the algorithm is a passive suggestion engine
+// (Kernel Tuner-style ask() -> Configuration / tell(measurement)).
+//
+// AskTellSession performs the inversion without touching any algorithm:
+// the algorithm runs unmodified on a dedicated thread against a normal
+// Evaluator whose Objective is a blocking proxy. When the algorithm
+// requests a fresh measurement, the proxy parks the search thread and
+// surfaces the configuration through ask(); tell() delivers the
+// measurement and resumes the search. Because the only substitution is
+// the Objective closure — the Evaluator, its cache, its retry policy, and
+// the algorithm's RNG stream are untouched — a session is bit-identical
+// to an in-process minimize() run with the same seeds (proven by
+// tests/service/test_ask_tell.cpp for all five paper algorithms).
+//
+// Threading contract: ask()/tell()/result()/cancel() may be called from
+// any thread (the service serializes per session); the search thread only
+// ever blocks inside the proxy, so cancel() can always unpark it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "tuner/tuner.hpp"
+
+namespace repro::tuner {
+
+/// Thrown inside the search thread (and out of ask()) when the session is
+/// cancelled while a measurement is pending.
+struct SessionCancelled : std::runtime_error {
+  SessionCancelled() : std::runtime_error("ask/tell session cancelled") {}
+};
+
+/// ask() called while a previous ask() still awaits its tell().
+struct AskPendingError : std::logic_error {
+  AskPendingError() : std::logic_error("ask() while a measurement is outstanding") {}
+};
+
+/// tell() called with no outstanding ask() to answer.
+struct TellMismatchError : std::logic_error {
+  TellMismatchError() : std::logic_error("tell() without an outstanding ask()") {}
+};
+
+class AskTellSession {
+ public:
+  /// Starts the search thread immediately. `space` must outlive the
+  /// session. `retry` mirrors Evaluator::set_retry_policy — each retry of
+  /// a transient measurement surfaces as a fresh ask() of the same
+  /// configuration and costs one unit of budget.
+  AskTellSession(const ParamSpace& space, std::unique_ptr<SearchAlgorithm> algorithm,
+                 std::size_t budget, std::uint64_t seed, RetryPolicy retry = {});
+  /// Cancels and joins the search thread.
+  ~AskTellSession();
+
+  AskTellSession(const AskTellSession&) = delete;
+  AskTellSession& operator=(const AskTellSession&) = delete;
+
+  /// Block until the algorithm proposes a fresh measurement (returns the
+  /// configuration) or terminates (returns nullopt; result() is ready).
+  /// Throws AskPendingError if a proposal is already outstanding and
+  /// SessionCancelled after cancel().
+  [[nodiscard]] std::optional<Configuration> ask();
+
+  /// Deliver the measurement for the configuration returned by the last
+  /// ask(). Throws TellMismatchError when nothing is outstanding.
+  void tell(const Evaluation& evaluation);
+  /// Shorthand for a successful measurement.
+  void tell(double value) { tell(Evaluation{value, true, EvalStatus::kOk}); }
+
+  [[nodiscard]] bool finished() const;
+  /// True between an ask() and its tell().
+  [[nodiscard]] bool ask_outstanding() const;
+  [[nodiscard]] std::size_t asks() const;
+  [[nodiscard]] std::size_t tells() const;
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+  [[nodiscard]] const std::string& algorithm_name() const noexcept { return name_; }
+
+  /// Block until the search thread terminates and return its TuneResult.
+  /// Rethrows whatever escaped minimize() (including SessionCancelled).
+  [[nodiscard]] TuneResult result();
+
+  /// Evaluator measurement tallies; complete once finished() is true.
+  [[nodiscard]] FailureCounters counters() const;
+
+  /// Unblock the search thread with SessionCancelled and refuse further
+  /// asks. Idempotent; does not wait for the thread (the destructor joins).
+  void cancel();
+
+ private:
+  Evaluation proxy_measure(const Configuration& config);
+  void search_main(std::uint64_t seed);
+
+  const ParamSpace& space_;
+  std::unique_ptr<SearchAlgorithm> algorithm_;
+  const std::size_t budget_;
+  const RetryPolicy retry_;
+  std::string name_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  Configuration pending_;         ///< proposal the search thread is parked on
+  bool has_pending_ = false;
+  bool outstanding_ = false;      ///< pending_ was handed out via ask()
+  Evaluation reply_;
+  bool has_reply_ = false;
+  bool cancelled_ = false;
+  bool finished_ = false;
+  std::size_t asks_ = 0;
+  std::size_t tells_ = 0;
+  TuneResult result_;
+  FailureCounters counters_;
+  std::exception_ptr error_;
+  std::thread thread_;            ///< last member: starts after state is ready
+};
+
+}  // namespace repro::tuner

@@ -271,6 +271,100 @@ TEST(Checkpoint, MidFileCorruptionThrows) {
   std::remove(path.c_str());
 }
 
+TEST(ResultsIo, LoadAcceptsCrlfAndTrailingWhitespace) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_raw_crlf.csv").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "kind,benchmark,architecture,algorithm,sample_size,experiment,value\r\n"
+        << "optimum,add,titanv,,,,100.0\r\n"
+        << "outcome,add,titanv,rs,25,0,120.5 \r\n"
+        << "outcome,add,titanv,rs,25,1,nan\t\r\n";
+  }
+  const StudyResults loaded = load_results_csv(path);
+  const auto& outcomes = loaded.panel("add", "titanv").cells[0][0].final_times_us;
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_DOUBLE_EQ(outcomes[0], 120.5);
+  EXPECT_TRUE(std::isnan(outcomes[1]));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, UnterminatedFinalLineIsDroppedEvenWhenParseable) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_ckpt_noterm.csv").string();
+  std::remove(path.c_str());
+  ASSERT_TRUE(checkpoint_begin(path, 9));
+  ASSERT_TRUE(checkpoint_append_cell(path, "add", "titanv", "rs", 25, sample_cell()));
+  {
+    // A torn write whose prefix happens to be a complete, valid record: a
+    // 2-outcome cell torn out of what would have been a longer one. Only the
+    // missing '\n' betrays the tear.
+    std::ofstream out(path, std::ios::app);
+    out << "cell,add,titanv,ga,25,0,5,0,0,0,0,0,0,0,2,110.0,120.0";
+  }
+  const StudyCheckpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.cells.size(), 1u);
+  EXPECT_EQ(loaded.cells.count(StudyCheckpoint::cell_key("add", "titanv", "ga", 25)), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BeginTruncatesTornTailSoResumeAppendsCleanly) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_ckpt_repair.csv").string();
+  std::remove(path.c_str());
+  ASSERT_TRUE(checkpoint_begin(path, 9));
+  ASSERT_TRUE(checkpoint_append_cell(path, "add", "titanv", "rs", 25, sample_cell()));
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "cell,add,titanv,ga,25,0,5";  // crash mid-append, no '\n'
+  }
+  // Resume: begin repairs the tail, so the next append starts on a fresh
+  // line instead of concatenating onto the torn record...
+  ASSERT_TRUE(checkpoint_begin(path, 9));
+  ASSERT_TRUE(checkpoint_append_cell(path, "add", "titanv", "bogp", 25, sample_cell()));
+  // ...and a SECOND resume still loads (this is the regression: without the
+  // repair the concatenated line corrupts the middle of the file).
+  const StudyCheckpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.master_seed, 9u);
+  EXPECT_EQ(loaded.cells.size(), 2u);
+  EXPECT_EQ(loaded.cells.count(StudyCheckpoint::cell_key("add", "titanv", "rs", 25)), 1u);
+  EXPECT_EQ(loaded.cells.count(StudyCheckpoint::cell_key("add", "titanv", "bogp", 25)), 1u);
+  EXPECT_EQ(loaded.cells.count(StudyCheckpoint::cell_key("add", "titanv", "ga", 25)), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornHeaderLoadsAsEmptyAndBeginRepairs) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_ckpt_tornhdr.csv").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "checkpoint,v1,12";  // header itself torn, no '\n'
+  }
+  const StudyCheckpoint loaded = load_checkpoint(path);
+  EXPECT_TRUE(loaded.empty());
+  // begin truncates the torn header and writes a fresh one.
+  ASSERT_TRUE(checkpoint_begin(path, 777));
+  const StudyCheckpoint repaired = load_checkpoint(path);
+  EXPECT_EQ(repaired.master_seed, 777u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadAcceptsCrlfLineEndings) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_ckpt_crlf.csv").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "checkpoint,v1,42\r\n"
+        << "panel,add,titanv,100.5\r\n"
+        << "cell,add,titanv,rs,25,0,2,0,0,0,0,0,0,0,2,110.0,120.0\r\n";
+  }
+  const StudyCheckpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.master_seed, 42u);
+  EXPECT_DOUBLE_EQ(loaded.panel_optima.at("add/titanv"), 100.5);
+  ASSERT_EQ(loaded.cells.count(StudyCheckpoint::cell_key("add", "titanv", "rs", 25)), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, LoadValidatesHeader) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "repro_ckpt_hdr.csv").string();

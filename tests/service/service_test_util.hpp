@@ -1,0 +1,43 @@
+#pragma once
+// Shared fixtures for the service test suite: a small synthetic search
+// space and a pure (RNG-free) objective, so that in-process minimize(),
+// AskTellSession, and remote sessions all see identical measurement values
+// for identical configurations regardless of which thread evaluates them.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "tuner/objective.hpp"
+#include "tuner/search_space.hpp"
+
+namespace repro::service_test {
+
+/// 3 parameters, 8*8*6 = 384 points — big enough for real search dynamics,
+/// small enough that a 64-session stress test finishes quickly.
+inline tuner::ParamSpace tiny_space() {
+  return tuner::ParamSpace({{"a", 1, 8}, {"b", 1, 8}, {"c", 0, 5}});
+}
+
+/// Deterministic pseudo-measurement: a splitmix64 hash of the encoded
+/// configuration and a per-test salt, shaped into [1, ~1.47). A small slice
+/// of configurations reports invalid to exercise the failure path.
+inline tuner::Evaluation synth_eval(const tuner::ParamSpace& space,
+                                    const tuner::Configuration& config,
+                                    std::uint64_t salt) {
+  std::uint64_t state = seed_combine(salt, space.encode(config) + 1);
+  const std::uint64_t h = splitmix64(state);
+  if ((h & 0x3f) == 0) {  // ~1.6% of points are invalid
+    return tuner::Evaluation{};
+  }
+  const double value = 1.0 + static_cast<double>(h >> 11) * 0x1.0p-53;
+  return tuner::Evaluation{value, true, tuner::EvalStatus::kOk};
+}
+
+inline tuner::Objective synth_objective(const tuner::ParamSpace& space,
+                                        std::uint64_t salt) {
+  return [&space, salt](const tuner::Configuration& config) {
+    return synth_eval(space, config, salt);
+  };
+}
+
+}  // namespace repro::service_test

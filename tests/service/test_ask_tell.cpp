@@ -1,0 +1,171 @@
+// AskTellSession: the inversion must be invisible — for identical seeds a
+// session driven by an external loop produces byte-identical results to an
+// in-process minimize() for every paper algorithm — plus the ask/tell
+// state-machine edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "tests/service/service_test_util.hpp"
+#include "tuner/ask_tell.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/registry.hpp"
+
+namespace repro::tuner {
+namespace {
+
+using service_test::synth_eval;
+using service_test::synth_objective;
+using service_test::tiny_space;
+
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_same_counters(const FailureCounters& a, const FailureCounters& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.invalid, b.invalid);
+  EXPECT_EQ(a.transient, b.transient);
+  EXPECT_EQ(a.timeout, b.timeout);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.retry_successes, b.retry_successes);
+  EXPECT_DOUBLE_EQ(a.backoff_us, b.backoff_us);
+}
+
+TEST(AskTell, ByteIdenticalToMinimizeForAllPaperAlgorithms) {
+  const ParamSpace space = tiny_space();
+  const std::uint64_t salt = seed_from_string("ask-tell-identity");
+  const std::size_t budget = 50;
+  for (const std::string& id : paper_algorithms()) {
+    const std::uint64_t seed = seed_combine(2022, seed_from_string(id));
+
+    // Reference: the algorithm drives a normal Evaluator in-process.
+    Rng rng(seed);
+    Evaluator evaluator(space, synth_objective(space, salt), budget);
+    const TuneResult direct = make_algorithm(id)->minimize(space, evaluator, rng);
+
+    // Inverted: an external loop drives the same algorithm via ask/tell.
+    AskTellSession session(space, make_algorithm(id), budget, seed);
+    while (auto config = session.ask()) {
+      session.tell(synth_eval(space, *config, salt));
+    }
+    const TuneResult remote = session.result();
+
+    EXPECT_EQ(remote.best_config, direct.best_config) << id;
+    EXPECT_TRUE(bitwise_equal(remote.best_value, direct.best_value)) << id;
+    EXPECT_EQ(remote.found_valid, direct.found_valid) << id;
+    EXPECT_EQ(remote.evaluations_used, direct.evaluations_used) << id;
+    expect_same_counters(session.counters(), evaluator.counters());
+    EXPECT_TRUE(session.finished()) << id;
+  }
+}
+
+TEST(AskTell, RetryPolicyMatchesEvaluatorSemantics) {
+  // A transient-flaky objective under a retry policy: the session must
+  // reproduce minimize()'s retry accounting exactly. Flakiness is a pure
+  // function of (config, attempt counter per config), so both runs see the
+  // same sequence.
+  const ParamSpace space = tiny_space();
+  RetryPolicy retry;
+  retry.max_retries = 2;
+  const std::size_t budget = 30;
+  const std::uint64_t seed = 77;
+
+  const auto flaky = [&space](std::size_t* calls) {
+    return [&space, calls](const Configuration& config) {
+      ++*calls;
+      std::uint64_t state = seed_combine(1234, space.encode(config) + *calls);
+      const std::uint64_t h = splitmix64(state);
+      if ((h & 7) == 0) return Evaluation{0.0, false, EvalStatus::kTransient};
+      return synth_eval(space, config, 999);
+    };
+  };
+
+  std::size_t direct_calls = 0;
+  Rng rng(seed);
+  Evaluator evaluator(space, flaky(&direct_calls), budget);
+  evaluator.set_retry_policy(retry);
+  const TuneResult direct = make_algorithm("rs")->minimize(space, evaluator, rng);
+
+  std::size_t session_calls = 0;
+  const auto objective = flaky(&session_calls);
+  AskTellSession session(space, make_algorithm("rs"), budget, seed, retry);
+  while (auto config = session.ask()) session.tell(objective(*config));
+  const TuneResult remote = session.result();
+
+  EXPECT_EQ(remote.best_config, direct.best_config);
+  EXPECT_TRUE(bitwise_equal(remote.best_value, direct.best_value));
+  EXPECT_EQ(session_calls, direct_calls);
+  expect_same_counters(session.counters(), evaluator.counters());
+  EXPECT_GT(session.counters().retries, 0u);  // the policy actually fired
+}
+
+TEST(AskTell, DoubleAskThrowsAskPending) {
+  const ParamSpace space = tiny_space();
+  AskTellSession session(space, make_algorithm("rs"), 4, 1);
+  const auto config = session.ask();
+  ASSERT_TRUE(config.has_value());
+  EXPECT_TRUE(session.ask_outstanding());
+  EXPECT_THROW((void)session.ask(), AskPendingError);
+  session.tell(1.0);  // the session is still usable afterwards
+  EXPECT_FALSE(session.ask_outstanding());
+}
+
+TEST(AskTell, TellWithoutAskThrowsMismatch) {
+  const ParamSpace space = tiny_space();
+  AskTellSession session(space, make_algorithm("rs"), 4, 1);
+  EXPECT_THROW(session.tell(1.0), TellMismatchError);
+  // Also after a completed ask/tell exchange.
+  const auto config = session.ask();
+  ASSERT_TRUE(config.has_value());
+  session.tell(1.0);
+  EXPECT_THROW(session.tell(2.0), TellMismatchError);
+}
+
+TEST(AskTell, AskAfterFinishReturnsNulloptForever) {
+  const ParamSpace space = tiny_space();
+  AskTellSession session(space, make_algorithm("rs"), 3, 5);
+  while (auto config = session.ask()) session.tell(1.0);
+  EXPECT_TRUE(session.finished());
+  EXPECT_EQ(session.ask(), std::nullopt);
+  EXPECT_EQ(session.ask(), std::nullopt);
+  EXPECT_EQ(session.asks(), session.tells());
+  EXPECT_EQ(session.tells(), 3u);
+  EXPECT_EQ(session.result().evaluations_used, 3u);
+}
+
+TEST(AskTell, CancelUnblocksAndPoisonsTheSession) {
+  const ParamSpace space = tiny_space();
+  AskTellSession session(space, make_algorithm("rs"), 100, 5);
+  const auto config = session.ask();
+  ASSERT_TRUE(config.has_value());
+  session.cancel();
+  EXPECT_THROW((void)session.ask(), SessionCancelled);
+  EXPECT_THROW((void)session.result(), SessionCancelled);
+  session.cancel();  // idempotent
+}
+
+TEST(AskTell, DestructionWhileParkedDoesNotHang) {
+  const ParamSpace space = tiny_space();
+  for (int i = 0; i < 8; ++i) {
+    AskTellSession session(space, make_algorithm("bogp"), 100, 5);
+    const auto config = session.ask();
+    ASSERT_TRUE(config.has_value());
+    // Destructor must cancel + join without a tell ever arriving.
+  }
+}
+
+TEST(AskTell, AlgorithmNameIsExposed) {
+  const ParamSpace space = tiny_space();
+  AskTellSession session(space, make_algorithm("bogp"), 4, 1);
+  EXPECT_FALSE(session.algorithm_name().empty());
+  EXPECT_EQ(session.budget(), 4u);
+  session.cancel();
+}
+
+}  // namespace
+}  // namespace repro::tuner

@@ -1,0 +1,105 @@
+// JSON value/parser/writer: exactness guarantees the wire protocol relies
+// on (64-bit integers, shortest-round-trip doubles) plus hostile input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace repro {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(-42).dump(), "-42");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+}
+
+TEST(Json, Uint64SeedsSurviveExactly) {
+  const std::uint64_t seed = 18446744073709551615ull;  // UINT64_MAX
+  Json object = Json::object();
+  object.set("seed", seed);
+  const Json parsed = Json::parse(object.dump());
+  EXPECT_EQ(parsed.find("seed")->as_uint64(), seed);
+
+  const std::int64_t negative = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(Json::parse(Json(negative).dump()).as_int64(), negative);
+}
+
+TEST(Json, DoublesRoundTripBitExactly) {
+  for (const double value : {0.1, 1.0 / 3.0, 1e-300, 1.7976931348623157e308,
+                             -0.0, 123456.789, 0x1.fffffffffffffp-1}) {
+    const Json parsed = Json::parse(Json(value).dump());
+    EXPECT_EQ(std::signbit(parsed.as_double()), std::signbit(value));
+    EXPECT_EQ(parsed.as_double(), value) << Json(value).dump();
+  }
+}
+
+TEST(Json, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "line\n\ttab \"quote\" back\\slash \x01";
+  const Json parsed = Json::parse(Json(raw).dump());
+  EXPECT_EQ(parsed.as_string(), raw);
+  // Unicode escapes, including a surrogate pair.
+  EXPECT_EQ(Json::parse("\"\\u00e9\\ud83d\\ude00\"").as_string(),
+            "\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndReplaceOnSet) {
+  Json object = Json::object();
+  object.set("b", 1);
+  object.set("a", 2);
+  object.set("b", 3);
+  EXPECT_EQ(object.dump(), "{\"b\":3,\"a\":2}");
+  EXPECT_EQ(object.find("a")->as_int64(), 2);
+  EXPECT_EQ(object.find("missing"), nullptr);
+}
+
+TEST(Json, ParseErrors) {
+  for (const char* bad : {"", "{", "[1,", "tru", "\"unterminated", "{\"a\":}",
+                          "1 2", "{\"a\" 1}", "[1 2]", "\"\\u12\"", "nul"}) {
+    EXPECT_THROW((void)Json::parse(bad), JsonError) << bad;
+  }
+}
+
+TEST(Json, DepthLimitStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW((void)Json::parse(deep), JsonError);
+  EXPECT_NO_THROW((void)Json::parse(deep, 128));
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json number(1.5);
+  EXPECT_THROW((void)number.as_string(), JsonError);
+  EXPECT_THROW((void)number.as_int64(), JsonError);  // doubles don't coerce
+  EXPECT_THROW((void)Json("x").as_double(), JsonError);
+  EXPECT_THROW((void)Json(-1).as_uint64(), JsonError);
+  EXPECT_THROW((void)Json(nullptr).as_bool(), JsonError);
+  Json not_object(3);
+  EXPECT_THROW((void)not_object.set("k", 1), JsonError);
+}
+
+TEST(Json, NestedDocumentRoundTrip) {
+  const char* text =
+      "{\"op\":\"open\",\"algorithm\":\"bogp\",\"budget\":100,"
+      "\"space\":{\"params\":[{\"name\":\"a\",\"lo\":1,\"hi\":8}],"
+      "\"constraint\":\"none\"},\"values\":[1,2.5,null,true]}";
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.dump(), text);  // writer emits exactly the canonical form
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,238 @@
+// Wire protocol unit tests: framing over real loopback sockets (split
+// writes, pipelined frames, oversized frames, timeouts) and the message
+// codecs the client/server pair relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "common/socket.hpp"
+#include "service/protocol.hpp"
+
+namespace repro::service {
+namespace {
+
+/// A connected loopback socket pair (client end + accepted server end).
+struct LoopbackPair {
+  ListenSocket listener;
+  Socket client;
+  Socket server;
+
+  LoopbackPair() {
+    listener = ListenSocket::listen_loopback(0);
+    client = Socket::connect_loopback(listener.port());
+    EXPECT_EQ(listener.accept(&server), Socket::Io::kOk);
+  }
+};
+
+TEST(Framing, SplitWritesReassembleIntoFrames) {
+  LoopbackPair pair;
+  FrameReader reader(pair.server);
+  const std::string frame = "{\"op\":\"ping\"}\n";
+  // Drip the frame in 3-byte chunks.
+  for (std::size_t i = 0; i < frame.size(); i += 3) {
+    const std::size_t n = std::min<std::size_t>(3, frame.size() - i);
+    ASSERT_TRUE(pair.client.write_all(frame.data() + i, n));
+  }
+  std::string line;
+  ASSERT_EQ(reader.next(&line), FrameStatus::kOk);
+  EXPECT_EQ(line, "{\"op\":\"ping\"}");
+}
+
+TEST(Framing, PipelinedFramesComeOutOneByOne) {
+  LoopbackPair pair;
+  FrameReader reader(pair.server);
+  const std::string burst = "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n";
+  ASSERT_TRUE(pair.client.write_all(burst.data(), burst.size()));
+  std::string line;
+  ASSERT_EQ(reader.next(&line), FrameStatus::kOk);
+  EXPECT_EQ(line, "{\"a\":1}");
+  ASSERT_EQ(reader.next(&line), FrameStatus::kOk);
+  EXPECT_EQ(line, "{\"b\":2}");
+  ASSERT_EQ(reader.next(&line), FrameStatus::kOk);
+  EXPECT_EQ(line, "{\"c\":3}");
+}
+
+TEST(Framing, OversizedFrameIsRejectedBeforeTheNewlineArrives) {
+  LoopbackPair pair;
+  FrameReader reader(pair.server, /*max_frame=*/1024);
+  const std::string huge(4096, 'x');  // no newline at all
+  ASSERT_TRUE(pair.client.write_all(huge.data(), huge.size()));
+  std::string line;
+  EXPECT_EQ(reader.next(&line), FrameStatus::kOversized);
+}
+
+TEST(Framing, PeerCloseMidFrameReportsClosed) {
+  LoopbackPair pair;
+  FrameReader reader(pair.server);
+  ASSERT_TRUE(pair.client.write_all("{\"partial\":", 11));
+  pair.client.close();
+  std::string line;
+  EXPECT_EQ(reader.next(&line), FrameStatus::kClosed);
+}
+
+TEST(Framing, ReadTimeoutSurfacesAndPartialFrameSurvives) {
+  LoopbackPair pair;
+  pair.server.set_read_timeout(std::chrono::milliseconds(30));
+  FrameReader reader(pair.server);
+  ASSERT_TRUE(pair.client.write_all("{\"x\":", 5));
+  std::string line;
+  EXPECT_EQ(reader.next(&line), FrameStatus::kTimeout);
+  // The retained partial frame completes on the next call.
+  ASSERT_TRUE(pair.client.write_all("1}\n", 3));
+  ASSERT_EQ(reader.next(&line), FrameStatus::kOk);
+  EXPECT_EQ(line, "{\"x\":1}");
+}
+
+TEST(Framing, WriteFrameRoundTrip) {
+  LoopbackPair pair;
+  Json message = Json::object();
+  message.set("op", "status");
+  ASSERT_TRUE(write_frame(pair.client, message));
+  FrameReader reader(pair.server);
+  std::string line;
+  ASSERT_EQ(reader.next(&line), FrameStatus::kOk);
+  EXPECT_EQ(Json::parse(line).find("op")->as_string(), "status");
+}
+
+TEST(Protocol, OpenRoundTripWithRetryAndCustomSpace) {
+  OpenParams params;
+  params.algorithm = "bogp";
+  params.budget = 77;
+  params.seed = 18446744073709551615ull;  // must survive exactly
+  params.retry.max_retries = 3;
+  params.retry.backoff_initial_us = 50.0;
+  params.retry.backoff_multiplier = 3.0;
+  params.retry.backoff_max_us = 5000.0;
+  params.custom_space = true;
+  params.params = {{"a", 1, 8}, {"b", 1, 8}, {"c", 0, 5}};
+  params.constraint = "none";
+
+  const OpenParams decoded = decode_open(Json::parse(encode_open(params).dump()));
+  EXPECT_EQ(decoded.algorithm, "bogp");
+  EXPECT_EQ(decoded.budget, 77u);
+  EXPECT_EQ(decoded.seed, params.seed);
+  EXPECT_EQ(decoded.retry.max_retries, 3u);
+  EXPECT_DOUBLE_EQ(decoded.retry.backoff_multiplier, 3.0);
+  ASSERT_TRUE(decoded.custom_space);
+  ASSERT_EQ(decoded.params.size(), 3u);
+  EXPECT_EQ(decoded.params[2].name, "c");
+  EXPECT_EQ(decoded.params[2].hi, 5);
+  const tuner::ParamSpace space = decoded.make_space();
+  EXPECT_EQ(space.size(), 384u);
+}
+
+TEST(Protocol, OpenDefaultsToPaperSpace) {
+  OpenParams params;
+  const OpenParams decoded = decode_open(Json::parse(encode_open(params).dump()));
+  EXPECT_FALSE(decoded.custom_space);
+  EXPECT_EQ(decoded.make_space().size(), 2097152u);  // paper |S|
+}
+
+TEST(Protocol, OpenValidation) {
+  Json request = encode_open(OpenParams{});
+  request.set("budget", 0);
+  EXPECT_THROW((void)decode_open(request), ProtocolError);
+  request.set("budget", 10);
+  request.set("seed", "not a number");
+  EXPECT_THROW((void)decode_open(request), ProtocolError);
+
+  OpenParams empty_range;
+  empty_range.custom_space = true;
+  empty_range.params = {{"a", 5, 2}};
+  EXPECT_THROW((void)decode_open(encode_open(empty_range)), ProtocolError);
+
+  OpenParams bad_constraint;
+  bad_constraint.custom_space = true;
+  bad_constraint.params = {{"a", 1, 4}};
+  bad_constraint.constraint = "bogus";
+  // decode accepts the frame; materializing the space rejects the constraint.
+  EXPECT_THROW((void)decode_open(encode_open(bad_constraint)).make_space(),
+               ProtocolError);
+}
+
+TEST(Protocol, Wg256ConstraintAppliesToTrailingAxes) {
+  OpenParams params;
+  params.custom_space = true;
+  params.params = {{"t", 1, 16}, {"x", 1, 8}, {"y", 1, 8}, {"z", 1, 8}};
+  params.constraint = "wg256";
+  const tuner::ParamSpace space = params.make_space();
+  EXPECT_TRUE(space.is_executable({1, 8, 8, 4}));   // 256 allowed
+  EXPECT_FALSE(space.is_executable({1, 8, 8, 5}));  // 320 rejected
+}
+
+TEST(Protocol, EvaluationRoundTripIncludingNan) {
+  Json frame = Json::object();
+  encode_evaluation_into(frame, tuner::Evaluation{123.5, true, tuner::EvalStatus::kOk});
+  tuner::Evaluation eval = decode_evaluation(Json::parse(frame.dump()));
+  EXPECT_DOUBLE_EQ(eval.value, 123.5);
+  EXPECT_TRUE(eval.valid);
+  EXPECT_EQ(eval.status, tuner::EvalStatus::kOk);
+
+  Json invalid = Json::object();
+  encode_evaluation_into(invalid, tuner::Evaluation{});  // NaN, invalid
+  eval = decode_evaluation(Json::parse(invalid.dump()));
+  EXPECT_TRUE(std::isnan(eval.value));
+  EXPECT_FALSE(eval.valid);
+  EXPECT_EQ(eval.status, tuner::EvalStatus::kInvalid);
+
+  Json bad = Json::parse(invalid.dump());
+  bad.set("status", "exploded");
+  EXPECT_THROW((void)decode_evaluation(bad), ProtocolError);
+}
+
+TEST(Protocol, TuneResultRoundTrip) {
+  tuner::TuneResult result;
+  result.best_config = {3, 1, 4};
+  result.best_value = 1.0625;
+  result.found_valid = true;
+  result.evaluations_used = 99;
+  tuner::FailureCounters counters;
+  counters.ok = 90;
+  counters.transient = 9;
+  counters.retries = 4;
+  counters.backoff_us = 1234.5;
+
+  tuner::TuneResult decoded;
+  tuner::FailureCounters decoded_counters;
+  decode_tune_result(Json::parse(encode_tune_result(result, counters).dump()),
+                     &decoded, &decoded_counters);
+  EXPECT_EQ(decoded.best_config, result.best_config);
+  EXPECT_DOUBLE_EQ(decoded.best_value, 1.0625);
+  EXPECT_TRUE(decoded.found_valid);
+  EXPECT_EQ(decoded.evaluations_used, 99u);
+  EXPECT_EQ(decoded_counters.ok, 90u);
+  EXPECT_EQ(decoded_counters.transient, 9u);
+  EXPECT_EQ(decoded_counters.retries, 4u);
+  EXPECT_DOUBLE_EQ(decoded_counters.backoff_us, 1234.5);
+}
+
+TEST(Protocol, ErrorCodesRoundTripThroughText) {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kOversizedFrame, ErrorCode::kVersionMismatch,
+        ErrorCode::kSessionLimit, ErrorCode::kDraining, ErrorCode::kInternal}) {
+    EXPECT_EQ(error_code_from(to_string(code)), code);
+  }
+  EXPECT_EQ(error_code_from("no_such_code"), std::nullopt);
+}
+
+TEST(Protocol, RequireHelpersThrowTypedErrors) {
+  Json object = Json::object();
+  object.set("n", -1);
+  object.set("s", 7);
+  try {
+    (void)require_string(object, "missing");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& error) {
+    EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+  }
+  EXPECT_THROW((void)require_uint(object, "n"), ProtocolError);
+  EXPECT_THROW((void)require_string(object, "s"), ProtocolError);
+  EXPECT_THROW((void)require(Json(3), "x"), ProtocolError);
+}
+
+}  // namespace
+}  // namespace repro::service
