@@ -1,0 +1,122 @@
+// Microbenchmarks for reprolint: the lint gate runs in every `ctest -L
+// lint` invocation, so its cost must stay a rounding error next to the
+// study binaries it protects. Items = files, bytes = source bytes, so the
+// per-byte rate tracks tokenizer throughput as the tree (and the rule set)
+// grows. Sources are loaded once up front; iterations measure pure
+// lint_content work, no I/O.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reprolint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool has_cpp_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
+         ext == ".cxx" || ext == ".hxx";
+}
+
+/// All of src/ loaded into memory, path-relative to the repo root (so the
+/// default allowlist's path substrings match exactly as in the CLI).
+const std::vector<std::pair<std::string, std::string>>& tree_sources() {
+  static const auto* sources = [] {
+    auto* loaded = new std::vector<std::pair<std::string, std::string>>();
+    const fs::path root = fs::path(REPRO_SOURCE_DIR);
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+      if (entry.is_regular_file() && has_cpp_extension(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& path : files) {
+      std::ifstream in(path, std::ios::binary);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      loaded->emplace_back(fs::relative(path, root).generic_string(),
+                           buffer.str());
+    }
+    return loaded;
+  }();
+  return *sources;
+}
+
+/// First pass: harvest unordered-container identifiers across the tree.
+void BM_LintCollectNames(benchmark::State& state) {
+  const auto& sources = tree_sources();
+  std::size_t bytes = 0;
+  for (const auto& [path, content] : sources) bytes += content.size();
+  for (auto _ : state) {
+    std::unordered_set<std::string> names;
+    for (const auto& [path, content] : sources) {
+      reprolint::collect_unordered_names(content, names);
+    }
+    benchmark::DoNotOptimize(names.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sources.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+/// Second pass: the full rule sweep over src/ with the shipped allowlist —
+/// the dominant cost of the `reprolint_tree` ctest gate.
+void BM_LintTree(benchmark::State& state) {
+  const auto& sources = tree_sources();
+  reprolint::Options options = reprolint::default_options();
+  for (const auto& [path, content] : sources) {
+    reprolint::collect_unordered_names(content, options.unordered_names);
+  }
+  std::size_t bytes = 0;
+  for (const auto& [path, content] : sources) bytes += content.size();
+
+  for (auto _ : state) {
+    reprolint::Report report;
+    for (const auto& [path, content] : sources) {
+      reprolint::lint_content(path, content, options, report);
+    }
+    benchmark::DoNotOptimize(report.findings.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sources.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetLabel(std::to_string(sources.size()) + " files under src/");
+}
+
+/// JSON serialization of a worst-case-ish report (many findings).
+void BM_LintReportJson(benchmark::State& state) {
+  reprolint::Report report;
+  report.files_scanned = 200;
+  for (int i = 0; i < 256; ++i) {
+    report.findings.push_back(
+        {"src/some/dir/file_" + std::to_string(i) + ".cpp", i + 1,
+         "reprolint-wall-clock",
+         "std::chrono::steady_clock::now() outside the timing allowlist",
+         "const auto now = std::chrono::steady_clock::now();"});
+  }
+  for (auto _ : state) {
+    const std::string json = reprolint::to_json(report);
+    benchmark::DoNotOptimize(json.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_LintCollectNames)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LintTree)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LintReportJson)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

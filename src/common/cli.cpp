@@ -46,7 +46,10 @@ bool CliParser::parse(int argc, const char* const* argv) {
         std::fprintf(stderr, "flag --%s does not take a value\n", name.c_str());
         return false;
       }
-      opt.value = "1";
+      // clear+push_back sidesteps a GCC 12 -Wrestrict false positive
+      // (PR105329) on literal assignment after the substr calls above.
+      opt.value.clear();
+      opt.value.push_back('1');
     } else if (has_inline) {
       opt.value = std::move(inline_value);
     } else {

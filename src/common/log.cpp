@@ -6,11 +6,13 @@
 #include <ctime>
 #include <mutex>
 
+#include "common/thread_annotations.hpp"
+
 namespace repro {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 constexpr const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -50,7 +52,7 @@ void log_message(LogLevel level, std::string_view message) {
   std::snprintf(stamp, sizeof stamp, "%02d:%02d:%02d.%03d", parts.tm_hour,
                 parts.tm_min, parts.tm_sec, static_cast<int>(millis));
 
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(g_mutex);
   if (log_level() <= LogLevel::kDebug) {
     std::fprintf(stderr, "[%s] [%s] [t%d] %.*s\n", stamp, level_name(level),
                  thread_log_id(), static_cast<int>(message.size()), message.data());

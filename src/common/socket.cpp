@@ -38,17 +38,17 @@ void set_nodelay(int fd) {
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
+    fd_.store(other.fd_.exchange(-1));
   }
   return *this;
 }
 
 Socket::Io Socket::read_some(void* buffer, std::size_t capacity, std::size_t* got) {
   *got = 0;
-  if (!valid()) return Io::kClosed;
+  const int fd = fd_.load();
+  if (fd < 0) return Io::kClosed;
   while (true) {
-    const ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    const ssize_t n = ::recv(fd, buffer, capacity, 0);
     if (n > 0) {
       *got = static_cast<std::size_t>(n);
       return Io::kOk;
@@ -61,11 +61,12 @@ Socket::Io Socket::read_some(void* buffer, std::size_t capacity, std::size_t* go
 }
 
 bool Socket::write_all(const void* buffer, std::size_t length) {
-  if (!valid()) return false;
+  const int fd = fd_.load();
+  if (fd < 0) return false;
   const char* data = static_cast<const char*>(buffer);
   std::size_t sent = 0;
   while (sent < length) {
-    const ssize_t n = ::send(fd_, data + sent, length - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data + sent, length - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -76,18 +77,18 @@ bool Socket::write_all(const void* buffer, std::size_t length) {
 }
 
 void Socket::set_read_timeout(std::chrono::milliseconds timeout) {
-  if (valid()) set_timeout_option(fd_, timeout);
+  const int fd = fd_.load();
+  if (fd >= 0) set_timeout_option(fd, timeout);
 }
 
 void Socket::shutdown_both() noexcept {
-  if (valid()) (void)::shutdown(fd_, SHUT_RDWR);
+  const int fd = fd_.load();
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
 }
 
 void Socket::close() noexcept {
-  if (valid()) {
-    (void)::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) (void)::close(fd);
 }
 
 Socket Socket::connect_loopback(std::uint16_t port) {
@@ -132,17 +133,15 @@ Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
 }
 
 ListenSocket::ListenSocket(ListenSocket&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
-  other.fd_ = -1;
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {
   other.port_ = 0;
 }
 
 ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = other.fd_;
+    fd_.store(other.fd_.exchange(-1));
     port_ = other.port_;
-    other.fd_ = -1;
     other.port_ = 0;
   }
   return *this;
@@ -187,14 +186,16 @@ ListenSocket ListenSocket::listen_loopback(std::uint16_t port, int backlog) {
 }
 
 void ListenSocket::set_accept_timeout(std::chrono::milliseconds timeout) {
-  if (valid()) set_timeout_option(fd_, timeout);
+  const int fd = fd_.load();
+  if (fd >= 0) set_timeout_option(fd, timeout);
 }
 
 Socket::Io ListenSocket::accept(Socket* out) {
   *out = Socket();
-  if (!valid()) return Socket::Io::kClosed;
   while (true) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int listen_fd = fd_.load();
+    if (listen_fd < 0) return Socket::Io::kClosed;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
       set_nodelay(fd);
       *out = Socket(fd);
@@ -208,13 +209,13 @@ Socket::Io ListenSocket::accept(Socket* out) {
 }
 
 void ListenSocket::close() noexcept {
-  if (valid()) {
-    // shutdown() first so a thread blocked in accept() wakes immediately
-    // instead of waiting out its timeout.
-    (void)::shutdown(fd_, SHUT_RDWR);
-    (void)::close(fd_);
-    fd_ = -1;
-  }
+  // shutdown() first so a thread blocked in accept() wakes immediately
+  // instead of waiting out its timeout; exchange claims the fd so only one
+  // closer (stop() vs. destructor) actually closes it.
+  const int fd = fd_.load();
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+  const int claimed = fd_.exchange(-1);
+  if (claimed >= 0) (void)::close(claimed);
 }
 
 }  // namespace repro

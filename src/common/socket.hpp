@@ -6,6 +6,7 @@
 // observe shutdown flags. POSIX only (the repo's CI platform); all calls
 // retry EINTR.
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -14,6 +15,11 @@
 namespace repro {
 
 /// RAII wrapper over a connected stream socket file descriptor.
+///
+/// The descriptor is atomic because shutdown crosses threads by design:
+/// the server's stop() shuts a connection (or the listener) down while the
+/// owning worker is parked in recv()/accept() on it. close() claims the fd
+/// with an exchange, so concurrent closes cannot double-close.
 class Socket {
  public:
   /// Outcome of a read/accept attempt on a blocking socket.
@@ -25,11 +31,11 @@ class Socket {
 
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
   Socket& operator=(Socket&& other) noexcept;
 
-  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
-  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_.load() >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_.load(); }
 
   /// Read up to `capacity` bytes. kTimeout only fires when a read timeout
   /// is set; kClosed reports orderly peer shutdown.
@@ -52,10 +58,12 @@ class Socket {
   [[nodiscard]] static Socket connect_tcp(const std::string& host, std::uint16_t port);
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
-/// RAII listening socket bound to the loopback interface.
+/// RAII listening socket bound to the loopback interface. The fd is atomic
+/// for the same reason as Socket's: stop() closes the listener while the
+/// accept thread is parked in accept() on it.
 class ListenSocket {
  public:
   ListenSocket() = default;
@@ -70,7 +78,7 @@ class ListenSocket {
   /// port, readable via port()). Throws std::runtime_error on failure.
   [[nodiscard]] static ListenSocket listen_loopback(std::uint16_t port, int backlog = 64);
 
-  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] bool valid() const noexcept { return fd_.load() >= 0; }
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
   /// SO_RCVTIMEO on the listener: accept() then returns kTimeout
@@ -83,7 +91,7 @@ class ListenSocket {
   void close() noexcept;
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

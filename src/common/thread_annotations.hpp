@@ -1,0 +1,86 @@
+#pragma once
+// Clang thread-safety annotation shim + annotated mutex wrappers.
+//
+// Under clang, `-Wthread-safety -Werror=thread-safety` (enabled by the
+// build when the compiler supports it) statically proves that every access
+// to a GUARDED_BY member happens with its capability held — lock-handoff
+// bugs become compile errors instead of TSan reports. Under GCC the macros
+// expand to nothing and the wrappers are zero-cost shims over std::mutex,
+// so the annotated tree builds everywhere.
+//
+// Usage pattern (see common/thread_pool.hpp for a full example):
+//
+//   mutable repro::Mutex mutex_;
+//   std::deque<Task> queue_ GUARDED_BY(mutex_);
+//   ...
+//   repro::MutexLock lock(mutex_);           // RAII, SCOPED_CAPABILITY
+//   while (queue_.empty()) cv_.wait(lock.native());
+//
+// Condition variables: std::condition_variable needs the underlying
+// std::unique_lock — MutexLock::native() exposes it. Write wait loops as
+// plain `while (!pred) cv_.wait(lock.native());` in the locking function's
+// own scope (not a lambda predicate) so the analysis can see the guarded
+// reads under the held capability.
+
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define REPRO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define REPRO_THREAD_ANNOTATION(x)  // GCC/MSVC: annotations are documentation
+#endif
+
+#define CAPABILITY(x) REPRO_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY REPRO_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) REPRO_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) REPRO_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) REPRO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) REPRO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) REPRO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) REPRO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) REPRO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) REPRO_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) REPRO_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS REPRO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace repro {
+
+/// std::mutex with the `capability` attribute so GUARDED_BY(mutex_) members
+/// participate in clang's analysis. Same size and cost as std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// Underlying std::mutex, for condition-variable interop only.
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII scoped lock over repro::Mutex (std::lock_guard / std::unique_lock
+/// replacement the analysis understands). native() exposes the underlying
+/// std::unique_lock for std::condition_variable::wait — the wait's
+/// unlock/relock is invisible to the analysis, which is sound because the
+/// capability is held again whenever wait returns.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : lock_(mutex.native()) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace repro

@@ -21,8 +21,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Shutdown handoff: the flag flips under the lock, the broadcast happens
+  // outside it, and workers drain the remaining queue before exiting — a
+  // worker that wakes between the unlock and the join re-checks both
+  // `stopping_` and the queue under the lock, so no task is dropped.
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -36,8 +40,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock.native());
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -52,7 +56,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& task : tasks) queue_.emplace_back(std::move(task));
   }
   cv_.notify_all();

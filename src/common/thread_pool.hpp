@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace repro {
 
 class ThreadPool {
@@ -45,7 +47,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -63,10 +65,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 /// Run body(i) for i in [begin, end) across the pool, blocking until done.

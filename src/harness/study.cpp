@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/results_io.hpp"
 #include "tuner/forest/random_forest.hpp"
@@ -324,7 +325,7 @@ StudyResults run_study(const StudyConfig& config_in) {
       for (std::size_t c = 0; c < cell_tasks.size(); ++c) {
         cell_remaining[c].store(cell_tasks[c].size(), std::memory_order_relaxed);
       }
-      std::mutex checkpoint_mutex;
+      repro::Mutex checkpoint_mutex;
 
       repro::parallel_for(0, tasks.size(), [&](std::size_t t) {
         const Task& task = tasks[t];
@@ -351,7 +352,7 @@ StudyResults run_study(const StudyConfig& config_in) {
             if (std::isnan(time)) ++cell.failed_experiments;
           }
           if (checkpointing) {
-            std::lock_guard lock(checkpoint_mutex);
+            repro::MutexLock lock(checkpoint_mutex);
             log_debug("checkpoint: cell {}/{}/{} S={} done ({} experiments)",
                       benchmark_name, arch_name, algorithm, sample_size,
                       cell.final_times_us.size());

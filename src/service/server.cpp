@@ -13,7 +13,7 @@ TuneServer::~TuneServer() { stop(); }
 
 void TuneServer::start() {
   {
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     if (started_) return;
     started_ = true;
   }
@@ -21,38 +21,40 @@ void TuneServer::start() {
   listener_.set_accept_timeout(config_.poll_interval);
   port_ = listener_.port();
   pool_ = std::make_unique<ThreadPool>(config_.connection_threads);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  // Dedicated accept thread by design (see the member's comment in the header).
+  accept_thread_ = std::thread([this] { accept_loop(); });  // NOLINT(reprolint-raw-thread)
   log_info("tuned: listening on 127.0.0.1:{} ({} connection workers, "
            "max {} sessions)",
            port_, config_.connection_threads, config_.limits.max_sessions);
 }
 
 bool TuneServer::running() const noexcept {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return started_ && !stopping_;
 }
 
 bool TuneServer::draining() const noexcept {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return draining_;
 }
 
 bool TuneServer::drain(std::chrono::milliseconds deadline) {
   {
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     if (!started_ || stopping_) return true;
   }
   listener_.close();  // stop accepting; live connections keep running
   {
     // Flag set only after the listener is gone, so an observer of
     // draining()==true can rely on new connections being refused.
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     draining_ = true;
   }
   log_info("tuned: draining ({} live sessions, {} connections)",
            manager_->live(), active_connections());
-  const auto stop_at = std::chrono::steady_clock::now() + deadline;
-  while (std::chrono::steady_clock::now() < stop_at) {
+  // Shutdown deadline; never feeds tuning results.
+  const auto stop_at = std::chrono::steady_clock::now() + deadline;  // NOLINT(reprolint-wall-clock)
+  while (std::chrono::steady_clock::now() < stop_at) {  // NOLINT(reprolint-wall-clock)
     if (manager_->live() == 0 && active_connections() == 0) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
@@ -62,14 +64,16 @@ bool TuneServer::drain(std::chrono::milliseconds deadline) {
 void TuneServer::stop() {
   std::vector<std::shared_ptr<Socket>> sockets;
   {
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     if (!started_ || stopping_) {
       if (!started_) return;
       // fallthrough for idempotent stop after a previous stop() finished
     }
     stopping_ = true;
     sockets.reserve(connections_.size());
-    for (auto& [id, socket] : connections_) sockets.push_back(socket);
+    // Shutdown broadcast: every socket gets shut down, so the unordered
+    // iteration order is immaterial.
+    for (auto& [id, socket] : connections_) sockets.push_back(socket);  // NOLINT(reprolint-unordered-iteration)
   }
   listener_.close();
   for (const auto& socket : sockets) socket->shutdown_both();
@@ -80,19 +84,19 @@ void TuneServer::stop() {
 }
 
 std::size_t TuneServer::active_connections() const {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return connections_.size();
 }
 
 std::size_t TuneServer::connections_accepted() const {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return connections_accepted_;
 }
 
 void TuneServer::accept_loop() {
   while (true) {
     {
-      std::lock_guard lock(mutex_);
+      repro::MutexLock lock(mutex_);
       if (stopping_) return;
     }
     Socket socket;
@@ -108,7 +112,7 @@ void TuneServer::accept_loop() {
     auto shared = std::make_shared<Socket>(std::move(socket));
     std::uint64_t id = 0;
     {
-      std::lock_guard lock(mutex_);
+      repro::MutexLock lock(mutex_);
       if (stopping_) continue;  // socket closes as `shared` dies
       id = next_connection_id_++;
       connections_[id] = shared;
@@ -121,7 +125,7 @@ void TuneServer::accept_loop() {
       } catch (const std::exception& error) {
         log_error("tuned: connection {} handler failed: {}", id, error.what());
       }
-      std::lock_guard lock(mutex_);
+      repro::MutexLock lock(mutex_);
       connections_.erase(id);
     });
     pool_->submit_batch(std::move(task));
@@ -131,7 +135,7 @@ void TuneServer::accept_loop() {
 void TuneServer::handle_connection(std::uint64_t id) {
   std::shared_ptr<Socket> socket;
   {
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     const auto it = connections_.find(id);
     if (it == connections_.end()) return;
     socket = it->second;
@@ -142,7 +146,7 @@ void TuneServer::handle_connection(std::uint64_t id) {
   std::string line;
   while (true) {
     {
-      std::lock_guard lock(mutex_);
+      repro::MutexLock lock(mutex_);
       if (stopping_) return;
     }
     const FrameStatus status = reader.next(&line);
@@ -199,7 +203,7 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
     if (op == "ping") return make_ok();
     if (op == "open") {
       {
-        std::lock_guard lock(mutex_);
+        repro::MutexLock lock(mutex_);
         if (draining_ || stopping_) {
           return make_error(ErrorCode::kDraining, "server is draining");
         }
@@ -250,7 +254,7 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
       response.set("tells", static_cast<std::uint64_t>(report.tells));
       response.set("tallies", encode_counters(report.tallies));
       {
-        std::lock_guard lock(mutex_);
+        repro::MutexLock lock(mutex_);
         response.set("draining", draining_ || stopping_);
         response.set("active_connections",
                      static_cast<std::uint64_t>(connections_.size()));

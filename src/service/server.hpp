@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/socket.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "service/protocol.hpp"
 #include "service/session_manager.hpp"
@@ -80,15 +81,18 @@ class TuneServer {
   ListenSocket listener_;
   std::unique_ptr<SessionManager> manager_;
   std::unique_ptr<ThreadPool> pool_;
-  std::thread accept_thread_;
+  /// The accept thread owns the blocking listener; a pool worker parked in
+  /// accept() would starve connection handling on small pools.
+  std::thread accept_thread_;  // NOLINT(reprolint-raw-thread)
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Socket>> connections_;
-  std::uint64_t next_connection_id_ = 1;
-  std::size_t connections_accepted_ = 0;
-  bool started_ = false;
-  bool stopping_ = false;
-  bool draining_ = false;
+  mutable repro::Mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Socket>> connections_
+      GUARDED_BY(mutex_);
+  std::uint64_t next_connection_id_ GUARDED_BY(mutex_) = 1;
+  std::size_t connections_accepted_ GUARDED_BY(mutex_) = 0;
+  bool started_ GUARDED_BY(mutex_) = false;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  bool draining_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace repro::service

@@ -16,7 +16,7 @@ std::string SessionManager::open(const OpenParams& params) {
   {
     // Cheap early rejection; rechecked after construction since the lock
     // is released in between.
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     if (sessions_.size() >= limits_.max_sessions) {
       throw ProtocolError(ErrorCode::kSessionLimit,
                           "session limit reached (" +
@@ -36,16 +36,20 @@ std::string SessionManager::open(const OpenParams& params) {
   auto managed = std::make_shared<ManagedSession>(
       std::move(space), std::move(algorithm), params.budget, params.seed,
       params.retry);
-  managed->last_activity = std::chrono::steady_clock::now();
+  // Idle-eviction bookkeeping; never feeds tuning results.
+  managed->last_activity = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
 
   std::string id;
   {
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     if (sessions_.size() >= limits_.max_sessions) {
       // managed is destroyed below (cancels its freshly-started thread).
       id.clear();
     } else {
-      id = "s" + std::to_string(next_id_++);
+      // push_back+append sidesteps a GCC 12 -Wrestrict false positive
+      // (PR105329) on assigning the concatenation temporary.
+      id.push_back('s');
+      id += std::to_string(next_id_++);
       sessions_.emplace_back(id, managed);
       ++opened_;
     }
@@ -63,10 +67,11 @@ std::string SessionManager::open(const OpenParams& params) {
 
 std::shared_ptr<SessionManager::ManagedSession> SessionManager::find_and_touch(
     const std::string& id) {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   for (auto& [key, session] : sessions_) {
     if (key == id) {
-      session->last_activity = std::chrono::steady_clock::now();
+      // Idle-eviction bookkeeping; never feeds tuning results.
+      session->last_activity = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
       return session;
     }
   }
@@ -77,7 +82,7 @@ std::optional<tuner::Configuration> SessionManager::ask(const std::string& id) {
   const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
   try {
     auto config = managed->session.ask();  // blocks; manager mutex NOT held
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     ++asks_total_;
     return config;
   } catch (const tuner::AskPendingError& error) {
@@ -96,7 +101,7 @@ std::size_t SessionManager::tell(const std::string& id,
   } catch (const tuner::TellMismatchError& error) {
     throw ProtocolError(ErrorCode::kNoAskOutstanding, error.what());
   }
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   ++tells_total_;
   tallies_.count(evaluation.status);
   const std::size_t told = managed->session.tells();
@@ -123,7 +128,7 @@ SessionManager::ResultPayload SessionManager::result(const std::string& id) {
 void SessionManager::close(const std::string& id) {
   std::shared_ptr<ManagedSession> managed;
   {
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     const auto it = std::find_if(sessions_.begin(), sessions_.end(),
                                  [&](const auto& entry) { return entry.first == id; });
     if (it == sessions_.end()) {
@@ -141,10 +146,11 @@ void SessionManager::close(const std::string& id) {
 
 std::size_t SessionManager::evict_idle() {
   if (limits_.idle_timeout.count() <= 0) return 0;
-  const auto now = std::chrono::steady_clock::now();
+  // Idle-eviction bookkeeping; never feeds tuning results.
+  const auto now = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
   std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> victims;
   {
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
           now - it->second->last_activity);
@@ -168,7 +174,7 @@ std::size_t SessionManager::evict_idle() {
 void SessionManager::cancel_all() {
   std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> victims;
   {
-    std::lock_guard lock(mutex_);
+    repro::MutexLock lock(mutex_);
     victims.swap(sessions_);
     closed_ += victims.size();
   }
@@ -177,13 +183,13 @@ void SessionManager::cancel_all() {
 }
 
 std::size_t SessionManager::live() const {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return sessions_.size();
 }
 
 StatusReport SessionManager::status() const {
   StatusReport report;
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   report.live_sessions = sessions_.size();
   report.opened = opened_;
   report.closed = closed_;
@@ -198,9 +204,10 @@ StatusReport SessionManager::status() const {
 }
 
 std::vector<SessionInfo> SessionManager::sessions() const {
-  const auto now = std::chrono::steady_clock::now();
+  // Status-endpoint idle ages; never feed tuning results.
+  const auto now = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
   std::vector<SessionInfo> infos;
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   infos.reserve(sessions_.size());
   for (const auto& [id, managed] : sessions_) {
     SessionInfo info;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "service/protocol.hpp"
 #include "tuner/ask_tell.hpp"
 
@@ -111,21 +112,25 @@ class SessionManager {
 
     tuner::ParamSpace space;
     tuner::AskTellSession session;
+    /// Written only while the owning manager's mutex_ is held (the analysis
+    /// cannot express a guard that lives in another object, so this is a
+    /// documented convention rather than a GUARDED_BY).
     std::chrono::steady_clock::time_point last_activity;
   };
 
   [[nodiscard]] std::shared_ptr<ManagedSession> find_and_touch(const std::string& id);
 
   const SessionLimits limits_;
-  mutable std::mutex mutex_;
-  std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> sessions_;
-  std::uint64_t next_id_ = 1;
-  std::size_t opened_ = 0;
-  std::size_t closed_ = 0;
-  std::size_t evicted_ = 0;
-  std::size_t asks_total_ = 0;
-  std::size_t tells_total_ = 0;
-  tuner::FailureCounters tallies_;
+  mutable repro::Mutex mutex_;
+  std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> sessions_
+      GUARDED_BY(mutex_);
+  std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+  std::size_t opened_ GUARDED_BY(mutex_) = 0;
+  std::size_t closed_ GUARDED_BY(mutex_) = 0;
+  std::size_t evicted_ GUARDED_BY(mutex_) = 0;
+  std::size_t asks_total_ GUARDED_BY(mutex_) = 0;
+  std::size_t tells_total_ GUARDED_BY(mutex_) = 0;
+  tuner::FailureCounters tallies_ GUARDED_BY(mutex_);
 };
 
 }  // namespace repro::service

@@ -55,11 +55,12 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGINT, handle_signal);
 
-  auto last_status = std::chrono::steady_clock::now();
+  // Status-heartbeat pacing; never feeds tuning results.
+  auto last_status = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
   while (g_signal.load(std::memory_order_relaxed) == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     if (status_interval > 0) {
-      const auto now = std::chrono::steady_clock::now();
+      const auto now = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
       if (now - last_status >= std::chrono::milliseconds(status_interval)) {
         last_status = now;
         const service::StatusReport report = server.sessions().status();

@@ -3,11 +3,13 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
+
 namespace repro::simgpu {
 
 struct MeanCache::Shard {
-  mutable std::mutex mutex;
-  std::unordered_map<std::uint64_t, double> map;
+  mutable repro::Mutex mutex;
+  std::unordered_map<std::uint64_t, double> entries GUARDED_BY(mutex);
 };
 
 namespace {
@@ -39,9 +41,9 @@ MeanCache::Shard& MeanCache::shard_for(std::uint64_t key) const noexcept {
 bool MeanCache::lookup(std::uint64_t key, double& value) const {
   lookups_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
-  const auto it = shard.map.find(key);
-  if (it == shard.map.end()) return false;
+  repro::MutexLock lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
   value = it->second;
   hits_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -49,15 +51,15 @@ bool MeanCache::lookup(std::uint64_t key, double& value) const {
 
 void MeanCache::store(std::uint64_t key, double value) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
-  shard.map.emplace(key, value);
+  repro::MutexLock lock(shard.mutex);
+  shard.entries.emplace(key, value);
 }
 
 std::size_t MeanCache::size() const {
   std::size_t total = 0;
   for (std::size_t i = 0; i <= shard_mask_; ++i) {
-    std::lock_guard lock(shards_[i].mutex);
-    total += shards_[i].map.size();
+    repro::MutexLock lock(shards_[i].mutex);
+    total += shards_[i].entries.size();
   }
   return total;
 }

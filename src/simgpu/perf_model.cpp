@@ -223,7 +223,9 @@ PerfBreakdown PerfModel::evaluate(const GpuArch& arch, const KernelConfig& confi
 // ---------------------------------------------------------------------------
 
 struct CachedPerfModel::Impl {
-  std::vector<std::atomic<float>> table;
+  // Memo slots hold a pure function of the index; racing stores write
+  // identical bits (no accumulation), so reads are deterministic.
+  std::vector<std::atomic<float>> table;  // NOLINT(reprolint-nondet-reduction)
   explicit Impl(std::size_t n) : table(n) {
     for (auto& slot : table) slot.store(kUnset, std::memory_order_relaxed);
   }

@@ -14,7 +14,8 @@ AskTellSession::AskTellSession(const ParamSpace& space,
       retry_(retry),
       name_(algorithm_ ? algorithm_->name() : "") {
   if (!algorithm_) throw std::invalid_argument("AskTellSession: null algorithm");
-  thread_ = std::thread([this, seed] { search_main(seed); });
+  // Dedicated thread by design (see the member's comment in the header).
+  thread_ = std::thread([this, seed] { search_main(seed); });  // NOLINT(reprolint-raw-thread)
 }
 
 AskTellSession::~AskTellSession() {
@@ -23,13 +24,13 @@ AskTellSession::~AskTellSession() {
 }
 
 Evaluation AskTellSession::proxy_measure(const Configuration& config) {
-  std::unique_lock lock(mutex_);
+  repro::MutexLock lock(mutex_);
   if (cancelled_) throw SessionCancelled();
   pending_ = config;
   has_pending_ = true;
   has_reply_ = false;
   cv_.notify_all();
-  cv_.wait(lock, [this] { return has_reply_ || cancelled_; });
+  while (!has_reply_ && !cancelled_) cv_.wait(lock.native());
   if (!has_reply_) throw SessionCancelled();
   has_reply_ = false;
   return reply_;
@@ -55,7 +56,7 @@ void AskTellSession::search_main(std::uint64_t seed) {
     // Evaluator construction failed — nothing partial to report.
     error = std::current_exception();
   }
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   result_ = std::move(result);
   counters_ = counters;
   error_ = error;
@@ -65,10 +66,10 @@ void AskTellSession::search_main(std::uint64_t seed) {
 }
 
 std::optional<Configuration> AskTellSession::ask() {
-  std::unique_lock lock(mutex_);
+  repro::MutexLock lock(mutex_);
   if (cancelled_) throw SessionCancelled();
   if (outstanding_) throw AskPendingError();
-  cv_.wait(lock, [this] { return has_pending_ || finished_ || cancelled_; });
+  while (!has_pending_ && !finished_ && !cancelled_) cv_.wait(lock.native());
   if (cancelled_) throw SessionCancelled();
   if (has_pending_) {
     outstanding_ = true;
@@ -79,7 +80,7 @@ std::optional<Configuration> AskTellSession::ask() {
 }
 
 void AskTellSession::tell(const Evaluation& evaluation) {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   if (!outstanding_) throw TellMismatchError();
   outstanding_ = false;
   has_pending_ = false;
@@ -90,39 +91,39 @@ void AskTellSession::tell(const Evaluation& evaluation) {
 }
 
 bool AskTellSession::finished() const {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return finished_;
 }
 
 bool AskTellSession::ask_outstanding() const {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return outstanding_;
 }
 
 std::size_t AskTellSession::asks() const {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return asks_;
 }
 
 std::size_t AskTellSession::tells() const {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return tells_;
 }
 
 TuneResult AskTellSession::result() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return finished_; });
+  repro::MutexLock lock(mutex_);
+  while (!finished_) cv_.wait(lock.native());
   if (error_) std::rethrow_exception(error_);
   return result_;
 }
 
 FailureCounters AskTellSession::counters() const {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   return counters_;
 }
 
 void AskTellSession::cancel() {
-  std::lock_guard lock(mutex_);
+  repro::MutexLock lock(mutex_);
   cancelled_ = true;
   cv_.notify_all();
 }

@@ -32,6 +32,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "tuner/tuner.hpp"
 
 namespace repro::tuner {
@@ -107,21 +108,26 @@ class AskTellSession {
   const RetryPolicy retry_;
   std::string name_;
 
-  mutable std::mutex mutex_;
+  mutable repro::Mutex mutex_;
   std::condition_variable cv_;
-  Configuration pending_;         ///< proposal the search thread is parked on
-  bool has_pending_ = false;
-  bool outstanding_ = false;      ///< pending_ was handed out via ask()
-  Evaluation reply_;
-  bool has_reply_ = false;
-  bool cancelled_ = false;
-  bool finished_ = false;
-  std::size_t asks_ = 0;
-  std::size_t tells_ = 0;
-  TuneResult result_;
-  FailureCounters counters_;
-  std::exception_ptr error_;
-  std::thread thread_;            ///< last member: starts after state is ready
+  /// Proposal the search thread is parked on.
+  Configuration pending_ GUARDED_BY(mutex_);
+  bool has_pending_ GUARDED_BY(mutex_) = false;
+  /// pending_ was handed out via ask().
+  bool outstanding_ GUARDED_BY(mutex_) = false;
+  Evaluation reply_ GUARDED_BY(mutex_);
+  bool has_reply_ GUARDED_BY(mutex_) = false;
+  bool cancelled_ GUARDED_BY(mutex_) = false;
+  bool finished_ GUARDED_BY(mutex_) = false;
+  std::size_t asks_ GUARDED_BY(mutex_) = 0;
+  std::size_t tells_ GUARDED_BY(mutex_) = 0;
+  TuneResult result_ GUARDED_BY(mutex_);
+  FailureCounters counters_ GUARDED_BY(mutex_);
+  std::exception_ptr error_ GUARDED_BY(mutex_);
+  /// One dedicated search thread per session is the ask/tell design: it
+  /// spends its life parked in proxy_measure, and a ThreadPool worker
+  /// blocking there would deadlock the pool under concurrent sessions.
+  std::thread thread_;  // NOLINT(reprolint-raw-thread) last member: starts after state is ready
 };
 
 }  // namespace repro::tuner

@@ -1,0 +1,139 @@
+// Race-stress tests for AskTellSession: many sessions driven concurrently
+// from raw threads must each stay bit-identical to a serial in-process
+// minimize() run with the same seed, and cancel() racing a parked ask()
+// must always unblock the caller with SessionCancelled (never hang or
+// crash). Run under the `tsan` preset to surface ordering bugs in the
+// proxy handshake.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tests/service/service_test_util.hpp"
+#include "tuner/ask_tell.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/registry.hpp"
+
+namespace repro::tuner {
+namespace {
+
+using service_test::synth_eval;
+using service_test::synth_objective;
+using service_test::tiny_space;
+
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(RaceAskTell, ConcurrentSessionsBitIdenticalToSerialMinimize) {
+  const ParamSpace space = tiny_space();
+  const std::uint64_t salt = seed_from_string("race-ask-tell");
+  constexpr std::size_t kSessions = 8;
+  constexpr std::size_t kBudget = 30;
+  const std::string algo = "rs";
+
+  // Serial references, computed up front.
+  std::vector<TuneResult> expected;
+  expected.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    Rng rng(seed_combine(7001, s));
+    Evaluator evaluator(space, synth_objective(space, salt), kBudget);
+    expected.push_back(make_algorithm(algo)->minimize(space, evaluator, rng));
+  }
+
+  // All sessions live at once, each driven by its own external loop.
+  std::vector<std::unique_ptr<AskTellSession>> sessions;
+  sessions.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    sessions.push_back(std::make_unique<AskTellSession>(
+        space, make_algorithm(algo), kBudget, seed_combine(7001, s)));
+  }
+  std::vector<TuneResult> actual(kSessions);
+  std::vector<std::thread> drivers;
+  drivers.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    drivers.emplace_back([&space, &sessions, &actual, salt, s] {
+      AskTellSession& session = *sessions[s];
+      while (auto config = session.ask()) {
+        session.tell(synth_eval(space, *config, salt));
+      }
+      actual[s] = session.result();
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(actual[s].best_config, expected[s].best_config) << "session " << s;
+    EXPECT_TRUE(bitwise_equal(actual[s].best_value, expected[s].best_value))
+        << "session " << s;
+    EXPECT_EQ(actual[s].evaluations_used, expected[s].evaluations_used)
+        << "session " << s;
+  }
+}
+
+TEST(RaceAskTell, CancelRacingParkedAskUnblocksDriver) {
+  const ParamSpace space = tiny_space();
+  const std::uint64_t salt = seed_from_string("race-cancel");
+  constexpr int kIterations = 24;
+
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    AskTellSession session(space, make_algorithm("rs"), /*budget=*/1000,
+                           seed_combine(9100, iteration));
+    // Vary how far the session progresses before the cancel lands so the
+    // race covers parked-in-proxy, mid-tell, and mid-ask windows.
+    const int head_start = iteration % 5;
+
+    std::thread driver([&] {
+      try {
+        for (;;) {
+          auto config = session.ask();
+          if (!config) break;
+          session.tell(synth_eval(space, *config, salt));
+        }
+      } catch (const SessionCancelled&) {
+        // Expected exit for most iterations.
+      }
+    });
+    for (int i = 0; i < head_start; ++i) std::this_thread::yield();
+    session.cancel();
+    driver.join();
+
+    // Post-cancel the session must refuse further asks immediately.
+    EXPECT_THROW((void)session.ask(), SessionCancelled);
+  }
+}
+
+TEST(RaceAskTell, DestructionWhileDriversStillAsking) {
+  // Destroying a session races the driver's next ask(): the driver must be
+  // ejected via SessionCancelled before the destructor finishes joining.
+  const ParamSpace space = tiny_space();
+  const std::uint64_t salt = seed_from_string("race-dtor");
+
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    auto session = std::make_unique<AskTellSession>(
+        space, make_algorithm("rs"), /*budget=*/1000, seed_combine(77, iteration));
+    std::thread driver([&space, &session, salt] {
+      try {
+        for (;;) {
+          auto config = session->ask();
+          if (!config) break;
+          session->tell(synth_eval(space, *config, salt));
+        }
+      } catch (const SessionCancelled&) {
+      }
+    });
+    std::this_thread::yield();
+    session->cancel();  // cancel first: ~AskTellSession joins, driver exits
+    driver.join();
+    session.reset();
+  }
+}
+
+}  // namespace
+}  // namespace repro::tuner

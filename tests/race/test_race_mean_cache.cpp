@@ -1,0 +1,108 @@
+// Race-stress tests for simgpu::MeanCache's mutex-striped shards: many
+// threads hammering overlapping key ranges must never corrupt an entry or
+// lose the first-store-wins guarantee. Values are a pure function of the
+// key, mirroring the production contract (deterministic per-configuration
+// means), so every surviving entry is checkable after the storm.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simgpu/mean_cache.hpp"
+
+namespace {
+
+double value_for(std::uint64_t key) {
+  // Deterministic, well-spread payload; occasionally NaN to exercise the
+  // cache's "NaN memoizes invalid" contract under contention.
+  const std::uint64_t h = repro::splitmix64(key);
+  if ((h & 0xff) == 0) return std::nan("");
+  return 1.0 + static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+TEST(RaceMeanCache, ConcurrentStoreLookupOverlappingKeys) {
+  repro::simgpu::MeanCache cache(8);
+  constexpr std::uint64_t kKeys = 512;
+  constexpr std::size_t kThreads = 4;
+  constexpr int kRounds = 8;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread walks the same key set from a different offset so
+        // lookups and stores interleave on shared shards.
+        for (std::uint64_t i = 0; i < kKeys; ++i) {
+          const std::uint64_t key = (i + t * 131) % kKeys;
+          double got = 0.0;
+          if (cache.lookup(key, got)) {
+            const double want = value_for(key);
+            if (std::isnan(want)) {
+              EXPECT_TRUE(std::isnan(got)) << "key " << key;
+            } else {
+              EXPECT_EQ(got, want) << "key " << key;
+            }
+          } else {
+            cache.store(key, value_for(key));
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(cache.size(), kKeys);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    double got = 0.0;
+    ASSERT_TRUE(cache.lookup(key, got)) << "key " << key;
+    const double want = value_for(key);
+    if (std::isnan(want)) {
+      EXPECT_TRUE(std::isnan(got)) << "key " << key;
+    } else {
+      EXPECT_EQ(got, want) << "key " << key;
+    }
+  }
+  EXPECT_GE(cache.lookups(), kKeys);
+  EXPECT_GE(cache.hits(), cache.size());
+}
+
+TEST(RaceMeanCache, DuplicateStoresKeepOneConsistentValue) {
+  // All threads race to store the same small key set first; whichever wins,
+  // the table must end up with exactly one entry per key holding the
+  // deterministic value (all writers compute the same bits).
+  repro::simgpu::MeanCache cache(2);
+  constexpr std::uint64_t kKeys = 32;
+  constexpr std::size_t kThreads = 4;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache] {
+      for (int round = 0; round < 50; ++round) {
+        for (std::uint64_t key = 0; key < kKeys; ++key) {
+          cache.store(key, value_for(key));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(cache.size(), kKeys);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    double got = 0.0;
+    ASSERT_TRUE(cache.lookup(key, got));
+    const double want = value_for(key);
+    if (std::isnan(want)) {
+      EXPECT_TRUE(std::isnan(got));
+    } else {
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,16 @@
+// Fixture: hazards that the shipped allowlist forgives in specific paths
+// (wall clocks in logging/benchmarks, raw threads in the pool and tests).
+// The unit test lints this content under allowlisted and non-allowlisted
+// virtual paths to verify path scoping; the CLI gate test scans it as a
+// plain positive. Never compiled.
+#include <chrono>
+#include <thread>
+
+long allowlisted_timestamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+void allowlisted_driver_thread() {
+  std::thread driver([] {});
+  driver.join();
+}

@@ -1,0 +1,25 @@
+// Fixture: every hazard below carries a NOLINT directive, exercising each
+// suppression spelling (rule list, NOLINTNEXTLINE, bare NOLINT, and the
+// "reprolint" wildcard list entry). The linter must report zero findings
+// here and count exactly four suppressions. Never compiled — data for
+// tests/reprolint/test_reprolint.cpp.
+#include <chrono>
+#include <random>
+#include <thread>
+
+int suppressed_rand() { return rand(); }  // NOLINT(reprolint-rand) fixture: rule-list suppression
+
+long suppressed_clock() {
+  // NOLINTNEXTLINE(reprolint-wall-clock) fixture: next-line suppression
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+unsigned suppressed_device() {
+  std::random_device device;  // NOLINT fixture: bare NOLINT silences every rule
+  return device();
+}
+
+void suppressed_thread() {
+  std::thread worker([] {});  // NOLINT(reprolint) fixture: wildcard list entry
+  worker.join();
+}

@@ -1,0 +1,161 @@
+// reprolint CLI: scan directories (default: src bench tests) for
+// determinism/concurrency hazards and exit nonzero when any finding
+// survives the allowlist and NOLINT suppressions.
+//
+//   reprolint [--root DIR] [--json FILE] [--allow rule:substr]
+//             [--no-default-allow] [--include-fixtures] [--quiet] [paths...]
+//
+// Paths are resolved relative to --root (default: current directory). Files
+// under a `fixtures/` directory are skipped unless --include-fixtures is
+// given — the lint test suite keeps deliberately-bad inputs there.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "reprolint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_source_file(const fs::path& path) {
+  static const std::set<std::string> extensions = {".cpp", ".hpp", ".cc",
+                                                   ".h",   ".cxx", ".hxx"};
+  return extensions.count(path.extension().string()) != 0;
+}
+
+bool under_fixtures(const std::string& relative) {
+  return relative.find("fixtures/") != std::string::npos ||
+         relative.find("fixtures\\") != std::string::npos;
+}
+
+int usage() {
+  std::cerr << "usage: reprolint [--root DIR] [--json FILE] "
+               "[--allow rule:substr] [--no-default-allow] "
+               "[--include-fixtures] [--quiet] [paths...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string json_out;
+  bool default_allow = true;
+  bool include_fixtures = false;
+  bool quiet = false;
+  std::vector<std::string> extra_allow;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--allow" && i + 1 < argc) {
+      extra_allow.emplace_back(argv[++i]);
+    } else if (arg == "--no-default-allow") {
+      default_allow = false;
+    } else if (arg == "--include-fixtures") {
+      include_fixtures = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help") {
+      (void)usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "tests"};
+
+  reprolint::Options options =
+      default_allow ? reprolint::default_options() : reprolint::Options{};
+  for (const std::string& entry : extra_allow) {
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "reprolint: --allow expects rule:path-substring, got '"
+                << entry << "'\n";
+      return 2;
+    }
+    options.allow.emplace_back(entry.substr(0, colon), entry.substr(colon + 1));
+  }
+
+  // Collect candidate files, sorted for deterministic report order.
+  std::vector<std::string> files;
+  for (const std::string& request : paths) {
+    const fs::path target = root / request;
+    std::error_code ec;
+    if (fs::is_regular_file(target, ec)) {
+      files.push_back(request);
+      continue;
+    }
+    if (!fs::is_directory(target, ec)) {
+      std::cerr << "reprolint: no such file or directory: " << target.string()
+                << "\n";
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it(target, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file() || !is_source_file(it->path())) continue;
+      files.push_back(fs::relative(it->path(), root, ec).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Load everything up front: the first pass collects declared
+  // unordered-container names across the whole scan set (so iteration in
+  // one file over a member declared in another is still caught), the
+  // second lints each file against that shared set.
+  std::vector<std::pair<std::string, std::string>> sources;  // rel path, text
+  for (const std::string& file : files) {
+    if (!include_fixtures && under_fixtures(file)) continue;
+    std::ifstream in(root / file, std::ios::binary);
+    if (!in) {
+      std::cerr << "reprolint: cannot read " << (root / file).string() << "\n";
+      return 2;
+    }
+    sources.emplace_back(file,
+                         std::string((std::istreambuf_iterator<char>(in)),
+                                     std::istreambuf_iterator<char>()));
+    reprolint::collect_unordered_names(sources.back().second,
+                                       options.unordered_names);
+  }
+
+  reprolint::Report report;
+  for (const auto& [file, content] : sources) {
+    reprolint::lint_content(file, content, options, report);
+  }
+
+  if (!quiet) {
+    for (const reprolint::Finding& finding : report.findings) {
+      std::cerr << finding.file << ":" << finding.line << ": [" << finding.rule
+                << "] " << finding.message << "\n    " << finding.snippet
+                << "\n";
+    }
+    std::cerr << "reprolint: " << report.files_scanned << " files, "
+              << report.findings.size() << " finding"
+              << (report.findings.size() == 1 ? "" : "s") << ", "
+              << report.suppressed << " suppressed\n";
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "reprolint: cannot write " << json_out << "\n";
+      return 2;
+    }
+    out << reprolint::to_json(report);
+  }
+  return report.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,605 @@
+#include "reprolint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace reprolint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer: identifiers / numbers / punctuation, one char per punct token.
+// Comments and string/char literals are consumed (never produce hazard
+// tokens); comment text is inspected for NOLINT directives as it is skipped.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct NolintDirectives {
+  std::set<int> all_lines;                      ///< bare NOLINT
+  std::map<int, std::set<std::string>> rules;   ///< NOLINT(list)
+};
+
+void parse_nolint(const std::string& comment, int line, NolintDirectives& out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    std::size_t after = pos + 6;
+    int target = line;
+    if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = line + 1;
+    }
+    if (after < comment.size() && comment[after] == '(') {
+      const std::size_t close = comment.find(')', after);
+      if (close == std::string::npos) break;
+      std::string list = comment.substr(after + 1, close - after - 1);
+      std::stringstream ss(list);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        item.erase(0, item.find_first_not_of(" \t"));
+        item.erase(item.find_last_not_of(" \t") + 1);
+        if (item == "reprolint" || item == "reprolint-*") {
+          out.all_lines.insert(target);
+        } else if (!item.empty()) {
+          out.rules[target].insert(item);
+        }
+      }
+      pos = close;
+    } else {
+      out.all_lines.insert(target);
+      pos = after;
+    }
+  }
+}
+
+struct Lexed {
+  std::vector<Token> tokens;
+  NolintDirectives nolint;
+  std::vector<std::string> lines;  ///< raw source lines (1-based via index+1)
+};
+
+Lexed lex(const std::string& src) {
+  Lexed out;
+  {
+    std::stringstream ss(src);
+    std::string line;
+    while (std::getline(ss, line)) out.lines.push_back(line);
+  }
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t end = src.find('\n', i);
+      const std::size_t stop = end == std::string::npos ? n : end;
+      parse_nolint(src.substr(i, stop - i), line, out.nolint);
+      i = stop;
+      continue;
+    }
+    // Block comment (may span lines; directives use the line they appear on).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      int comment_line = line;
+      std::size_t segment_start = i;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') {
+          parse_nolint(src.substr(segment_start, j - segment_start), comment_line,
+                       out.nolint);
+          ++line;
+          comment_line = line;
+          segment_start = j + 1;
+        }
+        ++j;
+      }
+      const std::size_t stop = j + 1 < n ? j + 2 : n;
+      parse_nolint(src.substr(segment_start, stop - segment_start), comment_line,
+                   out.nolint);
+      i = stop;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string terminator = ")" + delim + "\"";
+      const std::size_t end = src.find(terminator, j);
+      const std::size_t stop =
+          end == std::string::npos ? n : end + terminator.size();
+      line += static_cast<int>(std::count(src.begin() + static_cast<long>(i),
+                                          src.begin() + static_cast<long>(stop), '\n'));
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Number (digits, dots, exponent signs — precision irrelevant here).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.' || src[j] == '\'')) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers.
+// ---------------------------------------------------------------------------
+
+bool is(const std::vector<Token>& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool is_ident(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdent;
+}
+
+/// True when tokens[i] is preceded by `::` (qualified name).
+bool prev_is_scope(const std::vector<Token>& t, std::size_t i) {
+  return i >= 2 && t[i - 1].text == ":" && t[i - 2].text == ":";
+}
+
+/// True when tokens[i] is a member access (`.name` / `->name`).
+bool prev_is_member(const std::vector<Token>& t, std::size_t i) {
+  if (i >= 1 && t[i - 1].text == ".") return true;
+  return i >= 2 && t[i - 1].text == ">" && t[i - 2].text == "-";
+}
+
+/// Index of the token before an optional `std::` / `::` qualifier at i.
+std::size_t before_qualifier(const std::vector<Token>& t, std::size_t i) {
+  std::size_t j = i;
+  if (j >= 2 && t[j - 1].text == ":" && t[j - 2].text == ":") {
+    j -= 2;
+    if (j >= 1 && t[j - 1].text == "std") --j;
+  }
+  return j;  // t[j-1] is the token before the qualified name (if j > 0)
+}
+
+/// Skip a balanced template argument list starting at `<`; returns the index
+/// one past the matching `>`, or `open + 1` if tokens[open] is not `<`.
+std::size_t skip_template_args(const std::vector<Token>& t, std::size_t open) {
+  if (!is(t, open, "<")) return open + 1;
+  int depth = 0;
+  std::size_t j = open;
+  while (j < t.size()) {
+    if (t[j].text == "<") ++depth;
+    if (t[j].text == ">") {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+    if (t[j].text == ";") return j;  // unbalanced (operator<) — bail out
+    ++j;
+  }
+  return j;
+}
+
+const std::set<std::string>& libc_rand_names() {
+  static const std::set<std::string> names = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "srandom"};
+  return names;
+}
+
+const std::set<std::string>& clock_type_names() {
+  static const std::set<std::string> names = {
+      "system_clock", "steady_clock", "high_resolution_clock", "utc_clock",
+      "file_clock", "tai_clock", "gps_clock"};
+  return names;
+}
+
+const std::set<std::string>& clock_call_names() {
+  static const std::set<std::string> names = {"gettimeofday", "clock_gettime",
+                                              "timespec_get", "ftime"};
+  return names;
+}
+
+const std::set<std::string>& engine_names() {
+  static const std::set<std::string> names = {
+      "mt19937",      "mt19937_64",    "minstd_rand", "minstd_rand0",
+      "ranlux24",     "ranlux48",      "ranlux24_base", "ranlux48_base",
+      "knuth_b",      "default_random_engine"};
+  return names;
+}
+
+const std::set<std::string>& distribution_names() {
+  static const std::set<std::string> names = {
+      "uniform_int_distribution",   "uniform_real_distribution",
+      "normal_distribution",        "lognormal_distribution",
+      "bernoulli_distribution",     "binomial_distribution",
+      "geometric_distribution",     "negative_binomial_distribution",
+      "poisson_distribution",       "exponential_distribution",
+      "gamma_distribution",         "weibull_distribution",
+      "extreme_value_distribution", "cauchy_distribution",
+      "chi_squared_distribution",   "fisher_f_distribution",
+      "student_t_distribution",     "discrete_distribution",
+      "piecewise_constant_distribution", "piecewise_linear_distribution"};
+  return names;
+}
+
+const std::set<std::string>& unordered_container_names() {
+  static const std::set<std::string> names = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return names;
+}
+
+std::string trimmed_line(const Lexed& lx, int line) {
+  if (line < 1 || static_cast<std::size_t>(line) > lx.lines.size()) return {};
+  std::string text = lx.lines[static_cast<std::size_t>(line - 1)];
+  text.erase(0, text.find_first_not_of(" \t"));
+  text.erase(text.find_last_not_of(" \t\r") + 1);
+  return text;
+}
+
+/// Emit a finding unless a NOLINT directive or the allowlist covers it.
+void emit(const std::string& path, const Lexed& lx, int line,
+          const std::string& rule, const std::string& message,
+          const Options& options, Report& report) {
+  for (const auto& [allowed_rule, substring] : options.allow) {
+    if ((allowed_rule == "*" || allowed_rule == rule) &&
+        path.find(substring) != std::string::npos) {
+      return;
+    }
+  }
+  if (lx.nolint.all_lines.count(line) != 0) {
+    ++report.suppressed;
+    return;
+  }
+  const auto it = lx.nolint.rules.find(line);
+  if (it != lx.nolint.rules.end() && it->second.count(rule) != 0) {
+    ++report.suppressed;
+    return;
+  }
+  report.findings.push_back({path, line, rule, message, trimmed_line(lx, line)});
+}
+
+void json_escape(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> names = {
+      "reprolint-rand",
+      "reprolint-random-device",
+      "reprolint-wall-clock",
+      "reprolint-unseeded-rng",
+      "reprolint-nonportable-random",
+      "reprolint-unordered-iteration",
+      "reprolint-nondet-reduction",
+      "reprolint-raw-thread"};
+  return names;
+}
+
+Options default_options() {
+  Options options;
+  // Wall-clock reads that never feed experiment results: log-line
+  // timestamps, socket timeout plumbing, benchmark timers, test deadlines.
+  options.allow.emplace_back("reprolint-wall-clock", "src/common/log.");
+  options.allow.emplace_back("reprolint-wall-clock", "src/common/socket.");
+  options.allow.emplace_back("reprolint-wall-clock", "bench/micro/");
+  options.allow.emplace_back("reprolint-wall-clock", "tests/");
+  // The pool implementation is the one sanctioned owner of raw threads;
+  // tests spawn driver threads deliberately (race stress, loopback clients).
+  options.allow.emplace_back("reprolint-raw-thread", "src/common/thread_pool.");
+  options.allow.emplace_back("reprolint-raw-thread", "tests/");
+  return options;
+}
+
+void collect_unordered_names(const std::string& content,
+                             std::unordered_set<std::string>& names) {
+  const Lexed lx = lex(content);
+  const auto& t = lx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent ||
+        unordered_container_names().count(t[i].text) == 0) {
+      continue;
+    }
+    // Skip uses nested inside another template's argument list
+    // (e.g. std::map<K, std::unordered_set<V>> is ordered at the top level).
+    const std::size_t q = before_qualifier(t, i);
+    if (q >= 1 && (t[q - 1].text == "<" || t[q - 1].text == ",")) continue;
+    std::size_t j = skip_template_args(t, i + 1);
+    while (is(t, j, "&") || is(t, j, "*") || is(t, j, "const")) ++j;
+    if (is_ident(t, j)) names.insert(t[j].text);
+  }
+}
+
+void lint_content(const std::string& path, const std::string& content,
+                  const Options& options, Report& report) {
+  ++report.files_scanned;
+  const Lexed lx = lex(content);
+  const auto& t = lx.tokens;
+
+  // Local declarations join the cross-file set for the iteration rule.
+  std::unordered_set<std::string> unordered = options.unordered_names;
+  collect_unordered_names(content, unordered);
+
+  // #pragma omp ... reduction(...) accumulates in thread order.
+  for (std::size_t li = 0; li < lx.lines.size(); ++li) {
+    const std::string& line = lx.lines[li];
+    if (line.find("#pragma") != std::string::npos &&
+        line.find("omp") != std::string::npos &&
+        line.find("reduction") != std::string::npos) {
+      emit(path, lx, static_cast<int>(li + 1), "reprolint-nondet-reduction",
+           "OpenMP reduction accumulates in nondeterministic thread order",
+           options, report);
+    }
+  }
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& id = t[i].text;
+    const int line = t[i].line;
+
+    // --- reprolint-rand -----------------------------------------------------
+    if (libc_rand_names().count(id) != 0 && is(t, i + 1, "(") &&
+        !prev_is_member(t, i)) {
+      emit(path, lx, line, "reprolint-rand",
+           id + "() draws from hidden global state; use repro::Rng with a "
+                "derived seed",
+           options, report);
+      continue;
+    }
+
+    // --- reprolint-random-device -------------------------------------------
+    if (id == "random_device") {
+      emit(path, lx, line, "reprolint-random-device",
+           "std::random_device is nondeterministic; derive seeds with "
+           "repro::seed_combine",
+           options, report);
+      continue;
+    }
+
+    // --- reprolint-wall-clock ----------------------------------------------
+    if (clock_type_names().count(id) != 0 && is(t, i + 1, ":") &&
+        is(t, i + 2, ":") && is(t, i + 3, "now")) {
+      emit(path, lx, line, "reprolint-wall-clock",
+           "std::chrono::" + id + "::now() outside the timing allowlist; "
+           "results must not depend on wall time",
+           options, report);
+      continue;
+    }
+    if (clock_call_names().count(id) != 0 && is(t, i + 1, "(")) {
+      emit(path, lx, line, "reprolint-wall-clock",
+           id + "() reads the wall clock; results must not depend on wall time",
+           options, report);
+      continue;
+    }
+    if ((id == "time" || id == "clock") && is(t, i + 1, "(") &&
+        prev_is_scope(t, i)) {
+      emit(path, lx, line, "reprolint-wall-clock",
+           "std::" + id + "() reads the wall clock; results must not depend "
+           "on wall time",
+           options, report);
+      continue;
+    }
+
+    // --- reprolint-unseeded-rng --------------------------------------------
+    if (engine_names().count(id) != 0) {
+      bool unseeded = false;
+      if (is(t, i + 1, "(") && is(t, i + 2, ")")) unseeded = true;
+      if (is(t, i + 1, "{") && is(t, i + 2, "}")) unseeded = true;
+      if (is_ident(t, i + 1)) {
+        if (is(t, i + 2, ";") || (is(t, i + 2, "{") && is(t, i + 3, "}")) ||
+            (is(t, i + 2, "(") && is(t, i + 3, ")"))) {
+          unseeded = true;
+        }
+      }
+      if (unseeded) {
+        emit(path, lx, line, "reprolint-unseeded-rng",
+             "std::" + id + " constructed without an explicit seed",
+             options, report);
+        continue;
+      }
+      // Seeded <random> engines still produce implementation-portable bits,
+      // but their *distributions* do not — caught below when one is named.
+    }
+
+    // --- reprolint-nonportable-random --------------------------------------
+    if ((id == "shuffle" || id == "random_shuffle") && prev_is_scope(t, i)) {
+      emit(path, lx, line, "reprolint-nonportable-random",
+           "std::" + id + " permutation order is implementation-defined; use "
+           "repro::Rng::shuffle",
+           options, report);
+      continue;
+    }
+    if (distribution_names().count(id) != 0) {
+      emit(path, lx, line, "reprolint-nonportable-random",
+           "std::" + id + " streams differ across standard libraries; use "
+           "repro::Rng distributions",
+           options, report);
+      continue;
+    }
+
+    // --- reprolint-unordered-iteration -------------------------------------
+    if (id == "for" && is(t, i + 1, "(")) {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")") {
+          --depth;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (depth == 1 && t[j].text == ":" && colon == 0 &&
+            !is(t, j + 1, ":") && !is(t, j - 1, ":")) {
+          colon = j;
+        }
+      }
+      if (colon != 0 && close != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (t[j].kind != TokKind::kIdent) continue;
+          const bool direct =
+              unordered_container_names().count(t[j].text) != 0;
+          if (direct || unordered.count(t[j].text) != 0) {
+            emit(path, lx, t[i].line, "reprolint-unordered-iteration",
+                 "range-for over unordered container '" + t[j].text +
+                     "'; iteration order is unspecified and must not feed "
+                     "results/CSV/protocol output",
+                 options, report);
+            break;
+          }
+        }
+      }
+    }
+
+    // --- reprolint-nondet-reduction ----------------------------------------
+    if (id == "atomic" && is(t, i + 1, "<")) {
+      std::size_t j = i + 2;
+      if (is(t, j, "std")) j += 3;  // std :: type
+      const bool floaty = is(t, j, "float") || is(t, j, "double") ||
+                          (is(t, j, "long") && is(t, j + 1, "double"));
+      if (floaty) {
+        emit(path, lx, line, "reprolint-nondet-reduction",
+             "std::atomic floating-point accumulation commits in "
+             "nondeterministic order; reduce over an indexed buffer instead",
+             options, report);
+        continue;
+      }
+    }
+    if ((id == "reduce" || id == "transform_reduce") && prev_is_scope(t, i)) {
+      emit(path, lx, line, "reprolint-nondet-reduction",
+           "std::" + id + " may reassociate floating-point terms; use an "
+           "ordered accumulation",
+           options, report);
+      continue;
+    }
+    if ((id == "par" || id == "par_unseq" || id == "unseq") &&
+        prev_is_scope(t, i) && i >= 3 && t[i - 3].text == "execution") {
+      emit(path, lx, line, "reprolint-nondet-reduction",
+           "parallel execution policy reorders reductions nondeterministically",
+           options, report);
+      continue;
+    }
+
+    // --- reprolint-raw-thread ----------------------------------------------
+    if ((id == "thread" || id == "jthread") && prev_is_scope(t, i) &&
+        !is(t, i + 1, ":")) {  // std::thread::hardware_concurrency is a query
+      emit(path, lx, line, "reprolint-raw-thread",
+           "raw std::" + id + " bypasses repro::ThreadPool (unbounded "
+           "parallelism, no nesting guard)",
+           options, report);
+      continue;
+    }
+    if (id == "async" && prev_is_scope(t, i) && is(t, i + 1, "(")) {
+      emit(path, lx, line, "reprolint-raw-thread",
+           "std::async spawns unmanaged threads; submit to repro::ThreadPool",
+           options, report);
+      continue;
+    }
+    if (id == "pthread_create") {
+      emit(path, lx, line, "reprolint-raw-thread",
+           "pthread_create bypasses repro::ThreadPool",
+           options, report);
+      continue;
+    }
+  }
+}
+
+bool lint_file(const std::string& path, const Options& options, Report& report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  lint_content(path, buffer.str(), options, report);
+  return true;
+}
+
+std::string to_json(const Report& report) {
+  std::string out = "{\n";
+  out += "  \"tool\": \"reprolint\",\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"files_scanned\": " + std::to_string(report.files_scanned) + ",\n";
+  out += "  \"suppressed\": " + std::to_string(report.suppressed) + ",\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"";
+    json_escape(out, f.file);
+    out += "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"";
+    json_escape(out, f.rule);
+    out += "\", \"message\": \"";
+    json_escape(out, f.message);
+    out += "\", \"snippet\": \"";
+    json_escape(out, f.snippet);
+    out += "\"}";
+  }
+  out += report.findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace reprolint
