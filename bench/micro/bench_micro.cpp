@@ -30,7 +30,7 @@ struct Options {
 };
 
 const char* const kSuites[] = {"micro_gp", "micro_tuners", "micro_simulator",
-                               "micro_service", "micro_lint"};
+                               "micro_service", "micro_wal", "micro_lint"};
 
 /// Minimal structural validation: we do not ship a JSON parser, but a
 /// google-benchmark report must be a balanced object that contains a

@@ -19,11 +19,11 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
-void set_timeout_option(int fd, std::chrono::milliseconds timeout) {
+void set_timeout_option(int fd, int option, std::chrono::milliseconds timeout) {
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
   tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
 }
 
 /// Latency over throughput: protocol frames are tiny request/response
@@ -76,9 +76,25 @@ bool Socket::write_all(const void* buffer, std::size_t length) {
   return true;
 }
 
+long Socket::write_some(const void* buffer, std::size_t length) {
+  const int fd = fd_.load();
+  if (fd < 0) return -1;
+  while (true) {
+    const ssize_t n = ::send(fd, buffer, length, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
 void Socket::set_read_timeout(std::chrono::milliseconds timeout) {
   const int fd = fd_.load();
-  if (fd >= 0) set_timeout_option(fd, timeout);
+  if (fd >= 0) set_timeout_option(fd, SO_RCVTIMEO, timeout);
+}
+
+void Socket::set_write_timeout(std::chrono::milliseconds timeout) {
+  const int fd = fd_.load();
+  if (fd >= 0) set_timeout_option(fd, SO_SNDTIMEO, timeout);
 }
 
 void Socket::shutdown_both() noexcept {
@@ -187,7 +203,7 @@ ListenSocket ListenSocket::listen_loopback(std::uint16_t port, int backlog) {
 
 void ListenSocket::set_accept_timeout(std::chrono::milliseconds timeout) {
   const int fd = fd_.load();
-  if (fd >= 0) set_timeout_option(fd, timeout);
+  if (fd >= 0) set_timeout_option(fd, SO_RCVTIMEO, timeout);
 }
 
 Socket::Io ListenSocket::accept(Socket* out) {

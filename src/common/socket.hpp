@@ -14,20 +14,37 @@
 
 namespace repro {
 
+/// Minimal byte-stream interface implemented by Socket and by fault-injecting
+/// wrappers (service::ChaosSocket). The frame layer reads and writes through
+/// this interface so a chaos wrapper can sit between the protocol and the
+/// kernel without the protocol knowing.
+class ByteIo {
+ public:
+  /// Outcome of a read/accept attempt on a blocking socket.
+  enum class Io { kOk, kClosed, kTimeout, kError };
+
+  virtual ~ByteIo() = default;
+
+  /// Read up to `capacity` bytes. kTimeout only fires when a read timeout
+  /// is set; kClosed reports orderly peer shutdown.
+  [[nodiscard]] virtual Io read_some(void* buffer, std::size_t capacity,
+                                     std::size_t* got) = 0;
+
+  /// Write the whole buffer (loops over partial writes; SIGPIPE suppressed).
+  [[nodiscard]] virtual bool write_all(const void* buffer, std::size_t length) = 0;
+};
+
 /// RAII wrapper over a connected stream socket file descriptor.
 ///
 /// The descriptor is atomic because shutdown crosses threads by design:
 /// the server's stop() shuts a connection (or the listener) down while the
 /// owning worker is parked in recv()/accept() on it. close() claims the fd
 /// with an exchange, so concurrent closes cannot double-close.
-class Socket {
+class Socket : public ByteIo {
  public:
-  /// Outcome of a read/accept attempt on a blocking socket.
-  enum class Io { kOk, kClosed, kTimeout, kError };
-
   Socket() = default;
   explicit Socket(int fd) noexcept : fd_(fd) {}
-  ~Socket() { close(); }
+  ~Socket() override { close(); }
 
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -37,15 +54,23 @@ class Socket {
   [[nodiscard]] bool valid() const noexcept { return fd_.load() >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_.load(); }
 
-  /// Read up to `capacity` bytes. kTimeout only fires when a read timeout
-  /// is set; kClosed reports orderly peer shutdown.
-  [[nodiscard]] Io read_some(void* buffer, std::size_t capacity, std::size_t* got);
+  [[nodiscard]] Io read_some(void* buffer, std::size_t capacity,
+                             std::size_t* got) override;
 
-  /// Write the whole buffer (loops over partial writes; SIGPIPE suppressed).
-  [[nodiscard]] bool write_all(const void* buffer, std::size_t length);
+  [[nodiscard]] bool write_all(const void* buffer, std::size_t length) override;
+
+  /// Write at most `length` bytes in one send() attempt (partial writes are
+  /// the caller's problem — used by fault injection to tear frames).
+  /// Returns the byte count actually sent, or -1 on error.
+  [[nodiscard]] long write_some(const void* buffer, std::size_t length);
 
   /// SO_RCVTIMEO; zero disables (reads block indefinitely).
   void set_read_timeout(std::chrono::milliseconds timeout);
+
+  /// SO_SNDTIMEO; zero disables (writes block indefinitely). With a timeout
+  /// set, write_all fails instead of blocking forever on a peer that stops
+  /// draining its receive window (slow-loris protection for responses).
+  void set_write_timeout(std::chrono::milliseconds timeout);
 
   /// Shut down both directions, unblocking any reader on this socket.
   void shutdown_both() noexcept;

@@ -1,0 +1,67 @@
+#include "service/chaos_socket.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace repro::service {
+
+ChaosModel ChaosModel::with_rate(double rate) noexcept {
+  ChaosModel model;
+  if (rate <= 0.0) return model;
+  model.enabled = true;
+  model.drop_probability = 0.35 * rate;
+  model.torn_write_probability = 0.35 * rate;
+  model.short_read_probability = 0.20 * rate;
+  model.delay_probability = 0.10 * rate;
+  return model;
+}
+
+void ChaosSocket::delay() {
+  ++counters_.delays;
+  std::this_thread::sleep_for(std::chrono::microseconds(model_.delay_us));
+}
+
+ByteIo::Io ChaosSocket::read_some(void* buffer, std::size_t capacity, std::size_t* got) {
+  if (!model_.enabled) return inner_.read_some(buffer, capacity, got);
+  if (rng_.bernoulli(model_.delay_probability)) delay();
+  std::size_t effective = capacity;
+  if (capacity > 1 && rng_.bernoulli(model_.short_read_probability)) {
+    // 1..4 bytes: forces the frame reader through its reassembly path.
+    effective = std::min<std::size_t>(
+        capacity, 1 + static_cast<std::size_t>(rng_.next_below(4)));
+    ++counters_.short_reads;
+  }
+  return inner_.read_some(buffer, effective, got);
+}
+
+bool ChaosSocket::write_all(const void* buffer, std::size_t length) {
+  if (!model_.enabled) return inner_.write_all(buffer, length);
+  if (rng_.bernoulli(model_.delay_probability)) delay();
+  if (rng_.bernoulli(model_.drop_probability)) {
+    // The frame is lost whole: the peer sees a clean between-frames close
+    // or (if it was mid-read) a timeout then EOF.
+    ++counters_.drops;
+    inner_.shutdown_both();
+    return false;
+  }
+  if (length > 1 && rng_.bernoulli(model_.torn_write_probability)) {
+    // A strict prefix lands, then the stream dies: the peer's reader gets
+    // a mid-frame EOF, exercising the torn-frame handling end to end.
+    const std::size_t prefix =
+        1 + static_cast<std::size_t>(rng_.next_below(length - 1));
+    std::size_t sent = 0;
+    while (sent < prefix) {
+      const long n = inner_.write_some(static_cast<const char*>(buffer) + sent,
+                                       prefix - sent);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ++counters_.torn_writes;
+    inner_.shutdown_both();
+    return false;
+  }
+  return inner_.write_all(buffer, length);
+}
+
+}  // namespace repro::service

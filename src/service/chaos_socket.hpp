@@ -1,0 +1,85 @@
+#pragma once
+// Deterministic network-fault injection for the tuning service.
+//
+// ChaosSocket wraps a live Socket behind the same ByteIo interface the
+// framing layer reads and writes, and — with seeded, reproducible draws —
+// injects the network anomalies a tuning campaign meets in practice:
+// connections dropped mid-exchange, frames torn mid-write (a prefix lands,
+// then the stream dies), reads fragmented to a trickle, and scheduling
+// delays. It follows the simgpu/faults conventions: a plain-struct model
+// that is disabled by default, a dedicated RNG per stream so fault
+// decisions never perturb any tuning RNG, and a *disabled injector never
+// draws* — wiring chaos through a code path changes nothing until a test
+// switches it on.
+//
+// The point of determinism here: tests/chaos replays the same seed against
+// the same campaign and asserts the tuning outcome is byte-identical to a
+// clean run — the retry/reconnect/idempotency machinery must absorb every
+// injected fault without perturbing a single result.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/socket.hpp"
+
+namespace repro::service {
+
+/// Immutable chaos regime. Probabilities are per operation (one write_all =
+/// one frame = one draw; one read_some = one draw) and mutually exclusive
+/// where they conflict (a torn write implies the drop that follows it).
+struct ChaosModel {
+  bool enabled = false;
+  /// Frame write replaced by a connection drop (nothing sent).
+  double drop_probability = 0.0;
+  /// Frame write torn: a strict prefix is sent, then the connection drops.
+  double torn_write_probability = 0.0;
+  /// Read capacity capped to a few bytes (forces reassembly paths).
+  double short_read_probability = 0.0;
+  /// Operation preceded by a short blocking delay (reordering pressure on
+  /// timeout paths; keep tiny in tests).
+  double delay_probability = 0.0;
+  std::uint64_t delay_us = 500;
+
+  /// Convenience regime: total fault rate split 35% drop, 35% torn write,
+  /// 20% short read, 10% delay. rate <= 0 disables the model.
+  [[nodiscard]] static ChaosModel with_rate(double rate) noexcept;
+};
+
+/// Tallies of injected faults (test assertions / client status).
+struct ChaosCounters {
+  std::size_t drops = 0;
+  std::size_t torn_writes = 0;
+  std::size_t short_reads = 0;
+  std::size_t delays = 0;
+};
+
+/// One injector per connection. Not thread-safe (the client protocol is
+/// strictly sequential per connection). When an injected fault kills the
+/// connection the underlying socket is shut down, so the peer observes a
+/// real mid-frame EOF — not a simulated one.
+class ChaosSocket final : public ByteIo {
+ public:
+  /// Disabled pass-through: never draws, behaves exactly like `inner`.
+  explicit ChaosSocket(Socket& inner) : inner_(inner) {}
+
+  ChaosSocket(Socket& inner, const ChaosModel& model, std::uint64_t seed)
+      : inner_(inner), model_(model), rng_(seed) {}
+
+  [[nodiscard]] Io read_some(void* buffer, std::size_t capacity,
+                             std::size_t* got) override;
+  [[nodiscard]] bool write_all(const void* buffer, std::size_t length) override;
+
+  [[nodiscard]] bool enabled() const noexcept { return model_.enabled; }
+  [[nodiscard]] const ChaosCounters& counters() const noexcept { return counters_; }
+
+ private:
+  void delay();
+
+  Socket& inner_;
+  ChaosModel model_{};
+  repro::Rng rng_{0};
+  ChaosCounters counters_;
+};
+
+}  // namespace repro::service

@@ -1,8 +1,18 @@
 #include "service/client.hpp"
 
+#include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
 
+#include "common/rng.hpp"
+
 namespace repro::service {
+
+ByteIo& Client::stream() noexcept {
+  if (chaos_ != nullptr) return *chaos_;
+  return socket_;
+}
 
 void Client::connect() {
   if (connected_) return;
@@ -11,10 +21,20 @@ void Client::connect() {
                   ? Socket::connect_loopback(config_.port)
                   : Socket::connect_tcp(config_.host, config_.port);
   } catch (const std::exception& error) {
-    throw ClientError("connect to " + config_.host + ":" +
-                      std::to_string(config_.port) + " failed: " + error.what());
+    throw ClientError(ClientError::Kind::kConnect,
+                      "connect to " + config_.host + ":" +
+                          std::to_string(config_.port) + " failed: " + error.what());
   }
-  reader_.emplace(socket_);
+  if (config_.chaos.enabled) {
+    // Fresh injector per connection: fault placement is reproducible for a
+    // given (chaos_seed, connect ordinal) yet differs across reconnects,
+    // so a retry does not deterministically re-hit the same fault.
+    chaos_ = std::make_unique<ChaosSocket>(
+        socket_, config_.chaos, seed_combine(config_.chaos_seed, connect_count_));
+  }
+  ++connect_count_;
+  if (connect_count_ > 1) ++reconnects_;
+  reader_.emplace(stream());
   connected_ = true;
   Json hello = Json::object();
   hello.set("op", "hello");
@@ -27,31 +47,43 @@ void Client::disconnect() {
   if (!connected_) return;
   socket_.close();
   reader_.reset();
+  chaos_.reset();
   connected_ = false;
 }
 
+ChaosCounters Client::chaos_counters() const noexcept {
+  if (chaos_ == nullptr) return {};
+  return chaos_->counters();
+}
+
 Json Client::call(const Json& request) {
-  if (!connected_) throw ClientError("client is not connected");
-  if (!write_frame(socket_, request)) {
+  if (!connected_)
+    throw ClientError(ClientError::Kind::kNotConnected, "client is not connected");
+  if (!write_frame(stream(), request)) {
     disconnect();
-    throw ClientError("connection lost while sending request");
+    throw ClientError(ClientError::Kind::kSend,
+                      "connection lost while sending request");
   }
   std::string line;
   while (true) {
     const FrameStatus status = reader_->next(&line);
     if (status == FrameStatus::kTimeout) continue;  // no read timeout set; defensive
-    if (status != FrameStatus::kOk) {
-      disconnect();
-      throw ClientError("connection lost while awaiting response");
+    if (status == FrameStatus::kOk) break;
+    disconnect();
+    if (status == FrameStatus::kMidFrameEof) {
+      throw ClientError(ClientError::Kind::kMidFrameEof,
+                        "stream torn mid-frame while awaiting response");
     }
-    break;
+    throw ClientError(ClientError::Kind::kClosed,
+                      "connection lost while awaiting response");
   }
   Json response;
   try {
     response = Json::parse(line);
   } catch (const JsonError& error) {
     disconnect();
-    throw ClientError(std::string("malformed response frame: ") + error.what());
+    throw ClientError(ClientError::Kind::kMalformed,
+                      std::string("malformed response frame: ") + error.what());
   }
   const bool ok = require_bool(response, "ok");
   if (!ok) {
@@ -60,22 +92,84 @@ Json Client::call(const Json& request) {
     const std::string text =
         message != nullptr && message->is_string() ? message->as_string() : code_text;
     const auto code = error_code_from(code_text);
-    throw ProtocolError(code.value_or(ErrorCode::kInternal), text);
+    ProtocolError error(code.value_or(ErrorCode::kInternal), text);
+    if (const Json* retry = response.find("retry_after_ms"))
+      error.retry_after_ms = retry->as_uint64();
+    throw error;
   }
   return response;
 }
 
-std::string Client::open(const OpenParams& params) {
-  return require_string(call(encode_open(params)), "session");
+void Client::backoff_sleep(std::size_t attempt, std::uint64_t floor_ms) {
+  const double scaled = static_cast<double>(config_.backoff_initial_ms) *
+                        std::pow(config_.backoff_multiplier,
+                                 static_cast<double>(attempt));
+  std::uint64_t delay_ms =
+      scaled >= static_cast<double>(config_.backoff_max_ms)
+          ? config_.backoff_max_ms
+          : static_cast<std::uint64_t>(scaled);
+  if (delay_ms < floor_ms) delay_ms = floor_ms;
+  if (delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+Json Client::call_resilient(const Json& request, bool idempotent) {
+  std::size_t attempt = 0;
+  while (true) {
+    try {
+      if (!connected_) connect();
+      return call(request);
+    } catch (const ClientError&) {
+      if (!idempotent || attempt >= config_.max_retries) throw;
+      ++retries_;
+      backoff_sleep(attempt++, 0);
+      // Reconnect happens at the top of the loop.
+    } catch (const ProtocolError& error) {
+      // Admission pushback: the request was *not* performed, so replaying
+      // it is safe regardless of idempotency. Honor the server's hint but
+      // never back off less than the schedule says.
+      if (error.code != ErrorCode::kRetryLater || attempt >= config_.max_retries)
+        throw;
+      ++retries_;
+      backoff_sleep(attempt++, error.retry_after_ms);
+    }
+  }
+}
+
+std::string Client::open(const OpenParams& params, const std::string& token) {
+  Json request = encode_open(params);
+  if (!token.empty()) request.set("token", token);
+  // Without a token a replayed open could create a twin session, so only
+  // tokened opens retry transport failures (RETRY_LATER retries either way
+  // inside call_resilient).
+  const std::string id =
+      require_string(call_resilient(request, /*idempotent=*/!token.empty()),
+                     "session");
+  next_seq_.emplace(id, 1);
+  return id;
 }
 
 std::optional<tuner::Configuration> Client::ask(const std::string& session) {
   Json request = Json::object();
   request.set("op", "ask");
   request.set("session", session);
-  const Json response = call(request);
-  if (require_bool(response, "done")) return std::nullopt;
-  return decode_config(require(response, "config"));
+  // resume:true makes a replayed ask (after a lost response) re-fetch the
+  // outstanding proposal instead of failing with ask_pending.
+  request.set("resume", true);
+  if (config_.heartbeat_ms > 0)
+    request.set("deadline_ms", config_.heartbeat_ms);
+  while (true) {
+    try {
+      const Json response = call_resilient(request, /*idempotent=*/true);
+      if (require_bool(response, "done")) return std::nullopt;
+      return decode_config(require(response, "config"));
+    } catch (const ProtocolError& error) {
+      // Heartbeat cycle: the deadline bounds each exchange, not the op —
+      // re-issue until the search thread produces the proposal.
+      if (error.code != ErrorCode::kDeadlineExceeded || config_.heartbeat_ms == 0)
+        throw;
+    }
+  }
 }
 
 std::size_t Client::tell(const std::string& session,
@@ -84,59 +178,83 @@ std::size_t Client::tell(const std::string& session,
   request.set("op", "tell");
   request.set("session", session);
   encode_evaluation_into(request, evaluation);
-  return static_cast<std::size_t>(require_uint(call(request), "remaining"));
+  const auto seq_it = next_seq_.find(session);
+  if (seq_it != next_seq_.end()) request.set("seq", seq_it->second);
+  const Json response =
+      call_resilient(request, /*idempotent=*/seq_it != next_seq_.end());
+  if (seq_it != next_seq_.end()) ++seq_it->second;
+  return static_cast<std::size_t>(require_uint(response, "remaining"));
 }
 
 Client::RemoteResult Client::result(const std::string& session) {
   Json request = Json::object();
   request.set("op", "result");
   request.set("session", session);
-  const Json response = call(request);
-  RemoteResult out;
-  decode_tune_result(require(response, "result"), &out.result, &out.counters);
-  return out;
+  if (config_.heartbeat_ms > 0)
+    request.set("deadline_ms", config_.heartbeat_ms);
+  while (true) {
+    try {
+      const Json response = call_resilient(request, /*idempotent=*/true);
+      RemoteResult out;
+      decode_tune_result(require(response, "result"), &out.result, &out.counters);
+      return out;
+    } catch (const ProtocolError& error) {
+      if (error.code != ErrorCode::kDeadlineExceeded || config_.heartbeat_ms == 0)
+        throw;
+    }
+  }
 }
 
 void Client::close_session(const std::string& session) {
   Json request = Json::object();
   request.set("op", "close");
   request.set("session", session);
-  (void)call(request);
+  try {
+    (void)call_resilient(request, /*idempotent=*/true);
+  } catch (const ProtocolError& error) {
+    // A replayed close whose first delivery succeeded answers
+    // unknown_session; with retries enabled that is a success, not an
+    // error. Without retries, surface everything (legacy behavior).
+    if (config_.max_retries == 0 || error.code != ErrorCode::kUnknownSession)
+      throw;
+  }
+  next_seq_.erase(session);
 }
 
 Json Client::status() {
   Json request = Json::object();
   request.set("op", "status");
-  return call(request);
+  return call_resilient(request, /*idempotent=*/true);
 }
 
 void Client::ping() {
   Json request = Json::object();
   request.set("op", "ping");
-  (void)call(request);
+  (void)call_resilient(request, /*idempotent=*/true);
 }
 
 Client::RemoteResult Client::remote_minimize(const OpenParams& params,
                                              const tuner::Objective& objective) {
-  const std::string session = open(params);
+  // Deterministic idempotency token (only when retries are on): unique per
+  // open within this client, reproducible across identical runs.
+  std::string token;
+  if (config_.max_retries > 0) {
+    token = config_.name + "#" + std::to_string(open_counter_++) + "/" +
+            params.algorithm + "/" + std::to_string(params.seed);
+  }
+  const std::string session = open(params, token);
   try {
     while (auto config = ask(session)) {
-      Json request = Json::object();
-      request.set("op", "tell");
-      request.set("session", session);
-      encode_evaluation_into(request, objective(*config));
-      (void)call(request);
+      (void)tell(session, objective(*config));
     }
     RemoteResult out = result(session);
     close_session(session);
     return out;
   } catch (...) {
     // Best effort: do not leak the server-side session on client failure.
-    if (connected_) {
-      try {
-        close_session(session);
-      } catch (...) {
-      }
+    try {
+      close_session(session);
+    } catch (...) {
     }
     throw;
   }

@@ -1,5 +1,5 @@
 #pragma once
-// Client side of the tuning service: a thin synchronous RPC wrapper over the
+// Client side of the tuning service: a synchronous RPC wrapper over the
 // JSON-lines protocol plus a remote_minimize() convenience that drives a
 // whole ask/tell loop against a caller-supplied objective.
 //
@@ -8,12 +8,34 @@
 // shared between threads without external serialization; open as many
 // clients (or sessions per client) as you need instead — sessions are
 // addressed by id, not by connection.
+//
+// Resilience (all opt-in via ClientConfig):
+//  - max_retries > 0 turns transport failures on idempotent requests into
+//    reconnect + replay with deterministic exponential backoff (no RNG —
+//    the backoff schedule is a pure function of the attempt number, so a
+//    chaos-injected fault sequence replays bit-identically).
+//  - Idempotency: tell carries a monotonic per-session seq (a replayed
+//    duplicate is acknowledged, not double-applied), ask carries
+//    resume:true (a reconnect re-fetches the proposal whose response was
+//    lost), and open can carry a caller-supplied idempotency token.
+//  - RETRY_LATER admission pushback is honored by waiting the server's
+//    retry_after_ms hint (even for non-idempotent requests — pushback
+//    means the request was not performed).
+//  - heartbeat_ms > 0 bounds blocking asks/results with deadline_ms and
+//    re-issues on deadline_exceeded: each cycle is a complete exchange, so
+//    the server sees a live, progressing connection (and the session's
+//    idle-eviction clock is touched) even while a slow search thinks.
+//  - chaos.enabled injects deterministic, seeded network faults under the
+//    framing layer (tests only; see service/chaos_socket.hpp).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "common/socket.hpp"
+#include "service/chaos_socket.hpp"
 #include "service/protocol.hpp"
 
 namespace repro::service {
@@ -21,13 +43,40 @@ namespace repro::service {
 /// Thrown on transport failures (connect/read/write) as opposed to typed
 /// server-side ProtocolError responses, which are rethrown as ProtocolError.
 struct ClientError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+  enum class Kind {
+    kConnect,       ///< could not establish the connection / handshake
+    kNotConnected,  ///< call() without connect()
+    kSend,          ///< connection lost while sending the request
+    kClosed,        ///< orderly close while awaiting the response
+    kMidFrameEof,   ///< stream torn mid-response-frame (partial frame lost)
+    kMalformed,     ///< response was not a valid JSON frame
+  };
+  Kind kind;
+  ClientError(Kind kind_in, const std::string& message)
+      : std::runtime_error(message), kind(kind_in) {}
 };
 
 struct ClientConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::string name = "tune_client/1";
+  /// Transport-failure retries per request (idempotent requests only).
+  /// 0 = fail fast (legacy behavior).
+  std::size_t max_retries = 0;
+  /// Deterministic exponential backoff between retries:
+  /// min(initial * multiplier^attempt, max). No jitter by design — the
+  /// schedule must replay bit-identically under chaos testing.
+  std::uint64_t backoff_initial_ms = 10;
+  double backoff_multiplier = 2.0;
+  std::uint64_t backoff_max_ms = 1000;
+  /// Bound blocking asks/results to this per-attempt deadline and re-issue
+  /// on deadline_exceeded (liveness heartbeat). 0 = park indefinitely.
+  std::uint64_t heartbeat_ms = 0;
+  /// Deterministic network-fault injection (tests). Each (re)connect seeds
+  /// its injector with seed_combine(chaos_seed, connect_count) so fault
+  /// placement is reproducible yet differs across reconnects.
+  ChaosModel chaos;
+  std::uint64_t chaos_seed = 0;
 };
 
 class Client {
@@ -42,12 +91,17 @@ class Client {
   [[nodiscard]] bool connected() const noexcept { return connected_; }
   void disconnect();
 
-  /// Raw RPC: send one request frame, return the response object. Throws
-  /// ClientError on transport failure and ProtocolError when the server
-  /// answers {"ok":false,...}.
+  /// Raw RPC, single attempt on the current connection: send one request
+  /// frame, return the response object. Throws ClientError on transport
+  /// failure and ProtocolError when the server answers {"ok":false,...}.
   Json call(const Json& request);
 
-  [[nodiscard]] std::string open(const OpenParams& params);
+  /// A non-empty idempotency `token` makes the open replay-safe: retried
+  /// after a lost response, the server returns the existing session
+  /// instead of opening a twin. Without a token, transport failures are
+  /// not retried (the session may or may not exist server-side).
+  [[nodiscard]] std::string open(const OpenParams& params,
+                                 const std::string& token = {});
   /// nullopt once the session's search has terminated (fetch result()).
   [[nodiscard]] std::optional<tuner::Configuration> ask(const std::string& session);
   /// Returns the server's remaining-budget estimate.
@@ -65,16 +119,42 @@ class Client {
   [[nodiscard]] Json status();
   void ping();
 
-  /// Drive a complete remote tuning session: open, ask/tell with
-  /// `objective` until the algorithm terminates, fetch the result, close.
+  /// Drive a complete remote tuning session: open (with a deterministic
+  /// idempotency token when retries are enabled), ask/tell with `objective`
+  /// until the algorithm terminates, fetch the result, close.
   [[nodiscard]] RemoteResult remote_minimize(const OpenParams& params,
                                              const tuner::Objective& objective);
 
+  /// Fault-injection tallies of the current connection's injector (zeroes
+  /// when chaos is disabled or not connected).
+  [[nodiscard]] ChaosCounters chaos_counters() const noexcept;
+  /// Transport retries performed over this client's lifetime.
+  [[nodiscard]] std::size_t retries() const noexcept { return retries_; }
+  /// Reconnects performed over this client's lifetime (excludes the first
+  /// connect()).
+  [[nodiscard]] std::size_t reconnects() const noexcept { return reconnects_; }
+
  private:
+  /// The stream the framing layer uses: the chaos injector when enabled,
+  /// the raw socket otherwise.
+  [[nodiscard]] ByteIo& stream() noexcept;
+  /// call() + reconnect/backoff/RETRY_LATER handling. `idempotent` gates
+  /// transport-failure replays; RETRY_LATER is honored either way.
+  Json call_resilient(const Json& request, bool idempotent);
+  void backoff_sleep(std::size_t attempt, std::uint64_t floor_ms);
+
   ClientConfig config_;
   Socket socket_;
+  std::unique_ptr<ChaosSocket> chaos_;
   std::optional<FrameReader> reader_;
   bool connected_ = false;
+  std::uint64_t connect_count_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t reconnects_ = 0;
+  std::uint64_t open_counter_ = 0;
+  /// Next tell seq per session id (1-based; the server acknowledges
+  /// duplicates of anything at or below its applied watermark).
+  std::unordered_map<std::string, std::uint64_t> next_seq_;
 };
 
 }  // namespace repro::service

@@ -15,9 +15,12 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kUnknownOp: return "unknown_op";
     case ErrorCode::kUnknownSession: return "unknown_session";
     case ErrorCode::kSessionClosed: return "session_closed";
+    case ErrorCode::kSessionEvicted: return "session_evicted";
     case ErrorCode::kAskPending: return "ask_pending";
     case ErrorCode::kNoAskOutstanding: return "no_ask_outstanding";
     case ErrorCode::kSessionLimit: return "session_limit";
+    case ErrorCode::kRetryLater: return "retry_later";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kDraining: return "draining";
     case ErrorCode::kInternal: return "internal";
   }
@@ -28,8 +31,10 @@ std::optional<ErrorCode> error_code_from(std::string_view text) noexcept {
   for (const ErrorCode code :
        {ErrorCode::kBadRequest, ErrorCode::kMalformedFrame, ErrorCode::kOversizedFrame,
         ErrorCode::kVersionMismatch, ErrorCode::kHelloRequired, ErrorCode::kUnknownOp,
-        ErrorCode::kUnknownSession, ErrorCode::kSessionClosed, ErrorCode::kAskPending,
-        ErrorCode::kNoAskOutstanding, ErrorCode::kSessionLimit, ErrorCode::kDraining,
+        ErrorCode::kUnknownSession, ErrorCode::kSessionClosed,
+        ErrorCode::kSessionEvicted, ErrorCode::kAskPending,
+        ErrorCode::kNoAskOutstanding, ErrorCode::kSessionLimit,
+        ErrorCode::kRetryLater, ErrorCode::kDeadlineExceeded, ErrorCode::kDraining,
         ErrorCode::kInternal}) {
     if (text == to_string(code)) return code;
   }
@@ -42,36 +47,46 @@ std::optional<ErrorCode> error_code_from(std::string_view text) noexcept {
 
 FrameStatus FrameReader::next(std::string* line) {
   line->clear();
-  while (true) {
-    // Scan only bytes not inspected on previous passes.
+  // Scan only bytes not inspected on previous passes.
+  const auto scan = [this, line]() -> bool {
     for (; scanned_ < buffer_.size(); ++scanned_) {
       if (buffer_[scanned_] == '\n') {
         line->assign(buffer_, 0, scanned_);
         buffer_.erase(0, scanned_ + 1);
         scanned_ = 0;
-        return FrameStatus::kOk;
+        return true;
       }
     }
-    if (buffer_.size() > max_frame_) return FrameStatus::kOversized;
+    return false;
+  };
+  if (scan()) return FrameStatus::kOk;
+  if (buffer_.size() > max_frame_) return FrameStatus::kOversized;
 
-    char chunk[4096];
-    std::size_t got = 0;
-    switch (socket_.read_some(chunk, sizeof(chunk), &got)) {
-      case Socket::Io::kOk: buffer_.append(chunk, got); break;
-      case Socket::Io::kClosed:
-        // A clean close mid-frame drops the partial frame, mirroring the
-        // torn-final-line rule of the checkpoint format.
-        return FrameStatus::kClosed;
-      case Socket::Io::kTimeout: return FrameStatus::kTimeout;
-      case Socket::Io::kError: return FrameStatus::kError;
-    }
+  char chunk[4096];
+  std::size_t got = 0;
+  switch (stream_.read_some(chunk, sizeof(chunk), &got)) {
+    case Socket::Io::kOk: buffer_.append(chunk, got); break;
+    case Socket::Io::kClosed:
+      // A close mid-frame drops the partial frame, mirroring the
+      // torn-final-line rule of the checkpoint format; the buffered bytes
+      // distinguish a torn stream from an orderly between-frames close.
+      return buffer_.empty() ? FrameStatus::kClosed : FrameStatus::kMidFrameEof;
+    case Socket::Io::kTimeout: return FrameStatus::kTimeout;
+    case Socket::Io::kError: return FrameStatus::kError;
   }
+  if (scan()) return FrameStatus::kOk;
+  if (buffer_.size() > max_frame_) return FrameStatus::kOversized;
+  // Bytes arrived but no complete frame yet: yield to the caller (partial
+  // frame retained, like a read timeout) instead of looping. This keeps a
+  // byte-at-a-time peer from pinning the reader — the caller's poll loop
+  // gets to check its stop flag and slow-peer deadline between reads.
+  return FrameStatus::kTimeout;
 }
 
-bool write_frame(Socket& socket, const Json& message) {
+bool write_frame(ByteIo& stream, const Json& message) {
   std::string text = message.dump();
   text += '\n';
-  return socket.write_all(text.data(), text.size());
+  return stream.write_all(text.data(), text.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -112,6 +127,17 @@ bool require_bool(const Json& object, std::string_view key) {
   const Json& field = require(object, key);
   if (!field.is_bool()) bad_request("field must be a bool: " + std::string(key));
   return field.as_bool();
+}
+
+std::optional<std::uint64_t> optional_uint(const Json& object, std::string_view key) {
+  if (!object.is_object()) bad_request("request is not an object");
+  const Json* field = object.find(key);
+  if (field == nullptr) return std::nullopt;
+  try {
+    return field->as_uint64();
+  } catch (const JsonError&) {
+    bad_request("field must be a non-negative integer: " + std::string(key));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -318,6 +344,12 @@ Json make_error(ErrorCode code, const std::string& message) {
   response.set("ok", false);
   response.set("error", to_string(code));
   response.set("message", message);
+  return response;
+}
+
+Json make_retry_later(const std::string& message, std::uint64_t retry_after_ms) {
+  Json response = make_error(ErrorCode::kRetryLater, message);
+  response.set("retry_after_ms", retry_after_ms);
   return response;
 }
 

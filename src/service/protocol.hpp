@@ -23,6 +23,20 @@
 //   {"op":"status"}
 // Responses are {"ok":true,...} or
 // {"ok":false,"error":"<code>","message":"<human text>"}.
+//
+// Version-1 extension fields (all optional — an old client never sends
+// them, an old server never answers them, so the version number stays 1
+// and the hello response advertises them in "features"):
+//   - blocking ops (ask/result) accept "deadline_ms"; expiry answers the
+//     retryable error deadline_exceeded without touching session state.
+//   - tell accepts a monotonic per-session "seq"; a replayed duplicate is
+//     acknowledged ({"duplicate":true}) instead of double-applied.
+//   - ask accepts "resume":true to re-fetch an outstanding proposal after a
+//     reconnect instead of failing with ask_pending.
+//   - open accepts an idempotency "token"; re-opening with a known token
+//     returns the existing session instead of creating a second one.
+//   - admission-control pushback is the error retry_later, carrying
+//     "retry_after_ms".
 // The full grammar and session lifecycle live in docs/SERVICE.md.
 
 #include <cstddef>
@@ -57,10 +71,18 @@ enum class ErrorCode {
   kHelloRequired,    ///< op before the handshake
   kUnknownOp,
   kUnknownSession,
-  kSessionClosed,    ///< session cancelled/evicted while the op was blocked
+  kSessionClosed,    ///< session cancelled while the op was blocked
+  kSessionEvicted,   ///< session reaped by the idle-eviction policy; the
+                     ///< loss is fatal for this session but the daemon is
+                     ///< healthy (distinguishable from kUnknownSession)
   kAskPending,       ///< ask while a proposal is already outstanding
   kNoAskOutstanding, ///< tell with nothing to answer
-  kSessionLimit,     ///< max concurrent sessions reached
+  kSessionLimit,     ///< max concurrent sessions reached (legacy; admission
+                     ///< control now answers kRetryLater)
+  kRetryLater,       ///< admission control pushback; the error frame carries
+                     ///< retry_after_ms and the request is safe to retry
+  kDeadlineExceeded, ///< the request's deadline_ms expired before the
+                     ///< blocking op completed; session state is untouched
   kDraining,         ///< server is shutting down, no new sessions
   kInternal,         ///< search thread died with an unexpected exception
 };
@@ -73,36 +95,46 @@ enum class ErrorCode {
 /// it into an {"ok":false,...} response frame.
 struct ProtocolError : std::runtime_error {
   ErrorCode code;
-  ProtocolError(ErrorCode code_in, const std::string& message)
-      : std::runtime_error(message), code(code_in) {}
+  /// Backoff hint; nonzero only with kRetryLater (rides the error frame as
+  /// "retry_after_ms").
+  std::uint64_t retry_after_ms = 0;
+  ProtocolError(ErrorCode code_in, const std::string& message,
+                std::uint64_t retry_after = 0)
+      : std::runtime_error(message), code(code_in), retry_after_ms(retry_after) {}
 };
 
 // ---------------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------------
 
-enum class FrameStatus { kOk, kClosed, kTimeout, kOversized, kError };
+/// kMidFrameEof is kClosed with bytes of an unterminated frame already
+/// buffered: the peer died (or the stream was torn) mid-frame. The partial
+/// frame is dropped either way, but clients surface the distinction as a
+/// typed transport error.
+enum class FrameStatus { kOk, kClosed, kMidFrameEof, kTimeout, kOversized, kError };
 
-/// Buffered newline-delimited frame reader over one socket. A kTimeout from
-/// the socket's read timeout surfaces as FrameStatus::kTimeout with the
-/// partial frame retained, so callers can poll a stop flag and resume.
+/// Buffered newline-delimited frame reader over one byte stream. kTimeout
+/// (from the stream's read timeout, or after a read that grew the buffer
+/// without completing a frame) retains the partial frame, so callers can
+/// poll a stop flag or a slow-peer deadline and resume; at most one stream
+/// read happens per next() call.
 class FrameReader {
  public:
-  explicit FrameReader(Socket& socket, std::size_t max_frame = kMaxFrameBytes)
-      : socket_(socket), max_frame_(max_frame) {}
+  explicit FrameReader(ByteIo& stream, std::size_t max_frame = kMaxFrameBytes)
+      : stream_(stream), max_frame_(max_frame) {}
 
   /// Read the next frame into `line` (without the trailing '\n').
   [[nodiscard]] FrameStatus next(std::string* line);
 
  private:
-  Socket& socket_;
+  ByteIo& stream_;
   std::size_t max_frame_;
   std::string buffer_;
   std::size_t scanned_ = 0;  ///< prefix of buffer_ already known '\n'-free
 };
 
 /// Serialize `message` and send it as one frame.
-[[nodiscard]] bool write_frame(Socket& socket, const Json& message);
+[[nodiscard]] bool write_frame(ByteIo& stream, const Json& message);
 
 // ---------------------------------------------------------------------------
 // Field access helpers (throw ProtocolError{kBadRequest} on mismatch)
@@ -112,6 +144,11 @@ class FrameReader {
 [[nodiscard]] std::string require_string(const Json& object, std::string_view key);
 [[nodiscard]] std::uint64_t require_uint(const Json& object, std::string_view key);
 [[nodiscard]] bool require_bool(const Json& object, std::string_view key);
+
+/// Optional non-negative integer field; nullopt when absent, kBadRequest
+/// when present with the wrong type. Used for deadline_ms and seq.
+[[nodiscard]] std::optional<std::uint64_t> optional_uint(const Json& object,
+                                                         std::string_view key);
 
 // ---------------------------------------------------------------------------
 // Message payloads
@@ -161,5 +198,9 @@ void decode_tune_result(const Json& object, tuner::TuneResult* result,
 
 [[nodiscard]] Json make_ok();
 [[nodiscard]] Json make_error(ErrorCode code, const std::string& message);
+/// RETRY_LATER pushback frame: make_error(kRetryLater, ...) plus the
+/// machine-readable retry_after_ms hint.
+[[nodiscard]] Json make_retry_later(const std::string& message,
+                                    std::uint64_t retry_after_ms);
 
 }  // namespace repro::service

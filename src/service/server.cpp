@@ -5,6 +5,19 @@
 #include "common/log.hpp"
 
 namespace repro::service {
+namespace {
+
+/// "deadline_ms" request field -> absolute steady-clock deadline for the
+/// blocking session ops. Deadline bookkeeping; never feeds tuning results.
+[[nodiscard]] std::optional<std::chrono::steady_clock::time_point> request_deadline(
+    const Json& request) {
+  const std::optional<std::uint64_t> ms = optional_uint(request, "deadline_ms");
+  if (!ms) return std::nullopt;
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(static_cast<std::int64_t>(*ms));
+}
+
+}  // namespace
 
 TuneServer::TuneServer(ServerConfig config)
     : config_(std::move(config)), manager_(std::make_unique<SessionManager>(config_.limits)) {}
@@ -16,6 +29,16 @@ void TuneServer::start() {
     repro::MutexLock lock(mutex_);
     if (started_) return;
     started_ = true;
+  }
+  if (!config_.limits.state_dir.empty()) {
+    // Recover before the first client can connect: replayed sessions must
+    // be visible (and their ids reserved) before any new open lands.
+    const RecoveryStats stats = manager_->recover();
+    log_info("tuned: recovery from {}: {} sessions restored ({} tells), "
+             "{} failed, {} torn tails, {} closed discarded, {} tombstoned",
+             config_.limits.state_dir, stats.sessions_recovered,
+             stats.tells_replayed, stats.sessions_failed, stats.torn_tails,
+             stats.closed_discarded, stats.evicted_tombstones);
   }
   listener_ = ListenSocket::listen_loopback(config_.port);
   listener_.set_accept_timeout(config_.poll_interval);
@@ -93,6 +116,16 @@ std::size_t TuneServer::connections_accepted() const {
   return connections_accepted_;
 }
 
+std::size_t TuneServer::connections_reaped() const {
+  repro::MutexLock lock(mutex_);
+  return connections_reaped_;
+}
+
+std::size_t TuneServer::connections_refused() const {
+  repro::MutexLock lock(mutex_);
+  return connections_refused_;
+}
+
 void TuneServer::accept_loop() {
   while (true) {
     {
@@ -111,12 +144,28 @@ void TuneServer::accept_loop() {
 
     auto shared = std::make_shared<Socket>(std::move(socket));
     std::uint64_t id = 0;
+    bool refused = false;
     {
       repro::MutexLock lock(mutex_);
       if (stopping_) continue;  // socket closes as `shared` dies
-      id = next_connection_id_++;
-      connections_[id] = shared;
-      ++connections_accepted_;
+      if (config_.max_connections > 0 &&
+          connections_.size() >= config_.max_connections) {
+        ++connections_refused_;
+        refused = true;
+      } else {
+        id = next_connection_id_++;
+        connections_[id] = shared;
+        ++connections_accepted_;
+      }
+    }
+    if (refused) {
+      // Admission pushback on the accept thread: one short best-effort
+      // write, then close (as `shared` dies).
+      shared->set_write_timeout(config_.poll_interval);
+      (void)write_frame(*shared,
+                        make_retry_later("connection limit reached",
+                                         config_.limits.retry_after_ms));
+      continue;
     }
     std::vector<std::function<void()>> task;
     task.emplace_back([this, id] {
@@ -141,17 +190,37 @@ void TuneServer::handle_connection(std::uint64_t id) {
     socket = it->second;
   }
   socket->set_read_timeout(config_.poll_interval);
+  if (config_.write_timeout.count() > 0)
+    socket->set_write_timeout(config_.write_timeout);
   FrameReader reader(*socket);
   bool hello_done = false;
   std::string line;
+  // Liveness deadline bookkeeping; never feeds tuning results.
+  auto last_frame = std::chrono::steady_clock::now();
   while (true) {
     {
       repro::MutexLock lock(mutex_);
       if (stopping_) return;
     }
     const FrameStatus status = reader.next(&line);
-    if (status == FrameStatus::kTimeout) continue;
-    if (status == FrameStatus::kClosed || status == FrameStatus::kError) return;
+    if (status == FrameStatus::kTimeout) {
+      // Slow-loris / dead-peer guard: a connection that cannot finish a
+      // frame (silent or trickling bytes) is reaped; its sessions survive
+      // and a reconnect resumes them (resume:true, seq idempotency).
+      if (config_.connection_idle_timeout.count() > 0 &&
+          std::chrono::steady_clock::now() - last_frame >
+              config_.connection_idle_timeout) {
+        log_info("tuned: reaping connection {} (no frame in {}ms)", id,
+                 config_.connection_idle_timeout.count());
+        repro::MutexLock lock(mutex_);
+        ++connections_reaped_;
+        return;
+      }
+      continue;
+    }
+    if (status == FrameStatus::kClosed || status == FrameStatus::kMidFrameEof ||
+        status == FrameStatus::kError)
+      return;
     if (status == FrameStatus::kOversized) {
       // The stream cannot resynchronize after an oversized frame.
       (void)write_frame(*socket, make_error(ErrorCode::kOversizedFrame,
@@ -173,6 +242,10 @@ void TuneServer::handle_connection(std::uint64_t id) {
     const Json response = dispatch(request, &hello_done, &fatal);
     if (!write_frame(*socket, response)) return;
     if (fatal) return;
+    // Restart the liveness clock only after the response is out: time spent
+    // blocked inside dispatch (a parked ask) must not count against the
+    // client, and the clock measures the peer's progress, not ours.
+    last_frame = std::chrono::steady_clock::now();
   }
 }
 
@@ -194,6 +267,13 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
       response.set("version", static_cast<std::uint64_t>(kProtocolVersion));
       response.set("server", config_.name);
       response.set("max_frame", static_cast<std::uint64_t>(kMaxFrameBytes));
+      // Version-1 extension fields this server understands (see the
+      // protocol header); old servers simply omit the list.
+      Json features = Json::array();
+      for (const char* feature :
+           {"deadline_ms", "seq", "resume", "token", "retry_later"})
+        features.push_back(feature);
+      response.set("features", std::move(features));
       return response;
     }
     if (!*hello_done) {
@@ -209,13 +289,18 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
         }
       }
       const OpenParams params = decode_open(request);
+      std::string token;
+      if (const Json* field = request.find("token")) token = field->as_string();
       Json response = make_ok();
-      response.set("session", manager_->open(params));
+      response.set("session", manager_->open(params, token));
       return response;
     }
     if (op == "ask") {
       const std::string session = require_string(request, "session");
-      const auto config = manager_->ask(session);
+      bool resume = false;
+      if (const Json* field = request.find("resume")) resume = field->as_bool();
+      const auto config =
+          manager_->ask(session, request_deadline(request), resume);
       Json response = make_ok();
       response.set("done", !config.has_value());
       if (config) response.set("config", encode_config(*config));
@@ -224,14 +309,17 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
     if (op == "tell") {
       const std::string session = require_string(request, "session");
       const tuner::Evaluation evaluation = decode_evaluation(request);
-      const std::size_t remaining = manager_->tell(session, evaluation);
+      const std::uint64_t seq = optional_uint(request, "seq").value_or(0);
+      const SessionManager::TellAck ack = manager_->tell(session, evaluation, seq);
       Json response = make_ok();
-      response.set("remaining", static_cast<std::uint64_t>(remaining));
+      response.set("remaining", static_cast<std::uint64_t>(ack.remaining));
+      if (ack.duplicate) response.set("duplicate", true);
       return response;
     }
     if (op == "result") {
       const std::string session = require_string(request, "session");
-      const SessionManager::ResultPayload payload = manager_->result(session);
+      const SessionManager::ResultPayload payload =
+          manager_->result(session, request_deadline(request));
       Json response = make_ok();
       response.set("result", encode_tune_result(payload.result, payload.counters));
       return response;
@@ -252,7 +340,27 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
       response.set("finished", static_cast<std::uint64_t>(report.finished));
       response.set("asks", static_cast<std::uint64_t>(report.asks));
       response.set("tells", static_cast<std::uint64_t>(report.tells));
+      response.set("duplicate_tells",
+                   static_cast<std::uint64_t>(report.duplicate_tells));
       response.set("tallies", encode_counters(report.tallies));
+      response.set("wal_enabled", report.wal_enabled);
+      if (report.wal_enabled) {
+        response.set("wal_errors", static_cast<std::uint64_t>(report.wal_errors));
+        Json recovery = Json::object();
+        recovery.set("sessions_recovered",
+                     static_cast<std::uint64_t>(report.recovery.sessions_recovered));
+        recovery.set("tells_replayed",
+                     static_cast<std::uint64_t>(report.recovery.tells_replayed));
+        recovery.set("sessions_failed",
+                     static_cast<std::uint64_t>(report.recovery.sessions_failed));
+        recovery.set("torn_tails",
+                     static_cast<std::uint64_t>(report.recovery.torn_tails));
+        recovery.set("closed_discarded",
+                     static_cast<std::uint64_t>(report.recovery.closed_discarded));
+        recovery.set("evicted_tombstones",
+                     static_cast<std::uint64_t>(report.recovery.evicted_tombstones));
+        response.set("recovery", std::move(recovery));
+      }
       {
         repro::MutexLock lock(mutex_);
         response.set("draining", draining_ || stopping_);
@@ -260,6 +368,10 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
                      static_cast<std::uint64_t>(connections_.size()));
         response.set("connections_accepted",
                      static_cast<std::uint64_t>(connections_accepted_));
+        response.set("connections_reaped",
+                     static_cast<std::uint64_t>(connections_reaped_));
+        response.set("connections_refused",
+                     static_cast<std::uint64_t>(connections_refused_));
       }
       Json sessions = Json::array();
       for (const SessionInfo& info : manager_->sessions()) {
@@ -278,6 +390,8 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
     }
     return make_error(ErrorCode::kUnknownOp, "unknown op: " + op);
   } catch (const ProtocolError& error) {
+    if (error.code == ErrorCode::kRetryLater)
+      return make_retry_later(error.what(), error.retry_after_ms);
     return make_error(error.code, error.what());
   } catch (const JsonError& error) {
     return make_error(ErrorCode::kBadRequest, error.what());

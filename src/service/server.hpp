@@ -37,6 +37,18 @@ struct ServerConfig {
   SessionLimits limits;
   /// Accept/read timeout tick: shutdown latency and eviction granularity.
   std::chrono::milliseconds poll_interval{200};
+  /// Reap a connection that completes no request frame for this long
+  /// (slow-loris / dead-peer guard). The timer only runs while the server
+  /// waits for a frame — a request parked in a blocking ask/result does not
+  /// count as idle. 0 disables.
+  std::chrono::milliseconds connection_idle_timeout{0};
+  /// Socket send timeout (a peer that stops reading cannot park a worker in
+  /// write() forever). 0 leaves the OS default (unbounded).
+  std::chrono::milliseconds write_timeout{10000};
+  /// Hard cap on concurrently-open connections; excess accepts are answered
+  /// with a retry_later error frame and closed. 0 = unlimited (the worker
+  /// pool still bounds concurrent *service*; queued connections just wait).
+  std::size_t max_connections = 0;
   std::string name = "tuned/1";
 };
 
@@ -48,8 +60,9 @@ class TuneServer {
   TuneServer(const TuneServer&) = delete;
   TuneServer& operator=(const TuneServer&) = delete;
 
-  /// Bind, listen, and spawn the accept thread. Throws std::runtime_error
-  /// when the port cannot be bound.
+  /// Recover journaled sessions (when limits.state_dir is set), then bind,
+  /// listen, and spawn the accept thread. Throws std::runtime_error when
+  /// the state dir is unusable or the port cannot be bound.
   void start();
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
@@ -69,6 +82,10 @@ class TuneServer {
   [[nodiscard]] const SessionManager& sessions() const noexcept { return *manager_; }
   [[nodiscard]] std::size_t active_connections() const;
   [[nodiscard]] std::size_t connections_accepted() const;
+  /// Connections reaped by connection_idle_timeout.
+  [[nodiscard]] std::size_t connections_reaped() const;
+  /// Accepts refused by max_connections (answered retry_later).
+  [[nodiscard]] std::size_t connections_refused() const;
 
  private:
   void accept_loop();
@@ -90,6 +107,8 @@ class TuneServer {
       GUARDED_BY(mutex_);
   std::uint64_t next_connection_id_ GUARDED_BY(mutex_) = 1;
   std::size_t connections_accepted_ GUARDED_BY(mutex_) = 0;
+  std::size_t connections_reaped_ GUARDED_BY(mutex_) = 0;
+  std::size_t connections_refused_ GUARDED_BY(mutex_) = 0;
   bool started_ GUARDED_BY(mutex_) = false;
   bool stopping_ GUARDED_BY(mutex_) = false;
   bool draining_ GUARDED_BY(mutex_) = false;

@@ -1,5 +1,7 @@
 #include "service/session_manager.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -7,20 +9,122 @@
 #include "tuner/registry.hpp"
 
 namespace repro::service {
+namespace {
 
-SessionManager::SessionManager(SessionLimits limits) : limits_(limits) {}
+/// Keep enough tombstones to cover any realistic retry window without
+/// letting a pathological eviction storm grow the list unboundedly.
+constexpr std::size_t kTombstoneCap = 4096;
+
+}  // namespace
+
+SessionManager::SessionManager(SessionLimits limits) : limits_(std::move(limits)) {}
 
 SessionManager::~SessionManager() { cancel_all(); }
 
-std::string SessionManager::open(const OpenParams& params) {
+RecoveryStats SessionManager::recover() {
+  RecoveryStats stats;
+  if (limits_.state_dir.empty()) return stats;
+  // Sorted scan: recovery order (and thus replay thread scheduling) is
+  // deterministic across restarts.
+  const std::vector<std::string> paths = list_session_wals(limits_.state_dir);
+  // Idle-eviction bookkeeping; never feeds tuning results.
+  const auto now = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
+  for (const std::string& path : paths) {
+    WalSession journal;
+    try {
+      journal = load_session_wal(path);
+    } catch (const std::exception& error) {
+      log_warn("recovery: dropping unrecoverable journal {}: {}", path, error.what());
+      ++stats.sessions_failed;
+      continue;
+    }
+    if (journal.torn_tail) ++stats.torn_tails;
+    if (journal.closed) {
+      // Crash landed between the close record and the unlink; finish the job.
+      (void)::unlink(path.c_str());
+      ++stats.closed_discarded;
+      continue;
+    }
+    if (journal.evicted) {
+      repro::MutexLock lock(mutex_);
+      add_tombstone(journal.id);
+      ++stats.evicted_tombstones;
+      continue;
+    }
+    try {
+      std::unique_ptr<tuner::SearchAlgorithm> algorithm =
+          tuner::make_algorithm(journal.open.algorithm);
+      tuner::ParamSpace space = journal.open.make_space();
+      auto managed = std::make_shared<ManagedSession>(
+          std::move(space), std::move(algorithm), journal.open.budget,
+          journal.open.seed, journal.open.retry);
+      managed->last_activity = now;
+      managed->token = journal.token;
+      // Replay: deterministic search must re-propose exactly the journaled
+      // configurations; any divergence means the journal does not belong to
+      // this binary/space and recovering it would corrupt the study.
+      for (const WalTell& tell : journal.tells) {
+        const std::optional<tuner::Configuration> config = managed->session.ask();
+        if (!config || *config != tell.config) {
+          throw std::runtime_error("replay diverged from journal at seq " +
+                                   std::to_string(tell.seq));
+        }
+        managed->session.tell(tell.evaluation);
+        ++stats.tells_replayed;
+      }
+      managed->applied_seq =
+          journal.tells.empty() ? 0 : journal.tells.back().seq;
+      managed->wal = SessionWal::reattach(path, journal.valid_bytes);
+
+      repro::MutexLock lock(mutex_);
+      if (managed->wal == nullptr) ++wal_errors_;
+      sessions_.emplace_back(journal.id, managed);
+      ++opened_;
+      asks_total_ += journal.tells.size();
+      tells_total_ += journal.tells.size();
+      for (const WalTell& tell : journal.tells) tallies_.count(tell.evaluation.status);
+      // Keep fresh ids clear of every recovered id ("s<N>").
+      if (journal.id.size() > 1 && journal.id[0] == 's') {
+        try {
+          const std::uint64_t numeric = std::stoull(journal.id.substr(1));
+          next_id_ = std::max(next_id_, numeric + 1);
+        } catch (const std::exception&) {
+          // Foreign id scheme; fresh ids cannot collide with it.
+        }
+      }
+      ++stats.sessions_recovered;
+      log_info("recovery: session {} restored ({} tells replayed)", journal.id,
+               journal.tells.size());
+    } catch (const std::exception& error) {
+      log_warn("recovery: cannot replay journal {}: {}", path, error.what());
+      ++stats.sessions_failed;
+    }
+  }
+  repro::MutexLock lock(mutex_);
+  recovery_ = stats;
+  return stats;
+}
+
+std::string SessionManager::open(const OpenParams& params, const std::string& token) {
   {
+    repro::MutexLock lock(mutex_);
+    if (!token.empty()) {
+      for (auto& [id, managed] : sessions_) {
+        if (managed->token == token) {
+          // Idempotent re-open: the first response was lost, not the session.
+          // Idle-eviction bookkeeping; never feeds tuning results.
+          managed->last_activity = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
+          return id;
+        }
+      }
+    }
     // Cheap early rejection; rechecked after construction since the lock
     // is released in between.
-    repro::MutexLock lock(mutex_);
     if (sessions_.size() >= limits_.max_sessions) {
-      throw ProtocolError(ErrorCode::kSessionLimit,
+      throw ProtocolError(ErrorCode::kRetryLater,
                           "session limit reached (" +
-                              std::to_string(limits_.max_sessions) + ")");
+                              std::to_string(limits_.max_sessions) + ")",
+                          limits_.retry_after_ms);
     }
   }
   // Construct outside the lock: registry lookup and space building can
@@ -38,10 +142,20 @@ std::string SessionManager::open(const OpenParams& params) {
       params.retry);
   // Idle-eviction bookkeeping; never feeds tuning results.
   managed->last_activity = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
+  managed->token = token;
 
   std::string id;
   {
     repro::MutexLock lock(mutex_);
+    if (!token.empty()) {
+      for (auto& [existing_id, existing] : sessions_) {
+        if (existing->token == token) {
+          // Lost the race against a concurrent open with the same token.
+          managed->session.cancel();
+          return existing_id;
+        }
+      }
+    }
     if (sessions_.size() >= limits_.max_sessions) {
       // managed is destroyed below (cancels its freshly-started thread).
       id.clear();
@@ -56,13 +170,40 @@ std::string SessionManager::open(const OpenParams& params) {
   }
   if (id.empty()) {
     managed->session.cancel();
-    throw ProtocolError(ErrorCode::kSessionLimit,
+    throw ProtocolError(ErrorCode::kRetryLater,
                         "session limit reached (" +
-                            std::to_string(limits_.max_sessions) + ")");
+                            std::to_string(limits_.max_sessions) + ")",
+                        limits_.retry_after_ms);
+  }
+  // Journal the open before the caller can observe the id: once the client
+  // sees this session exist, a crash must not forget it.
+  if (!limits_.state_dir.empty()) {
+    managed->wal =
+        SessionWal::create(wal_path(limits_.state_dir, id), id, token, params);
+    if (managed->wal == nullptr) {
+      repro::MutexLock lock(mutex_);
+      ++wal_errors_;
+    }
   }
   log_debug("session {} opened: {} budget={} seed={}", id, params.algorithm,
             params.budget, params.seed);
   return id;
+}
+
+void SessionManager::add_tombstone(const std::string& id) {
+  if (std::find(tombstones_.begin(), tombstones_.end(), id) != tombstones_.end())
+    return;
+  if (tombstones_.size() >= kTombstoneCap)
+    tombstones_.erase(tombstones_.begin());
+  tombstones_.push_back(id);
+}
+
+void SessionManager::throw_missing(const std::string& id) {
+  if (std::find(tombstones_.begin(), tombstones_.end(), id) != tombstones_.end()) {
+    throw ProtocolError(ErrorCode::kSessionEvicted,
+                        "session " + id + " was evicted (idle timeout)");
+  }
+  throw ProtocolError(ErrorCode::kUnknownSession, "unknown session: " + id);
 }
 
 std::shared_ptr<SessionManager::ManagedSession> SessionManager::find_and_touch(
@@ -75,45 +216,100 @@ std::shared_ptr<SessionManager::ManagedSession> SessionManager::find_and_touch(
       return session;
     }
   }
-  throw ProtocolError(ErrorCode::kUnknownSession, "unknown session: " + id);
+  throw_missing(id);
+  return nullptr;  // unreachable; throw_missing always throws
 }
 
-std::optional<tuner::Configuration> SessionManager::ask(const std::string& id) {
+std::optional<tuner::Configuration> SessionManager::ask(
+    const std::string& id,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    bool resume) {
   const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
+  if (resume) {
+    // Reconnect path: if the proposal the client lost is still outstanding,
+    // hand it out again instead of tripping kAskPending. Falls through to a
+    // fresh ask when nothing is outstanding (the response the client lost
+    // was a tell-ack, not an ask).
+    if (const auto config = managed->session.outstanding_config()) return config;
+  }
   try {
-    auto config = managed->session.ask();  // blocks; manager mutex NOT held
+    // Blocks; manager mutex NOT held.
+    auto config = deadline ? managed->session.ask_until(*deadline)
+                           : managed->session.ask();
     repro::MutexLock lock(mutex_);
     ++asks_total_;
     return config;
   } catch (const tuner::AskPendingError& error) {
     throw ProtocolError(ErrorCode::kAskPending, error.what());
+  } catch (const tuner::DeadlineExceeded& error) {
+    throw ProtocolError(ErrorCode::kDeadlineExceeded, error.what());
   } catch (const tuner::SessionCancelled&) {
     throw ProtocolError(ErrorCode::kSessionClosed,
                         "session " + id + " was cancelled while ask was blocked");
   }
 }
 
-std::size_t SessionManager::tell(const std::string& id,
-                                 const tuner::Evaluation& evaluation) {
+SessionManager::TellAck SessionManager::tell(const std::string& id,
+                                             const tuner::Evaluation& evaluation,
+                                             std::uint64_t seq) {
   const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
+  if (seq != 0) {
+    repro::MutexLock lock(mutex_);
+    if (seq <= managed->applied_seq) {
+      // Retried frame whose first delivery was applied but whose ack was
+      // lost. Acknowledge without re-applying.
+      ++duplicate_tells_;
+      const std::size_t told = managed->session.tells();
+      const std::size_t budget = managed->session.budget();
+      return TellAck{told >= budget ? 0 : budget - told, true};
+    }
+    if (seq != managed->applied_seq + 1) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "tell seq gap: got " + std::to_string(seq) +
+                              ", expected " +
+                              std::to_string(managed->applied_seq + 1));
+    }
+  }
+  // Snapshot the proposal being answered before tell() clears it — it is
+  // journaled alongside the measurement as a replay integrity check.
+  const std::optional<tuner::Configuration> config =
+      managed->session.outstanding_config();
   try {
     managed->session.tell(evaluation);
   } catch (const tuner::TellMismatchError& error) {
     throw ProtocolError(ErrorCode::kNoAskOutstanding, error.what());
   }
-  repro::MutexLock lock(mutex_);
-  ++tells_total_;
-  tallies_.count(evaluation.status);
+  std::uint64_t applied = 0;
+  {
+    repro::MutexLock lock(mutex_);
+    applied = managed->applied_seq = seq != 0 ? seq : managed->applied_seq + 1;
+    ++tells_total_;
+    tallies_.count(evaluation.status);
+  }
+  // Durability barrier: the ack frame must not leave before the journal
+  // record is on disk, or a crash loses an acknowledged measurement.
+  if (managed->wal != nullptr &&
+      !managed->wal->append_tell(applied, config.value_or(tuner::Configuration{}),
+                                 evaluation)) {
+    repro::MutexLock lock(mutex_);
+    ++wal_errors_;
+  }
   const std::size_t told = managed->session.tells();
   const std::size_t budget = managed->session.budget();
-  return told >= budget ? 0 : budget - told;
+  return TellAck{told >= budget ? 0 : budget - told, false};
 }
 
-SessionManager::ResultPayload SessionManager::result(const std::string& id) {
+SessionManager::ResultPayload SessionManager::result(
+    const std::string& id,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
   ResultPayload payload;
   try {
-    payload.result = managed->session.result();  // blocks until finished
+    // Blocks until finished; manager mutex NOT held.
+    payload.result = deadline ? managed->session.result_until(*deadline)
+                              : managed->session.result();
+  } catch (const tuner::DeadlineExceeded& error) {
+    throw ProtocolError(ErrorCode::kDeadlineExceeded, error.what());
   } catch (const tuner::SessionCancelled&) {
     throw ProtocolError(ErrorCode::kSessionClosed,
                         "session " + id + " was cancelled before finishing");
@@ -131,12 +327,21 @@ void SessionManager::close(const std::string& id) {
     repro::MutexLock lock(mutex_);
     const auto it = std::find_if(sessions_.begin(), sessions_.end(),
                                  [&](const auto& entry) { return entry.first == id; });
-    if (it == sessions_.end()) {
-      throw ProtocolError(ErrorCode::kUnknownSession, "unknown session: " + id);
-    }
+    if (it == sessions_.end()) throw_missing(id);
     managed = std::move(it->second);
     sessions_.erase(it);
     ++closed_;
+  }
+  // Terminal record then unlink: if the crash lands between the two,
+  // recovery sees the close record and finishes the unlink.
+  if (managed->wal != nullptr) {
+    const std::string path = managed->wal->path();
+    if (!managed->wal->append_close()) {
+      repro::MutexLock lock(mutex_);
+      ++wal_errors_;
+    }
+    managed->wal.reset();
+    (void)::unlink(path.c_str());
   }
   // Cancel + destroy outside the lock: the session destructor joins the
   // search thread, which may need a moment to observe the cancel.
@@ -155,6 +360,7 @@ std::size_t SessionManager::evict_idle() {
       const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
           now - it->second->last_activity);
       if (idle > limits_.idle_timeout) {
+        add_tombstone(it->first);
         victims.emplace_back(std::move(*it));
         it = sessions_.erase(it);
       } else {
@@ -164,6 +370,13 @@ std::size_t SessionManager::evict_idle() {
     evicted_ += victims.size();
   }
   for (auto& [id, managed] : victims) {
+    // Persist the eviction: the journal stays behind as a tombstone so a
+    // restarted daemon reports kSessionEvicted instead of resurrecting a
+    // session the policy already reaped.
+    if (managed->wal != nullptr && !managed->wal->append_evicted()) {
+      repro::MutexLock lock(mutex_);
+      ++wal_errors_;
+    }
     managed->session.cancel();
     log_info("session {} evicted after {}ms idle", id,
              limits_.idle_timeout.count());
@@ -178,6 +391,9 @@ void SessionManager::cancel_all() {
     victims.swap(sessions_);
     closed_ += victims.size();
   }
+  // No terminal journal records here — an abandoned live journal is exactly
+  // what recover() resurrects, so shutdown-with-live-sessions behaves like
+  // a crash (by design: the daemon stopping is not the client giving up).
   for (auto& [id, managed] : victims) managed->session.cancel();
   // Destruction (thread joins) happens as `victims` goes out of scope.
 }
@@ -196,6 +412,10 @@ StatusReport SessionManager::status() const {
   report.evicted = evicted_;
   report.asks = asks_total_;
   report.tells = tells_total_;
+  report.duplicate_tells = duplicate_tells_;
+  report.wal_errors = wal_errors_;
+  report.wal_enabled = !limits_.state_dir.empty();
+  report.recovery = recovery_;
   report.tallies = tallies_;
   for (const auto& [id, managed] : sessions_) {
     if (managed->session.finished()) ++report.finished;

@@ -11,7 +11,21 @@
 //
 // Lifecycle: open -> (ask -> tell)* -> result -> close. Sessions idle
 // longer than the configured timeout are evicted (cancelled + destroyed);
-// an op blocked on an evicted session surfaces ErrorCode::kSessionClosed.
+// an op blocked on an evicted session surfaces ErrorCode::kSessionClosed,
+// and later ops on its id surface kSessionEvicted (distinguishable from a
+// never-existed kUnknownSession via a bounded tombstone list).
+//
+// Durability (SessionLimits::state_dir non-empty): every session journals
+// its open parameters and each applied tell to a per-session fsync'd WAL
+// (service/session_wal.hpp) *before* the acknowledging response leaves the
+// daemon. recover() replays surviving journals through fresh
+// AskTellSessions — deterministic search means replay reconstructs the
+// exact pre-crash state, RNG stream included. Tell idempotency (per-session
+// monotonic seq) makes the recovery window safe for retrying clients.
+//
+// Admission control: opening past max_sessions answers the retryable
+// kRetryLater (with SessionLimits::retry_after_ms as the backoff hint)
+// instead of a hard failure.
 
 #include <chrono>
 #include <cstdint>
@@ -23,6 +37,7 @@
 
 #include "common/thread_annotations.hpp"
 #include "service/protocol.hpp"
+#include "service/session_wal.hpp"
 #include "tuner/ask_tell.hpp"
 
 namespace repro::service {
@@ -30,6 +45,20 @@ namespace repro::service {
 struct SessionLimits {
   std::size_t max_sessions = 256;
   std::chrono::milliseconds idle_timeout{300000};  ///< 5 min; <=0 disables
+  /// Session WAL directory; empty disables durability.
+  std::string state_dir;
+  /// Backoff hint carried by kRetryLater admission pushback.
+  std::uint64_t retry_after_ms = 250;
+};
+
+/// What recover() found in the state dir at startup.
+struct RecoveryStats {
+  std::size_t sessions_recovered = 0;  ///< live journals replayed successfully
+  std::size_t tells_replayed = 0;
+  std::size_t sessions_failed = 0;  ///< unreadable/diverged journals (lost)
+  std::size_t torn_tails = 0;       ///< journals whose final record was dropped
+  std::size_t closed_discarded = 0;  ///< clean close record, journal deleted
+  std::size_t evicted_tombstones = 0;  ///< eviction record, id tombstoned
 };
 
 /// Aggregate counters for the `status` endpoint. Tallies classify every
@@ -44,6 +73,10 @@ struct StatusReport {
   std::size_t finished = 0;  ///< live sessions whose search already terminated
   std::size_t asks = 0;
   std::size_t tells = 0;
+  std::size_t duplicate_tells = 0;  ///< idempotent seq replays acknowledged
+  std::size_t wal_errors = 0;       ///< journal appends that failed (IO)
+  bool wal_enabled = false;
+  RecoveryStats recovery;  ///< from the last recover() call
   tuner::FailureCounters tallies;
 };
 
@@ -66,17 +99,41 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  /// Throws ProtocolError (kSessionLimit, kBadRequest for an unknown
-  /// algorithm or bad space). Returns the new session id.
-  [[nodiscard]] std::string open(const OpenParams& params);
+  /// Replay journals left in limits_.state_dir by a previous process. Call
+  /// once, before serving requests. No-op without a state dir; throws
+  /// std::runtime_error when the state dir is unusable.
+  RecoveryStats recover();
+
+  /// Throws ProtocolError (kRetryLater at the session cap, kBadRequest for
+  /// an unknown algorithm or bad space). Returns the new session id. A
+  /// non-empty idempotency `token` makes re-opening after a lost response
+  /// safe: a token already bound to a live session returns that session.
+  [[nodiscard]] std::string open(const OpenParams& params,
+                                 const std::string& token = {});
 
   /// Blocks until the session proposes a measurement (config) or finishes
-  /// (nullopt). Throws ProtocolError kUnknownSession / kAskPending /
-  /// kSessionClosed.
-  [[nodiscard]] std::optional<tuner::Configuration> ask(const std::string& id);
+  /// (nullopt). Throws ProtocolError kUnknownSession / kSessionEvicted /
+  /// kAskPending / kSessionClosed / kDeadlineExceeded. `resume` re-fetches
+  /// an already-outstanding proposal (reconnect path) instead of tripping
+  /// kAskPending.
+  [[nodiscard]] std::optional<tuner::Configuration> ask(
+      const std::string& id,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline =
+          std::nullopt,
+      bool resume = false);
 
-  /// Returns the session's budget remaining estimate (budget - tells).
-  std::size_t tell(const std::string& id, const tuner::Evaluation& evaluation);
+  struct TellAck {
+    std::size_t remaining = 0;  ///< budget remaining estimate (budget - tells)
+    bool duplicate = false;     ///< seq already applied; nothing re-applied
+  };
+  /// Apply one measurement. seq == 0 means "no idempotency" (legacy
+  /// clients); otherwise seq must be applied_seq+1 (a replay of applied_seq
+  /// or lower is acknowledged as duplicate, a gap is kBadRequest).
+  TellAck tell(const std::string& id, const tuner::Evaluation& evaluation,
+               std::uint64_t seq);
+  std::size_t tell(const std::string& id, const tuner::Evaluation& evaluation) {
+    return tell(id, evaluation, 0).remaining;
+  }
 
   struct ResultPayload {
     tuner::TuneResult result;
@@ -84,15 +141,23 @@ class SessionManager {
   };
   /// Blocks until the search terminates. kInternal carries an escaped
   /// search-thread exception's message.
-  [[nodiscard]] ResultPayload result(const std::string& id);
+  [[nodiscard]] ResultPayload result(
+      const std::string& id,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline =
+          std::nullopt);
 
-  /// Cancel (if still running) and destroy. Throws kUnknownSession.
+  /// Cancel (if still running) and destroy; deletes the journal. Throws
+  /// kUnknownSession / kSessionEvicted.
   void close(const std::string& id);
 
   /// Evict sessions idle beyond the limit; returns how many were evicted.
+  /// Each victim's journal gets a terminal eviction record (so a restart
+  /// tombstones it instead of resurrecting it) and its id is tombstoned.
   std::size_t evict_idle();
 
-  /// Cancel and destroy every session (drain/shutdown path).
+  /// Cancel and destroy every session (drain/shutdown path). Journals are
+  /// left in place deliberately: sessions a daemon shuts down under are
+  /// recovered — not lost — on the next start.
   void cancel_all();
 
   [[nodiscard]] std::size_t live() const;
@@ -112,24 +177,39 @@ class SessionManager {
 
     tuner::ParamSpace space;
     tuner::AskTellSession session;
-    /// Written only while the owning manager's mutex_ is held (the analysis
-    /// cannot express a guard that lives in another object, so this is a
-    /// documented convention rather than a GUARDED_BY).
+    /// Open-idempotency token ("" = none). Immutable once registered.
+    std::string token;
+    /// Journal; null when durability is off or the journal died on an IO
+    /// error. Appends are serialized by the per-session client protocol.
+    std::unique_ptr<SessionWal> wal;
+    /// The fields below are written only while the owning manager's mutex_
+    /// is held (the analysis cannot express a guard that lives in another
+    /// object, so this is a documented convention rather than a GUARDED_BY).
     std::chrono::steady_clock::time_point last_activity;
+    /// Highest tell seq applied (idempotency watermark).
+    std::uint64_t applied_seq = 0;
   };
 
   [[nodiscard]] std::shared_ptr<ManagedSession> find_and_touch(const std::string& id);
+  /// Register an evicted id so later ops can be told the session was
+  /// reaped (not "never existed"). Bounded FIFO. Requires mutex_.
+  void add_tombstone(const std::string& id) REQUIRES(mutex_);
+  void throw_missing(const std::string& id) REQUIRES(mutex_);
 
   const SessionLimits limits_;
   mutable repro::Mutex mutex_;
   std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> sessions_
       GUARDED_BY(mutex_);
+  std::vector<std::string> tombstones_ GUARDED_BY(mutex_);
   std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
   std::size_t opened_ GUARDED_BY(mutex_) = 0;
   std::size_t closed_ GUARDED_BY(mutex_) = 0;
   std::size_t evicted_ GUARDED_BY(mutex_) = 0;
   std::size_t asks_total_ GUARDED_BY(mutex_) = 0;
   std::size_t tells_total_ GUARDED_BY(mutex_) = 0;
+  std::size_t duplicate_tells_ GUARDED_BY(mutex_) = 0;
+  std::size_t wal_errors_ GUARDED_BY(mutex_) = 0;
+  RecoveryStats recovery_ GUARDED_BY(mutex_);
   tuner::FailureCounters tallies_ GUARDED_BY(mutex_);
 };
 

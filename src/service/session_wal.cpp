@@ -1,0 +1,224 @@
+#include "service/session_wal.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace repro::service {
+namespace {
+
+/// EINTR-safe full write of one buffer to fd.
+[[nodiscard]] bool write_fully(int fd, const char* data, std::size_t length) {
+  std::size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::write(fd, data + done, length - done);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// fsync the directory containing `path` so a freshly created journal's
+/// directory entry survives a crash (best effort; some filesystems refuse).
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+[[noreturn]] void wal_fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("session wal " + path + ": " + what);
+}
+
+}  // namespace
+
+SessionWal::~SessionWal() {
+  if (fd_ >= 0) (void)::close(fd_);
+}
+
+std::unique_ptr<SessionWal> SessionWal::create(const std::string& path,
+                                               const std::string& id,
+                                               const std::string& token,
+                                               const OpenParams& params) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    log_error("session wal: cannot create " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  sync_parent_dir(path);
+  std::unique_ptr<SessionWal> wal(new SessionWal(fd, path));
+  Json record = Json::object();
+  record.set("wal", "open");
+  record.set("v", static_cast<std::uint64_t>(1));
+  record.set("id", id);
+  if (!token.empty()) record.set("token", token);
+  record.set("open", encode_open(params));
+  if (!wal->append_line(record)) return nullptr;
+  return wal;
+}
+
+std::unique_ptr<SessionWal> SessionWal::reattach(const std::string& path,
+                                                 std::uint64_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    log_error("session wal: cannot reattach " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  // Drop the torn tail (if any) before the first new append lands after it.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 || ::fsync(fd) != 0) {
+    log_error("session wal: cannot truncate " + path + ": " + std::strerror(errno));
+    (void)::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<SessionWal>(new SessionWal(fd, path));
+}
+
+bool SessionWal::append_line(const Json& record) {
+  if (fd_ < 0) return false;
+  std::string line = record.dump();
+  line.push_back('\n');
+  if (!write_fully(fd_, line.data(), line.size()) || ::fsync(fd_) != 0) {
+    log_error("session wal: append failed for " + path_ + ": " + std::strerror(errno));
+    (void)::close(fd_);
+    fd_ = -1;  // stop retrying a dead journal on every subsequent record
+    return false;
+  }
+  return true;
+}
+
+bool SessionWal::append_tell(std::uint64_t seq, const tuner::Configuration& config,
+                             const tuner::Evaluation& evaluation) {
+  Json record = Json::object();
+  record.set("wal", "tell");
+  record.set("seq", seq);
+  record.set("config", encode_config(config));
+  encode_evaluation_into(record, evaluation);
+  return append_line(record);
+}
+
+bool SessionWal::append_close() {
+  Json record = Json::object();
+  record.set("wal", "close");
+  return append_line(record);
+}
+
+bool SessionWal::append_evicted() {
+  Json record = Json::object();
+  record.set("wal", "evicted");
+  return append_line(record);
+}
+
+WalSession load_session_wal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) wal_fail(path, "cannot open for reading");
+  std::ostringstream whole;
+  whole << in.rdbuf();
+  const std::string text = whole.str();
+
+  WalSession session;
+  bool saw_open = false;
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const std::size_t newline = text.find('\n', offset);
+    const bool terminated = newline != std::string::npos;
+    const std::string_view line(text.data() + offset,
+                                (terminated ? newline : text.size()) - offset);
+    const bool final_line = !terminated || newline + 1 == text.size();
+    if (!terminated) {
+      // Unterminated tail: the crash interrupted this append. Drop it.
+      session.torn_tail = true;
+      break;
+    }
+    Json record;
+    try {
+      record = Json::parse(line);
+      if (!record.is_object()) throw JsonError("record is not an object");
+      const std::string kind = require_string(record, "wal");
+      if (kind == "open") {
+        if (saw_open) throw std::runtime_error("duplicate open record");
+        saw_open = true;
+        session.id = require_string(record, "id");
+        if (const Json* token = record.find("token")) session.token = token->as_string();
+        session.open = decode_open(require(record, "open"));
+      } else if (kind == "tell") {
+        if (!saw_open) throw std::runtime_error("tell before open record");
+        WalTell tell;
+        tell.seq = require_uint(record, "seq");
+        tell.config = decode_config(require(record, "config"));
+        tell.evaluation = decode_evaluation(record);
+        session.tells.push_back(std::move(tell));
+      } else if (kind == "close") {
+        session.closed = true;
+      } else if (kind == "evicted") {
+        session.evicted = true;
+      } else {
+        throw std::runtime_error("unknown record kind: " + kind);
+      }
+    } catch (const std::exception& error) {
+      if (final_line) {
+        // Torn tail variant two: the final line is complete but malformed
+        // (torn mid-write then terminated by later garbage, or a partial
+        // flush). Drop it, like results_io does for checkpoints.
+        log_warn("session wal: dropping malformed final record in " + path + ": " +
+                 error.what());
+        session.torn_tail = true;
+        break;
+      }
+      wal_fail(path, std::string("malformed interior record: ") + error.what());
+    }
+    offset = newline + 1;
+    session.valid_bytes = offset;
+    if (session.closed || session.evicted) break;  // terminal record
+  }
+  if (!saw_open) {
+    // Includes the "header torn" case: a journal whose open record never
+    // fully landed never acknowledged anything, so the session never
+    // existed as far as any client knows.
+    wal_fail(path, "no open record (torn header)");
+  }
+  return session;
+}
+
+std::string wal_path(const std::string& state_dir, const std::string& id) {
+  return state_dir + "/" + id + ".wal";
+}
+
+std::vector<std::string> list_session_wals(const std::string& state_dir) {
+  if (::mkdir(state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("state dir " + state_dir + ": " + std::strerror(errno));
+  }
+  DIR* dir = ::opendir(state_dir.c_str());
+  if (dir == nullptr) {
+    throw std::runtime_error("state dir " + state_dir + ": " + std::strerror(errno));
+  }
+  std::vector<std::string> paths;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".wal") == 0) {
+      paths.push_back(state_dir + "/" + name);
+    }
+  }
+  (void)::closedir(dir);
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace repro::service

@@ -1,0 +1,110 @@
+#pragma once
+// Per-session write-ahead journal for the tuning service.
+//
+// A `tuned` daemon killed mid-session (kill -9, OOM, node loss) must not
+// lose live ask/tell sessions: every session is deterministic given its
+// open parameters (algorithm, budget, seed, space, retry policy) and the
+// ordered stream of tell() evaluations, so journaling exactly those two
+// things is enough to reconstruct the session by replay through the
+// unmodified AskTellSession — same RNG stream, same proposals, same final
+// result, bit for bit.
+//
+// Format: JSON lines (the service's own codecs), one file per session in
+// the daemon's --state-dir, named "<session-id>.wal":
+//   {"wal":"open","v":1,"id":"s3","token":"...","open":{...open request...}}
+//   {"wal":"tell","seq":1,"config":[4,2,3],"value":1.25,"valid":true,"status":"ok"}
+//   ...
+//   {"wal":"close"}        // clean terminal record: journal is deletable
+//   {"wal":"evicted"}      // terminal record: idle eviction (tombstone)
+// Every record is appended with a single write() and fsync()'d before the
+// response frame that acknowledges it leaves the daemon, so an acknowledged
+// tell is never lost. The `config` echoed in each tell record is not needed
+// for replay (proposals are deterministic) — it is an integrity check: a
+// replay whose proposal diverges from the journal refuses to recover.
+//
+// Torn tails follow the PR-1 checkpoint rules (harness/results_io): the only
+// possible corruption of an append-only file killed mid-write is its final
+// line, so an unterminated or malformed *final* line is dropped on load and
+// truncated away before the journal is appended to again; a malformed
+// interior record is a hard error.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace repro::service {
+
+/// One replayed tell record.
+struct WalTell {
+  std::uint64_t seq = 0;
+  tuner::Configuration config;
+  tuner::Evaluation evaluation;
+};
+
+/// Parsed journal contents.
+struct WalSession {
+  std::string id;
+  std::string token;
+  OpenParams open;
+  std::vector<WalTell> tells;
+  bool closed = false;   ///< clean close terminal record present
+  bool evicted = false;  ///< eviction terminal record present
+  bool torn_tail = false;  ///< an unterminated/malformed final line was dropped
+  /// Byte length of the valid record prefix; appends must resume here.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Append-only fsync'd writer for one session's journal. All append_*
+/// methods return false on IO failure (callers log and continue without
+/// durability rather than failing the session).
+class SessionWal {
+ public:
+  ~SessionWal();
+
+  SessionWal(const SessionWal&) = delete;
+  SessionWal& operator=(const SessionWal&) = delete;
+
+  /// Create the journal and append+fsync the open record. Returns nullptr
+  /// on IO failure.
+  [[nodiscard]] static std::unique_ptr<SessionWal> create(const std::string& path,
+                                                          const std::string& id,
+                                                          const std::string& token,
+                                                          const OpenParams& params);
+
+  /// Re-attach to a recovered journal for further appends, truncating it to
+  /// `valid_bytes` first (drops any torn tail). Returns nullptr on failure.
+  [[nodiscard]] static std::unique_ptr<SessionWal> reattach(const std::string& path,
+                                                            std::uint64_t valid_bytes);
+
+  [[nodiscard]] bool append_tell(std::uint64_t seq, const tuner::Configuration& config,
+                                 const tuner::Evaluation& evaluation);
+  [[nodiscard]] bool append_close();
+  [[nodiscard]] bool append_evicted();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  SessionWal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  [[nodiscard]] bool append_line(const Json& record);
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Parse a journal. Applies the torn-tail rules above; throws
+/// std::runtime_error when the file cannot be read or an interior record is
+/// malformed (the journal is then unrecoverable and the session is lost).
+[[nodiscard]] WalSession load_session_wal(const std::string& path);
+
+/// "<state_dir>/<session-id>.wal"
+[[nodiscard]] std::string wal_path(const std::string& state_dir, const std::string& id);
+
+/// All "*.wal" files directly inside state_dir, sorted by path so recovery
+/// order (and therefore session replay order) is deterministic. Creates the
+/// directory when missing; throws std::runtime_error when it cannot.
+[[nodiscard]] std::vector<std::string> list_session_wals(const std::string& state_dir);
+
+}  // namespace repro::service

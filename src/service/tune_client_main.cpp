@@ -8,6 +8,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,46 @@ bool same_result(const repro::tuner::TuneResult& a, const repro::tuner::TuneResu
   return std::memcmp(&a.best_value, &b.best_value, sizeof(double)) == 0;
 }
 
+constexpr const char* kCsvHeader =
+    "algorithm,budget,seed,best_value,best_config,evaluations_used,found_valid,"
+    "final_us";
+
+// Complete (newline-terminated — rows are appended whole and flushed, so a
+// kill at a cell boundary leaves only complete lines) data rows already in
+// the campaign CSV. Same torn-tail rule as the session WAL: an unterminated
+// final line is dropped and its cell reruns.
+std::vector<std::string> completed_rows(const std::string& path) {
+  std::vector<std::string> rows;
+  std::ifstream in(path);
+  if (!in) return rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    // getline sets eofbit when the file ends before the delimiter.
+    if (in.eof()) break;
+    if (first) {
+      first = false;
+      continue;  // header
+    }
+    if (!line.empty()) rows.push_back(line);
+  }
+  return rows;
+}
+
+std::string row_algorithm(const std::string& row) {
+  const std::size_t comma = row.find(',');
+  return comma == std::string::npos ? row : row.substr(0, comma);
+}
+
+std::string format_config(const repro::tuner::Configuration& config) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << config[i];
+  }
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -46,6 +89,23 @@ int main(int argc, char** argv) {
   cli.add_option("repeats", "final re-measurement repeats", "10");
   cli.add_flag("verify", "replay the same seeds in-process and require "
                          "byte-identical results");
+  cli.add_option("save-csv",
+                 "append one flushed CSV row per completed algorithm cell "
+                 "(campaign checkpoint; empty disables)",
+                 "");
+  cli.add_flag("resume", "skip algorithm cells already recorded in --save-csv");
+  cli.add_option("stop-after",
+                 "exit cleanly after completing this many cells this run "
+                 "(0 = all; simulates a kill at a cell boundary)",
+                 "0");
+  cli.add_option("retries",
+                 "transport retries per request: reconnect + deterministic "
+                 "backoff + idempotent replay (0 disables)",
+                 "0");
+  cli.add_option("heartbeat-ms",
+                 "bound blocking ask/result waits and re-issue them, keeping "
+                 "the connection live (0 disables)",
+                 "0");
   if (!cli.parse(argc, argv)) return 2;
 
   const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
@@ -84,6 +144,8 @@ int main(int argc, char** argv) {
   service::ClientConfig client_config;
   client_config.host = cli.get("host");
   client_config.port = port;
+  client_config.max_retries = static_cast<std::size_t>(cli.get_int("retries"));
+  client_config.heartbeat_ms = static_cast<std::uint64_t>(cli.get_int("heartbeat-ms"));
   service::Client client(client_config);
   try {
     client.connect();
@@ -92,8 +154,37 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Campaign checkpoint: one CSV row per finished algorithm cell, appended
+  // whole and flushed so a kill between cells leaves only complete lines.
+  // Resume rewrites the valid prefix first (the reattach-truncate rule the
+  // session WAL uses) so a torn tail can never corrupt the next row.
+  const std::string csv_path = cli.get("save-csv");
+  std::set<std::string> done;
+  std::FILE* csv = nullptr;
+  if (!csv_path.empty()) {
+    std::vector<std::string> kept;
+    if (cli.get_flag("resume")) kept = completed_rows(csv_path);
+    csv = std::fopen(csv_path.c_str(), "w");
+    if (csv == nullptr) {
+      log_error("tune_client: cannot open --save-csv {}", csv_path);
+      return 1;
+    }
+    std::fprintf(csv, "%s\n", kCsvHeader);
+    for (const std::string& row : kept) {
+      std::fprintf(csv, "%s\n", row.c_str());
+      done.insert(row_algorithm(row));
+    }
+    std::fflush(csv);
+  }
+  const std::size_t stop_after = static_cast<std::size_t>(cli.get_int("stop-after"));
+  std::size_t cells_this_run = 0;
+
   bool all_verified = true;
   for (const std::string& id : algorithms) {
+    if (done.count(id) != 0) {
+      std::printf("%-6s already recorded, skipped (--resume)\n", id.c_str());
+      continue;
+    }
     // The algorithm RNG lives server-side; the objective RNG lives here.
     // Distinct streams per role keep the remote and in-process replays on
     // identical random sequences.
@@ -126,6 +217,26 @@ int main(int argc, char** argv) {
                 id.c_str(), remote.result.best_value, final_us,
                 remote.result.evaluations_used, remote.counters.faults());
 
+    if (csv != nullptr) {
+      // %.17g round-trips doubles exactly, so an interrupted-and-resumed
+      // campaign CSV is byte-identical to an uninterrupted one.
+      std::fprintf(csv, "%s,%zu,%llu,%.17g,%s,%zu,%d,%.17g\n", id.c_str(), budget,
+                   static_cast<unsigned long long>(algo_seed),
+                   remote.result.best_value,
+                   format_config(remote.result.best_config).c_str(),
+                   remote.result.evaluations_used,
+                   remote.result.found_valid ? 1 : 0, final_us);
+      std::fflush(csv);
+    }
+    ++cells_this_run;
+    if (stop_after > 0 && cells_this_run >= stop_after) {
+      std::printf("tune_client: stopping after %zu cell(s) (--stop-after)\n",
+                  cells_this_run);
+      if (csv != nullptr) std::fclose(csv);
+      client.disconnect();
+      return 0;
+    }
+
     if (cli.get_flag("verify")) {
       Rng algo_rng(algo_seed);
       Rng replay_rng(objective_seed);
@@ -147,6 +258,7 @@ int main(int argc, char** argv) {
               tells != nullptr
                   ? static_cast<unsigned long long>(tells->as_uint64())
                   : 0ULL);
+  if (csv != nullptr) std::fclose(csv);
   client.disconnect();
   if (cli.get_flag("verify") && !all_verified) {
     log_error("tune_client: verification FAILED");

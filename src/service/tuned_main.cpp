@@ -31,6 +31,18 @@ int main(int argc, char** argv) {
                  "300000");
   cli.add_option("drain-timeout-ms", "graceful drain budget on SIGTERM/SIGINT", "10000");
   cli.add_option("status-interval-ms", "periodic status log interval (<=0 disables)", "0");
+  cli.add_option("state-dir",
+                 "session WAL directory: journal every session and recover "
+                 "live ones on restart (empty disables durability)",
+                 "");
+  cli.add_option("max-connections",
+                 "refuse accepts beyond this many open connections with "
+                 "retry_later (0 = unlimited)",
+                 "0");
+  cli.add_option("conn-idle-timeout-ms",
+                 "reap connections that complete no request frame for this "
+                 "long (slow-loris guard; <=0 disables)",
+                 "0");
   if (!cli.parse(argc, argv)) return 2;
 
   service::ServerConfig config;
@@ -38,8 +50,18 @@ int main(int argc, char** argv) {
   config.connection_threads = static_cast<std::size_t>(cli.get_int("threads"));
   config.limits.max_sessions = static_cast<std::size_t>(cli.get_int("max-sessions"));
   config.limits.idle_timeout = std::chrono::milliseconds(cli.get_int("idle-timeout-ms"));
+  config.limits.state_dir = cli.get("state-dir");
+  config.max_connections = static_cast<std::size_t>(cli.get_int("max-connections"));
+  const long long conn_idle = cli.get_int("conn-idle-timeout-ms");
+  config.connection_idle_timeout =
+      std::chrono::milliseconds(conn_idle > 0 ? conn_idle : 0);
   const auto drain_budget = std::chrono::milliseconds(cli.get_int("drain-timeout-ms"));
   const long long status_interval = cli.get_int("status-interval-ms");
+
+  // A peer vanishing mid-write must surface as a send error on that
+  // connection, not kill the daemon (writes also pass MSG_NOSIGNAL, but
+  // belt-and-suspenders against any future plain write on a socket).
+  std::signal(SIGPIPE, SIG_IGN);
 
   service::TuneServer server(config);
   try {

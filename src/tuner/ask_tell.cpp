@@ -66,10 +66,29 @@ void AskTellSession::search_main(std::uint64_t seed) {
 }
 
 std::optional<Configuration> AskTellSession::ask() {
+  return ask_impl(nullptr);
+}
+
+std::optional<Configuration> AskTellSession::ask_until(
+    std::chrono::steady_clock::time_point deadline) {
+  return ask_impl(&deadline);
+}
+
+std::optional<Configuration> AskTellSession::ask_impl(
+    const std::chrono::steady_clock::time_point* deadline) {
   repro::MutexLock lock(mutex_);
   if (cancelled_) throw SessionCancelled();
   if (outstanding_) throw AskPendingError();
-  while (!has_pending_ && !finished_ && !cancelled_) cv_.wait(lock.native());
+  while (!has_pending_ && !finished_ && !cancelled_) {
+    if (deadline == nullptr) {
+      cv_.wait(lock.native());
+    } else if (cv_.wait_until(lock.native(), *deadline) == std::cv_status::timeout &&
+               !has_pending_ && !finished_ && !cancelled_) {
+      // Expiry claims nothing: the proposal (when it lands) stays available
+      // to the next ask.
+      throw DeadlineExceeded();
+    }
+  }
   if (cancelled_) throw SessionCancelled();
   if (has_pending_) {
     outstanding_ = true;
@@ -77,6 +96,12 @@ std::optional<Configuration> AskTellSession::ask() {
     return pending_;
   }
   return std::nullopt;
+}
+
+std::optional<Configuration> AskTellSession::outstanding_config() const {
+  repro::MutexLock lock(mutex_);
+  if (!outstanding_) return std::nullopt;
+  return pending_;
 }
 
 void AskTellSession::tell(const Evaluation& evaluation) {
@@ -113,6 +138,18 @@ std::size_t AskTellSession::tells() const {
 TuneResult AskTellSession::result() {
   repro::MutexLock lock(mutex_);
   while (!finished_) cv_.wait(lock.native());
+  if (error_) std::rethrow_exception(error_);
+  return result_;
+}
+
+TuneResult AskTellSession::result_until(std::chrono::steady_clock::time_point deadline) {
+  repro::MutexLock lock(mutex_);
+  while (!finished_) {
+    if (cv_.wait_until(lock.native(), deadline) == std::cv_status::timeout &&
+        !finished_) {
+      throw DeadlineExceeded();
+    }
+  }
   if (error_) std::rethrow_exception(error_);
   return result_;
 }

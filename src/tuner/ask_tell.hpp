@@ -21,6 +21,7 @@
 // any thread (the service serializes per session); the search thread only
 // ever blocks inside the proxy, so cancel() can always unpark it.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -53,6 +54,13 @@ struct TellMismatchError : std::logic_error {
   TellMismatchError() : std::logic_error("tell() without an outstanding ask()") {}
 };
 
+/// A timed ask_until()/result_until() expired before the search thread
+/// produced what the caller was waiting for. Session state is untouched:
+/// the proposal (once ready) is still unclaimed and the op can be retried.
+struct DeadlineExceeded : std::runtime_error {
+  DeadlineExceeded() : std::runtime_error("ask/tell deadline exceeded") {}
+};
+
 class AskTellSession {
  public:
   /// Starts the search thread immediately. `space` must outlive the
@@ -73,6 +81,17 @@ class AskTellSession {
   /// SessionCancelled after cancel().
   [[nodiscard]] std::optional<Configuration> ask();
 
+  /// ask() with a deadline (service deadline_ms support). Throws
+  /// DeadlineExceeded on expiry without claiming the proposal, so a later
+  /// ask()/ask_until() still observes it.
+  [[nodiscard]] std::optional<Configuration> ask_until(
+      std::chrono::steady_clock::time_point deadline);
+
+  /// The proposal handed out by the last ask() and not yet answered, if
+  /// any. Lets a reconnecting client resume an interrupted exchange
+  /// idempotently instead of tripping AskPendingError.
+  [[nodiscard]] std::optional<Configuration> outstanding_config() const;
+
   /// Deliver the measurement for the configuration returned by the last
   /// ask(). Throws TellMismatchError when nothing is outstanding.
   void tell(const Evaluation& evaluation);
@@ -91,6 +110,9 @@ class AskTellSession {
   /// Rethrows whatever escaped minimize() (including SessionCancelled).
   [[nodiscard]] TuneResult result();
 
+  /// result() with a deadline; throws DeadlineExceeded on expiry.
+  [[nodiscard]] TuneResult result_until(std::chrono::steady_clock::time_point deadline);
+
   /// Evaluator measurement tallies; complete once finished() is true.
   [[nodiscard]] FailureCounters counters() const;
 
@@ -101,6 +123,8 @@ class AskTellSession {
  private:
   Evaluation proxy_measure(const Configuration& config);
   void search_main(std::uint64_t seed);
+  std::optional<Configuration> ask_impl(
+      const std::chrono::steady_clock::time_point* deadline);
 
   const ParamSpace& space_;
   std::unique_ptr<SearchAlgorithm> algorithm_;

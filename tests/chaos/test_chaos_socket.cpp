@@ -1,0 +1,135 @@
+// ChaosSocket unit tests: a disabled injector is a bit-exact pass-through
+// that never draws, the same seed replays the same fault placement, and an
+// injected fault kills the real socket so the peer observes a genuine
+// mid-frame EOF rather than a simulated one.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/socket.hpp"
+#include "service/chaos_socket.hpp"
+#include "service/protocol.hpp"
+
+namespace repro::service {
+namespace {
+
+struct LoopbackPair {
+  ListenSocket listener;
+  Socket client;
+  Socket server;
+
+  LoopbackPair() {
+    listener = ListenSocket::listen_loopback(0);
+    client = Socket::connect_loopback(listener.port());
+    EXPECT_EQ(listener.accept(&server), Socket::Io::kOk);
+  }
+};
+
+/// Drive `writes` frame writes through an injector and record, per write,
+/// whether it survived. The fault script of a seeded injector is exactly
+/// this vector plus its counters.
+std::vector<bool> write_script(ChaosSocket& chaos, std::size_t writes) {
+  std::vector<bool> survived;
+  const std::string frame = "{\"op\":\"ping\"}\n";
+  for (std::size_t i = 0; i < writes; ++i) {
+    survived.push_back(chaos.write_all(frame.data(), frame.size()));
+    if (!survived.back()) break;  // the connection is dead past a drop
+  }
+  return survived;
+}
+
+TEST(ChaosSocket, DisabledIsAPassThroughThatNeverDraws) {
+  LoopbackPair pair;
+  ChaosSocket chaos(pair.client);
+  ASSERT_FALSE(chaos.enabled());
+
+  const std::string frame = "{\"a\":1}\n";
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(chaos.write_all(frame.data(), frame.size()));
+  }
+  // Everything arrives intact on the peer.
+  FrameReader reader(pair.server);
+  std::string line;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(reader.next(&line), FrameStatus::kOk);
+    EXPECT_EQ(line, "{\"a\":1}");
+  }
+  EXPECT_EQ(chaos.counters().drops, 0u);
+  EXPECT_EQ(chaos.counters().torn_writes, 0u);
+  EXPECT_EQ(chaos.counters().short_reads, 0u);
+  EXPECT_EQ(chaos.counters().delays, 0u);
+}
+
+TEST(ChaosSocket, SameSeedReplaysTheSameFaultScript) {
+  const ChaosModel model = ChaosModel::with_rate(0.4);
+  ASSERT_TRUE(model.enabled);
+
+  std::vector<bool> first;
+  ChaosCounters first_counters;
+  {
+    LoopbackPair pair;
+    ChaosSocket chaos(pair.client, model, /*seed=*/12345);
+    first = write_script(chaos, 64);
+    first_counters = chaos.counters();
+  }
+  {
+    LoopbackPair pair;
+    ChaosSocket chaos(pair.client, model, /*seed=*/12345);
+    EXPECT_EQ(write_script(chaos, 64), first);
+    EXPECT_EQ(chaos.counters().drops, first_counters.drops);
+    EXPECT_EQ(chaos.counters().torn_writes, first_counters.torn_writes);
+    EXPECT_EQ(chaos.counters().delays, first_counters.delays);
+  }
+  // At a 40% fault rate a 64-write script cannot run clean.
+  EXPECT_FALSE(first.empty());
+  EXPECT_FALSE(first.back());
+}
+
+TEST(ChaosSocket, InjectedDropSurfacesAsRealMidFrameEofOnThePeer) {
+  // Force the very first write to die: rate 1.0 means every draw faults.
+  ChaosModel model = ChaosModel::with_rate(1.0);
+  model.delay_probability = 0.0;  // keep the test instant
+  LoopbackPair pair;
+  ChaosSocket chaos(pair.client, model, /*seed=*/7);
+
+  const std::string frame = "{\"op\":\"status\",\"pad\":\"xxxxxxxxxxxxxxxx\"}\n";
+  EXPECT_FALSE(chaos.write_all(frame.data(), frame.size()));
+  EXPECT_GE(chaos.counters().drops + chaos.counters().torn_writes, 1u);
+
+  // The peer sees either an orderly close (clean drop: nothing sent) or a
+  // torn stream (prefix sent, then EOF) — never a complete frame.
+  FrameReader reader(pair.server);
+  std::string line;
+  FrameStatus status = reader.next(&line);
+  while (status == FrameStatus::kTimeout) status = reader.next(&line);
+  EXPECT_TRUE(status == FrameStatus::kClosed || status == FrameStatus::kMidFrameEof);
+}
+
+TEST(ChaosSocket, ShortReadsFragmentButDoNotCorrupt) {
+  // Short reads only: the frame must reassemble byte-identically.
+  ChaosModel model;
+  model.enabled = true;
+  model.short_read_probability = 1.0;
+  LoopbackPair pair;
+  const std::string frame = "{\"op\":\"ping\",\"pad\":\"0123456789abcdef\"}\n";
+  ASSERT_TRUE(pair.client.write_all(frame.data(), frame.size()));
+
+  ChaosSocket chaos(pair.server, model, /*seed=*/99);
+  std::string assembled;
+  char buffer[256];
+  while (assembled.size() < frame.size()) {
+    std::size_t got = 0;
+    ASSERT_EQ(chaos.read_some(buffer, sizeof(buffer), &got), Socket::Io::kOk);
+    ASSERT_GT(got, 0u);
+    ASSERT_LE(got, 4u);  // capped capacity: the fragmentation actually happened
+    assembled.append(buffer, got);
+  }
+  EXPECT_EQ(assembled, frame);
+  EXPECT_GE(chaos.counters().short_reads, frame.size() / 4);
+}
+
+}  // namespace
+}  // namespace repro::service

@@ -5,12 +5,25 @@
 // for identical configurations regardless of which thread evaluates them.
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
 #include "common/rng.hpp"
+#include "service/client.hpp"
 #include "tuner/objective.hpp"
 #include "tuner/search_space.hpp"
 
 namespace repro::service_test {
+
+/// ClientConfig for a loopback test server (designated-field construction
+/// keeps test call sites immune to new config fields).
+inline service::ClientConfig client_config(std::uint16_t port,
+                                           std::string name = "test") {
+  service::ClientConfig config;
+  config.port = port;
+  config.name = std::move(name);
+  return config;
+}
 
 /// 3 parameters, 8*8*6 = 384 points — big enough for real search dynamics,
 /// small enough that a 64-session stress test finishes quickly.

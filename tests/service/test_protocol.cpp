@@ -65,12 +65,27 @@ TEST(Framing, OversizedFrameIsRejectedBeforeTheNewlineArrives) {
   EXPECT_EQ(reader.next(&line), FrameStatus::kOversized);
 }
 
-TEST(Framing, PeerCloseMidFrameReportsClosed) {
+TEST(Framing, PeerCloseMidFrameReportsMidFrameEof) {
   LoopbackPair pair;
   FrameReader reader(pair.server);
   ASSERT_TRUE(pair.client.write_all("{\"partial\":", 11));
   pair.client.close();
   std::string line;
+  // The partial bytes surface as a yield first (progress without a frame)...
+  EXPECT_EQ(reader.next(&line), FrameStatus::kTimeout);
+  // ...then the close lands on a non-empty buffer: a torn stream, not an
+  // orderly between-frames close.
+  EXPECT_EQ(reader.next(&line), FrameStatus::kMidFrameEof);
+}
+
+TEST(Framing, PeerCloseBetweenFramesReportsClosed) {
+  LoopbackPair pair;
+  FrameReader reader(pair.server);
+  ASSERT_TRUE(pair.client.write_all("{\"a\":1}\n", 8));
+  pair.client.close();
+  std::string line;
+  ASSERT_EQ(reader.next(&line), FrameStatus::kOk);
+  EXPECT_EQ(line, "{\"a\":1}");
   EXPECT_EQ(reader.next(&line), FrameStatus::kClosed);
 }
 
@@ -213,7 +228,8 @@ TEST(Protocol, TuneResultRoundTrip) {
 TEST(Protocol, ErrorCodesRoundTripThroughText) {
   for (const ErrorCode code :
        {ErrorCode::kBadRequest, ErrorCode::kOversizedFrame, ErrorCode::kVersionMismatch,
-        ErrorCode::kSessionLimit, ErrorCode::kDraining, ErrorCode::kInternal}) {
+        ErrorCode::kSessionLimit, ErrorCode::kSessionEvicted, ErrorCode::kRetryLater,
+        ErrorCode::kDeadlineExceeded, ErrorCode::kDraining, ErrorCode::kInternal}) {
     EXPECT_EQ(error_code_from(to_string(code)), code);
   }
   EXPECT_EQ(error_code_from("no_such_code"), std::nullopt);

@@ -23,6 +23,7 @@
 namespace repro::service {
 namespace {
 
+using service_test::client_config;
 using service_test::synth_eval;
 using service_test::synth_objective;
 using service_test::tiny_space;
@@ -65,7 +66,7 @@ bool same_result(const tuner::TuneResult& a, const tuner::TuneResult& b) {
 TEST(Server, RemoteEqualsInProcessForAllPaperAlgorithms) {
   TuneServer server(fast_config());
   server.start();
-  Client client({"127.0.0.1", server.port(), "test"});
+  Client client(client_config(server.port()));
   client.connect();
 
   const tuner::ParamSpace space = tiny_space();
@@ -157,7 +158,7 @@ TEST(Server, OversizedFrameIsConnectionFatal) {
 TEST(Server, TypedSessionErrors) {
   TuneServer server(fast_config());
   server.start();
-  Client client({"127.0.0.1", server.port(), "test"});
+  Client client(client_config(server.port()));
   client.connect();
 
   try {
@@ -168,9 +169,19 @@ TEST(Server, TypedSessionErrors) {
   }
 
   const std::string session = client.open(tiny_open("rs", 10, 1));
-  ASSERT_TRUE(client.ask(session).has_value());
+  const auto first = client.ask(session);
+  ASSERT_TRUE(first.has_value());
+  // The client helper sends resume:true, so a repeated ask re-fetches the
+  // outstanding proposal (reconnect idempotency) instead of failing...
+  const auto again = client.ask(session);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *first);
+  // ...while a raw ask without resume still trips the typed ask_pending.
+  Json raw_ask = Json::object();
+  raw_ask.set("op", "ask");
+  raw_ask.set("session", session);
   try {
-    (void)client.ask(session);  // proposal already outstanding
+    (void)client.call(raw_ask);
     FAIL() << "expected ask_pending";
   } catch (const ProtocolError& error) {
     EXPECT_EQ(error.code, ErrorCode::kAskPending);
@@ -202,15 +213,18 @@ TEST(Server, SessionLimitIsEnforced) {
   config.limits.max_sessions = 2;
   TuneServer server(config);
   server.start();
-  Client client({"127.0.0.1", server.port(), "test"});
+  Client client(client_config(server.port()));
   client.connect();
   const std::string a = client.open(tiny_open("rs", 10, 1));
   const std::string b = client.open(tiny_open("rs", 10, 2));
   try {
     (void)client.open(tiny_open("rs", 10, 3));
-    FAIL() << "expected session limit";
+    FAIL() << "expected admission pushback";
   } catch (const ProtocolError& error) {
-    EXPECT_EQ(error.code, ErrorCode::kSessionLimit);
+    // Admission control answers the retryable kRetryLater with a backoff
+    // hint instead of the legacy hard kSessionLimit.
+    EXPECT_EQ(error.code, ErrorCode::kRetryLater);
+    EXPECT_GT(error.retry_after_ms, 0u);
   }
   client.close_session(a);
   // Freed capacity is reusable.
@@ -224,7 +238,7 @@ TEST(Server, SessionLimitIsEnforced) {
 TEST(Server, StatusReportsSessionsAndFailureTallies) {
   TuneServer server(fast_config());
   server.start();
-  Client client({"127.0.0.1", server.port(), "test"});
+  Client client(client_config(server.port()));
   client.connect();
 
   const std::string session = client.open(tiny_open("rs", 10, 1));
@@ -263,7 +277,7 @@ TEST(Server, IdleSessionsAreEvicted) {
   config.limits.idle_timeout = std::chrono::milliseconds(100);
   TuneServer server(config);
   server.start();
-  Client client({"127.0.0.1", server.port(), "test"});
+  Client client(client_config(server.port()));
   client.connect();
   const std::string session = client.open(tiny_open("rs", 10, 1));
   ASSERT_TRUE(client.ask(session).has_value());
@@ -277,7 +291,14 @@ TEST(Server, IdleSessionsAreEvicted) {
   EXPECT_GE(server.sessions().status().evicted, 1u);
   try {
     (void)client.ask(session);
-    FAIL() << "expected unknown session after eviction";
+    FAIL() << "expected eviction error";
+  } catch (const ProtocolError& error) {
+    // The tombstone distinguishes "reaped by policy" from "never existed".
+    EXPECT_EQ(error.code, ErrorCode::kSessionEvicted);
+  }
+  try {
+    (void)client.ask("s999");
+    FAIL() << "expected unknown session";
   } catch (const ProtocolError& error) {
     EXPECT_EQ(error.code, ErrorCode::kUnknownSession);
   }
@@ -288,7 +309,7 @@ TEST(Server, IdleSessionsAreEvicted) {
 TEST(Server, DrainRefusesNewSessionsThenCompletes) {
   TuneServer server(fast_config());
   server.start();
-  Client client({"127.0.0.1", server.port(), "test"});
+  Client client(client_config(server.port()));
   client.connect();
   const std::string session = client.open(tiny_open("rs", 5, 1));
 
@@ -340,7 +361,7 @@ TEST(Server, StressSixtyFourInterleavedSessions) {
   for (std::size_t t = 0; t < kClients; ++t) {
     threads.emplace_back([&, t] {
       try {
-        Client client({"127.0.0.1", server.port(), "stress"});
+        Client client(client_config(server.port(), "stress"));
         client.connect();
         struct Live {
           std::string id;

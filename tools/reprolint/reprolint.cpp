@@ -346,6 +346,12 @@ Options default_options() {
   options.allow.emplace_back("reprolint-wall-clock", "src/common/socket.");
   options.allow.emplace_back("reprolint-wall-clock", "bench/micro/");
   options.allow.emplace_back("reprolint-wall-clock", "tests/");
+  // The service layer is liveness plumbing, not measurement: request
+  // deadlines, idle-connection reaping, retry backoff, heartbeat pacing,
+  // and session idle-eviction all read the monotonic clock by design. No
+  // timestamp ever reaches a tuning result — search and evaluation stay
+  // wall-clock-free, which the rest of the lint still enforces.
+  options.allow.emplace_back("reprolint-wall-clock", "src/service/");
   // The pool implementation is the one sanctioned owner of raw threads;
   // tests spawn driver threads deliberately (race stress, loopback clients).
   options.allow.emplace_back("reprolint-raw-thread", "src/common/thread_pool.");
