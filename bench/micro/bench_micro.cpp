@@ -29,8 +29,9 @@ struct Options {
   std::string bin_dir;  // default: directory of argv[0]
 };
 
-const char* const kSuites[] = {"micro_gp", "micro_tuners", "micro_simulator",
-                               "micro_service", "micro_wal", "micro_lint"};
+const char* const kSuites[] = {"micro_gp",      "micro_tuners", "micro_simulator",
+                               "micro_service", "micro_wal",    "micro_cluster",
+                               "micro_lint"};
 
 /// Minimal structural validation: we do not ship a JSON parser, but a
 /// google-benchmark report must be a balanced object that contains a

@@ -16,14 +16,37 @@ ByteIo& Client::stream() noexcept {
 
 void Client::connect() {
   if (connected_) return;
+  // Candidate order is deterministic: the endpoint list front-to-back (or
+  // the single host/port). The first endpoint to both accept and complete
+  // the hello handshake wins; a handshake-time transport failure moves on
+  // to the next candidate, a typed refusal (e.g. version_mismatch) is the
+  // server's verdict and propagates.
+  std::vector<ClientConfig::Endpoint> candidates = config_.endpoints;
+  if (candidates.empty()) candidates.push_back({config_.host, config_.port});
+  std::string failures;
+  for (std::size_t index = 0; index < candidates.size(); ++index) {
+    const ClientConfig::Endpoint& endpoint = candidates[index];
+    try {
+      connect_one(endpoint.host, endpoint.port);
+      endpoint_index_ = index;
+      return;
+    } catch (const ClientError& error) {
+      if (!failures.empty()) failures += "; ";
+      failures += error.what();
+    }
+  }
+  throw ClientError(ClientError::Kind::kConnect,
+                    "no endpoint reachable: " + failures);
+}
+
+void Client::connect_one(const std::string& host, std::uint16_t port) {
   try {
-    socket_ = config_.host == "127.0.0.1"
-                  ? Socket::connect_loopback(config_.port)
-                  : Socket::connect_tcp(config_.host, config_.port);
+    socket_ = host == "127.0.0.1" ? Socket::connect_loopback(port)
+                                  : Socket::connect_tcp(host, port);
   } catch (const std::exception& error) {
     throw ClientError(ClientError::Kind::kConnect,
-                      "connect to " + config_.host + ":" +
-                          std::to_string(config_.port) + " failed: " + error.what());
+                      "connect to " + host + ":" +
+                          std::to_string(port) + " failed: " + error.what());
   }
   if (config_.chaos.enabled) {
     // Fresh injector per connection: fault placement is reproducible for a

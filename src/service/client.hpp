@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/socket.hpp"
 #include "service/chaos_socket.hpp"
@@ -60,6 +61,18 @@ struct ClientConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::string name = "tune_client/1";
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+  };
+  /// Client-side failover list. When non-empty it overrides host/port:
+  /// every (re)connect walks the list *from the front* and takes the first
+  /// endpoint that accepts and completes the hello handshake. The order is
+  /// deterministic by design — identical runs dial identical endpoints —
+  /// and a recovered earlier endpoint is preferred again on the next
+  /// reconnect (sessions are addressed by id, not by connection, and with
+  /// a cluster behind the list any router can route any session).
+  std::vector<Endpoint> endpoints;
   /// Transport-failure retries per request (idempotent requests only).
   /// 0 = fail fast (legacy behavior).
   std::size_t max_retries = 0;
@@ -133,11 +146,16 @@ class Client {
   /// Reconnects performed over this client's lifetime (excludes the first
   /// connect()).
   [[nodiscard]] std::size_t reconnects() const noexcept { return reconnects_; }
+  /// Index into config.endpoints the current (or last) connection used
+  /// (always 0 when endpoints is empty).
+  [[nodiscard]] std::size_t endpoint_index() const noexcept { return endpoint_index_; }
 
  private:
   /// The stream the framing layer uses: the chaos injector when enabled,
   /// the raw socket otherwise.
   [[nodiscard]] ByteIo& stream() noexcept;
+  /// Dial + handshake one endpoint; throws ClientError/ProtocolError.
+  void connect_one(const std::string& host, std::uint16_t port);
   /// call() + reconnect/backoff/RETRY_LATER handling. `idempotent` gates
   /// transport-failure replays; RETRY_LATER is honored either way.
   Json call_resilient(const Json& request, bool idempotent);
@@ -149,6 +167,7 @@ class Client {
   std::optional<FrameReader> reader_;
   bool connected_ = false;
   std::uint64_t connect_count_ = 0;
+  std::size_t endpoint_index_ = 0;
   std::size_t retries_ = 0;
   std::size_t reconnects_ = 0;
   std::uint64_t open_counter_ = 0;

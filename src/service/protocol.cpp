@@ -22,6 +22,7 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kRetryLater: return "retry_later";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kDraining: return "draining";
+    case ErrorCode::kWrongRole: return "wrong_role";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";
@@ -35,7 +36,7 @@ std::optional<ErrorCode> error_code_from(std::string_view text) noexcept {
         ErrorCode::kSessionEvicted, ErrorCode::kAskPending,
         ErrorCode::kNoAskOutstanding, ErrorCode::kSessionLimit,
         ErrorCode::kRetryLater, ErrorCode::kDeadlineExceeded, ErrorCode::kDraining,
-        ErrorCode::kInternal}) {
+        ErrorCode::kWrongRole, ErrorCode::kInternal}) {
     if (text == to_string(code)) return code;
   }
   return std::nullopt;

@@ -37,6 +37,13 @@
 //     returns the existing session instead of creating a second one.
 //   - admission-control pushback is the error retry_later, carrying
 //     "retry_after_ms".
+//   - cluster replication ops (advertised as the "cluster" feature): a
+//     primary shard streams WAL records to its hot standby as
+//     ship_open/ship_tell/ship_close/ship_evict frames (acked only after
+//     the standby has fsync'd and applied the record), and the router
+//     promotes a standby with {"op":"promote"}. A standby answers normal
+//     session ops — and a primary answers ship_*/promote — with the typed
+//     error wrong_role. status additionally reports "role".
 // The full grammar and session lifecycle live in docs/SERVICE.md.
 
 #include <cstddef>
@@ -84,6 +91,9 @@ enum class ErrorCode {
   kDeadlineExceeded, ///< the request's deadline_ms expired before the
                      ///< blocking op completed; session state is untouched
   kDraining,         ///< server is shutting down, no new sessions
+  kWrongRole,        ///< session op sent to a standby, or a ship_*/promote op
+                     ///< sent to a primary; the peer should re-resolve which
+                     ///< endpoint currently holds the role it wants
   kInternal,         ///< search thread died with an unexpected exception
 };
 

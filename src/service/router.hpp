@@ -1,0 +1,212 @@
+#pragma once
+// `tunelb`: session-affine front router for a sharded `tuned` cluster.
+//
+// Topology. N shards, each a primary `tuned` plus an optional hot standby
+// the primary ships its WAL to (service/wal_ship.hpp). The router is the
+// only endpoint clients need: it speaks the same JSON-lines protocol,
+// places each new session on a shard, and forwards session ops by id.
+//
+// Placement. Consistent hashing over a ring of virtual nodes
+// (ring_replicas per shard, FNV-1a over "shard-<idx>#<replica>"). The
+// placement key is the open's idempotency token when present — a retried
+// open lands on the same shard even through a different router — else a
+// router-local anonymous counter. Down shards are skipped by walking the
+// ring; when every shard is down the open is answered retry_later.
+//
+// Naming. Session ids returned to clients are namespaced "<shard>:<sid>"
+// so routing is stateless: any router (including one that just restarted)
+// can route any session op without a session table.
+//
+// Health. A prober thread walks the shards every probe_interval and
+// assigns each a typed state: kUp (responding, replication healthy or
+// off), kDegraded (responding, but shipping to its standby is down or the
+// shard reports fenced/draining), kDown (unreachable for
+// probe_failures_before_down consecutive probes). A shard observed down —
+// by the prober or synchronously by a forwarding failure — with a standby
+// configured is failed over: the standby gets {"op":"promote"} and
+// becomes the shard's endpoint (the old primary, if it ever comes back,
+// fences itself on the standby's wrong_role answers).
+//
+// Forwarding & retry. Each client connection owns its own downstream
+// clients (per shard, tagged with the shard's endpoint generation), so a
+// blocking ask parks only its own connection. A transport failure
+// triggers fail-over, then the request is retried on the shard's current
+// endpoint — but only when the request is idempotent (open with token,
+// tell with seq, ask with resume, result/status/ping). Non-idempotent
+// requests surface the transport error to the client, which owns the
+// retry decision. retry_later pushback from a shard is propagated
+// verbatim, hint included.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/socket.hpp"
+#include "common/thread_annotations.hpp"
+#include "common/thread_pool.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+
+namespace repro::service {
+
+enum class ShardHealth { kUp, kDegraded, kDown };
+
+[[nodiscard]] const char* to_string(ShardHealth health) noexcept;
+
+/// One shard's addresses. standby_port == 0 means no standby (a failure
+/// of the primary is then an outage for that shard's sessions).
+struct ShardEndpoints {
+  std::string primary_host = "127.0.0.1";
+  std::uint16_t primary_port = 0;
+  std::string standby_host = "127.0.0.1";
+  std::uint16_t standby_port = 0;
+};
+
+struct RouterConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  std::vector<ShardEndpoints> shards;
+  std::size_t connection_threads = 8;
+  /// Accept/read timeout tick (shutdown latency).
+  std::chrono::milliseconds poll_interval{200};
+  /// Health-probe cadence; <=0 disables the prober thread (failover then
+  /// happens only synchronously, on forwarding failures).
+  std::chrono::milliseconds probe_interval{500};
+  /// Per-probe RPC budget (connect + hello + status).
+  std::chrono::milliseconds probe_timeout{2000};
+  /// Consecutive failed probes before a shard is declared kDown (and, with
+  /// a standby, failed over). >=1.
+  std::size_t probe_failures_before_down = 2;
+  /// Virtual nodes per shard on the placement ring.
+  std::size_t ring_replicas = 64;
+  /// Socket send timeout towards clients.
+  std::chrono::milliseconds write_timeout{10000};
+  std::string name = "tunelb/1";
+};
+
+/// Snapshot of one shard's routing state (status endpoint + tests).
+struct ShardSnapshot {
+  std::size_t index = 0;
+  std::string host;
+  std::uint16_t port = 0;
+  ShardHealth health = ShardHealth::kUp;
+  bool has_standby = false;
+  std::size_t promotions = 0;   ///< failovers performed on this shard
+  std::uint64_t generation = 0; ///< bumps on every endpoint change
+  std::size_t sessions_placed = 0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Bind, listen, spawn the accept + prober threads. Throws
+  /// std::runtime_error when config is unusable (no shards) or the port
+  /// cannot be bound.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept;
+
+  [[nodiscard]] std::vector<ShardSnapshot> shards() const;
+  /// Force one synchronous probe pass (tests; the prober thread does the
+  /// same on its own cadence).
+  void probe_now();
+
+ private:
+  struct ShardState {
+    ShardEndpoints endpoints;       ///< current primary in the primary_* slots
+    ShardHealth health = ShardHealth::kUp;
+    bool standby_available = false; ///< a standby remains to fail over to
+    std::size_t promotions = 0;
+    std::uint64_t generation = 0;
+    std::size_t consecutive_probe_failures = 0;
+    std::size_t sessions_placed = 0;
+  };
+
+  /// Downstream connections owned by one client connection; `generation`
+  /// tags which endpoint the cached client talks to.
+  struct DownstreamSlot {
+    std::unique_ptr<Client> client;
+    std::uint64_t generation = 0;
+  };
+  using Downstreams = std::unordered_map<std::size_t, DownstreamSlot>;
+
+  void accept_loop();
+  void probe_loop();
+  void handle_connection(std::uint64_t id);
+  [[nodiscard]] Json dispatch(const Json& request, Downstreams& downstreams,
+                              bool* hello_done, bool* fatal);
+  /// Forward `request` (session already rewritten) to `shard`, with
+  /// failover + single retry when `idempotent`.
+  [[nodiscard]] Json forward(std::size_t shard, Json request, bool idempotent,
+                             Downstreams& downstreams);
+  [[nodiscard]] Json route_open(const Json& request, Downstreams& downstreams);
+  [[nodiscard]] Json aggregate_status();
+
+  /// Pick the open-placement shard for `key` by walking the ring past down
+  /// shards. nullopt when every shard is down.
+  [[nodiscard]] std::optional<std::size_t> place(const std::string& key) const;
+
+  /// Current endpoint + generation for a shard (what a downstream client
+  /// should dial).
+  struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+    std::uint64_t generation = 0;
+  };
+  [[nodiscard]] Endpoint endpoint(std::size_t shard) const;
+
+  /// React to an observed failure of `shard` at endpoint generation
+  /// `observed_generation`: re-probe, and when the primary is really dead,
+  /// promote the standby (if any) and swap endpoints. Returns true when
+  /// the shard has a (possibly new) endpoint worth retrying against.
+  bool fail_over(std::size_t shard, std::uint64_t observed_generation);
+
+  /// One health probe of one shard; updates health/counters. Promotes via
+  /// fail_over() when the down threshold is crossed.
+  void probe_shard(std::size_t shard);
+
+  RouterConfig config_;
+  std::uint16_t port_ = 0;
+  ListenSocket listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Dedicated accept + prober threads by design: pool workers handle
+  /// (blocking) client connections and must not starve accept or health.
+  std::thread accept_thread_;  // NOLINT(reprolint-raw-thread)
+  std::thread probe_thread_;   // NOLINT(reprolint-raw-thread)
+
+  mutable repro::Mutex mutex_;
+  std::vector<ShardState> shard_states_ GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::shared_ptr<Socket>> connections_
+      GUARDED_BY(mutex_);
+  std::uint64_t next_connection_id_ GUARDED_BY(mutex_) = 1;
+  std::uint64_t anon_opens_ GUARDED_BY(mutex_) = 0;
+  std::size_t reroutes_ GUARDED_BY(mutex_) = 0;  ///< idempotent retries after failover
+  bool started_ GUARDED_BY(mutex_) = false;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+
+  /// Placement ring: (hash, shard index), sorted by hash. Built once in
+  /// start(); immutable afterwards (down shards are skipped at lookup).
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+/// Split a namespaced "<shard>:<sid>" session id. Returns nullopt when the
+/// prefix is missing or not a valid shard index below `shard_count`.
+[[nodiscard]] std::optional<std::pair<std::size_t, std::string>> split_session_id(
+    const std::string& id, std::size_t shard_count);
+
+/// FNV-1a 64-bit (placement hashing; stable across platforms/runs).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+}  // namespace repro::service

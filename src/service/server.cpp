@@ -20,7 +20,9 @@ namespace {
 }  // namespace
 
 TuneServer::TuneServer(ServerConfig config)
-    : config_(std::move(config)), manager_(std::make_unique<SessionManager>(config_.limits)) {}
+    : config_(std::move(config)), manager_(std::make_unique<SessionManager>(config_.limits)) {
+  standby_ = config_.standby;
+}
 
 TuneServer::~TuneServer() { stop(); }
 
@@ -40,6 +42,10 @@ void TuneServer::start() {
              stats.tells_replayed, stats.sessions_failed, stats.torn_tails,
              stats.closed_discarded, stats.evicted_tombstones);
   }
+  // Eager first ship connect (+ resync of recovered sessions) so `status`
+  // reports replication health from the first probe. Failure just leaves
+  // the shard degraded; the next ship attempt retries.
+  manager_->connect_shipper();
   listener_ = ListenSocket::listen_loopback(config_.port);
   listener_.set_accept_timeout(config_.poll_interval);
   port_ = listener_.port();
@@ -47,8 +53,22 @@ void TuneServer::start() {
   // Dedicated accept thread by design (see the member's comment in the header).
   accept_thread_ = std::thread([this] { accept_loop(); });  // NOLINT(reprolint-raw-thread)
   log_info("tuned: listening on 127.0.0.1:{} ({} connection workers, "
-           "max {} sessions)",
-           port_, config_.connection_threads, config_.limits.max_sessions);
+           "max {} sessions{})",
+           port_, config_.connection_threads, config_.limits.max_sessions,
+           config_.standby ? ", standby" : "");
+}
+
+bool TuneServer::standby() const noexcept {
+  repro::MutexLock lock(mutex_);
+  return standby_;
+}
+
+void TuneServer::promote() {
+  repro::MutexLock lock(mutex_);
+  if (!standby_) return;
+  standby_ = false;
+  ++promotions_;
+  log_info("tuned: promoted to primary ({} live sessions, hot)", manager_->live());
 }
 
 bool TuneServer::running() const noexcept {
@@ -135,8 +155,11 @@ void TuneServer::accept_loop() {
     Socket socket;
     const Socket::Io io = listener_.accept(&socket);
     if (io == Socket::Io::kTimeout) {
-      // The accept tick doubles as the idle-eviction heartbeat.
-      (void)manager_->evict_idle();
+      // The accept tick doubles as the idle-eviction heartbeat. A standby
+      // must not run its own idle clock: its sessions only see activity
+      // when records arrive, so it evicts exactly when the primary ships a
+      // ship_evict record (keeping both sides' tombstones in lockstep).
+      if (!standby()) (void)manager_->evict_idle();
       continue;
     }
     if (io == Socket::Io::kClosed) return;  // stop() or drain() closed us
@@ -271,7 +294,7 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
       // protocol header); old servers simply omit the list.
       Json features = Json::array();
       for (const char* feature :
-           {"deadline_ms", "seq", "resume", "token", "retry_later"})
+           {"deadline_ms", "seq", "resume", "token", "retry_later", "cluster"})
         features.push_back(feature);
       response.set("features", std::move(features));
       return response;
@@ -281,6 +304,62 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
                         "first frame must be a hello handshake");
     }
     if (op == "ping") return make_ok();
+    const bool is_session_op = op == "open" || op == "ask" || op == "tell" ||
+                               op == "result" || op == "close";
+    const bool is_ship_op = op == "ship_open" || op == "ship_tell" ||
+                            op == "ship_close" || op == "ship_evict";
+    if (is_session_op && standby()) {
+      return make_error(ErrorCode::kWrongRole,
+                        "this daemon is a hot standby; session ops belong on "
+                        "the primary (or promote this one first)");
+    }
+    if (is_ship_op && !standby()) {
+      // A fenced ex-primary must never accept replication records; the
+      // shipper on the other side fences itself on this answer.
+      return make_error(ErrorCode::kWrongRole,
+                        "this daemon is a primary; ship_* records belong on "
+                        "a standby");
+    }
+    if (op == "ship_open") {
+      const std::string session = require_string(request, "session");
+      const Json* open_field = request.find("open");
+      if (open_field == nullptr)
+        return make_error(ErrorCode::kBadRequest, "ship_open requires 'open'");
+      const OpenParams params = decode_open(*open_field);
+      std::string token;
+      if (const Json* field = request.find("token")) token = field->as_string();
+      manager_->open_replica(session, params, token);
+      return make_ok();
+    }
+    if (op == "ship_tell") {
+      const std::string session = require_string(request, "session");
+      const std::uint64_t seq = require_uint(request, "seq");
+      const Json* config_field = request.find("config");
+      if (config_field == nullptr)
+        return make_error(ErrorCode::kBadRequest, "ship_tell requires 'config'");
+      const tuner::Configuration config = decode_config(*config_field);
+      const tuner::Evaluation evaluation = decode_evaluation(request);
+      const SessionManager::TellAck ack =
+          manager_->apply_replica_tell(session, seq, config, evaluation);
+      Json response = make_ok();
+      response.set("remaining", static_cast<std::uint64_t>(ack.remaining));
+      if (ack.duplicate) response.set("duplicate", true);
+      return response;
+    }
+    if (op == "ship_close") {
+      manager_->close_replica(require_string(request, "session"));
+      return make_ok();
+    }
+    if (op == "ship_evict") {
+      manager_->evict_replica(require_string(request, "session"));
+      return make_ok();
+    }
+    if (op == "promote") {
+      // Idempotent: promoting a primary is a no-op ack, so a router that
+      // lost the first response can safely retry.
+      promote();
+      return make_ok();
+    }
     if (op == "open") {
       {
         repro::MutexLock lock(mutex_);
@@ -361,8 +440,24 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
                      static_cast<std::uint64_t>(report.recovery.evicted_tombstones));
         response.set("recovery", std::move(recovery));
       }
+      response.set("ship_enabled", report.ship_enabled);
+      if (report.ship_enabled) {
+        response.set("ship_connected", report.ship_connected);
+        response.set("ship_fenced", report.ship_fenced);
+        Json ship = Json::object();
+        ship.set("records_shipped",
+                 static_cast<std::uint64_t>(report.ship.records_shipped));
+        ship.set("duplicates_acked",
+                 static_cast<std::uint64_t>(report.ship.duplicates_acked));
+        ship.set("resyncs", static_cast<std::uint64_t>(report.ship.resyncs));
+        ship.set("reconnects", static_cast<std::uint64_t>(report.ship.reconnects));
+        ship.set("failures", static_cast<std::uint64_t>(report.ship.failures));
+        response.set("ship", std::move(ship));
+      }
       {
         repro::MutexLock lock(mutex_);
+        response.set("role", standby_ ? "standby" : "primary");
+        response.set("promotions", static_cast<std::uint64_t>(promotions_));
         response.set("draining", draining_ || stopping_);
         response.set("active_connections",
                      static_cast<std::uint64_t>(connections_.size()));

@@ -49,6 +49,11 @@ struct ServerConfig {
   /// with a retry_later error frame and closed. 0 = unlimited (the worker
   /// pool still bounds concurrent *service*; queued connections just wait).
   std::size_t max_connections = 0;
+  /// Start as a hot standby: refuse normal session ops with wrong_role and
+  /// accept ship_* records from a primary instead, until a promote op (or
+  /// promote()) flips the role. A primary (standby=false) conversely
+  /// refuses ship_*/promote with wrong_role.
+  bool standby = false;
   std::string name = "tuned/1";
 };
 
@@ -77,6 +82,13 @@ class TuneServer {
   /// Hard stop: close listener + connections, cancel sessions, join
   /// everything. Idempotent.
   void stop();
+
+  /// True while acting as a hot standby (refusing session ops).
+  [[nodiscard]] bool standby() const noexcept;
+  /// Flip a standby to primary (idempotent; also reachable over the wire
+  /// via {"op":"promote"}). Shipped sessions are already live, so the
+  /// promoted shard serves its first ask with no replay delay.
+  void promote();
 
   [[nodiscard]] SessionManager& sessions() noexcept { return *manager_; }
   [[nodiscard]] const SessionManager& sessions() const noexcept { return *manager_; }
@@ -112,6 +124,8 @@ class TuneServer {
   bool started_ GUARDED_BY(mutex_) = false;
   bool stopping_ GUARDED_BY(mutex_) = false;
   bool draining_ GUARDED_BY(mutex_) = false;
+  bool standby_ GUARDED_BY(mutex_) = false;
+  std::size_t promotions_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace repro::service

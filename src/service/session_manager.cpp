@@ -17,7 +17,13 @@ constexpr std::size_t kTombstoneCap = 4096;
 
 }  // namespace
 
-SessionManager::SessionManager(SessionLimits limits) : limits_(std::move(limits)) {}
+SessionManager::SessionManager(SessionLimits limits) : limits_(std::move(limits)) {
+  if (limits_.ship.port != 0) {
+    ShipConfig ship = limits_.ship;
+    ship.state_dir = limits_.state_dir;  // resync source = our own journals
+    shipper_ = std::make_unique<WalShipper>(std::move(ship));
+  }
+}
 
 SessionManager::~SessionManager() { cancel_all(); }
 
@@ -74,6 +80,7 @@ RecoveryStats SessionManager::recover() {
       }
       managed->applied_seq =
           journal.tells.empty() ? 0 : journal.tells.back().seq;
+      managed->orphan_proposal = true;
       managed->wal = SessionWal::reattach(path, journal.valid_bytes);
 
       repro::MutexLock lock(mutex_);
@@ -185,6 +192,10 @@ std::string SessionManager::open(const OpenParams& params, const std::string& to
       ++wal_errors_;
     }
   }
+  // Replicate the open to the hot standby before the id is observable, for
+  // the same reason the journal is written first. A ship failure degrades
+  // the shard (resync repairs it later), it never fails the open.
+  if (shipper_ != nullptr) (void)shipper_->ship_open(id, token, params);
   log_debug("session {} opened: {} budget={} seed={}", id, params.algorithm,
             params.budget, params.seed);
   return id;
@@ -238,6 +249,7 @@ std::optional<tuner::Configuration> SessionManager::ask(
                            : managed->session.ask();
     repro::MutexLock lock(mutex_);
     ++asks_total_;
+    managed->orphan_proposal = false;
     return config;
   } catch (const tuner::AskPendingError& error) {
     throw ProtocolError(ErrorCode::kAskPending, error.what());
@@ -253,8 +265,10 @@ SessionManager::TellAck SessionManager::tell(const std::string& id,
                                              const tuner::Evaluation& evaluation,
                                              std::uint64_t seq) {
   const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
+  bool orphan = false;
   if (seq != 0) {
     repro::MutexLock lock(mutex_);
+    orphan = managed->orphan_proposal;
     if (seq <= managed->applied_seq) {
       // Retried frame whose first delivery was applied but whose ack was
       // lost. Acknowledge without re-applying.
@@ -272,17 +286,43 @@ SessionManager::TellAck SessionManager::tell(const std::string& id,
   }
   // Snapshot the proposal being answered before tell() clears it — it is
   // journaled alongside the measurement as a replay integrity check.
-  const std::optional<tuner::Configuration> config =
+  std::optional<tuner::Configuration> config =
       managed->session.outstanding_config();
   try {
     managed->session.tell(evaluation);
   } catch (const tuner::TellMismatchError& error) {
-    throw ProtocolError(ErrorCode::kNoAskOutstanding, error.what());
+    if (seq == 0 || !orphan)
+      throw ProtocolError(ErrorCode::kNoAskOutstanding, error.what());
+    // Failover race: the proposal this seq answers was handed out by a
+    // previous incarnation that died before the tell arrived (a promoted
+    // standby's replica sessions hold no outstanding ask; a recovered
+    // primary's replayed sessions don't either). The orphan flag proved
+    // no ask left THIS incarnation, the seq gate proved this is the next
+    // unapplied measurement, and the deterministic search re-proposes
+    // exactly the configuration the client evaluated — ask here and apply
+    // the retried tell to it.
+    try {
+      config = managed->session.ask();
+      if (!config)
+        throw ProtocolError(ErrorCode::kNoAskOutstanding,
+                            "retried tell " + std::to_string(seq) +
+                                " arrived after the search finished");
+      managed->session.tell(evaluation);
+    } catch (const tuner::AskPendingError& inner) {
+      throw ProtocolError(ErrorCode::kAskPending, inner.what());
+    } catch (const tuner::TellMismatchError& inner) {
+      throw ProtocolError(ErrorCode::kNoAskOutstanding, inner.what());
+    } catch (const tuner::SessionCancelled&) {
+      throw ProtocolError(ErrorCode::kSessionClosed,
+                          "session " + id + " was cancelled while the retried "
+                          "tell re-asked");
+    }
   }
   std::uint64_t applied = 0;
   {
     repro::MutexLock lock(mutex_);
     applied = managed->applied_seq = seq != 0 ? seq : managed->applied_seq + 1;
+    managed->orphan_proposal = false;
     ++tells_total_;
     tallies_.count(evaluation.status);
   }
@@ -293,6 +333,14 @@ SessionManager::TellAck SessionManager::tell(const std::string& id,
                                  evaluation)) {
     repro::MutexLock lock(mutex_);
     ++wal_errors_;
+  }
+  // Replication barrier: while the ship link is up, the ack also waits for
+  // the standby's fsync'd apply — an acknowledged tell then survives a
+  // primary SIGKILL with zero client-visible loss. On ship failure the
+  // shard keeps serving (degraded) and resync converges the standby later.
+  if (shipper_ != nullptr) {
+    (void)shipper_->ship_tell(id, applied, config.value_or(tuner::Configuration{}),
+                              evaluation);
   }
   const std::size_t told = managed->session.tells();
   const std::size_t budget = managed->session.budget();
@@ -343,6 +391,7 @@ void SessionManager::close(const std::string& id) {
     managed->wal.reset();
     (void)::unlink(path.c_str());
   }
+  if (shipper_ != nullptr) (void)shipper_->ship_close(id);
   // Cancel + destroy outside the lock: the session destructor joins the
   // search thread, which may need a moment to observe the cancel.
   managed->session.cancel();
@@ -377,11 +426,188 @@ std::size_t SessionManager::evict_idle() {
       repro::MutexLock lock(mutex_);
       ++wal_errors_;
     }
+    if (shipper_ != nullptr) (void)shipper_->ship_evict(id);
     managed->session.cancel();
     log_info("session {} evicted after {}ms idle", id,
              limits_.idle_timeout.count());
   }
   return victims.size();
+}
+
+std::shared_ptr<SessionManager::ManagedSession> SessionManager::register_session(
+    const std::string& id, const OpenParams& params, const std::string& token) {
+  {
+    repro::MutexLock lock(mutex_);
+    for (auto& [key, existing] : sessions_) {
+      if (key == id) return nullptr;  // already live: idempotent re-delivery
+    }
+    if (sessions_.size() >= limits_.max_sessions) {
+      throw ProtocolError(ErrorCode::kRetryLater,
+                          "session limit reached (" +
+                              std::to_string(limits_.max_sessions) + ")",
+                          limits_.retry_after_ms);
+    }
+  }
+  std::unique_ptr<tuner::SearchAlgorithm> algorithm;
+  try {
+    algorithm = tuner::make_algorithm(params.algorithm);
+  } catch (const std::out_of_range&) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "unknown algorithm: " + params.algorithm);
+  }
+  tuner::ParamSpace space = params.make_space();
+  auto managed = std::make_shared<ManagedSession>(
+      std::move(space), std::move(algorithm), params.budget, params.seed,
+      params.retry);
+  // Idle-eviction bookkeeping; never feeds tuning results.
+  managed->last_activity = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
+  managed->token = token;
+  {
+    repro::MutexLock lock(mutex_);
+    for (auto& [key, existing] : sessions_) {
+      if (key == id) {
+        // Lost a race against a concurrent delivery of the same record.
+        managed->session.cancel();
+        return nullptr;
+      }
+    }
+    if (sessions_.size() >= limits_.max_sessions) {
+      managed->session.cancel();
+      throw ProtocolError(ErrorCode::kRetryLater,
+                          "session limit reached (" +
+                              std::to_string(limits_.max_sessions) + ")",
+                          limits_.retry_after_ms);
+    }
+    sessions_.emplace_back(id, managed);
+    ++opened_;
+    // Keep locally-minted ids clear of the adopted one ("s<N>" scheme).
+    if (id.size() > 1 && id[0] == 's') {
+      try {
+        next_id_ = std::max<std::uint64_t>(next_id_, std::stoull(id.substr(1)) + 1);
+      } catch (const std::exception&) {
+        // Foreign id scheme; fresh ids cannot collide with it.
+      }
+    }
+  }
+  return managed;
+}
+
+void SessionManager::open_replica(const std::string& id, const OpenParams& params,
+                                  const std::string& token) {
+  const std::shared_ptr<ManagedSession> managed = register_session(id, params, token);
+  if (managed == nullptr) return;  // duplicate ship_open: already applied
+  {
+    // Replica sessions never serve asks; if this one ever faces a client
+    // (promotion), its outstanding proposal lives on the deposed primary.
+    repro::MutexLock lock(mutex_);
+    managed->orphan_proposal = true;
+  }
+  // The replica journals too: a follower crash (or a promoted follower's
+  // later crash) recovers through the ordinary recover() path.
+  if (!limits_.state_dir.empty()) {
+    managed->wal =
+        SessionWal::create(wal_path(limits_.state_dir, id), id, token, params);
+    if (managed->wal == nullptr) {
+      repro::MutexLock lock(mutex_);
+      ++wal_errors_;
+    }
+  }
+  log_debug("replica session {} opened: {} budget={} seed={}", id,
+            params.algorithm, params.budget, params.seed);
+}
+
+SessionManager::TellAck SessionManager::apply_replica_tell(
+    const std::string& id, std::uint64_t seq, const tuner::Configuration& config,
+    const tuner::Evaluation& evaluation) {
+  const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
+  {
+    repro::MutexLock lock(mutex_);
+    if (seq != 0 && seq <= managed->applied_seq) {
+      // Resync re-ships whole journals; records at or below the watermark
+      // were applied by an earlier delivery.
+      ++duplicate_tells_;
+      const std::size_t told = managed->session.tells();
+      const std::size_t budget = managed->session.budget();
+      return TellAck{told >= budget ? 0 : budget - told, true};
+    }
+    if (seq != 0 && seq != managed->applied_seq + 1) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "ship_tell seq gap: got " + std::to_string(seq) +
+                              ", expected " +
+                              std::to_string(managed->applied_seq + 1));
+    }
+  }
+  // The replay step recover() performs per journal record, done live: the
+  // deterministic search must re-propose exactly the shipped config, or
+  // this replica does not mirror the primary and must refuse the record.
+  std::optional<tuner::Configuration> proposal;
+  try {
+    proposal = managed->session.ask();
+  } catch (const tuner::AskPendingError&) {
+    proposal = managed->session.outstanding_config();
+  } catch (const tuner::SessionCancelled&) {
+    throw ProtocolError(ErrorCode::kSessionClosed,
+                        "replica session " + id + " was cancelled");
+  }
+  if (!proposal || *proposal != config) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "replica diverged from shipped record at seq " +
+                            std::to_string(seq));
+  }
+  try {
+    managed->session.tell(evaluation);
+  } catch (const tuner::TellMismatchError& error) {
+    throw ProtocolError(ErrorCode::kNoAskOutstanding, error.what());
+  }
+  std::uint64_t applied = 0;
+  {
+    repro::MutexLock lock(mutex_);
+    applied = managed->applied_seq = seq != 0 ? seq : managed->applied_seq + 1;
+    ++tells_total_;
+    tallies_.count(evaluation.status);
+  }
+  // Same durability barrier as the primary: the ship ack must not leave
+  // before this record is on the follower's disk.
+  if (managed->wal != nullptr && !managed->wal->append_tell(applied, config, evaluation)) {
+    repro::MutexLock lock(mutex_);
+    ++wal_errors_;
+  }
+  const std::size_t told = managed->session.tells();
+  const std::size_t budget = managed->session.budget();
+  return TellAck{told >= budget ? 0 : budget - told, false};
+}
+
+void SessionManager::close_replica(const std::string& id) {
+  try {
+    close(id);
+  } catch (const ProtocolError&) {
+    // Duplicate ship_close (or close of a session an earlier resync never
+    // created): the end state — no such session — already holds.
+  }
+}
+
+void SessionManager::evict_replica(const std::string& id) {
+  std::shared_ptr<ManagedSession> managed;
+  {
+    repro::MutexLock lock(mutex_);
+    const auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                                 [&](const auto& entry) { return entry.first == id; });
+    add_tombstone(id);
+    if (it == sessions_.end()) return;  // duplicate delivery
+    managed = std::move(it->second);
+    sessions_.erase(it);
+    ++evicted_;
+  }
+  if (managed->wal != nullptr && !managed->wal->append_evicted()) {
+    repro::MutexLock lock(mutex_);
+    ++wal_errors_;
+  }
+  managed->session.cancel();
+  log_debug("replica session {} evicted (shipped record)", id);
+}
+
+void SessionManager::connect_shipper() {
+  if (shipper_ != nullptr) (void)shipper_->connect_now();
 }
 
 void SessionManager::cancel_all() {
@@ -417,6 +643,12 @@ StatusReport SessionManager::status() const {
   report.wal_enabled = !limits_.state_dir.empty();
   report.recovery = recovery_;
   report.tallies = tallies_;
+  if (shipper_ != nullptr) {
+    report.ship_enabled = true;
+    report.ship_connected = shipper_->connected();
+    report.ship_fenced = shipper_->fenced();
+    report.ship = shipper_->counters();
+  }
   for (const auto& [id, managed] : sessions_) {
     if (managed->session.finished()) ++report.finished;
   }

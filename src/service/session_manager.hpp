@@ -38,6 +38,7 @@
 #include "common/thread_annotations.hpp"
 #include "service/protocol.hpp"
 #include "service/session_wal.hpp"
+#include "service/wal_ship.hpp"
 #include "tuner/ask_tell.hpp"
 
 namespace repro::service {
@@ -49,6 +50,10 @@ struct SessionLimits {
   std::string state_dir;
   /// Backoff hint carried by kRetryLater admission pushback.
   std::uint64_t retry_after_ms = 250;
+  /// Hot-standby replication target (ship.port == 0 disables). Requires a
+  /// state_dir: the local journals are the resync source after an outage.
+  /// ship.state_dir is filled from state_dir by the manager.
+  ShipConfig ship;
 };
 
 /// What recover() found in the state dir at startup.
@@ -78,6 +83,11 @@ struct StatusReport {
   bool wal_enabled = false;
   RecoveryStats recovery;  ///< from the last recover() call
   tuner::FailureCounters tallies;
+  /// Replication state (meaningful only when ship_enabled).
+  bool ship_enabled = false;
+  bool ship_connected = false;  ///< false while enabled = shard is degraded
+  bool ship_fenced = false;     ///< follower was promoted; this shard is stale
+  ShipCounters ship;
 };
 
 /// One live session snapshot (status endpoint detail rows).
@@ -160,6 +170,38 @@ class SessionManager {
   /// recovered — not lost — on the next start.
   void cancel_all();
 
+  // --- standby (replica) apply path ----------------------------------------
+  // These are the receiving half of WAL shipping: a follower daemon applies
+  // shipped records through them. Each is idempotent against duplicate
+  // delivery (resync re-ships whole journals), appends to the follower's own
+  // journal before returning, and reuses the exact replay machinery of
+  // recover() — the session state a standby holds is byte-identical to the
+  // primary's.
+
+  /// Apply a shipped open: create the session under the *primary's* id.
+  /// Re-delivery of a known id is acknowledged idempotently. Throws
+  /// ProtocolError kBadRequest on an unknown algorithm/space and
+  /// kRetryLater at the session cap.
+  void open_replica(const std::string& id, const OpenParams& params,
+                    const std::string& token);
+
+  /// Apply a shipped tell: ask the live session for its next proposal,
+  /// verify it matches the shipped config (divergence = kBadRequest: the
+  /// replica does not mirror the primary and must not pretend to), then
+  /// tell. seq at or below the applied watermark is acked as duplicate.
+  TellAck apply_replica_tell(const std::string& id, std::uint64_t seq,
+                             const tuner::Configuration& config,
+                             const tuner::Evaluation& evaluation);
+
+  /// Apply a shipped close/evict terminal record. Both tolerate an unknown
+  /// id (duplicate delivery after the first already removed the session).
+  void close_replica(const std::string& id);
+  void evict_replica(const std::string& id);
+
+  /// Attempt the first follower connection (+ resync) eagerly so `status`
+  /// reflects replication health immediately. No-op without ship config.
+  void connect_shipper();
+
   [[nodiscard]] std::size_t live() const;
   [[nodiscard]] StatusReport status() const;
   [[nodiscard]] std::vector<SessionInfo> sessions() const;
@@ -188,9 +230,19 @@ class SessionManager {
     std::chrono::steady_clock::time_point last_activity;
     /// Highest tell seq applied (idempotency watermark).
     std::uint64_t applied_seq = 0;
+    /// True while the proposal a client may be answering was handed out by
+    /// a previous incarnation (journal replay) or by the deposed primary
+    /// (replica sessions never serve asks). Gates the tell re-ask amnesty;
+    /// cleared the moment this incarnation serves the session a client op.
+    bool orphan_proposal = false;
   };
 
   [[nodiscard]] std::shared_ptr<ManagedSession> find_and_touch(const std::string& id);
+  /// Construct + register a session under a caller-chosen id (replica /
+  /// recovery path). Returns nullptr when the id is already live.
+  std::shared_ptr<ManagedSession> register_session(const std::string& id,
+                                                   const OpenParams& params,
+                                                   const std::string& token);
   /// Register an evicted id so later ops can be told the session was
   /// reaped (not "never existed"). Bounded FIFO. Requires mutex_.
   void add_tombstone(const std::string& id) REQUIRES(mutex_);
@@ -211,6 +263,10 @@ class SessionManager {
   std::size_t wal_errors_ GUARDED_BY(mutex_) = 0;
   RecoveryStats recovery_ GUARDED_BY(mutex_);
   tuner::FailureCounters tallies_ GUARDED_BY(mutex_);
+  /// Primary-side replication; null unless limits_.ship.port != 0. Own
+  /// internal lock — ship calls must not (and do not) hold mutex_, they
+  /// block on the follower's network ack.
+  std::unique_ptr<WalShipper> shipper_;
 };
 
 }  // namespace repro::service

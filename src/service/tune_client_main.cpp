@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <set>
@@ -106,11 +107,44 @@ int main(int argc, char** argv) {
                  "bound blocking ask/result waits and re-issue them, keeping "
                  "the connection live (0 disables)",
                  "0");
+  cli.add_option("endpoints",
+                 "comma-separated 'host:port' (or bare port) failover list; "
+                 "every (re)connect walks it front-to-back deterministically "
+                 "(overrides --host/--port)",
+                 "");
   if (!cli.parse(argc, argv)) return 2;
 
   const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
-  if (port == 0) {
-    std::fprintf(stderr, "tune_client: --port is required\n%s", cli.usage().c_str());
+  std::vector<service::ClientConfig::Endpoint> endpoints;
+  {
+    const std::string text = cli.get("endpoints");
+    std::string item;
+    for (const char c : text + ",") {
+      if (c != ',') {
+        item.push_back(c);
+        continue;
+      }
+      if (item.empty()) continue;
+      service::ClientConfig::Endpoint endpoint;
+      const std::size_t colon = item.rfind(':');
+      const std::string port_text =
+          colon == std::string::npos ? item : item.substr(colon + 1);
+      if (colon != std::string::npos && colon > 0)
+        endpoint.host = item.substr(0, colon);
+      endpoint.port = static_cast<std::uint16_t>(
+          std::strtoul(port_text.c_str(), nullptr, 10));
+      if (endpoint.port == 0) {
+        std::fprintf(stderr, "tune_client: bad --endpoints entry '%s'\n",
+                     item.c_str());
+        return 2;
+      }
+      endpoints.push_back(endpoint);
+      item.clear();
+    }
+  }
+  if (port == 0 && endpoints.empty()) {
+    std::fprintf(stderr, "tune_client: --port or --endpoints is required\n%s",
+                 cli.usage().c_str());
     return 2;
   }
   const std::size_t budget = static_cast<std::size_t>(cli.get_int("budget"));
@@ -144,6 +178,7 @@ int main(int argc, char** argv) {
   service::ClientConfig client_config;
   client_config.host = cli.get("host");
   client_config.port = port;
+  client_config.endpoints = std::move(endpoints);
   client_config.max_retries = static_cast<std::size_t>(cli.get_int("retries"));
   client_config.heartbeat_ms = static_cast<std::uint64_t>(cli.get_int("heartbeat-ms"));
   service::Client client(client_config);

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "common/cli.hpp"
@@ -43,6 +44,14 @@ int main(int argc, char** argv) {
                  "reap connections that complete no request frame for this "
                  "long (slow-loris guard; <=0 disables)",
                  "0");
+  cli.add_flag("standby",
+               "start as a hot standby: refuse session ops with wrong_role "
+               "and apply ship_* records from a primary until promoted");
+  cli.add_option("ship-to",
+                 "replicate this primary's WAL to a standby at this port "
+                 "(host:port or bare port; 0 disables; requires --state-dir)",
+                 "0");
+  cli.add_option("ship-timeout-ms", "per-record replication RPC budget", "5000");
   if (!cli.parse(argc, argv)) return 2;
 
   service::ServerConfig config;
@@ -52,6 +61,31 @@ int main(int argc, char** argv) {
   config.limits.idle_timeout = std::chrono::milliseconds(cli.get_int("idle-timeout-ms"));
   config.limits.state_dir = cli.get("state-dir");
   config.max_connections = static_cast<std::size_t>(cli.get_int("max-connections"));
+  config.standby = cli.get_flag("standby");
+  {
+    const std::string ship_to = cli.get("ship-to");
+    const std::size_t colon = ship_to.rfind(':');
+    if (colon == std::string::npos) {
+      config.limits.ship.port =
+          static_cast<std::uint16_t>(std::strtoul(ship_to.c_str(), nullptr, 10));
+    } else {
+      config.limits.ship.host = ship_to.substr(0, colon);
+      config.limits.ship.port = static_cast<std::uint16_t>(
+          std::strtoul(ship_to.c_str() + colon + 1, nullptr, 10));
+    }
+    config.limits.ship.rpc_timeout =
+        std::chrono::milliseconds(cli.get_int("ship-timeout-ms"));
+    if (config.limits.ship.port != 0 && cli.get("state-dir").empty()) {
+      log_error("tuned: --ship-to requires --state-dir (journals are the "
+                "resync source)");
+      return 2;
+    }
+    if (config.standby && config.limits.ship.port != 0) {
+      log_error("tuned: --standby and --ship-to are mutually exclusive "
+                "(chained replication is not supported)");
+      return 2;
+    }
+  }
   const long long conn_idle = cli.get_int("conn-idle-timeout-ms");
   config.connection_idle_timeout =
       std::chrono::milliseconds(conn_idle > 0 ? conn_idle : 0);

@@ -1,0 +1,281 @@
+#include "service/wal_ship.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+#include "service/session_wal.hpp"
+
+namespace repro::service {
+
+// One connected, handshaken follower link. Deliberately not service::Client:
+// the shipper needs every blocking wait bounded by rpc_timeout (a hung
+// follower must not park the primary's tell path), which means a read
+// timeout tick and an explicit per-RPC deadline.
+struct WalShipper::Link {
+  Socket socket;
+  FrameReader reader;
+
+  explicit Link(Socket s) : socket(std::move(s)), reader(socket) {}
+
+  /// Send one frame and await the response within `deadline`. Returns
+  /// nullopt on any transport failure or deadline expiry.
+  std::optional<Json> call(const Json& request,
+                           std::chrono::steady_clock::time_point deadline) {
+    if (!write_frame(socket, request)) return std::nullopt;
+    std::string line;
+    while (true) {
+      const FrameStatus status = reader.next(&line);
+      if (status == FrameStatus::kOk) break;
+      if (status == FrameStatus::kTimeout) {
+        // RPC deadline bookkeeping; never feeds tuning results.
+        if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+        continue;
+      }
+      return std::nullopt;  // closed / torn / oversized / error
+    }
+    try {
+      return Json::parse(line);
+    } catch (const JsonError&) {
+      return std::nullopt;
+    }
+  }
+};
+
+WalShipper::WalShipper(ShipConfig config) : config_(std::move(config)) {}
+
+WalShipper::~WalShipper() = default;
+
+bool WalShipper::connected() const {
+  repro::MutexLock lock(mutex_);
+  return link_ != nullptr && !fenced_;
+}
+
+bool WalShipper::fenced() const {
+  repro::MutexLock lock(mutex_);
+  return fenced_;
+}
+
+ShipCounters WalShipper::counters() const {
+  repro::MutexLock lock(mutex_);
+  return counters_;
+}
+
+bool WalShipper::connect_now() {
+  repro::MutexLock lock(mutex_);
+  return ensure_link(/*ignore_backoff=*/true);
+}
+
+bool WalShipper::ensure_link(bool ignore_backoff) {
+  if (fenced_ || config_.port == 0) return false;
+  if (link_ != nullptr) return true;
+  // Reconnect pacing; never feeds tuning results.
+  const auto now = std::chrono::steady_clock::now();
+  if (!ignore_backoff && attempted_ && now - last_attempt_ < config_.reconnect_interval)
+    return false;
+  attempted_ = true;
+  last_attempt_ = now;
+
+  Socket socket;
+  try {
+    socket = config_.host == "127.0.0.1" ? Socket::connect_loopback(config_.port)
+                                         : Socket::connect_tcp(config_.host, config_.port);
+  } catch (const std::exception& error) {
+    log_debug("wal_ship: connect to {}:{} failed: {}", config_.host, config_.port,
+              error.what());
+    return false;
+  }
+  // Short read tick so Link::call can poll its deadline; bounded writes so
+  // a follower that stops draining cannot park us either.
+  socket.set_read_timeout(std::chrono::milliseconds(50));
+  socket.set_write_timeout(config_.rpc_timeout);
+  auto link = std::make_unique<Link>(std::move(socket));
+
+  Json hello = Json::object();
+  hello.set("op", "hello");
+  hello.set("version", static_cast<std::uint64_t>(kProtocolVersion));
+  hello.set("client", config_.name);
+  // RPC deadline; never feeds tuning results.
+  const auto deadline = std::chrono::steady_clock::now() + config_.rpc_timeout;
+  const std::optional<Json> reply = link->call(hello, deadline);
+  if (!reply || !reply->find("ok") || !reply->find("ok")->as_bool()) {
+    log_warn("wal_ship: handshake with {}:{} failed", config_.host, config_.port);
+    return false;
+  }
+  link_ = std::move(link);
+  if (ever_connected_) ++counters_.reconnects;
+  ever_connected_ = true;
+  log_info("wal_ship: connected to follower {}:{}", config_.host, config_.port);
+  // Every fresh link starts with a resync: sessions opened or told while
+  // the link was down (or before the follower first came up) must reach
+  // the follower before any new record does, or per-session seq order
+  // breaks. Duplicates are acked idempotently, so over-shipping is safe.
+  if (!resync()) {
+    link_.reset();
+    return false;
+  }
+  return true;
+}
+
+std::optional<Json> WalShipper::call(const Json& request) {
+  if (link_ == nullptr) return std::nullopt;
+  // RPC deadline; never feeds tuning results.
+  const auto deadline = std::chrono::steady_clock::now() + config_.rpc_timeout;
+  std::optional<Json> reply = link_->call(request, deadline);
+  if (!reply) {
+    ++counters_.failures;
+    link_.reset();
+    // The backoff paces consecutive failed connects, not the first retry
+    // after a working link drops: a follower that bounced (restart on the
+    // same port) should be re-dialed by the very next ship.
+    attempted_ = false;
+    log_warn("wal_ship: link to {}:{} lost (RPC failed or timed out); shard is "
+             "degraded until resync",
+             config_.host, config_.port);
+    return std::nullopt;
+  }
+  const Json* ok = reply->find("ok");
+  if (ok != nullptr && ok->is_bool() && !ok->as_bool()) {
+    const Json* code = reply->find("error");
+    const std::string text = code != nullptr && code->is_string() ? code->as_string() : "?";
+    if (error_code_from(text) == ErrorCode::kWrongRole) {
+      // The follower was promoted: this process is a stale primary. Stop
+      // shipping forever — replicating into the new primary would corrupt it.
+      fenced_ = true;
+      link_.reset();
+      log_error("wal_ship: follower {}:{} reports wrong_role — fenced (this "
+                "primary is stale)",
+                config_.host, config_.port);
+      return std::nullopt;
+    }
+  }
+  return reply;
+}
+
+bool WalShipper::resync() {
+  if (config_.state_dir.empty()) return true;
+  std::vector<std::string> paths;
+  try {
+    paths = list_session_wals(config_.state_dir);
+  } catch (const std::exception& error) {
+    log_warn("wal_ship: resync cannot list {}: {}", config_.state_dir, error.what());
+    return false;
+  }
+  ++counters_.resyncs;
+  std::size_t sessions = 0;
+  for (const std::string& path : paths) {
+    WalSession journal;
+    try {
+      journal = load_session_wal(path);
+    } catch (const std::exception&) {
+      continue;  // unrecoverable journal: recovery already dropped it
+    }
+    if (journal.closed) continue;  // about to be unlinked; nothing to replicate
+    Json open = Json::object();
+    open.set("op", "ship_open");
+    open.set("session", journal.id);
+    if (!journal.token.empty()) open.set("token", journal.token);
+    open.set("open", encode_open(journal.open));
+    std::optional<Json> reply = call(open);
+    if (!reply || !reply->find("ok")->as_bool()) return false;
+    ++counters_.records_shipped;
+    for (const WalTell& tell : journal.tells) {
+      Json record = Json::object();
+      record.set("op", "ship_tell");
+      record.set("session", journal.id);
+      record.set("seq", tell.seq);
+      record.set("config", encode_config(tell.config));
+      encode_evaluation_into(record, tell.evaluation);
+      reply = call(record);
+      if (!reply || !reply->find("ok")->as_bool()) return false;
+      ++counters_.records_shipped;
+      if (reply->find("duplicate") != nullptr) ++counters_.duplicates_acked;
+    }
+    if (journal.evicted) {
+      Json evict = Json::object();
+      evict.set("op", "ship_evict");
+      evict.set("session", journal.id);
+      reply = call(evict);
+      if (!reply || !reply->find("ok")->as_bool()) return false;
+      ++counters_.records_shipped;
+    }
+    ++sessions;
+  }
+  log_info("wal_ship: resynced {} journaled session(s) to {}:{}", sessions,
+           config_.host, config_.port);
+  return true;
+}
+
+bool WalShipper::ship(const Json& request) {
+  repro::MutexLock lock(mutex_);
+  if (!ensure_link(/*ignore_backoff=*/false)) return false;
+  std::optional<Json> reply = call(request);
+  if (!reply && !fenced_) {
+    // The link died under this record — usually a follower that bounced
+    // and is already listening again. One immediate redial; the fresh
+    // link's resync re-ships the journal (this record included, it was
+    // journaled before shipping), then the retry collects its ack.
+    if (ensure_link(/*ignore_backoff=*/true)) reply = call(request);
+  }
+  if (reply && !reply->find("ok")->as_bool()) {
+    const Json* code = reply->find("error");
+    const std::string text =
+        code != nullptr && code->is_string() ? code->as_string() : "?";
+    if (error_code_from(text) == ErrorCode::kUnknownSession) {
+      // The follower restarted and lost this session (torn journal header,
+      // wiped state dir). Re-ship everything once, then retry this record.
+      if (resync()) reply = call(request);
+    }
+  }
+  if (!reply) return false;
+  const Json* ok = reply->find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    ++counters_.failures;
+    const Json* message = reply->find("message");
+    log_warn("wal_ship: follower refused record: {}",
+             message != nullptr && message->is_string() ? message->as_string()
+                                                        : reply->dump());
+    return false;
+  }
+  ++counters_.records_shipped;
+  if (reply->find("duplicate") != nullptr) ++counters_.duplicates_acked;
+  return true;
+}
+
+bool WalShipper::ship_open(const std::string& id, const std::string& token,
+                           const OpenParams& params) {
+  Json request = Json::object();
+  request.set("op", "ship_open");
+  request.set("session", id);
+  if (!token.empty()) request.set("token", token);
+  request.set("open", encode_open(params));
+  return ship(request);
+}
+
+bool WalShipper::ship_tell(const std::string& id, std::uint64_t seq,
+                           const tuner::Configuration& config,
+                           const tuner::Evaluation& evaluation) {
+  Json request = Json::object();
+  request.set("op", "ship_tell");
+  request.set("session", id);
+  request.set("seq", seq);
+  request.set("config", encode_config(config));
+  encode_evaluation_into(request, evaluation);
+  return ship(request);
+}
+
+bool WalShipper::ship_close(const std::string& id) {
+  Json request = Json::object();
+  request.set("op", "ship_close");
+  request.set("session", id);
+  return ship(request);
+}
+
+bool WalShipper::ship_evict(const std::string& id) {
+  Json request = Json::object();
+  request.set("op", "ship_evict");
+  request.set("session", id);
+  return ship(request);
+}
+
+}  // namespace repro::service

@@ -1,0 +1,127 @@
+#pragma once
+// WAL shipping: hot-standby replication for `tuned` shards.
+//
+// A primary shard with --ship-to configured streams every session WAL
+// record (open / tell / close / evict) to a follower daemon over the
+// ordinary JSON-lines protocol (ops ship_open / ship_tell / ship_close /
+// ship_evict, advertised as the "cluster" hello feature). The follower
+// appends each record to its *own* fsync'd per-session journal and applies
+// it through an unmodified AskTellSession — deterministic search means the
+// standby holds the exact same session state as the primary, RNG stream
+// included. Promotion is therefore instant: a promoted standby just starts
+// answering normal session ops on sessions that are already live.
+//
+// Durability contract. A ship call is synchronous: the primary's tell ack
+// leaves only after (a) the local journal fsync and (b) the follower's ack
+// — and the follower acks only after its own fsync + apply. While the link
+// is up, an acknowledged tell exists on two disks and in two live
+// sessions, so a SIGKILL'd primary loses nothing. When the link is down
+// the primary keeps serving (availability over replication) and reports
+// itself degraded via `status`; every successful (re)connect first
+// re-ships all live journals from the state dir ("resync"), and the
+// follower acknowledges duplicates idempotently (per-session seq
+// watermark), so a follower that crashed, tore its journal tail, or missed
+// records while partitioned converges back to the primary's state.
+//
+// Fencing. A follower that has been promoted answers ship ops with the
+// typed error wrong_role; the shipper then fences itself permanently — a
+// stale primary must never again be treated as replicated, and the router
+// has already stopped routing to it.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/socket.hpp"
+#include "common/thread_annotations.hpp"
+#include "service/protocol.hpp"
+
+namespace repro::service {
+
+struct ShipConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 disables shipping entirely
+  /// The primary's own journal directory — the resync source. Shipping
+  /// requires durability: without local journals there is nothing to
+  /// re-ship after a link outage.
+  std::string state_dir;
+  /// Per-RPC deadline: connect, handshake, and each ship call must finish
+  /// within this bound or the link is declared down (a hung follower must
+  /// not park the primary's tell path forever).
+  std::chrono::milliseconds rpc_timeout{5000};
+  /// Minimum spacing between reconnect attempts while the link is down, so
+  /// a dead follower costs one connect() per interval, not per tell.
+  std::chrono::milliseconds reconnect_interval{250};
+  std::string name = "wal_ship/1";
+};
+
+/// Replication-side tallies (surfaced through the `status` endpoint).
+struct ShipCounters {
+  std::size_t records_shipped = 0;    ///< acked ship RPCs (all kinds)
+  std::size_t duplicates_acked = 0;   ///< follower answered {"duplicate":true}
+  std::size_t resyncs = 0;            ///< full journal re-ships performed
+  std::size_t reconnects = 0;         ///< successful connects after the first
+  std::size_t failures = 0;           ///< RPCs that failed (link went down)
+};
+
+/// Primary-side shipper. Thread-safe: ship calls from concurrent session
+/// ops are serialized on one link (per-session record order is already
+/// guaranteed by the session protocol; the mutex only interleaves
+/// sessions). Every method is non-throwing: replication failure degrades
+/// the shard, it never fails the client's request.
+class WalShipper {
+ public:
+  explicit WalShipper(ShipConfig config);
+  ~WalShipper();
+
+  WalShipper(const WalShipper&) = delete;
+  WalShipper& operator=(const WalShipper&) = delete;
+
+  /// Each returns true when the follower acked (record is on two disks).
+  bool ship_open(const std::string& id, const std::string& token,
+                 const OpenParams& params);
+  bool ship_tell(const std::string& id, std::uint64_t seq,
+                 const tuner::Configuration& config,
+                 const tuner::Evaluation& evaluation);
+  bool ship_close(const std::string& id);
+  bool ship_evict(const std::string& id);
+
+  /// Link currently established and not fenced. False = the shard is
+  /// degraded (serving without a live standby).
+  [[nodiscard]] bool connected() const;
+  /// Permanently stopped after the follower reported wrong_role (it was
+  /// promoted; this process is a stale primary).
+  [[nodiscard]] bool fenced() const;
+  [[nodiscard]] ShipCounters counters() const;
+
+  /// Force a connect (+ resync) attempt now, ignoring the reconnect
+  /// backoff window. Returns connected(). Used at startup and by tests.
+  bool connect_now();
+
+ private:
+  struct Link;  // Socket + FrameReader bundle (defined in wal_ship.cpp)
+
+  /// Ensure the link is up, resyncing journals on a fresh connect.
+  bool ensure_link(bool ignore_backoff) REQUIRES(mutex_);
+  /// One RPC on the established link; tears the link down on failure.
+  [[nodiscard]] std::optional<Json> call(const Json& request) REQUIRES(mutex_);
+  /// Ship one record, transparently resync-retrying an unknown_session
+  /// answer once (the follower restarted and lost a journal tail).
+  bool ship(const Json& request) ;
+  /// Re-ship every live journal in state_dir (duplicates acked).
+  bool resync() REQUIRES(mutex_);
+
+  const ShipConfig config_;
+  mutable repro::Mutex mutex_;
+  std::unique_ptr<Link> link_ GUARDED_BY(mutex_);
+  bool fenced_ GUARDED_BY(mutex_) = false;
+  bool ever_connected_ GUARDED_BY(mutex_) = false;
+  /// Reconnect pacing; never feeds tuning results.
+  std::chrono::steady_clock::time_point last_attempt_ GUARDED_BY(mutex_);
+  bool attempted_ GUARDED_BY(mutex_) = false;
+  ShipCounters counters_ GUARDED_BY(mutex_);
+};
+
+}  // namespace repro::service

@@ -1,0 +1,276 @@
+// loadgen: cluster load generator + failover drill, emitting the committed
+// BENCH_service.json snapshot.
+//
+// Spins up a replicated shard (primary shipping its WAL to a hot standby)
+// behind an in-process tunelb Router, drives N concurrent client threads
+// through tokened ask/tell sessions, and records per-op latencies. With
+// --failover it additionally murders the primary mid-run (stop + promote,
+// the in-process equivalent of SIGKILL: the standby has only the
+// acknowledged record stream) and measures the blackout window — the wall
+// time from the crash until the first client op completes against the
+// promoted standby through the router.
+//
+// Timing here is measurement *of the service*, not of tuning: no timestamp
+// feeds a search result. Latencies are steady-clock; the report rounds to
+// whole microseconds.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "service/client.hpp"
+#include "service/router.hpp"
+#include "service/server.hpp"
+#include "tuner/registry.hpp"
+
+namespace {
+
+using namespace repro;
+using Clock = std::chrono::steady_clock;
+
+tuner::Evaluation synth_eval(const tuner::ParamSpace& space,
+                             const tuner::Configuration& config) {
+  std::uint64_t state = seed_combine(99, space.encode(config) + 1);
+  const std::uint64_t h = splitmix64(state);
+  return tuner::Evaluation{1.0 + static_cast<double>(h >> 11) * 0x1.0p-53, true};
+}
+
+service::OpenParams open_params(std::size_t budget, std::uint64_t seed) {
+  service::OpenParams params;
+  params.algorithm = "rs";
+  params.budget = budget;
+  params.seed = seed;
+  params.custom_space = true;
+  params.params = {{"a", 1, 8}, {"b", 1, 8}, {"c", 0, 5}};
+  return params;
+}
+
+std::string fresh_dir() {
+  char name[] = "/tmp/repro_loadgen_XXXXXX";
+  const char* dir = mkdtemp(name);
+  if (dir == nullptr) {
+    std::cerr << "loadgen: mkdtemp failed\n";
+    std::exit(1);
+  }
+  return dir;
+}
+
+/// One worker's measurements, merged after the join.
+struct WorkerStats {
+  std::vector<double> ask_us;
+  std::vector<double> tell_us;
+  std::size_t sessions = 0;
+  std::size_t evaluations = 0;
+  std::size_t errors = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("loadgen",
+          "drive a replicated tuned shard behind tunelb and report "
+          "throughput, ask/tell latency percentiles, and (with --failover) "
+          "the promotion blackout window as BENCH_service.json");
+  cli.add_option("clients", "concurrent client threads", "4");
+  cli.add_option("sessions", "sessions per client", "8");
+  cli.add_option("budget", "evaluations per session", "24");
+  cli.add_option("out", "output JSON path", "BENCH_service.json");
+  cli.add_flag("failover", "kill the primary mid-run and measure blackout");
+  if (!cli.parse(argc, argv)) return 2;
+  const std::size_t clients = static_cast<std::size_t>(cli.get_int("clients"));
+  const std::size_t sessions_per_client =
+      static_cast<std::size_t>(cli.get_int("sessions"));
+  const std::size_t budget = static_cast<std::size_t>(cli.get_int("budget"));
+  const bool failover = cli.get_flag("failover");
+  const std::string out_path = cli.get("out");
+
+  const std::string dir = fresh_dir();
+
+  service::ServerConfig standby_config;
+  standby_config.standby = true;
+  standby_config.limits.state_dir = dir + "/standby";
+  service::TuneServer standby(standby_config);
+  standby.start();
+
+  auto primary = std::make_unique<service::TuneServer>([&] {
+    service::ServerConfig config;
+    config.limits.state_dir = dir + "/primary";
+    config.limits.ship.port = standby.port();
+    return config;
+  }());
+  primary->start();
+
+  service::RouterConfig router_config;
+  router_config.shards = {{"127.0.0.1", primary->port(), "127.0.0.1",
+                           standby.port()}};
+  router_config.probe_interval = std::chrono::milliseconds(100);
+  router_config.probe_timeout = std::chrono::milliseconds(500);
+  service::Router router(router_config);
+  router.start();
+
+  const tuner::ParamSpace space({{"a", 1, 8}, {"b", 1, 8}, {"c", 0, 5}});
+  std::vector<WorkerStats> stats(clients);
+  std::atomic<std::size_t> completed{0};
+  const std::size_t total_sessions = clients * sessions_per_client;
+
+  const auto run_started = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t w = 0; w < clients; ++w) {
+    workers.emplace_back([&, w] {  // NOLINT(reprolint-raw-thread)
+      WorkerStats& mine = stats[w];
+      service::ClientConfig config;
+      config.port = router.port();
+      config.name = "loadgen-" + std::to_string(w);
+      config.max_retries = 40;
+      config.backoff_initial_ms = 25;
+      config.backoff_max_ms = 400;
+      service::Client client(config);
+      for (std::size_t s = 0; s < sessions_per_client; ++s) {
+        const std::string token =
+            "loadgen#" + std::to_string(w) + "." + std::to_string(s);
+        try {
+          const std::string id =
+              client.open(open_params(budget, seed_combine(w, s)), token);
+          while (true) {
+            const auto ask_started = Clock::now();
+            const auto config_opt = client.ask(id);
+            mine.ask_us.push_back(
+                std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          ask_started)
+                    .count());
+            if (!config_opt) break;
+            const auto tell_started = Clock::now();
+            (void)client.tell(id, synth_eval(space, *config_opt));
+            mine.tell_us.push_back(
+                std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          tell_started)
+                    .count());
+            ++mine.evaluations;
+          }
+          client.close_session(id);
+          ++mine.sessions;
+        } catch (const std::exception& error) {
+          ++mine.errors;
+          std::cerr << "loadgen: worker " << w << " session " << s
+                    << " failed: " << error.what() << "\n";
+        }
+        completed.fetch_add(1);
+      }
+    });
+  }
+
+  double blackout_ms = 0.0;
+  if (failover) {
+    // Let the run reach steady state, then kill the primary. Blackout =
+    // crash instant -> first successful client op on the promoted standby,
+    // measured by an independent probe session through the router.
+    while (completed.load() < total_sessions / 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const auto crash_started = Clock::now();
+    primary->stop();
+    primary.reset();
+    service::ClientConfig probe_config;
+    probe_config.port = router.port();
+    probe_config.name = "loadgen-probe";
+    probe_config.max_retries = 100;
+    probe_config.backoff_initial_ms = 5;
+    probe_config.backoff_max_ms = 100;
+    service::Client probe(probe_config);
+    const std::string id =
+        probe.open(open_params(budget, seed_combine(7, 7)), "loadgen#probe");
+    const auto config_opt = probe.ask(id);
+    if (config_opt) (void)probe.tell(id, synth_eval(space, *config_opt));
+    probe.close_session(id);
+    blackout_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            crash_started)
+                      .count();
+  }
+
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - run_started).count();
+
+  WorkerStats merged;
+  for (WorkerStats& one : stats) {
+    merged.ask_us.insert(merged.ask_us.end(), one.ask_us.begin(), one.ask_us.end());
+    merged.tell_us.insert(merged.tell_us.end(), one.tell_us.begin(),
+                          one.tell_us.end());
+    merged.sessions += one.sessions;
+    merged.evaluations += one.evaluations;
+    merged.errors += one.errors;
+  }
+  std::sort(merged.ask_us.begin(), merged.ask_us.end());
+  std::sort(merged.tell_us.begin(), merged.tell_us.end());
+
+  const std::vector<service::ShardSnapshot> shards = router.shards();
+  const std::size_t promotions = shards.empty() ? 0 : shards[0].promotions;
+
+  std::string report = "{\n";
+  report += "  \"tool\": \"loadgen\",\n";
+  report += "  \"topology\": {\"shards\": 1, \"hot_standby\": true, \"router\": \"tunelb\"},\n";
+  report += "  \"clients\": " + std::to_string(clients) + ",\n";
+  report += "  \"sessions\": " + std::to_string(merged.sessions) + ",\n";
+  report += "  \"budget_per_session\": " + std::to_string(budget) + ",\n";
+  report += "  \"evaluations\": " + std::to_string(merged.evaluations) + ",\n";
+  report += "  \"errors\": " + std::to_string(merged.errors) + ",\n";
+  report += "  \"wall_seconds\": " + json_number(wall_seconds) + ",\n";
+  report += "  \"throughput_evals_per_sec\": " +
+            json_number(wall_seconds > 0.0
+                            ? static_cast<double>(merged.evaluations) / wall_seconds
+                            : 0.0) +
+            ",\n";
+  report += "  \"ask_latency_us\": {\"p50\": " + json_number(percentile(merged.ask_us, 0.50)) +
+            ", \"p90\": " + json_number(percentile(merged.ask_us, 0.90)) +
+            ", \"p99\": " + json_number(percentile(merged.ask_us, 0.99)) + "},\n";
+  report += "  \"tell_latency_us\": {\"p50\": " + json_number(percentile(merged.tell_us, 0.50)) +
+            ", \"p90\": " + json_number(percentile(merged.tell_us, 0.90)) +
+            ", \"p99\": " + json_number(percentile(merged.tell_us, 0.99)) + "},\n";
+  report += std::string("  \"failover\": {\"drill\": ") +
+            (failover ? "true" : "false") +
+            ", \"blackout_ms\": " + json_number(blackout_ms) +
+            ", \"promotions\": " + std::to_string(promotions) + "}\n";
+  report += "}\n";
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "loadgen: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << report;
+  out.close();
+  std::cerr << "loadgen: " << merged.evaluations << " evaluations over "
+            << json_number(wall_seconds) << "s, " << merged.errors
+            << " errors; wrote " << out_path << "\n";
+
+  router.stop();
+  if (primary != nullptr) primary->stop();
+  standby.stop();
+  return merged.errors == 0 ? 0 : 1;
+}

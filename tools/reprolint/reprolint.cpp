@@ -348,10 +348,17 @@ Options default_options() {
   options.allow.emplace_back("reprolint-wall-clock", "tests/");
   // The service layer is liveness plumbing, not measurement: request
   // deadlines, idle-connection reaping, retry backoff, heartbeat pacing,
-  // and session idle-eviction all read the monotonic clock by design. No
-  // timestamp ever reaches a tuning result — search and evaluation stay
-  // wall-clock-free, which the rest of the lint still enforces.
+  // session idle-eviction, tunelb's shard health probes / probe-failure
+  // thresholds, and the WAL shipper's RPC deadlines all read the monotonic
+  // clock by design. No timestamp ever reaches a tuning result — search
+  // and evaluation stay wall-clock-free, which the rest of the lint still
+  // enforces.
   options.allow.emplace_back("reprolint-wall-clock", "src/service/");
+  // loadgen measures the service itself (latency percentiles, failover
+  // blackout): wall-clock reads and driver threads are its entire point,
+  // and its output is BENCH_service.json, never a tuning result.
+  options.allow.emplace_back("reprolint-wall-clock", "tools/loadgen/");
+  options.allow.emplace_back("reprolint-raw-thread", "tools/loadgen/");
   // The pool implementation is the one sanctioned owner of raw threads;
   // tests spawn driver threads deliberately (race stress, loopback clients).
   options.allow.emplace_back("reprolint-raw-thread", "src/common/thread_pool.");
