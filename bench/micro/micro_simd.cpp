@@ -1,0 +1,100 @@
+// Microbenchmarks: the fixed-blocking SIMD kernels behind the sparse-GP
+// inner loops, per dispatch tier, against the canonical sequential loops
+// the exact path keeps. All blocked tiers compute bit-identical sums (see
+// tests/common/test_simd.cpp); this suite measures what that determinism
+// costs or buys at each width.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+
+namespace {
+
+using repro::simd::Tier;
+
+std::vector<double> make_data(std::uint64_t seed, std::size_t n) {
+  repro::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+/// range(0) = element count, range(1) = requested tier (clamped to what the
+/// host supports; a clamp means the tier's numbers would be a lie, so skip).
+void BM_SimdDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto requested = static_cast<Tier>(state.range(1));
+  if (repro::simd::set_tier(requested) != requested) {
+    state.SkipWithError("tier unsupported on this host");
+    return;
+  }
+  const std::vector<double> a = make_data(1, n);
+  const std::vector<double> b = make_data(2, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repro::simd::dot(a.data(), b.data(), n));
+  }
+  state.SetLabel(std::string("tier=") + repro::simd::tier_name(requested));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * sizeof(double)));
+  repro::simd::set_tier(repro::simd::detected_tier());
+}
+BENCHMARK(BM_SimdDot)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({16384, 0})
+    ->Args({16384, 1})
+    ->Args({16384, 2});
+
+void BM_SimdSquaredDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto requested = static_cast<Tier>(state.range(1));
+  if (repro::simd::set_tier(requested) != requested) {
+    state.SkipWithError("tier unsupported on this host");
+    return;
+  }
+  const std::vector<double> a = make_data(3, n);
+  const std::vector<double> b = make_data(4, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        repro::simd::squared_distance(a.data(), b.data(), n));
+  }
+  state.SetLabel(std::string("tier=") + repro::simd::tier_name(requested));
+  repro::simd::set_tier(repro::simd::detected_tier());
+}
+BENCHMARK(BM_SimdSquaredDistance)
+    ->Args({256, 0})
+    ->Args({256, 2})
+    ->Args({16384, 0})
+    ->Args({16384, 2});
+
+/// The strict left-to-right loops the legacy exact path keeps: the baseline
+/// every blocked tier above is compared against.
+void BM_SeqDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> a = make_data(5, n);
+  const std::vector<double> b = make_data(6, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repro::simd::seq::dot(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_SeqDot)->Arg(256)->Arg(16384);
+
+void BM_SeqSquaredDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> a = make_data(7, n);
+  const std::vector<double> b = make_data(8, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        repro::simd::seq::squared_distance(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_SeqSquaredDistance)->Arg(256)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -58,6 +58,15 @@ class BenchmarkContext {
     return mean_cache_;
   }
 
+  /// Cap the shared mean memo table (0 = unbounded). run_study derives a
+  /// capacity from the study budget — enough for every distinct
+  /// configuration the budgeted runs can measure plus the exhaustive
+  /// optimum sweep — instead of letting the table grow without relation to
+  /// the workload.
+  void set_mean_cache_capacity(std::size_t capacity) const noexcept {
+    mean_cache_.set_capacity(capacity);
+  }
+
   /// One noisy measurement (the objective the paper's pipeline exposes).
   [[nodiscard]] double measure_us(const tuner::Configuration& config,
                                   repro::Rng& rng) const;

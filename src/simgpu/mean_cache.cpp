@@ -1,8 +1,11 @@
 #include "simgpu/mean_cache.hpp"
 
+#include <algorithm>
+#include <deque>
 #include <mutex>
 #include <unordered_map>
 
+#include "common/log.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace repro::simgpu {
@@ -10,6 +13,7 @@ namespace repro::simgpu {
 struct MeanCache::Shard {
   mutable repro::Mutex mutex;
   std::unordered_map<std::uint64_t, double> entries GUARDED_BY(mutex);
+  std::deque<std::uint64_t> order GUARDED_BY(mutex);  ///< FIFO for eviction
 };
 
 namespace {
@@ -49,10 +53,45 @@ bool MeanCache::lookup(std::uint64_t key, double& value) const {
   return true;
 }
 
+std::size_t MeanCache::per_shard_capacity() const noexcept {
+  const std::size_t total = capacity_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  const std::size_t shards = shard_mask_ + 1;
+  return std::max<std::size_t>(1, total / shards);
+}
+
+void MeanCache::set_capacity(std::size_t capacity) noexcept {
+  capacity_.store(capacity, std::memory_order_relaxed);
+}
+
 void MeanCache::store(std::uint64_t key, double value) {
-  Shard& shard = shard_for(key);
-  repro::MutexLock lock(shard.mutex);
-  shard.entries.emplace(key, value);
+  std::uint64_t evicted = 0;
+  {
+    Shard& shard = shard_for(key);
+    repro::MutexLock lock(shard.mutex);
+    const std::size_t cap = per_shard_capacity();
+    if (cap > 0) {
+      while (shard.entries.size() >= cap && !shard.order.empty()) {
+        shard.entries.erase(shard.order.front());
+        shard.order.pop_front();
+        ++evicted;
+      }
+    }
+    if (!shard.entries.emplace(key, value).second) return;  // duplicate store
+    shard.order.push_back(key);
+  }
+  const std::uint64_t inserts =
+      insertions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t evicts =
+      evictions_.fetch_add(evicted, std::memory_order_relaxed) + evicted;
+  // >10% churn means the table is undersized for this workload: each
+  // evicted mean is a pass-summation loop some evaluator will redo.
+  if (evicts * 10 > inserts && inserts >= 1000 &&
+      !churn_warned_.exchange(true, std::memory_order_relaxed)) {
+    repro::log_warn("mean cache churn: {} evictions over {} insertions "
+                    "(capacity {}); memoization is thrashing",
+                    evicts, inserts, capacity_.load(std::memory_order_relaxed));
+  }
 }
 
 std::size_t MeanCache::size() const {

@@ -11,6 +11,14 @@
 // they collide on a shard. Values are deterministic functions of the key;
 // a racing duplicate store writes the same bits and is harmless. NaN is a
 // legal value (it memoizes "invalid configuration").
+//
+// Capacity: unbounded by default (the historical behaviour). set_capacity
+// installs an approximate total cap, enforced per shard in FIFO insertion
+// order. Evicting a memoized mean is always correct — the value is
+// recomputed bit-identically on the next miss — but heavy churn turns the
+// memo table into pure overhead, so the cache warns once when evictions
+// exceed 10% of insertions. run_study derives a capacity from the study's
+// budget instead of letting the table grow with unrelated history.
 
 #include <atomic>
 #include <cstddef>
@@ -45,14 +53,36 @@ class MeanCache {
     return lookups_.load(std::memory_order_relaxed);
   }
 
+  /// Approximate total entry cap, split evenly across shards and enforced
+  /// in per-shard FIFO insertion order (0 = unbounded, the default). Does
+  /// not shrink already-full shards retroactively; the cap applies from the
+  /// next store.
+  void set_capacity(std::size_t capacity) noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Churn accounting (insertions exclude duplicate-key stores).
+  [[nodiscard]] std::uint64_t insertions() const noexcept {
+    return insertions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard;
   [[nodiscard]] Shard& shard_for(std::uint64_t key) const noexcept;
+  [[nodiscard]] std::size_t per_shard_capacity() const noexcept;
 
   std::unique_ptr<Shard[]> shards_;
   std::size_t shard_mask_ = 0;
+  std::atomic<std::size_t> capacity_{0};
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<bool> churn_warned_{false};
 };
 
 }  // namespace repro::simgpu

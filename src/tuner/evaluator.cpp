@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+
 namespace repro::tuner {
 
 FailureCounters& FailureCounters::operator+=(const FailureCounters& other) noexcept {
@@ -27,7 +29,10 @@ void FailureCounters::count(EvalStatus status) noexcept {
 }
 
 Evaluator::Evaluator(const ParamSpace& space, Objective objective, std::size_t budget)
-    : space_(space), objective_(std::move(objective)), budget_(budget) {}
+    : space_(space),
+      objective_(std::move(objective)),
+      budget_(budget),
+      cache_capacity_(default_cache_capacity(budget)) {}
 
 void Evaluator::set_cache_capacity(std::size_t capacity) {
   cache_capacity_ = capacity;
@@ -88,9 +93,23 @@ Evaluation Evaluator::evaluate(const Configuration& config) {
       while (cache_.size() >= cache_capacity_ && !cache_order_.empty()) {
         cache_.erase(cache_order_.front());
         cache_order_.pop_front();
+        ++cache_evictions_;
       }
     }
-    if (cache_.emplace(key, result).second) cache_order_.push_back(key);
+    if (cache_.emplace(key, result).second) {
+      cache_order_.push_back(key);
+      ++cache_insertions_;
+    }
+    // Every evicted entry is a measurement the study may pay for again —
+    // above 10% churn the cache is undersized for this budget.
+    if (!churn_warned_ && cache_evictions_ * 10 > cache_insertions_ &&
+        cache_insertions_ >= 10) {
+      churn_warned_ = true;
+      log_warn("evaluator cache churn: {} evictions over {} insertions "
+               "(capacity {}, budget {}); evicted configurations are re-charged "
+               "budget if proposed again",
+               cache_evictions_, cache_insertions_, cache_capacity_, budget_);
+    }
   }
   if (result.valid && (!has_best_ || result.value < best_value_)) {
     has_best_ = true;

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace repro::tuner {
 namespace {
 
@@ -31,10 +33,8 @@ SplitCandidate best_split_on_feature(std::span<const std::vector<double>> X,
   // SSE = sum(y^2) - (sum y)^2 / n for each side.
   double left_sum = 0.0, left_sq = 0.0;
   double total_sum = 0.0, total_sq = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    total_sum += y[indices[i]];
-    total_sq += y[indices[i]] * y[indices[i]];
-  }
+  simd::seq::gathered_sum_and_squares(y.data(), indices.data(), 0, n, total_sum,
+                                      total_sq);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     const double value = y[indices[i]];
     left_sum += value;
@@ -80,10 +80,9 @@ std::int32_t DecisionTree::build(std::span<const std::vector<double>> X,
   const std::size_t n = end - begin;
   double sum = 0.0;
   double sum_sq = 0.0;
-  for (std::size_t i = begin; i < end; ++i) {
-    sum += y[indices[i]];
-    sum_sq += y[indices[i]] * y[indices[i]];
-  }
+  // Shared sequential gather kernel: same left-to-right accumulation the
+  // fused loop used, byte-identical node statistics.
+  simd::seq::gathered_sum_and_squares(y.data(), indices.data(), begin, end, sum, sum_sq);
   const double mean = sum / static_cast<double>(n);
   const double node_sse = sum_sq - sum * mean;
 

@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.hpp"
 #include "stats/descriptive.hpp"
+#include "tuner/pipeline.hpp"
 
 namespace repro::tuner {
 
@@ -65,6 +66,7 @@ TuneResult BoGp::minimize(const ParamSpace& space, Evaluator& evaluator,
 
     GpRegressor gp;
     gp.set_incremental(options_.incremental_gp);
+    gp.set_sparse_options(options_.sparse);
     std::size_t last_hyperopt = 0;
     for (;;) {
       // Assemble the training set: penalize failures against the worst
@@ -135,52 +137,62 @@ TuneResult BoGp::minimize(const ParamSpace& space, Evaluator& evaluator,
       const std::size_t pool_size =
           std::max(options_.acquisition_pool,
                    options_.acquisition_budget / std::max<std::size_t>(gp.num_points(), 1));
-      std::vector<Configuration> candidates;
-      candidates.reserve(pool_size + options_.neighbor_candidates);
-      for (std::size_t i = 0; i < pool_size; ++i) {
-        candidates.push_back(draw(rng));
-      }
-      if (evaluator.has_best()) {
-        const Configuration& anchor = evaluator.best_config();
-        for (std::size_t i = 0; i < options_.neighbor_candidates; ++i) {
+      const bool with_neighbors = evaluator.has_best();
+      const std::size_t neighbor_count =
+          with_neighbors ? options_.neighbor_candidates : 0;
+      const Configuration anchor = with_neighbors ? evaluator.best_config() : Configuration{};
+      const std::size_t total = pool_size + neighbor_count;
+
+      // Generation consumes the RNG stream — same draws, same order as the
+      // fused loop — and decides eligibility per candidate against the
+      // immutable `proposed` set. Scoring (gp.predict is const and pure)
+      // writes indexed slots, so the pipelined overlap cannot change any
+      // value; the reduce walks ascending indices with a strict `>` — the
+      // same argmax the sequential loop computed, bit for bit.
+      std::vector<Configuration> candidates(total);
+      std::vector<char> eligible(total, 0);
+      std::vector<double> scores(total, -1.0);
+      // xi shifts the incumbent to discourage pure exploitation (skopt).
+      const double margin = options_.xi * std::abs(incumbent);
+
+      const auto generate = [&](std::size_t i) {
+        if (i < pool_size) {
+          candidates[i] = draw(rng);
+        } else {
           Configuration neighbor = anchor;
           const std::size_t moves = 1 + rng.next_below(2);
           for (std::size_t m = 0; m < moves; ++m) {
             const std::size_t g = static_cast<std::size_t>(rng.next_below(neighbor.size()));
             neighbor[g] += static_cast<int>(rng.uniform_int(-2, 2));
           }
-          candidates.push_back(space.clamp(std::move(neighbor)));
+          candidates[i] = space.clamp(std::move(neighbor));
         }
+        const bool blocked_dup = proposed.contains(space.encode(candidates[i]));
+        const bool blocked_constraint =
+            options_.constraint_aware && !space.is_executable(candidates[i]);
+        eligible[i] = static_cast<char>(!blocked_dup && !blocked_constraint);
+      };
+      const auto score = [&](std::size_t i) {
+        if (eligible[i] == 0) return;
+        const std::vector<double> x = space.normalize(candidates[i]);
+        const GpPrediction prediction = gp.predict(x);
+        scores[i] = expected_improvement(prediction.mean, prediction.variance,
+                                         incumbent - margin);
+      };
+      if (options_.pipelined_ask) {
+        pipelined_ask(ThreadPool::global(), total, generate, score, nullptr,
+                      {options_.pipeline_batch});
+      } else {
+        for (std::size_t i = 0; i < total; ++i) generate(i);
+        repro::parallel_for(0, total, score, 0, 16);
       }
 
-      // Filter sequentially, score in parallel (gp.predict is const and
-      // pure), then reduce in ascending candidate order with a strict `>` —
-      // the same argmax the sequential loop computed, bit for bit.
-      std::vector<std::size_t> eligible;
-      eligible.reserve(candidates.size());
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (proposed.contains(space.encode(candidates[i]))) continue;
-        if (options_.constraint_aware && !space.is_executable(candidates[i])) continue;
-        eligible.push_back(i);
-      }
-      // xi shifts the incumbent to discourage pure exploitation (skopt).
-      const double margin = options_.xi * std::abs(incumbent);
-      std::vector<double> scores(eligible.size());
-      repro::parallel_for(
-          0, eligible.size(),
-          [&](std::size_t k) {
-            const std::vector<double> x = space.normalize(candidates[eligible[k]]);
-            const GpPrediction prediction = gp.predict(x);
-            scores[k] = expected_improvement(prediction.mean, prediction.variance,
-                                             incumbent - margin);
-          },
-          0, 16);
       double best_ei = -1.0;
       const Configuration* chosen = nullptr;
-      for (std::size_t k = 0; k < eligible.size(); ++k) {
-        if (scores[k] > best_ei) {
-          best_ei = scores[k];
-          chosen = &candidates[eligible[k]];
+      for (std::size_t i = 0; i < total; ++i) {
+        if (eligible[i] != 0 && scores[i] > best_ei) {
+          best_ei = scores[i];
+          chosen = &candidates[i];
         }
       }
       if (chosen == nullptr) {

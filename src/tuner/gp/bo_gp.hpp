@@ -39,6 +39,15 @@ struct BoGpOptions {
   /// settings produce bit-identical tuning traces; off = reference O(n^3)
   /// refit path, kept for tests and benchmarks.
   bool incremental_gp = true;
+  /// Large-history sparse fallback, forwarded to the GP surrogate verbatim.
+  /// Inert under the paper protocol: max_train_points caps the training set
+  /// far below the default sparse threshold.
+  SparseGpOptions sparse;
+  /// Overlap candidate generation with acquisition scoring (double-buffered
+  /// batches on the worker pool; see tuner/pipeline.hpp). Both settings
+  /// produce bit-identical tuning traces.
+  bool pipelined_ask = true;
+  std::size_t pipeline_batch = 64;  ///< candidates per score batch
 };
 
 class BoGp final : public SearchAlgorithm {

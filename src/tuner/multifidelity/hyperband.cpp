@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "tuner/evaluator.hpp"  // BudgetExhausted
 
 namespace repro::tuner {
@@ -83,11 +84,14 @@ class TpeSampler final : public Sampler {
         candidate[d] = good[d].sample(rng);
       }
       if (!space.is_executable(candidate)) continue;
-      double log_ratio = 0.0;
+      // Shared sequential sum kernel: same left-to-right accumulation as
+      // the fused += loop, byte-identical ranking (see common/simd.hpp).
+      std::vector<double> terms(space.num_params());
       for (std::size_t d = 0; d < space.num_params(); ++d) {
-        log_ratio += std::log(good[d].probability(candidate[d])) -
-                     std::log(bad[d].probability(candidate[d]));
+        terms[d] = std::log(good[d].probability(candidate[d])) -
+                   std::log(bad[d].probability(candidate[d]));
       }
+      const double log_ratio = simd::seq::sum(terms.data(), terms.size());
       if (log_ratio > best_ratio) {
         best_ratio = log_ratio;
         best = std::move(candidate);

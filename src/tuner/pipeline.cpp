@@ -1,0 +1,89 @@
+#include "tuner/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+
+#include "common/thread_pool.hpp"
+
+namespace repro::tuner {
+namespace {
+
+std::atomic<std::size_t> g_batches{0};
+std::atomic<std::size_t> g_overlapped{0};
+std::atomic<std::size_t> g_inline_runs{0};
+
+void record(const AskPipelineStats& delta, AskPipelineStats* stats) {
+  g_batches.fetch_add(delta.batches, std::memory_order_relaxed);
+  g_overlapped.fetch_add(delta.overlapped, std::memory_order_relaxed);
+  g_inline_runs.fetch_add(delta.inline_runs, std::memory_order_relaxed);
+  if (stats != nullptr) {
+    stats->batches += delta.batches;
+    stats->overlapped += delta.overlapped;
+    stats->inline_runs += delta.inline_runs;
+  }
+}
+
+}  // namespace
+
+void pipelined_ask(ThreadPool& pool, std::size_t count,
+                   const std::function<void(std::size_t)>& generate,
+                   const std::function<void(std::size_t)>& score,
+                   AskPipelineStats* stats, const AskPipelineOptions& options) {
+  const std::size_t batch = std::max<std::size_t>(1, options.batch);
+  AskPipelineStats delta;
+  // One batch or less leaves nothing to overlap; a pool worker must not
+  // block on its own pool.
+  if (count <= batch || pool.size() == 0 || pool.on_worker_thread()) {
+    for (std::size_t i = 0; i < count; ++i) generate(i);
+    for (std::size_t i = 0; i < count; ++i) score(i);
+    delta.inline_runs = 1;
+    delta.batches = count > 0 ? 1 : 0;
+    record(delta, stats);
+    return;
+  }
+
+  std::future<void> in_flight[2];
+  std::size_t slot = 0;
+  try {
+    for (std::size_t start = 0; start < count; start += batch) {
+      const std::size_t end = std::min(start + batch, count);
+      for (std::size_t i = start; i < end; ++i) generate(i);
+      // Double buffer: reclaim the slot used two batches ago before
+      // dispatching into it (rethrows a score exception, if any).
+      if (in_flight[slot].valid()) in_flight[slot].get();
+      in_flight[slot] = pool.submit([&score, start, end] {
+        for (std::size_t i = start; i < end; ++i) score(i);
+      });
+      slot ^= 1;
+      ++delta.batches;
+      if (end < count) ++delta.overlapped;
+    }
+    if (in_flight[0].valid()) in_flight[0].get();
+    if (in_flight[1].valid()) in_flight[1].get();
+  } catch (...) {
+    // Drain whatever is still running before unwinding: the score lambda
+    // captures caller-owned state by reference.
+    for (std::future<void>& f : in_flight) {
+      if (f.valid()) {
+        try {
+          f.get();
+        } catch (...) {  // first exception wins
+        }
+      }
+    }
+    record(delta, stats);
+    throw;
+  }
+  record(delta, stats);
+}
+
+AskPipelineStats ask_pipeline_totals() noexcept {
+  AskPipelineStats totals;
+  totals.batches = g_batches.load(std::memory_order_relaxed);
+  totals.overlapped = g_overlapped.load(std::memory_order_relaxed);
+  totals.inline_runs = g_inline_runs.load(std::memory_order_relaxed);
+  return totals;
+}
+
+}  // namespace repro::tuner

@@ -1,0 +1,55 @@
+#pragma once
+// Pipelined ask path: overlap candidate *generation* with acquisition
+// *scoring*. Generation consumes the tuner's RNG stream, so it must stay
+// sequential and in ascending index order on the calling thread — reordering
+// it would change every downstream draw of the experiment. Scoring is pure
+// per candidate (writes only its own slot), so while the caller generates
+// batch k+1 the worker pool scores batch k, double-buffered: at most two
+// score batches are in flight, and the caller blocks on the older one
+// before dispatching the next.
+//
+// Byte-identity by construction: the generate order is exactly the serial
+// loop's, the scored values do not depend on which thread computes them,
+// and callers reduce the score slots in ascending index order with a strict
+// `>` — the same argmax the fused sequential loop picks.
+//
+// Nested on a pool worker the helper degrades to the serial generate-all /
+// score-all loop (submitting to a fully occupied pool from inside it is the
+// classic fork-join deadlock).
+
+#include <cstddef>
+#include <functional>
+
+namespace repro {
+class ThreadPool;
+}
+
+namespace repro::tuner {
+
+/// Counters for one pipelined ask (and, via ask_pipeline_totals(), the
+/// process-wide aggregate across all asks).
+struct AskPipelineStats {
+  std::size_t batches = 0;      ///< score batches executed
+  std::size_t overlapped = 0;   ///< batches scored while generation continued
+  std::size_t inline_runs = 0;  ///< asks that fell back to the serial loop
+};
+
+struct AskPipelineOptions {
+  std::size_t batch = 64;  ///< candidates per score batch
+};
+
+/// Run generate(i) for i in [0, count) in ascending order on the calling
+/// thread and score(i) exactly once per index, overlapping score batches
+/// with later generation. `score` must touch only state owned by index i.
+/// Per-call counters are added to `stats` when non-null and always folded
+/// into the process-wide totals.
+void pipelined_ask(ThreadPool& pool, std::size_t count,
+                   const std::function<void(std::size_t)>& generate,
+                   const std::function<void(std::size_t)>& score,
+                   AskPipelineStats* stats = nullptr,
+                   const AskPipelineOptions& options = {});
+
+/// Process-wide aggregate of every pipelined_ask() call (thread-safe).
+[[nodiscard]] AskPipelineStats ask_pipeline_totals() noexcept;
+
+}  // namespace repro::tuner

@@ -7,7 +7,9 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
+#include "tuner/pipeline.hpp"
 
 namespace repro::tuner {
 
@@ -100,35 +102,47 @@ TuneResult BoTpe::minimize(const ParamSpace& space, Evaluator& evaluator,
 
       // Sample candidates from l(x), rank by l(x)/g(x). Sampling stays
       // sequential (it consumes the RNG stream); scoring is pure per
-      // candidate, so it runs through parallel_for into indexed slots and
-      // the argmax reduces in ascending candidate order with a strict `>` —
-      // the same winner the fused sequential loop picked.
-      std::vector<Configuration> batch;
-      batch.reserve(options_.ei_candidates);
-      for (std::size_t c = 0; c < options_.ei_candidates; ++c) {
+      // candidate, so the pipeline overlaps it with later sampling into
+      // indexed slots, and the argmax reduces in ascending candidate order
+      // with a strict `>` — the same winner the fused sequential loop
+      // picked. The per-dimension log-ratio terms go through the shared
+      // sequential sum kernel (same left-to-right accumulation the fused
+      // loop used).
+      const std::size_t count = options_.ei_candidates;
+      std::vector<Configuration> batch(count);
+      std::vector<char> eligible(count, 0);
+      std::vector<double> scores(count, 0.0);
+      const auto generate = [&](std::size_t c) {
         Configuration candidate(space.num_params());
         for (std::size_t d = 0; d < space.num_params(); ++d) {
           candidate[d] = good_model[d].sample(rng);
         }
-        if (proposed.contains(space.encode(candidate))) continue;
-        if (options_.constraint_aware && !space.is_executable(candidate)) continue;
-        batch.push_back(std::move(candidate));
+        const bool dup = proposed.contains(space.encode(candidate));
+        const bool infeasible =
+            options_.constraint_aware && !space.is_executable(candidate);
+        eligible[c] = static_cast<char>(!dup && !infeasible);
+        batch[c] = std::move(candidate);
+      };
+      const auto score = [&](std::size_t c) {
+        if (eligible[c] == 0) return;
+        std::vector<double> terms(space.num_params());
+        for (std::size_t d = 0; d < space.num_params(); ++d) {
+          terms[d] = std::log(good_model[d].probability(batch[c][d])) -
+                     std::log(bad_model[d].probability(batch[c][d]));
+        }
+        scores[c] = simd::seq::sum(terms.data(), terms.size());
+      };
+      if (options_.pipelined_ask) {
+        pipelined_ask(repro::ThreadPool::global(), count, generate, score,
+                      nullptr, {options_.pipeline_batch});
+      } else {
+        for (std::size_t c = 0; c < count; ++c) generate(c);
+        repro::parallel_for(0, count, score, 0, 64);
       }
-      std::vector<double> scores(batch.size());
-      repro::parallel_for(
-          0, batch.size(),
-          [&](std::size_t c) {
-            double log_ratio = 0.0;
-            for (std::size_t d = 0; d < space.num_params(); ++d) {
-              log_ratio += std::log(good_model[d].probability(batch[c][d])) -
-                           std::log(bad_model[d].probability(batch[c][d]));
-            }
-            scores[c] = log_ratio;
-          },
-          0, 64);
       double best_ratio = -std::numeric_limits<double>::infinity();
       Configuration best_candidate;
-      for (std::size_t c = 0; c < batch.size(); ++c) {
+      for (std::size_t c = 0; c < count; ++c) {
+        if (eligible[c] == 0) continue;
         if (scores[c] > best_ratio) {
           best_ratio = scores[c];
           best_candidate = std::move(batch[c]);

@@ -4,6 +4,7 @@
 // tests/reprolint/test_reprolint.cpp.
 #include <atomic>
 #include <chrono>
+#include <immintrin.h>
 #include <execution>
 #include <numeric>
 #include <random>
@@ -52,6 +53,13 @@ std::atomic<double> bad_shared_total{0.0};
 
 double bad_parallel_reduce(const std::vector<double>& values) {
   return std::reduce(std::execution::par, values.begin(), values.end());
+}
+
+// Horizontal SIMD reduce: lane-combination order comes from the instruction,
+// so switching dispatch tiers reassociates the sum. (Fixture only — never
+// compiled; the intrinsic needs an AVX-512 target.)
+double bad_simd_reduce(__m512d accumulator) {
+  return _mm512_reduce_add_pd(accumulator);
 }
 
 void bad_raw_thread() {

@@ -126,6 +126,27 @@ TEST(Reprolint, AllowlistedFixtureUnderVirtualPaths) {
   }
 }
 
+TEST(Reprolint, SimdHorizontalReduceFiresAndJustifiedNolintSilences) {
+  // An unordered SIMD lane reduction is a nondet-reduction hazard; the
+  // sanctioned fixed-order use in common/simd.cpp carries a justified
+  // NOLINT, which must count as suppressed rather than leak a finding.
+  const std::string bare =
+      "double total(__m256d acc) { return _mm256_hadd_pd(acc, acc)[0]; }\n";
+  Report flagged;
+  reprolint::lint_content("src/x.cpp", bare, Options{}, flagged);
+  ASSERT_EQ(flagged.findings.size(), 1u);
+  EXPECT_EQ(flagged.findings[0].rule, "reprolint-nondet-reduction");
+  EXPECT_EQ(flagged.findings[0].line, 1);
+
+  const std::string justified =
+      "const __m128d pair = _mm_hadd_pd(a, b);  "
+      "// NOLINT(reprolint-nondet-reduction) fixed pairwise combine\n";
+  Report suppressed;
+  reprolint::lint_content("src/x.cpp", justified, Options{}, suppressed);
+  EXPECT_TRUE(suppressed.findings.empty());
+  EXPECT_EQ(suppressed.suppressed, 1u);
+}
+
 TEST(Reprolint, UnorderedNamesPropagateAcrossFiles) {
   // Declaration in one file, iteration in another: only the cross-file
   // name set makes the second file's range-for detectable.

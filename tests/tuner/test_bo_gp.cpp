@@ -149,5 +149,55 @@ TEST(BoGp, IncrementalGpProducesIdenticalTuneResult) {
   }
 }
 
+TEST(BoGp, PipelinedAskProducesIdenticalTuneResult) {
+  // The double-buffered ask pipeline only reorders *when* scoring work runs
+  // relative to candidate generation — generation stays sequential on the
+  // proposing thread (RNG stream untouched) and scoring is pure per index,
+  // so the full trace must match the serial path bit for bit.
+  const ParamSpace space = paper_search_space();
+  BoGpOptions piped;
+  piped.pipelined_ask = true;
+  BoGpOptions serial;
+  serial.pipelined_ask = false;
+
+  for (std::uint64_t seed : {3u, 11u}) {
+    std::size_t calls_piped = 0;
+    Evaluator eval_piped(space, testing::bowl_objective(&calls_piped), 45);
+    repro::Rng rng_piped(seed);
+    const TuneResult a = BoGp(piped).minimize(space, eval_piped, rng_piped);
+
+    std::size_t calls_serial = 0;
+    Evaluator eval_serial(space, testing::bowl_objective(&calls_serial), 45);
+    repro::Rng rng_serial(seed);
+    const TuneResult b = BoGp(serial).minimize(space, eval_serial, rng_serial);
+
+    EXPECT_EQ(calls_piped, calls_serial) << "seed " << seed;
+    EXPECT_EQ(a.best_config, b.best_config) << "seed " << seed;
+    EXPECT_EQ(a.best_value, b.best_value) << "seed " << seed;
+    EXPECT_EQ(rng_piped(), rng_serial()) << "seed " << seed;
+  }
+}
+
+TEST(BoGp, SparseSurrogateModeStillTunesDeterministically) {
+  // Force the sparse fallback to engage mid-run (threshold far below the
+  // budget) and check the tuner stays deterministic and functional. The
+  // trace legitimately differs from exact mode — the surrogate is an
+  // approximation — but it must not diverge between identical runs.
+  const ParamSpace space = paper_search_space();
+  BoGpOptions options;
+  options.sparse.threshold = 16;
+  options.sparse.landmarks = 8;
+  options.max_train_points = 256;  // keep history above the sparse threshold
+  TuneResult results[2];
+  for (int run = 0; run < 2; ++run) {
+    Evaluator evaluator(space, testing::bowl_objective(), 40);
+    repro::Rng rng(42);
+    results[run] = BoGp(options).minimize(space, evaluator, rng);
+  }
+  EXPECT_TRUE(results[0].found_valid);
+  EXPECT_EQ(results[0].best_config, results[1].best_config);
+  EXPECT_EQ(results[0].best_value, results[1].best_value);
+}
+
 }  // namespace
 }  // namespace repro::tuner

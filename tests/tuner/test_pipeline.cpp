@@ -1,0 +1,104 @@
+// The pipelined ask helper: every index generated before it is scored,
+// generation strictly ascending on the calling thread, exactly one score
+// per index, serial fallback inside a pool worker, and stats accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "tuner/pipeline.hpp"
+
+namespace repro::tuner {
+namespace {
+
+TEST(AskPipeline, GeneratesAscendingAndScoresEveryIndexOnce) {
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t count = 300;
+  std::vector<int> generated(count, 0);
+  std::vector<std::atomic<int>> scored(count);
+  std::size_t last_generated = 0;
+  bool ascending = true;
+
+  AskPipelineStats stats;
+  pipelined_ask(
+      pool, count,
+      [&](std::size_t i) {
+        if (i < last_generated) ascending = false;
+        last_generated = i;
+        generated[i] = 1;
+      },
+      [&](std::size_t i) {
+        // Generation of index i must have happened before its score runs.
+        EXPECT_EQ(generated[i], 1) << i;
+        scored[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      &stats, {64});
+
+  EXPECT_TRUE(ascending);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(generated[i], 1) << i;
+    EXPECT_EQ(scored[i].load(), 1) << i;
+  }
+  EXPECT_EQ(stats.batches, (count + 63) / 64);
+  EXPECT_EQ(stats.inline_runs, 0u);
+}
+
+TEST(AskPipeline, SmallCountRunsInline) {
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<int> scored(10, 0);
+  AskPipelineStats stats;
+  pipelined_ask(
+      pool, scored.size(), [](std::size_t) {},
+      [&](std::size_t i) { ++scored[i]; }, &stats, {64});
+  for (const int s : scored) EXPECT_EQ(s, 1);
+  EXPECT_EQ(stats.inline_runs, 1u);
+}
+
+TEST(AskPipeline, ZeroCountIsANoOp) {
+  AskPipelineStats stats;
+  pipelined_ask(
+      ThreadPool::global(), 0, [](std::size_t) { FAIL(); },
+      [](std::size_t) { FAIL(); }, &stats);
+  EXPECT_EQ(stats.batches, 0u);
+}
+
+TEST(AskPipeline, NestedOnPoolWorkerFallsBackToSerial) {
+  ThreadPool& pool = ThreadPool::global();
+  AskPipelineStats stats;
+  auto task = pool.submit([&] {
+    pipelined_ask(
+        pool, 500, [](std::size_t) {}, [](std::size_t) {}, &stats, {32});
+  });
+  task.get();
+  EXPECT_EQ(stats.inline_runs, 1u);  // would deadlock if it tried to overlap
+}
+
+TEST(AskPipeline, ProcessTotalsAccumulate) {
+  const AskPipelineStats before = ask_pipeline_totals();
+  pipelined_ask(
+      ThreadPool::global(), 200, [](std::size_t) {}, [](std::size_t) {},
+      nullptr, {50});
+  const AskPipelineStats after = ask_pipeline_totals();
+  EXPECT_EQ(after.batches - before.batches, 4u);
+}
+
+TEST(AskPipeline, ScoreExceptionPropagatesWithoutHanging) {
+  ThreadPool& pool = ThreadPool::global();
+  EXPECT_THROW(
+      pipelined_ask(
+          pool, 256, [](std::size_t) {},
+          [](std::size_t i) {
+            if (i == 70) throw std::runtime_error("boom");
+          },
+          nullptr, {64}),
+      std::runtime_error);
+  // The pool must still be usable afterwards (futures were drained).
+  auto probe = pool.submit([] { return 7; });
+  EXPECT_EQ(probe.get(), 7);
+}
+
+}  // namespace
+}  // namespace repro::tuner

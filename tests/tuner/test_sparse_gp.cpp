@@ -1,0 +1,245 @@
+// Large-history sparse-GP fallback: activation threshold, deterministic
+// landmark selection (pure in seed/options/n, independent of the fit-call
+// schedule), SIMD-tier byte-identity of the blocked factors, and the
+// guarantee that disabling (or simply never reaching) sparse mode leaves
+// the exact path byte-identical.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "tuner/gp/gp_regressor.hpp"
+
+namespace repro::tuner {
+namespace {
+
+bool bytes_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Deterministic 2-D history with a smooth trend plus seeded noise.
+void make_history(std::size_t n, std::vector<std::vector<double>>& x,
+                  std::vector<double>& y, std::uint64_t seed = 17) {
+  repro::Rng rng(seed);
+  x.clear();
+  y.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    x.push_back({a, b});
+    y.push_back(std::sin(5.0 * a) + 0.5 * b * b + 0.05 * rng.normal());
+  }
+}
+
+/// Small-scale sparse config so tests exercise the fallback with dozens of
+/// points instead of the production-default thousands.
+SparseGpOptions tiny_sparse() {
+  SparseGpOptions sparse;
+  sparse.threshold = 24;
+  sparse.landmarks = 12;
+  sparse.refresh_factor = 1.25;
+  return sparse;
+}
+
+const std::vector<std::vector<double>>& probes() {
+  static const std::vector<std::vector<double>> points = {
+      {0.1, 0.9}, {0.5, 0.5}, {0.77, 0.23}, {0.0, 1.0}};
+  return points;
+}
+
+TEST(SparseGp, StaysExactAtOrBelowThreshold) {
+  GpRegressor gp(GpHyperparams{0.3, 1.0, 1e-4});
+  gp.set_sparse_options(tiny_sparse());
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  make_history(24, x, y);  // n == threshold: strictly-greater activation
+  ASSERT_TRUE(gp.fit(x, y));
+  EXPECT_EQ(gp.mode(), SurrogateMode::kExact);
+  EXPECT_EQ(gp.sparse_refreshes(), 0u);
+  EXPECT_EQ(gp.landmarks_active(), 0u);
+  EXPECT_EQ(gp.num_points(), 24u);
+}
+
+TEST(SparseGp, EngagesAboveThresholdWithLandmarkCore) {
+  GpRegressor gp(GpHyperparams{0.3, 1.0, 1e-4});
+  const SparseGpOptions sparse = tiny_sparse();
+  gp.set_sparse_options(sparse);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  make_history(40, x, y);
+  ASSERT_TRUE(gp.fit(x, y));
+  EXPECT_EQ(gp.mode(), SurrogateMode::kSparse);
+  EXPECT_GE(gp.sparse_refreshes(), 1u);
+  EXPECT_EQ(gp.landmarks_active(), sparse.landmarks);
+  // Active set = landmark core + exact tail, strictly smaller than the
+  // history (that is the entire point of the fallback).
+  EXPECT_LT(gp.num_points(), 40u);
+  for (const auto& p : probes()) {
+    EXPECT_TRUE(std::isfinite(gp.predict(p).mean));
+    EXPECT_GE(gp.predict(p).variance, 0.0);
+  }
+}
+
+TEST(SparseGp, SelectionIsDeterministicUnderFixedSeedAndOptions) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  make_history(60, x, y);
+
+  GpRegressor first(GpHyperparams{0.3, 1.0, 1e-4});
+  GpRegressor second(GpHyperparams{0.3, 1.0, 1e-4});
+  first.set_sparse_options(tiny_sparse());
+  second.set_sparse_options(tiny_sparse());
+  ASSERT_TRUE(first.fit(x, y));
+  ASSERT_TRUE(second.fit(x, y));
+  ASSERT_EQ(first.mode(), SurrogateMode::kSparse);
+  EXPECT_EQ(first.num_points(), second.num_points());
+  EXPECT_EQ(first.landmarks_active(), second.landmarks_active());
+  for (const auto& p : probes()) {
+    EXPECT_TRUE(bytes_equal(first.predict(p).mean, second.predict(p).mean));
+    EXPECT_TRUE(
+        bytes_equal(first.predict(p).variance, second.predict(p).variance));
+  }
+}
+
+TEST(SparseGp, SelectionIsIndependentOfFitCallSchedule) {
+  // One regressor sees the history grow a point at a time (crossing the
+  // exact->sparse flip and several landmark refreshes); the other fits once
+  // at the final size. The landmark grid is a pure function of (options, n),
+  // so both must land on byte-identical posteriors.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  make_history(70, x, y);
+
+  GpRegressor incremental(GpHyperparams{0.3, 1.0, 1e-4});
+  GpRegressor oneshot(GpHyperparams{0.3, 1.0, 1e-4});
+  incremental.set_sparse_options(tiny_sparse());
+  oneshot.set_sparse_options(tiny_sparse());
+
+  for (std::size_t n = 2; n <= x.size(); ++n) {
+    ASSERT_TRUE(incremental.fit(std::span(x.data(), n), std::span(y.data(), n)));
+  }
+  ASSERT_TRUE(oneshot.fit(x, y));
+  ASSERT_EQ(incremental.mode(), SurrogateMode::kSparse);
+  ASSERT_EQ(oneshot.mode(), SurrogateMode::kSparse);
+  EXPECT_EQ(incremental.num_points(), oneshot.num_points());
+  EXPECT_EQ(incremental.landmarks_active(), oneshot.landmarks_active());
+  // The schedule determines how many refreshes were *observed*, but not the
+  // final selection.
+  EXPECT_GE(incremental.sparse_refreshes(), oneshot.sparse_refreshes());
+  ASSERT_EQ(incremental.cholesky().size(), oneshot.cholesky().size());
+  for (std::size_t r = 0; r < incremental.cholesky().size(); ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      ASSERT_TRUE(
+          bytes_equal(incremental.cholesky().at(r, c), oneshot.cholesky().at(r, c)))
+          << "L(" << r << "," << c << ")";
+    }
+  }
+  for (const auto& p : probes()) {
+    EXPECT_TRUE(bytes_equal(incremental.predict(p).mean, oneshot.predict(p).mean));
+    EXPECT_TRUE(
+        bytes_equal(incremental.predict(p).variance, oneshot.predict(p).variance));
+  }
+}
+
+TEST(SparseGp, ScalarAndSimdTiersProduceByteIdenticalSparseFits) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  make_history(64, x, y);
+
+  const simd::Tier saved = simd::active_tier();
+  ASSERT_EQ(simd::set_tier(simd::Tier::kScalar), simd::Tier::kScalar);
+  GpRegressor scalar_gp(GpHyperparams{0.3, 1.0, 1e-4});
+  scalar_gp.set_sparse_options(tiny_sparse());
+  ASSERT_TRUE(scalar_gp.fit(x, y));
+  ASSERT_EQ(scalar_gp.mode(), SurrogateMode::kSparse);
+  std::vector<double> scalar_alpha(scalar_gp.alpha().begin(),
+                                   scalar_gp.alpha().end());
+  std::vector<GpPrediction> scalar_predictions;
+  for (const auto& p : probes()) scalar_predictions.push_back(scalar_gp.predict(p));
+
+  for (const simd::Tier tier : {simd::Tier::kSse2, simd::Tier::kAvx2}) {
+    if (simd::set_tier(tier) != tier) continue;  // CPU lacks this tier
+    GpRegressor simd_gp(GpHyperparams{0.3, 1.0, 1e-4});
+    simd_gp.set_sparse_options(tiny_sparse());
+    ASSERT_TRUE(simd_gp.fit(x, y));
+    ASSERT_EQ(simd_gp.mode(), SurrogateMode::kSparse);
+
+    // chol_ byte-identity, entry by entry.
+    ASSERT_EQ(simd_gp.cholesky().size(), scalar_gp.cholesky().size());
+    for (std::size_t r = 0; r < simd_gp.cholesky().size(); ++r) {
+      for (std::size_t c = 0; c <= r; ++c) {
+        ASSERT_TRUE(
+            bytes_equal(simd_gp.cholesky().at(r, c), scalar_gp.cholesky().at(r, c)))
+            << "tier " << simd::tier_name(tier) << " L(" << r << "," << c << ")";
+      }
+    }
+    // alpha_ byte-identity.
+    ASSERT_EQ(simd_gp.alpha().size(), scalar_alpha.size());
+    EXPECT_EQ(std::memcmp(simd_gp.alpha().data(), scalar_alpha.data(),
+                          scalar_alpha.size() * sizeof(double)),
+              0)
+        << simd::tier_name(tier);
+    // Prediction byte-identity.
+    for (std::size_t i = 0; i < probes().size(); ++i) {
+      const GpPrediction prediction = simd_gp.predict(probes()[i]);
+      EXPECT_TRUE(bytes_equal(prediction.mean, scalar_predictions[i].mean))
+          << simd::tier_name(tier);
+      EXPECT_TRUE(bytes_equal(prediction.variance, scalar_predictions[i].variance))
+          << simd::tier_name(tier);
+    }
+  }
+  simd::set_tier(saved);
+}
+
+TEST(SparseGp, DisabledOptionsReproduceTheExactPathByteForByte) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  make_history(50, x, y);
+
+  GpRegressor plain(GpHyperparams{0.3, 1.0, 1e-4});  // defaults: inert sparse
+  GpRegressor disabled(GpHyperparams{0.3, 1.0, 1e-4});
+  SparseGpOptions off;
+  off.threshold = 0;  // enabled() == false
+  disabled.set_sparse_options(off);
+  ASSERT_TRUE(plain.fit(x, y));
+  ASSERT_TRUE(disabled.fit(x, y));
+  EXPECT_EQ(plain.mode(), SurrogateMode::kExact);
+  EXPECT_EQ(disabled.mode(), SurrogateMode::kExact);
+  for (const auto& p : probes()) {
+    EXPECT_TRUE(bytes_equal(plain.predict(p).mean, disabled.predict(p).mean));
+    EXPECT_TRUE(
+        bytes_equal(plain.predict(p).variance, disabled.predict(p).variance));
+  }
+}
+
+TEST(SparseGp, ChangingOptionsResetsFittedState) {
+  GpRegressor gp(GpHyperparams{0.3, 1.0, 1e-4});
+  gp.set_sparse_options(tiny_sparse());
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  make_history(40, x, y);
+  ASSERT_TRUE(gp.fit(x, y));
+  ASSERT_EQ(gp.mode(), SurrogateMode::kSparse);
+
+  SparseGpOptions wider = tiny_sparse();
+  wider.landmarks = 20;
+  gp.set_sparse_options(wider);
+  EXPECT_FALSE(gp.fitted());
+  EXPECT_EQ(gp.mode(), SurrogateMode::kExact);
+  EXPECT_EQ(gp.landmarks_active(), 0u);
+  ASSERT_TRUE(gp.fit(x, y));  // refits cleanly under the new options
+  EXPECT_EQ(gp.mode(), SurrogateMode::kSparse);
+  EXPECT_EQ(gp.landmarks_active(), 20u);
+}
+
+TEST(SparseGp, ModeNamesAreStable) {
+  EXPECT_STREQ(surrogate_mode_name(SurrogateMode::kExact), "exact");
+  EXPECT_STREQ(surrogate_mode_name(SurrogateMode::kSparse), "sparse");
+}
+
+}  // namespace
+}  // namespace repro::tuner

@@ -266,6 +266,20 @@ const std::set<std::string>& distribution_names() {
   return names;
 }
 
+const std::set<std::string>& simd_reduce_names() {
+  // Horizontal SIMD float reductions: the lane-combination order is fixed by
+  // the instruction, not by the source loop, so swapping dispatch tiers (or
+  // compilers) silently reassociates the sum. Ordered alternatives live in
+  // common/simd.hpp (fixed-blocking kernels); a use that pins and documents
+  // its combination order carries a justified NOLINT.
+  static const std::set<std::string> names = {
+      "_mm_hadd_ps",          "_mm_hadd_pd",
+      "_mm256_hadd_ps",       "_mm256_hadd_pd",
+      "_mm512_reduce_add_ps", "_mm512_reduce_add_pd",
+      "vaddvq_f32",           "vaddvq_f64"};
+  return names;
+}
+
 const std::set<std::string>& unordered_container_names() {
   static const std::set<std::string> names = {
       "unordered_map", "unordered_set", "unordered_multimap",
@@ -546,6 +560,13 @@ void lint_content(const std::string& path, const std::string& content,
       emit(path, lx, line, "reprolint-nondet-reduction",
            "std::" + id + " may reassociate floating-point terms; use an "
            "ordered accumulation",
+           options, report);
+      continue;
+    }
+    if (simd_reduce_names().count(id) != 0 && is(t, i + 1, "(")) {
+      emit(path, lx, line, "reprolint-nondet-reduction",
+           id + " combines SIMD lanes in hardware order; use the ordered "
+           "fixed-blocking kernels in common/simd.hpp or justify with NOLINT",
            options, report);
       continue;
     }

@@ -21,7 +21,10 @@
 //                                (iteration order is not part of the spec)
 //   reprolint-nondet-reduction   float accumulation in nondeterministic
 //                                order (atomic<float/double>, parallel
-//                                std::reduce, omp reduction)
+//                                std::reduce, omp reduction, horizontal
+//                                SIMD reduce intrinsics — _mm*_hadd_p*,
+//                                _mm512_reduce_add_p*, vaddvq — whose lane
+//                                order is fixed by hardware, not source)
 //   reprolint-raw-thread         std::thread/std::async/pthread_create
 //                                bypassing repro::ThreadPool
 //
