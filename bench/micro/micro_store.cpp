@@ -1,0 +1,132 @@
+// Microbenchmarks for the cross-tenant results store: what does persisting
+// (and later reusing) every acknowledged tell cost? The fsync'd append is
+// the store's durability tax on the tell hot path — it rides the same ack
+// barrier as the session WAL, so the two fsyncs are the daemon's per-tell
+// floor. Load prices a daemon restart over a populated store, and the
+// query benchmark prices building one warm-start prior snapshot at open.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.hpp"
+#include "store/results_store.hpp"
+
+namespace {
+
+using namespace repro;
+
+store::StoreKey tenant_key() {
+  return store::StoreKey{"mandelbrot", "titanv", "0123456789abcdef"};
+}
+
+std::string fresh_dir() {
+  char templ[] = "/tmp/repro_microstore_XXXXXX";
+  const char* dir = ::mkdtemp(templ);
+  return dir != nullptr ? dir : "/tmp";
+}
+
+tuner::Configuration config_for(int i) {
+  return tuner::Configuration{i / 100, i % 100, 7};
+}
+
+double value_for(int i) {
+  std::uint64_t state = seed_combine(41, static_cast<std::uint64_t>(i) + 1);
+  return 1.0 + static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Populate a store log with `records` distinct observations, fsync off
+/// (fixture building, not the durability path under test).
+void populate(store::ResultsStore& store, int records) {
+  const store::StoreKey key = tenant_key();
+  for (int i = 0; i < records; ++i) {
+    (void)store.append(key, config_for(i), value_for(i), true);
+  }
+}
+
+/// One fsync'd append per iteration — the store's share of the durable
+/// tell ack path.
+void BM_StoreAppendFsync(benchmark::State& state) {
+  const std::string dir = fresh_dir();
+  store::StoreOptions options;
+  options.dir = dir;
+  store::ResultsStore store(options);
+  store.load();
+  const store::StoreKey key = tenant_key();
+  int i = 0;
+  std::size_t appends = 0;
+  for (auto _ : state) {
+    const tuner::Configuration config = config_for(i);
+    if (!store.append(key, config, value_for(i), true)) {
+      state.SkipWithError("append deduplicated or failed");
+      break;
+    }
+    ++i;
+    ++appends;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(appends));
+  state.SetLabel("fsync'd store record append");
+  (void)std::remove(store.log_path().c_str());
+  (void)::rmdir(dir.c_str());
+}
+
+/// Log replay at daemon startup: parse + index-build over a populated log.
+/// Items = records recovered, so the per-item rate is restart cost per
+/// stored observation.
+void BM_StoreLoad(benchmark::State& state) {
+  const auto records = static_cast<int>(state.range(0));
+  const std::string dir = fresh_dir();
+  store::StoreOptions options;
+  options.dir = dir;
+  options.fsync_appends = false;  // fixture building, not the path measured
+  {
+    store::ResultsStore fixture(options);
+    fixture.load();
+    populate(fixture, records);
+  }
+  std::size_t loaded = 0;
+  for (auto _ : state) {
+    store::ResultsStore store(options);
+    store.load();
+    benchmark::DoNotOptimize(store.stats());
+    loaded += store.stats().records;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(loaded));
+  state.SetLabel("log replay @ " + std::to_string(records) + " records");
+  {
+    store::ResultsStore cleanup(options);
+    (void)std::remove(cleanup.log_path().c_str());
+  }
+  (void)::rmdir(dir.c_str());
+}
+
+/// Prior-snapshot build at open: one capped query against a large tenant
+/// history (the daemon's warm-start path takes exactly this copy).
+void BM_StoreWarmQuery(benchmark::State& state) {
+  const auto records = static_cast<int>(state.range(0));
+  store::ResultsStore store(store::StoreOptions{});
+  store.load();
+  populate(store, records);
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    const std::vector<store::StoreRecord> snapshot =
+        store.query(tenant_key(), 512);
+    benchmark::DoNotOptimize(snapshot);
+    rows += snapshot.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rows));
+  state.SetLabel("512-row prior snapshot @ " + std::to_string(records) +
+                 "-record tenant");
+}
+
+BENCHMARK(BM_StoreAppendFsync);
+BENCHMARK(BM_StoreLoad)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreWarmQuery)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

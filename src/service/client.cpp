@@ -256,6 +256,34 @@ void Client::ping() {
   (void)call_resilient(request, /*idempotent=*/true);
 }
 
+Json Client::store_stats() {
+  Json request = Json::object();
+  request.set("op", "store_stats");
+  return call_resilient(request, /*idempotent=*/true);
+}
+
+std::vector<store::TenantSnapshot> Client::store_export(const std::string& benchmark,
+                                                        const std::string& arch,
+                                                        std::size_t limit) {
+  Json request = Json::object();
+  request.set("op", "store_export");
+  if (!benchmark.empty()) request.set("benchmark", benchmark);
+  if (!arch.empty()) request.set("arch", arch);
+  if (limit > 0) request.set("limit", static_cast<std::uint64_t>(limit));
+  const Json response = call_resilient(request, /*idempotent=*/true);
+  return decode_tenants(require(response, "tenants"));
+}
+
+std::size_t Client::store_import(const std::vector<store::TenantSnapshot>& tenants) {
+  Json request = Json::object();
+  request.set("op", "store_import");
+  request.set("tenants", encode_tenants(tenants));
+  // Imports are dedup'd server-side (first value wins), so a replay after a
+  // lost response cannot double-store — idempotent by construction.
+  const Json response = call_resilient(request, /*idempotent=*/true);
+  return static_cast<std::size_t>(require_uint(response, "imported"));
+}
+
 Client::RemoteResult Client::remote_minimize(const OpenParams& params,
                                              const tuner::Objective& objective) {
   // Deterministic idempotency token (only when retries are on): unique per

@@ -132,6 +132,19 @@ class Client {
   [[nodiscard]] Json status();
   void ping();
 
+  /// Results-store ops (see docs/SERVICE.md). store_stats answers on any
+  /// daemon (store_enabled:false when no store is configured); export and
+  /// import answer kBadRequest without one.
+  [[nodiscard]] Json store_stats();
+  /// Export tenant histories, optionally filtered; limit > 0 caps rows
+  /// (server clamps to its frame-size budget either way).
+  [[nodiscard]] std::vector<store::TenantSnapshot> store_export(
+      const std::string& benchmark = "", const std::string& arch = "",
+      std::size_t limit = 0);
+  /// Import tenant histories; returns the count of newly stored records
+  /// (duplicates dedup server-side).
+  std::size_t store_import(const std::vector<store::TenantSnapshot>& tenants);
+
   /// Drive a complete remote tuning session: open (with a deterministic
   /// idempotency token when retries are enabled), ask/tell with `objective`
   /// until the algorithm terminates, fetch the result, close.

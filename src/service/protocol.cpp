@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+
+#include "store/fingerprint.hpp"
 
 namespace repro::service {
 
@@ -190,6 +193,24 @@ Json encode_open(const OpenParams& params) {
     space.set("constraint", params.constraint);
     request.set("space", std::move(space));
   }
+  // Store-tenancy extension fields: emitted only when set, so frames (and
+  // the WAL/ship records built from them) from store-less sessions stay
+  // byte-identical to pre-store builds.
+  if (!params.benchmark.empty()) request.set("benchmark", params.benchmark);
+  if (!params.arch.empty()) request.set("arch", params.arch);
+  if (params.warm_start) request.set("warm_start", true);
+  if (params.prior != nullptr && !params.prior->empty()) {
+    Json rows = Json::array();
+    for (const tuner::PriorObservation& row : *params.prior) {
+      Json entry = Json::object();
+      entry.set("c", encode_config(row.config));
+      entry.set("v", row.valid && std::isfinite(row.value) ? Json(row.value)
+                                                           : Json(nullptr));
+      entry.set("ok", row.valid);
+      rows.push_back(std::move(entry));
+    }
+    request.set("prior", std::move(rows));
+  }
   return request;
 }
 
@@ -228,7 +249,38 @@ OpenParams decode_open(const Json& request) {
     if (const Json* constraint = space->find("constraint"))
       params.constraint = constraint->as_string();
   }
+  if (const Json* benchmark = request.find("benchmark"))
+    params.benchmark = benchmark->as_string();
+  if (const Json* arch = request.find("arch")) params.arch = arch->as_string();
+  if (const Json* warm = request.find("warm_start")) params.warm_start = warm->as_bool();
+  if (const Json* prior = request.find("prior"); prior != nullptr) {
+    if (!prior->is_array()) bad_request("prior must be an array");
+    tuner::PriorHistory rows;
+    rows.reserve(prior->as_array().size());
+    for (const Json& entry : prior->as_array()) {
+      if (!entry.is_object()) bad_request("prior rows must be objects");
+      tuner::PriorObservation row;
+      row.config = decode_config(require(entry, "c"));
+      if (row.config.empty()) bad_request("prior row has an empty config");
+      row.valid = require_bool(entry, "ok");
+      const Json* value = entry.find("v");
+      if (value != nullptr && !value->is_null()) {
+        row.value = value->as_double();
+      } else {
+        row.valid = false;  // a "valid" row without a runtime cannot seed
+      }
+      rows.push_back(std::move(row));
+    }
+    params.prior = std::make_shared<const tuner::PriorHistory>(std::move(rows));
+  }
   return params;
+}
+
+std::string space_fingerprint_of(const OpenParams& params) {
+  if (params.custom_space) {
+    return store::space_fingerprint(params.params, params.constraint);
+  }
+  return store::paper_space_fingerprint();
 }
 
 Json encode_config(const tuner::Configuration& config) {
@@ -319,6 +371,55 @@ void decode_tune_result(const Json& object, tuner::TuneResult* result,
   result->evaluations_used =
       static_cast<std::size_t>(require_uint(object, "evaluations_used"));
   if (counters != nullptr) *counters = decode_counters(require(object, "counters"));
+}
+
+Json encode_tenants(const std::vector<store::TenantSnapshot>& tenants) {
+  Json array = Json::array();
+  for (const store::TenantSnapshot& tenant : tenants) {
+    Json entry = Json::object();
+    entry.set("benchmark", tenant.key.benchmark);
+    entry.set("arch", tenant.key.arch);
+    entry.set("space", tenant.key.fingerprint);
+    Json rows = Json::array();
+    for (const store::StoreRecord& row : tenant.rows) {
+      Json record = Json::object();
+      record.set("c", encode_config(row.config));
+      record.set("v", std::isfinite(row.value) ? Json(row.value) : Json(nullptr));
+      record.set("ok", row.valid);
+      rows.push_back(std::move(record));
+    }
+    entry.set("rows", std::move(rows));
+    array.push_back(std::move(entry));
+  }
+  return array;
+}
+
+std::vector<store::TenantSnapshot> decode_tenants(const Json& array) {
+  if (!array.is_array()) bad_request("tenants must be an array");
+  std::vector<store::TenantSnapshot> tenants;
+  tenants.reserve(array.as_array().size());
+  for (const Json& entry : array.as_array()) {
+    store::TenantSnapshot tenant;
+    tenant.key.benchmark = require_string(entry, "benchmark");
+    tenant.key.arch = require_string(entry, "arch");
+    tenant.key.fingerprint = require_string(entry, "space");
+    const Json& rows = require(entry, "rows");
+    if (!rows.is_array()) bad_request("tenant rows must be an array");
+    tenant.rows.reserve(rows.as_array().size());
+    for (const Json& record : rows.as_array()) {
+      store::StoreRecord row;
+      row.config = decode_config(require(record, "c"));
+      if (row.config.empty()) bad_request("tenant row config must be non-empty");
+      const Json* value = record.find("v");
+      row.value = (value == nullptr || value->is_null())
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : value->as_double();
+      row.valid = require_bool(record, "ok");
+      tenant.rows.push_back(std::move(row));
+    }
+    tenants.push_back(std::move(tenant));
+  }
+  return tenants;
 }
 
 std::optional<tuner::EvalStatus> eval_status_from(std::string_view text) noexcept {

@@ -56,10 +56,12 @@
 
 #include "common/json.hpp"
 #include "common/socket.hpp"
+#include "store/results_store.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/objective.hpp"
 #include "tuner/search_space.hpp"
 #include "tuner/tuner.hpp"
+#include "tuner/warm_start.hpp"
 
 namespace repro::service {
 
@@ -177,9 +179,27 @@ struct OpenParams {
   std::vector<tuner::ParamRange> params;
   std::string constraint = "none";  ///< "none" or "wg256" (paper constraint)
 
+  // Results-store tenancy (all optional; absent fields keep the frame —
+  // and therefore existing WAL/ship byte streams — unchanged). benchmark +
+  // arch identify the tenant whose history the session's tells feed; when
+  // warm_start is set the daemon snapshots compatible prior history into
+  // `prior` exactly once at open time. The snapshot rides the WAL open
+  // record and ship_open, so recovery and replica replay reuse it verbatim
+  // instead of re-deriving it from a store that has since moved on —
+  // replayed proposals stay byte-identical.
+  std::string benchmark;  ///< tenant kernel name ("" = anonymous, no store)
+  std::string arch;       ///< tenant architecture name
+  bool warm_start = false;
+  tuner::PriorHandle prior;  ///< server-filled prior snapshot
+
   /// Materialize the requested space (paper space unless custom).
   [[nodiscard]] tuner::ParamSpace make_space() const;
 };
+
+/// Canonical store fingerprint of the space an open request resolves to
+/// (store/fingerprint.hpp; the paper space fingerprints its own params with
+/// constraint "wg256").
+[[nodiscard]] std::string space_fingerprint_of(const OpenParams& params);
 
 [[nodiscard]] Json encode_open(const OpenParams& params);
 [[nodiscard]] OpenParams decode_open(const Json& request);
@@ -199,6 +219,14 @@ void decode_tune_result(const Json& object, tuner::TuneResult* result,
 
 [[nodiscard]] Json encode_counters(const tuner::FailureCounters& counters);
 [[nodiscard]] tuner::FailureCounters decode_counters(const Json& object);
+
+/// Results-store export payload <-> wire form. One tenant is
+/// {"benchmark":...,"arch":...,"space":"<fingerprint>",
+///  "rows":[{"c":[<ints>],"v":<us|null>,"ok":<bool>},...]}
+/// (the same row shape the store's on-disk log uses). Used by the
+/// store_export / store_import ops.
+[[nodiscard]] Json encode_tenants(const std::vector<store::TenantSnapshot>& tenants);
+[[nodiscard]] std::vector<store::TenantSnapshot> decode_tenants(const Json& array);
 
 [[nodiscard]] std::optional<tuner::EvalStatus> eval_status_from(std::string_view text) noexcept;
 

@@ -1,6 +1,7 @@
 #include "service/router.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -480,6 +481,9 @@ Json Router::dispatch(const Json& request, Downstreams& downstreams,
                         "a router accepts client session ops, not replication "
                         "records; ship to a standby shard directly");
     }
+    if (op == "store_stats" || op == "store_export" || op == "store_import") {
+      return route_store(op, request, downstreams);
+    }
     if (op == "ask" || op == "tell" || op == "result" || op == "close") {
       const std::string namespaced = require_string(request, "session");
       const auto split = split_session_id(namespaced, config_.shards.size());
@@ -598,6 +602,77 @@ Json Router::route_open(const Json& request, Downstreams& downstreams) {
   }
   return make_retry_later("no shard available for placement",
                           /*retry_after_ms=*/500);
+}
+
+Json Router::route_store(const std::string& op, const Json& request,
+                         Downstreams& downstreams) {
+  // A tenant's history lives on whichever shard served its sessions, so the
+  // router fans store ops out to every primary: imports land on all shards
+  // (first-value-wins dedup makes the broadcast idempotent and replay-safe),
+  // stats sum across the cluster, and exports concatenate shard snapshots
+  // (re-importing a concatenation dedups back to the union).
+  std::uint64_t imported = 0, import_duplicates = 0, records = 0, tenants = 0;
+  bool any_enabled = false, truncated = false;
+  // Per-shard digest/dir stay in the "shards" breakdown; every additive
+  // counter is summed so a router-pointed client sees cluster totals.
+  static constexpr const char* kStatCounters[] = {
+      "appends",     "duplicates",  "rejected",    "evictions",
+      "compactions", "io_errors",   "log_records", "log_bytes",
+      "loaded_records"};
+  std::uint64_t stat_totals[std::size(kStatCounters)] = {};
+  Json exported = Json::array();
+  Json per_shard = Json::array();
+  for (std::size_t shard = 0; shard < config_.shards.size(); ++shard) {
+    Json reply = forward(shard, request, /*idempotent=*/true, downstreams);
+    const Json* ok = reply.find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) return reply;
+    const auto add = [&reply](std::uint64_t& total, const char* key) {
+      const Json* field = reply.find(key);
+      if (field != nullptr && field->is_number()) total += field->as_uint64();
+    };
+    if (op == "store_import") {
+      add(imported, "imported");
+      add(import_duplicates, "duplicates");
+      continue;
+    }
+    if (op == "store_stats") {
+      const Json* enabled = reply.find("store_enabled");
+      any_enabled = any_enabled || (enabled != nullptr && enabled->is_bool() &&
+                                    enabled->as_bool());
+      add(records, "records");
+      add(tenants, "tenants");
+      for (std::size_t i = 0; i < std::size(kStatCounters); ++i)
+        add(stat_totals[i], kStatCounters[i]);
+      reply.set("shard", static_cast<std::uint64_t>(shard));
+      per_shard.push_back(std::move(reply));
+      continue;
+    }
+    add(records, "records");
+    const Json* flag = reply.find("truncated");
+    truncated = truncated || (flag != nullptr && flag->is_bool() && flag->as_bool());
+    if (const Json* shard_tenants = reply.find("tenants");
+        shard_tenants != nullptr && shard_tenants->is_array()) {
+      for (const Json& tenant : shard_tenants->as_array())
+        exported.push_back(tenant);
+    }
+  }
+  Json response = make_ok();
+  if (op == "store_import") {
+    response.set("imported", imported);
+    response.set("duplicates", import_duplicates);
+  } else if (op == "store_stats") {
+    response.set("store_enabled", any_enabled);
+    response.set("records", records);
+    response.set("tenants", tenants);
+    for (std::size_t i = 0; i < std::size(kStatCounters); ++i)
+      response.set(kStatCounters[i], stat_totals[i]);
+    response.set("shards", std::move(per_shard));
+  } else {
+    response.set("tenants", std::move(exported));
+    response.set("records", records);
+    response.set("truncated", truncated);
+  }
+  return response;
 }
 
 Json Router::aggregate_status() {

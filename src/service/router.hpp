@@ -152,6 +152,10 @@ class Router {
   [[nodiscard]] Json forward(std::size_t shard, Json request, bool idempotent,
                              Downstreams& downstreams);
   [[nodiscard]] Json route_open(const Json& request, Downstreams& downstreams);
+  /// Broadcast a results-store op to every shard primary and merge the
+  /// replies (imports are dedup'd server-side, so the fan-out is replay-safe).
+  [[nodiscard]] Json route_store(const std::string& op, const Json& request,
+                                 Downstreams& downstreams);
   [[nodiscard]] Json aggregate_status();
 
   /// Pick the open-placement shard for `key` by walking the ring past down

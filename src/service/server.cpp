@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.hpp"
@@ -19,8 +20,22 @@ namespace {
 
 }  // namespace
 
+namespace {
+
+[[nodiscard]] std::shared_ptr<store::ResultsStore> make_store(const ServerConfig& config) {
+  if (config.store_dir.empty()) return nullptr;
+  store::StoreOptions options;
+  options.dir = config.store_dir;
+  options.capacity = config.store_capacity;
+  return std::make_shared<store::ResultsStore>(std::move(options));
+}
+
+}  // namespace
+
 TuneServer::TuneServer(ServerConfig config)
-    : config_(std::move(config)), manager_(std::make_unique<SessionManager>(config_.limits)) {
+    : config_(std::move(config)),
+      store_(make_store(config_)),
+      manager_(std::make_unique<SessionManager>(config_.limits, store_)) {
   standby_ = config_.standby;
 }
 
@@ -31,6 +46,17 @@ void TuneServer::start() {
     repro::MutexLock lock(mutex_);
     if (started_) return;
     started_ = true;
+  }
+  if (store_ != nullptr) {
+    // The store loads before session recovery: replayed tells re-append
+    // their records (dedup makes that idempotent), and recovered sessions
+    // may carry journaled warm-start priors that postdate the store's tail.
+    store_->load();
+    const store::StoreStats stats = store_->stats();
+    log_info("tuned: results store at {}: {} records across {} tenants "
+             "loaded{}",
+             config_.store_dir, stats.loaded_records, stats.tenants,
+             stats.torn_tail ? " (torn tail dropped)" : "");
   }
   if (!config_.limits.state_dir.empty()) {
     // Recover before the first client can connect: replayed sessions must
@@ -294,7 +320,8 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
       // protocol header); old servers simply omit the list.
       Json features = Json::array();
       for (const char* feature :
-           {"deadline_ms", "seq", "resume", "token", "retry_later", "cluster"})
+           {"deadline_ms", "seq", "resume", "token", "retry_later", "cluster",
+            "store"})
         features.push_back(feature);
       response.set("features", std::move(features));
       return response;
@@ -359,6 +386,72 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
       // lost the first response can safely retry.
       promote();
       return make_ok();
+    }
+    // Store ops answer on any role: a standby's store is inspectable (and
+    // seedable) without promoting it.
+    if (op == "store_stats") {
+      Json response = make_ok();
+      response.set("store_enabled", store_ != nullptr);
+      if (store_ != nullptr) {
+        const store::StoreStats stats = store_->stats();
+        response.set("dir", config_.store_dir);
+        response.set("records", static_cast<std::uint64_t>(stats.records));
+        response.set("tenants", static_cast<std::uint64_t>(stats.tenants));
+        response.set("appends", stats.appends);
+        response.set("duplicates", stats.duplicates);
+        response.set("rejected", stats.rejected);
+        response.set("evictions", stats.evictions);
+        response.set("compactions", stats.compactions);
+        response.set("io_errors", stats.io_errors);
+        response.set("log_records", static_cast<std::uint64_t>(stats.log_records));
+        response.set("log_bytes", stats.log_bytes);
+        response.set("loaded_records",
+                     static_cast<std::uint64_t>(stats.loaded_records));
+        response.set("torn_tail", stats.torn_tail);
+        response.set("digest", store_->digest());
+      }
+      return response;
+    }
+    if (op == "store_export") {
+      if (store_ == nullptr)
+        return make_error(ErrorCode::kBadRequest, "no results store configured");
+      std::string benchmark;
+      std::string arch;
+      if (const Json* field = request.find("benchmark")) benchmark = field->as_string();
+      if (const Json* field = request.find("arch")) arch = field->as_string();
+      // Row cap keeps the response inside kMaxFrameBytes (a row is ~60
+      // wire bytes); clients page with the benchmark/arch filters.
+      constexpr std::uint64_t kExportRowCap = 8192;
+      const std::uint64_t limit =
+          std::min(optional_uint(request, "limit").value_or(kExportRowCap),
+                   kExportRowCap);
+      const std::vector<store::TenantSnapshot> tenants =
+          store_->export_tenants(benchmark, arch, static_cast<std::size_t>(limit));
+      std::uint64_t rows = 0;
+      for (const store::TenantSnapshot& tenant : tenants) rows += tenant.rows.size();
+      Json response = make_ok();
+      response.set("tenants", encode_tenants(tenants));
+      response.set("records", rows);
+      response.set("truncated", limit < kExportRowCap ? rows == limit
+                                                      : rows == kExportRowCap);
+      return response;
+    }
+    if (op == "store_import") {
+      if (store_ == nullptr)
+        return make_error(ErrorCode::kBadRequest, "no results store configured");
+      const std::vector<store::TenantSnapshot> tenants =
+          decode_tenants(require(request, "tenants"));
+      std::size_t offered = 0;
+      for (const store::TenantSnapshot& tenant : tenants) offered += tenant.rows.size();
+      try {
+        const std::size_t imported = store_->import_tenants(tenants);
+        Json response = make_ok();
+        response.set("imported", static_cast<std::uint64_t>(imported));
+        response.set("duplicates", static_cast<std::uint64_t>(offered - imported));
+        return response;
+      } catch (const store::IncompatibleSpaceError& error) {
+        return make_error(ErrorCode::kBadRequest, error.what());
+      }
     }
     if (op == "open") {
       {
@@ -439,6 +532,17 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
         recovery.set("evicted_tombstones",
                      static_cast<std::uint64_t>(report.recovery.evicted_tombstones));
         response.set("recovery", std::move(recovery));
+      }
+      response.set("store_enabled", report.store_enabled);
+      if (report.store_enabled && store_ != nullptr) {
+        const store::StoreStats stats = store_->stats();
+        Json store_summary = Json::object();
+        store_summary.set("records", static_cast<std::uint64_t>(stats.records));
+        store_summary.set("tenants", static_cast<std::uint64_t>(stats.tenants));
+        store_summary.set("append_errors",
+                          static_cast<std::uint64_t>(report.store_errors));
+        store_summary.set("io_errors", stats.io_errors);
+        response.set("store", std::move(store_summary));
       }
       response.set("ship_enabled", report.ship_enabled);
       if (report.ship_enabled) {

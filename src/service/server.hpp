@@ -28,6 +28,7 @@
 #include "common/thread_pool.hpp"
 #include "service/protocol.hpp"
 #include "service/session_manager.hpp"
+#include "store/results_store.hpp"
 
 namespace repro::service {
 
@@ -54,6 +55,14 @@ struct ServerConfig {
   /// promote()) flips the role. A primary (standby=false) conversely
   /// refuses ship_*/promote with wrong_role.
   bool standby = false;
+  /// Directory of the persistent cross-tenant results store ("" disables
+  /// it). The store is loaded before session recovery so replayed tells can
+  /// feed it, and every acknowledged tell of a tenant-identified session
+  /// (open with benchmark+arch) is appended. Exposed over the wire as
+  /// store_stats / store_export / store_import; warm-started opens read it.
+  std::string store_dir;
+  /// Live-record capacity of the results store (FIFO eviction past it).
+  std::size_t store_capacity = 1u << 20;
   std::string name = "tuned/1";
 };
 
@@ -92,6 +101,10 @@ class TuneServer {
 
   [[nodiscard]] SessionManager& sessions() noexcept { return *manager_; }
   [[nodiscard]] const SessionManager& sessions() const noexcept { return *manager_; }
+  /// The daemon's results store; nullptr unless config.store_dir is set.
+  [[nodiscard]] const std::shared_ptr<store::ResultsStore>& store() const noexcept {
+    return store_;
+  }
   [[nodiscard]] std::size_t active_connections() const;
   [[nodiscard]] std::size_t connections_accepted() const;
   /// Connections reaped by connection_idle_timeout.
@@ -108,6 +121,9 @@ class TuneServer {
   ServerConfig config_;
   std::uint16_t port_ = 0;
   ListenSocket listener_;
+  /// Created before (and shared with) the session manager; internally
+  /// synchronized, so handlers use it without mutex_.
+  std::shared_ptr<store::ResultsStore> store_;
   std::unique_ptr<SessionManager> manager_;
   std::unique_ptr<ThreadPool> pool_;
   /// The accept thread owns the blocking listener; a pool worker parked in

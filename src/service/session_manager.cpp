@@ -17,11 +17,37 @@ constexpr std::size_t kTombstoneCap = 4096;
 
 }  // namespace
 
-SessionManager::SessionManager(SessionLimits limits) : limits_(std::move(limits)) {
+SessionManager::SessionManager(SessionLimits limits,
+                               std::shared_ptr<store::ResultsStore> store)
+    : limits_(std::move(limits)), store_(std::move(store)) {
   if (limits_.ship.port != 0) {
     ShipConfig ship = limits_.ship;
     ship.state_dir = limits_.state_dir;  // resync source = our own journals
     shipper_ = std::make_unique<WalShipper>(std::move(ship));
+  }
+}
+
+void SessionManager::bind_store_tenant(ManagedSession& managed,
+                                       const OpenParams& params) const {
+  if (store_ == nullptr || params.benchmark.empty() || params.arch.empty()) return;
+  managed.store_enabled = true;
+  managed.store_key = store::StoreKey{params.benchmark, params.arch,
+                                      space_fingerprint_of(params)};
+}
+
+void SessionManager::store_append(const ManagedSession& managed,
+                                  const tuner::Configuration& config,
+                                  const tuner::Evaluation& evaluation) {
+  if (store_ == nullptr || !managed.store_enabled || config.empty()) return;
+  const double value =
+      evaluation.valid ? evaluation.value : std::numeric_limits<double>::quiet_NaN();
+  try {
+    (void)store_->append(managed.store_key, config, value, evaluation.valid);
+  } catch (const store::StoreError& error) {
+    log_warn("results store: dropping record for {}/{}: {}",
+             managed.store_key.benchmark, managed.store_key.arch, error.what());
+    repro::MutexLock lock(mutex_);
+    ++store_errors_;
   }
 }
 
@@ -58,14 +84,18 @@ RecoveryStats SessionManager::recover() {
       continue;
     }
     try {
+      // A warm-started session recovers with the *journaled* prior snapshot
+      // — never a fresh store query, which would see history appended since
+      // the original open and diverge the replay.
       std::unique_ptr<tuner::SearchAlgorithm> algorithm =
-          tuner::make_algorithm(journal.open.algorithm);
+          tuner::make_algorithm(journal.open.algorithm, journal.open.prior);
       tuner::ParamSpace space = journal.open.make_space();
       auto managed = std::make_shared<ManagedSession>(
           std::move(space), std::move(algorithm), journal.open.budget,
           journal.open.seed, journal.open.retry);
       managed->last_activity = now;
       managed->token = journal.token;
+      bind_store_tenant(*managed, journal.open);
       // Replay: deterministic search must re-propose exactly the journaled
       // configurations; any divergence means the journal does not belong to
       // this binary/space and recovering it would corrupt the study.
@@ -76,6 +106,10 @@ RecoveryStats SessionManager::recover() {
                                    std::to_string(tell.seq));
         }
         managed->session.tell(tell.evaluation);
+        // Re-append to the results store: dedup makes this idempotent when
+        // the store already has the record, and it heals a store whose own
+        // log lost a tail the session WAL retained.
+        store_append(*managed, tell.config, tell.evaluation);
         ++stats.tells_replayed;
       }
       managed->applied_seq =
@@ -134,22 +168,44 @@ std::string SessionManager::open(const OpenParams& params, const std::string& to
                           limits_.retry_after_ms);
     }
   }
+  // Warm start: snapshot the tenant's prior history EXACTLY ONCE, here, at
+  // the client-facing open. The snapshot rides `effective` into the WAL
+  // open record and the ship_open frame, so recovery and the standby replay
+  // the same prior verbatim instead of re-deriving it from a store that has
+  // since moved on (which would diverge the deterministic replay).
+  OpenParams effective = params;
+  if (store_ != nullptr && effective.warm_start && effective.prior == nullptr &&
+      !effective.benchmark.empty() && !effective.arch.empty()) {
+    const store::StoreKey key{effective.benchmark, effective.arch,
+                              space_fingerprint_of(effective)};
+    const std::vector<store::StoreRecord> rows =
+        store_->query(key, limits_.warm_start_max_rows);
+    if (!rows.empty()) {
+      tuner::PriorHistory prior;
+      prior.reserve(rows.size());
+      for (const store::StoreRecord& row : rows) {
+        prior.push_back(tuner::PriorObservation{row.config, row.value, row.valid});
+      }
+      effective.prior = std::make_shared<const tuner::PriorHistory>(std::move(prior));
+    }
+  }
   // Construct outside the lock: registry lookup and space building can
   // throw, and AskTellSession starts a thread.
   std::unique_ptr<tuner::SearchAlgorithm> algorithm;
   try {
-    algorithm = tuner::make_algorithm(params.algorithm);
+    algorithm = tuner::make_algorithm(effective.algorithm, effective.prior);
   } catch (const std::out_of_range&) {
     throw ProtocolError(ErrorCode::kBadRequest,
                         "unknown algorithm: " + params.algorithm);
   }
-  tuner::ParamSpace space = params.make_space();
+  tuner::ParamSpace space = effective.make_space();
   auto managed = std::make_shared<ManagedSession>(
-      std::move(space), std::move(algorithm), params.budget, params.seed,
-      params.retry);
+      std::move(space), std::move(algorithm), effective.budget, effective.seed,
+      effective.retry);
   // Idle-eviction bookkeeping; never feeds tuning results.
   managed->last_activity = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
   managed->token = token;
+  bind_store_tenant(*managed, effective);
 
   std::string id;
   {
@@ -183,10 +239,11 @@ std::string SessionManager::open(const OpenParams& params, const std::string& to
                         limits_.retry_after_ms);
   }
   // Journal the open before the caller can observe the id: once the client
-  // sees this session exist, a crash must not forget it.
+  // sees this session exist, a crash must not forget it. `effective`
+  // carries the prior snapshot, so recovery warm-starts identically.
   if (!limits_.state_dir.empty()) {
     managed->wal =
-        SessionWal::create(wal_path(limits_.state_dir, id), id, token, params);
+        SessionWal::create(wal_path(limits_.state_dir, id), id, token, effective);
     if (managed->wal == nullptr) {
       repro::MutexLock lock(mutex_);
       ++wal_errors_;
@@ -195,9 +252,13 @@ std::string SessionManager::open(const OpenParams& params, const std::string& to
   // Replicate the open to the hot standby before the id is observable, for
   // the same reason the journal is written first. A ship failure degrades
   // the shard (resync repairs it later), it never fails the open.
-  if (shipper_ != nullptr) (void)shipper_->ship_open(id, token, params);
-  log_debug("session {} opened: {} budget={} seed={}", id, params.algorithm,
-            params.budget, params.seed);
+  if (shipper_ != nullptr) (void)shipper_->ship_open(id, token, effective);
+  log_debug("session {} opened: {} budget={} seed={}{}", id, effective.algorithm,
+            effective.budget, effective.seed,
+            effective.prior != nullptr && !effective.prior->empty()
+                ? " (warm start: " + std::to_string(effective.prior->size()) +
+                      " prior rows)"
+                : "");
   return id;
 }
 
@@ -334,6 +395,10 @@ SessionManager::TellAck SessionManager::tell(const std::string& id,
     repro::MutexLock lock(mutex_);
     ++wal_errors_;
   }
+  // Results-store barrier: the tenant's history record is fsync'd before
+  // the ack leaves too, so an acknowledged tell can warm-start future
+  // sessions even across a crash.
+  if (config.has_value()) store_append(*managed, *config, evaluation);
   // Replication barrier: while the ship link is up, the ack also waits for
   // the standby's fsync'd apply — an acknowledged tell then survives a
   // primary SIGKILL with zero client-visible loss. On ship failure the
@@ -450,7 +515,9 @@ std::shared_ptr<SessionManager::ManagedSession> SessionManager::register_session
   }
   std::unique_ptr<tuner::SearchAlgorithm> algorithm;
   try {
-    algorithm = tuner::make_algorithm(params.algorithm);
+    // Replica/recovery path: the prior snapshot (if any) is the one the
+    // primary journaled — never re-derived here.
+    algorithm = tuner::make_algorithm(params.algorithm, params.prior);
   } catch (const std::out_of_range&) {
     throw ProtocolError(ErrorCode::kBadRequest,
                         "unknown algorithm: " + params.algorithm);
@@ -462,6 +529,7 @@ std::shared_ptr<SessionManager::ManagedSession> SessionManager::register_session
   // Idle-eviction bookkeeping; never feeds tuning results.
   managed->last_activity = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
   managed->token = token;
+  bind_store_tenant(*managed, params);
   {
     repro::MutexLock lock(mutex_);
     for (auto& [key, existing] : sessions_) {
@@ -572,6 +640,9 @@ SessionManager::TellAck SessionManager::apply_replica_tell(
     repro::MutexLock lock(mutex_);
     ++wal_errors_;
   }
+  // The standby's own results store gets the record too: a promoted shard
+  // must warm-start future tenants exactly like the primary it replaces.
+  store_append(*managed, config, evaluation);
   const std::size_t told = managed->session.tells();
   const std::size_t budget = managed->session.budget();
   return TellAck{told >= budget ? 0 : budget - told, false};
@@ -640,7 +711,9 @@ StatusReport SessionManager::status() const {
   report.tells = tells_total_;
   report.duplicate_tells = duplicate_tells_;
   report.wal_errors = wal_errors_;
+  report.store_errors = store_errors_;
   report.wal_enabled = !limits_.state_dir.empty();
+  report.store_enabled = store_ != nullptr;
   report.recovery = recovery_;
   report.tallies = tallies_;
   if (shipper_ != nullptr) {

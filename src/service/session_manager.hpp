@@ -39,6 +39,7 @@
 #include "service/protocol.hpp"
 #include "service/session_wal.hpp"
 #include "service/wal_ship.hpp"
+#include "store/results_store.hpp"
 #include "tuner/ask_tell.hpp"
 
 namespace repro::service {
@@ -50,6 +51,10 @@ struct SessionLimits {
   std::string state_dir;
   /// Backoff hint carried by kRetryLater admission pushback.
   std::uint64_t retry_after_ms = 250;
+  /// Cap on prior rows snapshotted into a warm-started open. Bounds both
+  /// the seeding cost and the open record's frame size (512 rows ≈ 30 KiB,
+  /// far under kMaxFrameBytes).
+  std::size_t warm_start_max_rows = 512;
   /// Hot-standby replication target (ship.port == 0 disables). Requires a
   /// state_dir: the local journals are the resync source after an outage.
   /// ship.state_dir is filled from state_dir by the manager.
@@ -80,7 +85,9 @@ struct StatusReport {
   std::size_t tells = 0;
   std::size_t duplicate_tells = 0;  ///< idempotent seq replays acknowledged
   std::size_t wal_errors = 0;       ///< journal appends that failed (IO)
+  std::size_t store_errors = 0;     ///< results-store appends that failed
   bool wal_enabled = false;
+  bool store_enabled = false;       ///< a results store is attached
   RecoveryStats recovery;  ///< from the last recover() call
   tuner::FailureCounters tallies;
   /// Replication state (meaningful only when ship_enabled).
@@ -103,7 +110,12 @@ struct SessionInfo {
 
 class SessionManager {
  public:
-  explicit SessionManager(SessionLimits limits = {});
+  /// `store` (optional) is the daemon-wide results store: every
+  /// acknowledged tell of a session that declared a (benchmark, arch)
+  /// tenant — live, WAL-recovered or ship-applied — is appended to it, and
+  /// warm_start opens snapshot their prior from it.
+  explicit SessionManager(SessionLimits limits = {},
+                          std::shared_ptr<store::ResultsStore> store = nullptr);
   ~SessionManager();
 
   SessionManager(const SessionManager&) = delete;
@@ -221,6 +233,11 @@ class SessionManager {
     tuner::AskTellSession session;
     /// Open-idempotency token ("" = none). Immutable once registered.
     std::string token;
+    /// Results-store tenancy (immutable once registered): store_enabled is
+    /// set when the open declared a (benchmark, arch) and a store is
+    /// attached; store_key is the tenant every applied tell feeds.
+    bool store_enabled = false;
+    store::StoreKey store_key;
     /// Journal; null when durability is off or the journal died on an IO
     /// error. Appends are serialized by the per-session client protocol.
     std::unique_ptr<SessionWal> wal;
@@ -238,6 +255,12 @@ class SessionManager {
   };
 
   [[nodiscard]] std::shared_ptr<ManagedSession> find_and_touch(const std::string& id);
+  /// Fill a session's store tenancy fields from its open params.
+  void bind_store_tenant(ManagedSession& managed, const OpenParams& params) const;
+  /// Append one applied tell to the results store (no-op when the session
+  /// has no tenant). Store failures degrade (counted), never fail the tell.
+  void store_append(const ManagedSession& managed, const tuner::Configuration& config,
+                    const tuner::Evaluation& evaluation);
   /// Construct + register a session under a caller-chosen id (replica /
   /// recovery path). Returns nullptr when the id is already live.
   std::shared_ptr<ManagedSession> register_session(const std::string& id,
@@ -261,12 +284,16 @@ class SessionManager {
   std::size_t tells_total_ GUARDED_BY(mutex_) = 0;
   std::size_t duplicate_tells_ GUARDED_BY(mutex_) = 0;
   std::size_t wal_errors_ GUARDED_BY(mutex_) = 0;
+  std::size_t store_errors_ GUARDED_BY(mutex_) = 0;
   RecoveryStats recovery_ GUARDED_BY(mutex_);
   tuner::FailureCounters tallies_ GUARDED_BY(mutex_);
   /// Primary-side replication; null unless limits_.ship.port != 0. Own
   /// internal lock — ship calls must not (and do not) hold mutex_, they
   /// block on the follower's network ack.
   std::unique_ptr<WalShipper> shipper_;
+  /// Daemon-wide results store; null disables tenancy. Thread-safe with its
+  /// own internal locking — never touched under mutex_.
+  std::shared_ptr<store::ResultsStore> store_;
 };
 
 }  // namespace repro::service

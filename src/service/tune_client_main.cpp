@@ -112,7 +112,22 @@ int main(int argc, char** argv) {
                  "every (re)connect walks it front-to-back deterministically "
                  "(overrides --host/--port)",
                  "");
+  cli.add_flag("warm-start",
+               "seed each search from the daemon's results-store history for "
+               "this (benchmark, arch) tenant (needs a daemon started with "
+               "--store-dir; a cold store falls back to the normal search)");
+  cli.add_flag("store-stats",
+               "print the daemon's results-store statistics and exit");
   if (!cli.parse(argc, argv)) return 2;
+
+  if (cli.get_flag("warm-start") && cli.get_flag("verify")) {
+    // A warm-started search sees prior history the in-process replay does
+    // not, so byte-identity against minimize() is not a meaningful check.
+    std::fprintf(stderr,
+                 "tune_client: --warm-start and --verify are mutually "
+                 "exclusive (the warm prior changes the trajectory)\n");
+    return 2;
+  }
 
   const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
   std::vector<service::ClientConfig::Endpoint> endpoints;
@@ -189,6 +204,63 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (cli.get_flag("store-stats")) {
+    try {
+      const Json stats = client.store_stats();
+      const Json* enabled = stats.find("store_enabled");
+      if (enabled == nullptr || !enabled->as_bool()) {
+        std::printf("results store: disabled (start tuned with --store-dir)\n");
+        client.disconnect();
+        return 0;
+      }
+      const auto count = [&stats](const char* key) -> unsigned long long {
+        const Json* field = stats.find(key);
+        return field == nullptr ? 0ULL
+                                : static_cast<unsigned long long>(field->as_uint64());
+      };
+      const Json* dir = stats.find("dir");
+      std::printf("results store: %s\n",
+                  dir != nullptr ? dir->as_string().c_str()
+                                 : "(aggregated across shards)");
+      std::printf("  live records   %llu across %llu tenants\n", count("records"),
+                  count("tenants"));
+      std::printf("  appends        %llu new, %llu deduplicated, %llu rejected\n",
+                  count("appends"), count("duplicates"), count("rejected"));
+      std::printf("  log            %llu lines, %llu bytes, %llu compactions\n",
+                  count("log_records"), count("log_bytes"), count("compactions"));
+      std::printf("  evictions      %llu (capacity FIFO)\n", count("evictions"));
+      std::printf("  io errors      %llu\n", count("io_errors"));
+      std::printf("  last load      %llu records%s\n", count("loaded_records"),
+                  stats.find("torn_tail") != nullptr &&
+                          stats.find("torn_tail")->as_bool()
+                      ? " (torn tail dropped)"
+                      : "");
+      if (stats.find("digest") != nullptr) {
+        std::printf("  digest         %016llx\n", count("digest"));
+      } else if (const Json* shards = stats.find("shards");
+                 shards != nullptr && shards->is_array()) {
+        // Router-aggregated reply: digests are per shard (order-sensitive,
+        // so a cluster-wide one would be meaningless).
+        for (const Json& shard : shards->as_array()) {
+          const Json* index = shard.find("shard");
+          const Json* digest = shard.find("digest");
+          std::printf("  digest         shard %llu: %016llx\n",
+                      index == nullptr
+                          ? 0ULL
+                          : static_cast<unsigned long long>(index->as_uint64()),
+                      digest == nullptr
+                          ? 0ULL
+                          : static_cast<unsigned long long>(digest->as_uint64()));
+        }
+      }
+    } catch (const std::exception& error) {
+      log_error("tune_client: store_stats failed: {}", error.what());
+      return 1;
+    }
+    client.disconnect();
+    return 0;
+  }
+
   // Campaign checkpoint: one CSV row per finished algorithm cell, appended
   // whole and flushed so a kill between cells leaves only complete lines.
   // Resume rewrites the valid prefix first (the reattach-truncate rule the
@@ -232,6 +304,11 @@ int main(int argc, char** argv) {
     params.algorithm = id;
     params.budget = budget;
     params.seed = algo_seed;
+    // Tenant identity rides every open: a store-enabled daemon records this
+    // study's tells under it (and --warm-start reads them back).
+    params.benchmark = cli.get("benchmark");
+    params.arch = cli.get("arch");
+    params.warm_start = cli.get_flag("warm-start");
 
     Rng objective_rng(objective_seed);
     const tuner::Objective objective = context.make_objective(objective_rng);

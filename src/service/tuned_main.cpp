@@ -52,6 +52,15 @@ int main(int argc, char** argv) {
                  "(host:port or bare port; 0 disables; requires --state-dir)",
                  "0");
   cli.add_option("ship-timeout-ms", "per-record replication RPC budget", "5000");
+  cli.add_option("store-dir",
+                 "persistent cross-tenant results store directory: record "
+                 "every acknowledged tell of tenant-identified sessions and "
+                 "serve warm-start priors (empty disables the store)",
+                 "");
+  cli.add_option("store-capacity",
+                 "results-store live-record cap (oldest records evicted "
+                 "past it)",
+                 "1048576");
   if (!cli.parse(argc, argv)) return 2;
 
   service::ServerConfig config;
@@ -62,6 +71,8 @@ int main(int argc, char** argv) {
   config.limits.state_dir = cli.get("state-dir");
   config.max_connections = static_cast<std::size_t>(cli.get_int("max-connections"));
   config.standby = cli.get_flag("standby");
+  config.store_dir = cli.get("store-dir");
+  config.store_capacity = static_cast<std::size_t>(cli.get_int("store-capacity"));
   {
     const std::string ship_to = cli.get("ship-to");
     const std::size_t colon = ship_to.rfind(':');

@@ -1,0 +1,56 @@
+#include "store/fingerprint.hpp"
+
+#include <cstdint>
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace repro::store {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_text(std::uint64_t& hash, std::string_view text) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+}
+
+void fnv_int(std::uint64_t& hash, long long value) {
+  char buffer[32];
+  const int n = std::snprintf(buffer, sizeof buffer, "%lld", value);
+  fnv_text(hash, std::string_view(buffer, static_cast<std::size_t>(n)));
+}
+
+}  // namespace
+
+std::string space_fingerprint(const std::vector<tuner::ParamRange>& params,
+                              const std::string& constraint) {
+  // Versioned canonical serialization: bump the tag if the scheme ever
+  // changes so old stores cannot silently alias onto new keys.
+  std::uint64_t hash = kFnvOffset;
+  fnv_text(hash, "space:v1");
+  for (const auto& param : params) {
+    fnv_text(hash, "\x1e");  // record separator between parameters
+    fnv_text(hash, param.name);
+    fnv_text(hash, "\x1f");  // unit separator inside one parameter
+    fnv_int(hash, param.lo);
+    fnv_text(hash, "\x1f");
+    fnv_int(hash, param.hi);
+  }
+  fnv_text(hash, "\x1e" "constraint:");
+  fnv_text(hash, constraint);
+  std::uint64_t state = hash;
+  const std::uint64_t finalized = splitmix64(state);
+  char out[17];
+  std::snprintf(out, sizeof out, "%016llx", static_cast<unsigned long long>(finalized));
+  return std::string(out, 16);
+}
+
+std::string paper_space_fingerprint() {
+  return space_fingerprint(tuner::paper_search_space().params(), "wg256");
+}
+
+}  // namespace repro::store

@@ -1,0 +1,37 @@
+#pragma once
+// Canonical fingerprint of a search space.
+//
+// The results store keys history by (benchmark, arch, space fingerprint):
+// prior observations are only reusable when the space they were measured in
+// is *identical* — same parameters in the same order, same inclusive ranges,
+// same executability constraint. A ParamSpace holds its constraint as an
+// opaque std::function, so the fingerprint is computed from the declarative
+// description that crosses the wire instead (the ordered ParamRange list
+// plus the constraint identifier from OpenParams), which is exactly the
+// information every daemon reconstructs the space from. Two daemons — or
+// two runs years apart — that decode the same open request therefore derive
+// the same fingerprint, byte for byte.
+//
+// Format: 16 lowercase hex digits of an FNV-1a 64-bit hash over a versioned
+// canonical serialization, finalized through splitmix64 so near-identical
+// spaces land far apart. The serialization uses ASCII unit separators, so
+// no parameter name can collide two different spaces onto one string.
+
+#include <string>
+#include <vector>
+
+#include "tuner/search_space.hpp"
+
+namespace repro::store {
+
+/// Fingerprint of a declarative space description. `constraint` is the wire
+/// identifier ("none" or "wg256" today); callers must pass the same ordered
+/// param list they would put in an open request.
+[[nodiscard]] std::string space_fingerprint(const std::vector<tuner::ParamRange>& params,
+                                            const std::string& constraint);
+
+/// Fingerprint of the paper's default 6-parameter space (constraint wg256).
+/// This is what an open request without a custom space resolves to.
+[[nodiscard]] std::string paper_space_fingerprint();
+
+}  // namespace repro::store

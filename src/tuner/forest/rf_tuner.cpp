@@ -13,12 +13,24 @@ TuneResult RandomForestTuner::minimize(const ParamSpace& space, Evaluator& evalu
   const std::size_t predictions = std::min(options_.top_predictions, budget);
   const std::size_t train_budget = budget - predictions;
 
-  // Stage 1: collect the training set (each sample measured once).
+  // Warm start: valid prior tenant rows pretrain the forest at zero budget
+  // cost. They stay out of `seen` (a promising prior config may be
+  // re-measured via the candidate pool) and out of the evaluator.
   std::vector<std::vector<double>> X;
   std::vector<double> y;
   std::unordered_set<std::uint64_t> seen;
-  X.reserve(train_budget);
-  y.reserve(train_budget);
+  if (warm_start::has_rows(options_.prior)) {
+    for (const PriorObservation& row :
+         warm_start::compatible_rows(*options_.prior, space)) {
+      if (!row.valid) continue;  // the forest trains on runtimes only
+      X.push_back(space.normalize(row.config));
+      y.push_back(row.value);
+    }
+  }
+
+  // Stage 1: collect the training set (each sample measured once).
+  X.reserve(X.size() + train_budget);
+  y.reserve(y.size() + train_budget);
   try {
     std::size_t draws = 0;
     const std::size_t max_draws = 64 * budget + 64;

@@ -9,6 +9,7 @@
 
 #include "tuner/forest/random_forest.hpp"
 #include "tuner/tuner.hpp"
+#include "tuner/warm_start.hpp"
 
 namespace repro::tuner {
 
@@ -19,6 +20,10 @@ struct RfTunerOptions {
   /// Candidate pool size the model ranks. The paper predicts over the
   /// executable space; we subsample it for speed (documented in DESIGN.md).
   std::size_t candidate_pool = 2048;
+  /// Cross-tenant warm start (tuner/warm_start.hpp): valid prior rows join
+  /// the forest's training set at zero budget cost (the paper's S-10/10
+  /// split is unchanged). Null/empty = byte-identical cold path.
+  PriorHandle prior;
 };
 
 class RandomForestTuner final : public SearchAlgorithm {

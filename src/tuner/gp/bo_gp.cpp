@@ -35,13 +35,33 @@ struct History {
 TuneResult BoGp::minimize(const ParamSpace& space, Evaluator& evaluator,
                           repro::Rng& rng) {
   const std::size_t budget = evaluator.budget();
-  const std::size_t init = std::min(
-      budget, std::max(options_.min_init,
-                       static_cast<std::size_t>(std::llround(
-                           options_.init_fraction * static_cast<double>(budget)))));
+  // Warm start: prior tenant history replaces most of the random-init
+  // phase — the surrogate already knows the landscape, so only min_init
+  // fresh draws anchor it before model-driven proposals begin.
+  std::vector<PriorObservation> prior_rows;
+  if (warm_start::has_rows(options_.prior)) {
+    prior_rows = warm_start::compatible_rows(*options_.prior, space);
+  }
+  const std::size_t init =
+      prior_rows.empty()
+          ? std::min(budget,
+                     std::max(options_.min_init,
+                              static_cast<std::size_t>(std::llround(
+                                  options_.init_fraction * static_cast<double>(budget)))))
+          : std::min(budget, options_.min_init);
 
   History history;
   std::unordered_set<std::uint64_t> proposed;
+  // Prior rows are observations at zero budget cost. They stay out of
+  // `proposed` (the search may re-measure a promising prior config) and out
+  // of the evaluator (the reported best is in-session only).
+  for (const PriorObservation& row : prior_rows) {
+    history.configs.push_back(row.config);
+    history.valid.push_back(row.valid);
+    double value = std::numeric_limits<double>::quiet_NaN();
+    if (row.valid) value = options_.log_transform ? std::log(row.value) : row.value;
+    history.raw.push_back(value);
+  }
 
   auto observe = [&](const Configuration& config) {
     proposed.insert(space.encode(config));

@@ -8,6 +8,7 @@
 
 #include "tuner/gp/gp_regressor.hpp"
 #include "tuner/tuner.hpp"
+#include "tuner/warm_start.hpp"
 
 namespace repro::tuner {
 
@@ -48,6 +49,11 @@ struct BoGpOptions {
   /// produce bit-identical tuning traces.
   bool pipelined_ask = true;
   std::size_t pipeline_batch = 64;  ///< candidates per score batch
+  /// Cross-tenant warm start (tuner/warm_start.hpp): prior rows enter the
+  /// GP training set as observations at zero budget cost, and random
+  /// initialization shrinks to min_init. Null/empty = byte-identical cold
+  /// path.
+  PriorHandle prior;
 };
 
 class BoGp final : public SearchAlgorithm {

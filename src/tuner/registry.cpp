@@ -56,6 +56,36 @@ std::unique_ptr<SearchAlgorithm> make_algorithm(const std::string& name) {
   throw std::out_of_range("unknown algorithm: " + name);
 }
 
+std::unique_ptr<SearchAlgorithm> make_algorithm(const std::string& name,
+                                                const PriorHandle& prior) {
+  const std::string id = canonical(name);
+  if (warm_start::has_rows(prior)) {
+    if (id == "rf" || id == "randomforest") {
+      RfTunerOptions options;
+      options.prior = prior;
+      return std::make_unique<RandomForestTuner>(options);
+    }
+    if (id == "bogp" || id == "gp") {
+      BoGpOptions options;
+      options.prior = prior;
+      return std::make_unique<BoGp>(options);
+    }
+    if (id == "botpe" || id == "tpe") {
+      BoTpeOptions options;
+      options.prior = prior;
+      return std::make_unique<BoTpe>(options);
+    }
+  }
+  return make_algorithm(name);
+}
+
+bool supports_warm_start(const std::string& name) {
+  const std::string id = canonical(name);
+  (void)make_algorithm(name);  // reject unknown names the same way
+  return id == "rf" || id == "randomforest" || id == "bogp" || id == "gp" ||
+         id == "botpe" || id == "tpe";
+}
+
 const std::vector<std::string>& paper_algorithms() {
   static const std::vector<std::string> ids = {"rs", "rf", "ga", "bogp", "botpe"};
   return ids;

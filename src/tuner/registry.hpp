@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "tuner/tuner.hpp"
+#include "tuner/warm_start.hpp"
 
 namespace repro::tuner {
 
@@ -17,6 +18,17 @@ namespace repro::tuner {
 /// "sa", "pso", "bandit"; case-insensitive, spaces/underscores ignored).
 /// Throws std::out_of_range for unknown names.
 [[nodiscard]] std::unique_ptr<SearchAlgorithm> make_algorithm(const std::string& name);
+
+/// Like make_algorithm, but with a cross-tenant warm-start prior
+/// (tuner/warm_start.hpp) injected into the model-based algorithms (BO GP,
+/// BO TPE, RF). Algorithms without a model ignore the prior; a null/empty
+/// prior is exactly make_algorithm(name).
+[[nodiscard]] std::unique_ptr<SearchAlgorithm> make_algorithm(const std::string& name,
+                                                              const PriorHandle& prior);
+
+/// True when `name` resolves to an algorithm that can consume a warm-start
+/// prior. Throws std::out_of_range for unknown names.
+[[nodiscard]] bool supports_warm_start(const std::string& name);
 
 /// Canonical identifiers of the paper's five algorithms, in figure order.
 [[nodiscard]] const std::vector<std::string>& paper_algorithms();

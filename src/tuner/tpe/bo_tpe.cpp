@@ -46,6 +46,19 @@ TuneResult BoTpe::minimize(const ParamSpace& space, Evaluator& evaluator,
   std::vector<Observation> history;
   std::unordered_set<std::uint64_t> proposed;
 
+  // Warm start: prior tenant rows join the good/bad split at zero budget
+  // cost. They stay out of `proposed` (a promising prior config may be
+  // re-measured in-session) and out of the evaluator (the reported best is
+  // in-session only).
+  std::size_t prior_count = 0;
+  if (warm_start::has_rows(options_.prior)) {
+    for (const PriorObservation& row :
+         warm_start::compatible_rows(*options_.prior, space)) {
+      history.push_back({row.config, row.value, row.valid});
+      ++prior_count;
+    }
+  }
+
   auto observe = [&](const Configuration& config) {
     proposed.insert(space.encode(config));
     const Evaluation eval = evaluator.evaluate(config);
@@ -57,7 +70,10 @@ TuneResult BoTpe::minimize(const ParamSpace& space, Evaluator& evaluator,
   };
 
   try {
-    const std::size_t startup = std::min(options_.n_startup, evaluator.budget());
+    // Each prior row displaces one of hyperopt's random startup trials.
+    const std::size_t startup_needed =
+        options_.n_startup > prior_count ? options_.n_startup - prior_count : 0;
+    const std::size_t startup = std::min(startup_needed, evaluator.budget());
     for (std::size_t i = 0; i < startup; ++i) observe(draw(rng));
 
     for (;;) {

@@ -12,6 +12,7 @@
 // placed in the "bad" set.
 
 #include "tuner/tuner.hpp"
+#include "tuner/warm_start.hpp"
 
 namespace repro::tuner {
 
@@ -30,6 +31,10 @@ struct BoTpeOptions {
   /// matters for enlarged ei_candidates sweeps.
   bool pipelined_ask = true;
   std::size_t pipeline_batch = 64;  ///< candidates per score batch
+  /// Cross-tenant warm start (tuner/warm_start.hpp): prior rows join the
+  /// good/bad split at zero budget cost and displace that many startup
+  /// draws. Null/empty = byte-identical cold path.
+  PriorHandle prior;
 };
 
 class BoTpe final : public SearchAlgorithm {

@@ -1,0 +1,23 @@
+#include "tuner/warm_start.hpp"
+
+#include <cmath>
+
+namespace repro::tuner::warm_start {
+
+std::vector<PriorObservation> compatible_rows(const PriorHistory& prior,
+                                              const ParamSpace& space) {
+  std::vector<PriorObservation> rows;
+  rows.reserve(prior.size());
+  for (const PriorObservation& row : prior) {
+    if (row.config.size() != space.num_params()) continue;
+    if (!space.in_range(row.config)) continue;
+    PriorObservation kept = row;
+    if (kept.valid && !(std::isfinite(kept.value) && kept.value > 0.0)) {
+      kept.valid = false;  // cannot seed a log-space model with this target
+    }
+    rows.push_back(std::move(kept));
+  }
+  return rows;
+}
+
+}  // namespace repro::tuner::warm_start

@@ -1,0 +1,61 @@
+#pragma once
+// Warm-started searches: seeding a model-based algorithm from prior
+// observations of the *same* (benchmark, arch, space) tenant — history that
+// another session, daemon or machine measured earlier (see
+// store/results_store.hpp) — instead of starting from random init.
+//
+// The prior is a plain list of (config, value, valid) rows handed to the
+// algorithm through its options struct. Contract, honored by BO GP, BO TPE
+// and the RF tuner:
+//   - A null or empty prior is byte-identical to the cold algorithm: every
+//     branch the prior introduces is guarded by has_rows(), so disabled
+//     warm start cannot perturb a single RNG draw.
+//   - Prior rows seed the surrogate (GP training rows, TPE good/bad split,
+//     RF training set) and replace most of the random-init phase, but they
+//     never consume evaluation budget, never enter the dedup set (the
+//     search may re-measure a promising prior config in-session), and never
+//     count toward the reported best — TuneResult still reflects only
+//     configurations this session actually evaluated.
+//   - Given the same prior rows in the same order, the warm search is fully
+//     deterministic (same RNG discipline as everything else).
+//
+// Rows are shared immutably (shared_ptr<const ...>) so one store snapshot
+// can seed a session, ride its WAL open record, and be shipped to a standby
+// without copies drifting apart.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tuner/objective.hpp"
+#include "tuner/search_space.hpp"
+
+namespace repro::tuner {
+
+/// One prior observation from a compatible tenant history.
+struct PriorObservation {
+  Configuration config;
+  double value = 0.0;  ///< observed runtime (µs); ignored when !valid
+  bool valid = false;
+};
+
+using PriorHistory = std::vector<PriorObservation>;
+/// Immutable shared prior; null or empty means cold start.
+using PriorHandle = std::shared_ptr<const PriorHistory>;
+
+namespace warm_start {
+
+/// True when `prior` actually carries rows (the warm path is taken).
+[[nodiscard]] inline bool has_rows(const PriorHandle& prior) noexcept {
+  return prior != nullptr && !prior->empty();
+}
+
+/// Rows usable for seeding against `space`: dimensionality must match (a
+/// fingerprint mismatch upstream should make this a no-op, but the
+/// algorithms stay defensive), and a "valid" row must carry a positive
+/// finite runtime to survive log-transforms.
+[[nodiscard]] std::vector<PriorObservation> compatible_rows(const PriorHistory& prior,
+                                                            const ParamSpace& space);
+
+}  // namespace warm_start
+}  // namespace repro::tuner

@@ -1,0 +1,83 @@
+// Space-fingerprint stability: the results store keys cross-session (and
+// cross-daemon) history by this hash, so its value for a given declarative
+// space description must never drift — a drift would orphan every persisted
+// tenant history. The golden-value tests below are the lock: they fail on
+// any change to the serialization or the hash.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "store/fingerprint.hpp"
+#include "tuner/search_space.hpp"
+
+namespace repro::store {
+namespace {
+
+const std::vector<tuner::ParamRange> kTiny = {{"a", 1, 8}, {"b", 1, 8}, {"c", 0, 5}};
+
+TEST(Fingerprint, IsSixteenLowercaseHexDigits) {
+  const std::string fp = space_fingerprint(kTiny, "none");
+  ASSERT_EQ(fp.size(), 16u);
+  for (const char c : fp) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)) ||
+                (c >= 'a' && c <= 'f'))
+        << fp;
+  }
+}
+
+TEST(Fingerprint, GoldenValuesAreLocked) {
+  // Persisted stores depend on these exact values: a daemon restarted years
+  // later must map the same open request onto the same tenant history.
+  EXPECT_EQ(space_fingerprint(kTiny, "none"), "bf18dc272128ddab");
+  EXPECT_EQ(paper_space_fingerprint(), "d8dba068411a51bb");
+}
+
+TEST(Fingerprint, DeterministicAcrossCalls) {
+  EXPECT_EQ(space_fingerprint(kTiny, "none"), space_fingerprint(kTiny, "none"));
+  EXPECT_EQ(paper_space_fingerprint(), paper_space_fingerprint());
+}
+
+TEST(Fingerprint, PaperFingerprintMatchesItsDeclarativeDescription) {
+  // paper_space_fingerprint() must stay in lockstep with what a daemon
+  // derives when it decodes a default (non-custom-space) open request.
+  const tuner::ParamSpace space = tuner::paper_search_space();
+  EXPECT_EQ(paper_space_fingerprint(), space_fingerprint(space.params(), "wg256"));
+}
+
+TEST(Fingerprint, SensitiveToParameterOrder) {
+  std::vector<tuner::ParamRange> swapped = {kTiny[1], kTiny[0], kTiny[2]};
+  EXPECT_NE(space_fingerprint(kTiny, "none"), space_fingerprint(swapped, "none"));
+}
+
+TEST(Fingerprint, SensitiveToBounds) {
+  std::vector<tuner::ParamRange> widened = kTiny;
+  widened[2].hi = 6;
+  EXPECT_NE(space_fingerprint(kTiny, "none"), space_fingerprint(widened, "none"));
+  std::vector<tuner::ParamRange> shifted = kTiny;
+  shifted[0].lo = 2;
+  EXPECT_NE(space_fingerprint(kTiny, "none"), space_fingerprint(shifted, "none"));
+}
+
+TEST(Fingerprint, SensitiveToParameterNames) {
+  std::vector<tuner::ParamRange> renamed = kTiny;
+  renamed[1].name = "B";
+  EXPECT_NE(space_fingerprint(kTiny, "none"), space_fingerprint(renamed, "none"));
+}
+
+TEST(Fingerprint, SensitiveToConstraint) {
+  EXPECT_NE(space_fingerprint(kTiny, "none"), space_fingerprint(kTiny, "wg256"));
+}
+
+TEST(Fingerprint, FieldBoundariesCannotAlias) {
+  // The separator-based serialization must keep "ab"+"c" distinct from
+  // "a"+"bc": without separators both would hash the same bytes.
+  std::vector<tuner::ParamRange> left = {{"ab", 1, 2}, {"c", 1, 2}};
+  std::vector<tuner::ParamRange> right = {{"a", 1, 2}, {"bc", 1, 2}};
+  EXPECT_NE(space_fingerprint(left, "none"), space_fingerprint(right, "none"));
+}
+
+}  // namespace
+}  // namespace repro::store

@@ -1,0 +1,176 @@
+// Warm-start contract (tuner/warm_start.hpp): a null or empty prior is
+// byte-identical to the cold algorithm, a real prior is consumed
+// deterministically, prior rows never spend budget and never leak into the
+// reported best, and compatible_rows() filters structurally unusable rows.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tests/service/service_test_util.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/registry.hpp"
+#include "tuner/warm_start.hpp"
+
+namespace repro::tuner {
+namespace {
+
+using service_test::synth_eval;
+using service_test::tiny_space;
+
+const std::vector<std::string> kWarmAlgorithms = {"bogp", "botpe", "rf"};
+constexpr std::uint64_t kSalt = 77;
+
+bool same_result(const TuneResult& a, const TuneResult& b) {
+  return a.best_config == b.best_config && a.found_valid == b.found_valid &&
+         a.evaluations_used == b.evaluations_used &&
+         std::memcmp(&a.best_value, &b.best_value, sizeof(double)) == 0;
+}
+
+/// Run one algorithm over the synthetic objective, recording the exact
+/// evaluation trajectory (the strongest byte-identity signal available).
+TuneResult run(const std::string& id, const PriorHandle& prior, std::uint64_t seed,
+               std::vector<Configuration>* trajectory = nullptr,
+               std::size_t budget = 24) {
+  const ParamSpace space = tiny_space();
+  const Objective objective = [&space, trajectory](const Configuration& config) {
+    if (trajectory != nullptr) trajectory->push_back(config);
+    return synth_eval(space, config, kSalt);
+  };
+  Evaluator evaluator(space, objective, budget);
+  Rng rng(seed);
+  return make_algorithm(id, prior)->minimize(space, evaluator, rng);
+}
+
+/// A moderately informative prior: real measurements of a config grid.
+PriorHandle grid_prior() {
+  const ParamSpace space = tiny_space();
+  auto prior = std::make_shared<PriorHistory>();
+  for (int a = 1; a <= 8; a += 2) {
+    for (int b = 1; b <= 8; b += 3) {
+      const Configuration config = {a, b, 2};
+      const Evaluation eval = synth_eval(space, config, kSalt);
+      prior->push_back(PriorObservation{config, eval.value, eval.valid});
+    }
+  }
+  return prior;
+}
+
+TEST(WarmStart, NullAndEmptyPriorsAreByteIdenticalToCold) {
+  for (const std::string& id : kWarmAlgorithms) {
+    std::vector<Configuration> cold_trajectory;
+    const TuneResult cold = run(id, nullptr, 42, &cold_trajectory);
+    {
+      // The two-arg factory with a null prior is exactly the one-arg one.
+      const ParamSpace space = tiny_space();
+      Evaluator evaluator(space, service_test::synth_objective(space, kSalt), 24);
+      Rng rng(42);
+      const TuneResult one_arg = make_algorithm(id)->minimize(space, evaluator, rng);
+      EXPECT_TRUE(same_result(cold, one_arg)) << id;
+    }
+    std::vector<Configuration> empty_trajectory;
+    const TuneResult empty = run(id, std::make_shared<PriorHistory>(), 42,
+                                 &empty_trajectory);
+    EXPECT_TRUE(same_result(cold, empty)) << id << ": empty prior must be cold";
+    EXPECT_EQ(cold_trajectory, empty_trajectory)
+        << id << ": an empty prior perturbed the evaluation trajectory";
+  }
+}
+
+TEST(WarmStart, WarmRunsAreDeterministic) {
+  const PriorHandle prior = grid_prior();
+  for (const std::string& id : kWarmAlgorithms) {
+    std::vector<Configuration> first_trajectory;
+    std::vector<Configuration> second_trajectory;
+    const TuneResult first = run(id, prior, 42, &first_trajectory);
+    const TuneResult second = run(id, prior, 42, &second_trajectory);
+    EXPECT_TRUE(same_result(first, second)) << id;
+    EXPECT_EQ(first_trajectory, second_trajectory) << id;
+  }
+}
+
+TEST(WarmStart, PriorActuallyChangesTheSearch) {
+  const PriorHandle prior = grid_prior();
+  for (const std::string& id : kWarmAlgorithms) {
+    std::vector<Configuration> cold_trajectory;
+    std::vector<Configuration> warm_trajectory;
+    (void)run(id, nullptr, 42, &cold_trajectory);
+    (void)run(id, prior, 42, &warm_trajectory);
+    EXPECT_NE(cold_trajectory, warm_trajectory)
+        << id << ": a " << prior->size() << "-row prior left the trajectory untouched";
+  }
+}
+
+TEST(WarmStart, PriorNeverConsumesBudgetOrLeaksIntoTheBest) {
+  // Prior rows claim impossibly good runtimes (the synthetic objective never
+  // reports below 1.0): the session's reported best must still be a value it
+  // measured itself, and the full budget must still be spent in-session.
+  auto prior = std::make_shared<PriorHistory>();
+  for (int a = 1; a <= 4; ++a)
+    prior->push_back(PriorObservation{{a, a, 1}, 0.25, true});
+  for (const std::string& id : kWarmAlgorithms) {
+    std::vector<Configuration> trajectory;
+    const TuneResult warm = run(id, prior, 42, &trajectory);
+    // Every budget unit spent maps to one in-session measurement: prior rows
+    // never reach the evaluator and never consume budget.
+    EXPECT_EQ(trajectory.size(), warm.evaluations_used) << id;
+    if (id == "rf") {
+      // RF's top-prediction stage may rank the same config twice; the repeat
+      // is an evaluator cache hit that spends nothing (paper-protocol
+      // behavior, unchanged by the prior). The S-10 training stage always
+      // runs in full.
+      EXPECT_GE(warm.evaluations_used, 14u) << id;
+      EXPECT_LE(warm.evaluations_used, 24u) << id;
+    } else {
+      EXPECT_EQ(warm.evaluations_used, 24u) << id;
+    }
+    EXPECT_GE(warm.best_value, 1.0)
+        << id << ": a prior row's value leaked into the reported best";
+  }
+}
+
+TEST(WarmStart, NonModelAlgorithmsIgnoreThePrior) {
+  for (const std::string& id : {std::string("rs"), std::string("ga")}) {
+    const TuneResult cold = run(id, nullptr, 42);
+    const TuneResult warm = run(id, grid_prior(), 42);
+    EXPECT_TRUE(same_result(cold, warm)) << id;
+  }
+}
+
+TEST(WarmStart, SupportsWarmStartMatchesTheRegistry) {
+  EXPECT_TRUE(supports_warm_start("bogp"));
+  EXPECT_TRUE(supports_warm_start("botpe"));
+  EXPECT_TRUE(supports_warm_start("rf"));
+  EXPECT_FALSE(supports_warm_start("rs"));
+  EXPECT_FALSE(supports_warm_start("ga"));
+  EXPECT_THROW((void)supports_warm_start("nonesuch"), std::out_of_range);
+}
+
+TEST(WarmStart, CompatibleRowsFiltersStructurallyUnusableRows) {
+  const ParamSpace space = tiny_space();
+  PriorHistory prior;
+  prior.push_back(PriorObservation{{2, 2, 2}, 10.0, true});       // kept
+  prior.push_back(PriorObservation{{2, 2}, 10.0, true});          // wrong dim
+  prior.push_back(PriorObservation{{2, 2, 99}, 10.0, true});      // out of range
+  prior.push_back(PriorObservation{{3, 3, 3}, -1.0, true});       // non-positive
+  prior.push_back(PriorObservation{{4, 4, 4}, std::nan(""), true});  // non-finite
+  prior.push_back(PriorObservation{{5, 5, 5}, 0.0, false});       // invalid, kept
+  const std::vector<PriorObservation> rows =
+      warm_start::compatible_rows(prior, space);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].config, (Configuration{2, 2, 2}));
+  EXPECT_TRUE(rows[0].valid);
+  // Valid rows without a usable runtime are demoted to failure observations
+  // rather than poisoning a log-transform.
+  EXPECT_FALSE(rows[1].valid);
+  EXPECT_FALSE(rows[2].valid);
+  EXPECT_FALSE(rows[3].valid);
+}
+
+}  // namespace
+}  // namespace repro::tuner

@@ -29,8 +29,10 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "service/client.hpp"
+#include "service/protocol.hpp"
 #include "service/router.hpp"
 #include "service/server.hpp"
+#include "store/results_store.hpp"
 #include "tuner/registry.hpp"
 
 namespace {
@@ -52,6 +54,18 @@ service::OpenParams open_params(std::size_t budget, std::uint64_t seed) {
   params.seed = seed;
   params.custom_space = true;
   params.params = {{"a", 1, 8}, {"b", 1, 8}, {"c", 0, 5}};
+  return params;
+}
+
+/// Tenant-identified botpe open for the warm-vs-cold split: same space as
+/// the main workload, but carrying (benchmark, arch) so the daemon's store
+/// recognizes the session.
+service::OpenParams tenant_params(std::size_t budget, std::uint64_t seed, bool warm) {
+  service::OpenParams params = open_params(budget, seed);
+  params.algorithm = "botpe";
+  params.benchmark = "loadgen";
+  params.arch = "sim";
+  params.warm_start = warm;
   return params;
 }
 
@@ -114,6 +128,7 @@ int main(int argc, char** argv) {
   service::ServerConfig standby_config;
   standby_config.standby = true;
   standby_config.limits.state_dir = dir + "/standby";
+  standby_config.store_dir = dir + "/standby-store";
   service::TuneServer standby(standby_config);
   standby.start();
 
@@ -121,6 +136,7 @@ int main(int argc, char** argv) {
     service::ServerConfig config;
     config.limits.state_dir = dir + "/primary";
     config.limits.ship.port = standby.port();
+    config.store_dir = dir + "/primary-store";
     return config;
   }());
   primary->start();
@@ -134,6 +150,70 @@ int main(int argc, char** argv) {
   router.start();
 
   const tuner::ParamSpace space({{"a", 1, 8}, {"b", 1, 8}, {"c", 0, 5}});
+
+  // Warm-vs-cold split: pre-populate the results store over the wire, then
+  // run paired botpe sessions with and without warm start, recording ask
+  // latencies per arm. Runs before the main workload (and before any
+  // failover drill) so the seeded prior lives on the primary serving it;
+  // the split prices what a warm open costs and what the larger model
+  // history does to per-ask latency.
+  constexpr std::size_t kPriorRows = 256;
+  constexpr std::size_t kSplitSessions = 4;
+  const std::size_t split_budget = std::min<std::size_t>(budget, 16);
+  std::vector<double> cold_ask_us;
+  std::vector<double> warm_ask_us;
+  std::size_t split_errors = 0;
+  std::size_t prior_rows_imported = 0;
+  {
+    service::ClientConfig split_config;
+    split_config.port = router.port();
+    split_config.name = "loadgen-split";
+    split_config.max_retries = 40;
+    split_config.backoff_initial_ms = 25;
+    split_config.backoff_max_ms = 400;
+    service::Client seeder(split_config);
+    store::TenantSnapshot snapshot;
+    snapshot.key = store::StoreKey{
+        "loadgen", "sim",
+        service::space_fingerprint_of(tenant_params(split_budget, 0, false))};
+    Rng prior_rng(seed_combine(404, 1));
+    snapshot.rows.reserve(kPriorRows);
+    for (std::size_t i = 0; i < kPriorRows; ++i) {
+      const tuner::Configuration prior_config = space.sample(prior_rng);
+      const tuner::Evaluation eval = synth_eval(space, prior_config);
+      snapshot.rows.push_back(
+          store::StoreRecord{prior_config, eval.value, eval.valid});
+    }
+    try {
+      prior_rows_imported = seeder.store_import({snapshot});
+      for (const bool warm : {false, true}) {
+        std::vector<double>& sink = warm ? warm_ask_us : cold_ask_us;
+        for (std::size_t s = 0; s < kSplitSessions; ++s) {
+          const std::string token = std::string("loadgen-split#") +
+                                    (warm ? "warm" : "cold") + std::to_string(s);
+          const std::string id = seeder.open(
+              tenant_params(split_budget, seed_combine(505, s), warm), token);
+          while (true) {
+            const auto ask_started = Clock::now();
+            const auto config_opt = seeder.ask(id);
+            sink.push_back(
+                std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          ask_started)
+                    .count());
+            if (!config_opt) break;
+            (void)seeder.tell(id, synth_eval(space, *config_opt));
+          }
+          seeder.close_session(id);
+        }
+      }
+    } catch (const std::exception& error) {
+      ++split_errors;
+      std::cerr << "loadgen: warm/cold split failed: " << error.what() << "\n";
+    }
+  }
+  std::sort(cold_ask_us.begin(), cold_ask_us.end());
+  std::sort(warm_ask_us.begin(), warm_ask_us.end());
+
   std::vector<WorkerStats> stats(clients);
   std::atomic<std::size_t> completed{0};
   const std::size_t total_sessions = clients * sessions_per_client;
@@ -252,6 +332,17 @@ int main(int argc, char** argv) {
   report += "  \"tell_latency_us\": {\"p50\": " + json_number(percentile(merged.tell_us, 0.50)) +
             ", \"p90\": " + json_number(percentile(merged.tell_us, 0.90)) +
             ", \"p99\": " + json_number(percentile(merged.tell_us, 0.99)) + "},\n";
+  report += "  \"warm_start\": {\"prior_rows\": " +
+            std::to_string(prior_rows_imported) +
+            ", \"sessions_per_arm\": " + std::to_string(kSplitSessions) +
+            ", \"budget\": " + std::to_string(split_budget) +
+            ", \"errors\": " + std::to_string(split_errors) +
+            ",\n    \"cold_ask_us\": {\"p50\": " + json_number(percentile(cold_ask_us, 0.50)) +
+            ", \"p90\": " + json_number(percentile(cold_ask_us, 0.90)) +
+            ", \"p99\": " + json_number(percentile(cold_ask_us, 0.99)) +
+            "},\n    \"warm_ask_us\": {\"p50\": " + json_number(percentile(warm_ask_us, 0.50)) +
+            ", \"p90\": " + json_number(percentile(warm_ask_us, 0.90)) +
+            ", \"p99\": " + json_number(percentile(warm_ask_us, 0.99)) + "}},\n";
   report += std::string("  \"failover\": {\"drill\": ") +
             (failover ? "true" : "false") +
             ", \"blackout_ms\": " + json_number(blackout_ms) +
@@ -272,5 +363,5 @@ int main(int argc, char** argv) {
   router.stop();
   if (primary != nullptr) primary->stop();
   standby.stop();
-  return merged.errors == 0 ? 0 : 1;
+  return merged.errors == 0 && split_errors == 0 ? 0 : 1;
 }
