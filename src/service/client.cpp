@@ -262,16 +262,53 @@ Json Client::store_stats() {
   return call_resilient(request, /*idempotent=*/true);
 }
 
-std::vector<store::TenantSnapshot> Client::store_export(const std::string& benchmark,
-                                                        const std::string& arch,
-                                                        std::size_t limit) {
+Client::ExportPage Client::store_export_page(const std::string& benchmark,
+                                             const std::string& arch,
+                                             std::size_t limit,
+                                             const std::string& cursor) {
   Json request = Json::object();
   request.set("op", "store_export");
   if (!benchmark.empty()) request.set("benchmark", benchmark);
   if (!arch.empty()) request.set("arch", arch);
   if (limit > 0) request.set("limit", static_cast<std::uint64_t>(limit));
+  if (!cursor.empty()) request.set("cursor", cursor);
   const Json response = call_resilient(request, /*idempotent=*/true);
-  return decode_tenants(require(response, "tenants"));
+  ExportPage page;
+  page.tenants = decode_tenants(require(response, "tenants"));
+  if (const Json* flag = response.find("truncated");
+      flag != nullptr && flag->is_bool()) {
+    page.truncated = flag->as_bool();
+  }
+  if (const Json* next = response.find("next_cursor");
+      next != nullptr && next->is_string()) {
+    page.next_cursor = next->as_string();
+  }
+  return page;
+}
+
+std::vector<store::TenantSnapshot> Client::store_export(const std::string& benchmark,
+                                                        const std::string& arch,
+                                                        std::size_t limit) {
+  if (limit > 0) return store_export_page(benchmark, arch, limit).tenants;
+  // Full export: follow next_cursor across pages. A tenant cut at a page
+  // boundary arrives as adjacent slices with the same key — splice them
+  // back into one snapshot so callers see the pre-paging shape.
+  std::vector<store::TenantSnapshot> out;
+  std::string cursor;
+  while (true) {
+    ExportPage page = store_export_page(benchmark, arch, 0, cursor);
+    for (store::TenantSnapshot& tenant : page.tenants) {
+      if (!out.empty() && out.back().key.flat() == tenant.key.flat()) {
+        out.back().rows.insert(out.back().rows.end(), tenant.rows.begin(),
+                               tenant.rows.end());
+      } else {
+        out.push_back(std::move(tenant));
+      }
+    }
+    if (page.next_cursor.empty()) break;
+    cursor = page.next_cursor;
+  }
+  return out;
 }
 
 std::size_t Client::store_import(const std::vector<store::TenantSnapshot>& tenants) {

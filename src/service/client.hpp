@@ -136,8 +136,24 @@ class Client {
   /// daemon (store_enabled:false when no store is configured); export and
   /// import answer kBadRequest without one.
   [[nodiscard]] Json store_stats();
-  /// Export tenant histories, optionally filtered; limit > 0 caps rows
-  /// (server clamps to its frame-size budget either way).
+
+  /// One page of a paged export. `next_cursor` is non-empty while more rows
+  /// remain: pass it back as `cursor` to resume where this page stopped. A
+  /// tenant whose rows span pages appears in each with the next row slice.
+  struct ExportPage {
+    std::vector<store::TenantSnapshot> tenants;
+    bool truncated = false;    ///< rows beyond this page exist
+    std::string next_cursor;   ///< resume token ("" = export complete)
+  };
+  [[nodiscard]] ExportPage store_export_page(const std::string& benchmark = "",
+                                             const std::string& arch = "",
+                                             std::size_t limit = 0,
+                                             const std::string& cursor = "");
+
+  /// Export tenant histories, optionally filtered. limit > 0 issues one
+  /// request for at most that many rows (check store_export_page for the
+  /// resume cursor); limit == 0 pages through the server's frame-size
+  /// budget until the export is complete, merging page slices per tenant.
   [[nodiscard]] std::vector<store::TenantSnapshot> store_export(
       const std::string& benchmark = "", const std::string& arch = "",
       std::size_t limit = 0);

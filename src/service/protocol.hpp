@@ -86,6 +86,10 @@ enum class ErrorCode {
                      ///< healthy (distinguishable from kUnknownSession)
   kAskPending,       ///< ask while a proposal is already outstanding
   kNoAskOutstanding, ///< tell with nothing to answer
+  // Kept for wire compatibility: older daemons emit it and error_code_from
+  // must keep parsing it; nothing current emits it (admission control
+  // answers kRetryLater instead).
+  // NOLINTNEXTLINE(svclint-wire-drift)
   kSessionLimit,     ///< max concurrent sessions reached (legacy; admission
                      ///< control now answers kRetryLater)
   kRetryLater,       ///< admission control pushback; the error frame carries

@@ -609,10 +609,12 @@ Json Router::route_store(const std::string& op, const Json& request,
   // A tenant's history lives on whichever shard served its sessions, so the
   // router fans store ops out to every primary: imports land on all shards
   // (first-value-wins dedup makes the broadcast idempotent and replay-safe),
-  // stats sum across the cluster, and exports concatenate shard snapshots
-  // (re-importing a concatenation dedups back to the union).
+  // stats sum across the cluster, and exports page through the shards
+  // sequentially (re-importing the concatenated pages dedups back to the
+  // union).
+  if (op == "store_export") return route_store_export(request, downstreams);
   std::uint64_t imported = 0, import_duplicates = 0, records = 0, tenants = 0;
-  bool any_enabled = false, truncated = false;
+  bool any_enabled = false;
   // Per-shard digest/dir stay in the "shards" breakdown; every additive
   // counter is summed so a router-pointed client sees cluster totals.
   static constexpr const char* kStatCounters[] = {
@@ -620,7 +622,6 @@ Json Router::route_store(const std::string& op, const Json& request,
       "compactions", "io_errors",   "log_records", "log_bytes",
       "loaded_records"};
   std::uint64_t stat_totals[std::size(kStatCounters)] = {};
-  Json exported = Json::array();
   Json per_shard = Json::array();
   for (std::size_t shard = 0; shard < config_.shards.size(); ++shard) {
     Json reply = forward(shard, request, /*idempotent=*/true, downstreams);
@@ -635,43 +636,118 @@ Json Router::route_store(const std::string& op, const Json& request,
       add(import_duplicates, "duplicates");
       continue;
     }
-    if (op == "store_stats") {
-      const Json* enabled = reply.find("store_enabled");
-      any_enabled = any_enabled || (enabled != nullptr && enabled->is_bool() &&
-                                    enabled->as_bool());
-      add(records, "records");
-      add(tenants, "tenants");
-      for (std::size_t i = 0; i < std::size(kStatCounters); ++i)
-        add(stat_totals[i], kStatCounters[i]);
-      reply.set("shard", static_cast<std::uint64_t>(shard));
-      per_shard.push_back(std::move(reply));
-      continue;
-    }
+    const Json* enabled = reply.find("store_enabled");
+    any_enabled = any_enabled || (enabled != nullptr && enabled->is_bool() &&
+                                  enabled->as_bool());
     add(records, "records");
-    const Json* flag = reply.find("truncated");
-    truncated = truncated || (flag != nullptr && flag->is_bool() && flag->as_bool());
-    if (const Json* shard_tenants = reply.find("tenants");
-        shard_tenants != nullptr && shard_tenants->is_array()) {
-      for (const Json& tenant : shard_tenants->as_array())
-        exported.push_back(tenant);
-    }
+    add(tenants, "tenants");
+    for (std::size_t i = 0; i < std::size(kStatCounters); ++i)
+      add(stat_totals[i], kStatCounters[i]);
+    reply.set("shard", static_cast<std::uint64_t>(shard));
+    per_shard.push_back(std::move(reply));
   }
   Json response = make_ok();
   if (op == "store_import") {
     response.set("imported", imported);
     response.set("duplicates", import_duplicates);
-  } else if (op == "store_stats") {
+  } else {
     response.set("store_enabled", any_enabled);
     response.set("records", records);
     response.set("tenants", tenants);
     for (std::size_t i = 0; i < std::size(kStatCounters); ++i)
       response.set(kStatCounters[i], stat_totals[i]);
     response.set("shards", std::move(per_shard));
-  } else {
-    response.set("tenants", std::move(exported));
-    response.set("records", records);
-    response.set("truncated", truncated);
   }
+  return response;
+}
+
+Json Router::route_store_export(const Json& request, Downstreams& downstreams) {
+  // Composite cursor "<shard>|<daemon cursor>". One router page carries at
+  // most one daemon page (each already sized to the daemon's frame budget),
+  // so the merged stream stays inside kMaxFrameBytes no matter how many
+  // shards hold rows. An explicit `limit` is a total-row budget: shards are
+  // drained in index order until it is spent.
+  std::size_t start_shard = 0;
+  std::string sub_cursor;
+  if (const Json* field = request.find("cursor")) {
+    bool valid = field->is_string();
+    if (valid) {
+      const std::string text = field->as_string();
+      const std::size_t bar = text.find('|');
+      valid = bar != std::string::npos && bar > 0;
+      for (std::size_t i = 0; valid && i < bar; ++i) {
+        if (text[i] < '0' || text[i] > '9') valid = false;
+        start_shard = start_shard * 10 + static_cast<std::size_t>(text[i] - '0');
+      }
+      if (valid && start_shard >= config_.shards.size()) valid = false;
+      if (valid) sub_cursor = text.substr(bar + 1);
+    }
+    if (!valid) {
+      return make_error(ErrorCode::kBadRequest, "malformed export cursor");
+    }
+  }
+  const std::optional<std::uint64_t> limit = optional_uint(request, "limit");
+  std::uint64_t remaining = limit.value_or(0);
+
+  Json exported = Json::array();
+  std::uint64_t records = 0;
+  bool more = false;
+  std::string next_cursor;
+  for (std::size_t shard = start_shard; shard < config_.shards.size(); ++shard) {
+    Json sub_request = Json::object();
+    sub_request.set("op", "store_export");
+    for (const char* key : {"benchmark", "arch"}) {
+      if (const Json* field = request.find(key)) sub_request.set(key, *field);
+    }
+    if (limit) sub_request.set("limit", remaining);
+    if (!sub_cursor.empty()) sub_request.set("cursor", sub_cursor);
+    sub_cursor.clear();
+    Json reply = forward(shard, sub_request, /*idempotent=*/true, downstreams);
+    const Json* ok = reply.find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) return reply;
+    std::uint64_t got = 0;
+    if (const Json* field = reply.find("records");
+        field != nullptr && field->is_number()) {
+      got = field->as_uint64();
+    }
+    records += got;
+    if (const Json* shard_tenants = reply.find("tenants");
+        shard_tenants != nullptr && shard_tenants->is_array()) {
+      for (const Json& tenant : shard_tenants->as_array())
+        exported.push_back(tenant);
+    }
+    if (const Json* next = reply.find("next_cursor");
+        next != nullptr && next->is_string()) {
+      more = true;
+      next_cursor = std::to_string(shard) + "|" + next->as_string();
+      break;
+    }
+    if (limit) {
+      remaining = remaining > got ? remaining - got : 0;
+      if (remaining == 0) {
+        // Budget spent at a shard boundary: later shards may hold more, so
+        // hand back a resume point instead of silently stopping.
+        if (shard + 1 < config_.shards.size()) {
+          more = true;
+          next_cursor = std::to_string(shard + 1) + "|";
+        }
+        break;
+      }
+      continue;
+    }
+    if (got > 0 && shard + 1 < config_.shards.size()) {
+      // No budget given: bound the page to this shard's daemon page and
+      // resume at the next shard.
+      more = true;
+      next_cursor = std::to_string(shard + 1) + "|";
+      break;
+    }
+  }
+  Json response = make_ok();
+  response.set("tenants", std::move(exported));
+  response.set("records", records);
+  response.set("truncated", more);
+  if (more) response.set("next_cursor", next_cursor);
   return response;
 }
 

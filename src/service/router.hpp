@@ -156,6 +156,11 @@ class Router {
   /// replies (imports are dedup'd server-side, so the fan-out is replay-safe).
   [[nodiscard]] Json route_store(const std::string& op, const Json& request,
                                  Downstreams& downstreams);
+  /// Paged export across shards. The cursor is "<shard>|<daemon cursor>":
+  /// shards are drained sequentially, each reply carries at most one
+  /// daemon page, and the composite cursor resumes mid-shard.
+  [[nodiscard]] Json route_store_export(const Json& request,
+                                        Downstreams& downstreams);
   [[nodiscard]] Json aggregate_status();
 
   /// Pick the open-placement shard for `key` by walking the ring past down

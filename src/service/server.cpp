@@ -22,6 +22,50 @@ namespace {
 
 namespace {
 
+// store_export resume cursor: hex(tenant flat key) + ":" + row offset. The
+// flat key embeds unit-separator bytes, so it crosses the wire hex-encoded
+// and the whole cursor stays an opaque printable token to clients.
+
+[[nodiscard]] std::string encode_export_cursor(const std::string& flat,
+                                               std::size_t row) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(flat.size() * 2 + 8);
+  for (const char byte : flat) {
+    const auto value = static_cast<unsigned char>(byte);
+    out.push_back(kHex[value >> 4]);
+    out.push_back(kHex[value & 0xF]);
+  }
+  out.push_back(':');
+  out += std::to_string(row);
+  return out;
+}
+
+[[nodiscard]] bool decode_export_cursor(const std::string& text,
+                                        std::string& flat, std::size_t& row) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0 || colon % 2 != 0) return false;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  flat.clear();
+  for (std::size_t i = 0; i < colon; i += 2) {
+    const int hi = nibble(text[i]);
+    const int lo = nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    flat.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  if (colon + 1 >= text.size()) return false;
+  row = 0;
+  for (std::size_t i = colon + 1; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+    row = row * 10 + static_cast<std::size_t>(text[i] - '0');
+  }
+  return true;
+}
+
 [[nodiscard]] std::shared_ptr<store::ResultsStore> make_store(const ServerConfig& config) {
   if (config.store_dir.empty()) return nullptr;
   store::StoreOptions options;
@@ -272,6 +316,9 @@ void TuneServer::handle_connection(std::uint64_t id) {
       return;
     if (status == FrameStatus::kOversized) {
       // The stream cannot resynchronize after an oversized frame.
+      // Protocol-error reply, not an ack: the request was never parsed, so
+      // no durable state exists to fsync before answering.
+      // NOLINTNEXTLINE(svclint-durability)
       (void)write_frame(*socket, make_error(ErrorCode::kOversizedFrame,
                                             "frame exceeds " +
                                                 std::to_string(kMaxFrameBytes) +
@@ -283,6 +330,9 @@ void TuneServer::handle_connection(std::uint64_t id) {
     try {
       request = Json::parse(line);
     } catch (const JsonError& error) {
+      // Malformed-frame reply carries no durable state — the bytes never
+      // became a request, so there is nothing to append.
+      // NOLINTNEXTLINE(svclint-durability)
       if (!write_frame(*socket, make_error(ErrorCode::kMalformedFrame, error.what())))
         return;
       continue;
@@ -419,21 +469,33 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
       std::string arch;
       if (const Json* field = request.find("benchmark")) benchmark = field->as_string();
       if (const Json* field = request.find("arch")) arch = field->as_string();
-      // Row cap keeps the response inside kMaxFrameBytes (a row is ~60
-      // wire bytes); clients page with the benchmark/arch filters.
+      // Row cap keeps every page inside kMaxFrameBytes (a row is ~60 wire
+      // bytes); "next_cursor" in the reply resumes the export past it, so
+      // stores of any size stream out page by page.
       constexpr std::uint64_t kExportRowCap = 8192;
       const std::uint64_t limit =
           std::min(optional_uint(request, "limit").value_or(kExportRowCap),
                    kExportRowCap);
-      const std::vector<store::TenantSnapshot> tenants =
-          store_->export_tenants(benchmark, arch, static_cast<std::size_t>(limit));
+      std::string start_flat;
+      std::size_t start_row = 0;
+      if (const Json* field = request.find("cursor")) {
+        if (!field->is_string() ||
+            !decode_export_cursor(field->as_string(), start_flat, start_row)) {
+          return make_error(ErrorCode::kBadRequest, "malformed export cursor");
+        }
+      }
+      const store::ResultsStore::ExportPage page = store_->export_page(
+          benchmark, arch, static_cast<std::size_t>(limit), start_flat, start_row);
       std::uint64_t rows = 0;
-      for (const store::TenantSnapshot& tenant : tenants) rows += tenant.rows.size();
+      for (const store::TenantSnapshot& tenant : page.tenants) rows += tenant.rows.size();
       Json response = make_ok();
-      response.set("tenants", encode_tenants(tenants));
+      response.set("tenants", encode_tenants(page.tenants));
       response.set("records", rows);
-      response.set("truncated", limit < kExportRowCap ? rows == limit
-                                                      : rows == kExportRowCap);
+      response.set("truncated", page.more);
+      if (page.more) {
+        response.set("next_cursor",
+                     encode_export_cursor(page.next_tenant_flat, page.next_row));
+      }
       return response;
     }
     if (op == "store_import") {
@@ -445,6 +507,10 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
       for (const store::TenantSnapshot& tenant : tenants) offered += tenant.rows.size();
       try {
         const std::size_t imported = store_->import_tenants(tenants);
+        // Replicate the seed batch to the hot standby; redelivery is safe
+        // (the standby's store dedups), so ship even when everything was a
+        // local duplicate — the standby may still be missing the rows.
+        manager_->ship_store_import(tenants);
         Json response = make_ok();
         response.set("imported", static_cast<std::uint64_t>(imported));
         response.set("duplicates", static_cast<std::uint64_t>(offered - imported));

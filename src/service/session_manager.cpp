@@ -681,6 +681,11 @@ void SessionManager::connect_shipper() {
   if (shipper_ != nullptr) (void)shipper_->connect_now();
 }
 
+void SessionManager::ship_store_import(
+    const std::vector<store::TenantSnapshot>& tenants) {
+  if (shipper_ != nullptr) (void)shipper_->ship_store_import(tenants);
+}
+
 void SessionManager::cancel_all() {
   std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> victims;
   {

@@ -214,6 +214,11 @@ class SessionManager {
   /// reflects replication health immediately. No-op without ship config.
   void connect_shipper();
 
+  /// Replicate an imported store seed batch to the hot standby so both
+  /// stores converge without waiting for live tells. No-op without ship
+  /// config; replication failure degrades, it never fails the import.
+  void ship_store_import(const std::vector<store::TenantSnapshot>& tenants);
+
   [[nodiscard]] std::size_t live() const;
   [[nodiscard]] StatusReport status() const;
   [[nodiscard]] std::vector<SessionInfo> sessions() const;

@@ -278,4 +278,12 @@ bool WalShipper::ship_evict(const std::string& id) {
   return ship(request);
 }
 
+bool WalShipper::ship_store_import(
+    const std::vector<store::TenantSnapshot>& tenants) {
+  Json request = Json::object();
+  request.set("op", "store_import");
+  request.set("tenants", encode_tenants(tenants));
+  return ship(request);
+}
+
 }  // namespace repro::service

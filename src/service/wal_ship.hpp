@@ -88,6 +88,11 @@ class WalShipper {
   bool ship_close(const std::string& id);
   bool ship_evict(const std::string& id);
 
+  /// Replicate a store_import seed batch to the follower's store (store
+  /// ops answer on any role, so the record rides the same link as ship_*).
+  /// Idempotent on redelivery: the follower's store dedups rows.
+  bool ship_store_import(const std::vector<store::TenantSnapshot>& tenants);
+
   /// Link currently established and not fenced. False = the shard is
   /// degraded (serving without a live standby).
   [[nodiscard]] bool connected() const;

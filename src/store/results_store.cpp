@@ -380,9 +380,16 @@ std::size_t ResultsStore::tenant_rows(const StoreKey& key) const {
 std::vector<TenantSnapshot> ResultsStore::export_tenants(const std::string& benchmark,
                                                          const std::string& arch,
                                                          std::size_t max_records) const {
+  return export_page(benchmark, arch, max_records, "", 0).tenants;
+}
+
+ResultsStore::ExportPage ResultsStore::export_page(
+    const std::string& benchmark, const std::string& arch,
+    std::size_t max_records, const std::string& start_tenant_flat,
+    std::size_t start_row) const {
   // Collect under per-shard locks, then sort: emission order is always the
   // sorted copy, never the hash-map order.
-  std::vector<TenantSnapshot> out;
+  std::vector<TenantSnapshot> all;
   for (std::size_t i = 0; i < shard_count_; ++i) {
     Shard& shard = shards_[i];
     MutexLock lock(shard.mutex);
@@ -390,24 +397,42 @@ std::vector<TenantSnapshot> ResultsStore::export_tenants(const std::string& benc
       (void)flat;
       if (!benchmark.empty() && tenant.key.benchmark != benchmark) continue;
       if (!arch.empty() && tenant.key.arch != arch) continue;
-      out.push_back(TenantSnapshot{tenant.key, tenant.rows});
+      all.push_back(TenantSnapshot{tenant.key, tenant.rows});
     }
   }
-  std::sort(out.begin(), out.end(), [](const TenantSnapshot& a, const TenantSnapshot& b) {
+  std::sort(all.begin(), all.end(), [](const TenantSnapshot& a, const TenantSnapshot& b) {
     return a.key.flat() < b.key.flat();
   });
-  if (max_records > 0) {
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      if (total + out[i].rows.size() > max_records) {
-        out[i].rows.resize(max_records - total);
-        out.resize(out[i].rows.empty() ? i : i + 1);
-        break;
-      }
-      total += out[i].rows.size();
+
+  ExportPage page;
+  std::size_t budget = max_records;
+  for (TenantSnapshot& tenant : all) {
+    const std::string flat = tenant.key.flat();
+    if (!start_tenant_flat.empty() && flat < start_tenant_flat) continue;
+    const std::size_t row = flat == start_tenant_flat ? start_row : 0;
+    if (row >= tenant.rows.size()) continue;  // already fully emitted
+    if (max_records > 0 && budget == 0) {
+      page.more = true;
+      page.next_tenant_flat = flat;
+      page.next_row = row;
+      break;
+    }
+    const std::size_t available = tenant.rows.size() - row;
+    const std::size_t take =
+        max_records == 0 ? available : std::min(available, budget);
+    TenantSnapshot slice{tenant.key, {}};
+    slice.rows.assign(tenant.rows.begin() + static_cast<std::ptrdiff_t>(row),
+                      tenant.rows.begin() + static_cast<std::ptrdiff_t>(row + take));
+    page.tenants.push_back(std::move(slice));
+    if (max_records > 0) budget -= take;
+    if (take < available) {
+      page.more = true;
+      page.next_tenant_flat = flat;
+      page.next_row = row + take;
+      break;
     }
   }
-  return out;
+  return page;
 }
 
 std::size_t ResultsStore::import_tenants(const std::vector<TenantSnapshot>& tenants) {

@@ -160,6 +160,28 @@ class ResultsStore {
       const std::string& benchmark = "", const std::string& arch = "",
       std::size_t max_records = 0) const;
 
+  /// One page of export_tenants plus the resume position. `more` is exact
+  /// (not a heuristic): true iff rows past this page exist. Rows within a
+  /// tenant are append-ordered and append-only, so a (tenant flat key, row
+  /// offset) resume point stays valid across pages even while concurrent
+  /// appends grow the store.
+  struct ExportPage {
+    std::vector<TenantSnapshot> tenants;
+    bool more = false;
+    std::string next_tenant_flat;  ///< resume tenant key (valid when more)
+    std::size_t next_row = 0;      ///< resume row offset within that tenant
+  };
+
+  /// Export up to `max_records` rows (0 = unlimited) starting at the resume
+  /// point: tenants with flat key < `start_tenant_flat` are skipped, and the
+  /// first `start_row` rows of the tenant equal to it are skipped.
+  /// export_tenants() is this with an empty resume point.
+  [[nodiscard]] ExportPage export_page(const std::string& benchmark,
+                                       const std::string& arch,
+                                       std::size_t max_records,
+                                       const std::string& start_tenant_flat,
+                                       std::size_t start_row) const;
+
   /// Append every row of every snapshot (dedup applies). Returns the number
   /// of newly stored records.
   std::size_t import_tenants(const std::vector<TenantSnapshot>& tenants);

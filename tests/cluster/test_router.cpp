@@ -16,6 +16,7 @@
 namespace repro::service {
 namespace {
 
+using cluster_test::fresh_dir;
 using cluster_test::resilient_config;
 using cluster_test::same_result;
 using cluster_test::tiny_open;
@@ -133,6 +134,67 @@ TEST(Router, AggregatedStatusSumsShardsAndReportsHealth) {
   }
   EXPECT_EQ(placed, 6u);
   for (const std::string& id : ids) client.close_session(id);
+}
+
+TEST(Router, StoreExportPagesAcrossShardsWithACompositeCursor) {
+  // Store-configured shards, each holding a distinct tenant: the router's
+  // "<shard>|<cursor>" paging must resume mid-shard, cross the shard
+  // boundary, and stitch back to the full union.
+  ServerConfig config0;
+  config0.store_dir = fresh_dir() + "/s0-store";
+  TuneServer shard0(config0);
+  ServerConfig config1;
+  config1.store_dir = fresh_dir() + "/s1-store";
+  TuneServer shard1(config1);
+  shard0.start();
+  shard1.start();
+  RouterConfig config;
+  config.shards = {{"127.0.0.1", shard0.port(), "127.0.0.1", 0},
+                   {"127.0.0.1", shard1.port(), "127.0.0.1", 0}};
+  config.probe_interval = std::chrono::milliseconds(0);
+  config.probe_timeout = std::chrono::milliseconds(500);
+  Router router(config);
+  router.start();
+
+  const store::StoreKey key0{"conv", "arch0", "ffffffffffffffff"};
+  const store::StoreKey key1{"conv", "arch1", "ffffffffffffffff"};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(shard0.store()->append(key0, {i, 1}, 10.0 + i, true));
+    ASSERT_TRUE(shard1.store()->append(key1, {i, 2}, 20.0 + i, true));
+  }
+
+  Client client(resilient_config(router.port()));
+  // Full export loops the cursor chain transparently: both tenants, all rows.
+  const std::vector<store::TenantSnapshot> all = client.store_export();
+  std::size_t rows = 0;
+  for (const store::TenantSnapshot& tenant : all) rows += tenant.rows.size();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(rows, 10u);
+
+  // Tiny explicit pages: a budget of 3 rows forces a mid-shard resume and a
+  // page that spans the shard0 -> shard1 boundary.
+  std::size_t paged = 0;
+  int pages = 0;
+  std::string cursor;
+  while (true) {
+    const Client::ExportPage page = client.store_export_page("", "", 3, cursor);
+    ++pages;
+    for (const store::TenantSnapshot& tenant : page.tenants)
+      paged += tenant.rows.size();
+    if (page.next_cursor.empty()) {
+      EXPECT_FALSE(page.truncated);
+      break;
+    }
+    EXPECT_NE(page.next_cursor.find('|'), std::string::npos)
+        << "router cursors must be composite";
+    cursor = page.next_cursor;
+  }
+  EXPECT_EQ(paged, rows);
+  EXPECT_GE(pages, 4);
+
+  // Re-importing the paged union into one shard dedups to the same rows.
+  EXPECT_EQ(shard0.store()->import_tenants(all), 5u);
+  router.stop();
 }
 
 TEST(Router, ShipOpsAndPromoteAreWrongRole) {

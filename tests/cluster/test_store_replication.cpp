@@ -80,6 +80,43 @@ TEST(StoreReplication, ShippedTellsKeepBothStoresDigestEqual) {
   EXPECT_GE(pair.standby->store()->stats().records, 1u);
 }
 
+TEST(StoreReplication, ImportedSeedBatchesReachTheStandbyStore) {
+  // Seed history produced on a standalone daemon, exported, and imported
+  // into the replicated pair's primary: the import must ship to the standby
+  // like live tells do, so a later failover keeps the seed rows too.
+  std::vector<store::TenantSnapshot> seed;
+  {
+    ServerConfig config;
+    config.store_dir = fresh_dir() + "/seed-store";
+    TuneServer server(config);
+    server.start();
+    const OpenParams params = tenant_open("rs", 10, 5);
+    const tuner::ParamSpace space = params.make_space();
+    Client client(resilient_config(server.port()));
+    (void)client.remote_minimize(params,
+                                 [&space](const tuner::Configuration& c) {
+                                   return synth_eval(space, c, kSalt);
+                                 });
+    seed = server.store()->export_tenants();
+    server.stop();
+  }
+  ASSERT_FALSE(seed.empty());
+
+  StoredPair pair;
+  Client client(resilient_config(pair.primary->port()));
+  ASSERT_GE(client.store_import(seed), 1u);
+  EXPECT_GE(pair.standby->store()->stats().records, 1u);
+  EXPECT_EQ(pair.primary->store()->digest(), pair.standby->store()->digest())
+      << "imported seed batch did not replicate to the standby";
+
+  // Redelivery is idempotent: importing the same batch again leaves both
+  // stores where they were (dedup on each side).
+  const std::uint64_t digest = pair.primary->store()->digest();
+  EXPECT_EQ(client.store_import(seed), 0u);
+  EXPECT_EQ(pair.primary->store()->digest(), digest);
+  EXPECT_EQ(pair.standby->store()->digest(), digest);
+}
+
 TEST(StoreReplication, PromotedStandbyWarmStartsIdenticallyToItsPrimary) {
   StoredPair pair;
   const OpenParams seed_params = tenant_open("rs", 24, 3);

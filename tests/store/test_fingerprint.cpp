@@ -63,7 +63,10 @@ TEST(Fingerprint, SensitiveToBounds) {
 
 TEST(Fingerprint, SensitiveToParameterNames) {
   std::vector<tuner::ParamRange> renamed = kTiny;
-  renamed[1].name = "B";
+  // Append-style to sidestep the GCC 12 -Wrestrict false positive
+  // (PR105329) on string-literal assignment; see docs/ANALYSIS.md.
+  renamed[1].name.clear();
+  renamed[1].name.append("B");
   EXPECT_NE(space_fingerprint(kTiny, "none"), space_fingerprint(renamed, "none"));
 }
 

@@ -291,6 +291,58 @@ TEST(ResultsStore, ExportIsSortedFilteredAndCapped) {
   EXPECT_EQ(rows, 2u);
 }
 
+TEST(ResultsStore, ExportPageResumesWhereThePreviousPageStopped) {
+  ResultsStore store(memory_options());
+  store.load();
+  ASSERT_TRUE(store.append(key_b(), {1, 2}, 5.0, true));
+  ASSERT_TRUE(store.append(key_b(), {3, 4}, 6.0, true));
+  ASSERT_TRUE(store.append(key_b(), {5, 6}, 7.0, true));
+  ASSERT_TRUE(store.append(key_a(), {1, 2, 3}, 10.0, true));
+
+  // Page through 4 rows at 2 per page; rejoin the slices and compare with
+  // the unpaged export.
+  std::vector<TenantSnapshot> paged;
+  std::string flat;
+  std::size_t row = 0;
+  int pages = 0;
+  while (true) {
+    const ResultsStore::ExportPage page = store.export_page("", "", 2, flat, row);
+    ++pages;
+    for (const TenantSnapshot& tenant : page.tenants) {
+      if (!paged.empty() && paged.back().key.flat() == tenant.key.flat()) {
+        paged.back().rows.insert(paged.back().rows.end(), tenant.rows.begin(),
+                                 tenant.rows.end());
+      } else {
+        paged.push_back(tenant);
+      }
+    }
+    if (!page.more) break;
+    flat = page.next_tenant_flat;
+    row = page.next_row;
+  }
+  EXPECT_EQ(pages, 2);
+
+  const std::vector<TenantSnapshot> all = store.export_tenants();
+  ASSERT_EQ(paged.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(paged[i].key.flat(), all[i].key.flat());
+    ASSERT_EQ(paged[i].rows.size(), all[i].rows.size());
+    for (std::size_t j = 0; j < all[i].rows.size(); ++j) {
+      EXPECT_EQ(paged[i].rows[j].config, all[i].rows[j].config);
+    }
+  }
+
+  // `more` is exact: a page ending exactly at the last row reports done.
+  const ResultsStore::ExportPage tail = store.export_page("", "", 4, "", 0);
+  EXPECT_FALSE(tail.more);
+  // Resuming past the end of a tenant yields the next tenant, not a stall.
+  const ResultsStore::ExportPage after =
+      store.export_page("", "", 0, all[0].key.flat(), all[0].rows.size());
+  ASSERT_EQ(after.tenants.size(), 1u);
+  EXPECT_EQ(after.tenants[0].key.flat(), all[1].key.flat());
+  EXPECT_FALSE(after.more);
+}
+
 TEST(ResultsStore, ImportRoundTripsAndDeduplicates) {
   ResultsStore source(memory_options());
   source.load();

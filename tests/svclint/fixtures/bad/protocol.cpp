@@ -1,0 +1,14 @@
+// Round-trips kBadRequest only; kGhost (protocol.hpp) is left unwired.
+// Lexed, never compiled.
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+std::optional<ErrorCode> error_code_from(std::string_view text) {
+  if (text == "bad_request") return ErrorCode::kBadRequest;
+  return std::nullopt;
+}

@@ -1,0 +1,10 @@
+// Error-code half of the wire-drift fixture: kGhost has no to_string case,
+// no error_code_from entry, and no use outside protocol.* — it cannot
+// round-trip the wire. Lexed, never compiled.
+
+enum class ErrorCode {
+  kBadRequest,
+  kGhost,
+};
+
+const char* to_string(ErrorCode code);

@@ -1,0 +1,11 @@
+// Router half of the wire-drift fixture: only "tell" is routed, so the
+// daemon's "snapshot" op (server.cpp) is unreachable through the router.
+// Lexed, never compiled.
+
+void route(Conn& conn, const std::string& op) {
+  if (op == "tell") {
+    forward(conn, op);
+    return;
+  }
+  reject(conn, op);
+}

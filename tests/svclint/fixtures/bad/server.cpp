@@ -1,0 +1,27 @@
+// Seeded svclint-durability violation (an ack reaches the socket before the
+// fsync barrier) plus the daemon half of the wire-drift fixtures: an op the
+// router has never heard of, and a reference that keeps kBadRequest "used".
+// Lexed, never compiled.
+
+bool handle_tell(Conn& conn) {
+  write_frame(conn.io, make_ok());  // acked before the append is durable
+  append_record(conn);
+  write_frame(conn.io, make_ok());  // after the barrier: fine
+  return true;
+}
+
+void append_record(Conn& conn) {
+  fsync(conn.fd);
+}
+
+void dispatch(Conn& conn, const std::string& op) {
+  if (op == "tell") {
+    handle_tell(conn);
+    return;
+  }
+  if (op == "snapshot") {  // handled here, unknown to the router
+    handle_tell(conn);
+    return;
+  }
+  write_frame(conn.io, make_error(ErrorCode::kBadRequest, "unknown op"));
+}

@@ -1,0 +1,27 @@
+// Seeded svclint-lock-order violations: one declared-order inversion and
+// one two-function cycle reachable only through one level of call inlining.
+// Lexed, never compiled.
+
+// Inversion: the declared order is `wal_mutex_ -> cache` (outer first), but
+// eviction takes the cache lock and then the WAL lock.
+void evict_row() {
+  repro::MutexLock shard(cache);
+  repro::MutexLock log(wal_mutex_);
+}
+
+// Cycle: alpha_mu -> beta_mu observed through the grab_beta() call while
+// beta_mu -> alpha_mu is taken directly elsewhere. Neither edge is declared,
+// so only cycle detection catches the deadlock.
+void lock_alpha_then_beta() {
+  repro::MutexLock hold(alpha_mu);
+  grab_beta();
+}
+
+void grab_beta() {
+  repro::MutexLock hold(beta_mu);
+}
+
+void lock_beta_then_alpha() {
+  repro::MutexLock first(beta_mu);
+  repro::MutexLock second(alpha_mu);
+}

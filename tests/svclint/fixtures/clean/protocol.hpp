@@ -1,0 +1,7 @@
+// One error code, fully wired. Lexed, never compiled.
+
+enum class ErrorCode {
+  kFine,
+};
+
+const char* to_string(ErrorCode code);

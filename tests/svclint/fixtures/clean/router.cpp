@@ -1,0 +1,9 @@
+// Routes everything the daemon handles. Lexed, never compiled.
+
+void route(Conn& conn, const std::string& op) {
+  if (op == "tell") {
+    forward(conn, op);
+    return;
+  }
+  reject(conn, op);
+}

@@ -1,0 +1,7 @@
+// Conforming corpus: locks are taken in the declared order and released in
+// LIFO order, so no edge inverts and no cycle forms. Lexed, never compiled.
+
+void append_row() {
+  repro::MutexLock log(wal_mutex_);
+  repro::MutexLock shard(cache);
+}

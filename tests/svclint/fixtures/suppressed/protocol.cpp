@@ -1,0 +1,14 @@
+// Round-trips kFine; kGhost stays unwired behind its suppression.
+// Lexed, never compiled.
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kFine: return "fine";
+  }
+  return "unknown";
+}
+
+std::optional<ErrorCode> error_code_from(std::string_view text) {
+  if (text == "fine") return ErrorCode::kFine;
+  return std::nullopt;
+}

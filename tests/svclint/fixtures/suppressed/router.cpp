@@ -1,0 +1,10 @@
+// Routes "tell" only; the daemon's dark-launched "mystery" op is suppressed
+// at its dispatch site in server.cpp. Lexed, never compiled.
+
+void route(Conn& conn, const std::string& op) {
+  if (op == "tell") {
+    forward(conn, op);
+    return;
+  }
+  reject(conn, op);
+}

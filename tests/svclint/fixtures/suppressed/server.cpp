@@ -1,0 +1,23 @@
+// The bad-corpus hazards, each carrying a justified suppression: an early
+// error reply (no durable state exists yet) and a dark-launched op the
+// router intentionally does not route. Lexed, never compiled.
+
+bool handle_tell(Conn& conn) {
+  // Protocol-error reply, not an ack: nothing durable exists yet.
+  // NOLINTNEXTLINE(svclint-durability)
+  write_frame(conn.io, make_error(ErrorCode::kFine, "bad payload"));
+  fsync(conn.fd);
+  write_frame(conn.io, make_ok());
+  return true;
+}
+
+void dispatch(Conn& conn, const std::string& op) {
+  if (op == "tell") {
+    handle_tell(conn);
+    return;
+  }
+  if (op == "mystery") {  // NOLINT(svclint-wire-drift) dark launch, router lands next rev
+    handle_tell(conn);
+    return;
+  }
+}

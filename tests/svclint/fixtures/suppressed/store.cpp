@@ -1,0 +1,9 @@
+// The bad-corpus inversion, sanctioned: shutdown eviction snapshots the WAL
+// under the shard lock while no appender can run, so the inversion cannot
+// deadlock. The justified NOLINT must count as suppressed, not leak.
+// Lexed, never compiled.
+
+void evict_row_at_shutdown() {
+  repro::MutexLock shard(cache);
+  repro::MutexLock log(wal_mutex_);  // NOLINT(svclint-lock-order) appenders quiesced
+}

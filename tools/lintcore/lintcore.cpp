@@ -1,0 +1,335 @@
+#include "lintcore/lintcore.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace lintcore {
+
+void parse_nolint(const std::string& comment, int line, const std::string& tool,
+                  NolintDirectives& out) {
+  const std::string wildcard = tool + "-*";
+  std::size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    std::size_t after = pos + 6;
+    int target = line;
+    if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = line + 1;
+    }
+    if (after < comment.size() && comment[after] == '(') {
+      const std::size_t close = comment.find(')', after);
+      if (close == std::string::npos) break;
+      std::string list = comment.substr(after + 1, close - after - 1);
+      std::stringstream ss(list);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        item.erase(0, item.find_first_not_of(" \t"));
+        item.erase(item.find_last_not_of(" \t") + 1);
+        if (item == tool || item == wildcard) {
+          out.all_lines.insert(target);
+        } else if (!item.empty()) {
+          out.rules[target].insert(item);
+        }
+      }
+      pos = close;
+    } else {
+      out.all_lines.insert(target);
+      pos = after;
+    }
+  }
+}
+
+Lexed lex(const std::string& src, const std::string& tool) {
+  Lexed out;
+  {
+    std::stringstream ss(src);
+    std::string line;
+    while (std::getline(ss, line)) out.lines.push_back(line);
+  }
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t end = src.find('\n', i);
+      const std::size_t stop = end == std::string::npos ? n : end;
+      parse_nolint(src.substr(i, stop - i), line, tool, out.nolint);
+      i = stop;
+      continue;
+    }
+    // Block comment (may span lines; directives use the line they appear on).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      int comment_line = line;
+      std::size_t segment_start = i;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') {
+          parse_nolint(src.substr(segment_start, j - segment_start),
+                       comment_line, tool, out.nolint);
+          ++line;
+          comment_line = line;
+          segment_start = j + 1;
+        }
+        ++j;
+      }
+      const std::size_t stop = j + 1 < n ? j + 2 : n;
+      parse_nolint(src.substr(segment_start, stop - segment_start),
+                   comment_line, tool, out.nolint);
+      i = stop;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string terminator = ")" + delim + "\"";
+      const std::size_t end = src.find(terminator, j);
+      const std::size_t stop =
+          end == std::string::npos ? n : end + terminator.size();
+      line += static_cast<int>(std::count(src.begin() + static_cast<long>(i),
+                                          src.begin() + static_cast<long>(stop),
+                                          '\n'));
+      i = stop;
+      continue;
+    }
+    // String literal — tokenized so protocol analyses can read the contents.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) {
+          text += src[j];
+          ++j;
+        }
+        if (src[j] == '\n') ++line;
+        text += src[j];
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kString, text, line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Char literal — consumed without a token.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Number (digits, dots, exponent signs — precision irrelevant here).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.' || src[j] == '\'')) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+bool is(const std::vector<Token>& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].kind != TokKind::kString && t[i].text == text;
+}
+
+bool is_ident(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdent;
+}
+
+bool prev_is_scope(const std::vector<Token>& t, std::size_t i) {
+  return i >= 2 && is(t, i - 1, ":") && is(t, i - 2, ":");
+}
+
+bool prev_is_member(const std::vector<Token>& t, std::size_t i) {
+  if (i >= 1 && is(t, i - 1, ".")) return true;
+  return i >= 2 && is(t, i - 1, ">") && is(t, i - 2, "-");
+}
+
+std::size_t before_qualifier(const std::vector<Token>& t, std::size_t i) {
+  std::size_t j = i;
+  if (j >= 2 && is(t, j - 1, ":") && is(t, j - 2, ":")) {
+    j -= 2;
+    if (j >= 1 && is(t, j - 1, "std")) --j;
+  }
+  return j;  // t[j-1] is the token before the qualified name (if j > 0)
+}
+
+std::size_t skip_template_args(const std::vector<Token>& t, std::size_t open) {
+  if (!is(t, open, "<")) return open + 1;
+  int depth = 0;
+  std::size_t j = open;
+  while (j < t.size()) {
+    if (is(t, j, "<")) ++depth;
+    if (is(t, j, ">")) {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+    if (is(t, j, ";")) return j;  // unbalanced (operator<) — bail out
+    ++j;
+  }
+  return j;
+}
+
+std::string trimmed_line(const Lexed& lx, int line) {
+  if (line < 1 || static_cast<std::size_t>(line) > lx.lines.size()) return {};
+  std::string text = lx.lines[static_cast<std::size_t>(line - 1)];
+  text.erase(0, text.find_first_not_of(" \t"));
+  text.erase(text.find_last_not_of(" \t\r") + 1);
+  return text;
+}
+
+void emit(const std::string& path, const Lexed& lx, int line,
+          const std::string& rule, const std::string& message,
+          const AllowList& allow, Report& report) {
+  for (const auto& [allowed_rule, substring] : allow) {
+    if ((allowed_rule == "*" || allowed_rule == rule) &&
+        path.find(substring) != std::string::npos) {
+      return;
+    }
+  }
+  if (lx.nolint.all_lines.count(line) != 0) {
+    ++report.suppressed;
+    return;
+  }
+  const auto it = lx.nolint.rules.find(line);
+  if (it != lx.nolint.rules.end() && it->second.count(rule) != 0) {
+    ++report.suppressed;
+    return;
+  }
+  report.findings.push_back(
+      {path, line, rule, message, trimmed_line(lx, line)});
+}
+
+void json_escape(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string to_json(const Report& report, const std::string& tool) {
+  std::string out = "{\n";
+  out += "  \"tool\": \"" + tool + "\",\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"files_scanned\": " + std::to_string(report.files_scanned) + ",\n";
+  out += "  \"suppressed\": " + std::to_string(report.suppressed) + ",\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"";
+    json_escape(out, f.file);
+    out += "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"";
+    json_escape(out, f.rule);
+    out += "\", \"message\": \"";
+    json_escape(out, f.message);
+    out += "\", \"snippet\": \"";
+    json_escape(out, f.snippet);
+    out += "\"}";
+  }
+  out += report.findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool under_fixtures(const std::string& relative) {
+  return relative.find("fixtures/") != std::string::npos ||
+         relative.find("fixtures\\") != std::string::npos;
+}
+
+bool collect_files(const std::string& root,
+                   const std::vector<std::string>& paths,
+                   const std::set<std::string>& extensions,
+                   bool include_fixtures, std::vector<std::string>& out,
+                   std::string& error) {
+  namespace fs = std::filesystem;
+  const fs::path base = root;
+  for (const std::string& request : paths) {
+    const fs::path target = base / request;
+    std::error_code ec;
+    if (fs::is_regular_file(target, ec)) {
+      out.push_back(request);
+      continue;
+    }
+    if (!fs::is_directory(target, ec)) {
+      error = "no such file or directory: " + target.string();
+      return false;
+    }
+    for (fs::recursive_directory_iterator it(target, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file() ||
+          extensions.count(it->path().extension().string()) == 0) {
+        continue;
+      }
+      out.push_back(fs::relative(it->path(), base, ec).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (!include_fixtures) {
+    out.erase(std::remove_if(out.begin(), out.end(), under_fixtures),
+              out.end());
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace lintcore

@@ -1,0 +1,148 @@
+#pragma once
+// lintcore — shared machinery for this repository's tokenizer-based static
+// analyzers (tools/reprolint, tools/svclint).
+//
+// Both analyzers scan C++ with a lightweight lexer (no libclang), honour
+// `NOLINT(<tool>-<rule>)` suppressions, filter findings through a
+// (rule, path-substring) allowlist, and emit the same versioned JSON report
+// shape. That machinery lives here exactly once; each tool contributes only
+// its rules and its default allowlist.
+//
+// Lexer contract:
+//   * identifiers / numbers / single-char punctuation, one token each;
+//   * ordinary "..." string literals become kString tokens carrying the raw
+//     literal contents (escape sequences unexpanded) so protocol analyses
+//     can read op names; raw strings and char literals are consumed without
+//     producing tokens;
+//   * comments never produce tokens but are scanned for NOLINT directives.
+//
+// Suppression contract (per tool name T):
+//   * `NOLINT` with no list suppresses every rule on its line;
+//   * `NOLINT(a, b)` suppresses the named rules; the entries `T` and `T-*`
+//     suppress every rule of tool T;
+//   * `NOLINTNEXTLINE...` targets the following line.
+// Directives naming another tool's rules parse into the same table and are
+// simply never matched, so reprolint and svclint suppressions coexist on
+// one line without interference.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lintcore {
+
+enum class TokKind { kIdent, kNumber, kPunct, kString };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct NolintDirectives {
+  std::set<int> all_lines;                     ///< bare NOLINT / NOLINT(T)
+  std::map<int, std::set<std::string>> rules;  ///< NOLINT(list)
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  NolintDirectives nolint;
+  std::vector<std::string> lines;  ///< raw source lines (1-based via index+1)
+};
+
+/// Lex C++-ish source for the analyzer named `tool` (controls which NOLINT
+/// list entries act as a whole-tool wildcard).
+[[nodiscard]] Lexed lex(const std::string& src, const std::string& tool);
+
+/// Scan one comment (or any text fragment) for NOLINT directives targeting
+/// `line`. Exposed so analyzers can honour suppressions in non-C++ inputs
+/// (e.g. `<!-- NOLINT(svclint-wire-drift) -->` in markdown).
+void parse_nolint(const std::string& comment, int line, const std::string& tool,
+                  NolintDirectives& out);
+
+// ---------------------------------------------------------------------------
+// Token helpers. `is` and the prev_* helpers never match kString tokens, so
+// a string literal whose contents happen to spell punctuation (")", "::")
+// cannot fake structure.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool is(const std::vector<Token>& t, std::size_t i,
+                      const char* text);
+[[nodiscard]] bool is_ident(const std::vector<Token>& t, std::size_t i);
+/// True when tokens[i] is preceded by `::` (qualified name).
+[[nodiscard]] bool prev_is_scope(const std::vector<Token>& t, std::size_t i);
+/// True when tokens[i] is a member access (`.name` / `->name`).
+[[nodiscard]] bool prev_is_member(const std::vector<Token>& t, std::size_t i);
+/// Index of the token before an optional `std::` / `::` qualifier at i.
+[[nodiscard]] std::size_t before_qualifier(const std::vector<Token>& t,
+                                           std::size_t i);
+/// Skip a balanced template argument list starting at `<`; returns the index
+/// one past the matching `>`, or `open + 1` if tokens[open] is not `<`.
+[[nodiscard]] std::size_t skip_template_args(const std::vector<Token>& t,
+                                             std::size_t open);
+
+// ---------------------------------------------------------------------------
+// Findings and reports (shared shape across tools).
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;  ///< path as given (relative to the scan root)
+  int line = 0;      ///< 1-based
+  std::string rule;  ///< diagnostic id, e.g. "reprolint-rand"
+  std::string message;
+  std::string snippet;  ///< trimmed source line
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  ///< findings silenced by NOLINT
+};
+
+/// (rule, path-substring) pairs; rule "*" matches every rule. A finding
+/// whose file contains the substring is dropped before reporting.
+using AllowList = std::vector<std::pair<std::string, std::string>>;
+
+/// The source line a finding points at, whitespace-trimmed ("" if absent).
+[[nodiscard]] std::string trimmed_line(const Lexed& lx, int line);
+
+/// Emit a finding unless a NOLINT directive or the allowlist covers it.
+void emit(const std::string& path, const Lexed& lx, int line,
+          const std::string& rule, const std::string& message,
+          const AllowList& allow, Report& report);
+
+void json_escape(std::string& out, const std::string& text);
+
+/// Machine-readable report. Schema (stable, version-gated):
+///   {"tool": "<tool>", "schema_version": 1, "files_scanned": N,
+///    "suppressed": N, "findings": [{"file", "line", "rule", "message",
+///    "snippet"}, ...]}
+[[nodiscard]] std::string to_json(const Report& report,
+                                  const std::string& tool);
+
+// ---------------------------------------------------------------------------
+// CLI plumbing shared by the tools' main()s.
+// ---------------------------------------------------------------------------
+
+/// True for paths under a `fixtures/` directory (deliberately-bad lint
+/// inputs kept by the test suites).
+[[nodiscard]] bool under_fixtures(const std::string& relative);
+
+/// Expand `paths` (files or directories, relative to `root`) into a sorted,
+/// de-duplicated list of root-relative paths whose extension is in
+/// `extensions`. Explicitly requested files bypass the extension filter.
+/// Returns false with `error` set when a path does not exist.
+[[nodiscard]] bool collect_files(const std::string& root,
+                                 const std::vector<std::string>& paths,
+                                 const std::set<std::string>& extensions,
+                                 bool include_fixtures,
+                                 std::vector<std::string>& out,
+                                 std::string& error);
+
+/// Slurp a file. Returns false when unreadable.
+[[nodiscard]] bool read_file(const std::string& path, std::string& out);
+
+}  // namespace lintcore

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Pre-commit gate: everything that must be green before a commit, one shot.
+#
+#   tools/precommit.sh
+#
+# Runs, in order:
+#   1. a -Werror build via the `check` preset (build-check/),
+#   2. the reprolint tree sweep (determinism hazards),
+#   3. the svclint tree sweep (lock order, durability, wire drift),
+#   4. `ctest -L 'lint|perf'` in the check tree — the gated lint tests
+#      (including the WILL_FAIL fixture gates) plus the perf guards.
+#
+# Exits non-zero on the first failure. See docs/ANALYSIS.md for the rule
+# catalogs and suppression policy.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+step() {
+  printf '\n== %s ==\n' "$1"
+}
+
+step "configure + build (check preset, -Werror)"
+cmake --preset check
+cmake --build --preset check -j "$(nproc 2>/dev/null || echo 4)"
+
+step "reprolint (src bench tests)"
+./build-check/tools/reprolint/reprolint --root .
+
+step "svclint (src/service src/store docs/SERVICE.md)"
+./build-check/tools/svclint/svclint --root . \
+    --order tools/svclint/lock_order.txt \
+    src/service src/store docs/SERVICE.md
+
+step "ctest -L 'lint|perf'"
+ctest --preset check
+
+printf '\nprecommit: all gates green\n'

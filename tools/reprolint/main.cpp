@@ -9,7 +9,6 @@
 // under a `fixtures/` directory are skipped unless --include-fixtures is
 // given — the lint test suite keeps deliberately-bad inputs there.
 
-#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -23,15 +22,10 @@ namespace fs = std::filesystem;
 
 namespace {
 
-bool is_source_file(const fs::path& path) {
+const std::set<std::string>& source_extensions() {
   static const std::set<std::string> extensions = {".cpp", ".hpp", ".cc",
                                                    ".h",   ".cxx", ".hxx"};
-  return extensions.count(path.extension().string()) != 0;
-}
-
-bool under_fixtures(const std::string& relative) {
-  return relative.find("fixtures/") != std::string::npos ||
-         relative.find("fixtures\\") != std::string::npos;
+  return extensions;
 }
 
 int usage() {
@@ -91,27 +85,12 @@ int main(int argc, char** argv) {
 
   // Collect candidate files, sorted for deterministic report order.
   std::vector<std::string> files;
-  for (const std::string& request : paths) {
-    const fs::path target = root / request;
-    std::error_code ec;
-    if (fs::is_regular_file(target, ec)) {
-      files.push_back(request);
-      continue;
-    }
-    if (!fs::is_directory(target, ec)) {
-      std::cerr << "reprolint: no such file or directory: " << target.string()
-                << "\n";
-      return 2;
-    }
-    for (fs::recursive_directory_iterator it(target, ec), end; it != end;
-         it.increment(ec)) {
-      if (ec) break;
-      if (!it->is_regular_file() || !is_source_file(it->path())) continue;
-      files.push_back(fs::relative(it->path(), root, ec).generic_string());
-    }
+  std::string error;
+  if (!lintcore::collect_files(root.string(), paths, source_extensions(),
+                               include_fixtures, files, error)) {
+    std::cerr << "reprolint: " << error << "\n";
+    return 2;
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
 
   // Load everything up front: the first pass collects declared
   // unordered-container names across the whole scan set (so iteration in
@@ -119,15 +98,12 @@ int main(int argc, char** argv) {
   // second lints each file against that shared set.
   std::vector<std::pair<std::string, std::string>> sources;  // rel path, text
   for (const std::string& file : files) {
-    if (!include_fixtures && under_fixtures(file)) continue;
-    std::ifstream in(root / file, std::ios::binary);
-    if (!in) {
+    std::string content;
+    if (!lintcore::read_file((root / file).string(), content)) {
       std::cerr << "reprolint: cannot read " << (root / file).string() << "\n";
       return 2;
     }
-    sources.emplace_back(file,
-                         std::string((std::istreambuf_iterator<char>(in)),
-                                     std::istreambuf_iterator<char>()));
+    sources.emplace_back(file, std::move(content));
     reprolint::collect_unordered_names(sources.back().second,
                                        options.unordered_names);
   }

@@ -1,227 +1,42 @@
 #include "reprolint.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdio>
-#include <fstream>
-#include <map>
 #include <set>
-#include <sstream>
 
 namespace reprolint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tokenizer: identifiers / numbers / punctuation, one char per punct token.
-// Comments and string/char literals are consumed (never produce hazard
-// tokens); comment text is inspected for NOLINT directives as it is skipped.
-// ---------------------------------------------------------------------------
+// Tokenizer, NOLINT parsing, allowlist filtering and JSON output come from
+// tools/lintcore; this file is only the determinism rules.
 
-enum class TokKind { kIdent, kNumber, kPunct };
+using lintcore::Lexed;
+using lintcore::TokKind;
+using lintcore::Token;
 
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line;
-};
+using lintcore::before_qualifier;
+using lintcore::is;
+using lintcore::is_ident;
+using lintcore::prev_is_member;
+using lintcore::prev_is_scope;
+using lintcore::skip_template_args;
 
-struct NolintDirectives {
-  std::set<int> all_lines;                      ///< bare NOLINT
-  std::map<int, std::set<std::string>> rules;   ///< NOLINT(list)
-};
-
-void parse_nolint(const std::string& comment, int line, NolintDirectives& out) {
-  std::size_t pos = 0;
-  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
-    std::size_t after = pos + 6;
-    int target = line;
-    if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
-      after = pos + 14;
-      target = line + 1;
-    }
-    if (after < comment.size() && comment[after] == '(') {
-      const std::size_t close = comment.find(')', after);
-      if (close == std::string::npos) break;
-      std::string list = comment.substr(after + 1, close - after - 1);
-      std::stringstream ss(list);
-      std::string item;
-      while (std::getline(ss, item, ',')) {
-        item.erase(0, item.find_first_not_of(" \t"));
-        item.erase(item.find_last_not_of(" \t") + 1);
-        if (item == "reprolint" || item == "reprolint-*") {
-          out.all_lines.insert(target);
-        } else if (!item.empty()) {
-          out.rules[target].insert(item);
-        }
-      }
-      pos = close;
-    } else {
-      out.all_lines.insert(target);
-      pos = after;
-    }
-  }
-}
-
-struct Lexed {
-  std::vector<Token> tokens;
-  NolintDirectives nolint;
-  std::vector<std::string> lines;  ///< raw source lines (1-based via index+1)
-};
-
+/// Lex for reprolint. The determinism rules predate string tokens and never
+/// inspect literal contents, so kString tokens are dropped to keep every
+/// token-adjacency pattern (`is(t, i + 1, "(")` etc.) exactly as before.
 Lexed lex(const std::string& src) {
-  Lexed out;
-  {
-    std::stringstream ss(src);
-    std::string line;
-    while (std::getline(ss, line)) out.lines.push_back(line);
-  }
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const std::size_t end = src.find('\n', i);
-      const std::size_t stop = end == std::string::npos ? n : end;
-      parse_nolint(src.substr(i, stop - i), line, out.nolint);
-      i = stop;
-      continue;
-    }
-    // Block comment (may span lines; directives use the line they appear on).
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      std::size_t j = i + 2;
-      int comment_line = line;
-      std::size_t segment_start = i;
-      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
-        if (src[j] == '\n') {
-          parse_nolint(src.substr(segment_start, j - segment_start), comment_line,
-                       out.nolint);
-          ++line;
-          comment_line = line;
-          segment_start = j + 1;
-        }
-        ++j;
-      }
-      const std::size_t stop = j + 1 < n ? j + 2 : n;
-      parse_nolint(src.substr(segment_start, stop - segment_start), comment_line,
-                   out.nolint);
-      i = stop;
-      continue;
-    }
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') delim += src[j++];
-      const std::string terminator = ")" + delim + "\"";
-      const std::size_t end = src.find(terminator, j);
-      const std::size_t stop =
-          end == std::string::npos ? n : end + terminator.size();
-      line += static_cast<int>(std::count(src.begin() + static_cast<long>(i),
-                                          src.begin() + static_cast<long>(stop), '\n'));
-      i = stop;
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        if (src[j] == '\n') ++line;
-        ++j;
-      }
-      i = j < n ? j + 1 : n;
-      continue;
-    }
-    // Identifier / keyword.
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::size_t j = i;
-      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
-                       src[j] == '_')) {
-        ++j;
-      }
-      out.tokens.push_back({TokKind::kIdent, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Number (digits, dots, exponent signs — precision irrelevant here).
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
-                       src[j] == '.' || src[j] == '\'')) {
-        ++j;
-      }
-      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
-    ++i;
-  }
+  Lexed out = lintcore::lex(src, "reprolint");
+  out.tokens.erase(
+      std::remove_if(out.tokens.begin(), out.tokens.end(),
+                     [](const Token& t) { return t.kind == TokKind::kString; }),
+      out.tokens.end());
   return out;
 }
 
-// ---------------------------------------------------------------------------
-// Token helpers.
-// ---------------------------------------------------------------------------
-
-bool is(const std::vector<Token>& t, std::size_t i, const char* text) {
-  return i < t.size() && t[i].text == text;
-}
-
-bool is_ident(const std::vector<Token>& t, std::size_t i) {
-  return i < t.size() && t[i].kind == TokKind::kIdent;
-}
-
-/// True when tokens[i] is preceded by `::` (qualified name).
-bool prev_is_scope(const std::vector<Token>& t, std::size_t i) {
-  return i >= 2 && t[i - 1].text == ":" && t[i - 2].text == ":";
-}
-
-/// True when tokens[i] is a member access (`.name` / `->name`).
-bool prev_is_member(const std::vector<Token>& t, std::size_t i) {
-  if (i >= 1 && t[i - 1].text == ".") return true;
-  return i >= 2 && t[i - 1].text == ">" && t[i - 2].text == "-";
-}
-
-/// Index of the token before an optional `std::` / `::` qualifier at i.
-std::size_t before_qualifier(const std::vector<Token>& t, std::size_t i) {
-  std::size_t j = i;
-  if (j >= 2 && t[j - 1].text == ":" && t[j - 2].text == ":") {
-    j -= 2;
-    if (j >= 1 && t[j - 1].text == "std") --j;
-  }
-  return j;  // t[j-1] is the token before the qualified name (if j > 0)
-}
-
-/// Skip a balanced template argument list starting at `<`; returns the index
-/// one past the matching `>`, or `open + 1` if tokens[open] is not `<`.
-std::size_t skip_template_args(const std::vector<Token>& t, std::size_t open) {
-  if (!is(t, open, "<")) return open + 1;
-  int depth = 0;
-  std::size_t j = open;
-  while (j < t.size()) {
-    if (t[j].text == "<") ++depth;
-    if (t[j].text == ">") {
-      --depth;
-      if (depth == 0) return j + 1;
-    }
-    if (t[j].text == ";") return j;  // unbalanced (operator<) — bail out
-    ++j;
-  }
-  return j;
+void emit(const std::string& path, const Lexed& lx, int line,
+          const std::string& rule, const std::string& message,
+          const Options& options, Report& report) {
+  lintcore::emit(path, lx, line, rule, message, options.allow, report);
 }
 
 const std::set<std::string>& libc_rand_names() {
@@ -285,56 +100,6 @@ const std::set<std::string>& unordered_container_names() {
       "unordered_map", "unordered_set", "unordered_multimap",
       "unordered_multiset"};
   return names;
-}
-
-std::string trimmed_line(const Lexed& lx, int line) {
-  if (line < 1 || static_cast<std::size_t>(line) > lx.lines.size()) return {};
-  std::string text = lx.lines[static_cast<std::size_t>(line - 1)];
-  text.erase(0, text.find_first_not_of(" \t"));
-  text.erase(text.find_last_not_of(" \t\r") + 1);
-  return text;
-}
-
-/// Emit a finding unless a NOLINT directive or the allowlist covers it.
-void emit(const std::string& path, const Lexed& lx, int line,
-          const std::string& rule, const std::string& message,
-          const Options& options, Report& report) {
-  for (const auto& [allowed_rule, substring] : options.allow) {
-    if ((allowed_rule == "*" || allowed_rule == rule) &&
-        path.find(substring) != std::string::npos) {
-      return;
-    }
-  }
-  if (lx.nolint.all_lines.count(line) != 0) {
-    ++report.suppressed;
-    return;
-  }
-  const auto it = lx.nolint.rules.find(line);
-  if (it != lx.nolint.rules.end() && it->second.count(rule) != 0) {
-    ++report.suppressed;
-    return;
-  }
-  report.findings.push_back({path, line, rule, message, trimmed_line(lx, line)});
-}
-
-void json_escape(std::string& out, const std::string& text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
 }
 
 }  // namespace
@@ -607,38 +372,16 @@ void lint_content(const std::string& path, const std::string& content,
   }
 }
 
-bool lint_file(const std::string& path, const Options& options, Report& report) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  lint_content(path, buffer.str(), options, report);
+bool lint_file(const std::string& path, const Options& options,
+               Report& report) {
+  std::string content;
+  if (!lintcore::read_file(path, content)) return false;
+  lint_content(path, content, options, report);
   return true;
 }
 
 std::string to_json(const Report& report) {
-  std::string out = "{\n";
-  out += "  \"tool\": \"reprolint\",\n";
-  out += "  \"schema_version\": 1,\n";
-  out += "  \"files_scanned\": " + std::to_string(report.files_scanned) + ",\n";
-  out += "  \"suppressed\": " + std::to_string(report.suppressed) + ",\n";
-  out += "  \"findings\": [";
-  for (std::size_t i = 0; i < report.findings.size(); ++i) {
-    const Finding& f = report.findings[i];
-    out += i == 0 ? "\n" : ",\n";
-    out += "    {\"file\": \"";
-    json_escape(out, f.file);
-    out += "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"";
-    json_escape(out, f.rule);
-    out += "\", \"message\": \"";
-    json_escape(out, f.message);
-    out += "\", \"snippet\": \"";
-    json_escape(out, f.snippet);
-    out += "\"}";
-  }
-  out += report.findings.empty() ? "]\n" : "\n  ]\n";
-  out += "}\n";
-  return out;
+  return lintcore::to_json(report, "reprolint");
 }
 
 }  // namespace reprolint

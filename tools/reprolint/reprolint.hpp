@@ -39,30 +39,23 @@
 #include <utility>
 #include <vector>
 
+#include "lintcore/lintcore.hpp"
+
 namespace reprolint {
 
-struct Finding {
-  std::string file;  ///< path as given (relative to the scan root)
-  int line = 0;      ///< 1-based
-  std::string rule;  ///< diagnostic id, e.g. "reprolint-rand"
-  std::string message;
-  std::string snippet;  ///< trimmed source line
-};
+// Tokenizer, suppression handling and the report shape live in
+// tools/lintcore (shared with svclint); reprolint contributes the rules.
+using Finding = lintcore::Finding;
+using Report = lintcore::Report;
 
 struct Options {
   /// (rule, path-substring) pairs; rule "*" matches every rule. A finding
   /// whose file contains the substring is dropped before reporting.
-  std::vector<std::pair<std::string, std::string>> allow;
+  lintcore::AllowList allow;
   /// Identifiers declared as unordered containers anywhere in the scanned
   /// set (lint_tree fills this in a first pass so a range-for in server.cpp
   /// over a member declared in server.hpp is still caught).
   std::unordered_set<std::string> unordered_names;
-};
-
-struct Report {
-  std::vector<Finding> findings;
-  std::size_t files_scanned = 0;
-  std::size_t suppressed = 0;  ///< findings silenced by NOLINT
 };
 
 /// The allowlist shipped with the repository (log timestamps, socket

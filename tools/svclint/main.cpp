@@ -1,0 +1,158 @@
+// svclint CLI: scan the service/store sources plus the wire-protocol docs
+// (default: src/service src/store docs/SERVICE.md) for broken distributed
+// invariants and exit nonzero when any finding survives the allowlist and
+// NOLINT suppressions.
+//
+//   svclint [--root DIR] [--order FILE] [--json FILE] [--allow rule:substr]
+//           [--include-fixtures] [--quiet] [paths...]
+//
+// Paths are resolved relative to --root (default: current directory).
+// Markdown paths join the corpus as wire-drift schema docs; everything else
+// is lexed as C++. --order names the declared lock-order file (default:
+// tools/svclint/lock_order.txt under the root when present).
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "svclint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::set<std::string>& corpus_extensions() {
+  static const std::set<std::string> extensions = {
+      ".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx", ".md"};
+  return extensions;
+}
+
+bool is_markdown(const std::string& path) {
+  return path.size() >= 3 && path.compare(path.size() - 3, 3, ".md") == 0;
+}
+
+int usage() {
+  std::cerr << "usage: svclint [--root DIR] [--order FILE] [--json FILE] "
+               "[--allow rule:substr] [--include-fixtures] [--quiet] "
+               "[paths...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string json_out;
+  std::string order_file;
+  bool include_fixtures = false;
+  bool quiet = false;
+  std::vector<std::string> extra_allow;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--order" && i + 1 < argc) {
+      order_file = argv[++i];
+    } else if (arg == "--allow" && i + 1 < argc) {
+      extra_allow.emplace_back(argv[++i]);
+    } else if (arg == "--include-fixtures") {
+      include_fixtures = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help") {
+      (void)usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src/service", "src/store", "docs/SERVICE.md"};
+
+  svclint::Options options = svclint::default_options();
+  for (const std::string& entry : extra_allow) {
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "svclint: --allow expects rule:path-substring, got '"
+                << entry << "'\n";
+      return 2;
+    }
+    options.allow.emplace_back(entry.substr(0, colon), entry.substr(colon + 1));
+  }
+
+  // Declared lock order: an explicit --order must exist; the default file
+  // is optional so partial corpora (fixtures) can run order-free.
+  {
+    const bool explicit_order = !order_file.empty();
+    fs::path order_path = explicit_order
+                              ? fs::path(order_file)
+                              : root / "tools" / "svclint" / "lock_order.txt";
+    if (order_path.is_relative() && explicit_order) order_path = root / order_path;
+    std::string text;
+    if (lintcore::read_file(order_path.string(), text)) {
+      std::string error;
+      if (!svclint::parse_lock_order(text, options.lock_order, error)) {
+        std::cerr << "svclint: " << order_path.string() << ": " << error
+                  << "\n";
+        return 2;
+      }
+    } else if (explicit_order) {
+      std::cerr << "svclint: cannot read order file "
+                << order_path.string() << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::string> files;
+  std::string error;
+  if (!lintcore::collect_files(root.string(), paths, corpus_extensions(),
+                               include_fixtures, files, error)) {
+    std::cerr << "svclint: " << error << "\n";
+    return 2;
+  }
+
+  std::vector<svclint::SourceFile> sources;
+  std::vector<svclint::SourceFile> docs;
+  for (const std::string& file : files) {
+    std::string content;
+    if (!lintcore::read_file((root / file).string(), content)) {
+      std::cerr << "svclint: cannot read " << (root / file).string() << "\n";
+      return 2;
+    }
+    (is_markdown(file) ? docs : sources)
+        .push_back({file, std::move(content)});
+  }
+
+  const svclint::Report report =
+      svclint::lint_corpus(sources, docs, options);
+
+  if (!quiet) {
+    for (const svclint::Finding& finding : report.findings) {
+      std::cerr << finding.file << ":" << finding.line << ": ["
+                << finding.rule << "] " << finding.message << "\n    "
+                << finding.snippet << "\n";
+    }
+    std::cerr << "svclint: " << report.files_scanned << " files, "
+              << report.findings.size() << " finding"
+              << (report.findings.size() == 1 ? "" : "s") << ", "
+              << report.suppressed << " suppressed\n";
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "svclint: cannot write " << json_out << "\n";
+      return 2;
+    }
+    out << svclint::to_json(report);
+  }
+  return report.findings.empty() ? 0 : 1;
+}
