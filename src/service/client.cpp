@@ -63,6 +63,9 @@ void Client::connect_one(const std::string& host, std::uint16_t port) {
   hello.set("op", "hello");
   hello.set("version", static_cast<std::uint64_t>(kProtocolVersion));
   hello.set("client", config_.name);
+  // Quota identity: the server stamps this into every open on the
+  // connection (a per-request field could not be trusted).
+  if (!config_.tenant.empty()) hello.set("tenant", config_.tenant);
   (void)call(hello);
 }
 

@@ -61,6 +61,10 @@ struct ClientConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::string name = "tune_client/1";
+  /// Quota identity sent in the hello ("" = anonymous). The server scopes
+  /// per-tenant session/tell quotas to it; under overload anonymous
+  /// clients are shed first.
+  std::string tenant;
   struct Endpoint {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;

@@ -199,6 +199,7 @@ Json encode_open(const OpenParams& params) {
   if (!params.benchmark.empty()) request.set("benchmark", params.benchmark);
   if (!params.arch.empty()) request.set("arch", params.arch);
   if (params.warm_start) request.set("warm_start", true);
+  if (!params.tenant.empty()) request.set("tenant", params.tenant);
   if (params.prior != nullptr && !params.prior->empty()) {
     Json rows = Json::array();
     for (const tuner::PriorObservation& row : *params.prior) {
@@ -253,6 +254,7 @@ OpenParams decode_open(const Json& request) {
     params.benchmark = benchmark->as_string();
   if (const Json* arch = request.find("arch")) params.arch = arch->as_string();
   if (const Json* warm = request.find("warm_start")) params.warm_start = warm->as_bool();
+  if (const Json* tenant = request.find("tenant")) params.tenant = tenant->as_string();
   if (const Json* prior = request.find("prior"); prior != nullptr) {
     if (!prior->is_array()) bad_request("prior must be an array");
     tuner::PriorHistory rows;

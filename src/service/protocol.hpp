@@ -44,6 +44,17 @@
 //     promotes a standby with {"op":"promote"}. A standby answers normal
 //     session ops — and a primary answers ship_*/promote — with the typed
 //     error wrong_role. status additionally reports "role".
+//   - multi-tenant quotas (advertised as the "quota" feature): hello accepts
+//     an optional "tenant" identity; the server stamps it into opens (it
+//     rides the WAL open record and ship_open) and enforces per-tenant
+//     session + in-flight-tell quotas with a deficit-round-robin admission
+//     queue. Pushback is retry_later with retry_after_ms scaled by queue
+//     depth; status reports a "quotas" block.
+//   - self-healing: {"op":"reseed","host":...,"port":...} retargets a
+//     primary's shipper at a replacement follower (full journal + store
+//     resync, hot flip gated on store digest equality); {"op":"promote"} is
+//     idempotent — a shard already holding the role acks with
+//     "already_primary":true instead of flipping again.
 // The full grammar and session lifecycle live in docs/SERVICE.md.
 
 #include <cstddef>
@@ -195,6 +206,13 @@ struct OpenParams {
   std::string arch;       ///< tenant architecture name
   bool warm_start = false;
   tuner::PriorHandle prior;  ///< server-filled prior snapshot
+
+  /// Quota identity (optional, distinct from store tenancy): the client
+  /// identity from the hello, stamped into the open by the server so
+  /// per-tenant quotas survive reconnects, recovery, and replica replay
+  /// (the field rides the WAL open record and ship_open). "" = anonymous —
+  /// admitted while capacity lasts, shed first under overload.
+  std::string tenant;
 
   /// Materialize the requested space (paper space unless custom).
   [[nodiscard]] tuner::ParamSpace make_space() const;

@@ -1,7 +1,9 @@
 #include "service/router.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iterator>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -142,6 +144,12 @@ std::optional<Json> bounded_call(const std::string& host, std::uint16_t port,
     if (connected == nullptr || !connected->is_bool() || !connected->as_bool())
       return ShardHealth::kDegraded;
   }
+  // A re-seeding shard is serving but its follower has not caught up to
+  // the live watermark yet — placeable, not preferred.
+  const Json* ship_state = status.find("ship_state");
+  if (ship_state != nullptr && ship_state->is_string() &&
+      ship_state->as_string() == "catching_up")
+    return ShardHealth::kDegraded;
   return ShardHealth::kUp;
 }
 
@@ -166,6 +174,7 @@ void Router::start() {
       state.standby_available = endpoints.standby_port != 0;
       shard_states_.push_back(state);
     }
+    spare_used_.assign(config_.spares.size(), false);
   }
   ring_.clear();
   ring_.reserve(config_.shards.size() * config_.ring_replicas);
@@ -223,6 +232,7 @@ std::vector<ShardSnapshot> Router::shards() const {
     snapshot.health = state.health;
     snapshot.has_standby = state.standby_available;
     snapshot.promotions = state.promotions;
+    snapshot.reseeds = state.reseeds;
     snapshot.generation = state.generation;
     snapshot.sessions_placed = state.sessions_placed;
     out.push_back(snapshot);
@@ -264,6 +274,7 @@ void Router::probe_shard(std::size_t shard) {
       target.host, target.port, config_.probe_timeout, status_frame(),
       config_.name + "-probe");
   bool cross_down_threshold = false;
+  bool want_reseed = false;
   {
     repro::MutexLock lock(mutex_);
     ShardState& state = shard_states_[shard];
@@ -275,13 +286,120 @@ void Router::probe_shard(std::size_t shard) {
         log_info("tunelb: shard {} ({}:{}) is {}", shard, target.host,
                  target.port, to_string(next));
       state.health = next;
+      bool spare_free = false;
+      for (const bool used : spare_used_) spare_free = spare_free || !used;
+      want_reseed = next != ShardHealth::kDown && !state.standby_available &&
+                    !state.reseed_unsupported &&
+                    (state.deposed_port != 0 || spare_free);
+    } else {
+      ++state.consecutive_probe_failures;
+      cross_down_threshold = state.consecutive_probe_failures >=
+                             config_.probe_failures_before_down;
+    }
+  }
+  if (want_reseed) maybe_reseed(shard, target, *status);
+  if (cross_down_threshold) (void)fail_over(shard, target.generation);
+}
+
+void Router::maybe_reseed(std::size_t shard, const Endpoint& primary,
+                          const Json& status) {
+  // The probe status doubles as the dedup guard: a resync already in
+  // flight shows catching_up (leave it alone), and a reseed whose reply
+  // was lost to a timeout shows hot with a ship_target (adopt it without
+  // another RPC).
+  std::string ship_state;
+  if (const Json* field = status.find("ship_state");
+      field != nullptr && field->is_string())
+    ship_state = field->as_string();
+  if (ship_state == "catching_up" || ship_state == "fenced") return;
+  if (ship_state == "hot") {
+    std::string target_text;
+    if (const Json* field = status.find("ship_target");
+        field != nullptr && field->is_string())
+      target_text = field->as_string();
+    const std::size_t colon = target_text.rfind(':');
+    if (colon == std::string::npos || colon == 0) return;
+    const int parsed = std::atoi(target_text.c_str() + colon + 1);
+    if (parsed <= 0 || parsed > 65535) return;
+    adopt_standby(shard, primary.generation, target_text.substr(0, colon),
+                  static_cast<std::uint16_t>(parsed));
+    return;
+  }
+  // Candidate hunt, deposed ex-primary first: it rejoins with most of the
+  // journal already on disk and consumes no spare. Whoever is picked must
+  // prove it is a standby before the primary is told to ship to it — a
+  // spare that answers as a primary is somebody else's daemon.
+  std::vector<SpareEndpoint> candidates;
+  {
+    repro::MutexLock lock(mutex_);
+    const ShardState& state = shard_states_[shard];
+    if (state.generation != primary.generation || state.standby_available)
+      return;
+    if (state.deposed_port != 0)
+      candidates.push_back({state.deposed_host, state.deposed_port});
+    for (std::size_t i = 0; i < config_.spares.size(); ++i)
+      if (!spare_used_[i]) candidates.push_back(config_.spares[i]);
+  }
+  for (const SpareEndpoint& candidate : candidates) {
+    const std::optional<Json> reply =
+        bounded_call(candidate.host, candidate.port, config_.probe_timeout,
+                     status_frame(), config_.name + "-probe");
+    if (!reply) continue;
+    const Json* ok = reply->find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) continue;
+    const Json* role = reply->find("role");
+    if (role == nullptr || !role->is_string() || role->as_string() != "standby")
+      continue;  // a deposed primary that has not demoted yet, or misconfig
+    Json reseed = Json::object();
+    reseed.set("op", "reseed");
+    reseed.set("host", candidate.host);
+    reseed.set("port", static_cast<std::uint64_t>(candidate.port));
+    const std::optional<Json> seeded = bounded_call(
+        primary.host, primary.port, config_.probe_timeout, reseed, config_.name);
+    // Timeout mid-resync is fine: the next probe observes catching_up (wait)
+    // or hot (adopt via ship_target above).
+    if (!seeded) return;
+    const Json* seeded_ok = seeded->find("ok");
+    if (seeded_ok == nullptr || !seeded_ok->is_bool() || !seeded_ok->as_bool()) {
+      // Typed refusal — this primary cannot resync (no state dir). Permanent
+      // for this generation; stop asking every probe tick.
+      const Json* message = seeded->find("message");
+      log_warn("tunelb: shard {} refused reseed: {}", shard,
+               message != nullptr && message->is_string()
+                   ? message->as_string()
+                   : std::string("(no message)"));
+      repro::MutexLock lock(mutex_);
+      ShardState& state = shard_states_[shard];
+      if (state.generation == primary.generation) state.reseed_unsupported = true;
       return;
     }
-    ++state.consecutive_probe_failures;
-    cross_down_threshold =
-        state.consecutive_probe_failures >= config_.probe_failures_before_down;
+    const Json* hot = seeded->find("hot");
+    if (hot != nullptr && hot->is_bool() && hot->as_bool()) {
+      adopt_standby(shard, primary.generation, candidate.host, candidate.port);
+    }
+    return;  // one reseed attempt per probe tick, hot or not
   }
-  if (cross_down_threshold) (void)fail_over(shard, target.generation);
+}
+
+void Router::adopt_standby(std::size_t shard, std::uint64_t observed_generation,
+                           const std::string& host, std::uint16_t port) {
+  repro::MutexLock lock(mutex_);
+  ShardState& state = shard_states_[shard];
+  if (state.generation != observed_generation || state.standby_available) return;
+  state.endpoints.standby_host = host;
+  state.endpoints.standby_port = port;
+  state.standby_available = true;
+  ++state.reseeds;
+  if (state.deposed_port == port && state.deposed_host == host) {
+    state.deposed_host.clear();
+    state.deposed_port = 0;
+  }
+  for (std::size_t i = 0; i < config_.spares.size(); ++i) {
+    if (!spare_used_[i] && config_.spares[i].port == port &&
+        config_.spares[i].host == host)
+      spare_used_[i] = true;
+  }
+  log_info("tunelb: shard {} re-seeded; standby {}:{} is hot", shard, host, port);
 }
 
 std::optional<std::size_t> Router::place(const std::string& key) const {
@@ -352,10 +470,16 @@ bool Router::fail_over(std::size_t shard, std::uint64_t observed_generation) {
   log_warn("tunelb: shard {} primary {}:{} dead; promoted standby {}:{}", shard,
            state.endpoints.primary_host, state.endpoints.primary_port,
            state.endpoints.standby_host, state.endpoints.standby_port);
+  // Remember the deposed primary: if it comes back and demotes itself
+  // (tuned --auto-rejoin), the prober re-attaches it as the replacement
+  // standby without consuming a spare.
+  state.deposed_host = state.endpoints.primary_host;
+  state.deposed_port = state.endpoints.primary_port;
   state.endpoints.primary_host = state.endpoints.standby_host;
   state.endpoints.primary_port = state.endpoints.standby_port;
   state.endpoints.standby_port = 0;
   state.standby_available = false;
+  state.reseed_unsupported = false;  // the new primary gets its own verdict
   state.health = ShardHealth::kUp;
   state.consecutive_probe_failures = 0;
   ++state.promotions;
@@ -458,13 +582,24 @@ Json Router::dispatch(const Json& request, Downstreams& downstreams,
                               std::to_string(version));
       }
       *hello_done = true;
+      // Tenant identity is connection-scoped: re-sent on every downstream
+      // hello so shards quota the real tenant, not the router. A changed
+      // identity drops cached downstream clients (they carry the old one).
+      std::string tenant;
+      if (const Json* field = request.find("tenant");
+          field != nullptr && field->is_string())
+        tenant = field->as_string();
+      if (tenant != downstreams.tenant) {
+        downstreams.tenant = tenant;
+        downstreams.slots.clear();
+      }
       Json response = make_ok();
       response.set("version", static_cast<std::uint64_t>(kProtocolVersion));
       response.set("server", config_.name);
       response.set("max_frame", static_cast<std::uint64_t>(kMaxFrameBytes));
       Json features = Json::array();
-      for (const char* feature :
-           {"deadline_ms", "seq", "resume", "token", "retry_later", "cluster"})
+      for (const char* feature : {"deadline_ms", "seq", "resume", "token",
+                                  "retry_later", "cluster", "quota"})
         features.push_back(feature);
       response.set("features", std::move(features));
       return response;
@@ -480,6 +615,12 @@ Json Router::dispatch(const Json& request, Downstreams& downstreams,
       return make_error(ErrorCode::kWrongRole,
                         "a router accepts client session ops, not replication "
                         "records; ship to a standby shard directly");
+    }
+    if (op == "reseed") {
+      return make_error(ErrorCode::kWrongRole,
+                        "re-seeding is driven by the router's own prober; to "
+                        "attach a follower manually, send reseed to the shard "
+                        "primary directly");
     }
     if (op == "store_stats" || op == "store_export" || op == "store_import") {
       return route_store(op, request, downstreams);
@@ -523,7 +664,7 @@ Json Router::forward(std::size_t shard, Json request, bool idempotent,
   // (idempotent requests), against the shard's possibly-new endpoint.
   for (std::size_t attempt = 0; attempt < 2; ++attempt) {
     const Endpoint target = endpoint(shard);
-    DownstreamSlot& slot = downstreams[shard];
+    DownstreamSlot& slot = downstreams.slots[shard];
     try {
       if (slot.client == nullptr || slot.generation != target.generation ||
           !slot.client->connected()) {
@@ -531,6 +672,7 @@ Json Router::forward(std::size_t shard, Json request, bool idempotent,
         config.host = target.host;
         config.port = target.port;
         config.name = config_.name;
+        config.tenant = downstreams.tenant;
         slot.client = std::make_unique<Client>(config);
         slot.generation = target.generation;
         slot.client->connect();
@@ -758,6 +900,20 @@ Json Router::aggregate_status() {
   response.set("role", "router");
   std::uint64_t live = 0, opened = 0, closed = 0, evicted = 0, finished = 0;
   std::uint64_t asks = 0, tells = 0, duplicates = 0;
+  // Cluster-wide quota rollup: additive counters sum, per-tenant tallies
+  // merge by tenant name (a tenant's sessions may span shards).
+  bool quota_enabled = false;
+  static constexpr const char* kQuotaCounters[] = {
+      "queue_depth", "queued",          "granted",        "timeouts",
+      "shed_anonymous", "shed_over_quota", "shed_queue_full",
+      "tell_pushbacks"};
+  std::uint64_t quota_totals[std::size(kQuotaCounters)] = {};
+  struct TenantTotals {
+    std::uint64_t sessions = 0;
+    std::uint64_t inflight_tells = 0;
+    std::uint64_t queued = 0;
+  };
+  std::map<std::string, TenantTotals> tenant_totals;
   Json shards = Json::array();
   for (std::size_t index = 0; index < config_.shards.size(); ++index) {
     const std::vector<ShardSnapshot> snapshots = this->shards();
@@ -769,6 +925,7 @@ Json Router::aggregate_status() {
     entry.set("health", to_string(snapshot.health));
     entry.set("has_standby", snapshot.has_standby);
     entry.set("promotions", static_cast<std::uint64_t>(snapshot.promotions));
+    entry.set("reseeds", static_cast<std::uint64_t>(snapshot.reseeds));
     entry.set("sessions_placed",
               static_cast<std::uint64_t>(snapshot.sessions_placed));
     if (snapshot.health != ShardHealth::kDown) {
@@ -793,6 +950,34 @@ Json Router::aggregate_status() {
         add(asks, "asks");
         add(tells, "tells");
         add(duplicates, "duplicate_tells");
+        if (const Json* quotas = status.find("quotas");
+            quotas != nullptr && quotas->is_object()) {
+          const Json* enabled = quotas->find("enabled");
+          quota_enabled = quota_enabled || (enabled != nullptr &&
+                                            enabled->is_bool() &&
+                                            enabled->as_bool());
+          for (std::size_t i = 0; i < std::size(kQuotaCounters); ++i) {
+            const Json* field = quotas->find(kQuotaCounters[i]);
+            if (field != nullptr && field->is_number())
+              quota_totals[i] += field->as_uint64();
+          }
+          if (const Json* tenants = quotas->find("tenants");
+              tenants != nullptr && tenants->is_array()) {
+            for (const Json& tenant : tenants->as_array()) {
+              const Json* name = tenant.find("tenant");
+              if (name == nullptr || !name->is_string()) continue;
+              TenantTotals& totals = tenant_totals[name->as_string()];
+              const auto addt = [&tenant](std::uint64_t& total, const char* key) {
+                const Json* field = tenant.find(key);
+                if (field != nullptr && field->is_number())
+                  total += field->as_uint64();
+              };
+              addt(totals.sessions, "sessions");
+              addt(totals.inflight_tells, "inflight_tells");
+              addt(totals.queued, "queued");
+            }
+          }
+        }
         entry.set("status", status);
       } else {
         const Json* message = status.find("message");
@@ -813,6 +998,23 @@ Json Router::aggregate_status() {
   response.set("asks", asks);
   response.set("tells", tells);
   response.set("duplicate_tells", duplicates);
+  {
+    Json quotas = Json::object();
+    quotas.set("enabled", quota_enabled);
+    for (std::size_t i = 0; i < std::size(kQuotaCounters); ++i)
+      quotas.set(kQuotaCounters[i], quota_totals[i]);
+    Json tenants = Json::array();
+    for (const auto& [name, totals] : tenant_totals) {
+      Json tenant = Json::object();
+      tenant.set("tenant", name);
+      tenant.set("sessions", totals.sessions);
+      tenant.set("inflight_tells", totals.inflight_tells);
+      tenant.set("queued", totals.queued);
+      tenants.push_back(std::move(tenant));
+    }
+    quotas.set("tenants", std::move(tenants));
+    response.set("quotas", std::move(quotas));
+  }
   {
     repro::MutexLock lock(mutex_);
     response.set("reroutes", static_cast<std::uint64_t>(reroutes_));

@@ -36,6 +36,23 @@
 // requests surface the transport error to the client, which owns the
 // retry decision. retry_later pushback from a shard is propagated
 // verbatim, hint included.
+//
+// Self-healing. A failover consumes the shard's standby, leaving it
+// un-replicated. The prober closes that gap automatically: for an up
+// shard with no standby it looks for a replacement follower — the
+// deposed ex-primary once it has demoted itself back to standby
+// (tuned --auto-rejoin), else the first unused endpoint of the spares
+// pool that answers status with role "standby" — and tells the shard's
+// primary {"op":"reseed","host":...,"port":...}. The primary resyncs its
+// store + journals into the follower and flips it hot; the router then
+// records it as the shard's standby, ready for the next failover. A
+// shard whose shipper is still catching up reports kDegraded until the
+// resync completes.
+//
+// Tenancy. The client's hello may carry a tenant identity; the router
+// re-sends it on every downstream hello so per-tenant quotas are
+// enforced by the shards exactly as if the client had dialed them
+// directly. Cluster status merges the shards' per-tenant quota tallies.
 
 #include <chrono>
 #include <cstdint>
@@ -68,9 +85,20 @@ struct ShardEndpoints {
   std::uint16_t standby_port = 0;
 };
 
+/// A warm spare `tuned --standby` not yet attached to any shard. The
+/// prober hands spares out (first unused, config order) to shards whose
+/// standby was consumed by a failover.
+struct SpareEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
 struct RouterConfig {
   std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
   std::vector<ShardEndpoints> shards;
+  /// Pool of idle standby daemons the prober may attach as replacement
+  /// followers after a failover. Each spare is used at most once.
+  std::vector<SpareEndpoint> spares;
   std::size_t connection_threads = 8;
   /// Accept/read timeout tick (shutdown latency).
   std::chrono::milliseconds poll_interval{200};
@@ -97,6 +125,7 @@ struct ShardSnapshot {
   ShardHealth health = ShardHealth::kUp;
   bool has_standby = false;
   std::size_t promotions = 0;   ///< failovers performed on this shard
+  std::size_t reseeds = 0;      ///< replacement standbys attached post-failover
   std::uint64_t generation = 0; ///< bumps on every endpoint change
   std::size_t sessions_placed = 0;
 };
@@ -129,6 +158,17 @@ class Router {
     ShardHealth health = ShardHealth::kUp;
     bool standby_available = false; ///< a standby remains to fail over to
     std::size_t promotions = 0;
+    std::size_t reseeds = 0;
+    /// Endpoint of the primary a failover deposed. The prober re-probes it:
+    /// once it answers status with role "standby" (it demoted and rejoined),
+    /// it becomes the preferred re-seed candidate — its journals need only a
+    /// catch-up, and no spare is consumed. Port 0 = none remembered.
+    std::string deposed_host;
+    std::uint16_t deposed_port = 0;
+    /// The primary answered reseed with a typed refusal (e.g. it has no
+    /// state dir to resync from) — permanent for this generation, so the
+    /// prober stops asking. Cleared on the next failover.
+    bool reseed_unsupported = false;
     std::uint64_t generation = 0;
     std::size_t consecutive_probe_failures = 0;
     std::size_t sessions_placed = 0;
@@ -140,7 +180,13 @@ class Router {
     std::unique_ptr<Client> client;
     std::uint64_t generation = 0;
   };
-  using Downstreams = std::unordered_map<std::size_t, DownstreamSlot>;
+  /// Per-client-connection forwarding state: cached downstream clients
+  /// plus the tenant identity from the client's hello (re-sent on every
+  /// downstream hello so shards enforce quotas against the real tenant).
+  struct Downstreams {
+    std::unordered_map<std::size_t, DownstreamSlot> slots;
+    std::string tenant;
+  };
 
   void accept_loop();
   void probe_loop();
@@ -183,8 +229,22 @@ class Router {
   bool fail_over(std::size_t shard, std::uint64_t observed_generation);
 
   /// One health probe of one shard; updates health/counters. Promotes via
-  /// fail_over() when the down threshold is crossed.
+  /// fail_over() when the down threshold is crossed; re-seeds a missing
+  /// standby via maybe_reseed() when the shard is up without one.
   void probe_shard(std::size_t shard);
+
+  /// Attach a replacement follower to an up shard that lost its standby:
+  /// probe the deposed ex-primary (preferred) then unused spares for a
+  /// daemon answering role "standby", and tell the shard's primary to
+  /// {"op":"reseed"} it. `status` is the probe reply that just classified
+  /// the shard — its ship_state/ship_target dedup in-flight resyncs and
+  /// adopt a follower whose reseed reply was lost to a timeout.
+  void maybe_reseed(std::size_t shard, const Endpoint& primary,
+                    const Json& status);
+  /// Record `host:port` as `shard`'s standby (post-reseed), consuming the
+  /// matching spare / clearing the deposed memory. Generation-checked.
+  void adopt_standby(std::size_t shard, std::uint64_t observed_generation,
+                     const std::string& host, std::uint16_t port);
 
   RouterConfig config_;
   std::uint16_t port_ = 0;
@@ -197,6 +257,10 @@ class Router {
 
   mutable repro::Mutex mutex_;
   std::vector<ShardState> shard_states_ GUARDED_BY(mutex_);
+  /// spare_used_[i] — config_.spares[i] has been handed to a shard (a
+  /// spare is attached at most once; it then lives as that shard's
+  /// standby and, after a later failover, its primary).
+  std::vector<bool> spare_used_ GUARDED_BY(mutex_);
   std::unordered_map<std::uint64_t, std::shared_ptr<Socket>> connections_
       GUARDED_BY(mutex_);
   std::uint64_t next_connection_id_ GUARDED_BY(mutex_) = 1;

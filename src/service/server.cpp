@@ -133,12 +133,35 @@ bool TuneServer::standby() const noexcept {
   return standby_;
 }
 
-void TuneServer::promote() {
-  repro::MutexLock lock(mutex_);
-  if (!standby_) return;
-  standby_ = false;
-  ++promotions_;
+bool TuneServer::promote() {
+  {
+    repro::MutexLock lock(mutex_);
+    if (!standby_) return false;  // already primary: idempotent no-op
+    standby_ = false;
+    ++promotions_;
+  }
   log_info("tuned: promoted to primary ({} live sessions, hot)", manager_->live());
+  return true;
+}
+
+void TuneServer::demote() {
+  {
+    repro::MutexLock lock(mutex_);
+    if (standby_) return;  // already a standby: idempotent no-op
+    standby_ = true;
+    ++demotions_;
+  }
+  // Outside the lock: demote_reset cancels sessions (joins search threads)
+  // and truncates the store — none of it needs the server mutex.
+  const std::size_t dropped = manager_->demote_reset();
+  log_info("tuned: demoted to standby ({} divergent session(s) dropped); "
+           "awaiting re-seed from the new primary",
+           dropped);
+}
+
+std::size_t TuneServer::demotions() const {
+  repro::MutexLock lock(mutex_);
+  return demotions_;
 }
 
 bool TuneServer::running() const noexcept {
@@ -229,7 +252,17 @@ void TuneServer::accept_loop() {
       // must not run its own idle clock: its sessions only see activity
       // when records arrive, so it evicts exactly when the primary ships a
       // ship_evict record (keeping both sides' tombstones in lockstep).
-      if (!standby()) (void)manager_->evict_idle();
+      if (!standby()) {
+        (void)manager_->evict_idle();
+        // Deposed-primary rejoin: a fence means our follower was promoted
+        // — this daemon lost a failover race and its unshipped tail is
+        // divergent. Demote into a clean standby so the new primary can
+        // re-seed us, with zero operator action.
+        if (config_.auto_rejoin &&
+            manager_->ship_state() == ShipState::kFenced) {
+          demote();
+        }
+      }
       continue;
     }
     if (io == Socket::Io::kClosed) return;  // stop() or drain() closed us
@@ -286,7 +319,7 @@ void TuneServer::handle_connection(std::uint64_t id) {
   if (config_.write_timeout.count() > 0)
     socket->set_write_timeout(config_.write_timeout);
   FrameReader reader(*socket);
-  bool hello_done = false;
+  ConnState conn;
   std::string line;
   // Liveness deadline bookkeeping; never feeds tuning results.
   auto last_frame = std::chrono::steady_clock::now();
@@ -338,7 +371,7 @@ void TuneServer::handle_connection(std::uint64_t id) {
       continue;
     }
     bool fatal = false;
-    const Json response = dispatch(request, &hello_done, &fatal);
+    const Json response = dispatch(request, &conn, &fatal);
     if (!write_frame(*socket, response)) return;
     if (fatal) return;
     // Restart the liveness clock only after the response is out: time spent
@@ -348,7 +381,7 @@ void TuneServer::handle_connection(std::uint64_t id) {
   }
 }
 
-Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
+Json TuneServer::dispatch(const Json& request, ConnState* conn, bool* fatal) {
   *fatal = false;
   try {
     const std::string op = require_string(request, "op");
@@ -361,22 +394,30 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
                               std::to_string(kProtocolVersion) + ", client sent " +
                               std::to_string(version));
       }
-      *hello_done = true;
+      conn->hello_done = true;
+      // Quota identity: optional, connection-scoped, stamped into every
+      // open below. A repeated hello may change it (same trust model as
+      // the identity itself — the loopback peer is who it says it is).
+      if (const Json* field = request.find("tenant"))
+        conn->tenant = field->as_string();
       Json response = make_ok();
       response.set("version", static_cast<std::uint64_t>(kProtocolVersion));
       response.set("server", config_.name);
       response.set("max_frame", static_cast<std::uint64_t>(kMaxFrameBytes));
+      // Role in the handshake: a shipper that dials a promoted daemon can
+      // fence before shipping a single record (see wal_ship.cpp).
+      response.set("role", standby() ? "standby" : "primary");
       // Version-1 extension fields this server understands (see the
       // protocol header); old servers simply omit the list.
       Json features = Json::array();
       for (const char* feature :
            {"deadline_ms", "seq", "resume", "token", "retry_later", "cluster",
-            "store"})
+            "store", "quota"})
         features.push_back(feature);
       response.set("features", std::move(features));
       return response;
     }
-    if (!*hello_done) {
+    if (!conn->hello_done) {
       return make_error(ErrorCode::kHelloRequired,
                         "first frame must be a hello handshake");
     }
@@ -433,9 +474,33 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
     }
     if (op == "promote") {
       // Idempotent: promoting a primary is a no-op ack, so a router that
-      // lost the first response can safely retry.
-      promote();
-      return make_ok();
+      // lost the first response can safely retry. The reply distinguishes
+      // the no-op ("already_primary") so a double-promote race is
+      // observable without being an error.
+      Json response = make_ok();
+      if (!promote()) response.set("already_primary", true);
+      response.set("role", "primary");
+      return response;
+    }
+    if (op == "reseed") {
+      // Router-orchestrated standby re-seeding: point this primary's
+      // shipper at a replacement follower and resync it (store snapshot +
+      // journals + digest gate). Primary-only: a standby has nothing to
+      // ship.
+      if (standby()) {
+        return make_error(ErrorCode::kWrongRole,
+                          "reseed belongs on the primary");
+      }
+      std::string host = "127.0.0.1";
+      if (const Json* field = request.find("host")) host = field->as_string();
+      const std::uint64_t port = require_uint(request, "port");
+      if (port == 0 || port > 65535)
+        return make_error(ErrorCode::kBadRequest, "reseed port out of range");
+      const bool hot = manager_->reseed(host, static_cast<std::uint16_t>(port));
+      Json response = make_ok();
+      response.set("hot", hot);
+      response.set("ship_state", to_string(manager_->ship_state()));
+      return response;
     }
     // Store ops answer on any role: a standby's store is inspectable (and
     // seedable) without promoting it.
@@ -526,7 +591,12 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
           return make_error(ErrorCode::kDraining, "server is draining");
         }
       }
-      const OpenParams params = decode_open(request);
+      OpenParams params = decode_open(request);
+      // The server stamps the quota identity from the connection's hello —
+      // unconditionally, so a request-level "tenant" field can never spoof
+      // another tenant's budget. The stamped value rides the WAL open
+      // record and ship_open, surviving recovery and failover.
+      params.tenant = conn->tenant;
       std::string token;
       if (const Json* field = request.find("token")) token = field->as_string();
       Json response = make_ok();
@@ -611,9 +681,12 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
         response.set("store", std::move(store_summary));
       }
       response.set("ship_enabled", report.ship_enabled);
+      response.set("ship_state", to_string(report.ship_state));
       if (report.ship_enabled) {
         response.set("ship_connected", report.ship_connected);
         response.set("ship_fenced", report.ship_fenced);
+        if (!report.ship_target.empty())
+          response.set("ship_target", report.ship_target);
         Json ship = Json::object();
         ship.set("records_shipped",
                  static_cast<std::uint64_t>(report.ship.records_shipped));
@@ -622,12 +695,48 @@ Json TuneServer::dispatch(const Json& request, bool* hello_done, bool* fatal) {
         ship.set("resyncs", static_cast<std::uint64_t>(report.ship.resyncs));
         ship.set("reconnects", static_cast<std::uint64_t>(report.ship.reconnects));
         ship.set("failures", static_cast<std::uint64_t>(report.ship.failures));
+        ship.set("retargets", static_cast<std::uint64_t>(report.ship.retargets));
+        ship.set("store_rows_resynced",
+                 static_cast<std::uint64_t>(report.ship.store_rows_resynced));
         response.set("ship", std::move(ship));
+      }
+      {
+        // Quota block: aggregate shed/pushback counters plus one row per
+        // named tenant, so the router can merge fairness state cluster-wide.
+        Json quotas = Json::object();
+        quotas.set("enabled", report.quotas.enabled);
+        quotas.set("queue_depth",
+                   static_cast<std::uint64_t>(report.quotas.queue_depth));
+        quotas.set("queued", static_cast<std::uint64_t>(report.quotas.queued));
+        quotas.set("granted", static_cast<std::uint64_t>(report.quotas.granted));
+        quotas.set("timeouts",
+                   static_cast<std::uint64_t>(report.quotas.timeouts));
+        quotas.set("shed_anonymous",
+                   static_cast<std::uint64_t>(report.quotas.shed_anonymous));
+        quotas.set("shed_over_quota",
+                   static_cast<std::uint64_t>(report.quotas.shed_over_quota));
+        quotas.set("shed_queue_full",
+                   static_cast<std::uint64_t>(report.quotas.shed_queue_full));
+        quotas.set("tell_pushbacks",
+                   static_cast<std::uint64_t>(report.quotas.tell_pushbacks));
+        Json tenants = Json::array();
+        for (const StatusReport::TenantStatus& row : report.quotas.tenants) {
+          Json entry = Json::object();
+          entry.set("tenant", row.tenant);
+          entry.set("sessions", static_cast<std::uint64_t>(row.sessions));
+          entry.set("inflight_tells",
+                    static_cast<std::uint64_t>(row.inflight_tells));
+          entry.set("queued", static_cast<std::uint64_t>(row.queued));
+          tenants.push_back(std::move(entry));
+        }
+        quotas.set("tenants", std::move(tenants));
+        response.set("quotas", std::move(quotas));
       }
       {
         repro::MutexLock lock(mutex_);
         response.set("role", standby_ ? "standby" : "primary");
         response.set("promotions", static_cast<std::uint64_t>(promotions_));
+        response.set("demotions", static_cast<std::uint64_t>(demotions_));
         response.set("draining", draining_ || stopping_);
         response.set("active_connections",
                      static_cast<std::uint64_t>(connections_.size()));

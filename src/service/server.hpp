@@ -53,8 +53,15 @@ struct ServerConfig {
   /// Start as a hot standby: refuse normal session ops with wrong_role and
   /// accept ship_* records from a primary instead, until a promote op (or
   /// promote()) flips the role. A primary (standby=false) conversely
-  /// refuses ship_*/promote with wrong_role.
+  /// refuses ship_* with wrong_role (promote is an idempotent ack).
   bool standby = false;
+  /// Deposed-primary rejoin: when this primary's shipper fences (its
+  /// follower was promoted — this daemon lost a failover race), demote
+  /// automatically into a clean standby (drop divergent journals + store)
+  /// so the new primary can re-seed it with zero operator action. Off by
+  /// default: a fenced primary then keeps serving standalone (the operator
+  /// decides), which is also what the in-process failover tests expect.
+  bool auto_rejoin = false;
   /// Directory of the persistent cross-tenant results store ("" disables
   /// it). The store is loaded before session recovery so replayed tells can
   /// feed it, and every acknowledged tell of a tenant-identified session
@@ -96,8 +103,17 @@ class TuneServer {
   [[nodiscard]] bool standby() const noexcept;
   /// Flip a standby to primary (idempotent; also reachable over the wire
   /// via {"op":"promote"}). Shipped sessions are already live, so the
-  /// promoted shard serves its first ask with no replay delay.
-  void promote();
+  /// promoted shard serves its first ask with no replay delay. Returns
+  /// true when the role flipped, false when already primary (the wire
+  /// reply then carries "already_primary" so a racing double-promote is
+  /// observable).
+  bool promote();
+  /// Flip a (deposed) primary back to standby, dropping its divergent
+  /// state via SessionManager::demote_reset(). Idempotent. Driven by
+  /// auto_rejoin when the shipper fences; also callable directly.
+  void demote();
+  /// Times demote() flipped the role (the rejoin counter).
+  [[nodiscard]] std::size_t demotions() const;
 
   [[nodiscard]] SessionManager& sessions() noexcept { return *manager_; }
   [[nodiscard]] const SessionManager& sessions() const noexcept { return *manager_; }
@@ -113,10 +129,19 @@ class TuneServer {
   [[nodiscard]] std::size_t connections_refused() const;
 
  private:
+  /// Per-connection protocol state. The tenant identity arrives once, in
+  /// the hello, and is stamped into every open on this connection — quota
+  /// identity is a property of the authenticated link, not of individual
+  /// requests (a request-level field could be spoofed per-open).
+  struct ConnState {
+    bool hello_done = false;
+    std::string tenant;
+  };
+
   void accept_loop();
   void handle_connection(std::uint64_t id);
   /// Dispatch one parsed request; never throws (errors become frames).
-  [[nodiscard]] Json dispatch(const Json& request, bool* hello_done, bool* fatal);
+  [[nodiscard]] Json dispatch(const Json& request, ConnState* conn, bool* fatal);
 
   ServerConfig config_;
   std::uint16_t port_ = 0;
@@ -142,6 +167,7 @@ class TuneServer {
   bool draining_ GUARDED_BY(mutex_) = false;
   bool standby_ GUARDED_BY(mutex_) = false;
   std::size_t promotions_ GUARDED_BY(mutex_) = 0;
+  std::size_t demotions_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace repro::service

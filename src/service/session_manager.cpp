@@ -20,10 +20,14 @@ constexpr std::size_t kTombstoneCap = 4096;
 SessionManager::SessionManager(SessionLimits limits,
                                std::shared_ptr<store::ResultsStore> store)
     : limits_(std::move(limits)), store_(std::move(store)) {
-  if (limits_.ship.port != 0) {
+  // A shipper also exists (disabled, port 0) for every durable daemon:
+  // reseed() retargets it at a follower later, and shipper_ must be
+  // immutable after construction — lazy creation would race the unlocked
+  // reads on the tell path.
+  if (limits_.ship.port != 0 || !limits_.state_dir.empty()) {
     ShipConfig ship = limits_.ship;
     ship.state_dir = limits_.state_dir;  // resync source = our own journals
-    shipper_ = std::make_unique<WalShipper>(std::move(ship));
+    shipper_ = std::make_unique<WalShipper>(std::move(ship), store_);
   }
 }
 
@@ -95,6 +99,7 @@ RecoveryStats SessionManager::recover() {
           journal.open.seed, journal.open.retry);
       managed->last_activity = now;
       managed->token = journal.token;
+      managed->tenant = journal.open.tenant;
       bind_store_tenant(*managed, journal.open);
       // Replay: deterministic search must re-propose exactly the journaled
       // configurations; any divergence means the journal does not belong to
@@ -119,6 +124,7 @@ RecoveryStats SessionManager::recover() {
 
       repro::MutexLock lock(mutex_);
       if (managed->wal == nullptr) ++wal_errors_;
+      if (!managed->tenant.empty()) ++tenant_live_[managed->tenant];
       sessions_.emplace_back(journal.id, managed);
       ++opened_;
       asks_total_ += journal.tells.size();
@@ -159,15 +165,19 @@ std::string SessionManager::open(const OpenParams& params, const std::string& to
         }
       }
     }
-    // Cheap early rejection; rechecked after construction since the lock
-    // is released in between.
-    if (sessions_.size() >= limits_.max_sessions) {
-      throw ProtocolError(ErrorCode::kRetryLater,
-                          "session limit reached (" +
-                              std::to_string(limits_.max_sessions) + ")",
-                          limits_.retry_after_ms);
-    }
   }
+  // Admission: reserves one slot (throwing the typed retry_later when the
+  // caller must back off). The reservation is either consumed by the
+  // registration below or returned by the guard on every other exit.
+  admit(params.tenant);
+  struct ReservationGuard {
+    SessionManager* manager;
+    const std::string* tenant;
+    bool committed = false;
+    ~ReservationGuard() {
+      if (!committed) manager->release_admission(*tenant);
+    }
+  } reservation{this, &params.tenant};
   // Warm start: snapshot the tenant's prior history EXACTLY ONCE, here, at
   // the client-facing open. The snapshot rides `effective` into the WAL
   // open record and the ship_open frame, so recovery and the standby replay
@@ -205,6 +215,7 @@ std::string SessionManager::open(const OpenParams& params, const std::string& to
   // Idle-eviction bookkeeping; never feeds tuning results.
   managed->last_activity = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
   managed->token = token;
+  managed->tenant = effective.tenant;
   bind_store_tenant(*managed, effective);
 
   std::string id;
@@ -219,24 +230,17 @@ std::string SessionManager::open(const OpenParams& params, const std::string& to
         }
       }
     }
-    if (sessions_.size() >= limits_.max_sessions) {
-      // managed is destroyed below (cancels its freshly-started thread).
-      id.clear();
-    } else {
-      // push_back+append sidesteps a GCC 12 -Wrestrict false positive
-      // (PR105329) on assigning the concatenation temporary.
-      id.push_back('s');
-      id += std::to_string(next_id_++);
-      sessions_.emplace_back(id, managed);
-      ++opened_;
-    }
-  }
-  if (id.empty()) {
-    managed->session.cancel();
-    throw ProtocolError(ErrorCode::kRetryLater,
-                        "session limit reached (" +
-                            std::to_string(limits_.max_sessions) + ")",
-                        limits_.retry_after_ms);
+    // The admit() reservation guarantees a slot; convert it into the live
+    // registration.
+    consume_reservation_locked(params.tenant);
+    reservation.committed = true;
+    if (!managed->tenant.empty()) ++tenant_live_[managed->tenant];
+    // push_back+append sidesteps a GCC 12 -Wrestrict false positive
+    // (PR105329) on assigning the concatenation temporary.
+    id.push_back('s');
+    id += std::to_string(next_id_++);
+    sessions_.emplace_back(id, managed);
+    ++opened_;
   }
   // Journal the open before the caller can observe the id: once the client
   // sees this session exist, a crash must not forget it. `effective`
@@ -326,6 +330,20 @@ SessionManager::TellAck SessionManager::tell(const std::string& id,
                                              const tuner::Evaluation& evaluation,
                                              std::uint64_t seq) {
   const std::shared_ptr<ManagedSession> managed = find_and_touch(id);
+  // In-flight tell quota: an executing tell pins a connection thread through
+  // the WAL fsync and the standby's ack; bound what one tenant may pin.
+  // Charged before the duplicate check (a retry storm is load too).
+  struct InflightCredit {
+    SessionManager* manager = nullptr;
+    const std::string* tenant = nullptr;
+    ~InflightCredit() {
+      if (manager != nullptr) manager->end_inflight_tell(*tenant);
+    }
+  } credit;
+  if (begin_inflight_tell(managed->tenant)) {
+    credit.manager = this;
+    credit.tenant = &managed->tenant;
+  }
   bool orphan = false;
   if (seq != 0) {
     repro::MutexLock lock(mutex_);
@@ -444,6 +462,7 @@ void SessionManager::close(const std::string& id) {
     managed = std::move(it->second);
     sessions_.erase(it);
     ++closed_;
+    note_removed_locked(*managed);
   }
   // Terminal record then unlink: if the crash lands between the two,
   // recovery sees the close record and finishes the unlink.
@@ -475,6 +494,7 @@ std::size_t SessionManager::evict_idle() {
           now - it->second->last_activity);
       if (idle > limits_.idle_timeout) {
         add_tombstone(it->first);
+        credit_tenant_locked(it->second->tenant);
         victims.emplace_back(std::move(*it));
         it = sessions_.erase(it);
       } else {
@@ -482,6 +502,9 @@ std::size_t SessionManager::evict_idle() {
       }
     }
     evicted_ += victims.size();
+    // One drain after the sweep: freed slots go to queued opens only once
+    // sessions_ reflects every removal.
+    if (!victims.empty()) drain_admission_locked();
   }
   for (auto& [id, managed] : victims) {
     // Persist the eviction: the journal stays behind as a tombstone so a
@@ -506,7 +529,10 @@ std::shared_ptr<SessionManager::ManagedSession> SessionManager::register_session
     for (auto& [key, existing] : sessions_) {
       if (key == id) return nullptr;  // already live: idempotent re-delivery
     }
-    if (sessions_.size() >= limits_.max_sessions) {
+    // Replica/recovery opens bypass tenant quotas (the primary already
+    // admitted them; refusing here would diverge the replica) but respect
+    // the global cap, counting client opens' outstanding reservations.
+    if (sessions_.size() + reserved_ >= limits_.max_sessions) {
       throw ProtocolError(ErrorCode::kRetryLater,
                           "session limit reached (" +
                               std::to_string(limits_.max_sessions) + ")",
@@ -529,6 +555,7 @@ std::shared_ptr<SessionManager::ManagedSession> SessionManager::register_session
   // Idle-eviction bookkeeping; never feeds tuning results.
   managed->last_activity = std::chrono::steady_clock::now();  // NOLINT(reprolint-wall-clock)
   managed->token = token;
+  managed->tenant = params.tenant;
   bind_store_tenant(*managed, params);
   {
     repro::MutexLock lock(mutex_);
@@ -539,13 +566,14 @@ std::shared_ptr<SessionManager::ManagedSession> SessionManager::register_session
         return nullptr;
       }
     }
-    if (sessions_.size() >= limits_.max_sessions) {
+    if (sessions_.size() + reserved_ >= limits_.max_sessions) {
       managed->session.cancel();
       throw ProtocolError(ErrorCode::kRetryLater,
                           "session limit reached (" +
                               std::to_string(limits_.max_sessions) + ")",
                           limits_.retry_after_ms);
     }
+    if (!managed->tenant.empty()) ++tenant_live_[managed->tenant];
     sessions_.emplace_back(id, managed);
     ++opened_;
     // Keep locally-minted ids clear of the adopted one ("s<N>" scheme).
@@ -668,6 +696,7 @@ void SessionManager::evict_replica(const std::string& id) {
     managed = std::move(it->second);
     sessions_.erase(it);
     ++evicted_;
+    note_removed_locked(*managed);
   }
   if (managed->wal != nullptr && !managed->wal->append_evicted()) {
     repro::MutexLock lock(mutex_);
@@ -686,12 +715,256 @@ void SessionManager::ship_store_import(
   if (shipper_ != nullptr) (void)shipper_->ship_store_import(tenants);
 }
 
+// --- tenant-fair admission ---------------------------------------------------
+
+std::uint64_t SessionManager::retry_hint_locked() const {
+  // Depth-scaled backoff: every queued open ahead of a shed caller is work
+  // the daemon must absorb before a retry can succeed. Capped at 16x so the
+  // hint never tells a client to disappear for minutes.
+  const std::uint64_t factor =
+      1 + std::min<std::uint64_t>(admission_depth_, 15);
+  return limits_.retry_after_ms * factor;
+}
+
+void SessionManager::admit(const std::string& tenant) {
+  const TenantQuotas& quotas = limits_.quotas;
+  repro::MutexLock lock(mutex_);
+  if (!tenant.empty() && quotas.max_sessions_per_tenant != 0) {
+    const auto live_it = tenant_live_.find(tenant);
+    const auto reserved_it = reserved_by_tenant_.find(tenant);
+    const std::size_t held =
+        (live_it != tenant_live_.end() ? live_it->second : 0) +
+        (reserved_it != reserved_by_tenant_.end() ? reserved_it->second : 0);
+    if (held >= quotas.max_sessions_per_tenant) {
+      ++shed_over_quota_;
+      throw ProtocolError(ErrorCode::kRetryLater,
+                          "tenant " + tenant + " session quota reached (" +
+                              std::to_string(quotas.max_sessions_per_tenant) +
+                              ")",
+                          retry_hint_locked());
+    }
+  }
+  if (sessions_.size() + reserved_ < limits_.max_sessions) {
+    ++reserved_;
+    if (!tenant.empty()) ++reserved_by_tenant_[tenant];
+    return;
+  }
+  // Global cap reached. The admission queue is reserved for named, in-quota
+  // tenants: anonymous opens (and everyone when queueing is off) shed
+  // immediately with the depth-scaled hint. In-flight sessions are never
+  // shed — overload only ever refuses *new* work.
+  const bool can_queue = !tenant.empty() && quotas.admission_queue_cap != 0 &&
+                         quotas.admission_wait.count() > 0;
+  if (!can_queue) {
+    if (tenant.empty() && quotas.enabled()) ++shed_anonymous_;
+    throw ProtocolError(ErrorCode::kRetryLater,
+                        "session limit reached (" +
+                            std::to_string(limits_.max_sessions) + ")",
+                        retry_hint_locked());
+  }
+  if (admission_depth_ >= quotas.admission_queue_cap) {
+    ++shed_queue_full_;
+    throw ProtocolError(ErrorCode::kRetryLater,
+                        "admission queue full (" +
+                            std::to_string(quotas.admission_queue_cap) + ")",
+                        retry_hint_locked());
+  }
+  auto waiter = std::make_shared<AdmissionWaiter>();
+  waiter->tenant = tenant;
+  admission_queues_[tenant].push_back(waiter);
+  ++admission_depth_;
+  ++admission_queued_total_;
+  // Park until the drain hands this waiter a freed slot (or the wait
+  // budget runs out). The condvar releases mutex_ while parked.
+  (void)admission_cv_.wait_for(lock.native(), quotas.admission_wait, [&] {
+    return waiter->granted || waiter->failed;
+  });
+  if (waiter->granted) return;  // the drain already reserved our slot
+  if (waiter->failed) {
+    // Flushed by shutdown/demote; the queue entry is already gone.
+    throw ProtocolError(ErrorCode::kRetryLater, "admission queue flushed",
+                        retry_hint_locked());
+  }
+  // Timed out while still queued: withdraw.
+  const auto it = admission_queues_.find(tenant);
+  if (it != admission_queues_.end()) {
+    auto& queue = it->second;
+    queue.erase(std::remove(queue.begin(), queue.end(), waiter), queue.end());
+    if (queue.empty()) admission_queues_.erase(it);
+  }
+  --admission_depth_;
+  ++admission_timeouts_;
+  throw ProtocolError(ErrorCode::kRetryLater,
+                      "admission queue wait exceeded (" +
+                          std::to_string(quotas.admission_wait.count()) + "ms)",
+                      retry_hint_locked());
+}
+
+void SessionManager::release_admission(const std::string& tenant) {
+  repro::MutexLock lock(mutex_);
+  consume_reservation_locked(tenant);
+  drain_admission_locked();  // the returned slot may admit a queued open
+}
+
+void SessionManager::consume_reservation_locked(const std::string& tenant) {
+  if (reserved_ != 0) --reserved_;
+  if (!tenant.empty()) {
+    const auto it = reserved_by_tenant_.find(tenant);
+    if (it != reserved_by_tenant_.end() && --(it->second) == 0)
+      reserved_by_tenant_.erase(it);
+  }
+}
+
+void SessionManager::credit_tenant_locked(const std::string& tenant) {
+  if (tenant.empty()) return;
+  const auto it = tenant_live_.find(tenant);
+  if (it != tenant_live_.end() && --(it->second) == 0) tenant_live_.erase(it);
+}
+
+void SessionManager::note_removed_locked(const ManagedSession& managed) {
+  credit_tenant_locked(managed.tenant);
+  drain_admission_locked();
+}
+
+void SessionManager::drain_admission_locked() {
+  bool granted_any = false;
+  while (admission_depth_ != 0 &&
+         sessions_.size() + reserved_ < limits_.max_sessions) {
+    // Deficit round robin, quantum one: the tenant after the cursor gets
+    // the freed slot, so one tenant's burst cannot starve the rest.
+    auto it = admission_queues_.upper_bound(drr_cursor_);
+    if (it == admission_queues_.end()) it = admission_queues_.begin();
+    if (it == admission_queues_.end()) break;  // depth desynced; bail safe
+    drr_cursor_ = it->first;
+    auto& queue = it->second;
+    std::shared_ptr<AdmissionWaiter> waiter;
+    while (!queue.empty()) {
+      waiter = std::move(queue.front());
+      queue.pop_front();
+      --admission_depth_;
+      if (!waiter->failed) break;
+      waiter.reset();
+    }
+    if (queue.empty()) admission_queues_.erase(it);
+    if (waiter == nullptr) continue;
+    waiter->granted = true;
+    ++reserved_;
+    if (!waiter->tenant.empty()) ++reserved_by_tenant_[waiter->tenant];
+    ++admission_granted_;
+    granted_any = true;
+  }
+  if (granted_any) admission_cv_.notify_all();
+}
+
+void SessionManager::flush_admission_locked() {
+  if (admission_queues_.empty()) return;
+  for (auto& [tenant, queue] : admission_queues_) {
+    for (const std::shared_ptr<AdmissionWaiter>& waiter : queue)
+      waiter->failed = true;
+  }
+  admission_queues_.clear();
+  admission_depth_ = 0;
+  admission_cv_.notify_all();
+}
+
+bool SessionManager::begin_inflight_tell(const std::string& tenant) {
+  if (tenant.empty() || limits_.quotas.max_inflight_tells_per_tenant == 0)
+    return false;
+  repro::MutexLock lock(mutex_);
+  std::size_t& inflight = tenant_inflight_[tenant];
+  if (inflight >= limits_.quotas.max_inflight_tells_per_tenant) {
+    ++tell_pushbacks_;
+    throw ProtocolError(ErrorCode::kRetryLater,
+                        "tenant " + tenant + " tell quota reached (" +
+                            std::to_string(
+                                limits_.quotas.max_inflight_tells_per_tenant) +
+                            ")",
+                        limits_.retry_after_ms);
+  }
+  ++inflight;
+  return true;
+}
+
+void SessionManager::end_inflight_tell(const std::string& tenant) {
+  repro::MutexLock lock(mutex_);
+  const auto it = tenant_inflight_.find(tenant);
+  if (it != tenant_inflight_.end() && --(it->second) == 0)
+    tenant_inflight_.erase(it);
+}
+
+// --- self-healing ------------------------------------------------------------
+
+bool SessionManager::reseed(const std::string& host, std::uint16_t port) {
+  if (shipper_ == nullptr || limits_.state_dir.empty()) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "reseed requires durability (--state-dir): local "
+                        "journals are the resync source");
+  }
+  if (host.empty() || port == 0) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "reseed needs a follower host and port");
+  }
+  shipper_->retarget(host, port);
+  const bool hot = shipper_->connect_now();
+  log_info("reseed: follower {}:{} {}", host, port,
+           hot ? "is hot" : "still catching up (redial pending)");
+  return hot;
+}
+
+std::size_t SessionManager::demote_reset() {
+  // Stop replicating first: a deposed primary must never ship its divergent
+  // tail anywhere (also clears the fence so a later reseed can retarget).
+  if (shipper_ != nullptr) shipper_->retarget("", 0);
+  std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> victims;
+  {
+    repro::MutexLock lock(mutex_);
+    victims.swap(sessions_);
+    closed_ += victims.size();
+    tenant_live_.clear();
+    tombstones_.clear();
+    flush_admission_locked();
+  }
+  for (auto& [id, managed] : victims) {
+    // These journals are the divergent tail the new primary never
+    // acknowledged. Keeping them would resurrect zombie sessions on the
+    // next restart; the rejoined standby is rebuilt from the new primary's
+    // history via resync instead.
+    if (managed->wal != nullptr) {
+      const std::string path = managed->wal->path();
+      managed->wal.reset();
+      (void)::unlink(path.c_str());
+    }
+    managed->session.cancel();
+  }
+  // Sweep journals no live session owned (eviction tombstones, journals
+  // recovery could not replay): the rejoining standby starts clean.
+  if (!limits_.state_dir.empty()) {
+    try {
+      for (const std::string& path : list_session_wals(limits_.state_dir)) {
+        (void)::unlink(path.c_str());
+      }
+    } catch (const std::exception& error) {
+      log_warn("demote: cannot sweep {}: {}", limits_.state_dir, error.what());
+    }
+  }
+  std::size_t dropped_rows = 0;
+  if (store_ != nullptr) dropped_rows = store_->reset();
+  log_info("demote: dropped {} session(s) and {} store row(s); ready to "
+           "re-seed as a standby",
+           victims.size(), dropped_rows);
+  return victims.size();
+}
+
 void SessionManager::cancel_all() {
   std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> victims;
   {
     repro::MutexLock lock(mutex_);
     victims.swap(sessions_);
     closed_ += victims.size();
+    tenant_live_.clear();
+    // Queued opens wake into retry_later: the daemon is going away, there
+    // is no slot coming.
+    flush_admission_locked();
   }
   // No terminal journal records here — an abandoned live journal is exactly
   // what recover() resurrects, so shutdown-with-live-sessions behaves like
@@ -722,10 +995,41 @@ StatusReport SessionManager::status() const {
   report.recovery = recovery_;
   report.tallies = tallies_;
   if (shipper_ != nullptr) {
-    report.ship_enabled = true;
+    report.ship_enabled = shipper_->enabled();
     report.ship_connected = shipper_->connected();
     report.ship_fenced = shipper_->fenced();
+    report.ship_state = shipper_->state();
+    const std::pair<std::string, std::uint16_t> target = shipper_->target();
+    if (target.second != 0)
+      report.ship_target = target.first + ":" + std::to_string(target.second);
     report.ship = shipper_->counters();
+  }
+  report.quotas.enabled = limits_.quotas.enabled();
+  report.quotas.queue_depth = admission_depth_;
+  report.quotas.queued = admission_queued_total_;
+  report.quotas.granted = admission_granted_;
+  report.quotas.timeouts = admission_timeouts_;
+  report.quotas.shed_anonymous = shed_anonymous_;
+  report.quotas.shed_over_quota = shed_over_quota_;
+  report.quotas.shed_queue_full = shed_queue_full_;
+  report.quotas.tell_pushbacks = tell_pushbacks_;
+  {
+    // Merge live / in-flight / queued views into one sorted row per tenant.
+    std::map<std::string, StatusReport::TenantStatus> tenants;
+    for (const auto& [tenant, count] : tenant_live_) {  // NOLINT(reprolint-unordered-iteration)
+      tenants[tenant].sessions = count;
+    }
+    for (const auto& [tenant, count] : tenant_inflight_) {  // NOLINT(reprolint-unordered-iteration)
+      tenants[tenant].inflight_tells = count;
+    }
+    for (const auto& [tenant, queue] : admission_queues_) {
+      tenants[tenant].queued = queue.size();
+    }
+    report.quotas.tenants.reserve(tenants.size());
+    for (auto& [tenant, row] : tenants) {
+      row.tenant = tenant;
+      report.quotas.tenants.push_back(std::move(row));
+    }
   }
   for (const auto& [id, managed] : sessions_) {
     if (managed->session.finished()) ++report.finished;

@@ -25,14 +25,26 @@
 //
 // Admission control: opening past max_sessions answers the retryable
 // kRetryLater (with SessionLimits::retry_after_ms as the backoff hint)
-// instead of a hard failure.
+// instead of a hard failure. With TenantQuotas configured, admission is
+// additionally *tenant-fair*: each open carries a tenant identity (from
+// the connection's hello; "" = anonymous), per-tenant session and
+// in-flight-tell quotas bound any one tenant's footprint, and named
+// in-quota opens that hit the global cap wait in a bounded admission
+// queue drained deficit-round-robin (quantum one session) as slots free.
+// Anonymous and over-quota opens are shed immediately — never queued —
+// and in-flight sessions are never shed; pushback is always the typed
+// retry_later whose retry_after_ms hint scales with queue depth.
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_annotations.hpp"
@@ -43,6 +55,29 @@
 #include "tuner/ask_tell.hpp"
 
 namespace repro::service {
+
+/// Per-tenant fairness quotas. All zero (the default) disables the
+/// machinery entirely — admission behaves exactly like the single global
+/// cap. Tenant identity is OpenParams::tenant ("" = anonymous).
+struct TenantQuotas {
+  /// Live + queued-for-admission sessions one named tenant may hold.
+  /// 0 = unlimited.
+  std::size_t max_sessions_per_tenant = 0;
+  /// Concurrent tell() calls one named tenant may have in flight (each
+  /// blocks a connection thread through WAL fsync + ship ack). 0 =
+  /// unlimited.
+  std::size_t max_inflight_tells_per_tenant = 0;
+  /// Bounded admission queue for named, in-quota opens arriving at the
+  /// global session cap. 0 disables queueing (immediate retry_later).
+  std::size_t admission_queue_cap = 0;
+  /// Longest a queued open waits for a slot before retry_later.
+  std::chrono::milliseconds admission_wait{0};
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_sessions_per_tenant != 0 || max_inflight_tells_per_tenant != 0 ||
+           admission_queue_cap != 0;
+  }
+};
 
 struct SessionLimits {
   std::size_t max_sessions = 256;
@@ -59,6 +94,8 @@ struct SessionLimits {
   /// state_dir: the local journals are the resync source after an outage.
   /// ship.state_dir is filled from state_dir by the manager.
   ShipConfig ship;
+  /// Per-tenant fairness quotas (all zero = off).
+  TenantQuotas quotas;
 };
 
 /// What recover() found in the state dir at startup.
@@ -94,7 +131,29 @@ struct StatusReport {
   bool ship_enabled = false;
   bool ship_connected = false;  ///< false while enabled = shard is degraded
   bool ship_fenced = false;     ///< follower was promoted; this shard is stale
+  ShipState ship_state = ShipState::kDisabled;
+  std::string ship_target;  ///< "host:port" currently shipped to ("" = none)
   ShipCounters ship;
+  /// Per-tenant quota / admission state.
+  struct TenantStatus {
+    std::string tenant;
+    std::size_t sessions = 0;        ///< live sessions held
+    std::size_t inflight_tells = 0;  ///< tells currently executing
+    std::size_t queued = 0;          ///< opens waiting in the admission queue
+  };
+  struct QuotaReport {
+    bool enabled = false;          ///< any TenantQuotas knob configured
+    std::size_t queue_depth = 0;   ///< opens currently waiting
+    std::size_t queued = 0;        ///< cumulative opens that ever waited
+    std::size_t granted = 0;       ///< queued opens later admitted
+    std::size_t timeouts = 0;      ///< queued opens that gave up waiting
+    std::size_t shed_anonymous = 0;   ///< anonymous opens refused at the cap
+    std::size_t shed_over_quota = 0;  ///< opens refused by a tenant quota
+    std::size_t shed_queue_full = 0;  ///< opens refused by the queue bound
+    std::size_t tell_pushbacks = 0;   ///< tells refused by the in-flight quota
+    std::vector<TenantStatus> tenants;  ///< sorted by tenant name
+  };
+  QuotaReport quotas;
 };
 
 /// One live session snapshot (status endpoint detail rows).
@@ -214,10 +273,34 @@ class SessionManager {
   /// reflects replication health immediately. No-op without ship config.
   void connect_shipper();
 
+  // --- self-healing --------------------------------------------------------
+
+  /// Point WAL shipping at a (new) follower and resync it from scratch:
+  /// store snapshot, then every live journal, then the digest gate. The
+  /// re-seeding path after a failover consumed the old standby. Returns
+  /// true when the follower came up hot on this first attempt; false means
+  /// it is still catching up (the shipper keeps redialing in the
+  /// background). Throws ProtocolError kBadRequest without durability
+  /// (resync needs local journals) or with port == 0.
+  bool reseed(const std::string& host, std::uint16_t port);
+
+  /// Demote this (deposed) primary into a clean standby: cancel every live
+  /// session, delete their journals (the divergent tail the new primary
+  /// never acknowledged), reset the results store to empty, and disable
+  /// shipping. After this the daemon can be re-seeded by the new primary
+  /// with zero operator action. Returns the number of sessions dropped.
+  std::size_t demote_reset();
+
   /// Replicate an imported store seed batch to the hot standby so both
   /// stores converge without waiting for live tells. No-op without ship
   /// config; replication failure degrades, it never fails the import.
   void ship_store_import(const std::vector<store::TenantSnapshot>& tenants);
+
+  /// Lock-free replication link state (kDisabled when no shipper exists).
+  /// Cheap enough for the server's accept tick to poll for a fence.
+  [[nodiscard]] ShipState ship_state() const noexcept {
+    return shipper_ == nullptr ? ShipState::kDisabled : shipper_->state();
+  }
 
   [[nodiscard]] std::size_t live() const;
   [[nodiscard]] StatusReport status() const;
@@ -238,6 +321,9 @@ class SessionManager {
     tuner::AskTellSession session;
     /// Open-idempotency token ("" = none). Immutable once registered.
     std::string token;
+    /// Quota identity from the open ("" = anonymous). Immutable once
+    /// registered; every removal path credits it back to the tenant.
+    std::string tenant;
     /// Results-store tenancy (immutable once registered): store_enabled is
     /// set when the open declared a (benchmark, arch) and a store is
     /// attached; store_key is the tenant every applied tell feeds.
@@ -276,6 +362,41 @@ class SessionManager {
   void add_tombstone(const std::string& id) REQUIRES(mutex_);
   void throw_missing(const std::string& id) REQUIRES(mutex_);
 
+  /// One open() blocked in the admission queue. Shared between the waiting
+  /// thread and the drain; all fields are written under mutex_.
+  struct AdmissionWaiter {
+    std::string tenant;
+    bool granted = false;  ///< a freed slot was reserved for this waiter
+    bool failed = false;   ///< abandoned (timeout) or flushed (shutdown)
+  };
+
+  /// Reserve one session slot for `tenant` or throw kRetryLater. On the
+  /// overload path, named in-quota tenants wait in the admission queue up
+  /// to quotas.admission_wait; anonymous/over-quota opens shed immediately.
+  void admit(const std::string& tenant);
+  /// Return an unconsumed admit() reservation (open failed before
+  /// registering) and hand the slot to the next waiter.
+  void release_admission(const std::string& tenant);
+  /// Consume the caller's reservation into a live registration.
+  void consume_reservation_locked(const std::string& tenant) REQUIRES(mutex_);
+  /// Decrement a tenant's live-session count (no drain).
+  void credit_tenant_locked(const std::string& tenant) REQUIRES(mutex_);
+  /// Credit a removed session back to its tenant and wake queued opens.
+  void note_removed_locked(const ManagedSession& managed) REQUIRES(mutex_);
+  /// Hand freed slots to queued opens, deficit-round-robin across tenants
+  /// (quantum one), until the cap is hit or the queue drains.
+  void drain_admission_locked() REQUIRES(mutex_);
+  /// Fail every queued open (shutdown/demote). Each wakes into retry_later.
+  void flush_admission_locked() REQUIRES(mutex_);
+  /// Depth-scaled backoff hint: the deeper the queue, the longer the
+  /// caller should stay away.
+  [[nodiscard]] std::uint64_t retry_hint_locked() const REQUIRES(mutex_);
+  /// In-flight tell quota: charge one executing tell against `tenant`.
+  /// Throws kRetryLater at the quota; returns false (nothing charged) for
+  /// anonymous sessions or when the quota is off.
+  bool begin_inflight_tell(const std::string& tenant);
+  void end_inflight_tell(const std::string& tenant);
+
   const SessionLimits limits_;
   mutable repro::Mutex mutex_;
   std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> sessions_
@@ -292,9 +413,36 @@ class SessionManager {
   std::size_t store_errors_ GUARDED_BY(mutex_) = 0;
   RecoveryStats recovery_ GUARDED_BY(mutex_);
   tuner::FailureCounters tallies_ GUARDED_BY(mutex_);
-  /// Primary-side replication; null unless limits_.ship.port != 0. Own
-  /// internal lock — ship calls must not (and do not) hold mutex_, they
-  /// block on the follower's network ack.
+  // --- tenant quota / admission state (all under mutex_) -------------------
+  /// Live sessions per named tenant (anonymous sessions are uncounted).
+  std::unordered_map<std::string, std::size_t> tenant_live_ GUARDED_BY(mutex_);
+  /// Tell() calls currently executing per named tenant.
+  std::unordered_map<std::string, std::size_t> tenant_inflight_ GUARDED_BY(mutex_);
+  /// Slots reserved by admitted-but-not-yet-registered opens. Capacity is
+  /// always sessions_.size() + reserved_ against max_sessions.
+  std::size_t reserved_ GUARDED_BY(mutex_) = 0;
+  std::unordered_map<std::string, std::size_t> reserved_by_tenant_
+      GUARDED_BY(mutex_);
+  /// Per-tenant FIFO sub-queues (ordered map: the DRR cursor walks tenant
+  /// names in sorted order, wrapping).
+  std::map<std::string, std::deque<std::shared_ptr<AdmissionWaiter>>>
+      admission_queues_ GUARDED_BY(mutex_);
+  std::string drr_cursor_ GUARDED_BY(mutex_);
+  std::size_t admission_depth_ GUARDED_BY(mutex_) = 0;
+  std::size_t admission_queued_total_ GUARDED_BY(mutex_) = 0;
+  std::size_t admission_granted_ GUARDED_BY(mutex_) = 0;
+  std::size_t admission_timeouts_ GUARDED_BY(mutex_) = 0;
+  std::size_t shed_anonymous_ GUARDED_BY(mutex_) = 0;
+  std::size_t shed_over_quota_ GUARDED_BY(mutex_) = 0;
+  std::size_t shed_queue_full_ GUARDED_BY(mutex_) = 0;
+  std::size_t tell_pushbacks_ GUARDED_BY(mutex_) = 0;
+  /// Waiters block here via MutexLock::native(); signalled by the drain.
+  std::condition_variable admission_cv_;
+  /// Primary-side replication; null unless ship.port != 0 or a state_dir is
+  /// configured (the latter so a standby can later be re-seeded *from* —
+  /// i.e. retargeted — without racing shipper_ creation). Own internal
+  /// lock — ship calls must not (and do not) hold mutex_, they block on the
+  /// follower's network ack.
   std::unique_ptr<WalShipper> shipper_;
   /// Daemon-wide results store; null disables tenancy. Thread-safe with its
   /// own internal locking — never touched under mutex_.

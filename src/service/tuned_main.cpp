@@ -47,6 +47,23 @@ int main(int argc, char** argv) {
   cli.add_flag("standby",
                "start as a hot standby: refuse session ops with wrong_role "
                "and apply ship_* records from a primary until promoted");
+  cli.add_flag("no-auto-rejoin",
+               "when this primary loses a failover race (its follower was "
+               "promoted and fences it), keep serving standalone instead of "
+               "demoting into a standby of the new primary");
+  cli.add_option("tenant-max-sessions",
+                 "per-tenant concurrent-session quota (0 = unlimited)", "0");
+  cli.add_option("tenant-max-inflight-tells",
+                 "per-tenant concurrent in-flight tell quota (0 = unlimited)",
+                 "0");
+  cli.add_option("admission-queue-cap",
+                 "bounded admission queue for named tenants at the session "
+                 "cap (0 = shed immediately with retry_later)",
+                 "0");
+  cli.add_option("admission-wait-ms",
+                 "longest an open may wait in the admission queue before "
+                 "retry_later (0 disables queueing)",
+                 "0");
   cli.add_option("ship-to",
                  "replicate this primary's WAL to a standby at this port "
                  "(host:port or bare port; 0 disables; requires --state-dir)",
@@ -71,6 +88,19 @@ int main(int argc, char** argv) {
   config.limits.state_dir = cli.get("state-dir");
   config.max_connections = static_cast<std::size_t>(cli.get_int("max-connections"));
   config.standby = cli.get_flag("standby");
+  // Self-healing default for operator-run daemons: a deposed primary
+  // demotes and rejoins its shard on its own (in-process embedders keep
+  // the conservative ServerConfig default of off).
+  config.auto_rejoin = !cli.get_flag("no-auto-rejoin");
+  config.limits.quotas.max_sessions_per_tenant =
+      static_cast<std::size_t>(cli.get_int("tenant-max-sessions"));
+  config.limits.quotas.max_inflight_tells_per_tenant =
+      static_cast<std::size_t>(cli.get_int("tenant-max-inflight-tells"));
+  config.limits.quotas.admission_queue_cap =
+      static_cast<std::size_t>(cli.get_int("admission-queue-cap"));
+  const long long admission_wait = cli.get_int("admission-wait-ms");
+  config.limits.quotas.admission_wait =
+      std::chrono::milliseconds(admission_wait > 0 ? admission_wait : 0);
   config.store_dir = cli.get("store-dir");
   config.store_capacity = static_cast<std::size_t>(cli.get_int("store-capacity"));
   {

@@ -39,6 +39,24 @@ bool parse_endpoint(const std::string& text, std::string* host,
   return true;
 }
 
+bool parse_spares(const std::string& text,
+                  std::vector<repro::service::SpareEndpoint>* spares) {
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (!item.empty()) {
+      repro::service::SpareEndpoint spare;
+      if (!parse_endpoint(item, &spare.host, &spare.port)) return false;
+      spares->push_back(spare);
+    }
+    if (end == text.size()) break;
+  }
+  return true;
+}
+
 bool parse_shards(const std::string& text,
                   std::vector<repro::service::ShardEndpoints>* shards) {
   std::size_t begin = 0;
@@ -77,6 +95,11 @@ int main(int argc, char** argv) {
                  "comma-separated shard list: '<primary>[/<standby>]', each "
                  "'host:port' or a bare loopback port",
                  "");
+  cli.add_option("spares",
+                 "comma-separated warm-spare standby endpoints the prober "
+                 "may attach to a shard whose standby was consumed by a "
+                 "failover ('host:port' or a bare loopback port each)",
+                 "");
   cli.add_option("threads", "connection worker threads", "8");
   cli.add_option("probe-interval-ms",
                  "health-probe cadence (<=0 disables the prober thread)", "500");
@@ -96,6 +119,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("probe-failures"));
   if (!parse_shards(cli.get("shards"), &config.shards)) {
     log_error("tunelb: --shards is required, e.g. --shards 7001/7101,7002");
+    return 2;
+  }
+  if (!parse_spares(cli.get("spares"), &config.spares)) {
+    log_error("tunelb: malformed --spares, e.g. --spares 7201,7202");
     return 2;
   }
 

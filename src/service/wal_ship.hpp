@@ -23,20 +23,50 @@
 // watermark), so a follower that crashed, tore its journal tail, or missed
 // records while partitioned converges back to the primary's state.
 //
+// Catch-up state machine. The link is one of:
+//
+//   down ──connect──▶ catching_up ──resync + digest gate──▶ hot
+//     ▲                   │  ▲                                │
+//     └── RPC failure ────┘  └──────── link loss ─────────────┘
+//   (fenced is terminal until retarget())
+//
+// A fresh link is *catching up* while the resync re-ships every live
+// journal and (when a results store is attached) a full store snapshot.
+// It flips *hot* only once the watermark gap is closed — every journaled
+// record acked — and the follower's ResultsStore::digest() equals the
+// local one. Live records ship during catch-up too (they serialize behind
+// the resync on the link mutex), so the gap only shrinks. A re-seeded
+// follower killed mid-catch-up resumes from its per-session seq
+// watermarks on the next redial: duplicates are acked idempotently, never
+// re-applied.
+//
+// Re-seeding. retarget() points the shipper at a replacement follower
+// (clearing a fence), which is how a promoted primary regains a standby —
+// either by operator action or automatically via the router's `reseed`
+// wire op. A background redial thread keeps re-dialing a lost follower on
+// the reconnect interval so re-seeding needs no live client traffic to
+// make progress.
+//
 // Fencing. A follower that has been promoted answers ship ops with the
-// typed error wrong_role; the shipper then fences itself permanently — a
-// stale primary must never again be treated as replicated, and the router
-// has already stopped routing to it.
+// typed error wrong_role (its hello also advertises role "primary"); the
+// shipper then fences itself — a stale primary must never again be
+// treated as replicated. The fence holds until retarget(): the deposed
+// primary demotes itself, wipes its divergent tail, and rejoins as the
+// new standby (server.cpp auto-rejoin).
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/socket.hpp"
 #include "common/thread_annotations.hpp"
 #include "service/protocol.hpp"
+#include "store/results_store.hpp"
 
 namespace repro::service {
 
@@ -52,10 +82,19 @@ struct ShipConfig {
   /// not park the primary's tell path forever).
   std::chrono::milliseconds rpc_timeout{5000};
   /// Minimum spacing between reconnect attempts while the link is down, so
-  /// a dead follower costs one connect() per interval, not per tell.
+  /// a dead follower costs one connect() per interval, not per tell. Also
+  /// the redial thread's cadence.
   std::chrono::milliseconds reconnect_interval{250};
+  /// Rows per store_import frame when resync ships the store snapshot.
+  std::size_t store_page_rows = 2048;
   std::string name = "wal_ship/1";
 };
+
+/// Observable link state (lock-free; safe to read while a resync holds the
+/// shipper mutex). kDisabled = no target configured (port 0).
+enum class ShipState { kDisabled, kDown, kCatchingUp, kHot, kFenced };
+
+[[nodiscard]] const char* to_string(ShipState state) noexcept;
 
 /// Replication-side tallies (surfaced through the `status` endpoint).
 struct ShipCounters {
@@ -64,6 +103,8 @@ struct ShipCounters {
   std::size_t resyncs = 0;            ///< full journal re-ships performed
   std::size_t reconnects = 0;         ///< successful connects after the first
   std::size_t failures = 0;           ///< RPCs that failed (link went down)
+  std::size_t retargets = 0;          ///< retarget() calls (re-seed attempts)
+  std::size_t store_rows_resynced = 0;  ///< snapshot rows shipped by resyncs
 };
 
 /// Primary-side shipper. Thread-safe: ship calls from concurrent session
@@ -73,7 +114,11 @@ struct ShipCounters {
 /// the shard, it never fails the client's request.
 class WalShipper {
  public:
-  explicit WalShipper(ShipConfig config);
+  /// `store` (optional) is the primary's results store: resync then ships
+  /// a full snapshot and gates the hot flip on digest equality with the
+  /// follower. Pass nullptr to skip the store leg (journal-only resync).
+  explicit WalShipper(ShipConfig config,
+                      std::shared_ptr<store::ResultsStore> store = nullptr);
   ~WalShipper();
 
   WalShipper(const WalShipper&) = delete;
@@ -96,10 +141,28 @@ class WalShipper {
   /// Link currently established and not fenced. False = the shard is
   /// degraded (serving without a live standby).
   [[nodiscard]] bool connected() const;
-  /// Permanently stopped after the follower reported wrong_role (it was
-  /// promoted; this process is a stale primary).
+  /// Stopped after the follower reported wrong_role (it was promoted; this
+  /// process is a stale primary). Cleared only by retarget().
   [[nodiscard]] bool fenced() const;
+  /// A ship target is configured (port != 0).
+  [[nodiscard]] bool enabled() const;
+  /// Lock-free link state — readable even while a resync is in flight.
+  [[nodiscard]] ShipState state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+  /// Resync complete and digest gate passed: the follower is a promotable
+  /// hot standby.
+  [[nodiscard]] bool hot() const noexcept { return state() == ShipState::kHot; }
   [[nodiscard]] ShipCounters counters() const;
+  /// Current follower endpoint (changes on retarget()).
+  [[nodiscard]] std::pair<std::string, std::uint16_t> target() const;
+
+  /// Point the shipper at a replacement follower: tears down the link,
+  /// clears a fence, and swaps host/port (port 0 disables shipping — the
+  /// demoted-standby configuration). The next connect re-seeds the new
+  /// follower via the ordinary resync path. Does not connect by itself;
+  /// call connect_now() or let the redial thread pick it up.
+  void retarget(const std::string& host, std::uint16_t port);
 
   /// Force a connect (+ resync) attempt now, ignoring the reconnect
   /// backoff window. Returns connected(). Used at startup and by tests.
@@ -115,10 +178,21 @@ class WalShipper {
   /// Ship one record, transparently resync-retrying an unknown_session
   /// answer once (the follower restarted and lost a journal tail).
   bool ship(const Json& request) ;
-  /// Re-ship every live journal in state_dir (duplicates acked).
+  /// Store snapshot, then every live journal in state_dir (duplicates
+  /// acked), then the digest gate. Snapshot-first keeps the follower's
+  /// per-tenant row order identical to ours (the digest is order-chained).
   bool resync() REQUIRES(mutex_);
+  /// Ship the local store snapshot page by page.
+  bool resync_store() REQUIRES(mutex_);
+  /// Compare follower store digest with ours. True when equal (or no store
+  /// is attached / the follower has none — nothing to gate on).
+  bool store_digest_gate() REQUIRES(mutex_);
+  /// Redial thread body: re-dials a lost (non-fenced) link on the
+  /// reconnect cadence so re-seeding progresses without client traffic.
+  void redial_loop();
 
-  const ShipConfig config_;
+  ShipConfig config_ GUARDED_BY(mutex_);  ///< host/port mutate on retarget()
+  const std::shared_ptr<store::ResultsStore> store_;
   mutable repro::Mutex mutex_;
   std::unique_ptr<Link> link_ GUARDED_BY(mutex_);
   bool fenced_ GUARDED_BY(mutex_) = false;
@@ -127,6 +201,14 @@ class WalShipper {
   std::chrono::steady_clock::time_point last_attempt_ GUARDED_BY(mutex_);
   bool attempted_ GUARDED_BY(mutex_) = false;
   ShipCounters counters_ GUARDED_BY(mutex_);
+  std::atomic<ShipState> state_{ShipState::kDown};
+
+  /// Redial machinery. The thread parks on redial_cv_ so destruction is
+  /// prompt; infrastructure timing, never feeds tuning results.
+  std::thread redial_thread_;  // NOLINT(reprolint-raw-thread)
+  std::mutex redial_mutex_;
+  std::condition_variable redial_cv_;
+  bool stopping_ = false;  ///< guarded by redial_mutex_
 };
 
 }  // namespace repro::service

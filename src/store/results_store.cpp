@@ -543,6 +543,33 @@ void ResultsStore::compact_locked() {
   ++compactions_;
 }
 
+std::size_t ResultsStore::reset() {
+  MutexLock lock(log_mutex_);
+  // Lock order log_mutex_ → shard, same as append/eviction/compaction.
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    MutexLock shard_lock(shard.mutex);
+    for (const auto& [flat, tenant] : shard.by_key) dropped += tenant.rows.size();  // NOLINT(reprolint-unordered-iteration)
+    shard.by_key.clear();
+  }
+  fifo_.clear();
+  live_records_ = 0;
+  log_records_ = 0;
+  log_bytes_ = 0;
+  loaded_records_ = 0;
+  torn_tail_ = false;
+  if (fd_ >= 0) {
+    if (::ftruncate(fd_, 0) != 0 || ::fsync(fd_) != 0) {
+      log_error("results store: reset cannot truncate {}: {}", log_path(),
+                std::strerror(errno));
+      ++io_errors_;
+    }
+  }
+  if (dropped != 0) log_info("results store: reset dropped {} live row(s)", dropped);
+  return dropped;
+}
+
 std::uint64_t ResultsStore::digest() const {
   const std::vector<TenantSnapshot> tenants = export_tenants();
   std::uint64_t h = hash_text(0, "store-digest:v1");

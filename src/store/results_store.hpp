@@ -195,6 +195,12 @@ class ResultsStore {
   /// in-memory mode.
   std::size_t compact();
 
+  /// Drop every live row and truncate the log to empty (fsync'd). The
+  /// demote path: a deposed primary's store may hold rows the new primary
+  /// never acknowledged, and a rejoining standby must re-seed from an
+  /// empty store or the digest gate can never pass. Returns rows dropped.
+  std::size_t reset();
+
   /// Order-insensitive identity hash over every live tenant and row.
   /// Two stores fed equivalent append streams — primary vs standby, live vs
   /// recovered — must agree on this digest.

@@ -1,0 +1,15 @@
+// Seeded svclint-durability violation in the admission/replication layer:
+// a re-seed resync acks a shipped record back to the primary before the
+// follower's journal append has hit the disk — a crash right after the ack
+// would lose a record the primary believes is replicated. Lexed, never
+// compiled.
+
+bool apply_resync_record(Conn& conn, const Record& record) {
+  write_frame(conn.io, make_ok());  // acked before the replay is durable
+  journal_append(conn, record);
+  return true;
+}
+
+void journal_append(Conn& conn, const Record& record) {
+  fsync(conn.fd);
+}

@@ -1,0 +1,13 @@
+// Clean durability shape for the admission/replication layer: the resync
+// replay journals (and fsyncs) before anything reaches the socket. Lexed,
+// never compiled.
+
+bool apply_resync_record(Conn& conn, const Record& record) {
+  journal_append(conn, record);
+  write_frame(conn.io, make_ok());  // after the barrier
+  return true;
+}
+
+void journal_append(Conn& conn, const Record& record) {
+  fsync(conn.fd);
+}

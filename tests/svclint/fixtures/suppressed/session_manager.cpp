@@ -1,0 +1,16 @@
+// The bad-corpus resync hazard carrying a justified suppression: a quota
+// pushback reply is not an ack — the open was refused, so nothing durable
+// exists to barrier on. Lexed, never compiled.
+
+bool apply_resync_record(Conn& conn, const Record& record) {
+  // Typed retry_later pushback, not an ack: the record was not applied.
+  // NOLINTNEXTLINE(svclint-durability)
+  write_frame(conn.io, make_error(ErrorCode::kFine, "admission queue full"));
+  journal_append(conn, record);
+  write_frame(conn.io, make_ok());
+  return true;
+}
+
+void journal_append(Conn& conn, const Record& record) {
+  fsync(conn.fd);
+}

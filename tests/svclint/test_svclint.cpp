@@ -45,8 +45,8 @@ SourceFile load(const char* corpus, const char* name) {
 /// the full linter over it.
 Report lint_corpus_dir(const char* corpus) {
   std::vector<SourceFile> sources;
-  for (const char* name : {"store.cpp", "server.cpp", "router.cpp",
-                           "protocol.hpp", "protocol.cpp"}) {
+  for (const char* name : {"store.cpp", "server.cpp", "session_manager.cpp",
+                           "router.cpp", "protocol.hpp", "protocol.cpp"}) {
     sources.push_back(load(corpus, name));
   }
   const std::vector<SourceFile> docs = {load(corpus, "api.md")};
@@ -75,8 +75,8 @@ TEST(Svclint, BadCorpusTripsEveryRuleFamily) {
         << "rule never fired: " << rule;
   }
   EXPECT_EQ(report.suppressed, 0u);
-  // 5 sources + 1 doc.
-  EXPECT_EQ(report.files_scanned, 6u);
+  // 6 sources + 1 doc.
+  EXPECT_EQ(report.files_scanned, 7u);
   for (const Finding& finding : report.findings) {
     EXPECT_GT(finding.line, 0) << finding.rule;
     EXPECT_FALSE(finding.snippet.empty()) << finding.rule;
@@ -89,8 +89,9 @@ TEST(Svclint, BadCorpusFindsTheSeededHazards) {
   const auto counts = count_by_rule(report);
   // Lock order: the declared-order inversion plus the inlined-call cycle.
   EXPECT_EQ(counts.at("svclint-lock-order"), 2);
-  // Durability: exactly the pre-barrier ack, not the post-barrier one.
-  EXPECT_EQ(counts.at("svclint-durability"), 1);
+  // Durability: the pre-barrier ack in server.cpp and the pre-journal
+  // resync ack in session_manager.cpp, never the post-barrier ones.
+  EXPECT_EQ(counts.at("svclint-durability"), 2);
   // Wire drift: unrouted op, ghost error code, undocumented-field and
   // unhandled-op doc entries.
   EXPECT_EQ(counts.at("svclint-wire-drift"), 4);
@@ -119,9 +120,9 @@ TEST(Svclint, SuppressedCorpusIsCleanAndCounted) {
   EXPECT_TRUE(report.findings.empty())
       << report.findings.front().rule << " leaked at "
       << report.findings.front().file << ":" << report.findings.front().line;
-  // One suppression per family hazard: lock inversion, early ack, dark
-  // daemon op, reserved error code, reserved doc field.
-  EXPECT_EQ(report.suppressed, 5u);
+  // One suppression per family hazard: lock inversion, early ack, quota
+  // pushback reply, dark daemon op, reserved error code, reserved doc field.
+  EXPECT_EQ(report.suppressed, 6u);
 }
 
 TEST(Svclint, CleanCorpusHasNothingToSay) {

@@ -10,6 +10,17 @@
 // time from the crash until the first client op completes against the
 // promoted standby through the router.
 //
+// Two load models:
+//  - Closed loop (default): each worker runs its sessions back to back, so
+//    offered load self-throttles to service capacity.
+//  - Open loop (--arrival-rate > 0): session k starts at the deterministic
+//    instant k/rate regardless of how the previous ones are faring, which
+//    is what exposes overload behavior. Workers carry per-tenant identities
+//    (--tenants), the shard runs with per-tenant quotas + a bounded
+//    admission queue, and the report adds pushback/shed rates, per-tenant
+//    ask percentiles, and the fairness headline (max/min tenant
+//    throughput).
+//
 // Timing here is measurement *of the service*, not of tuning: no timestamp
 // feeds a search result. Latencies are steady-clock; the report rounds to
 // whole microseconds.
@@ -86,6 +97,10 @@ struct WorkerStats {
   std::size_t sessions = 0;
   std::size_t evaluations = 0;
   std::size_t errors = 0;
+  // Open-loop admission accounting.
+  std::size_t offered = 0;    ///< sessions the arrival schedule started
+  std::size_t pushbacks = 0;  ///< retry_later answers (open or tell)
+  std::size_t sheds = 0;      ///< sessions abandoned after repeated pushback
 };
 
 double percentile(std::vector<double>& sorted, double p) {
@@ -115,6 +130,25 @@ int main(int argc, char** argv) {
   cli.add_option("budget", "evaluations per session", "24");
   cli.add_option("out", "output JSON path", "BENCH_service.json");
   cli.add_flag("failover", "kill the primary mid-run and measure blackout");
+  cli.add_option("arrival-rate",
+                 "open-loop session arrivals per second: session k starts at "
+                 "the fixed instant k/rate whether or not earlier sessions "
+                 "finished (0 = closed loop)",
+                 "0");
+  cli.add_option("tenants",
+                 "named tenants the open-loop workers identify as "
+                 "(round-robin over workers)",
+                 "4");
+  cli.add_option("tenant-max-sessions",
+                 "per-tenant session quota on the shard (open loop)", "4");
+  cli.add_option("tenant-max-inflight-tells",
+                 "per-tenant in-flight tell quota on the shard (open loop)",
+                 "0");
+  cli.add_option("admission-queue-cap",
+                 "shard admission queue bound (open loop)", "64");
+  cli.add_option("admission-wait-ms",
+                 "longest a queued open may wait on the shard (open loop)",
+                 "200");
   if (!cli.parse(argc, argv)) return 2;
   const std::size_t clients = static_cast<std::size_t>(cli.get_int("clients"));
   const std::size_t sessions_per_client =
@@ -122,13 +156,50 @@ int main(int argc, char** argv) {
   const std::size_t budget = static_cast<std::size_t>(cli.get_int("budget"));
   const bool failover = cli.get_flag("failover");
   const std::string out_path = cli.get("out");
+  const double arrival_rate = std::strtod(cli.get("arrival-rate").c_str(), nullptr);
+  const bool open_loop = arrival_rate > 0.0;
+  const std::size_t tenants =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cli.get_int("tenants")));
+  if (open_loop && failover) {
+    std::cerr << "loadgen: --arrival-rate and --failover are separate drills; "
+                 "run them separately\n";
+    return 2;
+  }
 
   const std::string dir = fresh_dir();
 
+  service::TenantQuotas quotas;
+  if (open_loop) {
+    quotas.max_sessions_per_tenant =
+        static_cast<std::size_t>(cli.get_int("tenant-max-sessions"));
+    quotas.max_inflight_tells_per_tenant =
+        static_cast<std::size_t>(cli.get_int("tenant-max-inflight-tells"));
+    quotas.admission_queue_cap =
+        static_cast<std::size_t>(cli.get_int("admission-queue-cap"));
+    quotas.admission_wait =
+        std::chrono::milliseconds(cli.get_int("admission-wait-ms"));
+  }
+
+  // The default 250ms pushback hint (scaled by queue depth) is tuned for
+  // polite production clients; the overload drill wants tight re-offers so
+  // a 10k-session run converges in seconds rather than parking workers for
+  // multi-second hints.
+  const std::uint64_t retry_hint_ms = open_loop ? 20 : 250;
+
+  // Every client connection is long-lived and pins one connection worker
+  // for its whole life (the server's pool model), so the pools must be at
+  // least as wide as the client fleet — with 8 default workers and 32
+  // clients, 24 connections would never be served at all, and an
+  // admission-parked open would block unrelated closes behind it.
+  const std::size_t conn_threads = clients + 4;
+
   service::ServerConfig standby_config;
   standby_config.standby = true;
+  standby_config.connection_threads = conn_threads;
   standby_config.limits.state_dir = dir + "/standby";
   standby_config.store_dir = dir + "/standby-store";
+  standby_config.limits.quotas = quotas;
+  standby_config.limits.retry_after_ms = retry_hint_ms;
   service::TuneServer standby(standby_config);
   standby.start();
 
@@ -137,11 +208,15 @@ int main(int argc, char** argv) {
     config.limits.state_dir = dir + "/primary";
     config.limits.ship.port = standby.port();
     config.store_dir = dir + "/primary-store";
+    config.limits.quotas = quotas;
+    config.limits.retry_after_ms = retry_hint_ms;
+    config.connection_threads = conn_threads;
     return config;
   }());
   primary->start();
 
   service::RouterConfig router_config;
+  router_config.connection_threads = conn_threads;
   router_config.shards = {{"127.0.0.1", primary->port(), "127.0.0.1",
                            standby.port()}};
   router_config.probe_interval = std::chrono::milliseconds(100);
@@ -164,7 +239,9 @@ int main(int argc, char** argv) {
   std::vector<double> warm_ask_us;
   std::size_t split_errors = 0;
   std::size_t prior_rows_imported = 0;
-  {
+  // The warm/cold split prices the store prior; the open-loop drill is
+  // about admission, so it skips the split to keep 10k+-session runs lean.
+  if (!open_loop) {
     service::ClientConfig split_config;
     split_config.port = router.port();
     split_config.name = "loadgen-split";
@@ -216,6 +293,7 @@ int main(int argc, char** argv) {
 
   std::vector<WorkerStats> stats(clients);
   std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> errors_logged{0};
   const std::size_t total_sessions = clients * sessions_per_client;
 
   const auto run_started = Clock::now();
@@ -227,38 +305,99 @@ int main(int argc, char** argv) {
       service::ClientConfig config;
       config.port = router.port();
       config.name = "loadgen-" + std::to_string(w);
-      config.max_retries = 40;
-      config.backoff_initial_ms = 25;
-      config.backoff_max_ms = 400;
+      if (open_loop) {
+        // Fail fast: retry_later must surface as a typed error so this
+        // driver can count pushback and own the shed decision.
+        config.tenant = "tenant-" + std::to_string(w % tenants);
+        config.max_retries = 0;
+      } else {
+        config.max_retries = 40;
+        config.backoff_initial_ms = 25;
+        config.backoff_max_ms = 400;
+      }
       service::Client client(config);
+      const auto log_failure = [&](std::size_t s, const char* what) {
+        ++mine.errors;
+        if (errors_logged.fetch_add(1) < 10) {
+          std::cerr << "loadgen: worker " << w << " session " << s
+                    << " failed: " << what << "\n";
+        }
+      };
+      const auto run_session = [&](std::size_t s, std::uint64_t seed,
+                                   const std::string& token) {
+        const std::string id = client.open(open_params(budget, seed), token);
+        while (true) {
+          const auto ask_started = Clock::now();
+          const auto config_opt = client.ask(id);
+          mine.ask_us.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() -
+                                                        ask_started)
+                  .count());
+          if (!config_opt) break;
+          const auto tell_started = Clock::now();
+          while (true) {
+            try {
+              (void)client.tell(id, synth_eval(space, *config_opt));
+              break;
+            } catch (const service::ProtocolError& error) {
+              // In-flight tell quota pushback: not applied, safe to replay.
+              if (error.code != service::ErrorCode::kRetryLater) throw;
+              ++mine.pushbacks;
+              std::this_thread::sleep_for(std::chrono::milliseconds(
+                  error.retry_after_ms > 0 ? error.retry_after_ms : 50));
+            }
+          }
+          mine.tell_us.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() -
+                                                        tell_started)
+                  .count());
+          ++mine.evaluations;
+        }
+        client.close_session(id);
+        ++mine.sessions;
+        (void)s;
+      };
+      if (open_loop) {
+        // Static arrival partition: worker w owns sessions w, w+clients, …
+        // each pinned to its schedule instant k/rate. A worker running
+        // late only delays its own arrivals — offered load never adapts
+        // to service pressure, which is the point of the open loop.
+        for (std::size_t k = w; k < total_sessions; k += clients) {
+          const auto start_at =
+              run_started +
+              std::chrono::microseconds(static_cast<std::uint64_t>(
+                  static_cast<double>(k) * 1e6 / arrival_rate));
+          std::this_thread::sleep_until(start_at);
+          ++mine.offered;
+          const std::string token = "loadgen#" + std::to_string(k);
+          try {
+            bool admitted = false;
+            for (std::size_t attempt = 0; attempt < 25 && !admitted; ++attempt) {
+              try {
+                run_session(k, seed_combine(w, k), token);
+                admitted = true;
+              } catch (const service::ProtocolError& error) {
+                if (error.code != service::ErrorCode::kRetryLater) throw;
+                ++mine.pushbacks;
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    error.retry_after_ms > 0 ? error.retry_after_ms : 50));
+              }
+            }
+            if (!admitted) ++mine.sheds;
+          } catch (const std::exception& error) {
+            log_failure(k, error.what());
+          }
+          completed.fetch_add(1);
+        }
+        return;
+      }
       for (std::size_t s = 0; s < sessions_per_client; ++s) {
         const std::string token =
             "loadgen#" + std::to_string(w) + "." + std::to_string(s);
         try {
-          const std::string id =
-              client.open(open_params(budget, seed_combine(w, s)), token);
-          while (true) {
-            const auto ask_started = Clock::now();
-            const auto config_opt = client.ask(id);
-            mine.ask_us.push_back(
-                std::chrono::duration<double, std::micro>(Clock::now() -
-                                                          ask_started)
-                    .count());
-            if (!config_opt) break;
-            const auto tell_started = Clock::now();
-            (void)client.tell(id, synth_eval(space, *config_opt));
-            mine.tell_us.push_back(
-                std::chrono::duration<double, std::micro>(Clock::now() -
-                                                          tell_started)
-                    .count());
-            ++mine.evaluations;
-          }
-          client.close_session(id);
-          ++mine.sessions;
+          run_session(s, seed_combine(w, s), token);
         } catch (const std::exception& error) {
-          ++mine.errors;
-          std::cerr << "loadgen: worker " << w << " session " << s
-                    << " failed: " << error.what() << "\n";
+          log_failure(s, error.what());
         }
         completed.fetch_add(1);
       }
@@ -305,9 +444,30 @@ int main(int argc, char** argv) {
     merged.sessions += one.sessions;
     merged.evaluations += one.evaluations;
     merged.errors += one.errors;
+    merged.offered += one.offered;
+    merged.pushbacks += one.pushbacks;
+    merged.sheds += one.sheds;
   }
   std::sort(merged.ask_us.begin(), merged.ask_us.end());
   std::sort(merged.tell_us.begin(), merged.tell_us.end());
+
+  // Per-tenant rollup (open loop): worker w serves tenant w % tenants.
+  std::vector<WorkerStats> by_tenant(open_loop ? tenants : 0);
+  if (open_loop) {
+    for (std::size_t w = 0; w < clients; ++w) {
+      WorkerStats& bucket = by_tenant[w % tenants];
+      WorkerStats& one = stats[w];
+      bucket.ask_us.insert(bucket.ask_us.end(), one.ask_us.begin(),
+                           one.ask_us.end());
+      bucket.sessions += one.sessions;
+      bucket.evaluations += one.evaluations;
+      bucket.offered += one.offered;
+      bucket.pushbacks += one.pushbacks;
+      bucket.sheds += one.sheds;
+    }
+    for (WorkerStats& bucket : by_tenant)
+      std::sort(bucket.ask_us.begin(), bucket.ask_us.end());
+  }
 
   const std::vector<service::ShardSnapshot> shards = router.shards();
   const std::size_t promotions = shards.empty() ? 0 : shards[0].promotions;
@@ -346,7 +506,50 @@ int main(int argc, char** argv) {
   report += std::string("  \"failover\": {\"drill\": ") +
             (failover ? "true" : "false") +
             ", \"blackout_ms\": " + json_number(blackout_ms) +
-            ", \"promotions\": " + std::to_string(promotions) + "}\n";
+            ", \"promotions\": " + std::to_string(promotions) + "},\n";
+  {
+    // Fairness headline: ratio of the best-served to worst-served tenant's
+    // evaluation throughput (1.0 = perfectly fair; meaningful only in the
+    // open loop, where quotas + DRR admission arbitrate overload).
+    double min_tput = 0.0, max_tput = 0.0;
+    std::string tenants_json;
+    for (std::size_t t = 0; t < by_tenant.size(); ++t) {
+      WorkerStats& bucket = by_tenant[t];
+      const double tput =
+          wall_seconds > 0.0
+              ? static_cast<double>(bucket.evaluations) / wall_seconds
+              : 0.0;
+      if (t == 0 || tput < min_tput) min_tput = tput;
+      if (t == 0 || tput > max_tput) max_tput = tput;
+      tenants_json += "      {\"tenant\": \"tenant-" + std::to_string(t) +
+                      "\", \"offered\": " + std::to_string(bucket.offered) +
+                      ", \"sessions\": " + std::to_string(bucket.sessions) +
+                      ", \"pushbacks\": " + std::to_string(bucket.pushbacks) +
+                      ", \"sheds\": " + std::to_string(bucket.sheds) +
+                      ", \"throughput_evals_per_sec\": " + json_number(tput) +
+                      ",\n       \"ask_us\": {\"p50\": " +
+                      json_number(percentile(bucket.ask_us, 0.50)) +
+                      ", \"p99\": " +
+                      json_number(percentile(bucket.ask_us, 0.99)) + "}}";
+      if (t + 1 < by_tenant.size()) tenants_json += ",";
+      tenants_json += "\n";
+    }
+    report += std::string("  \"open_loop\": {\"enabled\": ") +
+              (open_loop ? "true" : "false") +
+              ", \"arrival_rate_per_sec\": " + json_number(arrival_rate) +
+              ",\n    \"offered_sessions\": " + std::to_string(merged.offered) +
+              ", \"completed_sessions\": " + std::to_string(merged.sessions) +
+              ", \"pushbacks\": " + std::to_string(merged.pushbacks) +
+              ", \"sheds\": " + std::to_string(merged.sheds) +
+              ",\n    \"shed_rate\": " +
+              json_number(merged.offered > 0
+                              ? 100.0 * static_cast<double>(merged.sheds) /
+                                    static_cast<double>(merged.offered)
+                              : 0.0) +
+              ", \"fairness_max_min_ratio\": " +
+              json_number(min_tput > 0.0 ? max_tput / min_tput : 0.0) +
+              ",\n    \"tenants\": [\n" + tenants_json + "    ]}\n";
+  }
   report += "}\n";
 
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);

@@ -417,7 +417,8 @@ void check_lock_order(const Corpus& corpus, const Options& options,
 
 const std::set<std::string>& durability_files() {
   static const std::set<std::string> files = {
-      "session_wal.cpp", "results_store.cpp", "server.cpp", "wal_ship.cpp"};
+      "session_wal.cpp", "results_store.cpp", "server.cpp", "wal_ship.cpp",
+      "session_manager.cpp"};
   return files;
 }
 
